@@ -1,0 +1,109 @@
+// Ablation of the Stage-3 simulator's structure (DESIGN.md §5b): with the
+// same learned EA model and the same test conditions, how much prediction
+// accuracy does each mechanism buy?
+//
+//   full          — class-level boosting + residual-occupancy feedback
+//   per-query     — each query boosts only itself (no §4 class switch)
+//   no residual   — boosted phase only; default phase at base rate
+//   neither       — both ablated
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace stac;
+using namespace stac::bench;
+using core::EaModel;
+using core::ProfileLibrary;
+using core::RtPredictor;
+using core::RtPredictorConfig;
+using profiler::Profile;
+using profiler::Profiler;
+
+namespace {
+
+std::vector<double> apes_for(const Profiler& profiler, const EaModel& model,
+                             const std::vector<Profile>& test,
+                             bool class_level, double residual_weight,
+                             std::uint64_t seed) {
+  std::vector<double> apes;
+  for (const auto& p : test) {
+    const double ea = model.predict(model.make_sample(p));
+    const auto scales =
+        profiler.pair_scales(p.condition.primary, p.condition.collocated);
+    queueing::GGkConfig g;
+    g.utilization = p.condition.util_primary;
+    g.servers = profiler.config().servers;
+    g.mean_service = scales.scaled_base_primary;
+    const auto& wm = profiler.model(p.condition.primary);
+    g.service_cv =
+        wm.spec().use_microservice_graph ? 0.55 : wm.spec().service_cv;
+    g.timeout_rel = p.condition.timeout_primary;
+    g.effective_allocation = ea;
+    g.allocation_ratio = p.allocation_ratio;
+    g.boost_prevalence = p.dynamics.size() > 1 ? p.dynamics[1] : 0.0;
+    g.class_level_boost = class_level;
+    g.residual_weight = residual_weight;
+    g.queries = 6000;
+    g.warmup = 300;
+    g.seed = seed;
+    const auto r = queueing::simulate_ggk(g);
+    apes.push_back(
+        absolute_percent_error(r.response_times.mean(), p.mean_rt));
+  }
+  return apes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner(std::cout, "Ablation — Stage-3 simulator mechanisms");
+
+  Profiler profiler(bench_profiler_config());
+  const auto profiles = collect_pairing(
+      profiler, {wl::Benchmark::kKmeans, wl::Benchmark::kRedis}, args.budget,
+      args.seed);
+  std::vector<Profile> train, test;
+  split_profiles(profiles, 0.33, args.seed + 3, train, test);
+  std::cout << "train " << train.size() << " / test " << test.size()
+            << " profiles\n";
+
+  EaModel model(bench_ea_config(args.seed));
+  model.fit(train);
+
+  // The mechanisms matter where queueing matters: also report the
+  // heavy-load subset (util >= 0.8), where class-level switches and the
+  // residual term carry the prediction.
+  std::vector<Profile> stress;
+  for (const auto& p : test)
+    if (p.condition.util_primary >= 0.8) stress.push_back(p);
+  std::cout << "heavy-load subset: " << stress.size() << " profiles\n";
+
+  Table table({"Stage-3 variant", "Median APE", "p95 APE",
+               "heavy-load median", "heavy-load p95"});
+  const struct {
+    const char* name;
+    bool class_level;
+    double residual;
+  } variants[] = {
+      {"full (class-level + residual)", true, 0.9},
+      {"per-query boosting", false, 0.9},
+      {"no residual feedback", true, 0.0},
+      {"neither", false, 0.0},
+  };
+  for (const auto& v : variants) {
+    const ApeSummary s = summarize_apes(apes_for(
+        profiler, model, test, v.class_level, v.residual, args.seed + 9));
+    const ApeSummary h = summarize_apes(apes_for(
+        profiler, model, stress, v.class_level, v.residual, args.seed + 9));
+    table.add_row({v.name, Table::pct(s.median), Table::pct(s.p95),
+                   Table::pct(h.median), Table::pct(h.p95)});
+  }
+  table.print(std::cout);
+  table.write_csv(csv_path(argv[0]));
+  std::cout << "\nThe mechanisms pay off in the tail and under heavy load: "
+               "per-query boosting\nmisses the §4 class switch during "
+               "congestion; dropping the residual term\nignores CAT's "
+               "hits-anywhere persistence.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Microbenchmarks of the operational primitives the 30-minute profiling
+// budget rests on: cache-simulator access throughput (masked and unmasked),
+// CAT class-of-service switching, forest / deep-forest inference latency,
+// discrete-event testbed throughput, and the Stage-3 G/G/k simulator.
+#include <benchmark/benchmark.h>
+
+#include "cat/cat_controller.hpp"
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+#include "queueing/ggk_simulator.hpp"
+#include "queueing/testbed.hpp"
+#include "wl/benchmark_suite.hpp"
+
+namespace {
+
+using namespace stac;
+
+cachesim::HierarchyConfig bench_hw() {
+  cachesim::HierarchyConfig c;
+  c.l1d = {32 * 1024, 8, 64, 4};
+  c.l1i = {32 * 1024, 8, 64, 4};
+  c.l2 = {256 * 1024, 16, 64, 12};
+  c.llc = {5 * 1024 * 1024, 20, 64, 42};  // 4096 sets x 20 ways
+  return c;
+}
+
+void BM_CacheAccessUnmasked(benchmark::State& state) {
+  cachesim::CacheHierarchy hw(bench_hw(), 1);
+  Rng rng(1);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 64 * (1 + rng.uniform_index(64))) & ((1u << 23) - 1);
+    benchmark::DoNotOptimize(
+        hw.access(0, {addr, cachesim::AccessType::kLoad}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessUnmasked);
+
+void BM_CacheAccessMasked(benchmark::State& state) {
+  cachesim::CacheHierarchy hw(bench_hw(), 1);
+  hw.set_llc_fill_mask(0, cat::Allocation{0, 2}.mask());
+  Rng rng(2);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 64 * (1 + rng.uniform_index(64))) & ((1u << 23) - 1);
+    benchmark::DoNotOptimize(
+        hw.access(0, {addr, cachesim::AccessType::kLoad}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessMasked);
+
+void BM_CatClassOfServiceSwitch(benchmark::State& state) {
+  cachesim::CacheHierarchy hw(bench_hw(), 2);
+  cat::CatController controller(hw, cat::make_pair_plan(20, 1, 2));
+  for (auto _ : state) {
+    controller.boost(0);
+    controller.unboost(0);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CatClassOfServiceSwitch);
+
+void BM_ForestInference(benchmark::State& state) {
+  Rng rng(3);
+  Matrix x(0, 20);
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row(20);
+    for (auto& v : row) v = rng.uniform();
+    x.append_row(row);
+    y.push_back(row[0] * row[1]);
+  }
+  ml::RandomForest forest(ml::ForestConfig{.estimators = 100, .seed = 4});
+  forest.fit(ml::Dataset(std::move(x), std::move(y)));
+  std::vector<double> probe(20, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(forest.predict(probe));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestInference);
+
+void BM_GGkSimulation(benchmark::State& state) {
+  queueing::GGkConfig cfg;
+  cfg.utilization = 0.9;
+  cfg.timeout_rel = 1.0;
+  cfg.effective_allocation = 0.5;
+  cfg.allocation_ratio = 3.0;
+  cfg.queries = 2000;
+  cfg.warmup = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(queueing::simulate_ggk(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.queries);
+}
+BENCHMARK(BM_GGkSimulation);
+
+void BM_TestbedRun(benchmark::State& state) {
+  const double way_bytes = 2.0 * 1024 * 1024;
+  const auto m0 = wl::make_model(wl::Benchmark::kKmeans, 20, way_bytes, 1);
+  const auto m1 = wl::make_model(wl::Benchmark::kBfs, 20, way_bytes, 1);
+  const auto plan = cat::make_pair_plan(20, 1, 2);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    queueing::TestbedConfig cfg;
+    queueing::TestbedWorkload w0, w1;
+    w0.model = &m0;
+    w0.utilization = 0.9;
+    w0.time_scale = 1.0 / 5.0;
+    w1.model = &m1;
+    w1.utilization = 0.9;
+    w1.time_scale = 1.0 / 3.0;
+    cfg.workloads = {w0, w1};
+    cfg.staps = cat::make_stap_vector(plan, {1.0, 1.0});
+    cfg.target_completions = 500;
+    cfg.warmup_completions = 50;
+    cfg.seed = ++seed;
+    queueing::Testbed bed(cfg);
+    benchmark::DoNotOptimize(bed.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TestbedRun);
+
+void BM_ConjectureSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cat::search_conjecture_counterexamples(6, 2));
+  }
+}
+BENCHMARK(BM_ConjectureSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

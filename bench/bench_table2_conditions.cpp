@@ -1,0 +1,55 @@
+// Table 2: the runtime conditions studied, plus a coverage sweep showing
+// how effective cache allocation responds across the condition space (the
+// quantity Stage 2 learns).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "profiler/stratified_sampler.hpp"
+
+using namespace stac;
+using namespace stac::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  print_banner(std::cout, "Table 2 — Static runtime conditions studied");
+  Table ranges({"Description", "Supported Settings"});
+  ranges.add_row({"Collocated services sharing cache lines",
+                  "jacobi, knn, kmeans, spkmeans, spstream, bfs, social, "
+                  "redis (pairwise)"});
+  ranges.add_row({"Query inter-arrival rate (rel. to service time)",
+                  "25% - 95%"});
+  ranges.add_row({"Timeout policy (rel. to service time)",
+                  "0% (always use shared cache) - 600% (never boost)"});
+  ranges.add_row({"Cache usage sampling",
+                  "1 Hz - every 5 seconds (relative: sampling_rel 2.0 - 0.4)"});
+  ranges.print(std::cout);
+
+  // Coverage sweep: EA across the timeout x utilization grid for one
+  // pairing — the surface the deep forest has to learn.
+  print_banner(std::cout, "EA coverage across the condition grid");
+  profiler::Profiler profiler(bench_profiler_config());
+  Table grid({"util \\ timeout", "T=0.0", "T=0.5", "T=1.5", "T=3.0", "T=6.0"});
+  for (double util : {0.3, 0.6, 0.9}) {
+    std::vector<std::string> row{Table::num(util, 1)};
+    for (double timeout : {0.0, 0.5, 1.5, 3.0, 6.0}) {
+      profiler::RuntimeCondition c;
+      c.primary = wl::Benchmark::kKmeans;
+      c.collocated = wl::Benchmark::kRedis;
+      c.util_primary = util;
+      c.util_collocated = util;
+      c.timeout_primary = timeout;
+      c.timeout_collocated = timeout;
+      c.seed = args.seed;
+      const auto profiles = profiler.profile_condition(c);
+      row.push_back(profiles.empty() ? "-" : Table::num(profiles[0].ea, 3));
+    }
+    grid.add_row(std::move(row));
+  }
+  grid.print(std::cout);
+  grid.write_csv(csv_path(argv[0]));
+  std::cout << "\nEA falls as both services boost more aggressively "
+               "(contention) and\nrises with data reuse — the non-linear "
+               "surface that motivates Stage 2.\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Shared infrastructure for the experiment harnesses: default
+// configurations, profile collection over pairings, APE aggregation, and
+// uniform output (console table + CSV beside the binary).
+//
+// Every harness accepts:
+//   --budget N   conditions profiled per collocation direction
+//   --seed S     master seed
+//   --fast       shrink everything (CI smoke mode)
+// and prints the regenerated table/figure series.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/stac_manager.hpp"
+
+namespace stac::bench {
+
+struct BenchArgs {
+  std::size_t budget = 24;
+  std::uint64_t seed = 2022;  // ICPP '22
+  bool fast = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--fast") == 0) {
+        args.fast = true;
+        args.budget = 10;
+      } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+        args.budget = static_cast<std::size_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else {
+        std::cerr << "usage: " << argv[0]
+                  << " [--budget N] [--seed S] [--fast]\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// Profiler configuration tuned for bench runtime (a few hundred testbed
+/// completions per condition is enough for stable means).
+inline profiler::ProfilerConfig bench_profiler_config() {
+  profiler::ProfilerConfig cfg;
+  cfg.target_completions = 900;
+  cfg.warmup_completions = 100;
+  cfg.max_windows = 2;
+  cfg.accesses_per_sample = 1500;
+  return cfg;
+}
+
+/// Deep-forest configuration matching the paper's §5 structure scaled for
+/// wall-clock: 4 MGS windows are listed in the paper; 5/10/15 fit our
+/// 58 x 20 profile image (the 35x35 grain cannot fit and is skipped).
+inline core::EaModelConfig bench_ea_config(std::uint64_t seed) {
+  core::EaModelConfig cfg;
+  cfg.backend = core::EaBackend::kDeepForest;
+  cfg.deep_forest.mgs.window_sizes = {5, 10, 15};
+  cfg.deep_forest.mgs.estimators = 20;
+  cfg.deep_forest.mgs.seed = seed;
+  cfg.deep_forest.cascade.levels = 3;
+  cfg.deep_forest.cascade.forests_per_level = 4;
+  cfg.deep_forest.cascade.estimators = 40;
+  cfg.deep_forest.cascade.seed = seed + 1;
+  return cfg;
+}
+
+/// A named pairing used across the evaluation harnesses.
+struct Pairing {
+  wl::Benchmark a;
+  wl::Benchmark b;
+};
+
+/// The four collocation groups of Fig. 8 (micro-service, key-value, Spark,
+/// Rodinia/HPC).
+inline std::vector<Pairing> evaluation_pairings() {
+  return {{wl::Benchmark::kSocial, wl::Benchmark::kRedis},
+          {wl::Benchmark::kSpkmeans, wl::Benchmark::kSpstream},
+          {wl::Benchmark::kJacobi, wl::Benchmark::kBfs},
+          {wl::Benchmark::kKmeans, wl::Benchmark::kRedis}};
+}
+
+/// Collect stratified profiles for both directions of a pairing.
+inline std::vector<profiler::Profile> collect_pairing(
+    const profiler::Profiler& profiler, const Pairing& pairing,
+    std::size_t budget, std::uint64_t seed) {
+  profiler::SamplerConfig sc;
+  sc.seed = seed;
+  profiler::StratifiedSampler sampler(profiler, sc);
+  auto profiles = sampler.collect(pairing.a, pairing.b, budget);
+  auto rev = sampler.collect(pairing.b, pairing.a, budget);
+  for (auto& p : rev) profiles.push_back(std::move(p));
+  return profiles;
+}
+
+/// Split profiles by *condition seed* so windows of one run never straddle
+/// the train/test boundary (leakage guard).
+inline void split_profiles(const std::vector<profiler::Profile>& profiles,
+                           double train_fraction, std::uint64_t seed,
+                           std::vector<profiler::Profile>& train,
+                           std::vector<profiler::Profile>& test) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& p : profiles) {
+    if (std::find(ids.begin(), ids.end(), p.condition.seed) == ids.end())
+      ids.push_back(p.condition.seed);
+  }
+  Rng rng(seed);
+  rng.shuffle(ids);
+  const std::size_t n_train = std::max<std::size_t>(
+      1, static_cast<std::size_t>(train_fraction *
+                                  static_cast<double>(ids.size())));
+  for (const auto& p : profiles) {
+    const auto it = std::find(ids.begin(), ids.end(), p.condition.seed);
+    const auto rank = static_cast<std::size_t>(it - ids.begin());
+    (rank < n_train ? train : test).push_back(p);
+  }
+}
+
+/// Median / p95 APE aggregate.
+struct ApeSummary {
+  double median = 0.0;
+  double p95 = 0.0;
+  std::size_t count = 0;
+};
+
+inline ApeSummary summarize_apes(const std::vector<double>& apes) {
+  SampleStats st{std::vector<double>(apes)};
+  ApeSummary s;
+  if (!apes.empty()) {
+    s.median = st.median();
+    s.p95 = st.percentile(0.95);
+    s.count = apes.size();
+  }
+  return s;
+}
+
+/// CSV path under a results/ directory beside the binary (kept out of the
+/// bench directory itself so `for b in build/bench/*` stays executable).
+inline std::string csv_path(const char* argv0, const std::string& suffix = "") {
+  const std::filesystem::path self(argv0);
+  const std::filesystem::path dir = self.parent_path() / "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort
+  return (dir / (self.filename().string() + suffix + ".csv")).string();
+}
+
+}  // namespace stac::bench

@@ -1,0 +1,76 @@
+// Quickstart: the whole pipeline in five calls.
+//
+//   1. Construct a StacManager.
+//   2. calibrate(a, b)  — Stage-1 profiling + Stage-2 deep-forest training
+//                         for one collocated pairing.
+//   3. predict(cond)    — Stage-3 response-time prediction for any runtime
+//                         condition, no testbed run needed.
+//   4. recommend(cond)  — §5.2 model-driven timeout-vector selection.
+//   5. evaluate(...)    — ground-truth check on the simulated testbed.
+//
+// Build:  cmake --build build --target quickstart
+// Run:    ./build/examples/quickstart
+#include <iostream>
+
+#include "core/stac_manager.hpp"
+
+using namespace stac;
+using core::StacManager;
+using core::StacOptions;
+using profiler::RuntimeCondition;
+
+int main() {
+  std::cout << "== stac quickstart: k-means collocated with Redis ==\n\n";
+
+  // Trimmed budgets so this finishes in ~20 s; defaults are larger.
+  StacOptions opts;
+  opts.profile_budget = 16;
+  opts.profiler.target_completions = 700;
+  opts.model.deep_forest.mgs.window_sizes = {5, 10};
+  opts.model.deep_forest.mgs.estimators = 15;
+  opts.model.deep_forest.cascade.levels = 2;
+  opts.model.deep_forest.cascade.estimators = 30;
+
+  StacManager mgr(opts);
+  std::cout << "calibrating (profiling both collocation directions, "
+               "training the deep forest)...\n";
+  mgr.calibrate(wl::Benchmark::kKmeans, wl::Benchmark::kRedis);
+  std::cout << "  " << mgr.library().size() << " profiles collected\n\n";
+
+  // Predict response time for a condition that was never profiled.
+  RuntimeCondition cond;
+  cond.primary = wl::Benchmark::kKmeans;
+  cond.collocated = wl::Benchmark::kRedis;
+  cond.util_primary = 0.85;
+  cond.util_collocated = 0.85;
+  cond.timeout_primary = 1.0;   // boost after 100% of expected service time
+  cond.timeout_collocated = 1.0;
+  cond.seed = 99;
+
+  const auto pred = mgr.predict(cond);
+  std::cout << "prediction for util 0.85/0.85, timeouts 1.0/1.0:\n"
+            << "  normalized mean RT " << pred.norm_mean_rt
+            << ", p95 " << pred.norm_p95_rt
+            << ", effective allocation " << pred.ea << "\n\n";
+
+  // Let the model pick the timeout vector (25-setting exploration).
+  const auto rec = mgr.recommend(cond);
+  std::cout << "model-driven recommendation: T = ("
+            << rec.selection.timeout_primary << ", "
+            << rec.selection.timeout_collocated << ") after "
+            << rec.predictions_made << " predictions\n\n";
+
+  // Ground truth: recommended policy vs no sharing at all.
+  const auto baseline = mgr.evaluate(cond, 6.0, 6.0, 1500);
+  const auto chosen = mgr.evaluate(cond, rec.selection.timeout_primary,
+                                   rec.selection.timeout_collocated, 1500);
+  std::cout << "testbed check (p95 response time):\n"
+            << "  no sharing:     kmeans " << baseline.p95_rt(0)
+            << "  redis " << baseline.p95_rt(1) << "\n"
+            << "  recommended:    kmeans " << chosen.p95_rt(0)
+            << "  redis " << chosen.p95_rt(1) << "\n"
+            << "  speedups:       kmeans "
+            << baseline.p95_rt(0) / chosen.p95_rt(0) << "x, redis "
+            << baseline.p95_rt(1) / chosen.p95_rt(1) << "x\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Scenario: a latency-critical micro-service site (Social, 36 services in
+// 30 containers) shares LLC ways with a cache-hungry session store (Redis)
+// — the collocation the paper highlights in §5.2, where dCat starves Social
+// and dynaSprint mis-times Redis.  This example:
+//
+//   1. characterizes both workloads on the simulated CAT hardware,
+//   2. calibrates the model for the pairing,
+//   3. prints the predicted response-time surface over the timeout grid
+//      (what the operator would inspect before committing a policy), and
+//   4. verifies the asymmetric recommendation against one-sided (dCat-like)
+//      and share-everything (static) alternatives on the testbed.
+#include <iomanip>
+#include <iostream>
+
+#include "core/stac_manager.hpp"
+#include "wl/measure.hpp"
+
+using namespace stac;
+using core::StacManager;
+using core::StacOptions;
+using profiler::RuntimeCondition;
+
+int main() {
+  std::cout << "== social-network + Redis: short-term allocation sprint ==\n\n";
+
+  // 1. Workload characterization on a scaled hardware replica.
+  cachesim::HierarchyConfig hw = cachesim::presets::xeon_e5_2683();
+  hw.llc.size_bytes /= 16;
+  hw.l2.size_bytes /= 16;
+  hw.l1d.size_bytes /= 16;
+  hw.l1i.size_bytes /= 16;
+  for (wl::Benchmark b : {wl::Benchmark::kSocial, wl::Benchmark::kRedis}) {
+    wl::WorkloadSpec spec = wl::benchmark_spec(b);
+    for (auto& c : spec.profile.components) c.ws_bytes /= 16.0;
+    spec.zipf_records /= 16;
+    const wl::WorkloadModel model(
+        spec, hw.llc.ways, static_cast<double>(hw.llc_way_bytes()), 1);
+    const auto c = wl::characterize(model, hw, 1, 30000, 80000, 7);
+    std::cout << std::left << std::setw(8) << c.id << " LLC miss @baseline "
+              << static_cast<int>(c.llc_miss_ratio * 100) << "%, data reuse "
+              << static_cast<int>(c.data_reuse * 100) << "%  ("
+              << c.cache_pattern << ")\n";
+  }
+
+  // 2. Calibrate the pairing.
+  StacOptions opts;
+  opts.profile_budget = 20;
+  opts.profiler.target_completions = 700;
+  opts.model.deep_forest.mgs.window_sizes = {5, 10};
+  opts.model.deep_forest.mgs.estimators = 15;
+  opts.model.deep_forest.cascade.levels = 2;
+  opts.model.deep_forest.cascade.estimators = 30;
+  StacManager mgr(opts);
+  std::cout << "\ncalibrating social+redis...\n";
+  mgr.calibrate(wl::Benchmark::kSocial, wl::Benchmark::kRedis);
+
+  // 3. Predicted p95 surface at the paper's heavy arrival rate (90%).
+  RuntimeCondition cond;
+  cond.primary = wl::Benchmark::kSocial;
+  cond.collocated = wl::Benchmark::kRedis;
+  cond.util_primary = 0.9;
+  cond.util_collocated = 0.9;
+  cond.seed = 17;
+
+  const std::vector<double> grid{0.0, 0.5, 1.0, 2.0, 4.0};
+  std::cout << "\npredicted combined normalized p95 over the timeout grid\n"
+               "(rows: social timeout, cols: redis timeout):\n        ";
+  for (double tc : grid) std::cout << " T_r=" << tc << " ";
+  std::cout << "\n";
+  for (double tp : grid) {
+    std::cout << "T_s=" << std::fixed << std::setprecision(1) << tp << " ";
+    for (double tc : grid) {
+      RuntimeCondition q = cond;
+      q.timeout_primary = tp;
+      q.timeout_collocated = tc;
+      const double combined = 0.5 * (mgr.predict(q).norm_p95_rt +
+                                     mgr.predict(q.swapped()).norm_p95_rt);
+      std::cout << "  " << std::setprecision(3) << combined << " ";
+    }
+    std::cout << "\n";
+  }
+
+  // 4. Recommendation vs one-sided and share-everything policies.
+  const auto rec = mgr.recommend(cond);
+  std::cout << "\nrecommended timeout vector: (social "
+            << rec.selection.timeout_primary << ", redis "
+            << rec.selection.timeout_collocated << ")\n\n";
+
+  struct Alternative {
+    const char* name;
+    double tp, tc;
+  };
+  const Alternative alts[] = {
+      {"no sharing            ", 6.0, 6.0},
+      {"share everything      ", 0.0, 0.0},
+      {"all ways to social    ", 0.0, 6.0},
+      {"all ways to redis     ", 6.0, 0.0},
+      {"model-driven (ours)   ", rec.selection.timeout_primary,
+       rec.selection.timeout_collocated},
+  };
+  const auto base = mgr.evaluate(cond, 6.0, 6.0, 2000);
+  std::cout << "testbed p95 speedups vs no sharing (social / redis):\n";
+  for (const auto& alt : alts) {
+    const auto r = mgr.evaluate(cond, alt.tp, alt.tc, 2000);
+    std::cout << "  " << alt.name << " "
+              << std::setprecision(2) << base.p95_rt(0) / r.p95_rt(0)
+              << "x / " << base.p95_rt(1) / r.p95_rt(1) << "x\n";
+  }
+  std::cout << "\nThe balanced timeout vector speeds up BOTH services — the\n"
+               "one-sided policies sacrifice the other tenant (the paper's\n"
+               "§5.2 social/redis finding).\n";
+  return 0;
+}

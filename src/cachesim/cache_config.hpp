@@ -1,0 +1,68 @@
+// Geometry and latency configuration for the simulated cache hierarchy.
+//
+// The hierarchy mirrors the paper's testbed shape: per-workload private
+// L1D/L1I/L2 plus one shared, way-partitionable LLC (the level Intel CAT
+// controls).  All sizes are in bytes; latencies in core cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stac::cachesim {
+
+/// One cache level's geometry.
+struct LevelConfig {
+  std::size_t size_bytes = 0;
+  std::size_t ways = 0;
+  std::size_t line_bytes = 64;
+  std::uint32_t latency_cycles = 0;
+
+  [[nodiscard]] std::size_t lines() const { return size_bytes / line_bytes; }
+  [[nodiscard]] std::size_t sets() const {
+    return ways == 0 ? 0 : lines() / ways;
+  }
+  /// Geometry is valid when the size decomposes exactly into sets x ways
+  /// power-of-two sets (required for bit-sliced indexing).
+  [[nodiscard]] bool valid() const;
+};
+
+/// Full hierarchy: private L1D/L1I/L2 per workload class, shared LLC.
+struct HierarchyConfig {
+  std::string name = "generic";
+  LevelConfig l1d{32 * 1024, 8, 64, 4};
+  LevelConfig l1i{32 * 1024, 8, 64, 4};
+  LevelConfig l2{1024 * 1024, 16, 64, 12};
+  LevelConfig llc{40 * 1024 * 1024, 20, 64, 42};
+  std::uint32_t memory_latency_cycles = 220;
+  /// Number of physical cores on the package (collocation capacity).
+  std::size_t cores = 16;
+
+  [[nodiscard]] bool valid() const {
+    return l1d.valid() && l1i.valid() && l2.valid() && llc.valid();
+  }
+  /// LLC capacity per way in bytes (CAT allocates whole ways).
+  [[nodiscard]] std::size_t llc_way_bytes() const {
+    return llc.size_bytes / llc.ways;
+  }
+};
+
+/// The five Xeon processors used in the paper's evaluation (Fig. 7b).  The
+/// LLC sizes follow the paper; way counts follow the part's CAT capability.
+namespace presets {
+/// Default platform: Xeon E5-2683 — 16 cores, 40 MB LLC, 20 ways.
+[[nodiscard]] HierarchyConfig xeon_e5_2683();
+/// Xeon Platinum 8275 socket 0 — 72 MB LLC (paper's two-socket run).
+[[nodiscard]] HierarchyConfig xeon_platinum_8275_72mb();
+/// Xeon Platinum 8275 socket 1 — 59 MB LLC (clipped by the paper's setup).
+[[nodiscard]] HierarchyConfig xeon_platinum_8275_59mb();
+/// Xeon 2650 — 30 MB LLC.
+[[nodiscard]] HierarchyConfig xeon_2650();
+/// Xeon 2620 — 20 MB LLC.
+[[nodiscard]] HierarchyConfig xeon_2620();
+/// All presets in Fig. 7b order (20, 30, 40, 59, 72 MB).
+[[nodiscard]] const std::vector<HierarchyConfig>& all();
+}  // namespace presets
+
+}  // namespace stac::cachesim

@@ -1,0 +1,154 @@
+#include "cachesim/cache_hierarchy.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace stac::cachesim {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config,
+                               std::size_t max_classes)
+    : config_(config), llc_(config.llc) {
+  STAC_REQUIRE(config.valid());
+  STAC_REQUIRE(max_classes >= 1);
+  l1d_.reserve(max_classes);
+  l1i_.reserve(max_classes);
+  l2_.reserve(max_classes);
+  for (std::size_t i = 0; i < max_classes; ++i) {
+    l1d_.emplace_back(config.l1d);
+    l1i_.emplace_back(config.l1i);
+    l2_.emplace_back(config.l2);
+  }
+  llc_masks_.assign(max_classes, llc_.full_mask());
+  counters_.assign(max_classes, CounterSnapshot{});
+}
+
+void CacheHierarchy::set_llc_fill_mask(ClassId class_id, WayMask mask) {
+  STAC_REQUIRE(class_id < llc_masks_.size());
+  llc_masks_[class_id] = mask & llc_.full_mask();
+}
+
+WayMask CacheHierarchy::llc_fill_mask(ClassId class_id) const {
+  STAC_REQUIRE(class_id < llc_masks_.size());
+  return llc_masks_[class_id];
+}
+
+std::uint32_t CacheHierarchy::access(ClassId class_id,
+                                     const MemoryAccess& ref) {
+  STAC_REQUIRE(class_id < counters_.size());
+  CounterSnapshot& ctr = counters_[class_id];
+  const std::uint64_t line = ref.address / config_.l1d.line_bytes;
+  const bool is_store = ref.type == AccessType::kStore;
+  const bool is_ifetch = ref.type == AccessType::kIfetch;
+  const bool is_prefetch = ref.type == AccessType::kPrefetch;
+
+  std::uint32_t latency = 0;
+
+  // --- L1 ---
+  CacheLevel& l1 = is_ifetch ? l1i_[class_id] : l1d_[class_id];
+  latency += l1.config().latency_cycles;
+  if (is_ifetch) {
+    ctr.bump(Counter::kL1iLoads);
+  } else if (is_store) {
+    ctr.bump(Counter::kL1dStores);
+  } else {
+    ctr.bump(Counter::kL1dLoads);
+  }
+  const AccessResult r1 = l1.access(line, l1.full_mask(), class_id);
+  if (r1.hit) return latency;
+  if (is_ifetch) {
+    ctr.bump(Counter::kL1iLoadMisses);
+  } else if (is_store) {
+    ctr.bump(Counter::kL1dStoreMisses);
+  } else {
+    ctr.bump(Counter::kL1dLoadMisses);
+  }
+
+  // --- L2 (unified, private) ---
+  CacheLevel& l2 = l2_[class_id];
+  latency += l2.config().latency_cycles;
+  ctr.bump(Counter::kL2Requests);
+  if (is_prefetch) {
+    ctr.bump(Counter::kL2Prefetches);
+  } else if (is_store) {
+    ctr.bump(Counter::kL2Stores);
+  } else {
+    ctr.bump(Counter::kL2Loads);
+  }
+  const AccessResult r2 = l2.access(line, l2.full_mask(), class_id);
+  if (r2.evicted) ctr.bump(Counter::kL2Evictions);
+  if (r2.hit) return latency;
+  if (is_prefetch) {
+    ctr.bump(Counter::kL2PrefetchMisses);
+  } else if (is_store) {
+    ctr.bump(Counter::kL2StoreMisses);
+  } else {
+    ctr.bump(Counter::kL2LoadMisses);
+  }
+
+  // --- LLC (shared, CAT-masked fills) ---
+  latency += llc_.config().latency_cycles;
+  if (is_store) {
+    ctr.bump(Counter::kLlcStores);
+  } else {
+    ctr.bump(Counter::kLlcLoads);
+  }
+  const WayMask mask = llc_masks_[class_id];
+  const AccessResult r3 = llc_.access(line, mask, class_id);
+  if (r3.evicted) ctr.bump(Counter::kLlcEvictions);
+  if (r3.hit) {
+    if (r3.hit_outside_mask) ctr.bump(Counter::kLlcSharedWayHits);
+    return latency;
+  }
+  if (is_store) {
+    ctr.bump(Counter::kLlcStoreMisses);
+  } else {
+    ctr.bump(Counter::kLlcLoadMisses);
+  }
+  // A fill into a way outside a *default-sized* single-workload partition is
+  // tracked when the controller flags the class as boosted; approximated
+  // here as: more than half the LLC ways are currently writable.
+  if (std::popcount(mask) * 3 > static_cast<int>(config_.llc.ways))
+    ctr.bump(Counter::kLlcBoostedFills);
+
+  // --- memory ---
+  latency += config_.memory_latency_cycles;
+  ctr.bump(is_store ? Counter::kMemWrites : Counter::kMemReads);
+  ctr.bump(Counter::kMemBandwidthBytes, config_.llc.line_bytes);
+  ctr.bump(Counter::kStallCycles, config_.memory_latency_cycles);
+  return latency;
+}
+
+void CacheHierarchy::retire_instructions(ClassId class_id, std::uint64_t n) {
+  STAC_REQUIRE(class_id < counters_.size());
+  CounterSnapshot& ctr = counters_[class_id];
+  ctr.bump(Counter::kInstructions, n);
+  ctr.bump(Counter::kCycles, n);  // 1 IPC baseline for non-memory work
+}
+
+CounterSnapshot CacheHierarchy::counters(ClassId class_id) const {
+  STAC_REQUIRE(class_id < counters_.size());
+  CounterSnapshot snap = counters_[class_id];
+  snap.set(Counter::kLlcOccupancyLines, llc_.occupancy(class_id));
+  const std::uint64_t cycles =
+      snap.get(Counter::kCycles) + snap.get(Counter::kStallCycles);
+  const std::uint64_t instr = snap.get(Counter::kInstructions);
+  snap.set(Counter::kCycles, cycles);
+  snap.set(Counter::kIpcX1000,
+           cycles == 0 ? 0 : (instr * 1000) / cycles);
+  return snap;
+}
+
+std::size_t CacheHierarchy::llc_occupancy(ClassId class_id) const {
+  return llc_.occupancy(class_id);
+}
+
+void CacheHierarchy::reset() {
+  for (auto& c : l1d_) c.flush();
+  for (auto& c : l1i_) c.flush();
+  for (auto& c : l2_) c.flush();
+  llc_.flush();
+  for (auto& c : counters_) c = CounterSnapshot{};
+}
+
+}  // namespace stac::cachesim

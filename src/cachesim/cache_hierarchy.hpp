@@ -1,0 +1,80 @@
+// The simulated processor package: per-workload-class private L1D/L1I/L2,
+// one shared LLC under CAT fill-way masking, and per-class performance
+// counters matching the 29 the paper samples.
+//
+// This is the "hardware" substituted for the paper's Xeon testbed: the
+// profiler drives synthetic access streams through it to produce counter
+// traces, and its hit/miss behaviour is the ground truth that the
+// workload-level miss-ratio curves are calibrated against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache_config.hpp"
+#include "cachesim/cache_level.hpp"
+#include "cachesim/perf_counters.hpp"
+
+namespace stac::cachesim {
+
+enum class AccessType : std::uint8_t { kLoad, kStore, kIfetch, kPrefetch };
+
+/// One memory reference produced by a workload model.
+struct MemoryAccess {
+  std::uint64_t address = 0;  ///< byte address
+  AccessType type = AccessType::kLoad;
+};
+
+/// Abstract producer of memory references (implemented by workload models).
+class AccessStream {
+ public:
+  virtual ~AccessStream() = default;
+  /// Produce the next reference.
+  virtual MemoryAccess next() = 0;
+};
+
+class CacheHierarchy {
+ public:
+  /// `max_classes` bounds how many collocated workload classes can attach.
+  explicit CacheHierarchy(const HierarchyConfig& config,
+                          std::size_t max_classes = 8);
+
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t max_classes() const { return l1d_.size(); }
+
+  /// Set the CAT fill mask used for `class_id`'s LLC fills.  Hits remain
+  /// unrestricted.  (The cat::CatController calls this.)
+  void set_llc_fill_mask(ClassId class_id, WayMask mask);
+  [[nodiscard]] WayMask llc_fill_mask(ClassId class_id) const;
+
+  /// Run one memory reference through the hierarchy for `class_id`.
+  /// Returns the total latency in cycles, and updates the class's counters.
+  std::uint32_t access(ClassId class_id, const MemoryAccess& ref);
+
+  /// Charge `n` retired instructions to the class (IPC bookkeeping).  Call
+  /// alongside access(); non-memory instructions cost one cycle each.
+  void retire_instructions(ClassId class_id, std::uint64_t n);
+
+  /// Counter snapshot for a class; occupancy/IPC gauges computed on read.
+  [[nodiscard]] CounterSnapshot counters(ClassId class_id) const;
+
+  /// LLC lines currently owned by the class (CMT-style occupancy).
+  [[nodiscard]] std::size_t llc_occupancy(ClassId class_id) const;
+
+  /// Reset all cache contents and counters (between experiments).
+  void reset();
+
+  [[nodiscard]] const CacheLevel& llc() const { return llc_; }
+
+ private:
+  HierarchyConfig config_;
+  std::vector<CacheLevel> l1d_;
+  std::vector<CacheLevel> l1i_;
+  std::vector<CacheLevel> l2_;
+  CacheLevel llc_;
+  std::vector<WayMask> llc_masks_;
+  std::vector<CounterSnapshot> counters_;
+};
+
+}  // namespace stac::cachesim

@@ -1,0 +1,111 @@
+#include "cachesim/cache_level.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace stac::cachesim {
+
+bool LevelConfig::valid() const {
+  if (size_bytes == 0 || ways == 0 || line_bytes == 0) return false;
+  if (size_bytes % (ways * line_bytes) != 0) return false;
+  const std::size_t s = sets();
+  return s > 0 && std::has_single_bit(s);
+}
+
+CacheLevel::CacheLevel(const LevelConfig& config) : config_(config) {
+  STAC_REQUIRE_MSG(config.valid(), "invalid cache geometry: size="
+                                       << config.size_bytes
+                                       << " ways=" << config.ways);
+  STAC_REQUIRE_MSG(config.ways <= 32, "way masks are 32-bit");
+  sets_ = config.sets();
+  set_bits_ = static_cast<std::size_t>(std::countr_zero(sets_));
+  set_mask_ = sets_ - 1;
+  ways_.resize(sets_ * config.ways);
+  occupancy_.resize(1, 0);
+}
+
+AccessResult CacheLevel::access(std::uint64_t line_addr, WayMask fill_mask,
+                                ClassId class_id) {
+  AccessResult result;
+  const std::size_t set = set_index(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  Way* base = ways_.data() + set * config_.ways;
+  ++clock_;
+
+  // Hits are permitted in any way — CAT only constrains fills.
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru_stamp = clock_;
+      result.hit = true;
+      result.hit_outside_mask = ((fill_mask >> w) & 1u) == 0;
+      return result;
+    }
+  }
+
+  // Miss: install into a permitted way (invalid preferred, else LRU).
+  const WayMask usable = fill_mask & full_mask();
+  if (usable == 0) return result;  // bypass: nothing to fill into
+
+  std::size_t victim = config_.ways;  // sentinel
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (((usable >> w) & 1u) == 0) continue;
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = w;
+      break;
+    }
+    if (way.lru_stamp < oldest) {
+      oldest = way.lru_stamp;
+      victim = w;
+    }
+  }
+  STAC_ENSURE(victim < config_.ways);
+
+  Way& way = base[victim];
+  if (way.valid) {
+    result.evicted = true;
+    result.evicted_class = way.owner;
+    if (way.owner != kNoClass && way.owner < occupancy_.size() &&
+        occupancy_[way.owner] > 0)
+      --occupancy_[way.owner];
+  }
+  way.tag = tag;
+  way.valid = true;
+  way.owner = class_id;
+  way.lru_stamp = clock_;
+  if (class_id != kNoClass) {
+    if (class_id >= occupancy_.size()) occupancy_.resize(class_id + 1, 0);
+    ++occupancy_[class_id];
+  }
+  return result;
+}
+
+bool CacheLevel::contains(std::uint64_t line_addr) const {
+  const std::size_t set = set_index(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  const Way* base = ways_.data() + set * config_.ways;
+  for (std::size_t w = 0; w < config_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+std::size_t CacheLevel::occupancy(ClassId class_id) const {
+  return class_id < occupancy_.size() ? occupancy_[class_id] : 0;
+}
+
+void CacheLevel::flush() {
+  for (auto& w : ways_) w = Way{};
+  for (auto& o : occupancy_) o = 0;
+}
+
+void CacheLevel::flush_class(ClassId class_id) {
+  for (auto& w : ways_) {
+    if (w.valid && w.owner == class_id) w = Way{};
+  }
+  if (class_id < occupancy_.size()) occupancy_[class_id] = 0;
+}
+
+}  // namespace stac::cachesim

@@ -1,0 +1,92 @@
+// One set-associative cache level with CAT-style fill-way masking.
+//
+// CAT semantics (Intel SDM vol. 3, §17.19), reproduced faithfully:
+//   * A class of service (CLOS) carries a capacity bitmask over LLC ways.
+//   * The mask restricts *fills* (which ways a miss may install/evict into).
+//   * Lookups hit in ANY way — a line installed while a workload was boosted
+//     keeps serving hits after the boost is revoked, until evicted.
+// Replacement is LRU within the permitted ways; invalid ways are preferred.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache_config.hpp"
+
+namespace stac::cachesim {
+
+/// Fill-permission bitmask over ways (bit i => way i may be filled).
+using WayMask = std::uint32_t;
+
+/// Workload class id (maps to a CAT class of service).
+using ClassId = std::uint16_t;
+inline constexpr ClassId kNoClass = 0xFFFF;
+
+/// Result of one cache access at one level.
+struct AccessResult {
+  bool hit = false;
+  /// Valid line was evicted to make room (miss path only).
+  bool evicted = false;
+  /// Class that owned the evicted line (kNoClass if none).
+  ClassId evicted_class = kNoClass;
+  /// The hit was served from a way *outside* the accessor's current fill
+  /// mask — i.e. a short-term-allocation residual benefit.
+  bool hit_outside_mask = false;
+};
+
+class CacheLevel {
+ public:
+  explicit CacheLevel(const LevelConfig& config);
+
+  /// Look up `line_addr` (address already divided by line size).  On miss,
+  /// installs the line into a way permitted by `fill_mask`, evicting LRU.
+  /// If `fill_mask` has no bits within the way range, the access bypasses
+  /// the cache (counts as a miss, installs nothing).
+  AccessResult access(std::uint64_t line_addr, WayMask fill_mask,
+                      ClassId class_id);
+
+  /// Probe without side effects.
+  [[nodiscard]] bool contains(std::uint64_t line_addr) const;
+
+  /// Lines currently owned by `class_id` (CAT occupancy monitoring, CMT).
+  [[nodiscard]] std::size_t occupancy(ClassId class_id) const;
+
+  /// Invalidate everything (testbed reset between experiments).
+  void flush();
+  /// Invalidate only lines owned by `class_id`.
+  void flush_class(ClassId class_id);
+
+  [[nodiscard]] const LevelConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t sets() const { return sets_; }
+
+  /// Full mask covering all ways of this level.
+  [[nodiscard]] WayMask full_mask() const {
+    return config_.ways >= 32 ? ~WayMask{0}
+                              : ((WayMask{1} << config_.ways) - 1);
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;
+    ClassId owner = kNoClass;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::size_t set_index(std::uint64_t line_addr) const {
+    return static_cast<std::size_t>(line_addr) & set_mask_;
+  }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t line_addr) const {
+    return line_addr >> set_bits_;
+  }
+
+  LevelConfig config_;
+  std::size_t sets_ = 0;
+  std::size_t set_bits_ = 0;
+  std::size_t set_mask_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_;  // sets_ x config_.ways, row-major
+  std::vector<std::size_t> occupancy_;
+};
+
+}  // namespace stac::cachesim

@@ -1,0 +1,113 @@
+#include "cachesim/perf_counters.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::cachesim {
+
+namespace {
+struct CounterInfo {
+  std::string_view name;
+  CounterGroup group;
+  bool gauge;
+};
+
+constexpr std::array<CounterInfo, kCounterCount> kInfo{{
+    {"l1d_loads", CounterGroup::kL1d, false},
+    {"l1d_load_misses", CounterGroup::kL1d, false},
+    {"l1d_stores", CounterGroup::kL1d, false},
+    {"l1d_store_misses", CounterGroup::kL1d, false},
+    {"l1i_loads", CounterGroup::kL1i, false},
+    {"l1i_load_misses", CounterGroup::kL1i, false},
+    {"l2_requests", CounterGroup::kL2, false},
+    {"l2_loads", CounterGroup::kL2, false},
+    {"l2_load_misses", CounterGroup::kL2, false},
+    {"l2_stores", CounterGroup::kL2, false},
+    {"l2_store_misses", CounterGroup::kL2, false},
+    {"l2_evictions", CounterGroup::kL2, false},
+    {"l2_prefetches", CounterGroup::kL2, false},
+    {"l2_prefetch_misses", CounterGroup::kL2, false},
+    {"llc_loads", CounterGroup::kLlc, false},
+    {"llc_load_misses", CounterGroup::kLlc, false},
+    {"llc_stores", CounterGroup::kLlc, false},
+    {"llc_store_misses", CounterGroup::kLlc, false},
+    {"llc_evictions", CounterGroup::kLlc, false},
+    {"llc_occupancy_lines", CounterGroup::kLlc, true},
+    {"llc_shared_way_hits", CounterGroup::kLlc, false},
+    {"llc_boosted_fills", CounterGroup::kLlc, false},
+    {"mem_reads", CounterGroup::kMem, false},
+    {"mem_writes", CounterGroup::kMem, false},
+    {"mem_bandwidth_bytes", CounterGroup::kMem, false},
+    {"instructions", CounterGroup::kCore, false},
+    {"cycles", CounterGroup::kCore, false},
+    {"stall_cycles", CounterGroup::kCore, false},
+    {"ipc_x1000", CounterGroup::kCore, true},
+}};
+}  // namespace
+
+std::string_view counter_name(Counter c) {
+  return kInfo[static_cast<std::size_t>(c)].name;
+}
+
+CounterGroup counter_group(Counter c) {
+  return kInfo[static_cast<std::size_t>(c)].group;
+}
+
+std::string_view counter_group_name(CounterGroup g) {
+  switch (g) {
+    case CounterGroup::kL1d: return "L1D";
+    case CounterGroup::kL1i: return "L1I";
+    case CounterGroup::kL2: return "L2";
+    case CounterGroup::kLlc: return "LLC";
+    case CounterGroup::kMem: return "MEM";
+    case CounterGroup::kCore: return "CORE";
+  }
+  return "?";
+}
+
+bool counter_is_gauge(Counter c) {
+  return kInfo[static_cast<std::size_t>(c)].gauge;
+}
+
+CounterSnapshot CounterSnapshot::delta_since(const CounterSnapshot& other) const {
+  CounterSnapshot out;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (counter_is_gauge(c)) {
+      out.values[i] = values[i];
+    } else {
+      STAC_REQUIRE_MSG(values[i] >= other.values[i],
+                       "monotonic counter " << counter_name(c) << " went backwards");
+      out.values[i] = values[i] - other.values[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double CounterSnapshot::l1d_miss_ratio() const {
+  return ratio(get(Counter::kL1dLoadMisses) + get(Counter::kL1dStoreMisses),
+               get(Counter::kL1dLoads) + get(Counter::kL1dStores));
+}
+
+double CounterSnapshot::l2_miss_ratio() const {
+  return ratio(get(Counter::kL2LoadMisses) + get(Counter::kL2StoreMisses),
+               get(Counter::kL2Requests));
+}
+
+double CounterSnapshot::llc_miss_ratio() const {
+  return ratio(get(Counter::kLlcLoadMisses) + get(Counter::kLlcStoreMisses),
+               get(Counter::kLlcLoads) + get(Counter::kLlcStores));
+}
+
+double CounterSnapshot::llc_mpki() const {
+  return 1000.0 * ratio(get(Counter::kLlcLoadMisses) +
+                            get(Counter::kLlcStoreMisses),
+                        get(Counter::kInstructions));
+}
+
+}  // namespace stac::cachesim

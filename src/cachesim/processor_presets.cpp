@@ -1,0 +1,75 @@
+#include "cachesim/cache_config.hpp"
+
+namespace stac::cachesim::presets {
+
+namespace {
+HierarchyConfig base() {
+  HierarchyConfig c;
+  c.l1d = {32 * 1024, 8, 64, 4};
+  c.l1i = {32 * 1024, 8, 64, 4};
+  c.l2 = {1024 * 1024, 16, 64, 12};
+  c.memory_latency_cycles = 220;
+  return c;
+}
+}  // namespace
+
+HierarchyConfig xeon_e5_2683() {
+  HierarchyConfig c = base();
+  c.name = "Xeon E5-2683 (40MB LLC)";
+  // 40 MB, 20 ways -> 2 MB/way, 32768 sets of 64B lines.
+  c.llc = {40 * 1024 * 1024, 20, 64, 42};
+  c.cores = 16;
+  return c;
+}
+
+HierarchyConfig xeon_platinum_8275_72mb() {
+  HierarchyConfig c = base();
+  c.name = "Xeon Platinum 8275 s0 (72MB LLC)";
+  // 72 MB modeled as 18 ways x 4 MB/way (65536 sets).
+  c.llc = {72 * 1024 * 1024, 18, 64, 46};
+  c.cores = 24;
+  return c;
+}
+
+HierarchyConfig xeon_platinum_8275_59mb() {
+  HierarchyConfig c = base();
+  c.name = "Xeon Platinum 8275 s1 (59MB LLC)";
+  // The paper's second socket exposes ~59 MB; modeled as 59 usable ways'
+  // worth rounded to a valid geometry: 16 ways x 3.6875 MB is not a power-
+  // of-two set count, so we use 59 MB -> 16 ways over 60416 sets is invalid;
+  // instead 64 MB geometry with 59/64 of the ways usable is equivalent from
+  // CAT's point of view.  We model 16 ways x 4 MB with 15 usable ways
+  // (60 MB usable), the closest valid layout.
+  c.llc = {64 * 1024 * 1024, 16, 64, 46};
+  c.cores = 24;
+  return c;
+}
+
+HierarchyConfig xeon_2650() {
+  HierarchyConfig c = base();
+  c.name = "Xeon 2650 (30MB LLC)";
+  // 30 MB, 20 ways -> 1.5 MB/way, 24576 sets — not a power of two; CAT-valid
+  // layout: 20 ways x 1.5 MB needs 24576 sets.  Use 15 ways x 2 MB (30 MB,
+  // 32768 sets) which preserves total capacity and way granularity of 2 MB.
+  c.llc = {30 * 1024 * 1024, 15, 64, 40};
+  c.cores = 12;
+  return c;
+}
+
+HierarchyConfig xeon_2620() {
+  HierarchyConfig c = base();
+  c.name = "Xeon 2620 (20MB LLC)";
+  // 20 MB as 10 ways x 2 MB/way (32768 sets).
+  c.llc = {20 * 1024 * 1024, 10, 64, 38};
+  c.cores = 8;
+  return c;
+}
+
+const std::vector<HierarchyConfig>& all() {
+  static const std::vector<HierarchyConfig> configs{
+      xeon_2620(), xeon_2650(), xeon_e5_2683(), xeon_platinum_8275_59mb(),
+      xeon_platinum_8275_72mb()};
+  return configs;
+}
+
+}  // namespace stac::cachesim::presets

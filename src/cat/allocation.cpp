@@ -1,0 +1,60 @@
+#include "cat/allocation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+
+bool Allocation::overlaps(const Allocation& other) const {
+  if (empty() || other.empty()) return false;
+  return offset < other.end() && other.offset < end();
+}
+
+Allocation Allocation::intersect(const Allocation& other) const {
+  const std::uint32_t lo = std::max(offset, other.offset);
+  const std::uint32_t hi = std::min(end(), other.end());
+  if (hi <= lo) return Allocation{0, 0};
+  return Allocation{lo, hi - lo};
+}
+
+bool Allocation::subset_of(const Allocation& other) const {
+  if (empty()) return true;
+  return offset >= other.offset && end() <= other.end();
+}
+
+WayMask Allocation::mask() const {
+  STAC_REQUIRE(end() <= 32);
+  if (length == 0) return 0;
+  const WayMask run =
+      length >= 32 ? ~WayMask{0} : ((WayMask{1} << length) - 1);
+  return run << offset;
+}
+
+std::string Allocation::to_string() const {
+  std::ostringstream os;
+  os << "[" << offset << "," << end() << ")";
+  return os.str();
+}
+
+bool allocation_valid(const Allocation& a, std::uint32_t total_ways) {
+  return a.length >= 1 && a.end() <= total_ways;
+}
+
+Allocation allocation_from_mask(WayMask mask) {
+  STAC_REQUIRE_MSG(mask_contiguous(mask), "CAT masks must be contiguous");
+  const auto offset = static_cast<std::uint32_t>(std::countr_zero(mask));
+  const auto length = static_cast<std::uint32_t>(std::popcount(mask));
+  return Allocation{offset, length};
+}
+
+bool mask_contiguous(WayMask mask) {
+  if (mask == 0) return false;
+  const WayMask shifted = mask >> std::countr_zero(mask);
+  // A contiguous run shifted down is 2^k - 1, i.e. (x & (x+1)) == 0.
+  return (shifted & (shifted + 1)) == 0;
+}
+
+}  // namespace stac::cat

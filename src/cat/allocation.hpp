@@ -1,0 +1,54 @@
+// Contiguous cache-way allocations, the unit Intel CAT works in.
+//
+// CAT capacity bitmasks must be contiguous runs of set bits (Intel SDM
+// vol. 3 §17.19.4.2); we therefore represent an allocation setting as an
+// (offset, length) pair exactly as §2 of the paper does, and derive the
+// bitmask from it.  The §2 conjectures about private/shared structure are
+// implemented over this representation in allocation_plan.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cachesim/cache_level.hpp"
+
+namespace stac::cat {
+
+using cachesim::WayMask;
+
+/// A contiguous allocation setting (o_a, l_a): ways [offset, offset+length).
+struct Allocation {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+
+  [[nodiscard]] std::uint32_t end() const { return offset + length; }
+  [[nodiscard]] bool empty() const { return length == 0; }
+  [[nodiscard]] bool contains(std::uint32_t way) const {
+    return way >= offset && way < end();
+  }
+  /// True when the two allocations overlap in at least one way.
+  [[nodiscard]] bool overlaps(const Allocation& other) const;
+  /// Ways in both this and other, as a (possibly empty) allocation.
+  [[nodiscard]] Allocation intersect(const Allocation& other) const;
+  /// True when `other` covers every way of this allocation.
+  [[nodiscard]] bool subset_of(const Allocation& other) const;
+  /// The corresponding CAT capacity bitmask.
+  [[nodiscard]] WayMask mask() const;
+
+  [[nodiscard]] bool operator==(const Allocation&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validate against a processor's way count: non-empty, in range.  CAT
+/// additionally requires a minimum of 1 way (some parts 2); we enforce >= 1.
+[[nodiscard]] bool allocation_valid(const Allocation& a,
+                                    std::uint32_t total_ways);
+
+/// Parse back an allocation from a contiguous mask; throws if the mask is
+/// not contiguous (hardware would reject the MSR write).
+[[nodiscard]] Allocation allocation_from_mask(WayMask mask);
+
+/// True when a mask is a single contiguous run of ones (hardware rule).
+[[nodiscard]] bool mask_contiguous(WayMask mask);
+
+}  // namespace stac::cat

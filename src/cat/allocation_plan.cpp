@@ -1,0 +1,219 @@
+#include "cat/allocation_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+
+AllocationPlan::AllocationPlan(std::uint32_t total_ways,
+                               std::vector<PolicyAllocations> policies)
+    : total_ways_(total_ways), policies_(std::move(policies)) {
+  STAC_REQUIRE(total_ways_ >= 1 && total_ways_ <= 32);
+  STAC_REQUIRE(!policies_.empty());
+}
+
+const PolicyAllocations& AllocationPlan::policy(std::size_t w) const {
+  STAC_REQUIRE(w < policies_.size());
+  return policies_[w];
+}
+
+std::vector<std::uint32_t> AllocationPlan::private_ways(std::size_t w) const {
+  STAC_REQUIRE(w < policies_.size());
+  const PolicyAllocations& p = policies_[w];
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < total_ways_; ++v) {
+    // Equation 1: v inside both of w's settings...
+    if (!p.dflt.contains(v) || !p.boosted.contains(v)) continue;
+    // ...and outside every other workload's settings.
+    bool exposed = false;
+    for (std::size_t o = 0; o < policies_.size() && !exposed; ++o) {
+      if (o == w) continue;
+      if (policies_[o].dflt.contains(v) || policies_[o].boosted.contains(v))
+        exposed = true;
+    }
+    if (!exposed) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> AllocationPlan::shared_ways(std::size_t w) const {
+  STAC_REQUIRE(w < policies_.size());
+  const PolicyAllocations& p = policies_[w];
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = p.boosted.offset; v < p.boosted.end(); ++v) {
+    for (std::size_t o = 0; o < policies_.size(); ++o) {
+      if (o == w) continue;
+      if (policies_[o].dflt.contains(v) || policies_[o].boosted.contains(v)) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> AllocationPlan::sharers_of(std::size_t w) const {
+  STAC_REQUIRE(w < policies_.size());
+  const Allocation& b = policies_[w].boosted;
+  std::vector<std::size_t> out;
+  for (std::size_t o = 0; o < policies_.size(); ++o) {
+    if (o == w) continue;
+    if (b.overlaps(policies_[o].dflt) || b.overlaps(policies_[o].boosted))
+      out.push_back(o);
+  }
+  return out;
+}
+
+bool AllocationPlan::private_regions_disjoint() const {
+  // Conjecture 1 (strengthened per the paper's proof): each private region
+  // is a contiguous interval, and the regions of distinct workloads neither
+  // overlap nor interleave.
+  std::vector<std::vector<std::uint32_t>> privates(policies_.size());
+  for (std::size_t w = 0; w < policies_.size(); ++w) {
+    privates[w] = private_ways(w);
+    // Contiguity of each private region.
+    for (std::size_t i = 1; i < privates[w].size(); ++i)
+      if (privates[w][i] != privates[w][i - 1] + 1) return false;
+  }
+  for (std::size_t a = 0; a < policies_.size(); ++a) {
+    for (std::size_t b = a + 1; b < policies_.size(); ++b) {
+      if (privates[a].empty() || privates[b].empty()) continue;
+      const std::uint32_t a_lo = privates[a].front(), a_hi = privates[a].back();
+      const std::uint32_t b_lo = privates[b].front(), b_hi = privates[b].back();
+      const bool a_before_b = a_hi < b_lo;
+      const bool b_before_a = b_hi < a_lo;
+      if (!a_before_b && !b_before_a) return false;  // overlap or interleave
+    }
+  }
+  return true;
+}
+
+bool AllocationPlan::sharing_degree_at_most_two() const {
+  for (std::size_t w = 0; w < policies_.size(); ++w)
+    if (sharers_of(w).size() > 2) return false;
+  return true;
+}
+
+bool AllocationPlan::all_have_private() const {
+  for (std::size_t w = 0; w < policies_.size(); ++w)
+    if (private_ways(w).empty()) return false;
+  return true;
+}
+
+bool AllocationPlan::valid() const {
+  for (const auto& p : policies_) {
+    if (!allocation_valid(p.dflt, total_ways_)) return false;
+    if (!allocation_valid(p.boosted, total_ways_)) return false;
+    if (!p.dflt.subset_of(p.boosted)) return false;
+  }
+  return true;
+}
+
+std::string AllocationPlan::to_string() const {
+  std::ostringstream os;
+  os << "plan{" << total_ways_ << " ways";
+  for (std::size_t w = 0; w < policies_.size(); ++w) {
+    os << "; w" << w << ": " << policies_[w].dflt.to_string() << "->"
+       << policies_[w].boosted.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+AllocationPlan make_pair_plan(std::uint32_t total_ways,
+                              std::uint32_t private_ways,
+                              std::uint32_t shared_ways) {
+  STAC_REQUIRE(private_ways >= 1);
+  STAC_REQUIRE_MSG(2 * private_ways + shared_ways <= total_ways,
+                   "pair plan does not fit in " << total_ways << " ways");
+  std::vector<PolicyAllocations> ps(2);
+  // w0: private [0, p), boosted reaches across the shared region.
+  ps[0].dflt = {0, private_ways};
+  ps[0].boosted = {0, private_ways + shared_ways};
+  // w1: private [p+s, p+s+p), boosted reaches back across the shared region.
+  ps[1].dflt = {private_ways + shared_ways, private_ways};
+  ps[1].boosted = {private_ways, shared_ways + private_ways};
+  return AllocationPlan(total_ways, std::move(ps));
+}
+
+AllocationPlan make_chain_plan(std::uint32_t total_ways, std::size_t workloads,
+                               std::uint32_t private_ways,
+                               std::uint32_t shared_ways) {
+  STAC_REQUIRE(workloads >= 1);
+  const std::uint32_t needed =
+      static_cast<std::uint32_t>(workloads) * private_ways +
+      static_cast<std::uint32_t>(workloads - 1) * shared_ways;
+  STAC_REQUIRE_MSG(needed <= total_ways,
+                   "chain plan needs " << needed << " of " << total_ways
+                                       << " ways");
+  std::vector<PolicyAllocations> ps(workloads);
+  std::uint32_t cursor = 0;
+  for (std::size_t w = 0; w < workloads; ++w) {
+    const bool has_left = w > 0;
+    const bool has_right = w + 1 < workloads;
+    ps[w].dflt = {cursor, private_ways};
+    const std::uint32_t b_off = has_left ? cursor - shared_ways : cursor;
+    const std::uint32_t b_len = private_ways +
+                                (has_left ? shared_ways : 0) +
+                                (has_right ? shared_ways : 0);
+    ps[w].boosted = {b_off, b_len};
+    cursor += private_ways + shared_ways;
+  }
+  return AllocationPlan(total_ways, std::move(ps));
+}
+
+namespace {
+/// All (dflt, boosted) contiguous pairs with dflt subset of boosted.
+std::vector<PolicyAllocations> enumerate_policies(std::uint32_t ways) {
+  std::vector<PolicyAllocations> out;
+  for (std::uint32_t bo = 0; bo < ways; ++bo) {
+    for (std::uint32_t bl = 1; bo + bl <= ways; ++bl) {
+      for (std::uint32_t off = bo; off < bo + bl; ++off) {
+        for (std::uint32_t len = 1; off + len <= bo + bl; ++len) {
+          out.push_back(PolicyAllocations{{off, len}, {bo, bl}});
+        }
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+ConjectureSearchResult search_conjecture_counterexamples(
+    std::uint32_t total_ways, std::size_t workloads) {
+  STAC_REQUIRE_MSG(total_ways <= 8 && workloads <= 3,
+                   "exhaustive search is exponential; keep it small");
+  const auto options = enumerate_policies(total_ways);
+  ConjectureSearchResult result;
+
+  std::vector<std::size_t> pick(workloads, 0);
+  std::vector<PolicyAllocations> current(workloads);
+  for (;;) {
+    for (std::size_t w = 0; w < workloads; ++w) current[w] = options[pick[w]];
+    AllocationPlan plan(total_ways, current);
+    ++result.plans_examined;
+    // The conjecture premise: every policy retains private cache.
+    if (plan.all_have_private()) {
+      if (!result.conjecture1_counterexample && !plan.private_regions_disjoint())
+        result.conjecture1_counterexample = plan;
+      if (!result.conjecture2_counterexample &&
+          !plan.sharing_degree_at_most_two())
+        result.conjecture2_counterexample = plan;
+      if (result.conjecture1_counterexample &&
+          result.conjecture2_counterexample)
+        return result;
+    }
+    // Odometer increment.
+    std::size_t w = 0;
+    while (w < workloads && ++pick[w] == options.size()) {
+      pick[w] = 0;
+      ++w;
+    }
+    if (w == workloads) break;
+  }
+  return result;
+}
+
+}  // namespace stac::cat

@@ -1,0 +1,107 @@
+// Allocation plans for collocated workloads, and the paper's §2 structural
+// results about them.
+//
+// A short-term allocation policy for one workload is a pair of contiguous
+// settings (a, a') plus a timeout t: the workload fills into `a` by default
+// and into `a'` (a superset including shared ways) while boosted.  The §2
+// conjectures — private regions of distinct policies are disjoint, and a
+// policy shares ways with at most two other policies — are implemented here
+// as checkable predicates plus an exhaustive counterexample search used by
+// the property tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cat/allocation.hpp"
+
+namespace stac::cat {
+
+/// One workload's pair of allocation settings (a, a').  The timeout lives in
+/// Stap (stap.hpp); the static structure is analyzed without it, as in §2.
+struct PolicyAllocations {
+  Allocation dflt;     ///< a  — default setting
+  Allocation boosted;  ///< a' — short-term setting (must cover dflt)
+
+  [[nodiscard]] bool operator==(const PolicyAllocations&) const = default;
+};
+
+/// An allocation plan: one PolicyAllocations per collocated workload.
+class AllocationPlan {
+ public:
+  AllocationPlan(std::uint32_t total_ways,
+                 std::vector<PolicyAllocations> policies);
+
+  [[nodiscard]] std::uint32_t total_ways() const { return total_ways_; }
+  [[nodiscard]] std::size_t workload_count() const { return policies_.size(); }
+  [[nodiscard]] const PolicyAllocations& policy(std::size_t w) const;
+  [[nodiscard]] const std::vector<PolicyAllocations>& policies() const {
+    return policies_;
+  }
+
+  /// Equation 1: the private ways V(a,a') of workload w — ways inside both
+  /// of w's settings and outside every *other* workload's settings.
+  [[nodiscard]] std::vector<std::uint32_t> private_ways(std::size_t w) const;
+
+  /// Ways of w's boosted setting that at least one other workload can also
+  /// fill (the short-term shared region).
+  [[nodiscard]] std::vector<std::uint32_t> shared_ways(std::size_t w) const;
+
+  /// Indices of workloads whose settings overlap w's boosted setting.
+  [[nodiscard]] std::vector<std::size_t> sharers_of(std::size_t w) const;
+
+  /// Conjecture 1 (§2): private regions of distinct workloads are disjoint.
+  [[nodiscard]] bool private_regions_disjoint() const;
+
+  /// Conjecture 2 (§2): if every workload has non-empty private ways, each
+  /// workload shares cache with at most two other workloads.
+  [[nodiscard]] bool sharing_degree_at_most_two() const;
+
+  /// True when every workload has at least one private way (the premise of
+  /// conjecture 2 and the paper's baseline-performance requirement).
+  [[nodiscard]] bool all_have_private() const;
+
+  /// Structural validity: every setting contiguous-in-range and boosted
+  /// covering default.
+  [[nodiscard]] bool valid() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint32_t total_ways_;
+  std::vector<PolicyAllocations> policies_;
+};
+
+/// Build the paper's pairwise layout (§5: "Jacobi could reserve private
+/// cache lines #1 & #2 and BFS could reserve cache lines #5 & #6; during
+/// short-term allocation ... either or both services could use lines 3 & 4").
+/// Workload 0 gets [0, p), shared region [p, p+s), workload 1 [p+s, p+s+p).
+[[nodiscard]] AllocationPlan make_pair_plan(std::uint32_t total_ways,
+                                            std::uint32_t private_ways,
+                                            std::uint32_t shared_ways);
+
+/// Chain layout for n workloads: w0 |s01| w1 |s12| w2 ... — every shared
+/// region has exactly two sharers, the maximum conjecture 2 permits.
+[[nodiscard]] AllocationPlan make_chain_plan(std::uint32_t total_ways,
+                                             std::size_t workloads,
+                                             std::uint32_t private_ways,
+                                             std::uint32_t shared_ways);
+
+/// Exhaustive search over all contiguous (a, a') assignments for `workloads`
+/// policies on a small way count, looking for a plan where every workload
+/// has private ways but some pair's private regions overlap (a conjecture-1
+/// counterexample) or some workload has more than two sharers (conjecture
+/// 2).  Returns the offending plan, or nullopt when — as the paper proves —
+/// no counterexample exists.  Exponential; intended for ways <= 8,
+/// workloads <= 3 in property tests.
+struct ConjectureSearchResult {
+  std::optional<AllocationPlan> conjecture1_counterexample;
+  std::optional<AllocationPlan> conjecture2_counterexample;
+  std::size_t plans_examined = 0;
+};
+[[nodiscard]] ConjectureSearchResult search_conjecture_counterexamples(
+    std::uint32_t total_ways, std::size_t workloads);
+
+}  // namespace stac::cat

@@ -1,0 +1,62 @@
+#include "cat/cat_controller.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+
+CatController::CatController(CacheHierarchy& hierarchy,
+                             const AllocationPlan& plan)
+    : hierarchy_(hierarchy), plan_(plan) {
+  STAC_REQUIRE_MSG(plan.valid(), "invalid allocation plan: " << plan.to_string());
+  STAC_REQUIRE_MSG(
+      plan.total_ways() == hierarchy.config().llc.ways,
+      "plan ways " << plan.total_ways() << " != LLC ways "
+                   << hierarchy.config().llc.ways);
+  STAC_REQUIRE(plan.workload_count() <= hierarchy.max_classes());
+  staps_ = plan.policies();
+  boost_refs_.assign(staps_.size(), 0);
+  for (std::size_t w = 0; w < staps_.size(); ++w) apply(w);
+  switches_ = 0;  // initial programming is configuration, not switching
+}
+
+const Allocation& CatController::current_allocation(std::size_t w) const {
+  STAC_REQUIRE(w < staps_.size());
+  return boost_refs_[w] > 0 ? staps_[w].boosted : staps_[w].dflt;
+}
+
+bool CatController::is_boosted(std::size_t w) const {
+  STAC_REQUIRE(w < staps_.size());
+  return boost_refs_[w] > 0;
+}
+
+void CatController::boost(std::size_t w) {
+  STAC_REQUIRE(w < staps_.size());
+  if (boost_refs_[w]++ == 0) apply(w);
+}
+
+void CatController::unboost(std::size_t w) {
+  STAC_REQUIRE(w < staps_.size());
+  STAC_REQUIRE_MSG(boost_refs_[w] > 0, "unboost without boost on w" << w);
+  if (--boost_refs_[w] == 0) apply(w);
+}
+
+void CatController::reset_boost(std::size_t w) {
+  STAC_REQUIRE(w < staps_.size());
+  if (boost_refs_[w] != 0) {
+    boost_refs_[w] = 0;
+    apply(w);
+  }
+}
+
+std::size_t CatController::occupancy(std::size_t w) const {
+  STAC_REQUIRE(w < staps_.size());
+  return hierarchy_.llc_occupancy(static_cast<ClassId>(w));
+}
+
+void CatController::apply(std::size_t w) {
+  hierarchy_.set_llc_fill_mask(static_cast<ClassId>(w),
+                               current_allocation(w).mask());
+  ++switches_;
+}
+
+}  // namespace stac::cat

@@ -1,0 +1,63 @@
+// pqos-like software interface to the simulated CAT hardware.
+//
+// Mirrors the shape of Intel's pqos library / Linux resctrl: define classes
+// of service (COS) as contiguous capacity masks, associate workloads with a
+// COS, and re-associate at runtime.  The paper's proxy services use exactly
+// this interface: each workload gets a default COS and a short-term COS and
+// the proxy flips between them when the STAP timeout fires (§4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache_hierarchy.hpp"
+#include "cat/stap.hpp"
+
+namespace stac::cat {
+
+using cachesim::CacheHierarchy;
+using cachesim::ClassId;
+
+class CatController {
+ public:
+  /// Binds to a hierarchy and installs one (default COS, short-term COS)
+  /// pair per workload from the plan.  Workload w maps to hardware class w.
+  CatController(CacheHierarchy& hierarchy, const AllocationPlan& plan);
+
+  [[nodiscard]] std::size_t workload_count() const { return staps_.size(); }
+
+  /// Currently-applied allocation for the workload.
+  [[nodiscard]] const Allocation& current_allocation(std::size_t w) const;
+  [[nodiscard]] bool is_boosted(std::size_t w) const;
+
+  /// Switch workload w to its short-term (boosted) COS.  Idempotent.
+  /// Note the paper's §4 simplification: "if multiple queries were
+  /// outstanding for the same online service, all had access to short-term
+  /// cache" — boost is per-workload, not per-query, with a refcount so the
+  /// class stays boosted until every outstanding boosted query completes.
+  void boost(std::size_t w);
+  /// Release one boost reference; reverts to the default COS at zero.
+  void unboost(std::size_t w);
+  /// Force-revert regardless of refcount (experiment teardown).
+  void reset_boost(std::size_t w);
+
+  /// Total COS switches performed (the runtime overhead the paper keeps low
+  /// by batching outstanding queries onto one switch).
+  [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
+
+  /// LLC occupancy of the workload in lines (CMT-style monitoring).
+  [[nodiscard]] std::size_t occupancy(std::size_t w) const;
+
+  [[nodiscard]] const AllocationPlan& plan() const { return plan_; }
+
+ private:
+  void apply(std::size_t w);
+
+  CacheHierarchy& hierarchy_;
+  AllocationPlan plan_;
+  std::vector<PolicyAllocations> staps_;
+  std::vector<std::uint32_t> boost_refs_;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace stac::cat

@@ -1,0 +1,116 @@
+#include "cat/schemata.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+
+namespace {
+
+WayMask parse_hex_mask(std::string_view token) {
+  STAC_REQUIRE_MSG(!token.empty(), "empty capacity bitmask");
+  WayMask mask = 0;
+  for (char ch : token) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    WayMask digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<WayMask>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<WayMask>(c - 'a' + 10);
+    } else {
+      STAC_REQUIRE_MSG(false, "invalid hex digit '" << ch << "' in schemata");
+    }
+    STAC_REQUIRE_MSG((mask & 0xF0000000u) == 0, "capacity bitmask overflows 32 bits");
+    mask = (mask << 4) | digit;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Schemata parse_schemata(std::string_view line) {
+  const std::size_t colon = line.find(':');
+  STAC_REQUIRE_MSG(colon != std::string_view::npos,
+                   "schemata line missing ':' — got \"" << line << "\"");
+  Schemata out;
+  out.resource = std::string(line.substr(0, colon));
+  STAC_REQUIRE_MSG(!out.resource.empty(), "schemata line missing resource");
+
+  std::string_view rest = line.substr(colon + 1);
+  STAC_REQUIRE_MSG(!rest.empty(), "schemata line has no domains");
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view pair =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+
+    const std::size_t eq = pair.find('=');
+    STAC_REQUIRE_MSG(eq != std::string_view::npos,
+                     "schemata domain missing '=' in \"" << pair << "\"");
+    SchemataEntry entry;
+    {
+      const std::string dom(pair.substr(0, eq));
+      STAC_REQUIRE_MSG(!dom.empty() &&
+                           dom.find_first_not_of("0123456789") ==
+                               std::string::npos,
+                       "bad domain id \"" << dom << "\"");
+      entry.domain = static_cast<std::uint32_t>(std::stoul(dom));
+    }
+    entry.mask = parse_hex_mask(pair.substr(eq + 1));
+    STAC_REQUIRE_MSG(mask_contiguous(entry.mask),
+                     "non-contiguous capacity bitmask 0x" << std::hex
+                                                          << entry.mask);
+    out.entries.push_back(entry);
+  }
+  return out;
+}
+
+std::string format_schemata(const Schemata& schemata) {
+  STAC_REQUIRE(!schemata.entries.empty());
+  std::ostringstream os;
+  os << schemata.resource << ':';
+  for (std::size_t i = 0; i < schemata.entries.size(); ++i) {
+    if (i) os << ';';
+    os << schemata.entries[i].domain << '=' << std::hex
+       << schemata.entries[i].mask;
+  }
+  return os.str();
+}
+
+std::string allocation_to_schemata(const Allocation& allocation,
+                                   std::uint32_t domain,
+                                   std::string_view resource) {
+  STAC_REQUIRE_MSG(!allocation.empty(),
+                   "cannot express an empty allocation as a CBM");
+  Schemata s;
+  s.resource = std::string(resource);
+  s.entries.push_back({domain, allocation.mask()});
+  return format_schemata(s);
+}
+
+Allocation schemata_to_allocation(const Schemata& schemata,
+                                  std::uint32_t domain) {
+  for (const auto& entry : schemata.entries) {
+    if (entry.domain == domain) return allocation_from_mask(entry.mask);
+  }
+  STAC_REQUIRE_MSG(false, "domain " << domain << " not present in schemata");
+  return {};
+}
+
+std::vector<std::string> plan_to_schemata(const AllocationPlan& plan,
+                                          bool boosted,
+                                          std::uint32_t domain) {
+  std::vector<std::string> out;
+  out.reserve(plan.workload_count());
+  for (std::size_t w = 0; w < plan.workload_count(); ++w) {
+    const Allocation& a =
+        boosted ? plan.policy(w).boosted : plan.policy(w).dflt;
+    out.push_back(allocation_to_schemata(a, domain));
+  }
+  return out;
+}
+
+}  // namespace stac::cat

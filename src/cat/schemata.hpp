@@ -1,0 +1,60 @@
+// Linux resctrl "schemata" interoperability.
+//
+// On real hardware, CAT classes of service are programmed by writing lines
+// like "L3:0=7ff0;1=000f" into /sys/fs/resctrl/<group>/schemata — one
+// domain=capacity-bitmask pair per cache domain.  This module converts
+// between that textual format and the library's Allocation / AllocationPlan
+// types, so a policy found with the simulator can be applied verbatim to a
+// resctrl system (and existing resctrl configurations can be imported for
+// analysis).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cat/allocation_plan.hpp"
+
+namespace stac::cat {
+
+/// One cache domain's capacity bitmask within a schemata line.
+struct SchemataEntry {
+  std::uint32_t domain = 0;
+  WayMask mask = 0;
+
+  [[nodiscard]] bool operator==(const SchemataEntry&) const = default;
+};
+
+/// A parsed schemata line, e.g. "L3:0=7ff0;1=000f".
+struct Schemata {
+  std::string resource = "L3";
+  std::vector<SchemataEntry> entries;
+
+  [[nodiscard]] bool operator==(const Schemata&) const = default;
+};
+
+/// Parse one schemata line.  Enforces the hardware rules: hex masks,
+/// non-empty, contiguous bits (CAT rejects non-contiguous CBMs).
+[[nodiscard]] Schemata parse_schemata(std::string_view line);
+
+/// Render a schemata line ("L3:0=7ff0;1=000f").
+[[nodiscard]] std::string format_schemata(const Schemata& schemata);
+
+/// Schemata line programming `allocation` on a single cache domain.
+[[nodiscard]] std::string allocation_to_schemata(const Allocation& allocation,
+                                                 std::uint32_t domain = 0,
+                                                 std::string_view resource =
+                                                     "L3");
+
+/// Extract the allocation programmed for `domain`; throws if the domain is
+/// absent or its mask is non-contiguous.
+[[nodiscard]] Allocation schemata_to_allocation(const Schemata& schemata,
+                                                std::uint32_t domain = 0);
+
+/// Render a whole plan as resctrl group schemata: element w is the line
+/// for workload w's group, using the default or the boosted setting.
+[[nodiscard]] std::vector<std::string> plan_to_schemata(
+    const AllocationPlan& plan, bool boosted, std::uint32_t domain = 0);
+
+}  // namespace stac::cat

@@ -1,0 +1,63 @@
+// Short-term allocation policy (STAP): the paper's (a, a', t) triple.
+//
+// The timeout is expressed relative to the workload's expected service time
+// (Eq. 4: responsetime / exp.servicetime > T triggers the switch), matching
+// Table 2's studied range of 0% (always boosted) to 600% (never boosted).
+#pragma once
+
+#include "cat/allocation_plan.hpp"
+#include "common/check.hpp"
+
+namespace stac::cat {
+
+/// Relative timeout at or above which the policy never boosts (Table 2's
+/// "600% — never use short-term allocation").
+inline constexpr double kNeverBoostTimeout = 6.0;
+
+struct Stap {
+  PolicyAllocations allocations;  ///< (a, a')
+  /// Timeout T as a fraction of expected service time; 0 = always boost.
+  double timeout_rel = kNeverBoostTimeout;
+
+  /// Eq. 4: should a query whose current sojourn time (queueing + elapsed
+  /// service) is `sojourn` be boosted, given the workload's expected service
+  /// time?
+  [[nodiscard]] bool should_boost(double sojourn,
+                                  double expected_service) const {
+    if (timeout_rel >= kNeverBoostTimeout) return false;
+    return sojourn > timeout_rel * expected_service;
+  }
+
+  /// Never-boost policy over the given allocations.
+  [[nodiscard]] static Stap never(PolicyAllocations a) {
+    return Stap{a, kNeverBoostTimeout};
+  }
+  /// Always-boost policy (timeout 0%).
+  [[nodiscard]] static Stap always(PolicyAllocations a) {
+    return Stap{a, 0.0};
+  }
+
+  /// Gross increase in allocation while boosted: l_a' / l_a (the EA
+  /// denominator in Eq. 3).
+  [[nodiscard]] double allocation_ratio() const {
+    return static_cast<double>(allocations.boosted.length) /
+           static_cast<double>(allocations.dflt.length);
+  }
+};
+
+/// A STAP per collocated workload — the vector of timeouts the paper's
+/// policy explorer searches over.
+using StapVector = std::vector<Stap>;
+
+/// Build a StapVector from a plan plus per-workload timeouts.
+[[nodiscard]] inline StapVector make_stap_vector(
+    const AllocationPlan& plan, const std::vector<double>& timeouts) {
+  STAC_REQUIRE(timeouts.size() == plan.workload_count());
+  StapVector out;
+  out.reserve(timeouts.size());
+  for (std::size_t w = 0; w < timeouts.size(); ++w)
+    out.push_back(Stap{plan.policy(w), timeouts[w]});
+  return out;
+}
+
+}  // namespace stac::cat

@@ -1,0 +1,56 @@
+// Precondition / invariant checking in the spirit of the GSL's Expects /
+// Ensures.  Violations throw (rather than abort) so tests can assert on them
+// and long experiment harnesses fail loudly with context instead of dying.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stac {
+
+/// Thrown when a STAC_REQUIRE / STAC_ENSURE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace stac
+
+/// Precondition check: throws stac::ContractViolation when `cond` is false.
+#define STAC_REQUIRE(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::stac::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                    __LINE__, "");                         \
+  } while (0)
+
+/// Precondition check with an explanatory message (streamed into a string).
+#define STAC_REQUIRE_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream stac_os_;                                         \
+      stac_os_ << msg;                                                     \
+      ::stac::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                    __LINE__, stac_os_.str());             \
+    }                                                                      \
+  } while (0)
+
+/// Postcondition / invariant check.
+#define STAC_ENSURE(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::stac::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                    __LINE__, "");                         \
+  } while (0)

@@ -1,0 +1,133 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  STAC_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  STAC_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  STAC_REQUIRE(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  STAC_REQUIRE(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  STAC_REQUIRE(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  STAC_REQUIRE_MSG(values.size() == cols_,
+                   "append_row width " << values.size() << " != " << cols_);
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  STAC_REQUIRE(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = data_[i * cols_ + k];
+      if (aik == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix out(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* x = data_.data() + r * cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      if (x[i] == 0.0) continue;
+      double* orow = out.data_.data() + i * cols_;
+      for (std::size_t j = i; j < cols_; ++j) orow[j] += x[i] * x[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      out.data_[i * cols_ + j] = out.data_[j * cols_ + i];
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.data_[c * rows_ + r] = data_[r * cols_ + c];
+  return out;
+}
+
+std::vector<double> Matrix::cholesky_solve(std::span<const double> b,
+                                           double ridge) const {
+  STAC_REQUIRE(rows_ == cols_);
+  STAC_REQUIRE(b.size() == rows_);
+  const std::size_t n = rows_;
+  // Lower-triangular factor L with A = L L^T.
+  std::vector<double> L(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = data_[i * n + j] + (i == j ? ridge : 0.0);
+      for (std::size_t k = 0; k < j; ++k) sum -= L[i * n + k] * L[j * n + k];
+      if (i == j) {
+        STAC_REQUIRE_MSG(sum > 0.0, "matrix not positive definite at row " << i);
+        L[i * n + i] = std::sqrt(sum);
+      } else {
+        L[i * n + j] = sum / L[j * n + j];
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= L[i * n + k] * y[k];
+    y[i] = sum / L[i * n + i];
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= L[k * n + ii] * x[k];
+    x[ii] = sum / L[ii * n + ii];
+  }
+  return x;
+}
+
+Matrix Matrix::submatrix(std::size_t r0, std::size_t c0, std::size_t nr,
+                         std::size_t nc) const {
+  STAC_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c)
+      out.data_[r * nc + c] = data_[(r0 + r) * cols_ + (c0 + c)];
+  return out;
+}
+
+}  // namespace stac

@@ -1,0 +1,59 @@
+// Dense row-major matrix used by the ML stack (feature tables, conv
+// activations) and by the profiler (counter x time profile "images").
+// Deliberately minimal: contiguous storage, spans for row access, and the
+// few linear-algebra operations the library actually needs (Cholesky solve
+// for ridge regression lives here too).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stac {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) { return at(r, c); }
+  double operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+  [[nodiscard]] std::vector<double> col(std::size_t c) const;
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+
+  /// Append a row (must match cols(), or set cols on first append).
+  void append_row(std::span<const double> values);
+
+  /// Matrix product this * other.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  /// this^T * this (Gram matrix), the hot path of ridge regression.
+  [[nodiscard]] Matrix gram() const;
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Solve (A + lambda I) x = b for symmetric positive definite A == *this
+  /// via Cholesky; returns x.  Throws ContractViolation if not SPD.
+  [[nodiscard]] std::vector<double> cholesky_solve(std::span<const double> b,
+                                                   double ridge = 0.0) const;
+
+  /// Extract a sub-matrix (r0..r0+nr, c0..c0+nc).
+  [[nodiscard]] Matrix submatrix(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace stac

@@ -1,0 +1,93 @@
+// Deterministic, fast pseudo-random number generation for simulation.
+//
+// The whole reproduction must be seed-stable: every experiment harness takes
+// a seed and produces identical output for identical seeds.  We use
+// xoshiro256++ (Blackman & Vigna) seeded through SplitMix64, which is both
+// faster and statistically stronger than std::mt19937 and — unlike
+// std::*_distribution — gives identical streams across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stac {
+
+/// xoshiro256++ engine with SplitMix64 seeding plus the sampling
+/// distributions used across the simulator and the ML stack.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 bits.
+  std::uint64_t next_u64();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).  Unbiased (Lemire's method).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// true with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+  /// Standard normal via Box–Muller (cached spare).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Log-normal parameterized by the *target* mean and coefficient of
+  /// variation of the resulting distribution (convenient for service times).
+  double lognormal_mean_cv(double mean, double cv);
+  /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tail service times).
+  double bounded_pareto(double alpha, double lo, double hi);
+  /// Poisson with the given mean (inversion for small, PTRS otherwise).
+  std::uint64_t poisson(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Split off an independent child stream (jump-free: hashes the child id
+  /// together with this stream's next output).
+  Rng split(std::uint64_t stream_id);
+
+ private:
+  std::uint64_t s_[4]{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Zipf(α) sampler over {0, .., n-1} using precomputed CDF; models skewed
+/// key popularity (e.g. the YCSB/Redis workload).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+  std::size_t operator()(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace stac

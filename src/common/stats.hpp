@@ -1,0 +1,112 @@
+// Statistics utilities shared by the testbed, the queueing model, the ML
+// stack and every experiment harness: streaming moments, exact percentiles
+// over retained samples, histograms, and error metrics (absolute percent
+// error is the paper's headline accuracy measure).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stac {
+
+/// Single-pass mean/variance/min/max (Welford).  O(1) memory; use
+/// SampleStats when percentiles are needed.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean == 0.
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains all samples; exact quantiles via linear interpolation between
+/// order statistics (type-7, same convention as numpy.percentile).
+class SampleStats {
+ public:
+  SampleStats() = default;
+  explicit SampleStats(std::vector<double> samples);
+
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// q in [0, 1]; e.g. percentile(0.95) is the 95th percentile.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp into the
+/// edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t b) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t b) const;
+  [[nodiscard]] double bin_high(std::size_t b) const;
+  /// Fraction of mass at or below the upper edge of bin b.
+  [[nodiscard]] double cumulative_fraction(std::size_t b) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// |predicted - actual| / |actual|, the paper's accuracy metric (Fig. 6).
+[[nodiscard]] double absolute_percent_error(double predicted, double actual);
+
+/// Elementwise APE over two equal-length spans.
+[[nodiscard]] std::vector<double> absolute_percent_errors(
+    std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean absolute error.
+[[nodiscard]] double mean_absolute_error(std::span<const double> predicted,
+                                         std::span<const double> actual);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(std::span<const double> predicted,
+                          std::span<const double> actual);
+
+/// Coefficient of determination.
+[[nodiscard]] double r_squared(std::span<const double> predicted,
+                               std::span<const double> actual);
+
+/// Pearson correlation.
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace stac

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace stac {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  STAC_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  STAC_REQUIRE_MSG(cells.size() == headers_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(num(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << " | ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  STAC_REQUIRE_MSG(out.good(), "cannot open " << path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      const bool quote = row[c].find(',') != std::string::npos;
+      if (quote) out << '"';
+      out << row[c];
+      if (quote) out << '"';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace stac

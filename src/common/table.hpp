@@ -1,0 +1,40 @@
+// Console table / CSV output used by every bench harness so the regenerated
+// tables and figure series all share one format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stac {
+
+/// Accumulates rows of strings and renders either an aligned console table
+/// (for terminal reading) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void write_csv(const std::string& path) const;
+
+  /// Format helper: fixed-point with `precision` digits.
+  static std::string num(double v, int precision = 3);
+  /// Format helper: percentage with one decimal ("12.3%").
+  static std::string pct(double fraction);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a `== title ==` banner (bench harness section separator).
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace stac

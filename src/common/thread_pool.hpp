@@ -1,0 +1,60 @@
+// Shared-memory parallelism for profiling runs and forest training.
+//
+// Explicit parallelism, explicitly synchronized (the HPC house style): a
+// fixed pool of workers, a mutex/condvar task queue, and a blocking
+// parallel_for that chunks an index range.  No detached threads, no futures
+// leaked past scope; the pool joins in its destructor (RAII).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace stac {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.  Exceptions thrown by the task are
+  /// captured and re-thrown from wait_idle().
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.  Re-throws the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Chunks the range so each worker gets contiguous indices (cache-friendly
+  /// and deterministic apart from interleaving).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace stac

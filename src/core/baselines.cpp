@@ -1,0 +1,110 @@
+#include "core/baselines.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+using profiler::Profiler;
+using profiler::RuntimeCondition;
+using queueing::Testbed;
+using queueing::TestbedConfig;
+using queueing::TestbedResult;
+
+TestbedResult evaluate_policy(const Profiler& profiler,
+                              const RuntimeCondition& condition,
+                              double timeout_primary,
+                              double timeout_collocated,
+                              std::size_t completions) {
+  std::vector<std::unique_ptr<wl::WorkloadModel>> owned;
+  TestbedConfig cfg = profiler.make_testbed_config(
+      condition, timeout_primary, timeout_collocated, owned);
+  cfg.target_completions = completions;
+  Testbed bed(cfg);
+  return bed.run();
+}
+
+double combined_norm_p95(const Profiler& profiler,
+                         const RuntimeCondition& condition,
+                         const TestbedResult& result) {
+  const auto scales =
+      profiler.pair_scales(condition.primary, condition.collocated);
+  const double p = result.p95_rt(0) / scales.scaled_base_primary;
+  const double c = result.p95_rt(1) / scales.scaled_base_collocated;
+  return 0.5 * (p + c);
+}
+
+PolicySelection select_no_sharing() {
+  return {"no-sharing", cat::kNeverBoostTimeout, cat::kNeverBoostTimeout};
+}
+
+PolicySelection select_static(const Profiler& profiler,
+                              const RuntimeCondition& condition,
+                              std::size_t completions) {
+  const double kAlways = 0.0;
+  const double kNever = cat::kNeverBoostTimeout;
+  PolicySelection best{"static", kNever, kNever};
+  double best_score = std::numeric_limits<double>::infinity();
+  for (double tp : {kAlways, kNever}) {
+    for (double tc : {kAlways, kNever}) {
+      const TestbedResult r =
+          evaluate_policy(profiler, condition, tp, tc, completions);
+      const double score = combined_norm_p95(profiler, condition, r);
+      if (score < best_score) {
+        best_score = score;
+        best.timeout_primary = tp;
+        best.timeout_collocated = tc;
+      }
+    }
+  }
+  return best;
+}
+
+PolicySelection select_dcat(const Profiler& profiler,
+                            const RuntimeCondition& condition) {
+  const auto& cfg = profiler.config();
+  const double boosted =
+      static_cast<double>(cfg.private_ways + cfg.shared_ways);
+  const double sp = profiler.model(condition.primary).speedup(boosted);
+  const double sc = profiler.model(condition.collocated).speedup(boosted);
+  PolicySelection sel;
+  sel.name = "dCat";
+  if (sp >= sc) {
+    sel.timeout_primary = 0.0;  // winner holds the shared ways
+    sel.timeout_collocated = cat::kNeverBoostTimeout;
+  } else {
+    sel.timeout_primary = cat::kNeverBoostTimeout;
+    sel.timeout_collocated = 0.0;
+  }
+  return sel;
+}
+
+PolicySelection select_dynasprint(const Profiler& profiler,
+                                  const RuntimeCondition& condition,
+                                  const std::vector<double>& grid,
+                                  double tuning_utilization,
+                                  std::size_t completions) {
+  STAC_REQUIRE(!grid.empty());
+  RuntimeCondition low = condition;
+  low.util_primary = tuning_utilization;
+  low.util_collocated = tuning_utilization;
+
+  PolicySelection best{"dynaSprint", grid.front(), grid.front()};
+  double best_score = std::numeric_limits<double>::infinity();
+  for (double tp : grid) {
+    for (double tc : grid) {
+      const TestbedResult r =
+          evaluate_policy(profiler, low, tp, tc, completions);
+      const double score = combined_norm_p95(profiler, low, r);
+      if (score < best_score) {
+        best_score = score;
+        best.timeout_primary = tp;
+        best.timeout_collocated = tc;
+      }
+    }
+  }
+  return best;  // reused verbatim at the condition's real utilization
+}
+
+}  // namespace stac::core

@@ -1,0 +1,65 @@
+// The competing cache-allocation approaches of §5.2 / Fig. 8:
+//   1. No cache sharing      — private ways only (the normalization base)
+//   2. Static allocation     — share fully or not at all, whichever is best
+//   3. dCat                  — all shared ways to the workload with the
+//                              greatest profiled solo speedup [Xu et al.]
+//   4. dynaSprint            — timeout tuned for peak performance at low
+//                              arrival rate, reused (queueing-delay-blind)
+//                              at the actual rate [Huang et al.]
+// The model-driven policy and its simple-ML ablation live in
+// policy_explorer.hpp.
+#pragma once
+
+#include <string>
+
+#include "profiler/profiler.hpp"
+#include "queueing/testbed.hpp"
+
+namespace stac::core {
+
+struct PolicySelection {
+  std::string name;
+  double timeout_primary = cat::kNeverBoostTimeout;
+  double timeout_collocated = cat::kNeverBoostTimeout;
+};
+
+/// Ground-truth evaluation of a timeout pair under a condition's pairing
+/// and utilizations (the Fig. 8 measurement step).
+[[nodiscard]] queueing::TestbedResult evaluate_policy(
+    const profiler::Profiler& profiler,
+    const profiler::RuntimeCondition& condition, double timeout_primary,
+    double timeout_collocated, std::size_t completions = 2500);
+
+/// Combined score used by baseline selectors: mean of both services'
+/// normalized p95 response times (lower is better).
+[[nodiscard]] double combined_norm_p95(
+    const profiler::Profiler& profiler,
+    const profiler::RuntimeCondition& condition,
+    const queueing::TestbedResult& result);
+
+[[nodiscard]] PolicySelection select_no_sharing();
+
+/// Static allocation: tries the four always/never combinations on the
+/// testbed and keeps the best (operators configure statically after
+/// measuring).
+[[nodiscard]] PolicySelection select_static(
+    const profiler::Profiler& profiler,
+    const profiler::RuntimeCondition& condition,
+    std::size_t completions = 1500);
+
+/// dCat: shared ways go wholly to the workload with the greater profiled
+/// solo speedup; the other keeps private ways only.
+[[nodiscard]] PolicySelection select_dcat(
+    const profiler::Profiler& profiler,
+    const profiler::RuntimeCondition& condition);
+
+/// dynaSprint: grid-search the timeout pair on the testbed at
+/// `tuning_utilization`, then reuse the winner at the actual utilization —
+/// precisely the queueing-delay blindness the paper exploits.
+[[nodiscard]] PolicySelection select_dynasprint(
+    const profiler::Profiler& profiler,
+    const profiler::RuntimeCondition& condition,
+    const std::vector<double>& grid, double tuning_utilization = 0.3,
+    std::size_t completions = 1200);
+
+}  // namespace stac::core

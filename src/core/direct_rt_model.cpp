@@ -1,0 +1,97 @@
+#include "core/direct_rt_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+using profiler::Profile;
+using profiler::Profiler;
+
+DirectRtModel::DirectRtModel(DirectRtConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<double> DirectRtModel::tabular_row(const Profile& profile) const {
+  // Statics (+ optional counter summaries).  The measured dynamic features
+  // (queueing delay!) are essentially the prediction target and belong to
+  // the feedback loop of the full approach, not to a condition->RT mapper.
+  std::vector<double> row = profile.statics;
+  if (!config_.image_summaries) return row;
+  for (std::size_t r = 0; r < profile.image.rows(); ++r) {
+    const auto vals = profile.image.row(r);
+    double mean = 0.0;
+    for (double v : vals) mean += v;
+    mean /= static_cast<double>(vals.size());
+    double var = 0.0;
+    for (double v : vals) var += (v - mean) * (v - mean);
+    row.push_back(mean);
+    row.push_back(std::sqrt(var / static_cast<double>(vals.size())));
+  }
+  return row;
+}
+
+void DirectRtModel::fit(const std::vector<Profile>& profiles) {
+  STAC_REQUIRE(!profiles.empty());
+  std::vector<double> targets;
+  targets.reserve(profiles.size());
+  for (const auto& p : profiles) targets.push_back(p.norm_mean_rt());
+
+  if (config_.backend == DirectBackend::kCnn) {
+    std::vector<ml::ProfileSample> samples;
+    samples.reserve(profiles.size());
+    for (const auto& p : profiles)
+      samples.push_back(Profiler::to_sample(p));
+    ml::ConvNetConfig cfg = config_.cnn;
+    if (config_.tune_trials > 0 && samples.size() >= 10) {
+      // Hold out 25% for tuning (TUNE-style random search).
+      const std::size_t n_val = samples.size() / 4;
+      std::vector<ml::ProfileSample> tx(samples.begin(),
+                                        samples.end() - n_val);
+      std::vector<double> ty(targets.begin(), targets.end() - n_val);
+      std::vector<ml::ProfileSample> vx(samples.end() - n_val,
+                                        samples.end());
+      std::vector<double> vy(targets.end() - n_val, targets.end());
+      const ml::TuneResult tuned = ml::tune_convnet(
+          tx, ty, vx, vy, config_.tune_trials, config_.seed);
+      cfg = tuned.best;
+    }
+    cnn_ = std::make_unique<ml::ConvNet>(cfg);
+    cnn_->fit(samples, targets);
+  } else {
+    Matrix x(0, tabular_row(profiles.front()).size());
+    for (const auto& p : profiles) x.append_row(tabular_row(p));
+    ml::Dataset data(std::move(x), targets);
+    if (config_.backend == DirectBackend::kLinear) {
+      linear_ = std::make_unique<ml::LinearRegression>();
+      linear_->fit(data);
+    } else {
+      ml::TreeConfig tc = config_.tree;
+      tc.seed = config_.seed;
+      tree_ = std::make_unique<ml::DecisionTree>(tc);
+      tree_->fit(data);
+    }
+  }
+  trained_ = true;
+}
+
+double DirectRtModel::predict(const Profile& profile) const {
+  STAC_REQUIRE_MSG(trained_, "predict before fit");
+  double rt = 0.0;
+  switch (config_.backend) {
+    case DirectBackend::kLinear:
+      rt = linear_->predict(tabular_row(profile));
+      break;
+    case DirectBackend::kTree:
+      rt = tree_->predict(tabular_row(profile));
+      break;
+    case DirectBackend::kCnn:
+      rt = cnn_->predict(Profiler::to_sample(profile));
+      break;
+  }
+  // Response time is at least one service time; negative predictions are
+  // linear-regression extrapolation artefacts (kept mild, not hidden).
+  return std::max(rt, 0.05);
+}
+
+}  // namespace stac::core

@@ -1,0 +1,60 @@
+// Direct response-time regressors — the Fig. 6 comparators that skip the
+// EA intermediate and the queueing simulator: linear regression, a single
+// decision tree, and the CNN, each mapping condition features (+ counter
+// data) straight to normalized response time.
+#pragma once
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/neural_net.hpp"
+#include "profiler/profiler.hpp"
+
+namespace stac::core {
+
+enum class DirectBackend : std::uint8_t { kLinear, kTree, kCnn };
+
+struct DirectRtConfig {
+  DirectBackend backend = DirectBackend::kLinear;
+  ml::ConvNetConfig cnn;
+  ml::TreeConfig tree{.split_mode = ml::SplitMode::kAllFeatures,
+                      .max_depth = 14,
+                      .min_samples_leaf = 2};
+  /// CNN tuning trials (TUNE-style random search) before the final fit;
+  /// 0 = use `cnn` as-is.
+  std::size_t tune_trials = 0;
+  /// Give linear/tree per-counter-row summary statistics of the profile
+  /// image.  Off by default: the paper frames the simple comparators as
+  /// runtime-condition -> response-time mappers, while representational
+  /// learning over the counters is what the CNN and deep forest bring.
+  bool image_summaries = false;
+  std::uint64_t seed = 5;
+};
+
+class DirectRtModel {
+ public:
+  explicit DirectRtModel(DirectRtConfig config = {});
+
+  /// Trains on normalized mean response time (rt / scaled base service).
+  void fit(const std::vector<profiler::Profile>& profiles);
+
+  /// Predicted normalized mean response time for a profile's condition.
+  [[nodiscard]] double predict(const profiler::Profile& profile) const;
+
+  [[nodiscard]] bool trained() const { return trained_; }
+
+ private:
+  /// Tabular row: statics, plus per-counter-row means/stds when
+  /// image_summaries is enabled (the CNN always sees the image whole).
+  [[nodiscard]] std::vector<double> tabular_row(
+      const profiler::Profile& profile) const;
+
+  DirectRtConfig config_;
+  bool trained_ = false;
+  std::unique_ptr<ml::LinearRegression> linear_;
+  std::unique_ptr<ml::DecisionTree> tree_;
+  std::unique_ptr<ml::ConvNet> cnn_;
+};
+
+}  // namespace stac::core

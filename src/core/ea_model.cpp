@@ -1,0 +1,102 @@
+#include "core/ea_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+using profiler::Profile;
+using profiler::Profiler;
+
+namespace {
+
+/// Flatten a sample into a plain feature vector (tabular backends).
+std::vector<double> tabular_row(const ml::ProfileSample& s) {
+  return s.tabular;
+}
+
+}  // namespace
+
+EaModel::EaModel(EaModelConfig config) : config_(std::move(config)) {}
+
+ml::ProfileSample EaModel::make_sample(const Profile& profile) const {
+  const bool needs_image = config_.backend == EaBackend::kDeepForest;
+  ml::ProfileSample s = Profiler::to_sample(
+      profile, config_.shuffle_counter_rows, config_.shuffle_seed);
+  if (!needs_image) s.image = Matrix{};
+  return s;
+}
+
+void EaModel::fit(const std::vector<Profile>& profiles) {
+  STAC_REQUIRE(!profiles.empty());
+  std::vector<ml::ProfileSample> samples;
+  std::vector<double> targets;
+  samples.reserve(profiles.size());
+  targets.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    samples.push_back(make_sample(p));
+    // The learning target is the potential (always-boost) EA — what the
+    // Stage-3 simulator converts into the boosted-phase rate.
+    targets.push_back(p.ea_boost);
+  }
+
+  switch (config_.backend) {
+    case EaBackend::kDeepForest:
+    case EaBackend::kCascadeOnly:
+      deep_ = std::make_unique<ml::DeepForest>(config_.deep_forest);
+      deep_->fit(samples, targets);
+      break;
+    case EaBackend::kSimpleForest: {
+      Matrix x(0, samples.front().tabular.size());
+      for (const auto& s : samples) x.append_row(tabular_row(s));
+      forest_ = std::make_unique<ml::RandomForest>(config_.forest);
+      forest_->fit(ml::Dataset(std::move(x), targets));
+      break;
+    }
+    case EaBackend::kTree: {
+      Matrix x(0, samples.front().tabular.size());
+      for (const auto& s : samples) x.append_row(tabular_row(s));
+      tree_ = std::make_unique<ml::DecisionTree>(config_.tree);
+      tree_->fit(ml::Dataset(std::move(x), targets));
+      break;
+    }
+    case EaBackend::kLinear: {
+      Matrix x(0, samples.front().tabular.size());
+      for (const auto& s : samples) x.append_row(tabular_row(s));
+      linear_ = std::make_unique<ml::LinearRegression>();
+      linear_->fit(ml::Dataset(std::move(x), targets));
+      break;
+    }
+  }
+  trained_ = true;
+}
+
+double EaModel::predict(const ml::ProfileSample& sample) const {
+  STAC_REQUIRE_MSG(trained_, "EaModel::predict before fit");
+  double ea = 0.0;
+  switch (config_.backend) {
+    case EaBackend::kDeepForest:
+    case EaBackend::kCascadeOnly:
+      ea = deep_->predict(sample);
+      break;
+    case EaBackend::kSimpleForest:
+      ea = forest_->predict(sample.tabular);
+      break;
+    case EaBackend::kTree:
+      ea = tree_->predict(sample.tabular);
+      break;
+    case EaBackend::kLinear:
+      ea = linear_->predict(sample.tabular);
+      break;
+  }
+  return std::clamp(ea, 1e-3, 1.0);
+}
+
+std::vector<double> EaModel::concepts(const ml::ProfileSample& sample) const {
+  STAC_REQUIRE_MSG(deep_ != nullptr,
+                   "concepts are only defined for deep-forest backends");
+  return deep_->concepts(sample);
+}
+
+}  // namespace stac::core

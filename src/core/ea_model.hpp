@@ -1,0 +1,74 @@
+// Stage 2: the effective-cache-allocation model (§3.2).
+//
+// Maps a profile sample (counter image + static/dynamic condition features)
+// to effective allocation.  The backend is pluggable because the paper's
+// evaluation compares exactly these variants:
+//   kDeepForest   — MGS + cascade (the full approach)
+//   kCascadeOnly  — cascade concepts without representational features
+//                   (Fig. 6's "queueing simulator with concepts")
+//   kSimpleForest — plain random forest (Fig. 8e's simple-ML policy)
+//   kTree / kLinear — the simple comparators of Fig. 6 when wired to EA
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/deep_forest.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+#include "profiler/profiler.hpp"
+
+namespace stac::core {
+
+enum class EaBackend : std::uint8_t {
+  kDeepForest,
+  kCascadeOnly,
+  kSimpleForest,
+  kTree,
+  kLinear,
+};
+
+struct EaModelConfig {
+  EaBackend backend = EaBackend::kDeepForest;
+  ml::DeepForestConfig deep_forest;
+  ml::ForestConfig forest;
+  ml::TreeConfig tree{.split_mode = ml::SplitMode::kAllFeatures,
+                      .max_depth = 12,
+                      .min_samples_leaf = 2};
+  /// Fig. 7c ablation: destroy counter-row spatial ordering.
+  bool shuffle_counter_rows = false;
+  std::uint64_t shuffle_seed = 99;
+};
+
+class EaModel {
+ public:
+  explicit EaModel(EaModelConfig config = {});
+
+  void fit(const std::vector<profiler::Profile>& profiles);
+
+  /// Predicted EA, clamped into (0, 1].
+  [[nodiscard]] double predict(const ml::ProfileSample& sample) const;
+
+  /// Learned concept vector (deep-forest backends only) for the §5.2
+  /// insight clustering.
+  [[nodiscard]] std::vector<double> concepts(
+      const ml::ProfileSample& sample) const;
+
+  /// Build the inference sample for a profile under this model's settings
+  /// (handles tabular-only backends and the row-shuffle ablation).
+  [[nodiscard]] ml::ProfileSample make_sample(
+      const profiler::Profile& profile) const;
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] EaBackend backend() const { return config_.backend; }
+
+ private:
+  EaModelConfig config_;
+  bool trained_ = false;
+  std::unique_ptr<ml::DeepForest> deep_;
+  std::unique_ptr<ml::RandomForest> forest_;
+  std::unique_ptr<ml::DecisionTree> tree_;
+  std::unique_ptr<ml::LinearRegression> linear_;
+};
+
+}  // namespace stac::core

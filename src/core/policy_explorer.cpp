@@ -1,0 +1,91 @@
+#include "core/policy_explorer.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+using profiler::RuntimeCondition;
+
+PolicyExploration explore_policies(const RtPredictor& predictor,
+                                   const RuntimeCondition& condition,
+                                   const ExplorerConfig& config) {
+  STAC_REQUIRE(!config.grid.empty());
+  const std::size_t g = config.grid.size();
+  PolicyExploration out;
+  out.predicted_primary = Matrix(g, g);
+  out.predicted_collocated = Matrix(g, g);
+
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      RuntimeCondition c = condition;
+      c.timeout_primary = config.grid[i];
+      c.timeout_collocated = config.grid[j];
+      out.predicted_primary(i, j) = predictor.predict(c).norm_p95_rt;
+      out.predicted_collocated(i, j) =
+          predictor.predict(c.swapped()).norm_p95_rt;
+      out.predictions_made += 2;
+    }
+  }
+
+  double best_p = std::numeric_limits<double>::infinity();
+  double best_c = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      best_p = std::min(best_p, out.predicted_primary(i, j));
+      best_c = std::min(best_c, out.predicted_collocated(i, j));
+    }
+  }
+
+  double slack = config.slack;
+  for (std::size_t attempt = 0; attempt <= config.max_relaxations; ++attempt) {
+    // Step 1 sets + Step 2 intersection in one sweep.
+    double best_sum = std::numeric_limits<double>::infinity();
+    std::size_t best_i = g, best_j = g;
+    for (std::size_t i = 0; i < g; ++i) {
+      for (std::size_t j = 0; j < g; ++j) {
+        const double rp = out.predicted_primary(i, j);
+        const double rc = out.predicted_collocated(i, j);
+        if (rp > best_p * (1.0 + slack)) continue;
+        if (rc > best_c * (1.0 + slack)) continue;
+        if (rp + rc < best_sum) {
+          best_sum = rp + rc;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i < g) {
+      out.selection.name = "model-driven";
+      out.selection.timeout_primary = config.grid[best_i];
+      out.selection.timeout_collocated = config.grid[best_j];
+      out.slack_used = slack;
+      return out;
+    }
+    slack *= config.slack_growth;
+  }
+
+  // Matching failed even after relaxation: minimize the combined predicted
+  // response time outright.
+  double best_sum = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const double sum =
+          out.predicted_primary(i, j) + out.predicted_collocated(i, j);
+      if (sum < best_sum) {
+        best_sum = sum;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  out.selection.name = "model-driven";
+  out.selection.timeout_primary = config.grid[best_i];
+  out.selection.timeout_collocated = config.grid[best_j];
+  out.slack_used = slack;
+  return out;
+}
+
+}  // namespace stac::core

@@ -1,0 +1,43 @@
+// Model-driven policy search (§5.2).
+//
+// The paper explores 25 timeout settings per cache-sharing pair (5 per
+// workload) with the model — never the testbed — and picks the timeout
+// vector by SLO-driven matching:
+//   Step 1: per workload, keep settings whose predicted response time is
+//           within 5% of the lowest found for that workload;
+//   Step 2: choose a setting in the intersection of both kept sets
+//           (relaxing the slack when the intersection is empty).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "core/baselines.hpp"
+#include "core/rt_predictor.hpp"
+
+namespace stac::core {
+
+struct ExplorerConfig {
+  /// Timeout grid per workload (5 settings -> the paper's 25 pairs).
+  std::vector<double> grid{0.0, 0.5, 1.0, 2.0, 4.0};
+  /// Step-1 slack around each workload's best prediction.
+  double slack = 0.05;
+  /// Slack growth factor when the intersection is empty.
+  double slack_growth = 2.0;
+  std::size_t max_relaxations = 6;
+};
+
+struct PolicyExploration {
+  PolicySelection selection;
+  /// Predicted normalized p95 response time per (grid_p x grid_c) setting.
+  Matrix predicted_primary;
+  Matrix predicted_collocated;
+  double slack_used = 0.0;
+  std::size_t predictions_made = 0;
+};
+
+/// Explore the grid with the predictor and match per §5.2.  `condition`
+/// supplies the pairing and utilizations; its timeouts are ignored.
+[[nodiscard]] PolicyExploration explore_policies(
+    const RtPredictor& predictor, const profiler::RuntimeCondition& condition,
+    const ExplorerConfig& config = {});
+
+}  // namespace stac::core

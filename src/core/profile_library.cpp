@@ -1,0 +1,77 @@
+#include "core/profile_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stac::core {
+
+using profiler::Profile;
+using profiler::RuntimeCondition;
+
+void ProfileLibrary::add(Profile profile) {
+  profiles_.push_back(std::move(profile));
+}
+
+void ProfileLibrary::add_all(std::vector<Profile> profiles) {
+  for (auto& p : profiles) profiles_.push_back(std::move(p));
+}
+
+double ProfileLibrary::condition_distance(const RuntimeCondition& a,
+                                          const RuntimeCondition& b) {
+  const double du_p = a.util_primary - b.util_primary;
+  const double du_c = a.util_collocated - b.util_collocated;
+  // Timeouts span [0, 6]; normalize to the utilization scale.
+  const double dt_p = (a.timeout_primary - b.timeout_primary) / 6.0;
+  const double dt_c = (a.timeout_collocated - b.timeout_collocated) / 6.0;
+  return std::sqrt(du_p * du_p + du_c * du_c + dt_p * dt_p + dt_c * dt_c);
+}
+
+std::vector<const Profile*> ProfileLibrary::nearest_k(
+    const RuntimeCondition& condition, std::size_t k) const {
+  struct Scored {
+    const Profile* p;
+    bool pairing;
+    double d;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(profiles_.size());
+  for (const auto& p : profiles_) {
+    const bool pairing = p.condition.primary == condition.primary &&
+                         p.condition.collocated == condition.collocated;
+    scored.push_back({&p, pairing, condition_distance(p.condition, condition)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.pairing != b.pairing) return a.pairing;  // pairing matches first
+    return a.d < b.d;
+  });
+  std::vector<const Profile*> out;
+  for (const auto& s : scored) {
+    if (out.size() >= k) break;
+    out.push_back(s.p);
+  }
+  return out;
+}
+
+const Profile* ProfileLibrary::nearest(
+    const RuntimeCondition& condition) const {
+  const Profile* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  bool best_pairing = false;
+  for (const auto& p : profiles_) {
+    const bool pairing = p.condition.primary == condition.primary &&
+                         p.condition.collocated == condition.collocated;
+    if (best_pairing && !pairing) continue;
+    const double d = condition_distance(p.condition, condition);
+    if (!best || (pairing && !best_pairing) || d < best_d) {
+      // A pairing match always beats a non-match; otherwise nearest wins.
+      if (pairing == best_pairing && best && d >= best_d) continue;
+      best = &p;
+      best_d = d;
+      best_pairing = pairing;
+    }
+  }
+  return best;
+}
+
+}  // namespace stac::core

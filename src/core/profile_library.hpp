@@ -1,0 +1,51 @@
+// The profile library: every training profile the offline stage collected.
+//
+// At inference time the model needs a counter image for a condition it has
+// never run.  Counter images are workload fingerprints, so the predictor
+// borrows the image of the *nearest profiled condition* with the same
+// pairing (distance in normalized (utilization, timeout) space) — training
+// data only, never the condition under test.
+#pragma once
+
+#include <vector>
+
+#include "profiler/profiler.hpp"
+
+namespace stac::core {
+
+class ProfileLibrary {
+ public:
+  ProfileLibrary() = default;
+
+  void add(profiler::Profile profile);
+  void add_all(std::vector<profiler::Profile> profiles);
+
+  [[nodiscard]] std::size_t size() const { return profiles_.size(); }
+  [[nodiscard]] bool empty() const { return profiles_.empty(); }
+  [[nodiscard]] const std::vector<profiler::Profile>& profiles() const {
+    return profiles_;
+  }
+
+  /// Nearest stored profile for the condition: exact pairing match
+  /// preferred; among matches, smallest condition distance.  Returns
+  /// nullptr when the library is empty.
+  [[nodiscard]] const profiler::Profile* nearest(
+      const profiler::RuntimeCondition& condition) const;
+
+  /// The k nearest stored profiles (same ordering rules as nearest()).
+  /// Exploration-mode EA queries average over these to smooth out the
+  /// borrowed-image jitter between adjacent grid cells.
+  [[nodiscard]] std::vector<const profiler::Profile*> nearest_k(
+      const profiler::RuntimeCondition& condition, std::size_t k) const;
+
+  /// Condition distance used by nearest(): utilizations weighted equally,
+  /// timeouts scaled to the Table 2 range.
+  [[nodiscard]] static double condition_distance(
+      const profiler::RuntimeCondition& a,
+      const profiler::RuntimeCondition& b);
+
+ private:
+  std::vector<profiler::Profile> profiles_;
+};
+
+}  // namespace stac::core

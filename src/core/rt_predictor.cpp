@@ -1,0 +1,192 @@
+#include "core/rt_predictor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+using profiler::Profile;
+using profiler::RuntimeCondition;
+using queueing::GGkConfig;
+using queueing::GGkResult;
+
+RtPredictor::RtPredictor(const profiler::Profiler& profiler,
+                         const EaModel* model, const ProfileLibrary* library,
+                         RtPredictorConfig config)
+    : profiler_(profiler), model_(model), library_(library),
+      config_(config) {
+  if (!config_.analytic_ea) {
+    STAC_REQUIRE_MSG(model_ != nullptr && model_->trained(),
+                     "RtPredictor needs a trained EA model");
+    STAC_REQUIRE_MSG(library_ != nullptr && !library_->empty(),
+                     "RtPredictor needs a profile library for images");
+  }
+}
+
+double RtPredictor::ea_for(const RuntimeCondition& condition,
+                           const std::vector<double>& dynamics) const {
+  const auto& cfg = profiler_.config();
+  const double boosted_ways =
+      static_cast<double>(cfg.private_ways + cfg.shared_ways);
+  const double ratio =
+      boosted_ways / static_cast<double>(cfg.private_ways);
+  if (config_.analytic_ea) {
+    // Contention-blind: solo MRC speedup over the allocation increase.
+    return profiler_.model(condition.primary).speedup(boosted_ways) / ratio;
+  }
+  // The learned target EA0 is measured at the always-boost counterpart and
+  // therefore independent of the primary's own timeout; canonicalizing the
+  // query's timeout removes spurious jitter between policy-grid rows (the
+  // nearest-profile lookup and the timeout static would otherwise both
+  // wiggle the prediction for what is one underlying quantity).
+  RuntimeCondition canonical = condition;
+  canonical.timeout_primary = 0.0;
+  const auto nearest = library_->nearest_k(
+      canonical, std::max<std::size_t>(1, config_.ea_neighbors));
+  STAC_REQUIRE(!nearest.empty());
+  // Borrow neighbours' images; use the queried condition's statics and the
+  // feedback-loop dynamics.  Averaging over several library neighbours
+  // smooths the image-borrowing jitter between nearby grid cells.
+  double sum = 0.0;
+  for (const Profile* near : nearest) {
+    Profile query = *near;
+    query.condition = canonical;
+    query.statics = profiler_.static_features(canonical);
+    query.dynamics = dynamics;
+    sum += model_->predict(model_->make_sample(query));
+  }
+  return sum / static_cast<double>(nearest.size());
+}
+
+RtPrediction RtPredictor::predict_for_profile(
+    const profiler::Profile& profile) const {
+  const RuntimeCondition& condition = profile.condition;
+  const auto& cfg = profiler_.config();
+  const auto scales =
+      profiler_.pair_scales(condition.primary, condition.collocated);
+  const double ratio =
+      static_cast<double>(cfg.private_ways + cfg.shared_ways) /
+      static_cast<double>(cfg.private_ways);
+  const wl::WorkloadModel& wm = profiler_.model(condition.primary);
+  const double cv =
+      wm.spec().use_microservice_graph ? 0.55 : wm.spec().service_cv;
+
+  RtPrediction out;
+  if (config_.analytic_ea) {
+    // Contention- and mix-blind solo speedup (the queue-model comparator).
+    const double boosted_ways =
+        static_cast<double>(cfg.private_ways + cfg.shared_ways);
+    out.ea = wm.speedup(boosted_ways) / ratio;
+  } else {
+    // The model's target is the potential (always-boost) EA, predicted
+    // on-distribution from the condition's own counters and dynamics.
+    out.ea = model_->predict(model_->make_sample(profile));
+  }
+
+  GGkConfig g;
+  g.utilization = condition.util_primary;
+  g.servers = cfg.servers;
+  g.mean_service = scales.scaled_base_primary;
+  g.service_cv = cv;
+  g.timeout_rel = condition.timeout_primary;
+  g.effective_allocation = out.ea;
+  g.allocation_ratio = ratio;
+  // Measured boost prevalence is a dynamic condition input here.
+  g.boost_prevalence = profile.dynamics.size() > 1 ? profile.dynamics[1] : 0.0;
+  g.queries = config_.sim_queries;
+  g.warmup = config_.sim_warmup;
+  g.seed = config_.seed;
+  const GGkResult r = queueing::simulate_ggk(g);
+  out.mean_rt = r.response_times.mean();
+  out.p95_rt = r.response_times.percentile(0.95);
+  out.mean_queue_delay = r.mean_queue_delay;
+  out.boosted_fraction =
+      r.completed > 0 ? static_cast<double>(r.boosted_queries) /
+                            static_cast<double>(r.completed)
+                      : 0.0;
+  out.norm_mean_rt = out.mean_rt / scales.scaled_base_primary;
+  out.norm_p95_rt = out.p95_rt / scales.scaled_base_primary;
+  return out;
+}
+
+RtPrediction RtPredictor::predict(const RuntimeCondition& condition) const {
+  const auto& cfg = profiler_.config();
+  const auto scales =
+      profiler_.pair_scales(condition.primary, condition.collocated);
+  const double ratio =
+      static_cast<double>(cfg.private_ways + cfg.shared_ways) /
+      static_cast<double>(cfg.private_ways);
+
+  const wl::WorkloadModel& wm = profiler_.model(condition.primary);
+  const wl::WorkloadModel& wc = profiler_.model(condition.collocated);
+  const double cv_p =
+      wm.spec().use_microservice_graph ? 0.55 : wm.spec().service_cv;
+  const double cv_c =
+      wc.spec().use_microservice_graph ? 0.55 : wc.spec().service_cv;
+
+  // Dynamic features start from the nearest profiled condition (or rest).
+  std::vector<double> dynamics{0.0, 0.0, 0.0, 0.0};
+  if (library_ && !library_->empty()) {
+    if (const Profile* near = library_->nearest(condition))
+      dynamics = near->dynamics;
+  }
+
+  RtPrediction out;
+  double prevalence_p = 0.0, prevalence_c = 0.0;
+  for (std::size_t iter = 0; iter < config_.feedback_iterations; ++iter) {
+    out.ea = ea_for(condition, dynamics);
+
+    GGkConfig gp;
+    gp.utilization = condition.util_primary;
+    gp.servers = cfg.servers;
+    gp.mean_service = scales.scaled_base_primary;
+    gp.service_cv = cv_p;
+    gp.timeout_rel = condition.timeout_primary;
+    gp.effective_allocation = out.ea;
+    gp.allocation_ratio = ratio;
+    gp.boost_prevalence = prevalence_p;
+    gp.queries = config_.sim_queries;
+    gp.warmup = config_.sim_warmup;
+    gp.seed = config_.seed + iter;
+    const GGkResult rp = queueing::simulate_ggk(gp);
+
+    // Collocated side, for its feedback features only.
+    const RuntimeCondition swapped = condition.swapped();
+    GGkConfig gc = gp;
+    gc.utilization = swapped.util_primary;
+    gc.mean_service = scales.scaled_base_collocated;
+    gc.service_cv = cv_c;
+    gc.timeout_rel = swapped.timeout_primary;
+    gc.effective_allocation =
+        config_.analytic_ea ? ea_for(swapped, dynamics)
+                            : ea_for(swapped, {dynamics[2], dynamics[3],
+                                               dynamics[0], dynamics[1]});
+    gc.boost_prevalence = prevalence_c;
+    gc.seed = config_.seed + 1000 + iter;
+    const GGkResult rc = queueing::simulate_ggk(gc);
+
+    out.mean_rt = rp.response_times.mean();
+    out.p95_rt = rp.response_times.percentile(0.95);
+    out.mean_queue_delay = rp.mean_queue_delay;
+    out.boosted_fraction =
+        rp.completed > 0 ? static_cast<double>(rp.boosted_queries) /
+                               static_cast<double>(rp.completed)
+                         : 0.0;
+    const double boost_c =
+        rc.completed > 0 ? static_cast<double>(rc.boosted_queries) /
+                               static_cast<double>(rc.completed)
+                         : 0.0;
+    dynamics = {rp.mean_queue_delay / scales.scaled_base_primary,
+                out.boosted_fraction,
+                rc.mean_queue_delay / scales.scaled_base_collocated,
+                boost_c};
+    prevalence_p = out.boosted_fraction;
+    prevalence_c = boost_c;
+  }
+  out.norm_mean_rt = out.mean_rt / scales.scaled_base_primary;
+  out.norm_p95_rt = out.p95_rt / scales.scaled_base_primary;
+  return out;
+}
+
+}  // namespace stac::core

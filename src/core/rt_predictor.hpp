@@ -1,0 +1,75 @@
+// Stage 3 wiring (§3.3): EA model + G/G/k simulator + feedback loop.
+//
+// To predict response time for an unseen (condition, policy):
+//   1. fetch the nearest training profile's counter image and dynamics as
+//      the starting point (ProfileLibrary — training data only);
+//   2. predict EA with the Stage-2 model;
+//   3. run the G/G/k simulator with the policy timeout and the predicted
+//      EA-scaled boost rate;
+//   4. feed the simulator's instantaneous queueing delay and boost
+//      fraction back into the dynamic condition features and repeat —
+//      "the instantaneous queuing delay is outputted as dynamic condition
+//      feedback for future simulations".
+#pragma once
+
+#include "core/ea_model.hpp"
+#include "core/profile_library.hpp"
+#include "queueing/ggk_simulator.hpp"
+
+namespace stac::core {
+
+struct RtPrediction {
+  double mean_rt = 0.0;  ///< in the pairing's scaled time units
+  double p95_rt = 0.0;
+  double ea = 0.0;
+  double mean_queue_delay = 0.0;
+  double boosted_fraction = 0.0;
+  /// Normalized by the primary's scaled base service time (scale-free).
+  double norm_mean_rt = 0.0;
+  double norm_p95_rt = 0.0;
+};
+
+struct RtPredictorConfig {
+  std::size_t feedback_iterations = 2;
+  std::size_t sim_queries = 6000;
+  std::size_t sim_warmup = 300;
+  /// Library profiles averaged per exploration-mode EA query.
+  std::size_t ea_neighbors = 5;
+  /// EA source when no learned model is attached (the Fig. 6 "Queue Model"
+  /// comparator): contention-blind analytic EA from the solo speedup.
+  bool analytic_ea = false;
+  std::uint64_t seed = 2024;
+};
+
+class RtPredictor {
+ public:
+  /// `model` may be null only when config.analytic_ea is true.
+  RtPredictor(const profiler::Profiler& profiler, const EaModel* model,
+              const ProfileLibrary* library, RtPredictorConfig config = {});
+
+  /// Exploration-mode prediction for a *hypothetical* condition: the
+  /// counter image is borrowed from the nearest training profile and the
+  /// dynamic conditions come from simulation feedback (§3.3).  Used by the
+  /// policy explorer, where no measurement of the condition exists.
+  [[nodiscard]] RtPrediction predict(
+      const profiler::RuntimeCondition& condition) const;
+
+  /// Measurement-mode prediction for a profiled condition (the Fig. 6
+  /// protocol): the profile's own counter image and dynamic conditions are
+  /// model *inputs* — the paper only forbids using the observed profile
+  /// "to train".  Response time remains strictly an output of the Stage-3
+  /// simulator.
+  [[nodiscard]] RtPrediction predict_for_profile(
+      const profiler::Profile& profile) const;
+
+ private:
+  [[nodiscard]] double ea_for(const profiler::RuntimeCondition& condition,
+                              const std::vector<double>& dynamics) const;
+
+  const profiler::Profiler& profiler_;
+  const EaModel* model_;
+  const ProfileLibrary* library_;
+  RtPredictorConfig config_;
+};
+
+}  // namespace stac::core

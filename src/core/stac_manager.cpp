@@ -1,0 +1,40 @@
+#include "core/stac_manager.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+StacManager::StacManager(StacOptions options)
+    : options_(std::move(options)), profiler_(options_.profiler),
+      model_(options_.model) {}
+
+void StacManager::calibrate(wl::Benchmark a, wl::Benchmark b) {
+  profiler::StratifiedSampler sampler(profiler_, options_.sampler);
+  library_.add_all(sampler.collect(a, b, options_.profile_budget));
+  library_.add_all(sampler.collect(b, a, options_.profile_budget));
+  STAC_REQUIRE_MSG(!library_.empty(), "profiling produced no profiles");
+  model_ = EaModel(options_.model);
+  model_.fit(library_.profiles());
+  predictor_.emplace(profiler_, &model_, &library_, options_.predictor);
+}
+
+RtPrediction StacManager::predict(
+    const profiler::RuntimeCondition& condition) const {
+  STAC_REQUIRE_MSG(predictor_.has_value(), "predict before calibrate");
+  return predictor_->predict(condition);
+}
+
+PolicyExploration StacManager::recommend(
+    const profiler::RuntimeCondition& condition) const {
+  STAC_REQUIRE_MSG(predictor_.has_value(), "recommend before calibrate");
+  return explore_policies(*predictor_, condition, options_.explorer);
+}
+
+queueing::TestbedResult StacManager::evaluate(
+    const profiler::RuntimeCondition& condition, double timeout_primary,
+    double timeout_collocated, std::size_t completions) const {
+  return evaluate_policy(profiler_, condition, timeout_primary,
+                         timeout_collocated, completions);
+}
+
+}  // namespace stac::core

@@ -1,0 +1,69 @@
+// StacManager: the library's front door.
+//
+// Wires the whole pipeline for one collocated pairing:
+//   calibrate()  — Stage 1 stratified profiling (both directions) and
+//                  Stage 2 deep-forest training;
+//   predict()    — Stage 3 response-time prediction for any condition;
+//   recommend()  — §5.2 model-driven timeout-vector selection;
+//   evaluate()   — ground-truth check of any timeout pair on the testbed.
+//
+// See examples/quickstart.cpp for the canonical five-line usage.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/policy_explorer.hpp"
+#include "profiler/stratified_sampler.hpp"
+
+namespace stac::core {
+
+struct StacOptions {
+  profiler::ProfilerConfig profiler;
+  profiler::SamplerConfig sampler;
+  EaModelConfig model;
+  RtPredictorConfig predictor;
+  ExplorerConfig explorer;
+  /// Profiling budget in conditions per collocation direction (the paper's
+  /// 30-minute budget yields ~100 profiles; max_windows rows each).
+  std::size_t profile_budget = 30;
+};
+
+class StacManager {
+ public:
+  explicit StacManager(StacOptions options = {});
+
+  /// Profile the pairing in both directions and train the EA model.
+  /// May be called again with other pairings; the library accumulates.
+  void calibrate(wl::Benchmark a, wl::Benchmark b);
+
+  /// Stage-3 prediction for a condition (requires calibrate()).
+  [[nodiscard]] RtPrediction predict(
+      const profiler::RuntimeCondition& condition) const;
+
+  /// Model-driven timeout-vector recommendation for a pairing at the given
+  /// utilizations (condition timeouts ignored).
+  [[nodiscard]] PolicyExploration recommend(
+      const profiler::RuntimeCondition& condition) const;
+
+  /// Ground-truth evaluation of a timeout pair (testbed run).
+  [[nodiscard]] queueing::TestbedResult evaluate(
+      const profiler::RuntimeCondition& condition, double timeout_primary,
+      double timeout_collocated, std::size_t completions = 2500) const;
+
+  [[nodiscard]] const profiler::Profiler& profiler() const {
+    return profiler_;
+  }
+  [[nodiscard]] const ProfileLibrary& library() const { return library_; }
+  [[nodiscard]] const EaModel& model() const { return model_; }
+  [[nodiscard]] bool calibrated() const { return model_.trained(); }
+
+ private:
+  StacOptions options_;
+  profiler::Profiler profiler_;
+  ProfileLibrary library_;
+  EaModel model_;
+  std::optional<RtPredictor> predictor_;
+};
+
+}  // namespace stac::core

@@ -1,0 +1,165 @@
+#include "ml/cascade.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+CascadeForest::CascadeForest(CascadeConfig config) : config_(config) {
+  STAC_REQUIRE(config.levels >= 1);
+  STAC_REQUIRE(config.forests_per_level >= 1);
+  STAC_REQUIRE(config.final_forests >= 1);
+}
+
+void CascadeForest::fit(const Dataset& base,
+                        const std::vector<Matrix>& per_level_extra) {
+  STAC_REQUIRE(!base.empty());
+  for (const auto& m : per_level_extra)
+    STAC_REQUIRE_MSG(m.rows() == base.size(),
+                     "extra feature block row count mismatch");
+  base_features_ = base.feature_count();
+  levels_.clear();
+  final_forests_.clear();
+
+  const std::size_t n = base.size();
+  Rng rng(config_.seed);
+
+  // Training-side concepts accumulate per sample across levels (OOB).
+  Matrix concepts(n, 0);
+  std::vector<std::vector<double>> concept_rows(n);
+
+  for (std::size_t l = 0; l < config_.levels; ++l) {
+    Level level;
+    level.extra_grains = std::min(per_level_extra.size(), l + 1);
+
+    // Assemble this level's training matrix: base + visible extras +
+    // accumulated concepts.
+    std::size_t width = base_features_;
+    for (std::size_t g = 0; g < level.extra_grains; ++g)
+      width += per_level_extra[g].cols();
+    width += concept_rows.empty() ? 0 : concept_rows.front().size();
+
+    Matrix x(n, width);
+    for (std::size_t r = 0; r < n; ++r) {
+      auto dst = x.row(r);
+      std::size_t at = 0;
+      const auto b = base.row(r);
+      std::copy(b.begin(), b.end(), dst.begin());
+      at += b.size();
+      for (std::size_t g = 0; g < level.extra_grains; ++g) {
+        const auto e = per_level_extra[g].row(r);
+        std::copy(e.begin(), e.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
+        at += e.size();
+      }
+      const auto& cr = concept_rows[r];
+      std::copy(cr.begin(), cr.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    Dataset level_data(std::move(x), base.targets());
+
+    // Train the level's forests (alternating random / completely-random).
+    level.forests.reserve(config_.forests_per_level);
+    std::vector<const std::vector<double>*> oobs;
+    for (std::size_t f = 0; f < config_.forests_per_level; ++f) {
+      ForestConfig fc;
+      fc.estimators = config_.estimators;
+      fc.split_mode = (f % 2 == 0) ? SplitMode::kSqrtFeatures
+                                   : SplitMode::kCompletelyRandom;
+      fc.max_depth = config_.max_tree_depth;
+      fc.min_samples_leaf = config_.min_samples_leaf;
+      fc.seed = rng.next_u64();
+      RandomForest forest(fc);
+      forest.fit(level_data);
+      level.forests.push_back(std::move(forest));
+    }
+    // Append this level's OOB concepts for the next level.
+    for (std::size_t r = 0; r < n; ++r) {
+      for (const auto& forest : level.forests)
+        concept_rows[r].push_back(forest.oob_predictions()[r]);
+    }
+    levels_.push_back(std::move(level));
+  }
+
+  // Closing bank: random forests over base + all extras + all concepts.
+  {
+    const std::size_t extra_all = per_level_extra.size();
+    std::size_t width = base_features_;
+    for (std::size_t g = 0; g < extra_all; ++g)
+      width += per_level_extra[g].cols();
+    width += concept_rows.front().size();
+    Matrix x(n, width);
+    for (std::size_t r = 0; r < n; ++r) {
+      auto dst = x.row(r);
+      std::size_t at = 0;
+      const auto b = base.row(r);
+      std::copy(b.begin(), b.end(), dst.begin());
+      at += b.size();
+      for (std::size_t g = 0; g < extra_all; ++g) {
+        const auto e = per_level_extra[g].row(r);
+        std::copy(e.begin(), e.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
+        at += e.size();
+      }
+      const auto& cr = concept_rows[r];
+      std::copy(cr.begin(), cr.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    Dataset final_data(std::move(x), base.targets());
+    for (std::size_t f = 0; f < config_.final_forests; ++f) {
+      ForestConfig fc;
+      fc.estimators = config_.estimators;
+      fc.split_mode = SplitMode::kSqrtFeatures;
+      fc.max_depth = config_.max_tree_depth;
+      fc.min_samples_leaf = config_.min_samples_leaf;
+      fc.seed = rng.next_u64();
+      RandomForest forest(fc);
+      forest.fit(final_data);
+      final_forests_.push_back(std::move(forest));
+    }
+  }
+}
+
+std::vector<double> CascadeForest::level_input(
+    std::size_t l, std::span<const double> x,
+    const std::vector<std::vector<double>>& extra,
+    const std::vector<double>& concepts_so_far) const {
+  const Level& level = levels_[l];
+  std::vector<double> input;
+  input.reserve(x.size() + 64);
+  input.insert(input.end(), x.begin(), x.end());
+  STAC_REQUIRE_MSG(extra.size() >= level.extra_grains,
+                   "missing extra feature blocks at inference");
+  for (std::size_t g = 0; g < level.extra_grains; ++g)
+    input.insert(input.end(), extra[g].begin(), extra[g].end());
+  input.insert(input.end(), concepts_so_far.begin(), concepts_so_far.end());
+  return input;
+}
+
+std::vector<double> CascadeForest::concepts(
+    std::span<const double> x,
+    const std::vector<std::vector<double>>& extra) const {
+  STAC_REQUIRE_MSG(trained(), "concepts before fit");
+  STAC_REQUIRE(x.size() == base_features_);
+  std::vector<double> acc;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto input = level_input(l, x, extra, acc);
+    for (const auto& forest : levels_[l].forests)
+      acc.push_back(forest.predict(input));
+  }
+  return acc;
+}
+
+double CascadeForest::predict(
+    std::span<const double> x,
+    const std::vector<std::vector<double>>& extra) const {
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  const std::vector<double> acc = concepts(x, extra);
+
+  // Closing bank sees base + every extra block + all concepts.
+  std::vector<double> input;
+  input.insert(input.end(), x.begin(), x.end());
+  for (const auto& e : extra) input.insert(input.end(), e.begin(), e.end());
+  input.insert(input.end(), acc.begin(), acc.end());
+
+  double sum = 0.0;
+  for (const auto& forest : final_forests_) sum += forest.predict(input);
+  return sum / static_cast<double>(final_forests_.size());
+}
+
+}  // namespace stac::ml

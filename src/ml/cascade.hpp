@@ -1,0 +1,71 @@
+// gcForest cascade levels (§4.1 "Deep Forest Cascades").
+//
+// Each level is an ensemble of four forests — two random, two completely
+// random, for diversity — whose *out-of-bag* training predictions are
+// appended to the feature vector as "concepts" for the next level (OOB
+// plays the role of gcForest's k-fold generation: concepts passed forward
+// are honest, not memorized).  Levels can additionally inject per-level
+// extra features (the multi-grain windows enter the cascade one grain at a
+// time, per the paper's walkthrough).  The final level's predictions are
+// averaged by a closing bank of forests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/random_forest.hpp"
+
+namespace stac::ml {
+
+struct CascadeConfig {
+  std::size_t levels = 4;
+  std::size_t forests_per_level = 4;  ///< half random, half completely-random
+  std::size_t estimators = 100;
+  std::size_t max_tree_depth = 0;  ///< 0 = grow to purity
+  std::size_t min_samples_leaf = 2;
+  /// Closing bank averaged into the final prediction.
+  std::size_t final_forests = 4;
+  std::uint64_t seed = 1;
+};
+
+class CascadeForest {
+ public:
+  explicit CascadeForest(CascadeConfig config = {});
+
+  /// `per_level_extra[l]`, if present, is appended to every sample's
+  /// features from level l onward (row count must match `base`).
+  void fit(const Dataset& base, const std::vector<Matrix>& per_level_extra = {});
+
+  /// Predict one sample; `extra[l]` must mirror the training-time extras.
+  [[nodiscard]] double predict(
+      std::span<const double> x,
+      const std::vector<std::vector<double>>& extra = {}) const;
+
+  /// The concept vector (all levels' forest outputs) for one sample — the
+  /// learned representation used for the §5.2 insight clustering.
+  [[nodiscard]] std::vector<double> concepts(
+      std::span<const double> x,
+      const std::vector<std::vector<double>>& extra = {}) const;
+
+  [[nodiscard]] bool trained() const { return !levels_.empty(); }
+  [[nodiscard]] std::size_t level_count() const { return levels_.size(); }
+
+ private:
+  struct Level {
+    std::vector<RandomForest> forests;
+    std::size_t extra_grains = 0;  ///< how many extra blocks are in view
+  };
+
+  /// Assemble the feature vector seen by level `l` for a sample.
+  [[nodiscard]] std::vector<double> level_input(
+      std::size_t l, std::span<const double> x,
+      const std::vector<std::vector<double>>& extra,
+      const std::vector<double>& concepts_so_far) const;
+
+  CascadeConfig config_;
+  std::vector<Level> levels_;
+  std::vector<RandomForest> final_forests_;
+  std::size_t base_features_ = 0;
+};
+
+}  // namespace stac::ml

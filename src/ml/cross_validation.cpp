@@ -1,0 +1,30 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+CrossValidationResult cross_validate(
+    const Dataset& data, std::size_t folds, std::uint64_t seed,
+    const std::function<std::function<double(std::span<const double>)>(
+        const Dataset&)>& train) {
+  STAC_REQUIRE(train != nullptr);
+  Rng rng(seed);
+  CrossValidationResult result;
+  for (const auto& [train_set, test_set] : data.kfold(folds, rng)) {
+    const auto predictor = train(train_set);
+    double mae = 0.0;
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+      const double err =
+          std::abs(predictor(test_set.row(i)) - test_set.target(i));
+      result.absolute_errors.add(err);
+      mae += err;
+    }
+    result.fold_mae.push_back(mae / static_cast<double>(test_set.size()));
+  }
+  return result;
+}
+
+}  // namespace stac::ml

@@ -1,0 +1,34 @@
+// K-fold cross-validation (§3.2: deep-learning representations "generalize
+// well, out performing under rigorous K-fold cross validation schemes").
+// Model-agnostic: the caller supplies a train function returning a
+// predictor; this runs the folds and aggregates held-out errors.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "ml/dataset.hpp"
+
+namespace stac::ml {
+
+struct CrossValidationResult {
+  /// Per-fold mean absolute error on the held-out fold.
+  std::vector<double> fold_mae;
+  /// All held-out absolute errors pooled.
+  SampleStats absolute_errors;
+
+  [[nodiscard]] double mean_mae() const {
+    double sum = 0.0;
+    for (double m : fold_mae) sum += m;
+    return fold_mae.empty() ? 0.0 : sum / static_cast<double>(fold_mae.size());
+  }
+};
+
+/// `train` receives a training fold and returns a predictor over feature
+/// rows.  Deterministic given `seed`.
+[[nodiscard]] CrossValidationResult cross_validate(
+    const Dataset& data, std::size_t folds, std::uint64_t seed,
+    const std::function<std::function<double(std::span<const double>)>(
+        const Dataset&)>& train);
+
+}  // namespace stac::ml

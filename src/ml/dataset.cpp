@@ -1,0 +1,87 @@
+#include "ml/dataset.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+Dataset::Dataset(Matrix features, std::vector<double> targets,
+                 std::vector<std::string> feature_names)
+    : features_(std::move(features)), targets_(std::move(targets)),
+      names_(std::move(feature_names)) {
+  STAC_REQUIRE(features_.rows() == targets_.size());
+  STAC_REQUIRE(names_.empty() || names_.size() == features_.cols());
+}
+
+void Dataset::add_row(std::span<const double> x, double y) {
+  features_.append_row(x);
+  targets_.push_back(y);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Matrix x(rows.size(), feature_count());
+  std::vector<double> y;
+  y.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    STAC_REQUIRE(rows[i] < size());
+    const auto src = features_.row(rows[i]);
+    std::copy(src.begin(), src.end(), x.row(i).begin());
+    y.push_back(targets_[rows[i]]);
+  }
+  return Dataset(std::move(x), std::move(y), names_);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           Rng& rng) const {
+  STAC_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<std::size_t> idx(size());
+  for (std::size_t i = 0; i < size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(size()));
+  STAC_REQUIRE_MSG(n_train > 0 && n_train < size(),
+                   "split leaves an empty side");
+  std::vector<std::size_t> train(idx.begin(), idx.begin() + n_train);
+  std::vector<std::size_t> test(idx.begin() + n_train, idx.end());
+  return {subset(train), subset(test)};
+}
+
+std::vector<std::pair<Dataset, Dataset>> Dataset::kfold(std::size_t k,
+                                                        Rng& rng) const {
+  STAC_REQUIRE(k >= 2 && k <= size());
+  std::vector<std::size_t> idx(size());
+  for (std::size_t i = 0; i < size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<std::pair<Dataset, Dataset>> folds;
+  folds.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    std::vector<std::size_t> train, test;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (i % k == f)
+        test.push_back(idx[i]);
+      else
+        train.push_back(idx[i]);
+    }
+    folds.emplace_back(subset(train), subset(test));
+  }
+  return folds;
+}
+
+Dataset Dataset::with_extra_features(const Matrix& extra) const {
+  STAC_REQUIRE(extra.rows() == size());
+  Matrix x(size(), feature_count() + extra.cols());
+  for (std::size_t r = 0; r < size(); ++r) {
+    const auto base = features_.row(r);
+    const auto add = extra.row(r);
+    auto dst = x.row(r);
+    std::copy(base.begin(), base.end(), dst.begin());
+    std::copy(add.begin(), add.end(), dst.begin() + base.size());
+  }
+  std::vector<std::string> names = names_;
+  if (!names.empty()) {
+    for (std::size_t c = 0; c < extra.cols(); ++c)
+      names.push_back("aug_" + std::to_string(c));
+  }
+  return Dataset(std::move(x), targets_, std::move(names));
+}
+
+}  // namespace stac::ml

@@ -1,0 +1,69 @@
+// Tabular regression datasets: feature matrix + targets + names, with the
+// split utilities the evaluation needs (the paper trains its model on 33%
+// of profiles and competitors on 70%, and stresses K-fold cross-validation
+// for generalization claims).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+
+/// One profile training / inference sample: a counters-x-time profile
+/// "image" plus tabular (static + dynamic condition) features.  Shared by
+/// the deep forest and the CNN comparator.
+struct ProfileSample {
+  Matrix image;                 ///< counters x time (may be empty)
+  std::vector<double> tabular;  ///< static + dynamic condition features
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Matrix features, std::vector<double> targets,
+          std::vector<std::string> feature_names = {});
+
+  [[nodiscard]] std::size_t size() const { return targets_.size(); }
+  [[nodiscard]] std::size_t feature_count() const { return features_.cols(); }
+  [[nodiscard]] bool empty() const { return targets_.empty(); }
+
+  [[nodiscard]] const Matrix& features() const { return features_; }
+  [[nodiscard]] const std::vector<double>& targets() const { return targets_; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return names_;
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return features_.row(i);
+  }
+  [[nodiscard]] double target(std::size_t i) const { return targets_[i]; }
+
+  void add_row(std::span<const double> x, double y);
+
+  /// Subset by row indices.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& rows) const;
+
+  /// Random split: first element gets `train_fraction` of rows.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction,
+                                                  Rng& rng) const;
+
+  /// K-fold partition: returns (train, test) pairs, one per fold.
+  [[nodiscard]] std::vector<std::pair<Dataset, Dataset>> kfold(std::size_t k,
+                                                               Rng& rng) const;
+
+  /// Append another dataset's columns (feature augmentation for cascades).
+  /// Row counts must match; names are merged.
+  [[nodiscard]] Dataset with_extra_features(const Matrix& extra) const;
+
+ private:
+  Matrix features_;
+  std::vector<double> targets_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace stac::ml

@@ -1,0 +1,223 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+namespace {
+
+struct SplitCandidate {
+  bool found = false;
+  std::uint32_t feature = 0;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+/// Sum and sum-of-squares over a row subset for one pass variance.
+struct Moments {
+  double sum = 0.0;
+  double sum2 = 0.0;
+  std::size_t n = 0;
+  void add(double v) {
+    sum += v;
+    sum2 += v * v;
+    ++n;
+  }
+  [[nodiscard]] double sse() const {
+    if (n == 0) return 0.0;
+    return sum2 - sum * sum / static_cast<double>(n);
+  }
+  [[nodiscard]] double mean() const {
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig config) : config_(config) {}
+
+void DecisionTree::fit(const Dataset& data, std::span<const std::size_t> rows) {
+  STAC_REQUIRE(!data.empty());
+  feature_count_ = data.feature_count();
+  nodes_.clear();
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  if (work.empty()) {
+    work.resize(data.size());
+    std::iota(work.begin(), work.end(), 0);
+  }
+  Rng rng(config_.seed);
+  build(data, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& rows,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  STAC_REQUIRE(n > 0);
+
+  Moments all;
+  for (std::size_t i = begin; i < end; ++i) all.add(data.target(rows[i]));
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].value = all.mean();
+
+  const bool depth_ok = config_.max_depth == 0 || depth < config_.max_depth;
+  const bool pure = all.sse() <= 1e-12;
+  if (!depth_ok || pure || n < config_.min_samples_split) return node_id;
+
+  // Candidate features by mode.
+  std::vector<std::size_t> candidates;
+  switch (config_.split_mode) {
+    case SplitMode::kAllFeatures:
+      candidates.resize(feature_count_);
+      std::iota(candidates.begin(), candidates.end(), 0);
+      break;
+    case SplitMode::kSqrtFeatures: {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::sqrt(static_cast<double>(feature_count_))));
+      candidates = rng.sample_indices(feature_count_, k);
+      break;
+    }
+    case SplitMode::kCompletelyRandom:
+      // Try a handful of random features until one is splittable.
+      candidates = rng.sample_indices(
+          feature_count_, std::min<std::size_t>(feature_count_, 8));
+      break;
+  }
+
+  SplitCandidate best;
+  if (config_.split_mode == SplitMode::kCompletelyRandom) {
+    // Random feature, random threshold between observed min and max.
+    for (std::size_t f : candidates) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = begin; i < end; ++i) {
+        const double v = data.row(rows[i])[f];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi <= lo) continue;  // constant feature here
+      const double thr = rng.uniform(lo, hi);
+      // Compute gain for bookkeeping (not used for selection).
+      Moments left;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double v = data.row(rows[i])[f];
+        if (v <= thr) left.add(data.target(rows[i]));
+      }
+      if (left.n == 0 || left.n == n) continue;
+      Moments right;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double v = data.row(rows[i])[f];
+        if (v > thr) right.add(data.target(rows[i]));
+      }
+      best.found = true;
+      best.feature = static_cast<std::uint32_t>(f);
+      best.threshold = thr;
+      best.gain = all.sse() - left.sse() - right.sse();
+      break;
+    }
+  } else {
+    // Exhaustive threshold search per candidate feature (sorted sweep).
+    std::vector<std::pair<double, double>> fv(n);  // (feature value, target)
+    for (std::size_t f : candidates) {
+      for (std::size_t i = begin; i < end; ++i) {
+        fv[i - begin] = {data.row(rows[i])[f], data.target(rows[i])};
+      }
+      std::sort(fv.begin(), fv.end());
+      if (fv.front().first == fv.back().first) continue;
+      Moments left;
+      Moments right = all;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        left.add(fv[i].second);
+        right.sum -= fv[i].second;
+        right.sum2 -= fv[i].second * fv[i].second;
+        --right.n;
+        if (fv[i].first == fv[i + 1].first) continue;  // no cut between ties
+        if (left.n < config_.min_samples_leaf ||
+            right.n < config_.min_samples_leaf)
+          continue;
+        const double gain = all.sse() - left.sse() - right.sse();
+        if (!best.found || gain > best.gain) {
+          best.found = true;
+          best.feature = static_cast<std::uint32_t>(f);
+          best.threshold = 0.5 * (fv[i].first + fv[i + 1].first);
+          best.gain = gain;
+        }
+      }
+    }
+  }
+
+  if (!best.found || best.gain <= 0.0) return node_id;
+
+  // Partition rows in place around the threshold.
+  const auto mid = static_cast<std::size_t>(
+      std::partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                     rows.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t r) {
+                       return data.row(r)[best.feature] <= best.threshold;
+                     }) -
+      rows.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  nodes_[static_cast<std::size_t>(node_id)].gain = best.gain;
+  const std::int32_t left = build(data, rows, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(data, rows, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  STAC_REQUIRE(x.size() == feature_count_);
+  std::size_t node = 0;
+  for (;;) {
+    const Node& nd = nodes_[node];
+    if (nd.left < 0) return nd.value;
+    node = static_cast<std::size_t>(x[nd.feature] <= nd.threshold ? nd.left
+                                                                  : nd.right);
+  }
+}
+
+std::vector<double> DecisionTree::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& nd = nodes_[node];
+    if (nd.left >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(nd.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(nd.right), d + 1);
+    }
+  }
+  return best;
+}
+
+std::vector<double> DecisionTree::feature_importance() const {
+  std::vector<double> imp(feature_count_, 0.0);
+  for (const Node& nd : nodes_)
+    if (nd.left >= 0) imp[nd.feature] += nd.gain;
+  return imp;
+}
+
+}  // namespace stac::ml

@@ -1,0 +1,71 @@
+#include "ml/deep_forest.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+DeepForest::DeepForest(DeepForestConfig config)
+    : config_(std::move(config)), cascade_(config_.cascade) {}
+
+void DeepForest::fit(const std::vector<ProfileSample>& samples,
+                     const std::vector<double>& targets) {
+  STAC_REQUIRE(!samples.empty());
+  STAC_REQUIRE(samples.size() == targets.size());
+  tabular_features_ = samples.front().tabular.size();
+  for (const auto& s : samples)
+    STAC_REQUIRE_MSG(s.tabular.size() == tabular_features_,
+                     "tabular feature width mismatch");
+
+  const bool with_images = !samples.front().image.empty();
+
+  std::vector<Matrix> per_level_extra;
+  if (with_images) {
+    std::vector<Matrix> images;
+    images.reserve(samples.size());
+    for (const auto& s : samples) images.push_back(s.image);
+    scanner_.emplace(config_.mgs);
+    scanner_->fit(images, targets);
+
+    // One extra feature block per grain, introduced level by level.
+    per_level_extra.resize(scanner_->grain_count());
+    for (std::size_t g = 0; g < scanner_->grain_count(); ++g)
+      per_level_extra[g] = Matrix(samples.size(), scanner_->feature_count(g));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto feats = scanner_->transform(samples[i].image);
+      for (std::size_t g = 0; g < feats.size(); ++g) {
+        auto dst = per_level_extra[g].row(i);
+        std::copy(feats[g].begin(), feats[g].end(), dst.begin());
+      }
+    }
+  }
+
+  Matrix x(samples.size(), tabular_features_);
+  std::vector<double> y(targets.begin(), targets.end());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    auto dst = x.row(i);
+    std::copy(samples[i].tabular.begin(), samples[i].tabular.end(),
+              dst.begin());
+  }
+  cascade_ = CascadeForest(config_.cascade);
+  cascade_.fit(Dataset(std::move(x), std::move(y)), per_level_extra);
+}
+
+std::vector<std::vector<double>> DeepForest::window_features(
+    const ProfileSample& sample) const {
+  if (!scanner_) return {};
+  STAC_REQUIRE_MSG(!sample.image.empty(),
+                   "model was trained with images; sample has none");
+  return scanner_->transform(sample.image);
+}
+
+double DeepForest::predict(const ProfileSample& sample) const {
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  return cascade_.predict(sample.tabular, window_features(sample));
+}
+
+std::vector<double> DeepForest::concepts(const ProfileSample& sample) const {
+  STAC_REQUIRE_MSG(trained(), "concepts before fit");
+  return cascade_.concepts(sample.tabular, window_features(sample));
+}
+
+}  // namespace stac::ml

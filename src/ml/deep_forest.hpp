@@ -1,0 +1,52 @@
+// Deep forest = multi-grain scanning + cascade (§4.1, after gcForest /
+// Zhou & Feng).  Operates on profile "images" (counters x time) with an
+// optional tabular side-channel of static/dynamic condition features that
+// bypass the scanner and enter the cascade directly.
+//
+// The tabular-only variant (fit without images) is the paper's
+// "queueing simulator with concepts" comparator: cascade-learned concepts
+// without representational features.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ml/cascade.hpp"
+#include "ml/mgs.hpp"
+
+namespace stac::ml {
+
+struct DeepForestConfig {
+  MgsConfig mgs;
+  CascadeConfig cascade;
+};
+
+class DeepForest {
+ public:
+  explicit DeepForest(DeepForestConfig config = {});
+
+  /// Full pipeline: MGS over images, cascade over tabular + window features.
+  void fit(const std::vector<ProfileSample>& samples,
+           const std::vector<double>& targets);
+
+  [[nodiscard]] double predict(const ProfileSample& sample) const;
+
+  /// Learned concept vector (cascade outputs) — the representation used for
+  /// the §5.2 workload-insight clustering.
+  [[nodiscard]] std::vector<double> concepts(const ProfileSample& sample) const;
+
+  [[nodiscard]] bool trained() const { return cascade_.trained(); }
+  [[nodiscard]] bool uses_mgs() const { return scanner_.has_value(); }
+
+ private:
+  [[nodiscard]] std::vector<std::vector<double>> window_features(
+      const ProfileSample& sample) const;
+
+  DeepForestConfig config_;
+  std::optional<MultiGrainScanner> scanner_;
+  CascadeForest cascade_;
+  std::size_t tabular_features_ = 0;
+};
+
+}  // namespace stac::ml

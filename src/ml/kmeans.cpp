@@ -1,0 +1,117 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  STAC_REQUIRE(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+KMeansResult kmeans(const Matrix& points, KMeansConfig config) {
+  STAC_REQUIRE(points.rows() >= 1);
+  STAC_REQUIRE(config.k >= 1);
+  const std::size_t n = points.rows();
+  const std::size_t f = points.cols();
+  const std::size_t k = std::min(config.k, n);
+  Rng rng(config.seed);
+
+  // k-means++ seeding.
+  Matrix centroids(k, f);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  {
+    const auto first = static_cast<std::size_t>(rng.uniform_index(n));
+    std::copy(points.row(first).begin(), points.row(first).end(),
+              centroids.row(0).begin());
+    for (std::size_t c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        min_d2[i] = std::min(min_d2[i],
+                             squared_distance(points.row(i),
+                                              centroids.row(c - 1)));
+        total += min_d2[i];
+      }
+      std::size_t chosen = n - 1;
+      if (total > 0.0) {
+        const double target = rng.uniform() * total;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          acc += min_d2[i];
+          if (acc >= target) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = static_cast<std::size_t>(rng.uniform_index(n));
+      }
+      std::copy(points.row(chosen).begin(), points.row(chosen).end(),
+                centroids.row(c).begin());
+    }
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points.row(i), centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update.
+    Matrix sums(k, f);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.assignment[i];
+      auto dst = sums.row(c);
+      const auto src = points.row(i);
+      for (std::size_t j = 0; j < f; ++j) dst[j] += src[j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const auto pick = static_cast<std::size_t>(rng.uniform_index(n));
+        std::copy(points.row(pick).begin(), points.row(pick).end(),
+                  centroids.row(c).begin());
+        continue;
+      }
+      auto dst = centroids.row(c);
+      const auto src = sums.row(c);
+      for (std::size_t j = 0; j < f; ++j)
+        dst[j] = src[j] / static_cast<double>(counts[c]);
+    }
+
+    if (prev_inertia - inertia <= config.tolerance * prev_inertia) break;
+    prev_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace stac::ml

@@ -1,0 +1,37 @@
+// K-means clustering (k-means++ seeding, Lloyd iterations).  Used twice by
+// the reproduction: the profiler's stratified sampler clusters seed
+// experiments by effective allocation (§4), and the insight analysis
+// clusters workloads by learned concepts (§5.2's final finding that concept
+// clustering reveals the arrival/service/timeout interaction raw counters
+// miss).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+
+struct KMeansConfig {
+  std::size_t k = 4;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-7;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  Matrix centroids;                     ///< k x features
+  std::vector<std::size_t> assignment;  ///< per input row
+  double inertia = 0.0;                 ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+[[nodiscard]] KMeansResult kmeans(const Matrix& points, KMeansConfig config);
+
+/// Squared Euclidean distance between two equal-length vectors.
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b);
+
+}  // namespace stac::ml

@@ -1,0 +1,83 @@
+#include "ml/linear_regression.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+
+LinearRegression::LinearRegression(LinearConfig config) : config_(config) {
+  STAC_REQUIRE(config.ridge >= 0.0);
+}
+
+void LinearRegression::fit(const Dataset& data) {
+  STAC_REQUIRE(!data.empty());
+  const std::size_t n = data.size();
+  const std::size_t f = data.feature_count();
+
+  mean_.assign(f, 0.0);
+  scale_.assign(f, 1.0);
+  if (config_.standardize) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = data.row(r);
+      for (std::size_t c = 0; c < f; ++c) mean_[c] += row[c];
+    }
+    for (auto& m : mean_) m /= static_cast<double>(n);
+    std::vector<double> var(f, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = data.row(r);
+      for (std::size_t c = 0; c < f; ++c) {
+        const double d = row[c] - mean_[c];
+        var[c] += d * d;
+      }
+    }
+    for (std::size_t c = 0; c < f; ++c) {
+      const double sd = std::sqrt(var[c] / static_cast<double>(n));
+      scale_[c] = sd > 1e-12 ? sd : 1.0;
+    }
+  }
+
+  // Build standardized design matrix with intercept handled by centering y.
+  Matrix x(n, f);
+  double y_mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) y_mean += data.target(r);
+  y_mean /= static_cast<double>(n);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    auto dst = x.row(r);
+    for (std::size_t c = 0; c < f; ++c)
+      dst[c] = (row[c] - mean_[c]) / scale_[c];
+  }
+
+  // Normal equations: (X^T X + ridge I) w = X^T (y - y_mean).
+  const Matrix gram = x.gram();
+  std::vector<double> xty(f, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double yc = data.target(r) - y_mean;
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < f; ++c) xty[c] += row[c] * yc;
+  }
+  const double ridge =
+      std::max(config_.ridge, 1e-10) * static_cast<double>(n);
+  weights_ = gram.cholesky_solve(xty, ridge);
+  intercept_ = y_mean;
+}
+
+double LinearRegression::predict(std::span<const double> x) const {
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  STAC_REQUIRE(x.size() == weights_.size());
+  double y = intercept_;
+  for (std::size_t c = 0; c < x.size(); ++c)
+    y += weights_[c] * (x[c] - mean_[c]) / scale_[c];
+  return y;
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+}  // namespace stac::ml

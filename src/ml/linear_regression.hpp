@@ -1,0 +1,41 @@
+// Ridge-regularized linear regression (ordinary least squares when the
+// ridge term is ~0) — the paper's weakest comparator (Fig. 6: ~50% median
+// error, p95 over 300%), included because its failure on non-linear
+// queueing effects motivates the whole deep-learning stage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace stac::ml {
+
+struct LinearConfig {
+  double ridge = 1e-6;
+  /// Standardize features to zero mean / unit variance before solving
+  /// (recommended; keeps the normal equations well-conditioned).
+  bool standardize = true;
+};
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(LinearConfig config = {});
+
+  void fit(const Dataset& data);
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  [[nodiscard]] bool trained() const { return !weights_.empty(); }
+  [[nodiscard]] std::span<const double> weights() const { return weights_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+ private:
+  LinearConfig config_;
+  std::vector<double> weights_;
+  std::vector<double> mean_, scale_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace stac::ml

@@ -1,0 +1,116 @@
+#include "ml/mgs.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+
+MultiGrainScanner::MultiGrainScanner(MgsConfig config)
+    : config_(std::move(config)) {
+  STAC_REQUIRE(!config_.window_sizes.empty());
+  STAC_REQUIRE(config_.stride >= 1);
+}
+
+void MultiGrainScanner::extract_patch(const Matrix& image, std::size_t r0,
+                                      std::size_t c0, std::size_t w,
+                                      std::vector<double>& out) const {
+  out.clear();
+  out.reserve(w * w);
+  for (std::size_t r = 0; r < w; ++r) {
+    const auto row = image.row(r0 + r);
+    for (std::size_t c = 0; c < w; ++c) out.push_back(row[c0 + c]);
+  }
+}
+
+void MultiGrainScanner::fit(const std::vector<Matrix>& images,
+                            const std::vector<double>& targets) {
+  STAC_REQUIRE(!images.empty());
+  STAC_REQUIRE(images.size() == targets.size());
+  rows_ = images.front().rows();
+  cols_ = images.front().cols();
+  for (const auto& im : images)
+    STAC_REQUIRE_MSG(im.rows() == rows_ && im.cols() == cols_,
+                     "all profile images must share one geometry");
+
+  grains_.clear();
+  Rng rng(config_.seed);
+  std::vector<double> patch;
+  for (std::size_t w : config_.window_sizes) {
+    if (w > rows_ || w > cols_) continue;  // window does not fit: skip
+    Grain g;
+    g.window = w;
+    g.positions_r = (rows_ - w) / config_.stride + 1;
+    g.positions_c = (cols_ - w) / config_.stride + 1;
+    const std::size_t per_image = g.positions_r * g.positions_c;
+    const std::size_t total = per_image * images.size();
+
+    // Subsample patch instances when the scan is too large to train on.
+    const double keep =
+        total <= config_.max_training_instances
+            ? 1.0
+            : static_cast<double>(config_.max_training_instances) /
+                  static_cast<double>(total);
+
+    Matrix x(0, w * w);
+    std::vector<double> y;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      for (std::size_t pr = 0; pr < g.positions_r; ++pr) {
+        for (std::size_t pc = 0; pc < g.positions_c; ++pc) {
+          if (keep < 1.0 && !rng.bernoulli(keep)) continue;
+          extract_patch(images[i], pr * config_.stride, pc * config_.stride,
+                        w, patch);
+          x.append_row(patch);
+          y.push_back(targets[i]);
+        }
+      }
+    }
+    STAC_ENSURE(!y.empty());
+
+    ForestConfig fc;
+    fc.estimators = config_.estimators;
+    fc.split_mode = SplitMode::kSqrtFeatures;
+    fc.max_depth = config_.max_tree_depth;
+    fc.min_samples_leaf = config_.min_samples_leaf;
+    fc.seed = rng.next_u64();
+    g.forest = RandomForest(fc);
+    g.forest.fit(Dataset(std::move(x), std::move(y)));
+    grains_.push_back(std::move(g));
+  }
+  STAC_REQUIRE_MSG(!grains_.empty(),
+                   "no MGS window size fits a " << rows_ << "x" << cols_
+                                                << " profile image");
+}
+
+std::size_t MultiGrainScanner::feature_count(std::size_t g) const {
+  STAC_REQUIRE(g < grains_.size());
+  return grains_[g].positions_r * grains_[g].positions_c;
+}
+
+std::size_t MultiGrainScanner::window_size(std::size_t g) const {
+  STAC_REQUIRE(g < grains_.size());
+  return grains_[g].window;
+}
+
+std::vector<std::vector<double>> MultiGrainScanner::transform(
+    const Matrix& image) const {
+  STAC_REQUIRE_MSG(trained(), "transform before fit");
+  STAC_REQUIRE(image.rows() == rows_ && image.cols() == cols_);
+  std::vector<std::vector<double>> out;
+  out.reserve(grains_.size());
+  std::vector<double> patch;
+  for (const Grain& g : grains_) {
+    std::vector<double> feats;
+    feats.reserve(g.positions_r * g.positions_c);
+    for (std::size_t pr = 0; pr < g.positions_r; ++pr) {
+      for (std::size_t pc = 0; pc < g.positions_c; ++pc) {
+        extract_patch(image, pr * config_.stride, pc * config_.stride,
+                      g.window, patch);
+        feats.push_back(g.forest.predict(patch));
+      }
+    }
+    out.push_back(std::move(feats));
+  }
+  return out;
+}
+
+}  // namespace stac::ml

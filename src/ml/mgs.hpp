@@ -1,0 +1,70 @@
+// Multi-grain scanning (gcForest's representational-learning stage, §4.1).
+//
+// The profile "image" (counters x time samples) is scanned with square
+// sliding windows; each window patch is an instance for a small random
+// forest whose per-patch predictions become new, spatially-derived
+// features.  Window sizes that do not fit the image are skipped (the paper
+// lists 5x5..35x35 for its larger layout).  Counter ordering matters: the
+// Fig. 7c ablation shows shuffling rows (destroying spatial locality)
+// triples the error — callers control row order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "ml/random_forest.hpp"
+
+namespace stac::ml {
+
+struct MgsConfig {
+  std::vector<std::size_t> window_sizes{5, 10, 15};
+  std::size_t stride = 1;
+  /// Forest per window size (the paper: 1 forest, 50 estimators each).
+  std::size_t estimators = 30;
+  std::size_t max_tree_depth = 8;  ///< patches are tiny; cap depth
+  std::size_t min_samples_leaf = 8;
+  /// Cap on window instances used to train each kernel forest (subsampled
+  /// uniformly when the scan produces more; keeps training tractable).
+  std::size_t max_training_instances = 15'000;
+  std::uint64_t seed = 1;
+};
+
+class MultiGrainScanner {
+ public:
+  explicit MultiGrainScanner(MgsConfig config = {});
+
+  /// Train the kernel forests.  All images must share one geometry.
+  void fit(const std::vector<Matrix>& images,
+           const std::vector<double>& targets);
+
+  /// Number of window sizes that fit the trained geometry.
+  [[nodiscard]] std::size_t grain_count() const { return grains_.size(); }
+  /// Transformed feature count for grain g (patch positions).
+  [[nodiscard]] std::size_t feature_count(std::size_t g) const;
+  /// Window size of grain g.
+  [[nodiscard]] std::size_t window_size(std::size_t g) const;
+
+  /// Per-grain transformed features for one image.
+  [[nodiscard]] std::vector<std::vector<double>> transform(
+      const Matrix& image) const;
+
+  [[nodiscard]] bool trained() const { return !grains_.empty(); }
+
+ private:
+  struct Grain {
+    std::size_t window = 0;
+    std::size_t positions_r = 0;
+    std::size_t positions_c = 0;
+    RandomForest forest;
+  };
+
+  void extract_patch(const Matrix& image, std::size_t r0, std::size_t c0,
+                     std::size_t w, std::vector<double>& out) const;
+
+  MgsConfig config_;
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<Grain> grains_;
+};
+
+}  // namespace stac::ml

@@ -1,0 +1,452 @@
+#include "ml/neural_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+
+namespace {
+
+/// Adam state for one parameter vector.
+struct Adam {
+  std::vector<double> m, v;
+  double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  std::size_t t = 0;
+
+  explicit Adam(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+  void step(std::vector<double>& w, const std::vector<double>& g, double lr) {
+    ++t;
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+      w[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    }
+  }
+};
+
+}  // namespace
+
+struct ConvNet::Forward {
+  std::vector<double> input;  ///< standardized [image..., tabular...]
+  std::vector<double> conv;   ///< post-ReLU conv activations
+  std::vector<double> flat;   ///< conv + tabular
+  std::vector<double> hidden; ///< post-ReLU (and dropout at train time)
+  std::vector<char> drop_mask;
+  // Residual blocks: per block the input vector and the pre-activation.
+  std::vector<std::vector<double>> res_in;
+  std::vector<std::vector<double>> res_z;
+  std::vector<double> final_h;  ///< output of the last block (== hidden if none)
+  double y = 0.0;
+};
+
+ConvNet::ConvNet(ConvNetConfig config) : config_(config) {
+  STAC_REQUIRE(config.kernel_size >= 1);
+  STAC_REQUIRE(config.hidden >= 1);
+  STAC_REQUIRE(config.batch_size >= 1);
+  STAC_REQUIRE(config.dropout >= 0.0 && config.dropout < 1.0);
+}
+
+std::vector<double> ConvNet::standardize(const ProfileSample& sample) const {
+  std::vector<double> x;
+  x.reserve(img_rows_ * img_cols_ + tab_);
+  const auto img = sample.image.data();
+  x.insert(x.end(), img.begin(), img.end());
+  x.insert(x.end(), sample.tabular.begin(), sample.tabular.end());
+  STAC_REQUIRE(x.size() == in_mean_.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = (x[i] - in_mean_[i]) / in_scale_[i];
+  return x;
+}
+
+double ConvNet::fit(const std::vector<ProfileSample>& samples,
+                    const std::vector<double>& targets) {
+  STAC_REQUIRE(!samples.empty());
+  STAC_REQUIRE(samples.size() == targets.size());
+  img_rows_ = samples.front().image.rows();
+  img_cols_ = samples.front().image.cols();
+  tab_ = samples.front().tabular.size();
+  const bool with_conv =
+      img_rows_ >= config_.kernel_size && img_cols_ >= config_.kernel_size;
+  out_rows_ = with_conv ? img_rows_ - config_.kernel_size + 1 : 0;
+  out_cols_ = with_conv ? img_cols_ - config_.kernel_size + 1 : 0;
+  const std::size_t conv_out = config_.kernels * out_rows_ * out_cols_;
+  flat_ = conv_out + tab_;
+  STAC_REQUIRE_MSG(flat_ > 0, "empty network input");
+
+  // Input standardization over the raw [image, tabular] vector.
+  const std::size_t raw = img_rows_ * img_cols_ + tab_;
+  in_mean_.assign(raw, 0.0);
+  in_scale_.assign(raw, 1.0);
+  {
+    std::vector<double> var(raw, 0.0);
+    for (const auto& s : samples) {
+      const auto img = s.image.data();
+      for (std::size_t i = 0; i < img.size(); ++i) in_mean_[i] += img[i];
+      for (std::size_t i = 0; i < tab_; ++i)
+        in_mean_[img.size() + i] += s.tabular[i];
+    }
+    for (auto& m : in_mean_) m /= static_cast<double>(samples.size());
+    for (const auto& s : samples) {
+      const auto img = s.image.data();
+      for (std::size_t i = 0; i < img.size(); ++i) {
+        const double d = img[i] - in_mean_[i];
+        var[i] += d * d;
+      }
+      for (std::size_t i = 0; i < tab_; ++i) {
+        const double d = s.tabular[i] - in_mean_[img.size() + i];
+        var[img.size() + i] += d * d;
+      }
+    }
+    for (std::size_t i = 0; i < raw; ++i) {
+      const double sd =
+          std::sqrt(var[i] / static_cast<double>(samples.size()));
+      in_scale_[i] = sd > 1e-12 ? sd : 1.0;
+    }
+  }
+  // Target standardization.
+  y_mean_ = 0.0;
+  for (double y : targets) y_mean_ += y;
+  y_mean_ /= static_cast<double>(targets.size());
+  double yv = 0.0;
+  for (double y : targets) yv += (y - y_mean_) * (y - y_mean_);
+  y_scale_ = std::sqrt(yv / static_cast<double>(targets.size()));
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+
+  // He initialization.
+  Rng rng(config_.seed);
+  const std::size_t ksq = config_.kernel_size * config_.kernel_size;
+  conv_w_.assign(config_.kernels * ksq, 0.0);
+  conv_b_.assign(config_.kernels, 0.0);
+  for (auto& w : conv_w_)
+    w = rng.normal(0.0, std::sqrt(2.0 / static_cast<double>(ksq)));
+  dense1_w_.assign(config_.hidden * flat_, 0.0);
+  dense1_b_.assign(config_.hidden, 0.0);
+  for (auto& w : dense1_w_)
+    w = rng.normal(0.0, std::sqrt(2.0 / static_cast<double>(flat_)));
+  res_w_.assign(config_.residual_blocks,
+                std::vector<double>(config_.hidden * config_.hidden, 0.0));
+  res_b_.assign(config_.residual_blocks,
+                std::vector<double>(config_.hidden, 0.0));
+  for (auto& block : res_w_)
+    for (auto& w : block)
+      // Small init keeps each block near the identity at the start.
+      w = rng.normal(0.0, std::sqrt(0.5 / static_cast<double>(config_.hidden)));
+  out_w_.assign(config_.hidden, 0.0);
+  for (auto& w : out_w_)
+    w = rng.normal(0.0, std::sqrt(1.0 / static_cast<double>(config_.hidden)));
+  out_b_ = 0.0;
+
+  Adam a_cw(conv_w_.size()), a_cb(conv_b_.size());
+  Adam a_d1(dense1_w_.size()), a_b1(dense1_b_.size());
+  std::vector<Adam> a_rw, a_rb;
+  for (std::size_t b = 0; b < config_.residual_blocks; ++b) {
+    a_rw.emplace_back(res_w_[b].size());
+    a_rb.emplace_back(res_b_[b].size());
+  }
+  Adam a_ow(out_w_.size());
+  std::vector<double> ob_vec{0.0};
+  Adam a_ob(1);
+
+  // Pre-standardize all inputs once.
+  std::vector<std::vector<double>> inputs;
+  inputs.reserve(samples.size());
+  for (const auto& s : samples) inputs.push_back(standardize(s));
+  std::vector<double> y_std(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    y_std[i] = (targets[i] - y_mean_) / y_scale_;
+
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Gradient buffers.
+  std::vector<double> g_cw(conv_w_.size()), g_cb(conv_b_.size());
+  std::vector<double> g_d1(dense1_w_.size()), g_b1(dense1_b_.size());
+  std::vector<std::vector<double>> g_rw, g_rb;
+  for (std::size_t b = 0; b < config_.residual_blocks; ++b) {
+    g_rw.emplace_back(res_w_[b].size(), 0.0);
+    g_rb.emplace_back(res_b_[b].size(), 0.0);
+  }
+  std::vector<double> g_ow(out_w_.size());
+  double g_ob = 0.0;
+
+  Forward fwd;
+  double last_epoch_mse = 0.0;
+
+  auto forward = [&](const std::vector<double>& x, bool train) {
+    fwd.input = x;
+    // Conv layer.
+    fwd.conv.assign(config_.kernels * out_rows_ * out_cols_, 0.0);
+    for (std::size_t k = 0; k < config_.kernels; ++k) {
+      const double* w = conv_w_.data() + k * ksq;
+      for (std::size_t r = 0; r < out_rows_; ++r) {
+        for (std::size_t c = 0; c < out_cols_; ++c) {
+          double acc = conv_b_[k];
+          for (std::size_t i = 0; i < config_.kernel_size; ++i) {
+            const double* in_row =
+                x.data() + (r + i) * img_cols_ + c;
+            const double* w_row = w + i * config_.kernel_size;
+            for (std::size_t j = 0; j < config_.kernel_size; ++j)
+              acc += w_row[j] * in_row[j];
+          }
+          fwd.conv[(k * out_rows_ + r) * out_cols_ + c] =
+              acc > 0.0 ? acc : 0.0;
+        }
+      }
+    }
+    // Flatten + tabular.
+    fwd.flat.resize(flat_);
+    std::copy(fwd.conv.begin(), fwd.conv.end(), fwd.flat.begin());
+    std::copy(x.begin() + static_cast<std::ptrdiff_t>(img_rows_ * img_cols_),
+              x.end(), fwd.flat.begin() + static_cast<std::ptrdiff_t>(
+                                              fwd.conv.size()));
+    // Dense + ReLU + dropout.
+    fwd.hidden.resize(config_.hidden);
+    fwd.drop_mask.assign(config_.hidden, 1);
+    for (std::size_t h = 0; h < config_.hidden; ++h) {
+      const double* w = dense1_w_.data() + h * flat_;
+      double acc = dense1_b_[h];
+      for (std::size_t i = 0; i < flat_; ++i) acc += w[i] * fwd.flat[i];
+      acc = acc > 0.0 ? acc : 0.0;
+      if (train && config_.dropout > 0.0) {
+        if (rng.bernoulli(config_.dropout)) {
+          fwd.drop_mask[h] = 0;
+          acc = 0.0;
+        } else {
+          acc /= (1.0 - config_.dropout);
+        }
+      }
+      fwd.hidden[h] = acc;
+    }
+    // Residual blocks: h <- relu(W h + b) + h.
+    fwd.res_in.assign(config_.residual_blocks, {});
+    fwd.res_z.assign(config_.residual_blocks, {});
+    fwd.final_h = fwd.hidden;
+    for (std::size_t b = 0; b < config_.residual_blocks; ++b) {
+      fwd.res_in[b] = fwd.final_h;
+      auto& z = fwd.res_z[b];
+      z.assign(config_.hidden, 0.0);
+      for (std::size_t j = 0; j < config_.hidden; ++j) {
+        double acc = res_b_[b][j];
+        const double* w = res_w_[b].data() + j * config_.hidden;
+        for (std::size_t k = 0; k < config_.hidden; ++k)
+          acc += w[k] * fwd.res_in[b][k];
+        z[j] = acc;
+      }
+      for (std::size_t j = 0; j < config_.hidden; ++j)
+        fwd.final_h[j] = (z[j] > 0.0 ? z[j] : 0.0) + fwd.res_in[b][j];
+    }
+    // Output.
+    double y = out_b_;
+    for (std::size_t h = 0; h < config_.hidden; ++h)
+      y += out_w_[h] * fwd.final_h[h];
+    fwd.y = y;
+  };
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double mse = 0.0;
+    for (std::size_t b0 = 0; b0 < order.size(); b0 += config_.batch_size) {
+      const std::size_t b1 = std::min(order.size(), b0 + config_.batch_size);
+      std::fill(g_cw.begin(), g_cw.end(), 0.0);
+      std::fill(g_cb.begin(), g_cb.end(), 0.0);
+      std::fill(g_d1.begin(), g_d1.end(), 0.0);
+      std::fill(g_b1.begin(), g_b1.end(), 0.0);
+      for (std::size_t b = 0; b < config_.residual_blocks; ++b) {
+        std::fill(g_rw[b].begin(), g_rw[b].end(), 0.0);
+        std::fill(g_rb[b].begin(), g_rb[b].end(), 0.0);
+      }
+      std::fill(g_ow.begin(), g_ow.end(), 0.0);
+      g_ob = 0.0;
+
+      for (std::size_t bi = b0; bi < b1; ++bi) {
+        const std::size_t i = order[bi];
+        forward(inputs[i], /*train=*/true);
+        const double err = fwd.y - y_std[i];
+        mse += err * err;
+        const double dy = 2.0 * err / static_cast<double>(b1 - b0);
+
+        // Output layer (consumes the last residual block's output).
+        for (std::size_t h = 0; h < config_.hidden; ++h)
+          g_ow[h] += dy * fwd.final_h[h];
+        g_ob += dy;
+
+        // Backprop through the residual blocks: d h_in = d h_out +
+        // W^T (d h_out ⊙ relu'(z)).
+        std::vector<double> dh(config_.hidden);
+        for (std::size_t h = 0; h < config_.hidden; ++h)
+          dh[h] = dy * out_w_[h];
+        for (std::size_t b = config_.residual_blocks; b-- > 0;) {
+          std::vector<double> dh_in = dh;  // identity path
+          for (std::size_t j = 0; j < config_.hidden; ++j) {
+            if (fwd.res_z[b][j] <= 0.0) continue;  // ReLU gate
+            const double dz = dh[j];
+            double* gw = g_rw[b].data() + j * config_.hidden;
+            const double* w = res_w_[b].data() + j * config_.hidden;
+            for (std::size_t k = 0; k < config_.hidden; ++k) {
+              gw[k] += dz * fwd.res_in[b][k];
+              dh_in[k] += dz * w[k];
+            }
+            g_rb[b][j] += dz;
+          }
+          dh = std::move(dh_in);
+        }
+
+        // Hidden layer: gate dropout + ReLU, accumulate dense grads, and
+        // collect the flat-input gradient for the conv layer.
+        std::vector<double> dpre(config_.hidden, 0.0);
+        for (std::size_t h = 0; h < config_.hidden; ++h) {
+          if (!fwd.drop_mask[h] || fwd.hidden[h] <= 0.0) continue;
+          dpre[h] = dh[h] / (1.0 - config_.dropout);
+          double* gw = g_d1.data() + h * flat_;
+          for (std::size_t f = 0; f < flat_; ++f)
+            gw[f] += dpre[h] * fwd.flat[f];
+          g_b1[h] += dpre[h];
+        }
+
+        // Conv layer (through the flat buffer's conv prefix).
+        if (out_rows_ > 0) {
+          const std::size_t conv_out = config_.kernels * out_rows_ * out_cols_;
+          std::vector<double> dflat(conv_out, 0.0);
+          for (std::size_t h = 0; h < config_.hidden; ++h) {
+            if (dpre[h] == 0.0) continue;
+            const double* w = dense1_w_.data() + h * flat_;
+            for (std::size_t o = 0; o < conv_out; ++o)
+              dflat[o] += dpre[h] * w[o];
+          }
+          for (std::size_t k = 0; k < config_.kernels; ++k) {
+            double* gw = g_cw.data() + k * ksq;
+            for (std::size_t r = 0; r < out_rows_; ++r) {
+              for (std::size_t c = 0; c < out_cols_; ++c) {
+                const std::size_t o = (k * out_rows_ + r) * out_cols_ + c;
+                if (fwd.conv[o] <= 0.0) continue;  // ReLU gate
+                const double dconv = dflat[o];
+                if (dconv == 0.0) continue;
+                for (std::size_t ki = 0; ki < config_.kernel_size; ++ki) {
+                  const double* in_row =
+                      fwd.input.data() + (r + ki) * img_cols_ + c;
+                  double* gw_row = gw + ki * config_.kernel_size;
+                  for (std::size_t kj = 0; kj < config_.kernel_size; ++kj)
+                    gw_row[kj] += dconv * in_row[kj];
+                }
+                g_cb[k] += dconv;
+              }
+            }
+          }
+        }
+      }
+
+      a_cw.step(conv_w_, g_cw, config_.learning_rate);
+      a_cb.step(conv_b_, g_cb, config_.learning_rate);
+      a_d1.step(dense1_w_, g_d1, config_.learning_rate);
+      a_b1.step(dense1_b_, g_b1, config_.learning_rate);
+      for (std::size_t b = 0; b < config_.residual_blocks; ++b) {
+        a_rw[b].step(res_w_[b], g_rw[b], config_.learning_rate);
+        a_rb[b].step(res_b_[b], g_rb[b], config_.learning_rate);
+      }
+      a_ow.step(out_w_, g_ow, config_.learning_rate);
+      std::vector<double> gob{g_ob};
+      a_ob.step(ob_vec, gob, config_.learning_rate);
+      out_b_ = ob_vec[0];
+    }
+    last_epoch_mse = mse / static_cast<double>(order.size());
+  }
+  return last_epoch_mse;
+}
+
+double ConvNet::predict(const ProfileSample& sample) const {
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  const std::vector<double> x = standardize(sample);
+  const std::size_t ksq = config_.kernel_size * config_.kernel_size;
+
+  std::vector<double> flat(flat_, 0.0);
+  for (std::size_t k = 0; k < config_.kernels && out_rows_ > 0; ++k) {
+    const double* w = conv_w_.data() + k * ksq;
+    for (std::size_t r = 0; r < out_rows_; ++r) {
+      for (std::size_t c = 0; c < out_cols_; ++c) {
+        double acc = conv_b_[k];
+        for (std::size_t i = 0; i < config_.kernel_size; ++i) {
+          const double* in_row = x.data() + (r + i) * img_cols_ + c;
+          const double* w_row = w + i * config_.kernel_size;
+          for (std::size_t j = 0; j < config_.kernel_size; ++j)
+            acc += w_row[j] * in_row[j];
+        }
+        flat[(k * out_rows_ + r) * out_cols_ + c] = acc > 0.0 ? acc : 0.0;
+      }
+    }
+  }
+  std::copy(x.begin() + static_cast<std::ptrdiff_t>(img_rows_ * img_cols_),
+            x.end(),
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                               config_.kernels * out_rows_ * out_cols_));
+
+  std::vector<double> h(config_.hidden, 0.0);
+  for (std::size_t j = 0; j < config_.hidden; ++j) {
+    const double* w = dense1_w_.data() + j * flat_;
+    double acc = dense1_b_[j];
+    for (std::size_t i = 0; i < flat_; ++i) acc += w[i] * flat[i];
+    h[j] = acc > 0.0 ? acc : 0.0;
+  }
+  for (std::size_t b = 0; b < config_.residual_blocks; ++b) {
+    std::vector<double> next = h;
+    for (std::size_t j = 0; j < config_.hidden; ++j) {
+      double acc = res_b_[b][j];
+      const double* w = res_w_[b].data() + j * config_.hidden;
+      for (std::size_t k = 0; k < config_.hidden; ++k) acc += w[k] * h[k];
+      if (acc > 0.0) next[j] += acc;
+    }
+    h = std::move(next);
+  }
+  double y = out_b_;
+  for (std::size_t j = 0; j < config_.hidden; ++j) y += out_w_[j] * h[j];
+  return y * y_scale_ + y_mean_;
+}
+
+TuneResult tune_convnet(const std::vector<ProfileSample>& train_x,
+                        const std::vector<double>& train_y,
+                        const std::vector<ProfileSample>& val_x,
+                        const std::vector<double>& val_y, std::size_t trials,
+                        std::uint64_t seed) {
+  STAC_REQUIRE(trials >= 1);
+  STAC_REQUIRE(!val_x.empty() && val_x.size() == val_y.size());
+  Rng rng(seed);
+  TuneResult result;
+  result.best_validation_mae = 1e300;
+
+  const std::vector<std::size_t> hidden_opts{16, 32, 64};
+  const std::vector<std::size_t> epoch_opts{40, 80, 120};
+  const std::vector<std::size_t> batch_opts{8, 16, 32};
+  const std::vector<double> lr_opts{3e-4, 1e-3, 3e-3};
+  const std::vector<double> drop_opts{0.0, 0.1, 0.25};
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    ConvNetConfig cfg;
+    cfg.hidden = hidden_opts[rng.uniform_index(hidden_opts.size())];
+    cfg.epochs = epoch_opts[rng.uniform_index(epoch_opts.size())];
+    cfg.batch_size = batch_opts[rng.uniform_index(batch_opts.size())];
+    cfg.learning_rate = lr_opts[rng.uniform_index(lr_opts.size())];
+    cfg.dropout = drop_opts[rng.uniform_index(drop_opts.size())];
+    cfg.kernels = 4;
+    cfg.seed = rng.next_u64();
+
+    ConvNet net(cfg);
+    net.fit(train_x, train_y);
+    double mae = 0.0;
+    for (std::size_t i = 0; i < val_x.size(); ++i)
+      mae += std::abs(net.predict(val_x[i]) - val_y[i]);
+    mae /= static_cast<double>(val_x.size());
+    if (mae < result.best_validation_mae) {
+      result.best_validation_mae = mae;
+      result.best = cfg;
+    }
+    ++result.trials;
+  }
+  return result;
+}
+
+}  // namespace stac::ml

@@ -1,0 +1,82 @@
+// A small convolutional regression network — the paper's CNN comparator
+// (Figs. 5 and 6): one conv layer over the profile image, ReLU, a dense
+// hidden layer with dropout, and a linear output, trained with Adam on MSE.
+// Deliberately SGD-based and sensitive to initialization so that the
+// run-to-run variability the paper reports (Fig. 5) is reproducible, and
+// equipped with the random-search hyper-parameter tuner standing in for
+// TUNE/PipeTune.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace stac::ml {
+
+struct ConvNetConfig {
+  std::size_t kernels = 8;
+  std::size_t kernel_size = 3;
+  std::size_t hidden = 64;
+  /// Residual blocks after the hidden layer: h <- relu(W h + b) + h.
+  /// The paper's stated future work ("residual and LSTM networks"); 0
+  /// reproduces the plain CNN evaluated in Figs. 5/6.
+  std::size_t residual_blocks = 0;
+  std::size_t epochs = 120;
+  std::size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double dropout = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class ConvNet {
+ public:
+  explicit ConvNet(ConvNetConfig config = {});
+
+  /// Train on profile samples.  Targets and all inputs are standardized
+  /// internally.  Returns the final training MSE (standardized units).
+  double fit(const std::vector<ProfileSample>& samples,
+             const std::vector<double>& targets);
+
+  [[nodiscard]] double predict(const ProfileSample& sample) const;
+
+  [[nodiscard]] bool trained() const { return !dense1_w_.empty(); }
+  [[nodiscard]] const ConvNetConfig& config() const { return config_; }
+
+ private:
+  struct Forward;  // activations for one sample (defined in .cpp)
+
+  [[nodiscard]] std::vector<double> standardize(
+      const ProfileSample& sample) const;
+
+  ConvNetConfig config_;
+  // Geometry.
+  std::size_t img_rows_ = 0, img_cols_ = 0, tab_ = 0;
+  std::size_t out_rows_ = 0, out_cols_ = 0;
+  std::size_t flat_ = 0;  ///< conv output + tabular width
+  // Input / target standardization.
+  std::vector<double> in_mean_, in_scale_;
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+  // Parameters.
+  std::vector<double> conv_w_, conv_b_;      ///< kernels x (k*k), kernels
+  std::vector<double> dense1_w_, dense1_b_;  ///< hidden x flat, hidden
+  std::vector<std::vector<double>> res_w_;   ///< per block: hidden x hidden
+  std::vector<std::vector<double>> res_b_;   ///< per block: hidden
+  std::vector<double> out_w_;                ///< hidden
+  double out_b_ = 0.0;
+};
+
+/// Random-search hyper-parameter tuning (the paper uses TUNE with epoch,
+/// batch size, learning rate, neuron count and drop rate — same axes).
+struct TuneResult {
+  ConvNetConfig best;
+  double best_validation_mae = 0.0;
+  std::size_t trials = 0;
+};
+[[nodiscard]] TuneResult tune_convnet(
+    const std::vector<ProfileSample>& train_x,
+    const std::vector<double>& train_y,
+    const std::vector<ProfileSample>& val_x, const std::vector<double>& val_y,
+    std::size_t trials, std::uint64_t seed);
+
+}  // namespace stac::ml

@@ -1,0 +1,102 @@
+#include "ml/random_forest.hpp"
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stac::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {
+  STAC_REQUIRE(config.estimators >= 1);
+  STAC_REQUIRE(config.bootstrap_fraction > 0.0 &&
+               config.bootstrap_fraction <= 1.0);
+}
+
+void RandomForest::fit(const Dataset& data) {
+  STAC_REQUIRE(!data.empty());
+  const std::size_t n = data.size();
+  const auto sample_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.bootstrap_fraction *
+                                  static_cast<double>(n)));
+
+  trees_.assign(config_.estimators, DecisionTree{});
+  // Per-row OOB accumulation (sum + count), filled under per-tree locality
+  // then reduced; atomics avoided by giving each tree its own buffer only
+  // when parallel — simpler: accumulate after the parallel section.
+  std::vector<std::vector<std::size_t>> bags(config_.estimators);
+
+  auto train_one = [&](std::size_t t) {
+    Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + t * 1000003ULL + 17);
+    std::vector<std::size_t> rows(sample_n);
+    for (auto& r : rows)
+      r = static_cast<std::size_t>(rng.uniform_index(n));
+    TreeConfig tc;
+    tc.split_mode = config_.split_mode;
+    tc.max_depth = config_.max_depth;
+    tc.min_samples_leaf = config_.min_samples_leaf;
+    tc.seed = rng.next_u64();
+    trees_[t] = DecisionTree(tc);
+    trees_[t].fit(data, rows);
+    bags[t] = std::move(rows);
+  };
+
+  if (config_.parallel && config_.estimators > 1) {
+    ThreadPool::global().parallel_for(0, config_.estimators, train_one);
+  } else {
+    for (std::size_t t = 0; t < config_.estimators; ++t) train_one(t);
+  }
+
+  // OOB reduction.
+  std::vector<double> sum(n, 0.0);
+  std::vector<std::size_t> cnt(n, 0);
+  std::vector<char> in_bag(n);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    std::fill(in_bag.begin(), in_bag.end(), 0);
+    for (std::size_t r : bags[t]) in_bag[r] = 1;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!in_bag[r]) {
+        sum[r] += trees_[t].predict(data.row(r));
+        ++cnt[r];
+      }
+    }
+  }
+  oob_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    oob_[r] = cnt[r] > 0 ? sum[r] / static_cast<double>(cnt[r])
+                         : predict(data.row(r));
+  }
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  double sum = 0.0;
+  for (const auto& t : trees_) sum += t.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+const std::vector<double>& RandomForest::oob_predictions() const {
+  STAC_REQUIRE_MSG(trained(), "OOB before fit");
+  return oob_;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  STAC_REQUIRE(trained());
+  std::vector<double> total;
+  for (const auto& t : trees_) {
+    const auto imp = t.feature_importance();
+    if (total.empty()) total.assign(imp.size(), 0.0);
+    for (std::size_t f = 0; f < imp.size(); ++f) total[f] += imp[f];
+  }
+  for (auto& v : total) v /= static_cast<double>(trees_.size());
+  return total;
+}
+
+}  // namespace stac::ml

@@ -1,0 +1,48 @@
+// Bagged regression forests with the two gcForest flavours (random /
+// completely-random), parallel tree training, and out-of-bag estimates —
+// the OOB predictions let cascade levels pass concepts forward without a
+// held-out set, mirroring gcForest's k-fold trick at lower cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace stac::ml {
+
+struct ForestConfig {
+  std::size_t estimators = 100;
+  SplitMode split_mode = SplitMode::kSqrtFeatures;
+  std::size_t max_depth = 0;  ///< 0 = grow to purity (gcForest default)
+  std::size_t min_samples_leaf = 1;
+  /// Bootstrap sample fraction; 1.0 = classic bagging with replacement.
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 1;
+  bool parallel = true;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  void fit(const Dataset& data);
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Out-of-bag prediction for each training row (rows never out of bag
+  /// fall back to the full-forest prediction).  Valid after fit().
+  [[nodiscard]] const std::vector<double>& oob_predictions() const;
+
+  [[nodiscard]] bool trained() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> oob_;
+};
+
+}  // namespace stac::ml

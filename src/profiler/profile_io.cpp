@@ -1,0 +1,109 @@
+#include "profiler/profile_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace stac::profiler {
+
+namespace {
+
+void write_doubles(std::ostream& os, const std::vector<double>& values) {
+  os << values.size();
+  for (double v : values) os << ' ' << v;
+  os << '\n';
+}
+
+std::vector<double> read_doubles(std::istream& is, const char* what) {
+  std::size_t n = 0;
+  STAC_REQUIRE_MSG(static_cast<bool>(is >> n), "truncated " << what);
+  std::vector<double> values(n);
+  for (auto& v : values)
+    STAC_REQUIRE_MSG(static_cast<bool>(is >> v), "truncated " << what);
+  return values;
+}
+
+}  // namespace
+
+void save_profiles(const std::string& path,
+                   const std::vector<Profile>& profiles) {
+  std::ofstream out(path);
+  STAC_REQUIRE_MSG(out.good(), "cannot open " << path << " for writing");
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "stac-profiles v" << kProfileFileVersion << ' ' << profiles.size()
+      << '\n';
+  for (const Profile& p : profiles) {
+    const RuntimeCondition& c = p.condition;
+    out << wl::benchmark_id(c.primary) << ' '
+        << wl::benchmark_id(c.collocated) << ' ' << c.util_primary << ' '
+        << c.util_collocated << ' ' << c.timeout_primary << ' '
+        << c.timeout_collocated << ' ' << c.sampling_rel << ' '
+        << c.mix_primary << ' ' << c.mix_collocated << ' ' << c.churn << ' '
+        << c.seed << ' ' << p.ea << ' ' << p.ea_boost << ' ' << p.mean_rt
+        << ' ' << p.p95_rt << ' ' << p.mean_rt_default << ' '
+        << p.p95_rt_default << ' ' << p.mean_service << ' '
+        << p.scaled_base_primary << ' ' << p.allocation_ratio << '\n';
+    write_doubles(out, p.statics);
+    write_doubles(out, p.dynamics);
+    out << p.image.rows() << ' ' << p.image.cols();
+    for (std::size_t r = 0; r < p.image.rows(); ++r)
+      for (double v : p.image.row(r)) out << ' ' << v;
+    out << '\n';
+  }
+  STAC_REQUIRE_MSG(out.good(), "write to " << path << " failed");
+}
+
+std::vector<Profile> load_profiles(const std::string& path) {
+  std::ifstream in(path);
+  STAC_REQUIRE_MSG(in.good(), "cannot open " << path);
+  std::string magic;
+  std::string version;
+  std::size_t count = 0;
+  STAC_REQUIRE_MSG(static_cast<bool>(in >> magic >> version >> count),
+                   "not a stac profile file: " << path);
+  STAC_REQUIRE_MSG(magic == "stac-profiles", "bad magic in " << path);
+  STAC_REQUIRE_MSG(version == "v" + std::to_string(kProfileFileVersion),
+                   "unsupported profile file version " << version);
+
+  std::vector<Profile> profiles;
+  profiles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Profile p;
+    std::string primary, collocated;
+    STAC_REQUIRE_MSG(
+        static_cast<bool>(
+            in >> primary >> collocated >> p.condition.util_primary >>
+            p.condition.util_collocated >> p.condition.timeout_primary >>
+            p.condition.timeout_collocated >> p.condition.sampling_rel >>
+            p.condition.mix_primary >> p.condition.mix_collocated >>
+            p.condition.churn >> p.condition.seed >> p.ea >> p.ea_boost >>
+            p.mean_rt >> p.p95_rt >> p.mean_rt_default >> p.p95_rt_default >>
+            p.mean_service >> p.scaled_base_primary >> p.allocation_ratio),
+        "truncated profile record " << i << " in " << path);
+    const auto b_primary = wl::benchmark_from_id(primary);
+    const auto b_collocated = wl::benchmark_from_id(collocated);
+    STAC_REQUIRE_MSG(b_primary && b_collocated,
+                     "unknown benchmark id in " << path);
+    p.condition.primary = *b_primary;
+    p.condition.collocated = *b_collocated;
+
+    p.statics = read_doubles(in, "statics");
+    p.dynamics = read_doubles(in, "dynamics");
+    std::size_t rows = 0, cols = 0;
+    STAC_REQUIRE_MSG(static_cast<bool>(in >> rows >> cols),
+                     "truncated image header in " << path);
+    STAC_REQUIRE_MSG(rows * cols < (1u << 24), "implausible image size");
+    p.image = Matrix(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t col = 0; col < cols; ++col)
+        STAC_REQUIRE_MSG(static_cast<bool>(in >> p.image(r, col)),
+                         "truncated image data in " << path);
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+}  // namespace stac::profiler

@@ -1,0 +1,31 @@
+// Profile persistence: save a profiling session to disk and reload it in a
+// later process.  The paper's workflow depends on this — profiling runs in
+// a test environment, model training and policy exploration happen later
+// (possibly elsewhere), so the profile library must round-trip losslessly.
+//
+// Format: a line-oriented text file.  One header line with a format
+// version, then per profile a metadata line followed by four data lines
+// (statics, dynamics, image dimensions + row-major values).  Numbers use
+// max_digits10 so doubles survive the round trip bit-exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profiler/profiler.hpp"
+
+namespace stac::profiler {
+
+/// Current file format version.
+inline constexpr int kProfileFileVersion = 1;
+
+/// Write profiles to `path`, replacing any existing file.  Throws
+/// ContractViolation on I/O failure.
+void save_profiles(const std::string& path,
+                   const std::vector<Profile>& profiles);
+
+/// Read profiles back.  Throws ContractViolation on I/O failure, version
+/// mismatch, or malformed content.
+[[nodiscard]] std::vector<Profile> load_profiles(const std::string& path);
+
+}  // namespace stac::profiler

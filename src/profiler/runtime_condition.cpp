@@ -1,0 +1,71 @@
+#include "profiler/runtime_condition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace stac::profiler {
+
+std::string RuntimeCondition::to_string() const {
+  std::ostringstream os;
+  os << wl::benchmark_id(primary) << "(" << wl::benchmark_id(collocated)
+     << ") util=" << util_primary << "/" << util_collocated
+     << " T=" << timeout_primary << "/" << timeout_collocated;
+  return os.str();
+}
+
+RuntimeCondition RuntimeCondition::swapped() const {
+  RuntimeCondition s = *this;
+  std::swap(s.primary, s.collocated);
+  std::swap(s.util_primary, s.util_collocated);
+  std::swap(s.timeout_primary, s.timeout_collocated);
+  std::swap(s.mix_primary, s.mix_collocated);
+  return s;
+}
+
+RuntimeCondition random_condition(wl::Benchmark primary,
+                                  wl::Benchmark collocated,
+                                  const ConditionRanges& ranges, Rng& rng) {
+  RuntimeCondition c;
+  c.primary = primary;
+  c.collocated = collocated;
+  c.util_primary = rng.uniform(ranges.util_lo, ranges.util_hi);
+  c.util_collocated = rng.uniform(ranges.util_lo, ranges.util_hi);
+  c.timeout_primary = rng.uniform(ranges.timeout_lo, ranges.timeout_hi);
+  c.timeout_collocated = rng.uniform(ranges.timeout_lo, ranges.timeout_hi);
+  c.mix_primary = rng.uniform(ranges.mix_lo, ranges.mix_hi);
+  c.mix_collocated = rng.uniform(ranges.mix_lo, ranges.mix_hi);
+  c.churn = rng.uniform(ranges.churn_lo, ranges.churn_hi);
+  c.seed = rng.next_u64();
+  return c;
+}
+
+RuntimeCondition perturb_condition(const RuntimeCondition& base,
+                                   const ConditionRanges& ranges, Rng& rng) {
+  RuntimeCondition c = base;
+  const double util_sigma = 0.07 * (ranges.util_hi - ranges.util_lo);
+  const double to_sigma = 0.07 * (ranges.timeout_hi - ranges.timeout_lo);
+  c.util_primary = std::clamp(base.util_primary + rng.normal(0.0, util_sigma),
+                              ranges.util_lo, ranges.util_hi);
+  c.util_collocated =
+      std::clamp(base.util_collocated + rng.normal(0.0, util_sigma),
+                 ranges.util_lo, ranges.util_hi);
+  c.timeout_primary =
+      std::clamp(base.timeout_primary + rng.normal(0.0, to_sigma),
+                 ranges.timeout_lo, ranges.timeout_hi);
+  c.timeout_collocated =
+      std::clamp(base.timeout_collocated + rng.normal(0.0, to_sigma),
+                 ranges.timeout_lo, ranges.timeout_hi);
+  const double mix_sigma = 0.07 * (ranges.mix_hi - ranges.mix_lo);
+  c.mix_primary = std::clamp(base.mix_primary + rng.normal(0.0, mix_sigma),
+                             ranges.mix_lo, ranges.mix_hi);
+  c.mix_collocated =
+      std::clamp(base.mix_collocated + rng.normal(0.0, mix_sigma),
+                 ranges.mix_lo, ranges.mix_hi);
+  const double churn_sigma = 0.07 * (ranges.churn_hi - ranges.churn_lo);
+  c.churn = std::clamp(base.churn + rng.normal(0.0, churn_sigma),
+                       ranges.churn_lo, ranges.churn_hi);
+  c.seed = rng.next_u64();
+  return c;
+}
+
+}  // namespace stac::profiler

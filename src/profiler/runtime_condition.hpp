@@ -1,0 +1,69 @@
+// Runtime conditions: the experiment coordinates of Table 2.
+//
+// A condition fixes the collocated pairing, each service's query
+// inter-arrival rate (relative to its service time, 25–95%), each service's
+// short-term allocation timeout (relative to its service time, 0% = always
+// share to 600% = never), and the counter sampling rate.  The profiler runs
+// conditions on the testbed; the model predicts response time for unseen
+// conditions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "wl/benchmark_suite.hpp"
+
+namespace stac::profiler {
+
+struct RuntimeCondition {
+  wl::Benchmark primary = wl::Benchmark::kKmeans;
+  wl::Benchmark collocated = wl::Benchmark::kRedis;
+  /// Offered load as a fraction of capacity (Table 2: 0.25 – 0.95).
+  double util_primary = 0.5;
+  double util_collocated = 0.5;
+  /// STAP timeout relative to service time (Table 2: 0.0 – 6.0).
+  double timeout_primary = 1.0;
+  double timeout_collocated = 1.0;
+  /// Counter samples per (scaled) primary service time (Table 2's 1 Hz to
+  /// one-per-5-seconds maps to this relative rate).
+  double sampling_rel = 2.0;
+  /// Query-mix factor (Table 2 controls "query mix"): scales the service's
+  /// hot working sets.  NOT part of the static feature vector — the
+  /// operator does not know it; models must read it from the counters.
+  double mix_primary = 1.0;
+  double mix_collocated = 1.0;
+  /// Background LLC pressure from everything else on the node (other
+  /// tenants, OS, prefetchers) during this collocation session, in shared-
+  /// region capacities per time unit.  A *dynamic* runtime condition: not
+  /// operator-controlled, not in the statics — its signature is only in
+  /// the counters ("hidden but recurrent patterns of contention", §1).
+  double churn = 0.25;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Same condition with primary and collocated roles swapped.
+  [[nodiscard]] RuntimeCondition swapped() const;
+};
+
+/// Table 2 bounds.
+struct ConditionRanges {
+  double util_lo = 0.25, util_hi = 0.95;
+  double timeout_lo = 0.0, timeout_hi = 6.0;
+  double mix_lo = 0.7, mix_hi = 1.4;
+  double churn_lo = 0.1, churn_hi = 0.6;
+};
+
+/// Uniform random condition for a fixed pairing.
+[[nodiscard]] RuntimeCondition random_condition(wl::Benchmark primary,
+                                                wl::Benchmark collocated,
+                                                const ConditionRanges& ranges,
+                                                Rng& rng);
+
+/// Gaussian-perturbed copy (stratified-sampling refinement around a
+/// cluster centroid, §4), clamped to the ranges.
+[[nodiscard]] RuntimeCondition perturb_condition(const RuntimeCondition& base,
+                                                 const ConditionRanges& ranges,
+                                                 Rng& rng);
+
+}  // namespace stac::profiler

@@ -1,0 +1,97 @@
+#include "profiler/stratified_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::profiler {
+
+StratifiedSampler::StratifiedSampler(const Profiler& profiler,
+                                     SamplerConfig config)
+    : profiler_(profiler), config_(config) {
+  STAC_REQUIRE(config.clusters >= 1);
+  STAC_REQUIRE(config.seed_fraction > 0.0 && config.seed_fraction <= 1.0);
+}
+
+std::vector<Profile> StratifiedSampler::collect_uniform(
+    wl::Benchmark primary, wl::Benchmark collocated, std::size_t budget) {
+  Rng rng(config_.seed);
+  std::vector<RuntimeCondition> conditions;
+  conditions.reserve(budget);
+  for (std::size_t i = 0; i < budget; ++i)
+    conditions.push_back(
+        random_condition(primary, collocated, config_.ranges, rng));
+  return profiler_.profile_conditions(conditions);
+}
+
+std::vector<Profile> StratifiedSampler::collect(wl::Benchmark primary,
+                                                wl::Benchmark collocated,
+                                                std::size_t budget) {
+  STAC_REQUIRE(budget >= 4);
+  Rng rng(config_.seed);
+  const auto n_seed = std::max<std::size_t>(
+      config_.clusters,
+      static_cast<std::size_t>(config_.seed_fraction *
+                               static_cast<double>(budget)));
+
+  // Phase 1: random seed experiments.
+  std::vector<RuntimeCondition> seeds;
+  seeds.reserve(n_seed);
+  for (std::size_t i = 0; i < n_seed; ++i)
+    seeds.push_back(
+        random_condition(primary, collocated, config_.ranges, rng));
+  std::vector<Profile> profiles = profiler_.profile_conditions(seeds);
+  if (profiles.empty() || budget <= n_seed) return profiles;
+
+  // Phase 2: cluster the seed profiles by effective allocation.
+  Matrix points(profiles.size(), 1);
+  for (std::size_t i = 0; i < profiles.size(); ++i)
+    points(i, 0) = profiles[i].ea;
+  ml::KMeansConfig kc;
+  kc.k = std::min(config_.clusters, profiles.size());
+  kc.seed = rng.next_u64();
+  const ml::KMeansResult clusters = ml::kmeans(points, kc);
+
+  // Per-cluster EA spread decides where refinement effort goes: clusters
+  // whose members disagree hide the behaviour the model must learn.
+  std::vector<double> spread(kc.k, 0.0);
+  std::vector<std::vector<std::size_t>> members(kc.k);
+  for (std::size_t i = 0; i < profiles.size(); ++i)
+    members[clusters.assignment[i]].push_back(i);
+  double total_spread = 0.0;
+  for (std::size_t c = 0; c < kc.k; ++c) {
+    StreamingStats st;
+    for (std::size_t i : members[c]) st.add(profiles[i].ea);
+    spread[c] = st.count() > 0 ? st.stddev() + 0.01 : 0.0;
+    total_spread += spread[c];
+  }
+
+  // Phase 3: perturbed refinements near cluster members.
+  const std::size_t n_refine = budget - n_seed;
+  std::vector<RuntimeCondition> refinements;
+  refinements.reserve(n_refine);
+  for (std::size_t i = 0; i < n_refine; ++i) {
+    // Pick a cluster weighted by spread, then a random member in it.
+    double pick = rng.uniform() * total_spread;
+    std::size_t c = 0;
+    while (c + 1 < kc.k && pick > spread[c]) {
+      pick -= spread[c];
+      ++c;
+    }
+    if (members[c].empty()) {
+      refinements.push_back(
+          random_condition(primary, collocated, config_.ranges, rng));
+      continue;
+    }
+    const std::size_t m =
+        members[c][rng.uniform_index(members[c].size())];
+    refinements.push_back(
+        perturb_condition(profiles[m].condition, config_.ranges, rng));
+  }
+  std::vector<Profile> refined = profiler_.profile_conditions(refinements);
+  for (auto& p : refined) profiles.push_back(std::move(p));
+  return profiles;
+}
+
+}  // namespace stac::profiler

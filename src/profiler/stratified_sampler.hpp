@@ -1,0 +1,46 @@
+// Experiment-condition sampling strategies (§4).
+//
+// Uniform random sampling over-samples uninteresting corners of the
+// condition space; the paper's stratified strategy instead (1) profiles a
+// set of random seed conditions, (2) clusters them by measured effective
+// allocation, and (3) spends the remaining budget on perturbed copies of
+// cluster members, weighted toward the clusters with the most EA spread —
+// cutting profiling time ~67% for equal coverage.
+#pragma once
+
+#include <vector>
+
+#include "ml/kmeans.hpp"
+#include "profiler/profiler.hpp"
+
+namespace stac::profiler {
+
+struct SamplerConfig {
+  ConditionRanges ranges;
+  std::size_t clusters = 4;
+  /// Fraction of the budget spent on random seed conditions.
+  double seed_fraction = 0.4;
+  std::uint64_t seed = 1;
+};
+
+class StratifiedSampler {
+ public:
+  StratifiedSampler(const Profiler& profiler, SamplerConfig config = {});
+
+  /// Run the full strategy for one pairing with `budget` conditions
+  /// (seeds + refinements); returns all collected profiles.
+  [[nodiscard]] std::vector<Profile> collect(wl::Benchmark primary,
+                                             wl::Benchmark collocated,
+                                             std::size_t budget);
+
+  /// Plain uniform sampling with the same budget (the §4 comparison).
+  [[nodiscard]] std::vector<Profile> collect_uniform(wl::Benchmark primary,
+                                                     wl::Benchmark collocated,
+                                                     std::size_t budget);
+
+ private:
+  const Profiler& profiler_;
+  SamplerConfig config_;
+};
+
+}  // namespace stac::profiler

@@ -1,0 +1,26 @@
+#include "queueing/arrival.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::queueing {
+
+InterarrivalSampler::InterarrivalSampler(ArrivalKind kind, double rate,
+                                         double cv)
+    : kind_(kind), rate_(rate), cv_(cv) {
+  STAC_REQUIRE(rate > 0.0);
+  STAC_REQUIRE(cv >= 0.0);
+}
+
+double InterarrivalSampler::sample(Rng& rng) const {
+  switch (kind_) {
+    case ArrivalKind::kExponential:
+      return rng.exponential(rate_);
+    case ArrivalKind::kDeterministic:
+      return 1.0 / rate_;
+    case ArrivalKind::kLogNormal:
+      return rng.lognormal_mean_cv(1.0 / rate_, cv_);
+  }
+  return 1.0 / rate_;
+}
+
+}  // namespace stac::queueing

@@ -1,0 +1,34 @@
+// Inter-arrival time samplers.  The paper's evaluation uses exponential
+// inter-arrival times (§5.2) with rates expressed relative to service time
+// (Table 2: 25–95%); deterministic and log-normal variants exist for tests
+// and sensitivity studies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace stac::queueing {
+
+enum class ArrivalKind : std::uint8_t {
+  kExponential,  ///< Poisson arrivals (the paper's setting)
+  kDeterministic,
+  kLogNormal,
+};
+
+class InterarrivalSampler {
+ public:
+  /// `rate` in queries per unit time; `cv` only used by kLogNormal.
+  InterarrivalSampler(ArrivalKind kind, double rate, double cv = 1.0);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] ArrivalKind kind() const { return kind_; }
+
+ private:
+  ArrivalKind kind_;
+  double rate_;
+  double cv_;
+};
+
+}  // namespace stac::queueing

@@ -1,0 +1,198 @@
+#include "queueing/ggk_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace stac::queueing {
+
+namespace {
+
+struct Job {
+  double arrival = 0.0;
+  double demand = 1.0;
+  double remaining = 1.0;
+  double start = -1.0;
+  bool overdue = false;  ///< timeout fired while incomplete
+  bool done = false;
+  std::uint32_t gen = 0;
+};
+
+enum class EvType : std::uint8_t { kArrival, kCompletion, kTimeout };
+
+struct Event {
+  double time;
+  std::uint64_t seq;
+  EvType type;
+  std::uint32_t job;
+  std::uint32_t gen;
+  [[nodiscard]] bool operator>(const Event& o) const {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+}  // namespace
+
+GGkResult simulate_ggk(const GGkConfig& config) {
+  STAC_REQUIRE(config.utilization > 0.0 && config.utilization < 1.0);
+  STAC_REQUIRE(config.servers >= 1);
+  STAC_REQUIRE(config.mean_service > 0.0);
+  STAC_REQUIRE(config.queries > config.warmup);
+
+  Rng rng(config.seed);
+  const double lambda = config.utilization *
+                        static_cast<double>(config.servers) /
+                        config.mean_service;
+  const double boost_mult =
+      std::max(1.0, config.effective_allocation * config.allocation_ratio);
+  // Residual-occupancy speedup of the default phase (see GGkConfig).
+  const double residual_mult =
+      1.0 + std::clamp(config.residual_weight * config.boost_prevalence, 0.0,
+                       1.0) *
+                (boost_mult - 1.0);
+  const double dflt_rate =
+      std::min(residual_mult, boost_mult) / config.mean_service;
+  const double boost_rate = boost_mult / config.mean_service;
+  const double timeout_abs = config.timeout_rel * config.mean_service;
+  const bool boosting =
+      config.timeout_rel < 6.0 && config.allocation_ratio > 1.0;
+
+  // Class-level short-term allocation (§4): while ANY outstanding query is
+  // overdue, every executing query runs at the boosted rate — one class of
+  // service per workload, not per query.
+  std::vector<Job> jobs;
+  jobs.reserve(config.queries + 8);
+  std::vector<std::size_t> fifo_q;   // waiting job indices (FIFO)
+  std::vector<std::size_t> serving;  // in-service job indices
+  std::size_t fifo_head = 0;
+  std::uint32_t boost_refs = 0;
+
+  std::vector<Event> heap;
+  std::uint64_t seq = 0;
+  auto push = [&](double t, EvType type, std::uint32_t job,
+                  std::uint32_t gen) {
+    heap.push_back(Event{t, seq++, type, job, gen});
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  };
+
+  double now = 0.0;
+  // Class-level: any overdue query boosts everyone.  Per-query (ablation):
+  // each job runs at its own rate.
+  auto job_rate = [&](const Job& job) {
+    if (config.class_level_boost)
+      return boost_refs > 0 ? boost_rate : dflt_rate;
+    return job.overdue ? boost_rate : dflt_rate;
+  };
+
+  auto advance_to = [&](double t) {
+    const double dt = t - now;
+    if (dt > 0.0) {
+      for (std::size_t j : serving)
+        jobs[j].remaining =
+            std::max(0.0, jobs[j].remaining - job_rate(jobs[j]) * dt);
+    }
+    now = t;
+  };
+  auto schedule_completion = [&](std::size_t j) {
+    ++jobs[j].gen;
+    push(now + jobs[j].remaining / job_rate(jobs[j]), EvType::kCompletion,
+         static_cast<std::uint32_t>(j), jobs[j].gen);
+  };
+  auto reschedule_all = [&]() {
+    for (std::size_t j : serving) schedule_completion(j);
+  };
+
+  GGkResult result;
+  double queue_delay_sum = 0.0;
+  std::size_t arrivals = 0;
+
+  push(rng.exponential(lambda), EvType::kArrival, 0, 0);
+
+  while (!heap.empty() && result.completed < config.queries - config.warmup) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const Event ev = heap.back();
+    heap.pop_back();
+    advance_to(ev.time);
+
+    switch (ev.type) {
+      case EvType::kArrival: {
+        if (arrivals < config.queries + config.servers * 4) {
+          push(now + rng.exponential(lambda), EvType::kArrival, 0, 0);
+        }
+        ++arrivals;
+        Job job;
+        job.arrival = now;
+        job.demand = config.service_cv > 0.0
+                         ? rng.lognormal_mean_cv(1.0, config.service_cv)
+                         : 1.0;
+        job.remaining = job.demand;
+        jobs.push_back(job);
+        const auto idx = jobs.size() - 1;
+        if (boosting)
+          push(now + timeout_abs, EvType::kTimeout,
+               static_cast<std::uint32_t>(idx), 0);
+        if (serving.size() < config.servers) {
+          jobs[idx].start = now;
+          serving.push_back(idx);
+          schedule_completion(idx);
+        } else {
+          fifo_q.push_back(idx);
+        }
+        break;
+      }
+      case EvType::kTimeout: {
+        Job& job = jobs[ev.job];
+        if (job.done || job.overdue) break;
+        job.overdue = true;
+        if (config.class_level_boost) {
+          if (boost_refs++ == 0) reschedule_all();  // class switched
+        } else if (job.start >= 0.0) {
+          schedule_completion(ev.job);  // only this job speeds up
+        }
+        break;
+      }
+      case EvType::kCompletion: {
+        Job& job = jobs[ev.job];
+        if (job.done || job.gen != ev.gen) break;  // stale
+        // The epsilon must exceed the time-axis ULP at any reachable clock
+        // value, or a residual smaller than one ULP reschedules the event
+        // at `now` forever (demand units are O(1), so 1e-9 is negligible).
+        if (job.remaining > 1e-9) {  // rate changed since scheduling
+          schedule_completion(ev.job);
+          break;
+        }
+        job.done = true;
+        serving.erase(std::find(serving.begin(), serving.end(),
+                                static_cast<std::size_t>(ev.job)));
+        if (job.overdue && config.class_level_boost) {
+          STAC_ENSURE(boost_refs > 0);
+          if (--boost_refs == 0) reschedule_all();  // class reverted
+        }
+        if (ev.job >= config.warmup) {
+          result.response_times.add(now - job.arrival);
+          result.queue_delays.add(job.start - job.arrival);
+          queue_delay_sum += job.start - job.arrival;
+          if (job.overdue) ++result.boosted_queries;
+          ++result.completed;
+        }
+        if (fifo_head < fifo_q.size()) {
+          const std::size_t next = fifo_q[fifo_head++];
+          jobs[next].start = now;
+          serving.push_back(next);
+          schedule_completion(next);
+        }
+        break;
+      }
+    }
+  }
+
+  result.mean_queue_delay =
+      result.completed > 0
+          ? queue_delay_sum / static_cast<double>(result.completed)
+          : 0.0;
+  return result;
+}
+
+}  // namespace stac::queueing

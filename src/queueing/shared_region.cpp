@@ -1,0 +1,201 @@
+#include "queueing/shared_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace stac::queueing {
+
+std::vector<SharedRegion> find_shared_regions(const cat::AllocationPlan& plan) {
+  std::vector<SharedRegion> regions;
+  std::vector<std::size_t> prev_sharers;
+  for (std::uint32_t way = 0; way < plan.total_ways(); ++way) {
+    std::vector<std::size_t> sharers;
+    for (std::size_t w = 0; w < plan.workload_count(); ++w) {
+      // A workload can fill this way if either of its settings covers it.
+      if (plan.policy(w).boosted.contains(way) ||
+          plan.policy(w).dflt.contains(way))
+        sharers.push_back(w);
+    }
+    if (sharers.size() >= 2) {
+      if (!regions.empty() && prev_sharers == sharers &&
+          regions.back().first_way + regions.back().way_count == way) {
+        ++regions.back().way_count;
+      } else {
+        regions.push_back(SharedRegion{way, 1, sharers});
+      }
+      prev_sharers = std::move(sharers);
+    } else {
+      prev_sharers.clear();
+    }
+  }
+  return regions;
+}
+
+OccupancyModel::OccupancyModel(const cat::AllocationPlan& plan)
+    : plan_(plan), regions_(find_shared_regions(plan)) {
+  state_.reserve(regions_.size());
+  for (const auto& r : regions_) {
+    RegionState s;
+    s.region = r;
+    s.occ.assign(r.sharers.size(), 0.0);
+    s.phi.assign(r.sharers.size(), 0.0);
+    state_.push_back(std::move(s));
+  }
+  private_ways_.resize(plan.workload_count());
+  for (std::size_t w = 0; w < plan.workload_count(); ++w)
+    private_ways_[w] =
+        static_cast<std::uint32_t>(plan.private_ways(w).size());
+}
+
+double OccupancyModel::occupancy(std::size_t r, std::size_t w) const {
+  STAC_REQUIRE(r < state_.size());
+  const auto& sharers = state_[r].region.sharers;
+  const auto it = std::find(sharers.begin(), sharers.end(), w);
+  if (it == sharers.end()) return 0.0;
+  return state_[r].occ[static_cast<std::size_t>(it - sharers.begin())];
+}
+
+double OccupancyModel::effective_ways(std::size_t w) const {
+  STAC_REQUIRE(w < private_ways_.size());
+  double ways = static_cast<double>(private_ways_[w]);
+  for (const auto& s : state_) {
+    const auto& sharers = s.region.sharers;
+    const auto it = std::find(sharers.begin(), sharers.end(), w);
+    if (it == sharers.end()) continue;
+    const auto idx = static_cast<std::size_t>(it - sharers.begin());
+    double contribution = static_cast<double>(s.region.way_count) *
+                          s.occ[idx];
+    if (thrash_ > 0.0) {
+      // Reuse survival under concurrent displacement by everyone else.
+      double others = churn_;
+      for (std::size_t i = 0; i < s.phi.size(); ++i)
+        if (i != idx) others += s.phi[i];
+      contribution /= 1.0 + thrash_ * others;
+    }
+    ways += contribution;
+  }
+  return ways;
+}
+
+void OccupancyModel::set_thrash_sensitivity(double sensitivity) {
+  STAC_REQUIRE(sensitivity >= 0.0);
+  thrash_ = sensitivity;
+}
+
+void OccupancyModel::set_fill_rate(std::size_t w, double rate) {
+  STAC_REQUIRE(w < private_ways_.size());
+  STAC_REQUIRE(rate >= 0.0);
+  // Total shared ways accessible to w (to split rate proportionally).
+  double total_ways = 0.0;
+  for (const auto& s : state_) {
+    if (std::find(s.region.sharers.begin(), s.region.sharers.end(), w) !=
+        s.region.sharers.end())
+      total_ways += static_cast<double>(s.region.way_count);
+  }
+  for (auto& s : state_) {
+    const auto& sharers = s.region.sharers;
+    const auto it = std::find(sharers.begin(), sharers.end(), w);
+    if (it == sharers.end()) continue;
+    const auto idx = static_cast<std::size_t>(it - sharers.begin());
+    // `rate` is in region-capacities of w's *total* accessible shared
+    // space; each region receives the share matching its size, which in
+    // region-local units is the same rate.
+    s.phi[idx] = total_ways > 0.0 ? rate : 0.0;
+  }
+}
+
+void OccupancyModel::set_background_churn(double rate) {
+  STAC_REQUIRE(rate >= 0.0);
+  churn_ = rate;
+}
+
+void OccupancyModel::advance(double dt) {
+  STAC_REQUIRE(dt >= 0.0);
+  if (dt == 0.0) return;
+  for (auto& s : state_) {
+    double total_occ = 0.0, total_phi = 0.0;
+    for (double o : s.occ) total_occ += o;
+    for (double p : s.phi) total_phi += p;
+
+    if (churn_ > 0.0) {
+      // Unified ODE with the background churn as an implicit sharer that
+      // owns all space the workloads do not:
+      //   d occ_i/dt = phi_i - (sum phi + churn) * occ_i
+      // Equilibrium occ_i = phi_i / (Phi + churn); stopping the fill decays
+      // occupancy at rate (Phi + churn) even when neighbours are idle.
+      const double phi_all = total_phi + churn_;
+      const double decay = std::exp(-phi_all * dt);
+      for (std::size_t i = 0; i < s.occ.size(); ++i) {
+        const double eq = s.phi[i] / phi_all;
+        s.occ[i] = eq + (s.occ[i] - eq) * decay;
+      }
+      continue;
+    }
+
+    if (total_phi <= 0.0) continue;  // nothing filling: occupancy frozen
+
+    double remaining = dt;
+    // Phase 1: free space absorbs fills without evictions.
+    if (total_occ < 1.0 - 1e-12) {
+      const double t_fill = (1.0 - total_occ) / total_phi;
+      const double step = std::min(remaining, t_fill);
+      for (std::size_t i = 0; i < s.occ.size(); ++i)
+        s.occ[i] += s.phi[i] * step;
+      remaining -= step;
+      if (remaining <= 0.0) continue;
+    }
+    // Phase 2: full region — exponential relaxation toward phi_i / Phi.
+    const double decay = std::exp(-total_phi * remaining);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < s.occ.size(); ++i) {
+      const double eq = s.phi[i] / total_phi;
+      s.occ[i] = eq + (s.occ[i] - eq) * decay;
+      sum += s.occ[i];
+    }
+    // Normalize tiny numeric drift so the region stays exactly full.
+    if (sum > 0.0) {
+      for (auto& o : s.occ) o /= sum;
+    }
+  }
+}
+
+double OccupancyModel::suggested_step(double tol) const {
+  double step = std::numeric_limits<double>::infinity();
+  for (const auto& s : state_) {
+    double total_phi = churn_;
+    for (double p : s.phi) total_phi += p;
+    if (total_phi <= 0.0) continue;
+    if (churn_ > 0.0) {
+      // Off-equilibrium check under the unified ODE.
+      bool moving = false;
+      for (std::size_t i = 0; i < s.occ.size(); ++i)
+        if (std::abs(s.occ[i] - s.phi[i] / total_phi) > tol) moving = true;
+      if (moving) step = std::min(step, 0.25 / total_phi);
+      continue;
+    }
+    // Are we off equilibrium by more than tol?
+    bool moving = false;
+    double total_occ = 0.0;
+    for (double o : s.occ) total_occ += o;
+    if (total_occ < 1.0 - tol) {
+      moving = true;
+    } else {
+      for (std::size_t i = 0; i < s.occ.size(); ++i)
+        if (std::abs(s.occ[i] - s.phi[i] / total_phi) > tol) moving = true;
+    }
+    if (moving) step = std::min(step, 0.25 / total_phi);
+  }
+  return step;
+}
+
+void OccupancyModel::reset() {
+  for (auto& s : state_) {
+    std::fill(s.occ.begin(), s.occ.end(), 0.0);
+    std::fill(s.phi.begin(), s.phi.end(), 0.0);
+  }
+}
+
+}  // namespace stac::queueing

@@ -1,0 +1,104 @@
+// Shared-region occupancy model: the continuous-time abstraction of what
+// the cache simulator does line by line.
+//
+// The LLC ways of an allocation plan partition into private ways (exactly
+// one possible filler) and shared regions (two fillers, by the paper's §2
+// conjecture).  Within a shared region, each workload owns a fraction
+// occ_i of the lines.  While a workload is boosted it fills the region at
+// rate phi_i (misses per region-capacity per unit time); victims are chosen
+// uniformly at random among resident lines, giving the classic occupancy
+// ODE:
+//
+//      free space left:  d occ_i/dt = phi_i                (no evictions)
+//      region full:      d occ_i/dt = phi_i - Phi * occ_i  (Phi = sum phi)
+//
+// whose full-region solution is exponential relaxation toward phi_i / Phi.
+// Crucially, a workload that stops filling (boost revoked) keeps its
+// occupancy until *other* workloads' fills displace it — the CAT
+// hits-anywhere residual benefit the cache simulator exhibits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cat/allocation_plan.hpp"
+
+namespace stac::queueing {
+
+/// One maximal run of ways fillable by the same set (>= 2) of workloads.
+struct SharedRegion {
+  std::uint32_t first_way = 0;
+  std::uint32_t way_count = 0;
+  std::vector<std::size_t> sharers;  ///< workload indices, ascending
+};
+
+/// Derive the shared regions of a plan: consecutive ways whose boosted-
+/// filler sets are identical and contain at least two workloads.
+[[nodiscard]] std::vector<SharedRegion> find_shared_regions(
+    const cat::AllocationPlan& plan);
+
+/// Occupancy state + dynamics for every shared region of a plan.
+class OccupancyModel {
+ public:
+  explicit OccupancyModel(const cat::AllocationPlan& plan);
+
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] const std::vector<SharedRegion>& regions() const {
+    return regions_;
+  }
+
+  /// occ of workload w in region r, in [0, 1].
+  [[nodiscard]] double occupancy(std::size_t r, std::size_t w) const;
+
+  /// Workload w's current effective LLC ways: private ways plus its
+  /// occupancy-weighted share of each region it can fill.
+  [[nodiscard]] double effective_ways(std::size_t w) const;
+
+  /// Set workload w's fill rate into its regions, in region-capacities per
+  /// unit time (misses/sec divided by region lines); 0 when not boosted.
+  /// Fills split across w's regions proportionally to region size.
+  void set_fill_rate(std::size_t w, double rate);
+
+  /// Background churn: an implicit extra sharer (OS activity, prefetchers,
+  /// other tenants) that steadily displaces resident lines at `rate`
+  /// region-capacities per unit time.  With churn > 0 occupancy earned
+  /// during a boost decays even when no collocated service fills — the
+  /// "short-term" in short-term allocation.  0 (default) disables it.
+  void set_background_churn(double rate);
+  [[nodiscard]] double background_churn() const { return churn_; }
+
+  /// Thrash sensitivity: occupancy only helps if a line survives until its
+  /// next reuse.  Workload w's shared-region contribution is scaled by
+  /// 1 / (1 + sensitivity * (others' fill rate + churn)) — two services
+  /// hammering one region concurrently each get far less benefit than
+  /// their occupancy shares suggest (the paper's recurring-contention
+  /// slowdown).  0 (default) disables the penalty.
+  void set_thrash_sensitivity(double sensitivity);
+  [[nodiscard]] double thrash_sensitivity() const { return thrash_; }
+
+  /// Advance occupancies by dt under the current fill rates.
+  void advance(double dt);
+
+  /// Longest step that keeps occupancy movement under `tol` of its range;
+  /// +inf when nothing is moving (event-scheduling hint for the testbed).
+  [[nodiscard]] double suggested_step(double tol) const;
+
+  /// Reset to a cold region (all occupancies zero).
+  void reset();
+
+ private:
+  struct RegionState {
+    SharedRegion region;
+    std::vector<double> occ;    ///< per sharer
+    std::vector<double> phi;    ///< per sharer fill rate (region/sec)
+  };
+
+  cat::AllocationPlan plan_;
+  std::vector<SharedRegion> regions_;
+  std::vector<RegionState> state_;
+  std::vector<std::uint32_t> private_ways_;
+  double churn_ = 0.0;
+  double thrash_ = 0.0;
+};
+
+}  // namespace stac::queueing

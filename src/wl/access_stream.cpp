@@ -1,0 +1,110 @@
+#include "wl/access_stream.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+using cachesim::AccessType;
+using cachesim::MemoryAccess;
+
+SyntheticStream::SyntheticStream(const ReuseProfile& profile,
+                                 std::uint64_t base_address,
+                                 std::uint64_t seed)
+    : profile_(profile), base_(base_address), rng_(seed) {
+  STAC_REQUIRE_MSG(profile.valid(), "invalid reuse profile");
+}
+
+MemoryAccess SyntheticStream::next() {
+  // Interleave instruction fetches at `ifetch_per_access` fetches per DATA
+  // access: credit accrues only when a data access is emitted.
+  if (ifetch_credit_ >= 1.0) {
+    ifetch_credit_ -= 1.0;
+    const auto code_lines =
+        static_cast<std::uint64_t>(profile_.code_bytes / 64.0);
+    const std::uint64_t line = rng_.uniform_index(std::max<std::uint64_t>(
+        code_lines, 1));
+    // Code region sits at the top of the workload's address range.
+    return {base_ + (kClassAddressStride / 2) + line * 64,
+            AccessType::kIfetch};
+  }
+  ifetch_credit_ += profile_.ifetch_per_access;
+
+  const bool is_store = rng_.bernoulli(profile_.store_fraction);
+  const AccessType type = is_store ? AccessType::kStore : AccessType::kLoad;
+
+  double pick = rng_.uniform();
+  // Streaming share: advance a cursor that never revisits within any
+  // realistic window (wraps at 1/4 of the class stride).
+  if (pick < profile_.streaming_fraction) {
+    const std::uint64_t addr =
+        base_ + (kClassAddressStride / 4) +
+        (stream_cursor_ % (kClassAddressStride / 4));
+    stream_cursor_ += 64;
+    return {addr, type};
+  }
+  pick -= profile_.streaming_fraction;
+
+  // Reuse components: regions laid out back to back from base_.
+  std::uint64_t region_start = base_;
+  for (const auto& c : profile_.components) {
+    if (pick < c.fraction) {
+      const auto lines = std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(c.ws_bytes / 64.0), 1);
+      const std::uint64_t line = rng_.uniform_index(lines);
+      return {region_start + line * 64, type};
+    }
+    pick -= c.fraction;
+    region_start += static_cast<std::uint64_t>(c.ws_bytes) + 4096;
+  }
+  // Rounding tail: fall back to the last component (or streaming).
+  if (!profile_.components.empty()) {
+    const auto& c = profile_.components.back();
+    const auto lines = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(c.ws_bytes / 64.0), 1);
+    return {region_start - static_cast<std::uint64_t>(c.ws_bytes) - 4096 +
+                rng_.uniform_index(lines) * 64,
+            type};
+  }
+  const std::uint64_t addr =
+      base_ + (kClassAddressStride / 4) + (stream_cursor_ % (kClassAddressStride / 4));
+  stream_cursor_ += 64;
+  return {addr, type};
+}
+
+ZipfStream::ZipfStream(std::size_t records, std::size_t record_bytes,
+                       double alpha, double store_fraction,
+                       std::uint64_t base_address, std::uint64_t seed)
+    : zipf_(records, alpha), record_bytes_(record_bytes),
+      store_fraction_(store_fraction), base_(base_address), rng_(seed) {
+  STAC_REQUIRE(record_bytes >= 1);
+}
+
+MemoryAccess ZipfStream::next() {
+  const std::size_t record = zipf_(rng_);
+  // Touch a random line within the record (records span multiple lines).
+  const std::size_t lines_per_record = (record_bytes_ + 63) / 64;
+  const std::uint64_t line_in_record = rng_.uniform_index(lines_per_record);
+  const std::uint64_t addr = base_ +
+                             static_cast<std::uint64_t>(record) * record_bytes_ +
+                             line_in_record * 64;
+  const bool is_store = rng_.bernoulli(store_fraction_);
+  return {addr, is_store ? AccessType::kStore : AccessType::kLoad};
+}
+
+StridedStream::StridedStream(std::size_t array_bytes, std::size_t stride_bytes,
+                             double store_fraction,
+                             std::uint64_t base_address, std::uint64_t seed)
+    : array_bytes_(array_bytes), stride_bytes_(stride_bytes),
+      store_fraction_(store_fraction), base_(base_address), rng_(seed) {
+  STAC_REQUIRE(array_bytes >= stride_bytes && stride_bytes >= 1);
+}
+
+MemoryAccess StridedStream::next() {
+  const std::uint64_t addr = base_ + cursor_;
+  cursor_ += stride_bytes_;
+  if (cursor_ >= array_bytes_) cursor_ = 0;
+  const bool is_store = rng_.bernoulli(store_fraction_);
+  return {addr, is_store ? AccessType::kStore : AccessType::kLoad};
+}
+
+}  // namespace stac::wl

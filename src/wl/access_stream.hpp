@@ -1,0 +1,72 @@
+// Synthetic address streams that realize a ReuseProfile against the cache
+// simulator.  Each workload class gets a disjoint address region (container
+// address spaces do not alias), and within it: per-component uniform reuse
+// regions, a streaming cursor, a code region for instruction fetches, and a
+// Zipf variant for key-value stores.
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/cache_hierarchy.hpp"
+#include "common/rng.hpp"
+#include "wl/reuse_profile.hpp"
+
+namespace stac::wl {
+
+/// Base-address spacing between workload classes (1 TB apart: never alias).
+inline constexpr std::uint64_t kClassAddressStride = 1ULL << 40;
+
+/// Uniform/streaming mixture stream realizing a ReuseProfile.
+class SyntheticStream final : public cachesim::AccessStream {
+ public:
+  SyntheticStream(const ReuseProfile& profile, std::uint64_t base_address,
+                  std::uint64_t seed);
+
+  cachesim::MemoryAccess next() override;
+
+ private:
+  ReuseProfile profile_;
+  std::uint64_t base_;
+  Rng rng_;
+  std::uint64_t stream_cursor_ = 0;
+  double ifetch_credit_ = 0.0;
+};
+
+/// Zipf-popularity record stream (YCSB-style; the Redis workload).
+class ZipfStream final : public cachesim::AccessStream {
+ public:
+  /// `records` of `record_bytes` each; popularity Zipf(alpha).
+  ZipfStream(std::size_t records, std::size_t record_bytes, double alpha,
+             double store_fraction, std::uint64_t base_address,
+             std::uint64_t seed);
+
+  cachesim::MemoryAccess next() override;
+
+ private:
+  ZipfSampler zipf_;
+  std::size_t record_bytes_;
+  double store_fraction_;
+  std::uint64_t base_;
+  Rng rng_;
+};
+
+/// Strided array sweep (stencil codes; the Jacobi workload): walks arrays
+/// front to back repeatedly, giving distance-equal reuse.
+class StridedStream final : public cachesim::AccessStream {
+ public:
+  StridedStream(std::size_t array_bytes, std::size_t stride_bytes,
+                double store_fraction, std::uint64_t base_address,
+                std::uint64_t seed);
+
+  cachesim::MemoryAccess next() override;
+
+ private:
+  std::size_t array_bytes_;
+  std::size_t stride_bytes_;
+  double store_fraction_;
+  std::uint64_t base_;
+  std::uint64_t cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace stac::wl

@@ -1,0 +1,157 @@
+#include "wl/benchmark_suite.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+namespace {
+constexpr double kMB = 1024.0 * 1024.0;
+}
+
+std::string_view benchmark_id(Benchmark b) {
+  switch (b) {
+    case Benchmark::kJacobi: return "jacobi";
+    case Benchmark::kKnn: return "knn";
+    case Benchmark::kKmeans: return "kmeans";
+    case Benchmark::kSpkmeans: return "spkmeans";
+    case Benchmark::kSpstream: return "spstream";
+    case Benchmark::kBfs: return "bfs";
+    case Benchmark::kSocial: return "social";
+    case Benchmark::kRedis: return "redis";
+  }
+  return "?";
+}
+
+std::optional<Benchmark> benchmark_from_id(std::string_view id) {
+  for (Benchmark b : all_benchmarks())
+    if (benchmark_id(b) == id) return b;
+  return std::nullopt;
+}
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> all{
+      Benchmark::kJacobi, Benchmark::kKnn,      Benchmark::kKmeans,
+      Benchmark::kSpkmeans, Benchmark::kSpstream, Benchmark::kBfs,
+      Benchmark::kSocial, Benchmark::kRedis};
+  return all;
+}
+
+WorkloadSpec benchmark_spec(Benchmark b) {
+  WorkloadSpec s;
+  s.id = std::string(benchmark_id(b));
+  switch (b) {
+    case Benchmark::kJacobi:
+      // Rodinia/OpenMP stencil: memory intensive, moderate cache misses.
+      s.description = "Solves the Helmholtz equation (OpenMP stencil)";
+      s.cache_pattern = "Memory intensive / moderate cache misses";
+      s.profile.components = {{0.45, 5.0 * kMB}, {0.25, 16.0 * kMB}};
+      s.profile.streaming_fraction = 0.30;
+      s.profile.store_fraction = 0.45;
+      s.base_service_time = 12.0;
+      s.service_cv = 0.15;
+      s.mem_fraction = 0.70;
+      s.threads = 16;
+      break;
+    case Benchmark::kKnn:
+      // High data reuse, low cache misses.
+      s.description = "K-nearest neighbors (OpenMP)";
+      s.cache_pattern = "High data reuse / low cache misses";
+      s.profile.components = {{0.55, 1.0 * kMB}, {0.40, 4.5 * kMB}};
+      s.profile.streaming_fraction = 0.05;
+      s.profile.store_fraction = 0.15;
+      s.base_service_time = 2.0;
+      s.service_cv = 0.10;
+      s.mem_fraction = 0.35;
+      s.threads = 16;
+      break;
+    case Benchmark::kKmeans:
+      s.description = "Cluster analysis in data mining (OpenMP)";
+      s.cache_pattern = "High data reuse / low cache misses";
+      s.profile.components = {{0.45, 1.2 * kMB}, {0.50, 5.0 * kMB}};
+      s.profile.streaming_fraction = 0.05;
+      s.profile.store_fraction = 0.20;
+      s.base_service_time = 5.0;
+      s.service_cv = 0.12;
+      s.mem_fraction = 0.45;
+      s.threads = 16;
+      break;
+    case Benchmark::kSpkmeans:
+      // Spark tasks add serialization/shuffle traffic: higher misses.
+      s.description = "Spark cluster analysis (k-means, 16 threads)";
+      s.cache_pattern = "Higher cache misses b/c of tasks execution";
+      s.profile.components = {{0.40, 4.0 * kMB}, {0.35, 20.0 * kMB}};
+      s.profile.streaming_fraction = 0.25;
+      s.profile.store_fraction = 0.35;
+      s.base_service_time = 81.0;
+      s.service_cv = 0.20;
+      s.mem_fraction = 0.60;
+      s.threads = 16;
+      break;
+    case Benchmark::kSpstream:
+      // Windowed word count over a 10 MB/s network stream.
+      s.description = "Spark extract words from stream (windowed count)";
+      s.cache_pattern = "I/O intensive / high cache misses";
+      s.profile.components = {{0.30, 5.0 * kMB}, {0.20, 24.0 * kMB}};
+      s.profile.streaming_fraction = 0.50;
+      s.profile.store_fraction = 0.40;
+      s.base_service_time = 1.0;
+      s.service_cv = 0.30;
+      s.mem_fraction = 0.60;
+      s.threads = 16;
+      break;
+    case Benchmark::kBfs:
+      s.description = "Breadth-first search (OpenMP)";
+      s.cache_pattern = "Limited data reuse / moderate cache misses";
+      s.profile.components = {{0.35, 4.0 * kMB}, {0.30, 12.0 * kMB}};
+      s.profile.streaming_fraction = 0.35;
+      s.profile.store_fraction = 0.30;
+      s.base_service_time = 3.0;
+      s.service_cv = 0.25;
+      s.mem_fraction = 0.60;
+      s.threads = 16;
+      break;
+    case Benchmark::kSocial:
+      // DeathStarBench-style social network: 36 microservices in 30
+      // containers sharing one allocation policy.
+      s.description =
+          "Social network implemented with loosely-coupled microservices";
+      s.cache_pattern = "Moderate data reuse / moderate cache misses";
+      s.profile.components = {{0.45, 4.5 * kMB}, {0.35, 10.0 * kMB}};
+      s.profile.streaming_fraction = 0.20;
+      s.profile.store_fraction = 0.30;
+      s.profile.code_bytes = 512 * 1024;  // 36 distinct service binaries
+      s.profile.ifetch_per_access = 0.5;
+      s.base_service_time = 7.5e-3;
+      s.service_cv = 0.0;  // demand comes from the microservice graph
+      s.mem_fraction = 0.55;
+      s.threads = 36;
+      s.containers = 30;
+      s.use_microservice_graph = true;
+      break;
+    case Benchmark::kRedis:
+      // YCSB session store: 200,000 x 1 KB records, Zipf popularity.
+      s.description = "YCSB: session store recording recent actions";
+      s.cache_pattern = "Low data reuse / high cache misses";
+      s.profile.components = {{0.45, 5.0 * kMB}, {0.20, 48.0 * kMB}};
+      s.profile.streaming_fraction = 0.35;
+      s.profile.store_fraction = 0.50;
+      s.base_service_time = 1.0e-3;
+      s.service_cv = 0.30;
+      s.mem_fraction = 0.75;
+      s.threads = 2;
+      s.stream_kind = StreamKind::kZipf;
+      s.zipf_records = 200'000;
+      s.zipf_record_bytes = 1024;
+      s.zipf_alpha = 0.99;
+      break;
+  }
+  STAC_ENSURE(s.profile.valid());
+  return s;
+}
+
+WorkloadModel make_model(Benchmark b, std::size_t max_ways, double way_bytes,
+                         std::uint32_t baseline_ways) {
+  return WorkloadModel(benchmark_spec(b), max_ways, way_bytes, baseline_ways);
+}
+
+}  // namespace stac::wl

@@ -1,0 +1,40 @@
+// The eight benchmarks of Table 1, with reuse profiles and service-time
+// parameters chosen to match the paper's reported cache access patterns and
+// baseline response times (Social 7.5 ms, Spkmeans 81 s, Spstream 1 s,
+// Redis 1 ms; Rodinia times are representative).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "wl/workload.hpp"
+
+namespace stac::wl {
+
+enum class Benchmark : std::uint8_t {
+  kJacobi,
+  kKnn,
+  kKmeans,
+  kSpkmeans,
+  kSpstream,
+  kBfs,
+  kSocial,
+  kRedis,
+};
+
+inline constexpr std::size_t kBenchmarkCount = 8;
+
+[[nodiscard]] std::string_view benchmark_id(Benchmark b);
+[[nodiscard]] std::optional<Benchmark> benchmark_from_id(std::string_view id);
+[[nodiscard]] const std::vector<Benchmark>& all_benchmarks();
+
+/// The Table-1 spec for a benchmark.
+[[nodiscard]] WorkloadSpec benchmark_spec(Benchmark b);
+
+/// A calibrated model for the given LLC geometry.
+[[nodiscard]] WorkloadModel make_model(Benchmark b, std::size_t max_ways,
+                                       double way_bytes,
+                                       std::uint32_t baseline_ways);
+
+}  // namespace stac::wl

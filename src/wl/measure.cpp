@@ -1,0 +1,74 @@
+#include "wl/measure.hpp"
+
+#include "cat/allocation.hpp"
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+using cachesim::CacheHierarchy;
+using cachesim::Counter;
+using cachesim::CounterSnapshot;
+
+MeasuredPoint measure_at_ways(const WorkloadModel& model,
+                              const cachesim::HierarchyConfig& config,
+                              std::uint32_t ways, std::size_t warmup,
+                              std::size_t accesses, std::uint64_t seed) {
+  STAC_REQUIRE(ways >= 1 && ways <= config.llc.ways);
+  STAC_REQUIRE(accesses > 0);
+  CacheHierarchy hw(config, 1);
+  hw.set_llc_fill_mask(0, cat::Allocation{0, ways}.mask());
+  auto stream = model.make_stream(0, seed);
+
+  for (std::size_t i = 0; i < warmup; ++i) {
+    hw.access(0, stream->next());
+    hw.retire_instructions(0, 4);
+  }
+  const CounterSnapshot before = hw.counters(0);
+  for (std::size_t i = 0; i < accesses; ++i) {
+    hw.access(0, stream->next());
+    hw.retire_instructions(0, 4);
+  }
+  const CounterSnapshot delta = hw.counters(0).delta_since(before);
+
+  MeasuredPoint p;
+  p.ways = ways;
+  p.llc_miss_ratio = delta.llc_miss_ratio();
+  p.l2_miss_ratio = delta.l2_miss_ratio();
+  p.llc_mpki = delta.llc_mpki();
+  return p;
+}
+
+std::vector<MeasuredPoint> measure_mrc(
+    const WorkloadModel& model, const cachesim::HierarchyConfig& config,
+    const std::vector<std::uint32_t>& ways_list, std::size_t warmup,
+    std::size_t accesses, std::uint64_t seed) {
+  std::vector<MeasuredPoint> out;
+  out.reserve(ways_list.size());
+  for (std::uint32_t w : ways_list)
+    out.push_back(measure_at_ways(model, config, w, warmup, accesses, seed));
+  return out;
+}
+
+Characterization characterize(const WorkloadModel& model,
+                              const cachesim::HierarchyConfig& config,
+                              std::uint32_t baseline_ways, std::size_t warmup,
+                              std::size_t accesses, std::uint64_t seed) {
+  Characterization c;
+  c.id = model.spec().id;
+  c.description = model.spec().description;
+  c.cache_pattern = model.spec().cache_pattern;
+  c.baseline_service_time = model.baseline_service_time();
+
+  const MeasuredPoint base =
+      measure_at_ways(model, config, baseline_ways, warmup, accesses, seed);
+  c.llc_miss_ratio = base.llc_miss_ratio;
+  c.llc_mpki = base.llc_mpki;
+
+  const MeasuredPoint full = measure_at_ways(
+      model, config, static_cast<std::uint32_t>(config.llc.ways), warmup,
+      accesses, seed + 1);
+  c.data_reuse = 1.0 - full.llc_miss_ratio;
+  return c;
+}
+
+}  // namespace stac::wl

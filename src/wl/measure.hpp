@@ -1,0 +1,51 @@
+// Measurement helpers that run workload address streams through the cache
+// simulator: miss-ratio curves measured against the "hardware" (validating
+// the analytic curves the testbed uses), and the Table-1 characterization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cachesim/cache_hierarchy.hpp"
+#include "wl/benchmark_suite.hpp"
+
+namespace stac::wl {
+
+struct MeasuredPoint {
+  std::uint32_t ways = 0;
+  double llc_miss_ratio = 0.0;
+  double l2_miss_ratio = 0.0;
+  double llc_mpki = 0.0;
+};
+
+/// Run `accesses` references of the workload solo on the hierarchy with a
+/// contiguous allocation of `ways` ways, after a warmup of `warmup`
+/// references, and report steady-state miss behaviour.
+[[nodiscard]] MeasuredPoint measure_at_ways(
+    const WorkloadModel& model, const cachesim::HierarchyConfig& config,
+    std::uint32_t ways, std::size_t warmup, std::size_t accesses,
+    std::uint64_t seed);
+
+/// Measured MRC across a list of way counts.
+[[nodiscard]] std::vector<MeasuredPoint> measure_mrc(
+    const WorkloadModel& model, const cachesim::HierarchyConfig& config,
+    const std::vector<std::uint32_t>& ways_list, std::size_t warmup,
+    std::size_t accesses, std::uint64_t seed);
+
+/// One Table-1 row: measured cache behaviour at the baseline allocation.
+struct Characterization {
+  std::string id;
+  std::string description;
+  std::string cache_pattern;
+  double llc_miss_ratio = 0.0;   ///< at baseline ways
+  double data_reuse = 0.0;       ///< 1 - LLC miss ratio at full cache
+  double llc_mpki = 0.0;
+  double baseline_service_time = 0.0;
+};
+
+[[nodiscard]] Characterization characterize(
+    const WorkloadModel& model, const cachesim::HierarchyConfig& config,
+    std::uint32_t baseline_ways, std::size_t warmup, std::size_t accesses,
+    std::uint64_t seed);
+
+}  // namespace stac::wl

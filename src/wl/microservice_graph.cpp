@@ -1,0 +1,89 @@
+#include "wl/microservice_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+namespace {
+/// E[max of n iid Exp(1)] = H_n (harmonic number).
+double harmonic(std::size_t n) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+}  // namespace
+
+MicroserviceGraph::MicroserviceGraph(std::vector<Service> services,
+                                     std::vector<std::size_t> layer_widths,
+                                     std::size_t containers)
+    : services_(std::move(services)), layer_widths_(std::move(layer_widths)),
+      containers_(containers) {
+  normalizer_ = 1.0;
+  const double mean = expected_demand();
+  STAC_REQUIRE(mean > 0.0);
+  normalizer_ = mean;
+}
+
+MicroserviceGraph MicroserviceGraph::social_network() {
+  // 6 stages modeled on a compose-post flow: front-end nginx, compose
+  // orchestration, a wide fan-out to user/media/text/url/mention services,
+  // storage, timeline update, response assembly.  Widths sum to 36.
+  const std::vector<std::size_t> widths{1, 4, 12, 10, 6, 3};
+  const std::vector<std::string> stage_names{
+      "nginx", "compose", "enrich", "storage", "timeline", "assemble"};
+  // Per-stage share of the expected critical path.
+  const std::vector<double> stage_share{0.08, 0.17, 0.30, 0.20, 0.15, 0.10};
+
+  std::vector<Service> services;
+  std::size_t container = 0;
+  for (std::size_t layer = 0; layer < widths.size(); ++layer) {
+    const std::size_t width = widths[layer];
+    // E[max of width Exp(mu)] = mu * H_width; choose mu so the stage's
+    // expected critical-path contribution equals its share.
+    const double mu = stage_share[layer] / harmonic(width);
+    for (std::size_t b = 0; b < width; ++b) {
+      std::ostringstream name;
+      name << stage_names[layer] << '-' << b;
+      services.push_back(Service{name.str(), layer, container, mu});
+      // 30 containers for 36 services: the last 6 services double up.
+      if (container + 1 < 30) ++container;
+    }
+  }
+  STAC_ENSURE(services.size() == 36);
+  return MicroserviceGraph(std::move(services), widths, 30);
+}
+
+double MicroserviceGraph::sample_demand(Rng& rng) const {
+  double total = 0.0;
+  std::size_t idx = 0;
+  for (std::size_t layer = 0; layer < layer_widths_.size(); ++layer) {
+    double layer_max = 0.0;
+    for (std::size_t b = 0; b < layer_widths_[layer]; ++b) {
+      const Service& svc = services_[idx++];
+      layer_max = std::max(layer_max, rng.exponential(1.0 / svc.mean_time));
+    }
+    total += layer_max;
+    // RPC retry: the slowest branch timed out and the layer re-executes.
+    if (rng.bernoulli(kRetryProbability)) total += 2.0 * layer_max;
+  }
+  return total / normalizer_;
+}
+
+double MicroserviceGraph::expected_demand() const {
+  double total = 0.0;
+  std::size_t idx = 0;
+  for (std::size_t layer = 0; layer < layer_widths_.size(); ++layer) {
+    const std::size_t width = layer_widths_[layer];
+    // All services in a layer share one mean by construction.
+    const double mu = services_[idx].mean_time;
+    idx += width;
+    total += mu * harmonic(width) * (1.0 + 2.0 * kRetryProbability);
+  }
+  return total / normalizer_;
+}
+
+}  // namespace stac::wl

@@ -1,0 +1,66 @@
+// The Social macro-benchmark's service topology: 36 microservices spread
+// over 30 Docker containers (DeathStarBench-style social network).
+//
+// The graph matters to the model because end-to-end response time of a
+// fan-out topology is a sum of per-layer *maxima* — far heavier-tailed than
+// any single service — which is exactly the variability the paper says
+// dynaSprint fails to capture (§5.2).  All 36 services share one short-term
+// allocation policy (§5: "All microservices in Social shared one short-term
+// cache allocation policy"), so the graph contributes the per-query demand
+// distribution while cache behaviour is modeled at the workload level.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stac::wl {
+
+class MicroserviceGraph {
+ public:
+  struct Service {
+    std::string name;
+    std::size_t layer = 0;
+    std::size_t container = 0;
+    double mean_time = 0.0;  ///< exponential mean, as a fraction of total
+  };
+
+  /// Build the social-network graph: `layers` sequential stages with the
+  /// given fan-out widths; service means are split so the *expected*
+  /// critical path is 1.0 (callers scale by the workload's service time).
+  static MicroserviceGraph social_network();
+
+  [[nodiscard]] std::size_t service_count() const { return services_.size(); }
+  [[nodiscard]] std::size_t container_count() const { return containers_; }
+  [[nodiscard]] std::size_t layer_count() const { return layer_widths_.size(); }
+  [[nodiscard]] const std::vector<Service>& services() const {
+    return services_;
+  }
+
+  /// Sample a normalized end-to-end demand (mean ~1.0): per layer, the max
+  /// of the branch times; layers sum.  With probability `retry_probability`
+  /// a layer is re-executed (timeout/retry between microservices), giving
+  /// the heavy tail that distinguishes the macro-benchmark from simple
+  /// per-query log-normal demand.
+  [[nodiscard]] double sample_demand(Rng& rng) const;
+
+  /// Per-layer retry probability (DeathStarBench-style RPC retries).
+  static constexpr double kRetryProbability = 0.06;
+
+  /// Analytic expectation of sample_demand (used to normalize to mean 1).
+  [[nodiscard]] double expected_demand() const;
+
+ private:
+  MicroserviceGraph(std::vector<Service> services,
+                    std::vector<std::size_t> layer_widths,
+                    std::size_t containers);
+
+  std::vector<Service> services_;
+  std::vector<std::size_t> layer_widths_;
+  std::size_t containers_;
+  double normalizer_ = 1.0;
+};
+
+}  // namespace stac::wl

@@ -1,0 +1,78 @@
+#include "wl/mrc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+MissRatioCurve::MissRatioCurve(std::vector<double> by_way)
+    : by_way_(std::move(by_way)) {
+  STAC_REQUIRE_MSG(by_way_.size() >= 2, "need at least 0-way and 1-way points");
+  STAC_REQUIRE_MSG(std::abs(by_way_[0] - 1.0) < 1e-12,
+                   "miss ratio at zero ways must be 1");
+  for (std::size_t w = 0; w < by_way_.size(); ++w) {
+    STAC_REQUIRE_MSG(by_way_[w] >= 0.0 && by_way_[w] <= 1.0,
+                     "miss ratio out of [0,1] at way " << w);
+    if (w > 0)
+      STAC_REQUIRE_MSG(by_way_[w] <= by_way_[w - 1] + 1e-12,
+                       "miss ratio must be non-increasing at way " << w);
+  }
+}
+
+double MissRatioCurve::at(double ways) const {
+  if (ways <= 0.0) return by_way_.front();
+  const auto maxw = static_cast<double>(max_ways());
+  if (ways >= maxw) return by_way_.back();
+  const auto lo = static_cast<std::size_t>(ways);
+  const double frac = ways - static_cast<double>(lo);
+  return by_way_[lo] * (1.0 - frac) + by_way_[lo + 1] * frac;
+}
+
+double MissRatioCurve::marginal_gain(std::size_t w) const {
+  if (w + 1 >= by_way_.size()) return 0.0;
+  return by_way_[w] - by_way_[w + 1];
+}
+
+MissRatioCurve MissRatioCurve::from_working_sets(
+    std::span<const Component> components, double floor, std::size_t max_ways,
+    double way_bytes) {
+  STAC_REQUIRE(max_ways >= 1);
+  STAC_REQUIRE(way_bytes > 0.0);
+  STAC_REQUIRE(floor >= 0.0 && floor < 1.0);
+  double total_frac = 0.0;
+  for (const auto& c : components) {
+    STAC_REQUIRE(c.fraction >= 0.0 && c.ws_bytes > 0.0);
+    total_frac += c.fraction;
+  }
+  STAC_REQUIRE_MSG(std::abs(total_frac - 1.0) < 1e-9,
+                   "component fractions must sum to 1");
+  std::vector<double> by_way(max_ways + 1);
+  by_way[0] = 1.0;
+  for (std::size_t w = 1; w <= max_ways; ++w) {
+    const double capacity = way_bytes * static_cast<double>(w);
+    double miss = 0.0;
+    for (const auto& c : components) {
+      const double hit = std::min(1.0, capacity / c.ws_bytes);
+      miss += c.fraction * (1.0 - hit);
+    }
+    // The floor is compulsory traffic: scale capacity-sensitive misses into
+    // the remaining headroom so by_way stays within [floor, 1].
+    by_way[w] = floor + (1.0 - floor) * miss;
+  }
+  return MissRatioCurve(std::move(by_way));
+}
+
+MissRatioCurve MissRatioCurve::exponential(double floor, double scale,
+                                           std::size_t max_ways) {
+  STAC_REQUIRE(scale > 0.0);
+  std::vector<double> by_way(max_ways + 1);
+  for (std::size_t w = 0; w <= max_ways; ++w)
+    by_way[w] =
+        floor + (1.0 - floor) * std::exp(-static_cast<double>(w) / scale);
+  by_way[0] = 1.0;
+  return MissRatioCurve(std::move(by_way));
+}
+
+}  // namespace stac::wl

@@ -1,0 +1,53 @@
+// Miss-ratio curves: LLC miss ratio as a function of allocated capacity.
+//
+// The testbed's service-time response to cache allocation flows entirely
+// through these curves, so they are the knob that makes each synthetic
+// benchmark reproduce its Table-1 cache behaviour.  Curves are stored at
+// integer way granularity (CAT allocates whole ways) with linear
+// interpolation for the fractional effective ways produced by the
+// shared-region occupancy model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stac::wl {
+
+class MissRatioCurve {
+ public:
+  /// `by_way[w]` = miss ratio with w ways allocated; by_way[0] must be 1.0
+  /// (no cache, everything misses) and the curve must be non-increasing.
+  explicit MissRatioCurve(std::vector<double> by_way);
+
+  [[nodiscard]] std::size_t max_ways() const { return by_way_.size() - 1; }
+
+  /// Miss ratio at a (possibly fractional) way count; clamps to the range.
+  [[nodiscard]] double at(double ways) const;
+
+  /// Marginal utility of one more way at w (dCat-style utility signal).
+  [[nodiscard]] double marginal_gain(std::size_t w) const;
+
+  [[nodiscard]] std::span<const double> values() const { return by_way_; }
+
+  /// Build from a mixture of uniform working sets: each component touches
+  /// `ws_bytes` uniformly with probability `fraction`; LRU hit ratio per
+  /// component approximated as min(1, capacity / ws_bytes).  `floor` is the
+  /// compulsory/streaming miss floor that no capacity removes.
+  struct Component {
+    double fraction;
+    double ws_bytes;
+  };
+  [[nodiscard]] static MissRatioCurve from_working_sets(
+      std::span<const Component> components, double floor,
+      std::size_t max_ways, double way_bytes);
+
+  /// Analytic exponential decay: floor + (1 - floor) * exp(-ways / scale).
+  [[nodiscard]] static MissRatioCurve exponential(double floor, double scale,
+                                                  std::size_t max_ways);
+
+ private:
+  std::vector<double> by_way_;
+};
+
+}  // namespace stac::wl

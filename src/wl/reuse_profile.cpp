@@ -1,0 +1,49 @@
+#include "wl/reuse_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+bool ReuseProfile::valid() const {
+  if (components.empty() && streaming_fraction <= 0.0) return false;
+  double total = streaming_fraction;
+  for (const auto& c : components) {
+    if (c.fraction < 0.0 || c.ws_bytes <= 0.0) return false;
+    total += c.fraction;
+  }
+  if (std::abs(total - 1.0) > 1e-9) return false;
+  if (store_fraction < 0.0 || store_fraction > 1.0) return false;
+  if (ifetch_per_access < 0.0) return false;
+  return true;
+}
+
+MissRatioCurve ReuseProfile::mrc(std::size_t max_ways,
+                                 double way_bytes) const {
+  STAC_REQUIRE_MSG(valid(), "invalid reuse profile");
+  // Renormalize the reuse components to 1 and pass the streaming share as
+  // the floor: from_working_sets() scales component misses into 1 - floor.
+  std::vector<MissRatioCurve::Component> scaled;
+  scaled.reserve(components.size());
+  const double reuse_total = 1.0 - streaming_fraction;
+  if (reuse_total <= 0.0) {
+    // Pure streaming: flat curve at 1 except the mandatory [0]=1 anchor —
+    // every way count misses at the floor (== 1 here, fully insensitive).
+    std::vector<double> by_way(max_ways + 1, 1.0);
+    return MissRatioCurve(std::move(by_way));
+  }
+  for (const auto& c : components)
+    scaled.push_back({c.fraction / reuse_total, c.ws_bytes});
+  return MissRatioCurve::from_working_sets(scaled, streaming_fraction,
+                                           max_ways, way_bytes);
+}
+
+double ReuseProfile::footprint_bytes() const {
+  double f = code_bytes;
+  for (const auto& c : components) f = std::max(f, c.ws_bytes);
+  return f;
+}
+
+}  // namespace stac::wl

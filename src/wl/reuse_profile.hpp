@@ -1,0 +1,45 @@
+// Reuse profiles: the cache-behaviour fingerprint of each benchmark.
+//
+// A profile is a mixture of working-set components plus streaming traffic;
+// it is used in two consistent ways:
+//   1. analytically, to derive the workload's miss-ratio curve (mrc.hpp);
+//   2. generatively, to drive synthetic address streams through the cache
+//      simulator (access_stream.hpp) so that counter traces and Table-1
+//      characterization come from actual simulated cache behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wl/mrc.hpp"
+
+namespace stac::wl {
+
+struct ReuseProfile {
+  /// Working-set components: `fraction` of accesses touch `ws_bytes`
+  /// uniformly.  Fractions (plus streaming_fraction) must sum to 1.
+  std::vector<MissRatioCurve::Component> components;
+  /// Fraction of accesses that stream through memory (no reuse; compulsory
+  /// misses regardless of allocation).
+  double streaming_fraction = 0.0;
+  /// Fraction of data accesses that are stores.
+  double store_fraction = 0.3;
+  /// Instruction-fetch accesses interleaved per data access (drives L1I).
+  double ifetch_per_access = 0.25;
+  /// Instruction-side working set (bytes).
+  double code_bytes = 64 * 1024;
+
+  /// Validation: fractions sane and components non-empty.
+  [[nodiscard]] bool valid() const;
+
+  /// The data-side miss-ratio curve of this profile on an LLC with
+  /// `max_ways` ways of `way_bytes` each.  The streaming fraction becomes
+  /// the capacity-insensitive floor.
+  [[nodiscard]] MissRatioCurve mrc(std::size_t max_ways,
+                                   double way_bytes) const;
+
+  /// Total bytes the profile touches (largest component).
+  [[nodiscard]] double footprint_bytes() const;
+};
+
+}  // namespace stac::wl

@@ -1,0 +1,76 @@
+#include "wl/workload.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+
+WorkloadModel::WorkloadModel(WorkloadSpec spec, std::size_t max_ways,
+                             double way_bytes, std::uint32_t baseline_ways)
+    : spec_(std::move(spec)),
+      mrc_(spec_.profile.mrc(max_ways, way_bytes)),
+      baseline_ways_(baseline_ways) {
+  STAC_REQUIRE(baseline_ways >= 1 && baseline_ways <= max_ways);
+  STAC_REQUIRE(spec_.base_service_time > 0.0);
+  STAC_REQUIRE(spec_.mem_fraction >= 0.0 && spec_.mem_fraction <= 1.0);
+
+  const double m0 = mrc_.at(static_cast<double>(baseline_ways));
+  if (m0 <= 1e-9 || spec_.mem_fraction <= 0.0) {
+    // Cache-insensitive at baseline: everything is compute.
+    cpu_time_ = spec_.base_service_time;
+    mem_scale_ = 0.0;
+  } else {
+    cpu_time_ = (1.0 - spec_.mem_fraction) * spec_.base_service_time;
+    mem_scale_ = spec_.mem_fraction * spec_.base_service_time / m0;
+  }
+  if (spec_.use_microservice_graph)
+    graph_ = MicroserviceGraph::social_network();
+}
+
+double WorkloadModel::mean_service_time(double ways) const {
+  return cpu_time_ + mem_scale_ * mrc_.at(ways);
+}
+
+double WorkloadModel::baseline_service_time() const {
+  return mean_service_time(static_cast<double>(baseline_ways_));
+}
+
+double WorkloadModel::speedup(double ways) const {
+  return baseline_service_time() / mean_service_time(ways);
+}
+
+double WorkloadModel::miss_rate(double ways) const {
+  // Memory-stall seconds per second of execution, divided by the per-miss
+  // penalty: misses / second.
+  const double stall_frac =
+      mem_scale_ * mrc_.at(ways) / mean_service_time(ways);
+  return stall_frac / spec_.miss_penalty;
+}
+
+double WorkloadModel::sample_demand(Rng& rng) const {
+  if (graph_) return graph_->sample_demand(rng);
+  if (spec_.service_cv <= 0.0) return 1.0;
+  return rng.lognormal_mean_cv(1.0, spec_.service_cv);
+}
+
+std::unique_ptr<cachesim::AccessStream> WorkloadModel::make_stream(
+    std::uint16_t class_id, std::uint64_t seed) const {
+  const std::uint64_t base =
+      kClassAddressStride * (static_cast<std::uint64_t>(class_id) + 1);
+  switch (spec_.stream_kind) {
+    case StreamKind::kZipf:
+      return std::make_unique<ZipfStream>(
+          spec_.zipf_records, spec_.zipf_record_bytes, spec_.zipf_alpha,
+          spec_.profile.store_fraction, base, seed);
+    case StreamKind::kStrided:
+      return std::make_unique<StridedStream>(
+          static_cast<std::size_t>(spec_.profile.footprint_bytes()), 64,
+          spec_.profile.store_fraction, base, seed);
+    case StreamKind::kSynthetic:
+      break;
+  }
+  return std::make_unique<SyntheticStream>(spec_.profile, base, seed);
+}
+
+}  // namespace stac::wl

@@ -1,0 +1,96 @@
+// Workload models: the bridge between cache allocation and service time.
+//
+// Each Table-1 benchmark is described by a WorkloadSpec (reuse profile,
+// baseline service time, memory-boundedness, topology) and realized as a
+// WorkloadModel calibrated against a concrete LLC geometry:
+//
+//   mean_service_time(ways) = cpu_time + mem_scale * miss_ratio(ways)
+//
+// with cpu_time and mem_scale chosen so that the model reproduces the
+// spec's baseline service time at the baseline allocation and splits it
+// into compute vs. memory-stall shares per `mem_fraction`.  Per-query
+// demand multiplies this mean (log-normal, or the microservice graph's
+// fan-out distribution for Social).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cachesim/cache_hierarchy.hpp"
+#include "common/rng.hpp"
+#include "wl/access_stream.hpp"
+#include "wl/microservice_graph.hpp"
+#include "wl/reuse_profile.hpp"
+
+namespace stac::wl {
+
+enum class StreamKind : std::uint8_t { kSynthetic, kZipf, kStrided };
+
+struct WorkloadSpec {
+  std::string id;           ///< short name, e.g. "jacobi"
+  std::string description;  ///< Table 1 description
+  std::string cache_pattern;  ///< Table 1 "Cache Access Pattern" text
+
+  ReuseProfile profile;
+  /// Average query service time at the baseline allocation, seconds.
+  double base_service_time = 1.0;
+  /// Coefficient of variation of per-query demand (ignored for Social,
+  /// which samples demand from the microservice graph).
+  double service_cv = 0.2;
+  /// Fraction of baseline service time spent in memory stalls; governs how
+  /// strongly cache allocation moves service time.
+  double mem_fraction = 0.5;
+  /// Average memory-stall cost per LLC miss, seconds (drives fill rates).
+  double miss_penalty = 100e-9;
+
+  std::size_t threads = 16;
+  std::size_t containers = 1;
+  bool use_microservice_graph = false;
+
+  StreamKind stream_kind = StreamKind::kSynthetic;
+  std::size_t zipf_records = 200'000;
+  std::size_t zipf_record_bytes = 1024;
+  double zipf_alpha = 0.99;
+};
+
+class WorkloadModel {
+ public:
+  /// Calibrates the spec against an LLC of `max_ways` ways of `way_bytes`
+  /// bytes, anchored at `baseline_ways` (the workload's private allocation).
+  WorkloadModel(WorkloadSpec spec, std::size_t max_ways, double way_bytes,
+                std::uint32_t baseline_ways);
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+  [[nodiscard]] const MissRatioCurve& mrc() const { return mrc_; }
+  [[nodiscard]] std::uint32_t baseline_ways() const { return baseline_ways_; }
+
+  /// Mean query service time with `ways` effective LLC ways.
+  [[nodiscard]] double mean_service_time(double ways) const;
+  /// == spec().base_service_time (calibration postcondition).
+  [[nodiscard]] double baseline_service_time() const;
+  /// T(baseline_ways) / T(ways): > 1 when `ways` beats the baseline.
+  [[nodiscard]] double speedup(double ways) const;
+  [[nodiscard]] double miss_ratio(double ways) const { return mrc_.at(ways); }
+
+  /// LLC misses per second while executing with `ways` effective ways —
+  /// the fill pressure this workload exerts on shared cache ways.
+  [[nodiscard]] double miss_rate(double ways) const;
+
+  /// Multiplicative per-query demand, mean 1.0.
+  [[nodiscard]] double sample_demand(Rng& rng) const;
+
+  /// Address stream for cachesim profiling, namespaced by class id.
+  [[nodiscard]] std::unique_ptr<cachesim::AccessStream> make_stream(
+      std::uint16_t class_id, std::uint64_t seed) const;
+
+ private:
+  WorkloadSpec spec_;
+  MissRatioCurve mrc_;
+  std::uint32_t baseline_ways_;
+  double cpu_time_ = 0.0;
+  double mem_scale_ = 0.0;
+  std::optional<MicroserviceGraph> graph_;
+};
+
+}  // namespace stac::wl

@@ -1,0 +1,94 @@
+#include "cachesim/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace stac::cachesim {
+namespace {
+
+TEST(PerfCounters, TwentyNineCountersWithUniqueNames) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    names.insert(counter_name(static_cast<Counter>(i)));
+  EXPECT_EQ(names.size(), 29u);
+}
+
+TEST(PerfCounters, GroupedOrderingIsContiguous) {
+  // The canonical order groups counters by type — the spatial locality MGS
+  // exploits (Fig. 7c).  Groups must not interleave.
+  std::set<CounterGroup> seen;
+  CounterGroup prev = counter_group(static_cast<Counter>(0));
+  seen.insert(prev);
+  for (std::size_t i = 1; i < kCounterCount; ++i) {
+    const CounterGroup g = counter_group(static_cast<Counter>(i));
+    if (g != prev) {
+      EXPECT_EQ(seen.count(g), 0u)
+          << "group " << counter_group_name(g) << " interleaves";
+      seen.insert(g);
+      prev = g;
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(PerfCounters, SnapshotBumpAndGet) {
+  CounterSnapshot s;
+  s.bump(Counter::kLlcLoads, 5);
+  s.bump(Counter::kLlcLoads);
+  EXPECT_EQ(s.get(Counter::kLlcLoads), 6u);
+}
+
+TEST(PerfCounters, DeltaSubtractsMonotonicCopiesGauges) {
+  CounterSnapshot before, after;
+  before.set(Counter::kLlcLoads, 10);
+  after.set(Counter::kLlcLoads, 25);
+  before.set(Counter::kLlcOccupancyLines, 500);
+  after.set(Counter::kLlcOccupancyLines, 300);  // gauge may fall
+  const CounterSnapshot d = after.delta_since(before);
+  EXPECT_EQ(d.get(Counter::kLlcLoads), 15u);
+  EXPECT_EQ(d.get(Counter::kLlcOccupancyLines), 300u);
+}
+
+TEST(PerfCounters, DeltaRejectsBackwardsMonotonic) {
+  CounterSnapshot before, after;
+  before.set(Counter::kLlcLoads, 10);
+  after.set(Counter::kLlcLoads, 5);
+  EXPECT_THROW(after.delta_since(before), ContractViolation);
+}
+
+TEST(PerfCounters, DerivedRatios) {
+  CounterSnapshot s;
+  s.set(Counter::kL1dLoads, 80);
+  s.set(Counter::kL1dStores, 20);
+  s.set(Counter::kL1dLoadMisses, 8);
+  s.set(Counter::kL1dStoreMisses, 2);
+  EXPECT_DOUBLE_EQ(s.l1d_miss_ratio(), 0.1);
+
+  s.set(Counter::kLlcLoads, 40);
+  s.set(Counter::kLlcStores, 10);
+  s.set(Counter::kLlcLoadMisses, 20);
+  s.set(Counter::kLlcStoreMisses, 5);
+  EXPECT_DOUBLE_EQ(s.llc_miss_ratio(), 0.5);
+
+  s.set(Counter::kInstructions, 1000);
+  EXPECT_DOUBLE_EQ(s.llc_mpki(), 25.0);
+}
+
+TEST(PerfCounters, RatiosSafeOnZeroDenominator) {
+  CounterSnapshot s;
+  EXPECT_DOUBLE_EQ(s.l1d_miss_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.llc_miss_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.llc_mpki(), 0.0);
+}
+
+TEST(PerfCounters, GaugeFlags) {
+  EXPECT_TRUE(counter_is_gauge(Counter::kLlcOccupancyLines));
+  EXPECT_TRUE(counter_is_gauge(Counter::kIpcX1000));
+  EXPECT_FALSE(counter_is_gauge(Counter::kLlcLoads));
+}
+
+}  // namespace
+}  // namespace stac::cachesim

@@ -1,0 +1,121 @@
+#include "cat/allocation_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+namespace {
+
+TEST(AllocationPlan, PairPlanMatchesPaperExample) {
+  // §5: w0 private ways {0}, shared {1,2}, w1 private {3} on a small LLC.
+  const AllocationPlan plan = make_pair_plan(8, 1, 2);
+  EXPECT_EQ(plan.workload_count(), 2u);
+  EXPECT_EQ(plan.policy(0).dflt, (Allocation{0, 1}));
+  EXPECT_EQ(plan.policy(0).boosted, (Allocation{0, 3}));
+  EXPECT_EQ(plan.policy(1).dflt, (Allocation{3, 1}));
+  EXPECT_EQ(plan.policy(1).boosted, (Allocation{1, 3}));
+  EXPECT_TRUE(plan.valid());
+}
+
+TEST(AllocationPlan, PairPlanPrivateAndSharedWays) {
+  const AllocationPlan plan = make_pair_plan(8, 2, 2);
+  EXPECT_EQ(plan.private_ways(0), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(plan.private_ways(1), (std::vector<std::uint32_t>{4, 5}));
+  EXPECT_EQ(plan.shared_ways(0), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(plan.shared_ways(1), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_TRUE(plan.all_have_private());
+}
+
+TEST(AllocationPlan, PairPlanTooBigThrows) {
+  EXPECT_THROW(make_pair_plan(4, 2, 2), ContractViolation);
+}
+
+TEST(AllocationPlan, ChainPlanStructure) {
+  const AllocationPlan plan = make_chain_plan(10, 3, 2, 1);
+  EXPECT_EQ(plan.workload_count(), 3u);
+  EXPECT_TRUE(plan.valid());
+  EXPECT_TRUE(plan.all_have_private());
+  // Middle workload shares with both neighbours; ends share with one.
+  EXPECT_EQ(plan.sharers_of(0).size(), 1u);
+  EXPECT_EQ(plan.sharers_of(1).size(), 2u);
+  EXPECT_EQ(plan.sharers_of(2).size(), 1u);
+  EXPECT_TRUE(plan.sharing_degree_at_most_two());
+  EXPECT_TRUE(plan.private_regions_disjoint());
+}
+
+TEST(AllocationPlan, SingleWorkloadChain) {
+  const AllocationPlan plan = make_chain_plan(4, 1, 2, 1);
+  EXPECT_EQ(plan.workload_count(), 1u);
+  EXPECT_TRUE(plan.sharers_of(0).empty());
+  EXPECT_EQ(plan.shared_ways(0).size(), 0u);
+}
+
+TEST(AllocationPlan, PrivateWaysRespectEquationOne) {
+  // Workload 0's setting is swallowed by workload 1's: no private ways.
+  std::vector<PolicyAllocations> ps{
+      {{1, 1}, {1, 1}},
+      {{0, 4}, {0, 4}},
+  };
+  const AllocationPlan plan(4, ps);
+  EXPECT_TRUE(plan.private_ways(0).empty());
+  EXPECT_FALSE(plan.all_have_private());
+}
+
+TEST(AllocationPlan, InvalidWhenBoostedDoesNotCoverDefault) {
+  std::vector<PolicyAllocations> ps{
+      {{0, 2}, {1, 1}},  // boosted excludes default way 0
+      {{2, 2}, {2, 2}},
+  };
+  const AllocationPlan plan(4, ps);
+  EXPECT_FALSE(plan.valid());
+}
+
+// §2 conjecture 1: under the premise that every policy retains private
+// ways, private regions are contiguous, disjoint and non-interleaved.
+// §2 conjecture 2: each policy shares cache with at most two others.
+// The exhaustive search over small way counts must find no counterexample.
+class ConjectureSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::size_t>> {
+};
+
+TEST_P(ConjectureSweep, NoCounterexamples) {
+  const auto [ways, workloads] = GetParam();
+  const ConjectureSearchResult r =
+      search_conjecture_counterexamples(ways, workloads);
+  EXPECT_GT(r.plans_examined, 0u);
+  EXPECT_FALSE(r.conjecture1_counterexample.has_value())
+      << r.conjecture1_counterexample->to_string();
+  EXPECT_FALSE(r.conjecture2_counterexample.has_value())
+      << r.conjecture2_counterexample->to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallConfigs, ConjectureSweep,
+    ::testing::Values(std::pair<std::uint32_t, std::size_t>{4, 2},
+                      std::pair<std::uint32_t, std::size_t>{6, 2},
+                      std::pair<std::uint32_t, std::size_t>{8, 2},
+                      std::pair<std::uint32_t, std::size_t>{4, 3},
+                      std::pair<std::uint32_t, std::size_t>{5, 3}));
+
+TEST(ConjectureSearch, RefusesLargeConfigs) {
+  EXPECT_THROW(search_conjecture_counterexamples(16, 3), ContractViolation);
+}
+
+TEST(AllocationPlan, SharingDegreeViolationDetectedWithoutPremise) {
+  // Three workloads all sharing one region: each has 2 sharers (fine), but
+  // drop the premise and pile a fourth in to exceed the bound.
+  std::vector<PolicyAllocations> ps{
+      {{0, 1}, {0, 4}},
+      {{1, 1}, {0, 4}},
+      {{2, 1}, {0, 4}},
+      {{3, 1}, {0, 4}},
+  };
+  const AllocationPlan plan(4, ps);
+  EXPECT_FALSE(plan.sharing_degree_at_most_two());
+  // And indeed the premise fails: nobody retains private ways.
+  EXPECT_FALSE(plan.all_have_private());
+}
+
+}  // namespace
+}  // namespace stac::cat

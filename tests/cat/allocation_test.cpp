@@ -1,0 +1,86 @@
+#include "cat/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+namespace {
+
+TEST(Allocation, BasicGeometry) {
+  const Allocation a{2, 3};
+  EXPECT_EQ(a.end(), 5u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(a.contains(4));
+  EXPECT_FALSE(a.contains(5));
+  EXPECT_FALSE(a.contains(1));
+}
+
+TEST(Allocation, Overlaps) {
+  const Allocation a03{0, 3}, a22{2, 2}, a02{0, 2}, empty{0, 0}, a05{0, 5};
+  EXPECT_TRUE(a03.overlaps(a22));
+  EXPECT_FALSE(a02.overlaps(a22));
+  EXPECT_FALSE(empty.overlaps(a05));
+}
+
+TEST(Allocation, Intersect) {
+  const Allocation a{0, 4}, b{2, 4};
+  const Allocation i = a.intersect(b);
+  EXPECT_EQ(i.offset, 2u);
+  EXPECT_EQ(i.length, 2u);
+  const Allocation c{0, 2}, d{3, 2};
+  EXPECT_TRUE(c.intersect(d).empty());
+}
+
+TEST(Allocation, SubsetOf) {
+  const Allocation inner{1, 2}, outer{0, 4}, wide{1, 4}, empty{0, 0},
+      point{3, 1};
+  EXPECT_TRUE(inner.subset_of(outer));
+  EXPECT_FALSE(wide.subset_of(outer));
+  EXPECT_TRUE(empty.subset_of(point));
+}
+
+TEST(Allocation, MaskGeneration) {
+  const Allocation a{0, 1}, b{1, 2}, c{4, 4}, empty{0, 0};
+  EXPECT_EQ(a.mask(), 0b1u);
+  EXPECT_EQ(b.mask(), 0b110u);
+  EXPECT_EQ(c.mask(), 0b11110000u);
+  EXPECT_EQ(empty.mask(), 0u);
+}
+
+TEST(Allocation, MaskContiguity) {
+  EXPECT_TRUE(mask_contiguous(0b1));
+  EXPECT_TRUE(mask_contiguous(0b1110));
+  EXPECT_FALSE(mask_contiguous(0b1011));
+  EXPECT_FALSE(mask_contiguous(0));
+}
+
+TEST(Allocation, FromMaskRoundTrip) {
+  for (std::uint32_t off = 0; off < 8; ++off) {
+    for (std::uint32_t len = 1; off + len <= 8; ++len) {
+      const Allocation a{off, len};
+      const Allocation b = allocation_from_mask(a.mask());
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(Allocation, FromMaskRejectsNonContiguous) {
+  EXPECT_THROW((void)allocation_from_mask(0b101), ContractViolation);
+  EXPECT_THROW((void)allocation_from_mask(0), ContractViolation);
+}
+
+TEST(Allocation, Validity) {
+  EXPECT_TRUE(allocation_valid({0, 1}, 20));
+  EXPECT_TRUE(allocation_valid({18, 2}, 20));
+  EXPECT_FALSE(allocation_valid({19, 2}, 20));  // spills past the LLC
+  EXPECT_FALSE(allocation_valid({0, 0}, 20));   // CAT requires >= 1 way
+}
+
+TEST(Allocation, ToString) {
+  EXPECT_EQ((Allocation{2, 3}).to_string(), "[2,5)");
+}
+
+}  // namespace
+}  // namespace stac::cat

@@ -1,0 +1,112 @@
+#include "cat/cat_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+namespace {
+
+cachesim::HierarchyConfig hw_cfg() {
+  cachesim::HierarchyConfig c;
+  c.l1d = {8 * 1024, 8, 64, 4};
+  c.l1i = {8 * 1024, 8, 64, 4};
+  c.l2 = {64 * 1024, 16, 64, 12};
+  c.llc = {512 * 1024, 8, 64, 40};
+  return c;
+}
+
+class CatControllerTest : public ::testing::Test {
+ protected:
+  CatControllerTest()
+      : hw_(hw_cfg(), 2), plan_(make_pair_plan(8, 1, 2)), cat_(hw_, plan_) {}
+
+  cachesim::CacheHierarchy hw_;
+  AllocationPlan plan_;
+  CatController cat_;
+};
+
+TEST_F(CatControllerTest, InitialMasksAreDefaults) {
+  EXPECT_EQ(hw_.llc_fill_mask(0), plan_.policy(0).dflt.mask());
+  EXPECT_EQ(hw_.llc_fill_mask(1), plan_.policy(1).dflt.mask());
+  EXPECT_FALSE(cat_.is_boosted(0));
+  EXPECT_EQ(cat_.switch_count(), 0u);
+}
+
+TEST_F(CatControllerTest, BoostSwitchesMask) {
+  cat_.boost(0);
+  EXPECT_TRUE(cat_.is_boosted(0));
+  EXPECT_EQ(hw_.llc_fill_mask(0), plan_.policy(0).boosted.mask());
+  EXPECT_EQ(cat_.switch_count(), 1u);
+  cat_.unboost(0);
+  EXPECT_FALSE(cat_.is_boosted(0));
+  EXPECT_EQ(hw_.llc_fill_mask(0), plan_.policy(0).dflt.mask());
+  EXPECT_EQ(cat_.switch_count(), 2u);
+}
+
+TEST_F(CatControllerTest, RefcountedBoostSingleSwitch) {
+  // §4: multiple outstanding queries share one class-of-service switch.
+  cat_.boost(0);
+  cat_.boost(0);
+  cat_.boost(0);
+  EXPECT_EQ(cat_.switch_count(), 1u);
+  cat_.unboost(0);
+  cat_.unboost(0);
+  EXPECT_TRUE(cat_.is_boosted(0));  // one query still outstanding
+  cat_.unboost(0);
+  EXPECT_FALSE(cat_.is_boosted(0));
+  EXPECT_EQ(cat_.switch_count(), 2u);
+}
+
+TEST_F(CatControllerTest, UnboostWithoutBoostThrows) {
+  EXPECT_THROW(cat_.unboost(0), ContractViolation);
+}
+
+TEST_F(CatControllerTest, ResetBoostForcesDefault) {
+  cat_.boost(1);
+  cat_.boost(1);
+  cat_.reset_boost(1);
+  EXPECT_FALSE(cat_.is_boosted(1));
+  EXPECT_EQ(hw_.llc_fill_mask(1), plan_.policy(1).dflt.mask());
+  // Idempotent when not boosted.
+  cat_.reset_boost(1);
+  EXPECT_FALSE(cat_.is_boosted(1));
+}
+
+TEST_F(CatControllerTest, IndependentWorkloads) {
+  cat_.boost(0);
+  EXPECT_TRUE(cat_.is_boosted(0));
+  EXPECT_FALSE(cat_.is_boosted(1));
+  EXPECT_EQ(hw_.llc_fill_mask(1), plan_.policy(1).dflt.mask());
+}
+
+TEST_F(CatControllerTest, OccupancyQueriesHierarchy) {
+  EXPECT_EQ(cat_.occupancy(0), 0u);
+  hw_.access(0, {0x100, cachesim::AccessType::kLoad});
+  EXPECT_EQ(cat_.occupancy(0), 1u);
+}
+
+TEST(CatController, RejectsMismatchedPlan) {
+  cachesim::CacheHierarchy hw(hw_cfg(), 2);
+  const AllocationPlan plan = make_pair_plan(20, 1, 2);  // 20-way plan
+  EXPECT_THROW(CatController(hw, plan), ContractViolation);
+}
+
+TEST(CatController, BoostedFillsReachSharedWays) {
+  cachesim::CacheHierarchy hw(hw_cfg(), 2);
+  const AllocationPlan plan = make_pair_plan(8, 1, 2);
+  CatController cat(hw, plan);
+  // Default: workload 0 fills only way 0 -> occupancy bounded by sets.
+  for (std::uint64_t i = 0; i < 5000; ++i)
+    hw.access(0, {i * 64, cachesim::AccessType::kLoad});
+  const std::size_t dflt_occ = cat.occupancy(0);
+  EXPECT_LE(dflt_occ, hw.config().llc.sets());
+  // Boosted: three ways available, footprint can triple.
+  cat.boost(0);
+  for (std::uint64_t i = 0; i < 30000; ++i)
+    hw.access(0, {i * 64, cachesim::AccessType::kLoad});
+  EXPECT_GT(cat.occupancy(0), 2 * dflt_occ);
+}
+
+}  // namespace
+}  // namespace stac::cat

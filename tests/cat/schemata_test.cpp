@@ -1,0 +1,88 @@
+#include "cat/schemata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+namespace {
+
+TEST(Schemata, ParseSingleDomain) {
+  const Schemata s = parse_schemata("L3:0=7ff0");
+  EXPECT_EQ(s.resource, "L3");
+  ASSERT_EQ(s.entries.size(), 1u);
+  EXPECT_EQ(s.entries[0].domain, 0u);
+  EXPECT_EQ(s.entries[0].mask, 0x7ff0u);
+}
+
+TEST(Schemata, ParseMultipleDomains) {
+  const Schemata s = parse_schemata("L3:0=ff;1=f0;3=3");
+  ASSERT_EQ(s.entries.size(), 3u);
+  EXPECT_EQ(s.entries[1].domain, 1u);
+  EXPECT_EQ(s.entries[1].mask, 0xf0u);
+  EXPECT_EQ(s.entries[2].domain, 3u);
+  EXPECT_EQ(s.entries[2].mask, 0x3u);
+}
+
+TEST(Schemata, ParseUppercaseHex) {
+  const Schemata s = parse_schemata("L3:0=FF0");
+  EXPECT_EQ(s.entries[0].mask, 0xff0u);
+}
+
+TEST(Schemata, RejectsMalformedLines) {
+  EXPECT_THROW((void)parse_schemata("L3"), ContractViolation);          // no colon
+  EXPECT_THROW((void)parse_schemata("L3:"), ContractViolation);         // no pairs
+  EXPECT_THROW((void)parse_schemata(":0=ff"), ContractViolation);       // no res
+  EXPECT_THROW((void)parse_schemata("L3:0"), ContractViolation);        // no '='
+  EXPECT_THROW((void)parse_schemata("L3:x=ff"), ContractViolation);     // bad dom
+  EXPECT_THROW((void)parse_schemata("L3:0=zz"), ContractViolation);     // bad hex
+  EXPECT_THROW((void)parse_schemata("L3:0="), ContractViolation);       // empty
+}
+
+TEST(Schemata, RejectsNonContiguousMask) {
+  // Hardware rejects non-contiguous CBMs; so do we.
+  EXPECT_THROW((void)parse_schemata("L3:0=f0f"), ContractViolation);
+  EXPECT_THROW((void)parse_schemata("L3:0=5"), ContractViolation);
+}
+
+TEST(Schemata, FormatRoundTrip) {
+  const Schemata s = parse_schemata("L3:0=7ff0;1=f");
+  EXPECT_EQ(parse_schemata(format_schemata(s)), s);
+}
+
+TEST(Schemata, AllocationRoundTrip) {
+  const Allocation a{4, 7};  // ways 4..10
+  const std::string line = allocation_to_schemata(a, 1);
+  EXPECT_EQ(line, "L3:1=7f0");
+  EXPECT_EQ(schemata_to_allocation(parse_schemata(line), 1), a);
+}
+
+TEST(Schemata, MissingDomainThrows) {
+  const Schemata s = parse_schemata("L3:0=ff");
+  EXPECT_THROW((void)schemata_to_allocation(s, 2), ContractViolation);
+}
+
+TEST(Schemata, PlanToSchemataBothSettings) {
+  const AllocationPlan plan = make_pair_plan(20, 1, 2);
+  const auto dflt = plan_to_schemata(plan, /*boosted=*/false);
+  const auto boosted = plan_to_schemata(plan, /*boosted=*/true);
+  ASSERT_EQ(dflt.size(), 2u);
+  EXPECT_EQ(dflt[0], "L3:0=1");       // way 0
+  EXPECT_EQ(boosted[0], "L3:0=7");    // ways 0..2
+  EXPECT_EQ(dflt[1], "L3:0=8");       // way 3
+  EXPECT_EQ(boosted[1], "L3:0=e");    // ways 1..3
+  // Each line parses back to the plan's allocation.
+  for (std::size_t w = 0; w < 2; ++w) {
+    EXPECT_EQ(schemata_to_allocation(parse_schemata(dflt[w])),
+              plan.policy(w).dflt);
+    EXPECT_EQ(schemata_to_allocation(parse_schemata(boosted[w])),
+              plan.policy(w).boosted);
+  }
+}
+
+TEST(Schemata, MaskOverflowRejected) {
+  EXPECT_THROW((void)parse_schemata("L3:0=1ffffffff"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::cat

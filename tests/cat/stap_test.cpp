@@ -1,0 +1,57 @@
+#include "cat/stap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::cat {
+namespace {
+
+PolicyAllocations pa() { return {{0, 1}, {0, 3}}; }
+
+TEST(Stap, ShouldBoostCrossesTimeout) {
+  const Stap s{pa(), 1.5};
+  EXPECT_FALSE(s.should_boost(1.4, 1.0));
+  EXPECT_FALSE(s.should_boost(1.5, 1.0));  // strict inequality (Eq. 4)
+  EXPECT_TRUE(s.should_boost(1.6, 1.0));
+}
+
+TEST(Stap, TimeoutScalesWithExpectedService) {
+  const Stap s{pa(), 2.0};
+  EXPECT_FALSE(s.should_boost(150.0, 100.0));
+  EXPECT_TRUE(s.should_boost(201.0, 100.0));
+}
+
+TEST(Stap, NeverPolicyNeverBoosts) {
+  const Stap s = Stap::never(pa());
+  EXPECT_FALSE(s.should_boost(1e9, 1.0));
+}
+
+TEST(Stap, AlwaysPolicyBoostsImmediately) {
+  const Stap s = Stap::always(pa());
+  EXPECT_TRUE(s.should_boost(1e-9, 1.0));
+}
+
+TEST(Stap, SixHundredPercentIsNever) {
+  const Stap s{pa(), kNeverBoostTimeout};
+  EXPECT_FALSE(s.should_boost(100.0, 1.0));
+}
+
+TEST(Stap, AllocationRatio) {
+  EXPECT_DOUBLE_EQ((Stap{pa(), 1.0}).allocation_ratio(), 3.0);
+  const Stap same{{{2, 2}, {2, 2}}, 1.0};
+  EXPECT_DOUBLE_EQ(same.allocation_ratio(), 1.0);
+}
+
+TEST(StapVector, BuiltFromPlan) {
+  const AllocationPlan plan = make_pair_plan(8, 1, 2);
+  const StapVector v = make_stap_vector(plan, {0.5, 2.0});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0].timeout_rel, 0.5);
+  EXPECT_DOUBLE_EQ(v[1].timeout_rel, 2.0);
+  EXPECT_EQ(v[0].allocations, plan.policy(0));
+  EXPECT_THROW(make_stap_vector(plan, {0.5}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::cat

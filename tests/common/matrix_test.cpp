@@ -1,0 +1,130 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 3), ContractViolation);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 42.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 42.0);
+}
+
+TEST(Matrix, ColExtraction) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 1) = 2.0;
+  const auto col = m.col(1);
+  EXPECT_EQ(col, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Matrix, AppendRowGrowsAndValidates) {
+  Matrix m;
+  m.append_row(std::vector<double>{1.0, 2.0});
+  m.append_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_THROW(m.append_row(std::vector<double>{1.0}), ContractViolation);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double va = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = va++;
+  double vb = 7;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = vb++;
+  const Matrix p = a.multiply(b);
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+  EXPECT_THROW(b.multiply(b), ContractViolation);
+}
+
+TEST(Matrix, GramMatchesTransposeMultiply) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  a(2, 0) = 5;
+  a(2, 1) = 6;
+  const Matrix g = a.gram();
+  const Matrix expected = a.transpose().multiply(a);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_DOUBLE_EQ(g(r, c), expected(r, c));
+}
+
+TEST(Matrix, CholeskySolveKnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [8, 7] -> x = [1.25, 1.5]
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = a.cholesky_solve(std::vector<double>{8.0, 7.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(1, 1) = 1.0;
+  EXPECT_THROW(a.cholesky_solve(std::vector<double>{1.0, 1.0}),
+               ContractViolation);
+}
+
+TEST(Matrix, CholeskyRidgeStabilizes) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;  // singular
+  EXPECT_NO_THROW(a.cholesky_solve(std::vector<double>{1.0, 1.0}, 1e-3));
+}
+
+TEST(Matrix, Submatrix) {
+  Matrix m(3, 3);
+  double v = 0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  const Matrix s = m.submatrix(1, 1, 2, 2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 8.0);
+  EXPECT_THROW(m.submatrix(2, 2, 2, 2), ContractViolation);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m(2, 3);
+  m(0, 2) = 5.0;
+  m(1, 0) = -2.0;
+  const Matrix t = m.transpose().transpose();
+  EXPECT_DOUBLE_EQ(t(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), -2.0);
+}
+
+}  // namespace
+}  // namespace stac

@@ -1,0 +1,195 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace stac {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  StreamingStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.exponential(4.0));
+  EXPECT_NEAR(st.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng(17);
+  StreamingStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(st.mean(), 3.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalHitsTargetMeanAndCv) {
+  Rng rng(19);
+  StreamingStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.lognormal_mean_cv(5.0, 0.5));
+  EXPECT_NEAR(st.mean(), 5.0, 0.1);
+  EXPECT_NEAR(st.cv(), 0.5, 0.05);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic) {
+  Rng rng(19);
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.bounded_pareto(1.5, 1.0, 100.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(29);
+  StreamingStats small, large;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+    large.add(static_cast<double>(rng.poisson(80.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 1.0);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(31);
+  const auto idx = rng.sample_indices(50, 20);
+  EXPECT_EQ(idx.size(), 20u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (auto i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesFullPermutation) {
+  Rng rng(31);
+  const auto idx = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(41);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ContractViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.sample_indices(3, 4), ContractViolation);
+}
+
+TEST(ZipfSampler, SkewsTowardLowIndices) {
+  Rng rng(43);
+  ZipfSampler zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniformish) {
+  Rng rng(47);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 40);
+}
+
+class RngDistributionSweep : public ::testing::TestWithParam<double> {};
+
+// Property: exponential(lambda) has mean 1/lambda across rates.
+TEST_P(RngDistributionSweep, ExponentialMeanInverseRate) {
+  const double lambda = GetParam();
+  Rng rng(53);
+  StreamingStats st;
+  for (int i = 0; i < 40000; ++i) st.add(rng.exponential(lambda));
+  EXPECT_NEAR(st.mean() * lambda, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngDistributionSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace stac

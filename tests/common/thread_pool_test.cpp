@@ -1,0 +1,77 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace stac {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForPartialRange) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool keeps working after an exception.
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::global().parallel_for(0, 64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, NestedWorkFromManySubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++counter; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+}  // namespace
+}  // namespace stac

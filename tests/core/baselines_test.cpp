@@ -1,0 +1,100 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stac::core {
+namespace {
+
+using profiler::Profiler;
+using profiler::ProfilerConfig;
+using profiler::RuntimeCondition;
+
+ProfilerConfig fast_config() {
+  ProfilerConfig cfg;
+  cfg.target_completions = 300;
+  cfg.warmup_completions = 40;
+  return cfg;
+}
+
+RuntimeCondition pairing(wl::Benchmark a, wl::Benchmark b) {
+  RuntimeCondition c;
+  c.primary = a;
+  c.collocated = b;
+  c.util_primary = 0.85;
+  c.util_collocated = 0.85;
+  c.seed = 6;
+  return c;
+}
+
+TEST(Baselines, NoSharingNeverBoosts) {
+  const PolicySelection s = select_no_sharing();
+  EXPECT_DOUBLE_EQ(s.timeout_primary, cat::kNeverBoostTimeout);
+  EXPECT_DOUBLE_EQ(s.timeout_collocated, cat::kNeverBoostTimeout);
+}
+
+TEST(Baselines, EvaluatePolicyRunsTestbed) {
+  Profiler profiler(fast_config());
+  const auto r = evaluate_policy(
+      profiler, pairing(wl::Benchmark::kKmeans, wl::Benchmark::kBfs), 6.0,
+      6.0, 300);
+  EXPECT_EQ(r.per_workload.size(), 2u);
+  EXPECT_EQ(r.per_workload[0].completed, 300u);
+  EXPECT_GT(combined_norm_p95(
+                profiler, pairing(wl::Benchmark::kKmeans, wl::Benchmark::kBfs),
+                r),
+            0.0);
+}
+
+TEST(Baselines, StaticPicksAnAlwaysOrNeverCombo) {
+  Profiler profiler(fast_config());
+  const PolicySelection s = select_static(
+      profiler, pairing(wl::Benchmark::kKmeans, wl::Benchmark::kRedis), 300);
+  EXPECT_EQ(s.name, "static");
+  EXPECT_TRUE(s.timeout_primary == 0.0 ||
+              s.timeout_primary == cat::kNeverBoostTimeout);
+  EXPECT_TRUE(s.timeout_collocated == 0.0 ||
+              s.timeout_collocated == cat::kNeverBoostTimeout);
+}
+
+TEST(Baselines, DcatGrantsSharedWaysToGreaterSpeedup) {
+  Profiler profiler(fast_config());
+  // kmeans's MRC gains more from 3 ways than spstream's streaming-heavy
+  // curve (verify the premise, then the selection).
+  const double sp_kmeans = profiler.model(wl::Benchmark::kKmeans).speedup(3.0);
+  const double sp_spstream =
+      profiler.model(wl::Benchmark::kSpstream).speedup(3.0);
+  const PolicySelection s = select_dcat(
+      profiler, pairing(wl::Benchmark::kKmeans, wl::Benchmark::kSpstream));
+  EXPECT_EQ(s.name, "dCat");
+  if (sp_kmeans >= sp_spstream) {
+    EXPECT_DOUBLE_EQ(s.timeout_primary, 0.0);
+    EXPECT_DOUBLE_EQ(s.timeout_collocated, cat::kNeverBoostTimeout);
+  } else {
+    EXPECT_DOUBLE_EQ(s.timeout_primary, cat::kNeverBoostTimeout);
+    EXPECT_DOUBLE_EQ(s.timeout_collocated, 0.0);
+  }
+  // Exactly one side holds the shared ways.
+  EXPECT_NE(s.timeout_primary, s.timeout_collocated);
+}
+
+TEST(Baselines, DynaSprintTunesAtLowUtilization) {
+  Profiler profiler(fast_config());
+  const PolicySelection s = select_dynasprint(
+      profiler, pairing(wl::Benchmark::kKmeans, wl::Benchmark::kBfs),
+      {0.5, 2.0}, 0.3, 200);
+  EXPECT_EQ(s.name, "dynaSprint");
+  EXPECT_TRUE(s.timeout_primary == 0.5 || s.timeout_primary == 2.0);
+  EXPECT_TRUE(s.timeout_collocated == 0.5 || s.timeout_collocated == 2.0);
+}
+
+TEST(Baselines, DynaSprintRequiresGrid) {
+  Profiler profiler(fast_config());
+  EXPECT_THROW(
+      select_dynasprint(profiler,
+                        pairing(wl::Benchmark::kKmeans, wl::Benchmark::kBfs),
+                        {}, 0.3, 100),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::core

@@ -1,0 +1,118 @@
+#include "core/ea_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+namespace {
+
+using profiler::Profile;
+using profiler::Profiler;
+using profiler::ProfilerConfig;
+using profiler::RuntimeCondition;
+
+ProfilerConfig fast_config() {
+  ProfilerConfig cfg;
+  cfg.target_completions = 300;
+  cfg.warmup_completions = 40;
+  cfg.max_windows = 2;
+  cfg.accesses_per_sample = 800;
+  return cfg;
+}
+
+std::vector<Profile> collect_profiles(std::size_t n) {
+  Profiler profiler(fast_config());
+  Rng rng(17);
+  std::vector<RuntimeCondition> conditions;
+  for (std::size_t i = 0; i < n; ++i)
+    conditions.push_back(random_condition(wl::Benchmark::kKmeans,
+                                          wl::Benchmark::kRedis,
+                                          profiler::ConditionRanges{}, rng));
+  return profiler.profile_conditions(conditions);
+}
+
+EaModelConfig small_df_config(EaBackend backend) {
+  EaModelConfig cfg;
+  cfg.backend = backend;
+  cfg.deep_forest.mgs.window_sizes = {5, 10};
+  cfg.deep_forest.mgs.estimators = 8;
+  cfg.deep_forest.cascade.levels = 2;
+  cfg.deep_forest.cascade.estimators = 15;
+  cfg.forest.estimators = 30;
+  return cfg;
+}
+
+class EaModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { profiles_ = new auto(collect_profiles(12)); }
+  static void TearDownTestSuite() {
+    delete profiles_;
+    profiles_ = nullptr;
+  }
+  static std::vector<Profile>* profiles_;
+};
+
+std::vector<Profile>* EaModelTest::profiles_ = nullptr;
+
+TEST_F(EaModelTest, AllBackendsTrainAndPredictInRange) {
+  ASSERT_GE(profiles_->size(), 8u);
+  for (EaBackend backend :
+       {EaBackend::kDeepForest, EaBackend::kCascadeOnly,
+        EaBackend::kSimpleForest, EaBackend::kTree, EaBackend::kLinear}) {
+    EaModel model(small_df_config(backend));
+    model.fit(*profiles_);
+    EXPECT_TRUE(model.trained());
+    for (const auto& p : *profiles_) {
+      const double ea = model.predict(model.make_sample(p));
+      EXPECT_GT(ea, 0.0);
+      EXPECT_LE(ea, 1.0);
+    }
+  }
+}
+
+TEST_F(EaModelTest, DeepForestRecallsTrainingTargets) {
+  EaModel model(small_df_config(EaBackend::kDeepForest));
+  model.fit(*profiles_);
+  double mae = 0.0;
+  for (const auto& p : *profiles_)
+    mae += std::abs(model.predict(model.make_sample(p)) - p.ea_boost);
+  EXPECT_LT(mae / static_cast<double>(profiles_->size()), 0.15);
+}
+
+TEST_F(EaModelTest, ConceptsOnlyForDeepBackends) {
+  EaModel deep(small_df_config(EaBackend::kDeepForest));
+  deep.fit(*profiles_);
+  const auto c = deep.concepts(deep.make_sample(profiles_->front()));
+  EXPECT_FALSE(c.empty());
+
+  EaModel forest(small_df_config(EaBackend::kSimpleForest));
+  forest.fit(*profiles_);
+  EXPECT_THROW((void)forest.concepts(forest.make_sample(profiles_->front())),
+               ContractViolation);
+}
+
+TEST_F(EaModelTest, TabularBackendsIgnoreImage) {
+  EaModel model(small_df_config(EaBackend::kSimpleForest));
+  const auto sample = model.make_sample(profiles_->front());
+  EXPECT_TRUE(sample.image.empty());
+  EaModel deep(small_df_config(EaBackend::kDeepForest));
+  const auto dsample = deep.make_sample(profiles_->front());
+  EXPECT_FALSE(dsample.image.empty());
+}
+
+TEST_F(EaModelTest, ShuffledRowsStillTrainable) {
+  EaModelConfig cfg = small_df_config(EaBackend::kDeepForest);
+  cfg.shuffle_counter_rows = true;
+  EaModel model(cfg);
+  model.fit(*profiles_);
+  EXPECT_TRUE(model.trained());
+}
+
+TEST(EaModel, PredictBeforeFitThrows) {
+  EaModel model;
+  EXPECT_THROW((void)model.predict(ml::ProfileSample{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::core

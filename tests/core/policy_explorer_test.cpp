@@ -1,0 +1,100 @@
+#include "core/policy_explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+namespace {
+
+using profiler::Profiler;
+using profiler::ProfilerConfig;
+using profiler::RuntimeCondition;
+
+ProfilerConfig fast_config() {
+  ProfilerConfig cfg;
+  cfg.target_completions = 300;
+  cfg.warmup_completions = 40;
+  return cfg;
+}
+
+RuntimeCondition pairing() {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKmeans;
+  c.collocated = wl::Benchmark::kRedis;
+  c.util_primary = 0.9;
+  c.util_collocated = 0.9;
+  c.seed = 4;
+  return c;
+}
+
+class PolicyExplorerTest : public ::testing::Test {
+ protected:
+  PolicyExplorerTest()
+      : profiler_(fast_config()),
+        predictor_(profiler_, nullptr, nullptr,
+                   [] {
+                     RtPredictorConfig cfg;
+                     cfg.analytic_ea = true;
+                     cfg.sim_queries = 2500;
+                     return cfg;
+                   }()) {}
+  Profiler profiler_;
+  RtPredictor predictor_;
+};
+
+TEST_F(PolicyExplorerTest, GridFullyExplored) {
+  ExplorerConfig cfg;
+  cfg.grid = {0.0, 1.0, 4.0};
+  const PolicyExploration r =
+      explore_policies(predictor_, pairing(), cfg);
+  EXPECT_EQ(r.predicted_primary.rows(), 3u);
+  EXPECT_EQ(r.predicted_primary.cols(), 3u);
+  EXPECT_EQ(r.predictions_made, 18u);  // 9 pairs x 2 directions
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_GT(r.predicted_primary(i, j), 0.0);
+}
+
+TEST_F(PolicyExplorerTest, SelectionComesFromGrid) {
+  ExplorerConfig cfg;
+  cfg.grid = {0.0, 0.5, 1.0, 2.0, 4.0};  // the paper's 5 settings
+  const PolicyExploration r =
+      explore_policies(predictor_, pairing(), cfg);
+  EXPECT_EQ(r.selection.name, "model-driven");
+  EXPECT_NE(std::find(cfg.grid.begin(), cfg.grid.end(),
+                      r.selection.timeout_primary),
+            cfg.grid.end());
+  EXPECT_NE(std::find(cfg.grid.begin(), cfg.grid.end(),
+                      r.selection.timeout_collocated),
+            cfg.grid.end());
+  EXPECT_GT(r.slack_used, 0.0);
+}
+
+TEST_F(PolicyExplorerTest, SelectionBeatsNeverBoostInPrediction) {
+  ExplorerConfig cfg;
+  cfg.grid = {0.0, 1.0, 4.0, 6.0};
+  const PolicyExploration r =
+      explore_policies(predictor_, pairing(), cfg);
+  // The selected cell's predicted RT must be at most the never-boost cell.
+  const std::size_t never = 3;
+  std::size_t si = 0, sj = 0;
+  for (std::size_t i = 0; i < cfg.grid.size(); ++i) {
+    if (cfg.grid[i] == r.selection.timeout_primary) si = i;
+    if (cfg.grid[i] == r.selection.timeout_collocated) sj = i;
+  }
+  EXPECT_LE(r.predicted_primary(si, sj),
+            r.predicted_primary(never, never) * (1.0 + r.slack_used) + 1e-9);
+}
+
+TEST_F(PolicyExplorerTest, EmptyGridThrows) {
+  ExplorerConfig cfg;
+  cfg.grid.clear();
+  EXPECT_THROW(explore_policies(predictor_, pairing(), cfg),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::core

@@ -1,0 +1,122 @@
+#include "core/profile_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stac::core {
+namespace {
+
+using profiler::Profile;
+using profiler::RuntimeCondition;
+
+Profile make_profile(wl::Benchmark primary, wl::Benchmark collocated,
+                     double util, double timeout) {
+  Profile p;
+  p.condition.primary = primary;
+  p.condition.collocated = collocated;
+  p.condition.util_primary = util;
+  p.condition.timeout_primary = timeout;
+  p.ea = util;  // marker for identification
+  return p;
+}
+
+TEST(ProfileLibrary, EmptyReturnsNull) {
+  ProfileLibrary lib;
+  EXPECT_TRUE(lib.empty());
+  EXPECT_EQ(lib.nearest(RuntimeCondition{}), nullptr);
+}
+
+TEST(ProfileLibrary, NearestByConditionDistance) {
+  ProfileLibrary lib;
+  lib.add(make_profile(wl::Benchmark::kKmeans, wl::Benchmark::kRedis, 0.3, 1.0));
+  lib.add(make_profile(wl::Benchmark::kKmeans, wl::Benchmark::kRedis, 0.9, 1.0));
+  RuntimeCondition q;
+  q.primary = wl::Benchmark::kKmeans;
+  q.collocated = wl::Benchmark::kRedis;
+  q.util_primary = 0.85;
+  q.timeout_primary = 1.0;
+  const Profile* p = lib.nearest(q);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->ea, 0.9);
+}
+
+TEST(ProfileLibrary, PairingMatchBeatsCloserMismatch) {
+  ProfileLibrary lib;
+  // Wrong pairing but identical condition values.
+  lib.add(make_profile(wl::Benchmark::kJacobi, wl::Benchmark::kBfs, 0.5, 2.0));
+  // Right pairing but distant condition.
+  lib.add(make_profile(wl::Benchmark::kKmeans, wl::Benchmark::kRedis, 0.95, 6.0));
+  RuntimeCondition q;
+  q.primary = wl::Benchmark::kKmeans;
+  q.collocated = wl::Benchmark::kRedis;
+  q.util_primary = 0.5;
+  q.timeout_primary = 2.0;
+  const Profile* p = lib.nearest(q);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->ea, 0.95);
+}
+
+TEST(ProfileLibrary, FallsBackToAnyPairing) {
+  ProfileLibrary lib;
+  lib.add(make_profile(wl::Benchmark::kJacobi, wl::Benchmark::kBfs, 0.4, 1.0));
+  RuntimeCondition q;
+  q.primary = wl::Benchmark::kSocial;
+  q.collocated = wl::Benchmark::kRedis;
+  EXPECT_NE(lib.nearest(q), nullptr);
+}
+
+TEST(ProfileLibrary, ConditionDistanceMetric) {
+  RuntimeCondition a, b;
+  a.util_primary = 0.5;
+  b.util_primary = 0.8;
+  EXPECT_NEAR(ProfileLibrary::condition_distance(a, b), 0.3, 1e-12);
+  b = a;
+  b.timeout_primary = a.timeout_primary + 6.0;
+  EXPECT_NEAR(ProfileLibrary::condition_distance(a, b), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ProfileLibrary::condition_distance(a, a), 0.0);
+}
+
+TEST(ProfileLibrary, NearestKOrdersByPairingThenDistance) {
+  ProfileLibrary lib;
+  lib.add(make_profile(wl::Benchmark::kKmeans, wl::Benchmark::kRedis, 0.50, 1.0));
+  lib.add(make_profile(wl::Benchmark::kKmeans, wl::Benchmark::kRedis, 0.60, 1.0));
+  lib.add(make_profile(wl::Benchmark::kKmeans, wl::Benchmark::kRedis, 0.90, 1.0));
+  lib.add(make_profile(wl::Benchmark::kJacobi, wl::Benchmark::kBfs, 0.55, 1.0));
+  RuntimeCondition q;
+  q.primary = wl::Benchmark::kKmeans;
+  q.collocated = wl::Benchmark::kRedis;
+  q.util_primary = 0.55;
+  q.timeout_primary = 1.0;
+  const auto top = lib.nearest_k(q, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // All pairing matches come before the mismatch; the two equidistant
+  // profiles (0.50 and 0.60 around 0.55) may appear in either order.
+  EXPECT_TRUE((top[0]->ea == 0.50 && top[1]->ea == 0.60) ||
+              (top[0]->ea == 0.60 && top[1]->ea == 0.50));
+  EXPECT_DOUBLE_EQ(top[2]->ea, 0.90);
+  // k larger than the library clamps.
+  EXPECT_EQ(lib.nearest_k(q, 10).size(), 4u);
+}
+
+TEST(ProfileLibrary, NearestKConsistentWithNearest) {
+  ProfileLibrary lib;
+  lib.add(make_profile(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 0.3, 2.0));
+  lib.add(make_profile(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 0.8, 2.0));
+  RuntimeCondition q;
+  q.primary = wl::Benchmark::kKnn;
+  q.collocated = wl::Benchmark::kBfs;
+  q.util_primary = 0.75;
+  q.timeout_primary = 2.0;
+  EXPECT_EQ(lib.nearest_k(q, 1).front(), lib.nearest(q));
+}
+
+TEST(ProfileLibrary, AddAllAccumulates) {
+  ProfileLibrary lib;
+  std::vector<Profile> batch;
+  batch.push_back(make_profile(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 0.5, 1.0));
+  batch.push_back(make_profile(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 0.6, 1.0));
+  lib.add_all(std::move(batch));
+  EXPECT_EQ(lib.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stac::core

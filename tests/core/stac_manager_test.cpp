@@ -1,0 +1,82 @@
+#include "core/stac_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::core {
+namespace {
+
+using profiler::RuntimeCondition;
+
+StacOptions tiny_options() {
+  StacOptions opts;
+  opts.profile_budget = 6;
+  opts.profiler.target_completions = 250;
+  opts.profiler.warmup_completions = 30;
+  opts.profiler.max_windows = 1;
+  opts.profiler.accesses_per_sample = 600;
+  opts.model.deep_forest.mgs.window_sizes = {5};
+  opts.model.deep_forest.mgs.estimators = 6;
+  opts.model.deep_forest.cascade.levels = 1;
+  opts.model.deep_forest.cascade.estimators = 10;
+  opts.predictor.sim_queries = 1500;
+  opts.explorer.grid = {0.0, 2.0, 6.0};
+  return opts;
+}
+
+RuntimeCondition cond() {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKnn;
+  c.collocated = wl::Benchmark::kBfs;
+  c.util_primary = 0.8;
+  c.util_collocated = 0.8;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 1.0;
+  c.seed = 12;
+  return c;
+}
+
+TEST(StacManager, UsableBeforeCalibrationOnlyForEvaluate) {
+  StacManager mgr(tiny_options());
+  EXPECT_FALSE(mgr.calibrated());
+  EXPECT_THROW((void)mgr.predict(cond()), ContractViolation);
+  EXPECT_THROW((void)mgr.recommend(cond()), ContractViolation);
+  // Ground-truth evaluation needs no model.
+  const auto r = mgr.evaluate(cond(), 6.0, 6.0, 250);
+  EXPECT_EQ(r.per_workload.size(), 2u);
+}
+
+TEST(StacManager, CalibrateThenFullApi) {
+  StacManager mgr(tiny_options());
+  mgr.calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  EXPECT_TRUE(mgr.calibrated());
+  EXPECT_GE(mgr.library().size(), 6u);
+
+  const auto pred = mgr.predict(cond());
+  EXPECT_GT(pred.mean_rt, 0.0);
+  EXPECT_GT(pred.ea, 0.0);
+
+  const auto rec = mgr.recommend(cond());
+  const auto& grid = tiny_options().explorer.grid;
+  EXPECT_NE(std::find(grid.begin(), grid.end(),
+                      rec.selection.timeout_primary),
+            grid.end());
+}
+
+TEST(StacManager, CalibrationAccumulatesPairings) {
+  StacManager mgr(tiny_options());
+  mgr.calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  const std::size_t first = mgr.library().size();
+  mgr.calibrate(wl::Benchmark::kKmeans, wl::Benchmark::kRedis);
+  EXPECT_GT(mgr.library().size(), first);
+  // Both pairings answer predictions after the second calibration.
+  RuntimeCondition c2 = cond();
+  c2.primary = wl::Benchmark::kKmeans;
+  c2.collocated = wl::Benchmark::kRedis;
+  EXPECT_GT(mgr.predict(c2).mean_rt, 0.0);
+  EXPECT_GT(mgr.predict(cond()).mean_rt, 0.0);
+}
+
+}  // namespace
+}  // namespace stac::core

@@ -1,0 +1,115 @@
+// End-to-end pipeline integration: Stage 1 profiling -> Stage 2 deep forest
+// -> Stage 3 queueing prediction -> policy recommendation, checked against
+// ground-truth testbed measurements (a miniature of the paper's evaluation).
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/stac_manager.hpp"
+
+namespace stac::core {
+namespace {
+
+using profiler::RuntimeCondition;
+
+StacOptions fast_options() {
+  StacOptions opts;
+  opts.profile_budget = 14;
+  opts.profiler.target_completions = 500;
+  opts.profiler.warmup_completions = 60;
+  opts.profiler.max_windows = 2;
+  opts.profiler.accesses_per_sample = 1000;
+  opts.model.deep_forest.mgs.window_sizes = {5, 10};
+  opts.model.deep_forest.mgs.estimators = 12;
+  opts.model.deep_forest.cascade.levels = 2;
+  opts.model.deep_forest.cascade.estimators = 25;
+  opts.predictor.sim_queries = 3000;
+  opts.sampler.seed = 21;
+  return opts;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mgr_ = new StacManager(fast_options());
+    mgr_->calibrate(wl::Benchmark::kKmeans, wl::Benchmark::kRedis);
+  }
+  static void TearDownTestSuite() {
+    delete mgr_;
+    mgr_ = nullptr;
+  }
+  static RuntimeCondition condition(double up, double uc, double tp,
+                                    double tc, std::uint64_t seed) {
+    RuntimeCondition c;
+    c.primary = wl::Benchmark::kKmeans;
+    c.collocated = wl::Benchmark::kRedis;
+    c.util_primary = up;
+    c.util_collocated = uc;
+    c.timeout_primary = tp;
+    c.timeout_collocated = tc;
+    c.seed = seed;
+    return c;
+  }
+  static StacManager* mgr_;
+};
+
+StacManager* PipelineTest::mgr_ = nullptr;
+
+TEST_F(PipelineTest, CalibrationPopulatesLibraryAndModel) {
+  EXPECT_TRUE(mgr_->calibrated());
+  EXPECT_GE(mgr_->library().size(), 20u);
+  // Profiles exist in both directions.
+  bool fwd = false, rev = false;
+  for (const auto& p : mgr_->library().profiles()) {
+    fwd |= p.condition.primary == wl::Benchmark::kKmeans;
+    rev |= p.condition.primary == wl::Benchmark::kRedis;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(rev);
+}
+
+TEST_F(PipelineTest, PredictionsTrackGroundTruth) {
+  Rng rng(99);
+  SampleStats apes;
+  for (int i = 0; i < 6; ++i) {
+    const auto c = condition(rng.uniform(0.3, 0.9), rng.uniform(0.3, 0.9),
+                             rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0),
+                             rng.next_u64());
+    const RtPrediction pred = mgr_->predict(c);
+    const auto truth =
+        mgr_->evaluate(c, c.timeout_primary, c.timeout_collocated, 1200);
+    apes.add(absolute_percent_error(pred.mean_rt, truth.mean_rt(0)));
+  }
+  // Generous bound: the integration test guards the pipeline wiring, the
+  // bench harness measures the paper-grade number.
+  EXPECT_LT(apes.median(), 0.40);
+}
+
+TEST_F(PipelineTest, RecommendationBeatsNoSharingOnTestbed) {
+  const auto base = condition(0.9, 0.9, 6.0, 6.0, 31);
+  const PolicyExploration rec = mgr_->recommend(base);
+  const auto never = mgr_->evaluate(base, 6.0, 6.0, 1500);
+  const auto ours = mgr_->evaluate(base, rec.selection.timeout_primary,
+                                   rec.selection.timeout_collocated, 1500);
+  // Model-driven short-term allocation must help the primary workload and
+  // not devastate the neighbour.
+  EXPECT_LT(ours.p95_rt(0), never.p95_rt(0));
+  EXPECT_LT(ours.p95_rt(1), never.p95_rt(1) * 1.1);
+}
+
+TEST_F(PipelineTest, PredictedEaInPhysicalRange) {
+  const auto c = condition(0.7, 0.7, 1.0, 1.0, 17);
+  const RtPrediction pred = mgr_->predict(c);
+  EXPECT_GT(pred.ea, 0.0);
+  EXPECT_LE(pred.ea, 1.0);
+}
+
+TEST_F(PipelineTest, ConceptsAvailableForInsightClustering) {
+  const auto& profiles = mgr_->library().profiles();
+  ASSERT_FALSE(profiles.empty());
+  const auto sample = mgr_->model().make_sample(profiles.front());
+  const auto concepts = mgr_->model().concepts(sample);
+  EXPECT_FALSE(concepts.empty());
+}
+
+}  // namespace
+}  // namespace stac::core

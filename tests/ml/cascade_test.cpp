@@ -1,0 +1,102 @@
+#include "ml/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+namespace {
+
+Dataset nonlinear_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(0, 3);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(), b = rng.uniform(), c = rng.uniform();
+    x.append_row(std::vector<double>{a, b, c});
+    y.push_back(std::abs(a - b) + 0.3 * c + rng.normal(0.0, 0.02));
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+CascadeConfig small_config() {
+  CascadeConfig cfg;
+  cfg.levels = 2;
+  cfg.forests_per_level = 4;
+  cfg.estimators = 20;
+  cfg.final_forests = 2;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(CascadeForest, TrainsAndPredictsReasonably) {
+  CascadeForest cf(small_config());
+  const Dataset train = nonlinear_dataset(400, 1);
+  cf.fit(train);
+  EXPECT_TRUE(cf.trained());
+  EXPECT_EQ(cf.level_count(), 2u);
+  const Dataset test = nonlinear_dataset(150, 2);
+  double mae = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    mae += std::abs(cf.predict(test.row(i)) - test.target(i));
+  EXPECT_LT(mae / static_cast<double>(test.size()), 0.08);
+}
+
+TEST(CascadeForest, ConceptVectorHasLevelsTimesForests) {
+  CascadeForest cf(small_config());
+  const Dataset train = nonlinear_dataset(150, 3);
+  cf.fit(train);
+  const auto concepts = cf.concepts(train.row(0));
+  EXPECT_EQ(concepts.size(), 2u * 4u);
+}
+
+TEST(CascadeForest, PerLevelExtraFeaturesAccepted) {
+  CascadeForest cf(small_config());
+  const Dataset train = nonlinear_dataset(200, 4);
+  Matrix extra0(200, 2), extra1(200, 1);
+  Rng rng(5);
+  for (std::size_t r = 0; r < 200; ++r) {
+    extra0(r, 0) = rng.uniform();
+    extra0(r, 1) = rng.uniform();
+    extra1(r, 0) = rng.uniform();
+  }
+  cf.fit(train, {extra0, extra1});
+  // Inference must supply matching extra blocks.
+  const std::vector<std::vector<double>> extras{{0.5, 0.5}, {0.5}};
+  EXPECT_NO_THROW((void)cf.predict(train.row(0), extras));
+  EXPECT_THROW((void)cf.predict(train.row(0), {}), ContractViolation);
+}
+
+TEST(CascadeForest, ExtraRowMismatchThrows) {
+  CascadeForest cf(small_config());
+  const Dataset train = nonlinear_dataset(100, 6);
+  Matrix extra(50, 2);
+  EXPECT_THROW((void)cf.fit(train, {extra}), ContractViolation);
+}
+
+TEST(CascadeForest, PredictBeforeFitThrows) {
+  CascadeForest cf;
+  EXPECT_THROW((void)cf.predict(std::vector<double>{1.0, 2.0, 3.0}),
+               ContractViolation);
+}
+
+TEST(CascadeForest, DeterministicForSeed) {
+  const Dataset train = nonlinear_dataset(200, 7);
+  CascadeForest a(small_config()), b(small_config());
+  a.fit(train);
+  b.fit(train);
+  const std::vector<double> x{0.2, 0.7, 0.5};
+  EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(CascadeForest, ConfigValidation) {
+  CascadeConfig bad = small_config();
+  bad.levels = 0;
+  EXPECT_THROW(CascadeForest{bad}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,78 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+
+namespace stac::ml {
+namespace {
+
+Dataset linearish(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(0, 2);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    x.append_row(std::vector<double>{a, b});
+    y.push_back(3.0 * a - b + rng.normal(0.0, 0.05));
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+TEST(CrossValidation, RunsAllFolds) {
+  const Dataset d = linearish(100, 1);
+  const auto r = cross_validate(d, 5, 2, [](const Dataset& train) {
+    auto model = std::make_shared<LinearRegression>();
+    model->fit(train);
+    return [model](std::span<const double> x) { return model->predict(x); };
+  });
+  EXPECT_EQ(r.fold_mae.size(), 5u);
+  EXPECT_EQ(r.absolute_errors.count(), 100u);  // every row held out once
+  EXPECT_LT(r.mean_mae(), 0.1);                // near the noise floor
+}
+
+TEST(CrossValidation, DetectsOverfitting) {
+  // A depth-unlimited single tree memorizes noise; its CV error exceeds
+  // the noise floor by a clear margin while its training error is ~0 —
+  // the §3.2 "simple models overfit" argument, measurable.
+  const Dataset d = linearish(80, 3);
+  const auto cv_tree = cross_validate(d, 4, 4, [](const Dataset& train) {
+    auto tree = std::make_shared<DecisionTree>(
+        TreeConfig{.split_mode = SplitMode::kAllFeatures});
+    tree->fit(train);
+    return [tree](std::span<const double> x) { return tree->predict(x); };
+  });
+  const auto cv_lin = cross_validate(d, 4, 4, [](const Dataset& train) {
+    auto model = std::make_shared<LinearRegression>();
+    model->fit(train);
+    return [model](std::span<const double> x) { return model->predict(x); };
+  });
+  // The linear model matches the generating process: it must win CV.
+  EXPECT_LT(cv_lin.mean_mae(), cv_tree.mean_mae());
+}
+
+TEST(CrossValidation, DeterministicForSeed) {
+  const Dataset d = linearish(60, 5);
+  auto train = [](const Dataset& t) {
+    auto model = std::make_shared<LinearRegression>();
+    model->fit(t);
+    return [model](std::span<const double> x) { return model->predict(x); };
+  };
+  const auto a = cross_validate(d, 3, 7, train);
+  const auto b = cross_validate(d, 3, 7, train);
+  ASSERT_EQ(a.fold_mae.size(), b.fold_mae.size());
+  for (std::size_t i = 0; i < a.fold_mae.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.fold_mae[i], b.fold_mae[i]);
+}
+
+TEST(CrossValidation, NullTrainerThrows) {
+  const Dataset d = linearish(20, 9);
+  EXPECT_THROW((void)cross_validate(d, 2, 1, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,93 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+namespace {
+
+Dataset small_dataset(std::size_t n = 20) {
+  Matrix x(0, 2);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = static_cast<double>(i);
+    x.append_row(std::vector<double>{a, a * a});
+    y.push_back(a * 3.0);
+  }
+  return Dataset(std::move(x), std::move(y), {"a", "a2"});
+}
+
+TEST(Dataset, ConstructionValidation) {
+  Matrix x(2, 2);
+  EXPECT_THROW(Dataset(x, {1.0}), ContractViolation);
+  EXPECT_THROW(Dataset(x, {1.0, 2.0}, {"only-one"}), ContractViolation);
+}
+
+TEST(Dataset, RowAccessAndTarget) {
+  const Dataset d = small_dataset();
+  EXPECT_EQ(d.size(), 20u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(3)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.target(3), 9.0);
+  EXPECT_EQ(d.feature_names()[1], "a2");
+}
+
+TEST(Dataset, AddRow) {
+  Dataset d = small_dataset(2);
+  d.add_row(std::vector<double>{9.0, 81.0}, 27.0);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.target(2), 27.0);
+}
+
+TEST(Dataset, SubsetPreservesRows) {
+  const Dataset d = small_dataset();
+  const Dataset s = d.subset({1, 5, 7});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.target(1), 15.0);
+  EXPECT_DOUBLE_EQ(s.row(2)[1], 49.0);
+}
+
+TEST(Dataset, SplitSizesAndDisjoint) {
+  const Dataset d = small_dataset(100);
+  Rng rng(5);
+  const auto [train, test] = d.split(0.33, rng);
+  EXPECT_EQ(train.size(), 33u);
+  EXPECT_EQ(test.size(), 67u);
+  // Disjoint: targets are unique in this dataset, so compare sets.
+  std::set<double> seen;
+  for (std::size_t i = 0; i < train.size(); ++i) seen.insert(train.target(i));
+  for (std::size_t i = 0; i < test.size(); ++i)
+    EXPECT_EQ(seen.count(test.target(i)), 0u);
+}
+
+TEST(Dataset, KFoldPartitionsCompletely) {
+  const Dataset d = small_dataset(30);
+  Rng rng(7);
+  const auto folds = d.kfold(5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::multiset<double> all_test;
+  for (const auto& [train, test] : folds) {
+    EXPECT_EQ(train.size() + test.size(), 30u);
+    EXPECT_EQ(test.size(), 6u);
+    for (std::size_t i = 0; i < test.size(); ++i)
+      all_test.insert(test.target(i));
+  }
+  EXPECT_EQ(all_test.size(), 30u);  // every row tested exactly once
+}
+
+TEST(Dataset, WithExtraFeatures) {
+  const Dataset d = small_dataset(4);
+  Matrix extra(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) extra(i, 0) = 100.0 + i;
+  const Dataset aug = d.with_extra_features(extra);
+  EXPECT_EQ(aug.feature_count(), 3u);
+  EXPECT_DOUBLE_EQ(aug.row(2)[2], 102.0);
+  Matrix bad(3, 1);
+  EXPECT_THROW(d.with_extra_features(bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,122 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::ml {
+namespace {
+
+/// Step function dataset: y = 1 when x0 > 0.5, else 0.
+Dataset step_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(0, 3);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform();
+    x.append_row(std::vector<double>{a, rng.uniform(), rng.uniform()});
+    y.push_back(a > 0.5 ? 1.0 : 0.0);
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+TEST(DecisionTree, LearnsStepFunction) {
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kAllFeatures});
+  const Dataset d = step_dataset(400, 1);
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.9, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.1, 0.5, 0.5}), 0.0);
+}
+
+TEST(DecisionTree, PureTargetsYieldSingleLeaf) {
+  Matrix x(0, 1);
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    x.append_row(std::vector<double>{static_cast<double>(i)});
+    y.push_back(7.0);
+  }
+  DecisionTree tree;
+  tree.fit(Dataset(std::move(x), std::move(y)));
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{99.0}), 7.0);
+}
+
+TEST(DecisionTree, MaxDepthCapsGrowth) {
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kAllFeatures,
+                               .max_depth = 2});
+  tree.fit(step_dataset(200, 2));
+  EXPECT_LE(tree.depth(), 3u);  // root at depth 1 + 2 levels of splits
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kAllFeatures,
+                               .min_samples_leaf = 50});
+  tree.fit(step_dataset(100, 3));
+  // With 100 rows and 50-per-leaf, at most one split.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}), ContractViolation);
+}
+
+TEST(DecisionTree, WrongFeatureCountThrows) {
+  DecisionTree tree;
+  tree.fit(step_dataset(50, 4));
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}), ContractViolation);
+}
+
+TEST(DecisionTree, FeatureImportanceIdentifiesSignal) {
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kAllFeatures});
+  tree.fit(step_dataset(400, 5));
+  const auto imp = tree.feature_importance();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+TEST(DecisionTree, CompletelyRandomStillLearnsCoarsely) {
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kCompletelyRandom,
+                               .seed = 7});
+  tree.fit(step_dataset(600, 6));
+  // Random splits grow to purity, so training-region predictions are
+  // directionally right.
+  EXPECT_GT(tree.predict(std::vector<double>{0.95, 0.5, 0.5}), 0.7);
+  EXPECT_LT(tree.predict(std::vector<double>{0.05, 0.5, 0.5}), 0.3);
+}
+
+TEST(DecisionTree, MatrixPredictShapes) {
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kAllFeatures});
+  const Dataset d = step_dataset(100, 8);
+  tree.fit(d);
+  const auto preds = tree.predict(d.features());
+  EXPECT_EQ(preds.size(), 100u);
+}
+
+TEST(DecisionTree, FitOnRowSubset) {
+  const Dataset d = step_dataset(200, 9);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < 100; ++i) rows.push_back(i);
+  DecisionTree tree(TreeConfig{.split_mode = SplitMode::kAllFeatures});
+  tree.fit(d, rows);
+  EXPECT_TRUE(tree.trained());
+}
+
+TEST(DecisionTree, DeterministicForSeed) {
+  const Dataset d = step_dataset(300, 10);
+  DecisionTree a(TreeConfig{.split_mode = SplitMode::kSqrtFeatures, .seed = 3});
+  DecisionTree b(TreeConfig{.split_mode = SplitMode::kSqrtFeatures, .seed = 3});
+  a.fit(d);
+  b.fit(d);
+  for (double v = 0.0; v < 1.0; v += 0.1) {
+    const std::vector<double> x{v, 0.5, 0.5};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,120 @@
+#include "ml/deep_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/linear_regression.hpp"
+
+namespace stac::ml {
+namespace {
+
+/// Samples with an image encoding hidden factor `h` in a spatial block and
+/// a tabular part [a, b]; target = |a - h| + 0.2 b (nonlinear, image-
+/// dependent).
+void make_samples(std::size_t n, std::uint64_t seed,
+                  std::vector<ProfileSample>& xs, std::vector<double>& ys) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(), b = rng.uniform(), h = rng.uniform();
+    Matrix img(10, 8);
+    for (std::size_t r = 0; r < 10; ++r)
+      for (std::size_t c = 0; c < 8; ++c)
+        img(r, c) = (r < 5 ? h : 0.0) + rng.normal(0.0, 0.03);
+    xs.push_back(ProfileSample{std::move(img), {a, b}});
+    ys.push_back(std::abs(a - h) + 0.2 * b + rng.normal(0.0, 0.01));
+  }
+}
+
+DeepForestConfig small_config() {
+  DeepForestConfig cfg;
+  cfg.mgs.window_sizes = {4, 6};
+  cfg.mgs.estimators = 10;
+  cfg.cascade.levels = 2;
+  cfg.cascade.estimators = 20;
+  cfg.cascade.final_forests = 2;
+  return cfg;
+}
+
+TEST(DeepForest, LearnsImageDependentTarget) {
+  std::vector<ProfileSample> train_x, test_x;
+  std::vector<double> train_y, test_y;
+  make_samples(250, 1, train_x, train_y);
+  make_samples(100, 2, test_x, test_y);
+
+  DeepForest df(small_config());
+  df.fit(train_x, train_y);
+  EXPECT_TRUE(df.trained());
+  EXPECT_TRUE(df.uses_mgs());
+
+  double mae = 0.0;
+  for (std::size_t i = 0; i < test_x.size(); ++i)
+    mae += std::abs(df.predict(test_x[i]) - test_y[i]);
+  mae /= static_cast<double>(test_x.size());
+
+  // Tabular-only linear regression cannot see h: deep forest must beat it.
+  Matrix x(0, 2);
+  for (const auto& s : train_x) x.append_row(s.tabular);
+  LinearRegression lin;
+  lin.fit(Dataset(std::move(x), train_y));
+  double lin_mae = 0.0;
+  for (std::size_t i = 0; i < test_x.size(); ++i)
+    lin_mae += std::abs(lin.predict(test_x[i].tabular) - test_y[i]);
+  lin_mae /= static_cast<double>(test_x.size());
+
+  EXPECT_LT(mae, lin_mae);
+  EXPECT_LT(mae, 0.2);
+}
+
+TEST(DeepForest, TabularOnlyModeSkipsMgs) {
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  Rng rng(3);
+  for (int i = 0; i < 150; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    xs.push_back(ProfileSample{Matrix{}, {a, b}});
+    ys.push_back(a * b);
+  }
+  DeepForest df(small_config());
+  df.fit(xs, ys);
+  EXPECT_FALSE(df.uses_mgs());
+  EXPECT_NEAR(df.predict(ProfileSample{Matrix{}, {0.9, 0.9}}), 0.81, 0.2);
+}
+
+TEST(DeepForest, ConceptsExposedForClustering) {
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  make_samples(120, 4, xs, ys);
+  DeepForest df(small_config());
+  df.fit(xs, ys);
+  const auto concepts = df.concepts(xs[0]);
+  EXPECT_EQ(concepts.size(), 2u * 4u);  // levels x forests_per_level
+}
+
+TEST(DeepForest, MixedImagePresenceThrows) {
+  DeepForest df(small_config());
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  make_samples(50, 5, xs, ys);
+  df.fit(xs, ys);
+  EXPECT_THROW((void)df.predict(ProfileSample{Matrix{}, {0.5, 0.5}}),
+               ContractViolation);
+}
+
+TEST(DeepForest, TabularWidthMismatchThrows) {
+  DeepForest df(small_config());
+  std::vector<ProfileSample> xs{ProfileSample{Matrix{}, {1.0, 2.0}},
+                                ProfileSample{Matrix{}, {1.0}}};
+  std::vector<double> ys{0.0, 1.0};
+  EXPECT_THROW((void)df.fit(xs, ys), ContractViolation);
+}
+
+TEST(DeepForest, PredictBeforeFitThrows) {
+  DeepForest df;
+  EXPECT_THROW((void)df.predict(ProfileSample{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,100 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+namespace {
+
+Matrix two_blobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix pts(0, 2);
+  for (std::size_t i = 0; i < per_blob; ++i)
+    pts.append_row(std::vector<double>{rng.normal(0.0, 0.3),
+                                       rng.normal(0.0, 0.3)});
+  for (std::size_t i = 0; i < per_blob; ++i)
+    pts.append_row(std::vector<double>{rng.normal(10.0, 0.3),
+                                       rng.normal(10.0, 0.3)});
+  return pts;
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  const Matrix pts = two_blobs(50, 1);
+  const KMeansResult r = kmeans(pts, KMeansConfig{.k = 2, .seed = 2});
+  // All of blob 1 together, all of blob 2 together.
+  const std::size_t first = r.assignment[0];
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(r.assignment[i], first);
+  const std::size_t second = r.assignment[50];
+  EXPECT_NE(first, second);
+  for (std::size_t i = 50; i < 100; ++i) EXPECT_EQ(r.assignment[i], second);
+}
+
+TEST(KMeans, CentroidsNearBlobMeans) {
+  const Matrix pts = two_blobs(100, 3);
+  const KMeansResult r = kmeans(pts, KMeansConfig{.k = 2, .seed = 4});
+  // One centroid near (0,0), the other near (10,10).
+  const double d0 = std::min(squared_distance(r.centroids.row(0),
+                                              std::vector<double>{0.0, 0.0}),
+                             squared_distance(r.centroids.row(1),
+                                              std::vector<double>{0.0, 0.0}));
+  const double d10 = std::min(
+      squared_distance(r.centroids.row(0), std::vector<double>{10.0, 10.0}),
+      squared_distance(r.centroids.row(1), std::vector<double>{10.0, 10.0}));
+  EXPECT_LT(d0, 0.1);
+  EXPECT_LT(d10, 0.1);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const Matrix pts = two_blobs(60, 5);
+  const double i1 = kmeans(pts, KMeansConfig{.k = 1, .seed = 6}).inertia;
+  const double i2 = kmeans(pts, KMeansConfig{.k = 2, .seed = 6}).inertia;
+  const double i4 = kmeans(pts, KMeansConfig{.k = 4, .seed = 6}).inertia;
+  EXPECT_LT(i2, i1);
+  EXPECT_LE(i4, i2 + 1e-9);
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  Matrix pts(0, 1);
+  pts.append_row(std::vector<double>{1.0});
+  pts.append_row(std::vector<double>{2.0});
+  const KMeansResult r = kmeans(pts, KMeansConfig{.k = 5, .seed = 7});
+  EXPECT_EQ(r.centroids.rows(), 2u);
+}
+
+TEST(KMeans, SinglePoint) {
+  Matrix pts(0, 2);
+  pts.append_row(std::vector<double>{3.0, 4.0});
+  const KMeansResult r = kmeans(pts, KMeansConfig{.k = 1, .seed = 8});
+  EXPECT_EQ(r.assignment[0], 0u);
+  EXPECT_DOUBLE_EQ(r.inertia, 0.0);
+  EXPECT_DOUBLE_EQ(r.centroids(0, 0), 3.0);
+}
+
+TEST(KMeans, IdenticalPointsConverge) {
+  Matrix pts(0, 1);
+  for (int i = 0; i < 10; ++i) pts.append_row(std::vector<double>{5.0});
+  const KMeansResult r = kmeans(pts, KMeansConfig{.k = 3, .seed = 9});
+  EXPECT_DOUBLE_EQ(r.inertia, 0.0);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const Matrix pts = two_blobs(40, 10);
+  const KMeansResult a = kmeans(pts, KMeansConfig{.k = 3, .seed = 11});
+  const KMeansResult b = kmeans(pts, KMeansConfig{.k = 3, .seed = 11});
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(SquaredDistance, BasicsAndValidation) {
+  EXPECT_DOUBLE_EQ(squared_distance(std::vector<double>{0.0, 0.0},
+                                    std::vector<double>{3.0, 4.0}),
+                   25.0);
+  EXPECT_THROW((void)squared_distance(std::vector<double>{1.0},
+                                std::vector<double>{1.0, 2.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

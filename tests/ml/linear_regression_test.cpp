@@ -1,0 +1,103 @@
+#include "ml/linear_regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+namespace {
+
+TEST(LinearRegression, RecoversKnownCoefficients) {
+  Rng rng(1);
+  Matrix x(0, 2);
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    x.append_row(std::vector<double>{a, b});
+    y.push_back(2.0 * a - 3.0 * b + 5.0);
+  }
+  LinearRegression lr;
+  lr.fit(Dataset(std::move(x), std::move(y)));
+  EXPECT_NEAR(lr.predict(std::vector<double>{0.0, 0.0}), 5.0, 1e-3);
+  EXPECT_NEAR(lr.predict(std::vector<double>{1.0, 0.0}), 7.0, 1e-3);
+  EXPECT_NEAR(lr.predict(std::vector<double>{0.0, 1.0}), 2.0, 1e-3);
+}
+
+TEST(LinearRegression, HandlesNoisyData) {
+  Rng rng(2);
+  Matrix x(0, 1);
+  std::vector<double> y;
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(0, 10);
+    x.append_row(std::vector<double>{a});
+    y.push_back(4.0 * a + rng.normal(0.0, 1.0));
+  }
+  LinearRegression lr;
+  lr.fit(Dataset(std::move(x), std::move(y)));
+  EXPECT_NEAR(lr.predict(std::vector<double>{5.0}), 20.0, 0.3);
+}
+
+TEST(LinearRegression, ConstantFeatureIsHarmless) {
+  Matrix x(0, 2);
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.append_row(std::vector<double>{static_cast<double>(i), 1.0});
+    y.push_back(2.0 * i);
+  }
+  LinearRegression lr;
+  lr.fit(Dataset(std::move(x), std::move(y)));
+  EXPECT_NEAR(lr.predict(std::vector<double>{10.0, 1.0}), 20.0, 0.05);
+}
+
+TEST(LinearRegression, CollinearFeaturesStabilizedByRidge) {
+  Matrix x(0, 2);
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double a = static_cast<double>(i);
+    x.append_row(std::vector<double>{a, 2.0 * a});  // perfectly collinear
+    y.push_back(3.0 * a);
+  }
+  LinearRegression lr(LinearConfig{.ridge = 1e-4});
+  EXPECT_NO_THROW(lr.fit(Dataset(std::move(x), std::move(y))));
+  EXPECT_NEAR(lr.predict(std::vector<double>{50.0, 100.0}), 150.0, 1.0);
+}
+
+TEST(LinearRegression, HeavyRidgeShrinksTowardMean) {
+  Matrix x(0, 1);
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.append_row(std::vector<double>{static_cast<double>(i)});
+    y.push_back(static_cast<double>(i));
+  }
+  LinearRegression strong(LinearConfig{.ridge = 1e6});
+  strong.fit(Dataset(x, y));
+  // Nearly the mean predictor.
+  EXPECT_NEAR(strong.predict(std::vector<double>{99.0}), 49.5, 5.0);
+}
+
+TEST(LinearRegression, FailsOnUnderspecifiedNonlinearity) {
+  // The reason Fig. 6's linear bar is terrible: y = a^2 is not linear.
+  Rng rng(3);
+  Matrix x(0, 1);
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-2, 2);
+    x.append_row(std::vector<double>{a});
+    y.push_back(a * a);
+  }
+  LinearRegression lr;
+  lr.fit(Dataset(std::move(x), std::move(y)));
+  // Predicts the mean-ish everywhere; badly wrong at the edges.
+  EXPECT_GT(std::abs(lr.predict(std::vector<double>{2.0}) - 4.0), 1.0);
+}
+
+TEST(LinearRegression, PredictBeforeFitThrows) {
+  LinearRegression lr;
+  EXPECT_THROW((void)lr.predict(std::vector<double>{1.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,135 @@
+#include "ml/mgs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+namespace {
+
+/// Images whose target depends on a localized pattern: top-left block mean.
+void make_images(std::size_t n, std::uint64_t seed,
+                 std::vector<Matrix>& images, std::vector<double>& targets) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix img(12, 10);
+    const double level = rng.uniform();
+    for (std::size_t r = 0; r < 12; ++r)
+      for (std::size_t c = 0; c < 10; ++c)
+        img(r, c) = (r < 4 && c < 4 ? level : rng.uniform() * 0.2);
+    images.push_back(std::move(img));
+    targets.push_back(level);
+  }
+}
+
+TEST(MultiGrainScanner, GeometryAndFeatureCounts) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(40, 1, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {4, 8};
+  cfg.estimators = 10;
+  MultiGrainScanner mgs(cfg);
+  mgs.fit(images, targets);
+  EXPECT_EQ(mgs.grain_count(), 2u);
+  EXPECT_EQ(mgs.window_size(0), 4u);
+  EXPECT_EQ(mgs.feature_count(0), (12 - 4 + 1) * (10 - 4 + 1));
+  EXPECT_EQ(mgs.feature_count(1), (12 - 8 + 1) * (10 - 8 + 1));
+}
+
+TEST(MultiGrainScanner, OversizedWindowsSkipped) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(30, 2, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {4, 35};  // 35 does not fit a 12x10 image
+  cfg.estimators = 8;
+  MultiGrainScanner mgs(cfg);
+  mgs.fit(images, targets);
+  EXPECT_EQ(mgs.grain_count(), 1u);
+}
+
+TEST(MultiGrainScanner, NoUsableWindowThrows) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(10, 3, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {30};
+  MultiGrainScanner mgs(cfg);
+  EXPECT_THROW(mgs.fit(images, targets), ContractViolation);
+}
+
+TEST(MultiGrainScanner, TransformShapesMatch) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(30, 4, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {4};
+  cfg.estimators = 10;
+  MultiGrainScanner mgs(cfg);
+  mgs.fit(images, targets);
+  const auto feats = mgs.transform(images[0]);
+  ASSERT_EQ(feats.size(), 1u);
+  EXPECT_EQ(feats[0].size(), mgs.feature_count(0));
+}
+
+TEST(MultiGrainScanner, WindowPredictionsTrackLocalPattern) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(120, 5, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {4};
+  cfg.estimators = 20;
+  MultiGrainScanner mgs(cfg);
+  mgs.fit(images, targets);
+
+  // A bright-pattern image's top-left window features should on average
+  // predict higher EA than a dark one's.
+  Matrix bright(12, 10), dark(12, 10);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      bright(r, c) = 0.95;
+      dark(r, c) = 0.05;
+    }
+  const auto fb = mgs.transform(bright)[0];
+  const auto fd = mgs.transform(dark)[0];
+  // Compare the first window (fully inside the pattern block).
+  EXPECT_GT(fb[0], fd[0]);
+}
+
+TEST(MultiGrainScanner, GeometryMismatchAtTransformThrows) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(20, 6, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {4};
+  cfg.estimators = 5;
+  MultiGrainScanner mgs(cfg);
+  mgs.fit(images, targets);
+  EXPECT_THROW(mgs.transform(Matrix(5, 5)), ContractViolation);
+}
+
+TEST(MultiGrainScanner, MismatchedInputsThrow) {
+  MultiGrainScanner mgs;
+  std::vector<Matrix> images{Matrix(12, 10), Matrix(11, 10)};
+  std::vector<double> targets{0.1, 0.2};
+  EXPECT_THROW(mgs.fit(images, targets), ContractViolation);
+  EXPECT_THROW(mgs.transform(Matrix(12, 10)), ContractViolation);
+}
+
+TEST(MultiGrainScanner, StrideReducesFeatureCount) {
+  std::vector<Matrix> images;
+  std::vector<double> targets;
+  make_images(20, 7, images, targets);
+  MgsConfig cfg;
+  cfg.window_sizes = {4};
+  cfg.stride = 2;
+  cfg.estimators = 5;
+  MultiGrainScanner mgs(cfg);
+  mgs.fit(images, targets);
+  EXPECT_EQ(mgs.feature_count(0), 5u * 4u);  // ceil(9/2) x ceil(7/2)
+}
+
+}  // namespace
+}  // namespace stac::ml

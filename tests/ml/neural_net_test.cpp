@@ -1,0 +1,182 @@
+#include "ml/neural_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::ml {
+namespace {
+
+void tabular_samples(std::size_t n, std::uint64_t seed,
+                     std::vector<ProfileSample>& xs,
+                     std::vector<double>& ys) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    xs.push_back(ProfileSample{Matrix{}, {a, b}});
+    ys.push_back(2.0 * a - b + 0.5);
+  }
+}
+
+void image_samples(std::size_t n, std::uint64_t seed,
+                   std::vector<ProfileSample>& xs, std::vector<double>& ys) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double level = rng.uniform();
+    Matrix img(8, 8);
+    for (std::size_t r = 0; r < 8; ++r)
+      for (std::size_t c = 0; c < 8; ++c)
+        img(r, c) = level + rng.normal(0.0, 0.05);
+    xs.push_back(ProfileSample{std::move(img), {}});
+    ys.push_back(level);
+  }
+}
+
+TEST(ConvNet, FitsLinearTabularFunction) {
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  tabular_samples(300, 1, xs, ys);
+  ConvNetConfig cfg;
+  cfg.hidden = 16;
+  cfg.epochs = 150;
+  cfg.seed = 2;
+  ConvNet net(cfg);
+  net.fit(xs, ys);
+  EXPECT_TRUE(net.trained());
+  double mae = 0.0;
+  for (std::size_t i = 0; i < 100; ++i)
+    mae += std::abs(net.predict(xs[i]) - ys[i]);
+  EXPECT_LT(mae / 100.0, 0.1);
+}
+
+TEST(ConvNet, LearnsImageLevel) {
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  image_samples(200, 3, xs, ys);
+  ConvNetConfig cfg;
+  cfg.kernels = 4;
+  cfg.hidden = 16;
+  cfg.epochs = 60;
+  cfg.seed = 4;
+  ConvNet net(cfg);
+  net.fit(xs, ys);
+  double mae = 0.0;
+  for (std::size_t i = 0; i < 80; ++i)
+    mae += std::abs(net.predict(xs[i]) - ys[i]);
+  EXPECT_LT(mae / 80.0, 0.12);
+}
+
+TEST(ConvNet, SeedVariabilityExists) {
+  // The paper's Fig. 5 depends on run-to-run variance under re-init.
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  image_samples(80, 5, xs, ys);
+  ConvNetConfig cfg;
+  cfg.kernels = 2;
+  cfg.hidden = 8;
+  cfg.epochs = 15;
+  double p1, p2;
+  {
+    ConvNetConfig c = cfg;
+    c.seed = 1;
+    ConvNet net(c);
+    net.fit(xs, ys);
+    p1 = net.predict(xs[0]);
+  }
+  {
+    ConvNetConfig c = cfg;
+    c.seed = 99;
+    ConvNet net(c);
+    net.fit(xs, ys);
+    p2 = net.predict(xs[0]);
+  }
+  EXPECT_NE(p1, p2);
+}
+
+TEST(ConvNet, ResidualBlocksFitTabularFunction) {
+  // The paper's future-work variant: residual blocks after the hidden
+  // layer.  Must still learn, and must beat its own untrained state.
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  tabular_samples(300, 21, xs, ys);
+  ConvNetConfig cfg;
+  cfg.hidden = 16;
+  cfg.residual_blocks = 2;
+  cfg.epochs = 150;
+  cfg.seed = 22;
+  ConvNet net(cfg);
+  net.fit(xs, ys);
+  double mae = 0.0;
+  for (std::size_t i = 0; i < 100; ++i)
+    mae += std::abs(net.predict(xs[i]) - ys[i]);
+  EXPECT_LT(mae / 100.0, 0.15);
+}
+
+TEST(ConvNet, ResidualBlocksLearnImages) {
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  image_samples(200, 23, xs, ys);
+  ConvNetConfig cfg;
+  cfg.kernels = 4;
+  cfg.hidden = 16;
+  cfg.residual_blocks = 1;
+  cfg.epochs = 60;
+  cfg.seed = 24;
+  ConvNet net(cfg);
+  net.fit(xs, ys);
+  double mae = 0.0;
+  for (std::size_t i = 0; i < 80; ++i)
+    mae += std::abs(net.predict(xs[i]) - ys[i]);
+  EXPECT_LT(mae / 80.0, 0.15);
+}
+
+TEST(ConvNet, ZeroResidualBlocksUnchangedBehaviour) {
+  // residual_blocks = 0 must reproduce the plain network exactly.
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  tabular_samples(100, 25, xs, ys);
+  ConvNetConfig cfg;
+  cfg.hidden = 8;
+  cfg.epochs = 30;
+  cfg.seed = 26;
+  ConvNet a(cfg), b(cfg);
+  a.fit(xs, ys);
+  b.fit(xs, ys);
+  EXPECT_DOUBLE_EQ(a.predict(xs[0]), b.predict(xs[0]));
+}
+
+TEST(ConvNet, PredictBeforeFitThrows) {
+  ConvNet net;
+  EXPECT_THROW((void)net.predict(ProfileSample{}), ContractViolation);
+}
+
+TEST(ConvNet, ConfigValidation) {
+  ConvNetConfig bad;
+  bad.dropout = 1.0;
+  EXPECT_THROW(ConvNet{bad}, ContractViolation);
+}
+
+TEST(TuneConvnet, ReturnsBestOfTrials) {
+  std::vector<ProfileSample> tx, vx;
+  std::vector<double> ty, vy;
+  tabular_samples(150, 7, tx, ty);
+  tabular_samples(60, 8, vx, vy);
+  const TuneResult r = tune_convnet(tx, ty, vx, vy, 3, 9);
+  EXPECT_EQ(r.trials, 3u);
+  EXPECT_GT(r.best_validation_mae, 0.0);
+  EXPECT_LT(r.best_validation_mae, 1.0);
+  EXPECT_GE(r.best.hidden, 16u);
+}
+
+TEST(TuneConvnet, RequiresValidation) {
+  std::vector<ProfileSample> tx;
+  std::vector<double> ty;
+  tabular_samples(20, 10, tx, ty);
+  EXPECT_THROW((void)tune_convnet(tx, ty, {}, {}, 1, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,108 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace stac::ml {
+namespace {
+
+/// Noisy nonlinear target: y = sin(4a) + 0.5b + noise.
+Dataset wavy_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(0, 2);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    x.append_row(std::vector<double>{a, b});
+    y.push_back(std::sin(4.0 * a) + 0.5 * b + rng.normal(0.0, 0.05));
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+double test_mae(const RandomForest& rf, const Dataset& test) {
+  double mae = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    mae += std::abs(rf.predict(test.row(i)) - test.target(i));
+  return mae / static_cast<double>(test.size());
+}
+
+TEST(RandomForest, FitsNonlinearFunction) {
+  RandomForest rf(ForestConfig{.estimators = 50, .seed = 1});
+  const Dataset train = wavy_dataset(600, 1);
+  const Dataset test = wavy_dataset(200, 2);
+  rf.fit(train);
+  EXPECT_LT(test_mae(rf, test), 0.12);
+}
+
+TEST(RandomForest, EnsembleBeatsSingleTreeOnNoise) {
+  const Dataset train = wavy_dataset(400, 3);
+  const Dataset test = wavy_dataset(200, 4);
+  RandomForest rf(ForestConfig{.estimators = 60, .seed = 5});
+  rf.fit(train);
+  RandomForest single(ForestConfig{.estimators = 1, .seed = 5});
+  single.fit(train);
+  EXPECT_LT(test_mae(rf, test), test_mae(single, test));
+}
+
+TEST(RandomForest, OobPredictionsCoverTrainingRows) {
+  RandomForest rf(ForestConfig{.estimators = 30, .seed = 7});
+  const Dataset train = wavy_dataset(200, 5);
+  rf.fit(train);
+  const auto& oob = rf.oob_predictions();
+  ASSERT_EQ(oob.size(), 200u);
+  // OOB error should be sane (not catastrophically off).
+  double mae = 0.0;
+  for (std::size_t i = 0; i < oob.size(); ++i)
+    mae += std::abs(oob[i] - train.target(i));
+  EXPECT_LT(mae / 200.0, 0.2);
+}
+
+TEST(RandomForest, DeterministicForSeedEvenParallel) {
+  const Dataset train = wavy_dataset(300, 6);
+  RandomForest a(ForestConfig{.estimators = 20, .seed = 11, .parallel = true});
+  RandomForest b(ForestConfig{.estimators = 20, .seed = 11, .parallel = false});
+  a.fit(train);
+  b.fit(train);
+  for (double v = 0.05; v < 1.0; v += 0.1) {
+    const std::vector<double> x{v, 0.5};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(RandomForest, CompletelyRandomModeTrains) {
+  RandomForest rf(ForestConfig{
+      .estimators = 40, .split_mode = SplitMode::kCompletelyRandom,
+      .seed = 13});
+  const Dataset train = wavy_dataset(400, 7);
+  const Dataset test = wavy_dataset(100, 8);
+  rf.fit(train);
+  EXPECT_LT(test_mae(rf, test), 0.25);
+}
+
+TEST(RandomForest, FeatureImportanceAggregates) {
+  RandomForest rf(ForestConfig{.estimators = 20, .seed = 15});
+  rf.fit(wavy_dataset(300, 9));
+  const auto imp = rf.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], imp[1]);  // sin(4a) dominates 0.5b
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest rf;
+  EXPECT_THROW((void)rf.predict(std::vector<double>{0.5, 0.5}), ContractViolation);
+  EXPECT_THROW((void)rf.oob_predictions(), ContractViolation);
+}
+
+TEST(RandomForest, BootstrapFractionValidated) {
+  EXPECT_THROW(RandomForest(ForestConfig{.bootstrap_fraction = 0.0}),
+               ContractViolation);
+  EXPECT_THROW(RandomForest(ForestConfig{.estimators = 0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::ml

@@ -1,0 +1,126 @@
+#include "profiler/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace stac::profiler {
+namespace {
+
+Profile sample_profile(std::uint64_t seed) {
+  Profile p;
+  p.condition.primary = wl::Benchmark::kSocial;
+  p.condition.collocated = wl::Benchmark::kRedis;
+  p.condition.util_primary = 0.87;
+  p.condition.util_collocated = 0.31;
+  p.condition.timeout_primary = 1.25;
+  p.condition.timeout_collocated = 4.5;
+  p.condition.mix_primary = 1.17;
+  p.condition.mix_collocated = 0.93;
+  p.condition.churn = 0.42;
+  p.condition.seed = seed;
+  p.ea = 0.381;
+  p.ea_boost = 0.442;
+  p.mean_rt = 2.75;
+  p.p95_rt = 6.125;
+  p.mean_rt_default = 3.5;
+  p.p95_rt_default = 8.25;
+  p.mean_service = 0.9;
+  p.scaled_base_primary = 7.5;
+  p.allocation_ratio = 3.0;
+  p.statics = {0.87, 1.25, 0.31, 4.5, 1.0, 2.0, 3.0};
+  p.dynamics = {0.12, 0.5, 0.03, 0.0};
+  p.image = Matrix(3, 4);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) p.image(r, c) = rng.uniform() * 1e6;
+  return p;
+}
+
+const char* kPath = "/tmp/stac_profile_io_test.txt";
+
+TEST(ProfileIo, RoundTripIsBitExact) {
+  std::vector<Profile> profiles{sample_profile(1), sample_profile(2),
+                                sample_profile(3)};
+  save_profiles(kPath, profiles);
+  const auto loaded = load_profiles(kPath);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Profile& a = profiles[i];
+    const Profile& b = loaded[i];
+    EXPECT_EQ(a.condition.primary, b.condition.primary);
+    EXPECT_EQ(a.condition.collocated, b.condition.collocated);
+    EXPECT_DOUBLE_EQ(a.condition.util_primary, b.condition.util_primary);
+    EXPECT_DOUBLE_EQ(a.condition.timeout_collocated,
+                     b.condition.timeout_collocated);
+    EXPECT_DOUBLE_EQ(a.condition.mix_primary, b.condition.mix_primary);
+    EXPECT_DOUBLE_EQ(a.condition.churn, b.condition.churn);
+    EXPECT_EQ(a.condition.seed, b.condition.seed);
+    EXPECT_DOUBLE_EQ(a.ea, b.ea);
+    EXPECT_DOUBLE_EQ(a.ea_boost, b.ea_boost);
+    EXPECT_DOUBLE_EQ(a.mean_rt, b.mean_rt);
+    EXPECT_DOUBLE_EQ(a.scaled_base_primary, b.scaled_base_primary);
+    ASSERT_EQ(a.statics.size(), b.statics.size());
+    for (std::size_t j = 0; j < a.statics.size(); ++j)
+      EXPECT_DOUBLE_EQ(a.statics[j], b.statics[j]);
+    ASSERT_EQ(a.dynamics, b.dynamics);
+    ASSERT_EQ(a.image.rows(), b.image.rows());
+    ASSERT_EQ(a.image.cols(), b.image.cols());
+    for (std::size_t r = 0; r < a.image.rows(); ++r)
+      for (std::size_t col = 0; col < a.image.cols(); ++col)
+        EXPECT_DOUBLE_EQ(a.image(r, col), b.image(r, col));
+  }
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, EmptySetRoundTrips) {
+  save_profiles(kPath, {});
+  EXPECT_TRUE(load_profiles(kPath).empty());
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, RejectsMissingFile) {
+  EXPECT_THROW((void)load_profiles("/tmp/stac_definitely_missing_file.txt"),
+               ContractViolation);
+}
+
+TEST(ProfileIo, RejectsWrongMagic) {
+  {
+    std::ofstream out(kPath);
+    out << "not-a-profile v1 0\n";
+  }
+  EXPECT_THROW((void)load_profiles(kPath), ContractViolation);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, RejectsWrongVersion) {
+  {
+    std::ofstream out(kPath);
+    out << "stac-profiles v999 0\n";
+  }
+  EXPECT_THROW((void)load_profiles(kPath), ContractViolation);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, RejectsTruncatedRecord) {
+  std::vector<Profile> profiles{sample_profile(7)};
+  save_profiles(kPath, profiles);
+  // Truncate the file in the middle of the record.
+  std::string contents;
+  {
+    std::ifstream in(kPath);
+    std::getline(in, contents);  // header only
+  }
+  {
+    std::ofstream out(kPath);
+    out << contents << "\n";  // claims 1 profile, provides none
+  }
+  EXPECT_THROW((void)load_profiles(kPath), ContractViolation);
+  std::remove(kPath);
+}
+
+}  // namespace
+}  // namespace stac::profiler

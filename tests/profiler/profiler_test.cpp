@@ -1,0 +1,182 @@
+#include "profiler/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cachesim/perf_counters.hpp"
+
+namespace stac::profiler {
+namespace {
+
+ProfilerConfig fast_config() {
+  ProfilerConfig cfg;
+  cfg.target_completions = 400;
+  cfg.warmup_completions = 50;
+  cfg.max_windows = 2;
+  cfg.accesses_per_sample = 1500;
+  return cfg;
+}
+
+RuntimeCondition sample_condition() {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKmeans;
+  c.collocated = wl::Benchmark::kBfs;
+  c.util_primary = 0.7;
+  c.util_collocated = 0.6;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 2.0;
+  c.seed = 9;
+  return c;
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() : profiler_(fast_config()) {}
+  Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, PlanUsesConfiguredWays) {
+  EXPECT_EQ(profiler_.plan().total_ways(), 20u);
+  EXPECT_EQ(profiler_.plan().workload_count(), 2u);
+  EXPECT_TRUE(profiler_.plan().valid());
+}
+
+TEST_F(ProfilerTest, PairScalesCompressExtremeRatios) {
+  // kmeans (5 s) vs redis (1 ms): native ratio 5000, capped at 20.
+  const auto s =
+      profiler_.pair_scales(wl::Benchmark::kKmeans, wl::Benchmark::kRedis);
+  EXPECT_DOUBLE_EQ(s.scaled_base_collocated, 1.0);
+  EXPECT_DOUBLE_EQ(s.scaled_base_primary, 20.0);
+  // Similar-scale pairs keep their true ratio.
+  const auto t =
+      profiler_.pair_scales(wl::Benchmark::kKmeans, wl::Benchmark::kBfs);
+  EXPECT_DOUBLE_EQ(t.scaled_base_primary / t.scaled_base_collocated,
+                   5.0 / 3.0);
+}
+
+TEST_F(ProfilerTest, StaticFeaturesMatchNames) {
+  const auto f = profiler_.static_features(sample_condition());
+  EXPECT_EQ(f.size(), Profiler::static_feature_names().size());
+  EXPECT_DOUBLE_EQ(f[0], 0.7);  // util_p
+  EXPECT_DOUBLE_EQ(f[1], 1.0);  // timeout_p
+  EXPECT_DOUBLE_EQ(f[6], 3.0);  // alloc ratio (1 private + 2 shared)
+}
+
+TEST_F(ProfilerTest, ProfileConditionProducesWindows) {
+  const auto profiles = profiler_.profile_condition(sample_condition());
+  ASSERT_GE(profiles.size(), 1u);
+  ASSERT_LE(profiles.size(), 2u);
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.image.rows(), 2 * cachesim::kCounterCount);
+    EXPECT_EQ(p.image.cols(), fast_config().image_cols);
+    EXPECT_GT(p.ea, 0.0);
+    EXPECT_LE(p.ea, 1.0);
+    EXPECT_GT(p.mean_rt, 0.0);
+    EXPECT_GE(p.p95_rt, p.mean_rt);
+    EXPECT_GT(p.mean_rt_default, 0.0);
+    EXPECT_EQ(p.statics.size(), Profiler::static_feature_names().size());
+    EXPECT_EQ(p.dynamics.size(), Profiler::dynamic_feature_names().size());
+    EXPECT_DOUBLE_EQ(p.allocation_ratio, 3.0);
+    EXPECT_GT(p.norm_mean_rt(), 0.9);  // response >= ~service time
+  }
+  // All windows of one condition share the run-level EA.
+  if (profiles.size() == 2)
+    EXPECT_DOUBLE_EQ(profiles[0].ea, profiles[1].ea);
+}
+
+TEST_F(ProfilerTest, ImageContainsNonzeroCounters) {
+  const auto profiles = profiler_.profile_condition(sample_condition());
+  ASSERT_FALSE(profiles.empty());
+  const Matrix& img = profiles[0].image;
+  double total = 0.0;
+  for (std::size_t r = 0; r < img.rows(); ++r)
+    for (std::size_t c = 0; c < img.cols(); ++c) total += img(r, c);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(ProfilerTest, DeterministicForSeed) {
+  const auto a = profiler_.profile_condition(sample_condition());
+  const auto b = profiler_.profile_condition(sample_condition());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].ea, b[0].ea);
+  EXPECT_DOUBLE_EQ(a[0].mean_rt, b[0].mean_rt);
+  EXPECT_DOUBLE_EQ(a[0].image(3, 7), b[0].image(3, 7));
+}
+
+TEST_F(ProfilerTest, BatchMatchesIndividual) {
+  const std::vector<RuntimeCondition> conditions{sample_condition()};
+  const auto batch = profiler_.profile_conditions(conditions);
+  const auto solo = profiler_.profile_condition(sample_condition());
+  ASSERT_EQ(batch.size(), solo.size());
+  EXPECT_DOUBLE_EQ(batch[0].ea, solo[0].ea);
+}
+
+TEST_F(ProfilerTest, ToSampleShuffleIsConsistentPermutation) {
+  const auto profiles = profiler_.profile_condition(sample_condition());
+  ASSERT_FALSE(profiles.empty());
+  const auto plain = Profiler::to_sample(profiles[0], false);
+  const auto shuf1 = Profiler::to_sample(profiles[0], true, 42);
+  const auto shuf2 = Profiler::to_sample(profiles[0], true, 42);
+  EXPECT_EQ(plain.image.rows(), shuf1.image.rows());
+  // Same seed -> same permutation.
+  for (std::size_t r = 0; r < shuf1.image.rows(); ++r)
+    EXPECT_DOUBLE_EQ(shuf1.image(r, 0), shuf2.image(r, 0));
+  // Row multiset preserved.
+  std::multiset<double> a, b;
+  for (std::size_t r = 0; r < plain.image.rows(); ++r) {
+    a.insert(plain.image(r, 0));
+    b.insert(shuf1.image(r, 0));
+  }
+  EXPECT_EQ(a, b);
+  // Tabular features identical either way.
+  EXPECT_EQ(plain.tabular, shuf1.tabular);
+}
+
+TEST_F(ProfilerTest, EaBoostIsThePotentialCeiling) {
+  const auto profiles = profiler_.profile_condition(sample_condition());
+  ASSERT_FALSE(profiles.empty());
+  const auto& p = profiles[0];
+  EXPECT_GT(p.ea_boost, 0.0);
+  EXPECT_LE(p.ea_boost, 1.0);
+  // Always-boost can only speed the primary up relative to its own policy
+  // (the neighbour is held fixed): potential EA >= policy EA, modulo
+  // simulation noise.
+  EXPECT_GE(p.ea_boost, p.ea - 0.03);
+}
+
+TEST_F(ProfilerTest, QueryMixScalesMissBehaviour) {
+  const auto lean = profiler_.make_mixed_model(wl::Benchmark::kKmeans, 0.7);
+  const auto heavy = profiler_.make_mixed_model(wl::Benchmark::kKmeans, 1.4);
+  // A heavier mix (larger hot working sets) misses more at every
+  // allocation and keeps the same calibrated baseline service time.
+  EXPECT_GT(heavy.miss_ratio(3.0), lean.miss_ratio(3.0));
+  EXPECT_NEAR(heavy.baseline_service_time(), lean.baseline_service_time(),
+              1e-9);
+}
+
+TEST_F(ProfilerTest, ChurnLowersMeasuredEaBoost) {
+  RuntimeCondition calm = sample_condition();
+  calm.churn = 0.1;
+  RuntimeCondition stormy = sample_condition();
+  stormy.churn = 0.6;
+  const auto a = profiler_.profile_condition(calm);
+  const auto b = profiler_.profile_condition(stormy);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  // Heavier background displacement erodes the boost benefit.
+  EXPECT_GT(a[0].ea_boost, b[0].ea_boost - 0.01);
+}
+
+TEST_F(ProfilerTest, NeverBoostConditionHasEaOneOverRatio) {
+  RuntimeCondition c = sample_condition();
+  c.timeout_primary = 6.0;
+  c.timeout_collocated = 6.0;
+  const auto profiles = profiler_.profile_condition(c);
+  ASSERT_FALSE(profiles.empty());
+  // No speedup over the default run (same seed): EA == 1/ratio exactly.
+  EXPECT_NEAR(profiles[0].ea, 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stac::profiler

@@ -1,0 +1,108 @@
+#include "profiler/runtime_condition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stac::profiler {
+namespace {
+
+TEST(RuntimeCondition, SwappedExchangesRoles) {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kRedis;
+  c.collocated = wl::Benchmark::kSocial;
+  c.util_primary = 0.9;
+  c.util_collocated = 0.4;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 3.0;
+  const RuntimeCondition s = c.swapped();
+  EXPECT_EQ(s.primary, wl::Benchmark::kSocial);
+  EXPECT_EQ(s.collocated, wl::Benchmark::kRedis);
+  EXPECT_DOUBLE_EQ(s.util_primary, 0.4);
+  EXPECT_DOUBLE_EQ(s.timeout_primary, 3.0);
+  EXPECT_DOUBLE_EQ(s.timeout_collocated, 1.0);
+  EXPECT_EQ(s.seed, c.seed);
+  // Double swap restores.
+  const RuntimeCondition ss = s.swapped();
+  EXPECT_DOUBLE_EQ(ss.util_primary, 0.9);
+}
+
+TEST(RuntimeCondition, ToStringMentionsPairing) {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kJacobi;
+  c.collocated = wl::Benchmark::kBfs;
+  EXPECT_NE(c.to_string().find("jacobi(bfs)"), std::string::npos);
+}
+
+TEST(RandomCondition, WithinTableTwoRanges) {
+  const ConditionRanges ranges;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const RuntimeCondition c = random_condition(
+        wl::Benchmark::kKmeans, wl::Benchmark::kRedis, ranges, rng);
+    EXPECT_GE(c.util_primary, 0.25);
+    EXPECT_LE(c.util_primary, 0.95);
+    EXPECT_GE(c.timeout_primary, 0.0);
+    EXPECT_LE(c.timeout_primary, 6.0);
+    EXPECT_GE(c.util_collocated, 0.25);
+    EXPECT_LE(c.timeout_collocated, 6.0);
+    EXPECT_EQ(c.primary, wl::Benchmark::kKmeans);
+  }
+}
+
+TEST(RandomCondition, SeedsDiffer) {
+  const ConditionRanges ranges;
+  Rng rng(2);
+  const auto a = random_condition(wl::Benchmark::kKnn, wl::Benchmark::kBfs,
+                                  ranges, rng);
+  const auto b = random_condition(wl::Benchmark::kKnn, wl::Benchmark::kBfs,
+                                  ranges, rng);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(RandomCondition, HiddenFactorsWithinRanges) {
+  const ConditionRanges ranges;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const RuntimeCondition c = random_condition(
+        wl::Benchmark::kKmeans, wl::Benchmark::kRedis, ranges, rng);
+    EXPECT_GE(c.mix_primary, ranges.mix_lo);
+    EXPECT_LE(c.mix_primary, ranges.mix_hi);
+    EXPECT_GE(c.mix_collocated, ranges.mix_lo);
+    EXPECT_LE(c.mix_collocated, ranges.mix_hi);
+    EXPECT_GE(c.churn, ranges.churn_lo);
+    EXPECT_LE(c.churn, ranges.churn_hi);
+  }
+}
+
+TEST(RuntimeCondition, SwappedExchangesMixes) {
+  RuntimeCondition c;
+  c.mix_primary = 1.3;
+  c.mix_collocated = 0.8;
+  c.churn = 0.4;
+  const RuntimeCondition s = c.swapped();
+  EXPECT_DOUBLE_EQ(s.mix_primary, 0.8);
+  EXPECT_DOUBLE_EQ(s.mix_collocated, 1.3);
+  EXPECT_DOUBLE_EQ(s.churn, 0.4);  // node-level, not per-service
+}
+
+TEST(PerturbCondition, StaysClampedAndNearBase) {
+  const ConditionRanges ranges;
+  Rng rng(3);
+  RuntimeCondition base;
+  base.util_primary = 0.9;
+  base.timeout_primary = 0.1;
+  double drift = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const RuntimeCondition p = perturb_condition(base, ranges, rng);
+    EXPECT_GE(p.util_primary, 0.25);
+    EXPECT_LE(p.util_primary, 0.95);
+    EXPECT_GE(p.timeout_primary, 0.0);
+    EXPECT_LE(p.timeout_primary, 6.0);
+    EXPECT_EQ(p.primary, base.primary);
+    drift += std::abs(p.util_primary - base.util_primary);
+  }
+  // Perturbations are local refinements, not fresh uniform draws.
+  EXPECT_LT(drift / 300.0, 0.1);
+}
+
+}  // namespace
+}  // namespace stac::profiler

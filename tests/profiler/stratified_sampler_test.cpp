@@ -1,0 +1,84 @@
+#include "profiler/stratified_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::profiler {
+namespace {
+
+ProfilerConfig fast_config() {
+  ProfilerConfig cfg;
+  cfg.target_completions = 300;
+  cfg.warmup_completions = 40;
+  cfg.max_windows = 1;
+  cfg.accesses_per_sample = 800;
+  return cfg;
+}
+
+TEST(StratifiedSampler, CollectsRequestedBudget) {
+  Profiler profiler(fast_config());
+  SamplerConfig sc;
+  sc.seed = 3;
+  StratifiedSampler sampler(profiler, sc);
+  const auto profiles =
+      sampler.collect(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 10);
+  // max_windows = 1: up to one profile per condition; testbed runs that end
+  // before enough trace samples may drop a few.
+  EXPECT_GE(profiles.size(), 7u);
+  EXPECT_LE(profiles.size(), 10u);
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.condition.primary, wl::Benchmark::kKnn);
+    EXPECT_GT(p.ea, 0.0);
+  }
+}
+
+TEST(StratifiedSampler, UniformCollectsRequestedBudget) {
+  Profiler profiler(fast_config());
+  StratifiedSampler sampler(profiler, SamplerConfig{.seed = 4});
+  const auto profiles =
+      sampler.collect_uniform(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 8);
+  EXPECT_GE(profiles.size(), 5u);
+  EXPECT_LE(profiles.size(), 8u);
+}
+
+TEST(StratifiedSampler, RefinementsConcentrateNearSeeds) {
+  Profiler profiler(fast_config());
+  SamplerConfig sc;
+  sc.seed = 5;
+  sc.seed_fraction = 0.5;
+  StratifiedSampler sampler(profiler, sc);
+  const auto profiles =
+      sampler.collect(wl::Benchmark::kKmeans, wl::Benchmark::kSpstream, 12);
+  ASSERT_GE(profiles.size(), 8u);
+  // The refinement phase exists: conditions beyond the seed count must be
+  // within perturbation range of some seed condition.
+  const std::size_t n_seed = 6;
+  bool any_near = false;
+  for (std::size_t i = n_seed; i < profiles.size(); ++i) {
+    for (std::size_t j = 0; j < n_seed && j < profiles.size(); ++j) {
+      const double du = std::abs(profiles[i].condition.util_primary -
+                                 profiles[j].condition.util_primary);
+      if (du < 0.25) any_near = true;
+    }
+  }
+  EXPECT_TRUE(any_near);
+}
+
+TEST(StratifiedSampler, RejectsTinyBudget) {
+  Profiler profiler(fast_config());
+  StratifiedSampler sampler(profiler, SamplerConfig{});
+  EXPECT_THROW(
+      sampler.collect(wl::Benchmark::kKnn, wl::Benchmark::kBfs, 2),
+      ContractViolation);
+}
+
+TEST(SamplerConfig, Validation) {
+  Profiler profiler(fast_config());
+  SamplerConfig bad;
+  bad.seed_fraction = 0.0;
+  EXPECT_THROW(StratifiedSampler(profiler, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::profiler

@@ -1,0 +1,43 @@
+#include "queueing/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace stac::queueing {
+namespace {
+
+TEST(InterarrivalSampler, ExponentialMeanMatchesRate) {
+  InterarrivalSampler s(ArrivalKind::kExponential, 5.0);
+  Rng rng(3);
+  StreamingStats st;
+  for (int i = 0; i < 50000; ++i) st.add(s.sample(rng));
+  EXPECT_NEAR(st.mean(), 0.2, 0.005);
+  EXPECT_NEAR(st.cv(), 1.0, 0.03);  // exponential CV = 1
+}
+
+TEST(InterarrivalSampler, DeterministicIsConstant) {
+  InterarrivalSampler s(ArrivalKind::kDeterministic, 4.0);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(s.sample(rng), 0.25);
+}
+
+TEST(InterarrivalSampler, LogNormalMeanAndCv) {
+  InterarrivalSampler s(ArrivalKind::kLogNormal, 2.0, 0.5);
+  Rng rng(5);
+  StreamingStats st;
+  for (int i = 0; i < 50000; ++i) st.add(s.sample(rng));
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+  EXPECT_NEAR(st.cv(), 0.5, 0.03);
+}
+
+TEST(InterarrivalSampler, RejectsBadParameters) {
+  EXPECT_THROW(InterarrivalSampler(ArrivalKind::kExponential, 0.0),
+               ContractViolation);
+  EXPECT_THROW(InterarrivalSampler(ArrivalKind::kLogNormal, 1.0, -1.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::queueing

@@ -1,0 +1,206 @@
+#include "queueing/shared_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::queueing {
+namespace {
+
+using cat::AllocationPlan;
+using cat::make_chain_plan;
+using cat::make_pair_plan;
+
+TEST(FindSharedRegions, PairPlanHasOneRegion) {
+  const auto regions = find_shared_regions(make_pair_plan(8, 1, 2));
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].first_way, 1u);
+  EXPECT_EQ(regions[0].way_count, 2u);
+  EXPECT_EQ(regions[0].sharers, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FindSharedRegions, ChainPlanHasRegionPerLink) {
+  const auto regions = find_shared_regions(make_chain_plan(10, 3, 2, 1));
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].sharers, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(regions[1].sharers, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(FindSharedRegions, NoSharingNoRegions) {
+  std::vector<cat::PolicyAllocations> ps{
+      {{0, 2}, {0, 2}},
+      {{2, 2}, {2, 2}},
+  };
+  EXPECT_TRUE(find_shared_regions(AllocationPlan(4, ps)).empty());
+}
+
+class OccupancyTest : public ::testing::Test {
+ protected:
+  OccupancyTest() : model_(make_pair_plan(8, 1, 2)) {}
+  OccupancyModel model_;
+};
+
+TEST_F(OccupancyTest, ColdStart) {
+  EXPECT_EQ(model_.region_count(), 1u);
+  EXPECT_DOUBLE_EQ(model_.occupancy(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.effective_ways(0), 1.0);  // private only
+  EXPECT_DOUBLE_EQ(model_.effective_ways(1), 1.0);
+}
+
+TEST_F(OccupancyTest, SoleFillerTakesWholeRegion) {
+  model_.set_fill_rate(0, 2.0);
+  model_.advance(10.0);
+  EXPECT_NEAR(model_.occupancy(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(model_.effective_ways(0), 3.0, 1e-5);  // 1 private + 2 shared
+  EXPECT_DOUBLE_EQ(model_.effective_ways(1), 1.0);
+}
+
+TEST_F(OccupancyTest, FreeSpaceFillsLinearly) {
+  model_.set_fill_rate(0, 0.5);  // half a region per unit time
+  model_.advance(1.0);
+  EXPECT_NEAR(model_.occupancy(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(model_.effective_ways(0), 2.0, 1e-6);
+}
+
+TEST_F(OccupancyTest, EquilibriumProportionalToFillRates) {
+  model_.set_fill_rate(0, 3.0);
+  model_.set_fill_rate(1, 1.0);
+  model_.advance(50.0);
+  EXPECT_NEAR(model_.occupancy(0, 0), 0.75, 0.01);
+  EXPECT_NEAR(model_.occupancy(0, 1), 0.25, 0.01);
+}
+
+TEST_F(OccupancyTest, ResidualOccupancyPersistsUntilDisplaced) {
+  // Workload 0 fills the region, then stops (boost revoked).
+  model_.set_fill_rate(0, 2.0);
+  model_.advance(10.0);
+  model_.set_fill_rate(0, 0.0);
+  // Nobody fills: occupancy frozen (CAT hits-anywhere residual benefit).
+  model_.advance(100.0);
+  EXPECT_NEAR(model_.occupancy(0, 0), 1.0, 1e-6);
+  // Neighbour starts filling: workload 0's share decays exponentially.
+  model_.set_fill_rate(1, 1.0);
+  model_.advance(1.0);
+  EXPECT_NEAR(model_.occupancy(0, 0), std::exp(-1.0), 0.02);
+  model_.advance(50.0);
+  EXPECT_NEAR(model_.occupancy(0, 1), 1.0, 1e-3);
+}
+
+TEST_F(OccupancyTest, TotalOccupancyNeverExceedsOne) {
+  model_.set_fill_rate(0, 5.0);
+  model_.set_fill_rate(1, 3.0);
+  for (int i = 0; i < 100; ++i) {
+    model_.advance(0.05);
+    const double total = model_.occupancy(0, 0) + model_.occupancy(0, 1);
+    EXPECT_LE(total, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(OccupancyTest, SuggestedStepInfiniteAtRest) {
+  EXPECT_TRUE(std::isinf(model_.suggested_step(0.05)));
+  model_.set_fill_rate(0, 2.0);
+  EXPECT_NEAR(model_.suggested_step(0.05), 0.125, 1e-9);  // 0.25 / 2.0
+  // At equilibrium the step becomes infinite again.
+  model_.advance(100.0);
+  EXPECT_TRUE(std::isinf(model_.suggested_step(0.05)));
+}
+
+TEST_F(OccupancyTest, ResetClearsState) {
+  model_.set_fill_rate(0, 1.0);
+  model_.advance(5.0);
+  model_.reset();
+  EXPECT_DOUBLE_EQ(model_.occupancy(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.effective_ways(0), 1.0);
+}
+
+TEST_F(OccupancyTest, NonSharerUnaffected) {
+  OccupancyModel chain(make_chain_plan(10, 3, 2, 1));
+  chain.set_fill_rate(0, 10.0);
+  chain.advance(10.0);
+  // Workload 2 shares only the second region, untouched by w0's fills.
+  EXPECT_DOUBLE_EQ(chain.occupancy(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(chain.effective_ways(2), 2.0);
+  // Workload 1 shares region 0 with w0 but did not fill.
+  EXPECT_DOUBLE_EQ(chain.occupancy(0, 1), 0.0);
+}
+
+TEST_F(OccupancyTest, MiddleWorkloadFillsBothRegions) {
+  OccupancyModel chain(make_chain_plan(10, 3, 2, 1));
+  chain.set_fill_rate(1, 2.0);
+  chain.advance(20.0);
+  EXPECT_NEAR(chain.occupancy(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(chain.occupancy(1, 1), 1.0, 1e-6);
+  // 2 private + 1.0 * 1 way + 1.0 * 1 way.
+  EXPECT_NEAR(chain.effective_ways(1), 4.0, 1e-5);
+}
+
+TEST_F(OccupancyTest, ChurnErodesIdleOccupancy) {
+  model_.set_background_churn(0.5);
+  model_.set_fill_rate(0, 5.0);
+  model_.advance(20.0);
+  // Equilibrium against churn: phi / (phi + churn).
+  EXPECT_NEAR(model_.occupancy(0, 0), 5.0 / 5.5, 0.01);
+  // Stop filling: occupancy decays at the churn rate even though the
+  // neighbour is idle — the "short-term" in short-term allocation.
+  model_.set_fill_rate(0, 0.0);
+  const double before = model_.occupancy(0, 0);
+  model_.advance(2.0);
+  EXPECT_NEAR(model_.occupancy(0, 0), before * std::exp(-0.5 * 2.0), 0.01);
+  model_.advance(100.0);
+  EXPECT_LT(model_.occupancy(0, 0), 0.01);
+}
+
+TEST_F(OccupancyTest, ChurnLowersEquilibriumShare) {
+  OccupancyModel churned(make_pair_plan(8, 1, 2));
+  churned.set_background_churn(1.0);
+  churned.set_fill_rate(0, 1.0);
+  churned.set_fill_rate(1, 1.0);
+  churned.advance(50.0);
+  // Each holds phi / (phi_total + churn) = 1/3 instead of 1/2.
+  EXPECT_NEAR(churned.occupancy(0, 0), 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(churned.occupancy(0, 1), 1.0 / 3.0, 0.01);
+}
+
+TEST_F(OccupancyTest, ChurnSuggestsFiniteStepsUntilEquilibrium) {
+  model_.set_background_churn(0.5);
+  model_.set_fill_rate(0, 1.5);
+  EXPECT_TRUE(std::isfinite(model_.suggested_step(0.05)));
+  model_.advance(100.0);
+  EXPECT_TRUE(std::isinf(model_.suggested_step(0.05)));
+}
+
+TEST_F(OccupancyTest, ThrashDiscountsConcurrentSharers) {
+  model_.set_thrash_sensitivity(1.0);
+  model_.set_fill_rate(0, 2.0);
+  model_.advance(50.0);
+  // Sole filler, no churn: no thrash penalty from others.
+  EXPECT_NEAR(model_.effective_ways(0), 3.0, 1e-3);
+  // Neighbour starts filling at the same rate: occupancy splits AND each
+  // side's benefit is discounted by the other's fill pressure.
+  model_.set_fill_rate(1, 2.0);
+  model_.advance(50.0);
+  const double occ0 = model_.occupancy(0, 0);
+  EXPECT_NEAR(occ0, 0.5, 0.01);
+  const double expected = 1.0 + 2.0 * occ0 / (1.0 + 1.0 * 2.0);
+  EXPECT_NEAR(model_.effective_ways(0), expected, 0.02);
+  EXPECT_LT(model_.effective_ways(0), 1.0 + 2.0 * occ0);  // strictly worse
+}
+
+TEST_F(OccupancyTest, ThrashZeroIsNeutral) {
+  model_.set_thrash_sensitivity(0.0);
+  model_.set_fill_rate(0, 1.0);
+  model_.set_fill_rate(1, 1.0);
+  model_.advance(50.0);
+  EXPECT_NEAR(model_.effective_ways(0),
+              1.0 + 2.0 * model_.occupancy(0, 0), 1e-6);
+}
+
+TEST_F(OccupancyTest, ChurnAndThrashValidation) {
+  EXPECT_THROW(model_.set_background_churn(-1.0), ContractViolation);
+  EXPECT_THROW(model_.set_thrash_sensitivity(-0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::queueing

@@ -1,0 +1,107 @@
+#include "wl/access_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace stac::wl {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+TEST(SyntheticStream, AddressesStayInClassRegion) {
+  ReuseProfile p;
+  p.components = {{0.7, 1.0 * kMB}};
+  p.streaming_fraction = 0.3;
+  const std::uint64_t base = kClassAddressStride * 3;
+  SyntheticStream stream(p, base, 1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = stream.next();
+    EXPECT_GE(a.address, base);
+    EXPECT_LT(a.address, base + kClassAddressStride);
+  }
+}
+
+TEST(SyntheticStream, StoreFractionRespected) {
+  ReuseProfile p;
+  p.components = {{1.0, 1.0 * kMB}};
+  p.store_fraction = 0.4;
+  p.ifetch_per_access = 0.0;
+  SyntheticStream stream(p, kClassAddressStride, 2);
+  int stores = 0, total = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = stream.next();
+    if (a.type == cachesim::AccessType::kStore) ++stores;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(stores) / total, 0.4, 0.02);
+}
+
+TEST(SyntheticStream, IfetchRatioRespected) {
+  ReuseProfile p;
+  p.components = {{1.0, 1.0 * kMB}};
+  p.ifetch_per_access = 0.5;  // one ifetch per two data accesses
+  SyntheticStream stream(p, kClassAddressStride, 3);
+  int ifetch = 0, total = 0;
+  for (int i = 0; i < 30000; ++i) {
+    if (stream.next().type == cachesim::AccessType::kIfetch) ++ifetch;
+    ++total;
+  }
+  // ifetch / data = 0.5 -> ifetch / total = 1/3.
+  EXPECT_NEAR(static_cast<double>(ifetch) / total, 1.0 / 3.0, 0.02);
+}
+
+TEST(SyntheticStream, StreamingNeverRevisitsSoon) {
+  ReuseProfile p;
+  p.streaming_fraction = 1.0;
+  p.ifetch_per_access = 0.0;
+  SyntheticStream stream(p, 0, 4);
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < 10000; ++i) ++seen[stream.next().address / 64];
+  for (const auto& [line, count] : seen) EXPECT_EQ(count, 1) << line;
+}
+
+TEST(ZipfStream, PopularRecordsDominarte) {
+  ZipfStream stream(1000, 1024, 0.99, 0.0, 0, 5);
+  std::map<std::uint64_t, int> record_hits;
+  for (int i = 0; i < 50000; ++i)
+    ++record_hits[stream.next().address / 1024];
+  // Record 0 is the most popular.
+  int max_hits = 0;
+  for (const auto& [rec, hits] : record_hits) max_hits = std::max(max_hits, hits);
+  EXPECT_EQ(record_hits[0], max_hits);
+  EXPECT_GT(record_hits[0], 50000 / 1000 * 5);
+}
+
+TEST(ZipfStream, TouchesWithinRecordBounds) {
+  ZipfStream stream(10, 1024, 0.5, 0.5, 1 << 20, 6);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = stream.next();
+    EXPECT_GE(a.address, 1u << 20);
+    EXPECT_LT(a.address, (1u << 20) + 10 * 1024);
+  }
+}
+
+TEST(StridedStream, CyclicSweep) {
+  StridedStream stream(256, 64, 0.0, 0, 7);
+  // Addresses 0, 64, 128, 192, then wrap.
+  EXPECT_EQ(stream.next().address, 0u);
+  EXPECT_EQ(stream.next().address, 64u);
+  EXPECT_EQ(stream.next().address, 128u);
+  EXPECT_EQ(stream.next().address, 192u);
+  EXPECT_EQ(stream.next().address, 0u);
+}
+
+TEST(StridedStream, DeterministicForSeed) {
+  StridedStream a(1024, 64, 0.5, 0, 9);
+  StridedStream b(1024, 64, 0.5, 0, 9);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    const auto y = b.next();
+    EXPECT_EQ(x.address, y.address);
+    EXPECT_EQ(static_cast<int>(x.type), static_cast<int>(y.type));
+  }
+}
+
+}  // namespace
+}  // namespace stac::wl

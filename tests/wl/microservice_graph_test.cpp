@@ -1,0 +1,55 @@
+#include "wl/microservice_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace stac::wl {
+namespace {
+
+TEST(MicroserviceGraph, PaperTopology) {
+  const auto g = MicroserviceGraph::social_network();
+  EXPECT_EQ(g.service_count(), 36u);       // 36 microservices
+  EXPECT_EQ(g.container_count(), 30u);     // in 30 Docker containers
+  EXPECT_EQ(g.layer_count(), 6u);
+}
+
+TEST(MicroserviceGraph, ContainersCoverAllServices) {
+  const auto g = MicroserviceGraph::social_network();
+  for (const auto& svc : g.services()) EXPECT_LT(svc.container, 30u);
+}
+
+TEST(MicroserviceGraph, ExpectedDemandNormalizedToOne) {
+  const auto g = MicroserviceGraph::social_network();
+  EXPECT_NEAR(g.expected_demand(), 1.0, 1e-9);
+}
+
+TEST(MicroserviceGraph, SampledDemandMeanNearOne) {
+  const auto g = MicroserviceGraph::social_network();
+  Rng rng(11);
+  StreamingStats st;
+  for (int i = 0; i < 40000; ++i) st.add(g.sample_demand(rng));
+  EXPECT_NEAR(st.mean(), 1.0, 0.02);
+}
+
+TEST(MicroserviceGraph, FanOutMakesDemandHeavierThanExponential) {
+  // Max-of-exponentials per layer: CV below 1 (sums) but long right tail
+  // relative to a normal — p99/mean well above 2 would hold for exp;
+  // check the tail is meaningfully heavy while mean stays 1.
+  const auto g = MicroserviceGraph::social_network();
+  Rng rng(13);
+  SampleStats st;
+  for (int i = 0; i < 40000; ++i) st.add(g.sample_demand(rng));
+  EXPECT_GT(st.percentile(0.99), 1.8);
+  EXPECT_GT(st.percentile(0.95), 1.5);
+  EXPECT_LT(st.percentile(0.5), 1.0);  // right-skewed: median < mean
+}
+
+TEST(MicroserviceGraph, SamplesArePositive) {
+  const auto g = MicroserviceGraph::social_network();
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(g.sample_demand(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace stac::wl

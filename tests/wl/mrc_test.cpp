@@ -1,0 +1,94 @@
+#include "wl/mrc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace stac::wl {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+TEST(MissRatioCurve, ValidationRules) {
+  EXPECT_NO_THROW(MissRatioCurve({1.0, 0.5, 0.2}));
+  EXPECT_THROW(MissRatioCurve({0.9, 0.5}), ContractViolation);   // [0] != 1
+  EXPECT_THROW(MissRatioCurve({1.0, 0.5, 0.6}), ContractViolation);  // rises
+  EXPECT_THROW(MissRatioCurve({1.0}), ContractViolation);        // too short
+  EXPECT_THROW(MissRatioCurve({1.0, -0.1}), ContractViolation);  // range
+}
+
+TEST(MissRatioCurve, InterpolationAndClamping) {
+  const MissRatioCurve mrc({1.0, 0.6, 0.2});
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mrc.at(1.0), 0.6);
+  EXPECT_DOUBLE_EQ(mrc.at(0.5), 0.8);
+  EXPECT_DOUBLE_EQ(mrc.at(1.5), 0.4);
+  EXPECT_DOUBLE_EQ(mrc.at(-1.0), 1.0);   // clamps low
+  EXPECT_DOUBLE_EQ(mrc.at(99.0), 0.2);   // clamps high
+}
+
+TEST(MissRatioCurve, MarginalGain) {
+  const MissRatioCurve mrc({1.0, 0.6, 0.5});
+  EXPECT_DOUBLE_EQ(mrc.marginal_gain(0), 0.4);
+  EXPECT_DOUBLE_EQ(mrc.marginal_gain(1), 0.1);
+  EXPECT_DOUBLE_EQ(mrc.marginal_gain(5), 0.0);
+}
+
+TEST(MissRatioCurve, FromWorkingSetsHitsWhenCapacityCovers) {
+  const MissRatioCurve::Component comps[] = {{1.0, 2.0 * kMB}};
+  const MissRatioCurve mrc =
+      MissRatioCurve::from_working_sets(comps, 0.0, 4, 2.0 * kMB);
+  // 1 way = 2 MB covers the whole 2 MB working set: no misses.
+  EXPECT_DOUBLE_EQ(mrc.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mrc.at(4.0), 0.0);
+}
+
+TEST(MissRatioCurve, FromWorkingSetsPartialCoverage) {
+  const MissRatioCurve::Component comps[] = {{1.0, 8.0 * kMB}};
+  const MissRatioCurve mrc =
+      MissRatioCurve::from_working_sets(comps, 0.0, 4, 2.0 * kMB);
+  EXPECT_NEAR(mrc.at(1.0), 0.75, 1e-12);  // 2/8 covered
+  EXPECT_NEAR(mrc.at(2.0), 0.50, 1e-12);
+  EXPECT_NEAR(mrc.at(4.0), 0.0, 1e-12);
+}
+
+TEST(MissRatioCurve, FloorBoundsCurveFromBelow) {
+  const MissRatioCurve::Component comps[] = {{1.0, 1.0 * kMB}};
+  const MissRatioCurve mrc =
+      MissRatioCurve::from_working_sets(comps, 0.3, 4, 2.0 * kMB);
+  EXPECT_NEAR(mrc.at(4.0), 0.3, 1e-12);  // streaming floor remains
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 1.0);
+}
+
+TEST(MissRatioCurve, FromWorkingSetsValidatesFractions) {
+  const MissRatioCurve::Component bad[] = {{0.5, kMB}};
+  EXPECT_THROW(MissRatioCurve::from_working_sets(bad, 0.0, 4, kMB),
+               ContractViolation);
+}
+
+TEST(MissRatioCurve, ExponentialShape) {
+  const MissRatioCurve mrc = MissRatioCurve::exponential(0.1, 2.0, 10);
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 1.0);
+  EXPECT_GT(mrc.at(1.0), mrc.at(5.0));
+  EXPECT_NEAR(mrc.at(10.0), 0.1, 0.01);
+}
+
+// Property: from_working_sets is non-increasing for any mixture.
+class MrcMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(MrcMonotone, NonIncreasing) {
+  const double floor = GetParam();
+  const MissRatioCurve::Component comps[] = {{0.5, 1.5 * kMB},
+                                             {0.5, 9.0 * kMB}};
+  const MissRatioCurve mrc =
+      MissRatioCurve::from_working_sets(comps, floor, 20, 2.0 * kMB);
+  for (std::size_t w = 1; w <= 20; ++w)
+    EXPECT_LE(mrc.at(static_cast<double>(w)),
+              mrc.at(static_cast<double>(w - 1)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Floors, MrcMonotone,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.6));
+
+}  // namespace
+}  // namespace stac::wl

@@ -1,0 +1,64 @@
+#include "wl/reuse_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stac::wl {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+ReuseProfile sample_profile() {
+  ReuseProfile p;
+  p.components = {{0.6, 2.0 * kMB}, {0.2, 16.0 * kMB}};
+  p.streaming_fraction = 0.2;
+  return p;
+}
+
+TEST(ReuseProfile, Validity) {
+  EXPECT_TRUE(sample_profile().valid());
+  ReuseProfile bad = sample_profile();
+  bad.streaming_fraction = 0.5;  // fractions no longer sum to 1
+  EXPECT_FALSE(bad.valid());
+  ReuseProfile empty;
+  EXPECT_FALSE(empty.valid());
+  ReuseProfile neg = sample_profile();
+  neg.components[0].fraction = -0.1;
+  EXPECT_FALSE(neg.valid());
+  ReuseProfile bad_store = sample_profile();
+  bad_store.store_fraction = 1.5;
+  EXPECT_FALSE(bad_store.valid());
+}
+
+TEST(ReuseProfile, MrcFloorEqualsStreamingFraction) {
+  const MissRatioCurve mrc = sample_profile().mrc(20, 2.0 * kMB);
+  // With enough ways everything reusable hits; only streaming misses.
+  EXPECT_NEAR(mrc.at(20.0), 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(mrc.at(0.0), 1.0);
+}
+
+TEST(ReuseProfile, PureStreamingIsCapacityInsensitive) {
+  ReuseProfile p;
+  p.streaming_fraction = 1.0;
+  ASSERT_TRUE(p.valid());
+  const MissRatioCurve mrc = p.mrc(8, 2.0 * kMB);
+  EXPECT_DOUBLE_EQ(mrc.at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(mrc.at(8.0), 1.0);
+}
+
+TEST(ReuseProfile, FootprintIsLargestRegion) {
+  EXPECT_DOUBLE_EQ(sample_profile().footprint_bytes(), 16.0 * kMB);
+  ReuseProfile tiny;
+  tiny.streaming_fraction = 1.0;
+  tiny.code_bytes = 128 * 1024;
+  EXPECT_DOUBLE_EQ(tiny.footprint_bytes(), 128.0 * 1024);
+}
+
+TEST(ReuseProfile, MrcReflectsComponentCoverage) {
+  const MissRatioCurve mrc = sample_profile().mrc(20, 2.0 * kMB);
+  // 1 way (2MB) covers component 1 fully: reuse misses only from comp 2.
+  // miss = 0.2 + 0.8 * (0.25 * (1 - 2/16)) = 0.2 + 0.8*0.25*0.875
+  EXPECT_NEAR(mrc.at(1.0), 0.2 + 0.8 * (0.25 * 0.875), 1e-9);
+}
+
+}  // namespace
+}  // namespace stac::wl

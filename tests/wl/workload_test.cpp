@@ -1,0 +1,132 @@
+#include "wl/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hpp"
+#include "wl/benchmark_suite.hpp"
+
+namespace stac::wl {
+namespace {
+
+constexpr double kWayBytes = 2.0 * 1024 * 1024;
+
+TEST(BenchmarkSuite, EightBenchmarksWithUniqueIds) {
+  EXPECT_EQ(all_benchmarks().size(), kBenchmarkCount);
+  std::set<std::string_view> ids;
+  for (Benchmark b : all_benchmarks()) ids.insert(benchmark_id(b));
+  EXPECT_EQ(ids.size(), kBenchmarkCount);
+}
+
+TEST(BenchmarkSuite, RoundTripFromId) {
+  for (Benchmark b : all_benchmarks())
+    EXPECT_EQ(benchmark_from_id(benchmark_id(b)), b);
+  EXPECT_FALSE(benchmark_from_id("nonexistent").has_value());
+}
+
+TEST(BenchmarkSuite, PaperBaselineServiceTimes) {
+  EXPECT_DOUBLE_EQ(benchmark_spec(Benchmark::kSocial).base_service_time,
+                   7.5e-3);
+  EXPECT_DOUBLE_EQ(benchmark_spec(Benchmark::kSpkmeans).base_service_time,
+                   81.0);
+  EXPECT_DOUBLE_EQ(benchmark_spec(Benchmark::kSpstream).base_service_time,
+                   1.0);
+  EXPECT_DOUBLE_EQ(benchmark_spec(Benchmark::kRedis).base_service_time,
+                   1.0e-3);
+}
+
+TEST(BenchmarkSuite, SocialTopologyFlags) {
+  const WorkloadSpec s = benchmark_spec(Benchmark::kSocial);
+  EXPECT_TRUE(s.use_microservice_graph);
+  EXPECT_EQ(s.threads, 36u);
+  EXPECT_EQ(s.containers, 30u);
+}
+
+TEST(BenchmarkSuite, RedisUsesYcsbShape) {
+  const WorkloadSpec s = benchmark_spec(Benchmark::kRedis);
+  EXPECT_EQ(s.stream_kind, StreamKind::kZipf);
+  EXPECT_EQ(s.zipf_records, 200'000u);
+  EXPECT_EQ(s.zipf_record_bytes, 1024u);
+}
+
+TEST(BenchmarkSuite, CachePatternsMatchTableOne) {
+  // Kmeans/KNN: high reuse, low misses -> low streaming fraction, small
+  // dominant working set.  Redis/Spstream: high misses.
+  const auto miss_at_baseline = [](Benchmark b) {
+    const WorkloadModel m = make_model(b, 20, kWayBytes, 1);
+    return m.miss_ratio(1.0);
+  };
+  EXPECT_LT(miss_at_baseline(Benchmark::kKmeans),
+            miss_at_baseline(Benchmark::kRedis));
+  EXPECT_LT(miss_at_baseline(Benchmark::kKnn),
+            miss_at_baseline(Benchmark::kSpstream));
+  EXPECT_LT(miss_at_baseline(Benchmark::kKnn),
+            miss_at_baseline(Benchmark::kJacobi));
+}
+
+class WorkloadModelSweep : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(WorkloadModelSweep, CalibrationAnchorsBaseline) {
+  const WorkloadModel m = make_model(GetParam(), 20, kWayBytes, 1);
+  EXPECT_NEAR(m.baseline_service_time(), m.spec().base_service_time,
+              1e-9 * m.spec().base_service_time);
+}
+
+TEST_P(WorkloadModelSweep, MoreWaysNeverSlower) {
+  const WorkloadModel m = make_model(GetParam(), 20, kWayBytes, 1);
+  double prev = m.mean_service_time(0.5);
+  for (double w = 1.0; w <= 20.0; w += 0.5) {
+    const double cur = m.mean_service_time(w);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST_P(WorkloadModelSweep, SpeedupAboveOneWithBoost) {
+  const WorkloadModel m = make_model(GetParam(), 20, kWayBytes, 1);
+  EXPECT_GE(m.speedup(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.speedup(1.0), 1.0);
+}
+
+TEST_P(WorkloadModelSweep, MissRatePositiveAndDecreasing) {
+  const WorkloadModel m = make_model(GetParam(), 20, kWayBytes, 1);
+  EXPECT_GT(m.miss_rate(1.0), 0.0);
+  EXPECT_GE(m.miss_rate(1.0), m.miss_rate(10.0) * 0.99);
+}
+
+TEST_P(WorkloadModelSweep, DemandSamplesHaveMeanOne) {
+  const WorkloadModel m = make_model(GetParam(), 20, kWayBytes, 1);
+  Rng rng(3);
+  StreamingStats st;
+  for (int i = 0; i < 30000; ++i) st.add(m.sample_demand(rng));
+  EXPECT_NEAR(st.mean(), 1.0, 0.03);
+}
+
+TEST_P(WorkloadModelSweep, StreamFactoryProducesNamespacedAddresses) {
+  const WorkloadModel m = make_model(GetParam(), 20, kWayBytes, 1);
+  auto stream = m.make_stream(2, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = stream->next();
+    EXPECT_GE(a.address, kClassAddressStride * 3);
+    EXPECT_LT(a.address, kClassAddressStride * 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadModelSweep,
+    ::testing::ValuesIn(all_benchmarks()),
+    [](const ::testing::TestParamInfo<Benchmark>& param_info) {
+      return std::string(benchmark_id(param_info.param));
+    });
+
+TEST(WorkloadModel, CacheInsensitiveWorkloadHasFlatServiceTime) {
+  WorkloadSpec spec = benchmark_spec(Benchmark::kKmeans);
+  spec.mem_fraction = 0.0;
+  const WorkloadModel m(spec, 20, kWayBytes, 1);
+  EXPECT_DOUBLE_EQ(m.mean_service_time(1.0), m.mean_service_time(20.0));
+  EXPECT_DOUBLE_EQ(m.miss_rate(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace stac::wl
