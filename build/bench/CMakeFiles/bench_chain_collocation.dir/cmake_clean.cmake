@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_collocation.dir/bench_chain_collocation.cpp.o"
+  "CMakeFiles/bench_chain_collocation.dir/bench_chain_collocation.cpp.o.d"
+  "bench_chain_collocation"
+  "bench_chain_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

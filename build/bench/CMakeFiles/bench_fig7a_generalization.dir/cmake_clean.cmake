@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_generalization.dir/bench_fig7a_generalization.cpp.o"
+  "CMakeFiles/bench_fig7a_generalization.dir/bench_fig7a_generalization.cpp.o.d"
+  "bench_fig7a_generalization"
+  "bench_fig7a_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

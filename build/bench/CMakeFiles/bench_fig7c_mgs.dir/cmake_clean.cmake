@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c_mgs.dir/bench_fig7c_mgs.cpp.o"
+  "CMakeFiles/bench_fig7c_mgs.dir/bench_fig7c_mgs.cpp.o.d"
+  "bench_fig7c_mgs"
+  "bench_fig7c_mgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_mgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mrc_validation.dir/bench_mrc_validation.cpp.o"
+  "CMakeFiles/bench_mrc_validation.dir/bench_mrc_validation.cpp.o.d"
+  "bench_mrc_validation"
+  "bench_mrc_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mrc_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profiling_time.dir/bench_profiling_time.cpp.o"
+  "CMakeFiles/bench_profiling_time.dir/bench_profiling_time.cpp.o.d"
+  "bench_profiling_time"
+  "bench_profiling_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiling_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stratified_sampling.dir/bench_stratified_sampling.cpp.o"
+  "CMakeFiles/bench_stratified_sampling.dir/bench_stratified_sampling.cpp.o.d"
+  "bench_stratified_sampling"
+  "bench_stratified_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stratified_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_conditions.dir/bench_table2_conditions.cpp.o"
+  "CMakeFiles/bench_table2_conditions.dir/bench_table2_conditions.cpp.o.d"
+  "bench_table2_conditions"
+  "bench_table2_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

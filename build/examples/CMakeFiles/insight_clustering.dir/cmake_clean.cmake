@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_clustering.dir/insight_clustering.cpp.o"
+  "CMakeFiles/insight_clustering.dir/insight_clustering.cpp.o.d"
+  "insight_clustering"
+  "insight_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_redis_sprint.dir/social_redis_sprint.cpp.o"
+  "CMakeFiles/social_redis_sprint.dir/social_redis_sprint.cpp.o.d"
+  "social_redis_sprint"
+  "social_redis_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_redis_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache_hierarchy.cpp" "src/cachesim/CMakeFiles/stac_cachesim.dir/cache_hierarchy.cpp.o" "gcc" "src/cachesim/CMakeFiles/stac_cachesim.dir/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/cachesim/cache_level.cpp" "src/cachesim/CMakeFiles/stac_cachesim.dir/cache_level.cpp.o" "gcc" "src/cachesim/CMakeFiles/stac_cachesim.dir/cache_level.cpp.o.d"
+  "/root/repo/src/cachesim/perf_counters.cpp" "src/cachesim/CMakeFiles/stac_cachesim.dir/perf_counters.cpp.o" "gcc" "src/cachesim/CMakeFiles/stac_cachesim.dir/perf_counters.cpp.o.d"
+  "/root/repo/src/cachesim/processor_presets.cpp" "src/cachesim/CMakeFiles/stac_cachesim.dir/processor_presets.cpp.o" "gcc" "src/cachesim/CMakeFiles/stac_cachesim.dir/processor_presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_cachesim.dir/cache_hierarchy.cpp.o"
+  "CMakeFiles/stac_cachesim.dir/cache_hierarchy.cpp.o.d"
+  "CMakeFiles/stac_cachesim.dir/cache_level.cpp.o"
+  "CMakeFiles/stac_cachesim.dir/cache_level.cpp.o.d"
+  "CMakeFiles/stac_cachesim.dir/perf_counters.cpp.o"
+  "CMakeFiles/stac_cachesim.dir/perf_counters.cpp.o.d"
+  "CMakeFiles/stac_cachesim.dir/processor_presets.cpp.o"
+  "CMakeFiles/stac_cachesim.dir/processor_presets.cpp.o.d"
+  "libstac_cachesim.a"
+  "libstac_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

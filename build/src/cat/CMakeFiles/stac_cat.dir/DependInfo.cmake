@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cat/allocation.cpp" "src/cat/CMakeFiles/stac_cat.dir/allocation.cpp.o" "gcc" "src/cat/CMakeFiles/stac_cat.dir/allocation.cpp.o.d"
+  "/root/repo/src/cat/allocation_plan.cpp" "src/cat/CMakeFiles/stac_cat.dir/allocation_plan.cpp.o" "gcc" "src/cat/CMakeFiles/stac_cat.dir/allocation_plan.cpp.o.d"
+  "/root/repo/src/cat/cat_controller.cpp" "src/cat/CMakeFiles/stac_cat.dir/cat_controller.cpp.o" "gcc" "src/cat/CMakeFiles/stac_cat.dir/cat_controller.cpp.o.d"
+  "/root/repo/src/cat/schemata.cpp" "src/cat/CMakeFiles/stac_cat.dir/schemata.cpp.o" "gcc" "src/cat/CMakeFiles/stac_cat.dir/schemata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/stac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_cat.dir/allocation.cpp.o"
+  "CMakeFiles/stac_cat.dir/allocation.cpp.o.d"
+  "CMakeFiles/stac_cat.dir/allocation_plan.cpp.o"
+  "CMakeFiles/stac_cat.dir/allocation_plan.cpp.o.d"
+  "CMakeFiles/stac_cat.dir/cat_controller.cpp.o"
+  "CMakeFiles/stac_cat.dir/cat_controller.cpp.o.d"
+  "CMakeFiles/stac_cat.dir/schemata.cpp.o"
+  "CMakeFiles/stac_cat.dir/schemata.cpp.o.d"
+  "libstac_cat.a"
+  "libstac_cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

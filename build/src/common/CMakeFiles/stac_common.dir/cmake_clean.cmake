@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_common.dir/matrix.cpp.o"
+  "CMakeFiles/stac_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/stac_common.dir/rng.cpp.o"
+  "CMakeFiles/stac_common.dir/rng.cpp.o.d"
+  "CMakeFiles/stac_common.dir/stats.cpp.o"
+  "CMakeFiles/stac_common.dir/stats.cpp.o.d"
+  "CMakeFiles/stac_common.dir/table.cpp.o"
+  "CMakeFiles/stac_common.dir/table.cpp.o.d"
+  "CMakeFiles/stac_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/stac_common.dir/thread_pool.cpp.o.d"
+  "libstac_common.a"
+  "libstac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

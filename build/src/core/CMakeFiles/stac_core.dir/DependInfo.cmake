@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/stac_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/direct_rt_model.cpp" "src/core/CMakeFiles/stac_core.dir/direct_rt_model.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/direct_rt_model.cpp.o.d"
+  "/root/repo/src/core/ea_model.cpp" "src/core/CMakeFiles/stac_core.dir/ea_model.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/ea_model.cpp.o.d"
+  "/root/repo/src/core/policy_explorer.cpp" "src/core/CMakeFiles/stac_core.dir/policy_explorer.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/policy_explorer.cpp.o.d"
+  "/root/repo/src/core/profile_library.cpp" "src/core/CMakeFiles/stac_core.dir/profile_library.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/profile_library.cpp.o.d"
+  "/root/repo/src/core/rt_predictor.cpp" "src/core/CMakeFiles/stac_core.dir/rt_predictor.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/rt_predictor.cpp.o.d"
+  "/root/repo/src/core/stac_manager.cpp" "src/core/CMakeFiles/stac_core.dir/stac_manager.cpp.o" "gcc" "src/core/CMakeFiles/stac_core.dir/stac_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/stac_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/stac_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/stac_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/stac_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/stac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/stac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

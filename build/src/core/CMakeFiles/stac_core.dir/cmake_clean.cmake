@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_core.dir/baselines.cpp.o"
+  "CMakeFiles/stac_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/stac_core.dir/direct_rt_model.cpp.o"
+  "CMakeFiles/stac_core.dir/direct_rt_model.cpp.o.d"
+  "CMakeFiles/stac_core.dir/ea_model.cpp.o"
+  "CMakeFiles/stac_core.dir/ea_model.cpp.o.d"
+  "CMakeFiles/stac_core.dir/policy_explorer.cpp.o"
+  "CMakeFiles/stac_core.dir/policy_explorer.cpp.o.d"
+  "CMakeFiles/stac_core.dir/profile_library.cpp.o"
+  "CMakeFiles/stac_core.dir/profile_library.cpp.o.d"
+  "CMakeFiles/stac_core.dir/rt_predictor.cpp.o"
+  "CMakeFiles/stac_core.dir/rt_predictor.cpp.o.d"
+  "CMakeFiles/stac_core.dir/stac_manager.cpp.o"
+  "CMakeFiles/stac_core.dir/stac_manager.cpp.o.d"
+  "libstac_core.a"
+  "libstac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstac_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cascade.cpp" "src/ml/CMakeFiles/stac_ml.dir/cascade.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/cascade.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/stac_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/stac_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/stac_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/deep_forest.cpp" "src/ml/CMakeFiles/stac_ml.dir/deep_forest.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/deep_forest.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/stac_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/ml/CMakeFiles/stac_ml.dir/linear_regression.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/mgs.cpp" "src/ml/CMakeFiles/stac_ml.dir/mgs.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/mgs.cpp.o.d"
+  "/root/repo/src/ml/neural_net.cpp" "src/ml/CMakeFiles/stac_ml.dir/neural_net.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/neural_net.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/stac_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/stac_ml.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_ml.dir/cascade.cpp.o"
+  "CMakeFiles/stac_ml.dir/cascade.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/stac_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/dataset.cpp.o"
+  "CMakeFiles/stac_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/stac_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/deep_forest.cpp.o"
+  "CMakeFiles/stac_ml.dir/deep_forest.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/stac_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/linear_regression.cpp.o"
+  "CMakeFiles/stac_ml.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/mgs.cpp.o"
+  "CMakeFiles/stac_ml.dir/mgs.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/neural_net.cpp.o"
+  "CMakeFiles/stac_ml.dir/neural_net.cpp.o.d"
+  "CMakeFiles/stac_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/stac_ml.dir/random_forest.cpp.o.d"
+  "libstac_ml.a"
+  "libstac_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_profiler.dir/profile_io.cpp.o"
+  "CMakeFiles/stac_profiler.dir/profile_io.cpp.o.d"
+  "CMakeFiles/stac_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/stac_profiler.dir/profiler.cpp.o.d"
+  "CMakeFiles/stac_profiler.dir/runtime_condition.cpp.o"
+  "CMakeFiles/stac_profiler.dir/runtime_condition.cpp.o.d"
+  "CMakeFiles/stac_profiler.dir/stratified_sampler.cpp.o"
+  "CMakeFiles/stac_profiler.dir/stratified_sampler.cpp.o.d"
+  "libstac_profiler.a"
+  "libstac_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/arrival.cpp" "src/queueing/CMakeFiles/stac_queueing.dir/arrival.cpp.o" "gcc" "src/queueing/CMakeFiles/stac_queueing.dir/arrival.cpp.o.d"
+  "/root/repo/src/queueing/ggk_simulator.cpp" "src/queueing/CMakeFiles/stac_queueing.dir/ggk_simulator.cpp.o" "gcc" "src/queueing/CMakeFiles/stac_queueing.dir/ggk_simulator.cpp.o.d"
+  "/root/repo/src/queueing/shared_region.cpp" "src/queueing/CMakeFiles/stac_queueing.dir/shared_region.cpp.o" "gcc" "src/queueing/CMakeFiles/stac_queueing.dir/shared_region.cpp.o.d"
+  "/root/repo/src/queueing/testbed.cpp" "src/queueing/CMakeFiles/stac_queueing.dir/testbed.cpp.o" "gcc" "src/queueing/CMakeFiles/stac_queueing.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wl/CMakeFiles/stac_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/stac_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/stac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_queueing.dir/arrival.cpp.o"
+  "CMakeFiles/stac_queueing.dir/arrival.cpp.o.d"
+  "CMakeFiles/stac_queueing.dir/ggk_simulator.cpp.o"
+  "CMakeFiles/stac_queueing.dir/ggk_simulator.cpp.o.d"
+  "CMakeFiles/stac_queueing.dir/shared_region.cpp.o"
+  "CMakeFiles/stac_queueing.dir/shared_region.cpp.o.d"
+  "CMakeFiles/stac_queueing.dir/testbed.cpp.o"
+  "CMakeFiles/stac_queueing.dir/testbed.cpp.o.d"
+  "libstac_queueing.a"
+  "libstac_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

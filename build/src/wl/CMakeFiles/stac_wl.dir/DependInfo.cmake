@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/access_stream.cpp" "src/wl/CMakeFiles/stac_wl.dir/access_stream.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/access_stream.cpp.o.d"
+  "/root/repo/src/wl/benchmark_suite.cpp" "src/wl/CMakeFiles/stac_wl.dir/benchmark_suite.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/benchmark_suite.cpp.o.d"
+  "/root/repo/src/wl/measure.cpp" "src/wl/CMakeFiles/stac_wl.dir/measure.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/measure.cpp.o.d"
+  "/root/repo/src/wl/microservice_graph.cpp" "src/wl/CMakeFiles/stac_wl.dir/microservice_graph.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/microservice_graph.cpp.o.d"
+  "/root/repo/src/wl/mrc.cpp" "src/wl/CMakeFiles/stac_wl.dir/mrc.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/mrc.cpp.o.d"
+  "/root/repo/src/wl/reuse_profile.cpp" "src/wl/CMakeFiles/stac_wl.dir/reuse_profile.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/reuse_profile.cpp.o.d"
+  "/root/repo/src/wl/workload.cpp" "src/wl/CMakeFiles/stac_wl.dir/workload.cpp.o" "gcc" "src/wl/CMakeFiles/stac_wl.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/stac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/stac_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_wl.dir/access_stream.cpp.o"
+  "CMakeFiles/stac_wl.dir/access_stream.cpp.o.d"
+  "CMakeFiles/stac_wl.dir/benchmark_suite.cpp.o"
+  "CMakeFiles/stac_wl.dir/benchmark_suite.cpp.o.d"
+  "CMakeFiles/stac_wl.dir/measure.cpp.o"
+  "CMakeFiles/stac_wl.dir/measure.cpp.o.d"
+  "CMakeFiles/stac_wl.dir/microservice_graph.cpp.o"
+  "CMakeFiles/stac_wl.dir/microservice_graph.cpp.o.d"
+  "CMakeFiles/stac_wl.dir/mrc.cpp.o"
+  "CMakeFiles/stac_wl.dir/mrc.cpp.o.d"
+  "CMakeFiles/stac_wl.dir/reuse_profile.cpp.o"
+  "CMakeFiles/stac_wl.dir/reuse_profile.cpp.o.d"
+  "CMakeFiles/stac_wl.dir/workload.cpp.o"
+  "CMakeFiles/stac_wl.dir/workload.cpp.o.d"
+  "libstac_wl.a"
+  "libstac_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

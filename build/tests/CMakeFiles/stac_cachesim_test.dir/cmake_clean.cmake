@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_cachesim_test.dir/cachesim/cache_hierarchy_test.cpp.o"
+  "CMakeFiles/stac_cachesim_test.dir/cachesim/cache_hierarchy_test.cpp.o.d"
+  "CMakeFiles/stac_cachesim_test.dir/cachesim/cache_level_test.cpp.o"
+  "CMakeFiles/stac_cachesim_test.dir/cachesim/cache_level_test.cpp.o.d"
+  "CMakeFiles/stac_cachesim_test.dir/cachesim/perf_counters_test.cpp.o"
+  "CMakeFiles/stac_cachesim_test.dir/cachesim/perf_counters_test.cpp.o.d"
+  "stac_cachesim_test"
+  "stac_cachesim_test.pdb"
+  "stac_cachesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_cachesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

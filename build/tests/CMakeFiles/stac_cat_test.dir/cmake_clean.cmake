@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_cat_test.dir/cat/allocation_plan_test.cpp.o"
+  "CMakeFiles/stac_cat_test.dir/cat/allocation_plan_test.cpp.o.d"
+  "CMakeFiles/stac_cat_test.dir/cat/allocation_test.cpp.o"
+  "CMakeFiles/stac_cat_test.dir/cat/allocation_test.cpp.o.d"
+  "CMakeFiles/stac_cat_test.dir/cat/cat_controller_test.cpp.o"
+  "CMakeFiles/stac_cat_test.dir/cat/cat_controller_test.cpp.o.d"
+  "CMakeFiles/stac_cat_test.dir/cat/schemata_test.cpp.o"
+  "CMakeFiles/stac_cat_test.dir/cat/schemata_test.cpp.o.d"
+  "CMakeFiles/stac_cat_test.dir/cat/stap_test.cpp.o"
+  "CMakeFiles/stac_cat_test.dir/cat/stap_test.cpp.o.d"
+  "stac_cat_test"
+  "stac_cat_test.pdb"
+  "stac_cat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_cat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_common_test.dir/common/matrix_test.cpp.o"
+  "CMakeFiles/stac_common_test.dir/common/matrix_test.cpp.o.d"
+  "CMakeFiles/stac_common_test.dir/common/rng_test.cpp.o"
+  "CMakeFiles/stac_common_test.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/stac_common_test.dir/common/stats_test.cpp.o"
+  "CMakeFiles/stac_common_test.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/stac_common_test.dir/common/table_test.cpp.o"
+  "CMakeFiles/stac_common_test.dir/common/table_test.cpp.o.d"
+  "CMakeFiles/stac_common_test.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/stac_common_test.dir/common/thread_pool_test.cpp.o.d"
+  "stac_common_test"
+  "stac_common_test.pdb"
+  "stac_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_core_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/stac_core_test.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/stac_core_test.dir/core/ea_model_test.cpp.o"
+  "CMakeFiles/stac_core_test.dir/core/ea_model_test.cpp.o.d"
+  "CMakeFiles/stac_core_test.dir/core/policy_explorer_test.cpp.o"
+  "CMakeFiles/stac_core_test.dir/core/policy_explorer_test.cpp.o.d"
+  "CMakeFiles/stac_core_test.dir/core/profile_library_test.cpp.o"
+  "CMakeFiles/stac_core_test.dir/core/profile_library_test.cpp.o.d"
+  "CMakeFiles/stac_core_test.dir/core/rt_predictor_test.cpp.o"
+  "CMakeFiles/stac_core_test.dir/core/rt_predictor_test.cpp.o.d"
+  "CMakeFiles/stac_core_test.dir/core/stac_manager_test.cpp.o"
+  "CMakeFiles/stac_core_test.dir/core/stac_manager_test.cpp.o.d"
+  "stac_core_test"
+  "stac_core_test.pdb"
+  "stac_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_integration_test.dir/integration/persistence_test.cpp.o"
+  "CMakeFiles/stac_integration_test.dir/integration/persistence_test.cpp.o.d"
+  "CMakeFiles/stac_integration_test.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/stac_integration_test.dir/integration/pipeline_test.cpp.o.d"
+  "stac_integration_test"
+  "stac_integration_test.pdb"
+  "stac_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/cascade_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/cascade_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/cascade_test.cpp.o.d"
+  "/root/repo/tests/ml/cross_validation_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/deep_forest_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/deep_forest_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/deep_forest_test.cpp.o.d"
+  "/root/repo/tests/ml/kmeans_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/kmeans_test.cpp.o.d"
+  "/root/repo/tests/ml/linear_regression_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/linear_regression_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/linear_regression_test.cpp.o.d"
+  "/root/repo/tests/ml/mgs_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/mgs_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/mgs_test.cpp.o.d"
+  "/root/repo/tests/ml/neural_net_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/neural_net_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/neural_net_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_test.cpp" "tests/CMakeFiles/stac_ml_test.dir/ml/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/stac_ml_test.dir/ml/random_forest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/stac_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/stac_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/stac_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/stac_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/stac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/stac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

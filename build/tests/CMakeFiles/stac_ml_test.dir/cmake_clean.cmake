@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_ml_test.dir/ml/cascade_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/cascade_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/cross_validation_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/cross_validation_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/deep_forest_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/deep_forest_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/kmeans_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/kmeans_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/linear_regression_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/linear_regression_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/mgs_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/mgs_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/neural_net_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/neural_net_test.cpp.o.d"
+  "CMakeFiles/stac_ml_test.dir/ml/random_forest_test.cpp.o"
+  "CMakeFiles/stac_ml_test.dir/ml/random_forest_test.cpp.o.d"
+  "stac_ml_test"
+  "stac_ml_test.pdb"
+  "stac_ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

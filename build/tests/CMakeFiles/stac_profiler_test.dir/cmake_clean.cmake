@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_profiler_test.dir/profiler/profile_io_test.cpp.o"
+  "CMakeFiles/stac_profiler_test.dir/profiler/profile_io_test.cpp.o.d"
+  "CMakeFiles/stac_profiler_test.dir/profiler/profiler_test.cpp.o"
+  "CMakeFiles/stac_profiler_test.dir/profiler/profiler_test.cpp.o.d"
+  "CMakeFiles/stac_profiler_test.dir/profiler/runtime_condition_test.cpp.o"
+  "CMakeFiles/stac_profiler_test.dir/profiler/runtime_condition_test.cpp.o.d"
+  "CMakeFiles/stac_profiler_test.dir/profiler/stratified_sampler_test.cpp.o"
+  "CMakeFiles/stac_profiler_test.dir/profiler/stratified_sampler_test.cpp.o.d"
+  "stac_profiler_test"
+  "stac_profiler_test.pdb"
+  "stac_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/queueing/arrival_test.cpp" "tests/CMakeFiles/stac_queueing_test.dir/queueing/arrival_test.cpp.o" "gcc" "tests/CMakeFiles/stac_queueing_test.dir/queueing/arrival_test.cpp.o.d"
+  "/root/repo/tests/queueing/ggk_test.cpp" "tests/CMakeFiles/stac_queueing_test.dir/queueing/ggk_test.cpp.o" "gcc" "tests/CMakeFiles/stac_queueing_test.dir/queueing/ggk_test.cpp.o.d"
+  "/root/repo/tests/queueing/shared_region_test.cpp" "tests/CMakeFiles/stac_queueing_test.dir/queueing/shared_region_test.cpp.o" "gcc" "tests/CMakeFiles/stac_queueing_test.dir/queueing/shared_region_test.cpp.o.d"
+  "/root/repo/tests/queueing/testbed_test.cpp" "tests/CMakeFiles/stac_queueing_test.dir/queueing/testbed_test.cpp.o" "gcc" "tests/CMakeFiles/stac_queueing_test.dir/queueing/testbed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/stac_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/stac_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/stac_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cat/CMakeFiles/stac_cat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/stac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/stac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_queueing_test.dir/queueing/arrival_test.cpp.o"
+  "CMakeFiles/stac_queueing_test.dir/queueing/arrival_test.cpp.o.d"
+  "CMakeFiles/stac_queueing_test.dir/queueing/ggk_test.cpp.o"
+  "CMakeFiles/stac_queueing_test.dir/queueing/ggk_test.cpp.o.d"
+  "CMakeFiles/stac_queueing_test.dir/queueing/shared_region_test.cpp.o"
+  "CMakeFiles/stac_queueing_test.dir/queueing/shared_region_test.cpp.o.d"
+  "CMakeFiles/stac_queueing_test.dir/queueing/testbed_test.cpp.o"
+  "CMakeFiles/stac_queueing_test.dir/queueing/testbed_test.cpp.o.d"
+  "stac_queueing_test"
+  "stac_queueing_test.pdb"
+  "stac_queueing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_queueing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

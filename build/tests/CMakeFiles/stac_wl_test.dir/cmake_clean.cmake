@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stac_wl_test.dir/wl/access_stream_test.cpp.o"
+  "CMakeFiles/stac_wl_test.dir/wl/access_stream_test.cpp.o.d"
+  "CMakeFiles/stac_wl_test.dir/wl/measure_test.cpp.o"
+  "CMakeFiles/stac_wl_test.dir/wl/measure_test.cpp.o.d"
+  "CMakeFiles/stac_wl_test.dir/wl/microservice_graph_test.cpp.o"
+  "CMakeFiles/stac_wl_test.dir/wl/microservice_graph_test.cpp.o.d"
+  "CMakeFiles/stac_wl_test.dir/wl/mrc_test.cpp.o"
+  "CMakeFiles/stac_wl_test.dir/wl/mrc_test.cpp.o.d"
+  "CMakeFiles/stac_wl_test.dir/wl/reuse_profile_test.cpp.o"
+  "CMakeFiles/stac_wl_test.dir/wl/reuse_profile_test.cpp.o.d"
+  "CMakeFiles/stac_wl_test.dir/wl/workload_test.cpp.o"
+  "CMakeFiles/stac_wl_test.dir/wl/workload_test.cpp.o.d"
+  "stac_wl_test"
+  "stac_wl_test.pdb"
+  "stac_wl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stac_wl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stac_common_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_cachesim_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_cat_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_wl_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_queueing_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_ml_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_core_test[1]_include.cmake")
+include("/root/repo/build/tests/stac_integration_test[1]_include.cmake")
