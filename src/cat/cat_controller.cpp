@@ -1,12 +1,15 @@
 #include "cat/cat_controller.hpp"
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::cat {
 
 CatController::CatController(CacheHierarchy& hierarchy,
-                             const AllocationPlan& plan)
-    : hierarchy_(hierarchy), plan_(plan) {
+                             const AllocationPlan& plan,
+                             CatResilienceConfig resilience)
+    : hierarchy_(hierarchy), plan_(plan), resilience_(resilience),
+      rng_(resilience.seed) {
   STAC_REQUIRE_MSG(plan.valid(), "invalid allocation plan: " << plan.to_string());
   STAC_REQUIRE_MSG(
       plan.total_ways() == hierarchy.config().llc.ways,
@@ -15,48 +18,130 @@ CatController::CatController(CacheHierarchy& hierarchy,
   STAC_REQUIRE(plan.workload_count() <= hierarchy.max_classes());
   staps_ = plan.policies();
   boost_refs_.assign(staps_.size(), 0);
+  lease_start_.assign(staps_.size(), 0.0);
+  degraded_.assign(staps_.size(), false);
   for (std::size_t w = 0; w < staps_.size(); ++w) apply(w);
   switches_ = 0;  // initial programming is configuration, not switching
 }
 
 const Allocation& CatController::current_allocation(std::size_t w) const {
-  STAC_REQUIRE(w < staps_.size());
+  STAC_REQUIRE_MSG(w < staps_.size(), "current_allocation: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
   return boost_refs_[w] > 0 ? staps_[w].boosted : staps_[w].dflt;
 }
 
 bool CatController::is_boosted(std::size_t w) const {
-  STAC_REQUIRE(w < staps_.size());
+  STAC_REQUIRE_MSG(w < staps_.size(), "is_boosted: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
   return boost_refs_[w] > 0;
 }
 
-void CatController::boost(std::size_t w) {
-  STAC_REQUIRE(w < staps_.size());
-  if (boost_refs_[w]++ == 0) apply(w);
+bool CatController::degraded(std::size_t w) const {
+  STAC_REQUIRE_MSG(w < staps_.size(), "degraded: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
+  return degraded_[w];
+}
+
+void CatController::clear_degraded(std::size_t w) {
+  STAC_REQUIRE_MSG(w < staps_.size(), "clear_degraded: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
+  degraded_[w] = false;
+}
+
+void CatController::boost(std::size_t w, double now) {
+  STAC_REQUIRE_MSG(w < staps_.size(), "boost: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
+  if (degraded_[w]) return;  // boosting suspended until recovery
+  if (boost_refs_[w]++ == 0) {
+    lease_start_[w] = now;
+    apply(w);
+  }
 }
 
 void CatController::unboost(std::size_t w) {
-  STAC_REQUIRE(w < staps_.size());
-  STAC_REQUIRE_MSG(boost_refs_[w] > 0, "unboost without boost on w" << w);
+  STAC_REQUIRE_MSG(w < staps_.size(), "unboost: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
+  if (boost_refs_[w] == 0) {
+    // Tolerated (a watchdog revocation or degradation may already have
+    // cleared the refcount under the caller); counted, never UB.
+    ++faults_.spurious_unboosts;
+    return;
+  }
   if (--boost_refs_[w] == 0) apply(w);
 }
 
 void CatController::reset_boost(std::size_t w) {
-  STAC_REQUIRE(w < staps_.size());
+  STAC_REQUIRE_MSG(w < staps_.size(), "reset_boost: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
   if (boost_refs_[w] != 0) {
     boost_refs_[w] = 0;
     apply(w);
   }
 }
 
+std::size_t CatController::poll_watchdog(double now) {
+  if (resilience_.max_boost_lease <= 0.0) return 0;
+  std::size_t revoked = 0;
+  for (std::size_t w = 0; w < staps_.size(); ++w) {
+    if (boost_refs_[w] == 0) continue;
+    if (now - lease_start_[w] <= resilience_.max_boost_lease) continue;
+    boost_refs_[w] = 0;
+    apply(w);
+    ++faults_.watchdog_revocations;
+    ++revoked;
+  }
+  return revoked;
+}
+
 std::size_t CatController::occupancy(std::size_t w) const {
-  STAC_REQUIRE(w < staps_.size());
+  STAC_REQUIRE_MSG(w < staps_.size(), "occupancy: workload " << w
+                                          << " out of range (have "
+                                          << staps_.size() << ")");
   return hierarchy_.llc_occupancy(static_cast<ClassId>(w));
 }
 
-void CatController::apply(std::size_t w) {
+void CatController::revert_to_default(std::size_t w) {
   hierarchy_.set_llc_fill_mask(static_cast<ClassId>(w),
-                               current_allocation(w).mask());
+                               staps_[w].dflt.mask());
   ++switches_;
+}
+
+void CatController::apply(std::size_t w) {
+  RetryStats stats;
+  try {
+    retry_with_backoff(
+        [&] {
+          // The fault point models a failed MSR/resctrl write.  Key on the
+          // controller seed + op ordinal: deterministic per controller
+          // instance, independent of other controllers on other threads.
+          FaultInjector::global().check(
+              "cat.apply", fault_key(resilience_.seed, ++apply_ops_));
+          hierarchy_.set_llc_fill_mask(static_cast<ClassId>(w),
+                                       current_allocation(w).mask());
+          ++switches_;
+        },
+        resilience_.retry, rng_, &stats);
+  } catch (const InjectedFault&) {
+    // Persistent write failure: degrade the workload — drop any boost,
+    // restore the default COS through the last-known-good path, and refuse
+    // further boosts until recovery clears the flag.
+    faults_.write_failures += stats.failures;
+    faults_.write_retries += stats.attempts > 0 ? stats.attempts - 1 : 0;
+    ++faults_.degraded_reverts;
+    boost_refs_[w] = 0;
+    degraded_[w] = true;
+    revert_to_default(w);
+    return;
+  }
+  faults_.write_failures += stats.failures;
+  faults_.write_retries += stats.attempts > 0 ? stats.attempts - 1 : 0;
 }
 
 }  // namespace stac::cat

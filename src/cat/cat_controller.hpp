@@ -5,6 +5,15 @@
 // COS, and re-associate at runtime.  The paper's proxy services use exactly
 // this interface: each workload gets a default COS and a short-term COS and
 // the proxy flips between them when the STAP timeout fires (§4).
+//
+// Resilient control plane: COS writes go through the "cat.apply" fault
+// point and are retried with exponential backoff (retry.hpp).  A write that
+// stays failed past the retry budget *degrades* the workload — it is
+// reverted to its default COS via the last-known-good programming path and
+// marked so callers can stop promising boosts — instead of killing the run.
+// A grant watchdog (poll_watchdog) force-revokes any boost whose lease
+// outlives `max_boost_lease`, so a leaked refcount can never pin shared
+// ways forever.
 #pragma once
 
 #include <cstdint>
@@ -12,17 +21,47 @@
 
 #include "cachesim/cache_hierarchy.hpp"
 #include "cat/stap.hpp"
+#include "common/retry.hpp"
+#include "common/rng.hpp"
 
 namespace stac::cat {
 
 using cachesim::CacheHierarchy;
 using cachesim::ClassId;
 
+/// Knobs for the controller's failure handling.  The defaults keep the
+/// happy path identical to the pre-resilience controller: without an armed
+/// FaultInjector no retry or degradation logic is ever exercised.
+struct CatResilienceConfig {
+  RetryPolicy retry{.max_attempts = 3,
+                    .initial_backoff = 0.25,
+                    .backoff_multiplier = 2.0,
+                    .max_backoff = 4.0,
+                    .jitter_fraction = 0.1,
+                    .deadline = 16.0};
+  /// Maximum boost lease duration in the caller's clock units; a boost older
+  /// than this is force-revoked by poll_watchdog().  <= 0 disables.
+  double max_boost_lease = 0.0;
+  /// Jitter stream seed (kept local so controller retries never perturb the
+  /// simulators' random streams).
+  std::uint64_t seed = 0xCA7;
+};
+
+/// Failure/degradation accounting, queryable after a run or a test.
+struct CatFaultStats {
+  std::uint64_t write_failures = 0;    ///< individual COS writes that failed
+  std::uint64_t write_retries = 0;     ///< backoff retries performed
+  std::uint64_t degraded_reverts = 0;  ///< persistent failures → default COS
+  std::uint64_t spurious_unboosts = 0; ///< unboost() calls at refcount zero
+  std::uint64_t watchdog_revocations = 0;  ///< leases force-revoked
+};
+
 class CatController {
  public:
   /// Binds to a hierarchy and installs one (default COS, short-term COS)
   /// pair per workload from the plan.  Workload w maps to hardware class w.
-  CatController(CacheHierarchy& hierarchy, const AllocationPlan& plan);
+  CatController(CacheHierarchy& hierarchy, const AllocationPlan& plan,
+                CatResilienceConfig resilience = {});
 
   [[nodiscard]] std::size_t workload_count() const { return staps_.size(); }
 
@@ -35,15 +74,33 @@ class CatController {
   /// outstanding for the same online service, all had access to short-term
   /// cache" — boost is per-workload, not per-query, with a refcount so the
   /// class stays boosted until every outstanding boosted query completes.
-  void boost(std::size_t w);
+  /// `now` stamps the lease for the grant watchdog (callers without a clock
+  /// may leave it 0).  A degraded workload ignores boosts until
+  /// clear_degraded().
+  void boost(std::size_t w, double now = 0.0);
   /// Release one boost reference; reverts to the default COS at zero.
+  /// Calling at refcount zero is a counted no-op (leaked-unboost tolerant),
+  /// not UB — see fault_stats().spurious_unboosts.
   void unboost(std::size_t w);
   /// Force-revert regardless of refcount (experiment teardown).
   void reset_boost(std::size_t w);
 
+  /// Grant watchdog: force-revoke every boost whose lease started more than
+  /// max_boost_lease clock units before `now`.  Returns the number revoked.
+  /// No-op when max_boost_lease <= 0.
+  std::size_t poll_watchdog(double now);
+
+  /// True after a persistent COS-write failure reverted the workload to its
+  /// default COS; boosts are ignored until cleared.
+  [[nodiscard]] bool degraded(std::size_t w) const;
+  /// Re-admit a degraded workload to boosting (operator/recovery action).
+  void clear_degraded(std::size_t w);
+
   /// Total COS switches performed (the runtime overhead the paper keeps low
   /// by batching outstanding queries onto one switch).
   [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
+
+  [[nodiscard]] const CatFaultStats& fault_stats() const { return faults_; }
 
   /// LLC occupancy of the workload in lines (CMT-style monitoring).
   [[nodiscard]] std::size_t occupancy(std::size_t w) const;
@@ -52,12 +109,22 @@ class CatController {
 
  private:
   void apply(std::size_t w);
+  /// Last-known-good revert path: programs the default COS directly,
+  /// bypassing the fault point (resctrl keeps the default schemata
+  /// resident; reverting is a deterministic register restore).
+  void revert_to_default(std::size_t w);
 
   CacheHierarchy& hierarchy_;
   AllocationPlan plan_;
+  CatResilienceConfig resilience_;
   std::vector<PolicyAllocations> staps_;
   std::vector<std::uint32_t> boost_refs_;
+  std::vector<double> lease_start_;
+  std::vector<bool> degraded_;
   std::uint64_t switches_ = 0;
+  CatFaultStats faults_;
+  Rng rng_;
+  std::uint64_t apply_ops_ = 0;  ///< fault-key ordinal for cat.apply
 };
 
 }  // namespace stac::cat

@@ -1,0 +1,127 @@
+#include "common/fault_injection.hpp"
+
+namespace stac {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mixing of the decision hash.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Decision hash → uniform double in [0, 1).
+double decision_uniform(std::uint64_t seed, std::uint64_t point_hash,
+                        std::uint64_t key, std::uint64_t rule_index) {
+  std::uint64_t h = mix64(seed ^ mix64(point_hash));
+  h = mix64(h ^ key);
+  h = mix64(h ^ (rule_index * 0xA24BAED4963EE407ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kThrow: return "throw";
+    case FaultAction::kLatency: return "latency";
+    case FaultAction::kDrop: return "drop";
+    case FaultAction::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::uint64_t fault_key_hash(const void* data, std::size_t len,
+                             std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultOutcome FaultInjector::evaluate(std::string_view point,
+                                     std::uint64_t key) {
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+
+  auto it = points_.find(point);
+  if (it == points_.end())
+    it = points_.emplace(std::string(point), FaultPointStats{}).first;
+  const std::uint64_t hit = ++it->second.hits;
+  const std::uint64_t draw_key = key != 0 ? key : hit;
+  const std::uint64_t point_hash =
+      fault_key_hash(point.data(), point.size());
+
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.point != point) continue;
+    if (hit < rule.from_hit || hit >= rule.until_hit) continue;
+    const bool nth_fires =
+        rule.every_nth > 0 && hit % rule.every_nth == 0;
+    const bool prob_fires =
+        rule.probability > 0.0 &&
+        decision_uniform(plan_.seed, point_hash, draw_key, r) <
+            rule.probability;
+    if (!nth_fires && !prob_fires) continue;
+
+    ++it->second.injected;
+    FaultOutcome out;
+    out.action = rule.action;
+    out.latency = rule.latency;
+    out.corrupt_factor = rule.corrupt_factor;
+    out.message = rule.message.empty()
+                      ? "injected fault at " + std::string(point)
+                      : rule.message;
+    return out;
+  }
+  return {};
+}
+
+FaultOutcome FaultInjector::check(std::string_view point, std::uint64_t key) {
+  FaultOutcome out = evaluate(point, key);
+  if (out.action == FaultAction::kThrow) throw InjectedFault(out.message);
+  return out;
+}
+
+FaultPointStats FaultInjector::stats(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it != points_.end() ? it->second : FaultPointStats{};
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, s] : points_) total += s.injected;
+  return total;
+}
+
+void FaultInjector::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+}  // namespace stac

@@ -1,0 +1,180 @@
+// Deterministic, seedable fault injection for the STAC control plane.
+//
+// Real CAT deployments see failed COS/MSR writes, dropped counter samples,
+// corrupt profile files and stale models; the resilience machinery that
+// survives them (retry.hpp, the CatController degraded mode, the
+// StacManager degradation ladder) needs a way to *provoke* those failures
+// on demand and reproducibly.  This module provides named fault points —
+// e.g. "cat.apply", "profiler.sample", "io.load_profile", "model.predict" —
+// that production code consults; a FaultPlan armed on the (process-global)
+// injector decides, per hit, whether to inject an exception, a latency
+// spike, a dropped sample or a corrupted value.
+//
+// Determinism: every decision is a pure hash of (plan seed, point name,
+// key).  Call sites on parallel paths pass an explicit key derived from
+// their local context (testbed seed + event ordinal, condition features…)
+// so thread interleaving cannot change the fault schedule; call sites on
+// single-threaded paths may omit the key and a per-point hit counter is
+// used instead.  The same plan seed therefore reproduces the identical
+// fault schedule and, downstream, identical experiment results.
+//
+// When no plan is armed the fast path is one relaxed atomic load — fault
+// points are safe to leave in hot simulator loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stac {
+
+/// Thrown by a fault point when a kThrow rule fires.  Derives from
+/// std::runtime_error (not ContractViolation): an injected fault models an
+/// environment failure, not a programming bug, and resilience code catches
+/// exactly this distinction.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kThrow,    ///< raise InjectedFault at the fault point
+  kLatency,  ///< caller should add `latency` (relative) slowdown
+  kDrop,     ///< caller should discard the sample / operation
+  kCorrupt,  ///< caller should scale the value(s) by `corrupt_factor`
+};
+
+[[nodiscard]] const char* fault_action_name(FaultAction action);
+
+/// One trigger rule attached to a named fault point.  A rule fires when the
+/// hit lies inside [from_hit, until_hit) AND (the every_nth schedule or the
+/// probability draw) selects it.
+struct FaultRule {
+  std::string point;  ///< fault-point name, e.g. "cat.apply"
+  FaultAction action = FaultAction::kThrow;
+  /// Independent per-hit firing probability (0 disables the random trigger).
+  double probability = 0.0;
+  /// Fire deterministically on hits N, 2N, 3N, … (0 disables).  Counted per
+  /// point, so only meaningful on single-threaded paths.
+  std::uint64_t every_nth = 0;
+  /// Hit window [from_hit, until_hit) limits the rule to a phase of the run
+  /// (hits are 1-based).
+  std::uint64_t from_hit = 0;
+  std::uint64_t until_hit = std::numeric_limits<std::uint64_t>::max();
+  /// Relative slowdown for kLatency (e.g. 0.5 = +50% of the base duration).
+  double latency = 0.5;
+  /// Multiplier applied by the caller for kCorrupt.
+  double corrupt_factor = 8.0;
+  /// what() text for kThrow (a default is derived from the point name).
+  std::string message;
+};
+
+/// A named, seeded set of rules — the unit a chaos experiment arms.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  FaultPlan& add(FaultRule rule) {
+    rules.push_back(std::move(rule));
+    return *this;
+  }
+};
+
+/// What a fault point should do for this hit (kNone: proceed normally).
+struct FaultOutcome {
+  FaultAction action = FaultAction::kNone;
+  double latency = 0.0;
+  double corrupt_factor = 1.0;
+  std::string message;
+
+  [[nodiscard]] explicit operator bool() const {
+    return action != FaultAction::kNone;
+  }
+};
+
+/// Per-point hit/injection accounting, queryable after a run.
+struct FaultPointStats {
+  std::uint64_t hits = 0;
+  std::uint64_t injected = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Install a plan (replacing any previous one) and start injecting.
+  void arm(FaultPlan plan);
+  /// Stop injecting.  Counters are kept until reset_counters().
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluate a fault point.  Never throws; returns the first firing
+  /// rule's outcome (kNone when disarmed or nothing fires).  `key` salts
+  /// the probability draw: pass a value derived from local context on
+  /// parallel paths (0 = use the per-point hit counter).
+  [[nodiscard]] FaultOutcome evaluate(std::string_view point,
+                                      std::uint64_t key = 0);
+
+  /// evaluate(), then throw InjectedFault when a kThrow rule fired.
+  FaultOutcome check(std::string_view point, std::uint64_t key = 0);
+
+  [[nodiscard]] FaultPointStats stats(std::string_view point) const;
+  [[nodiscard]] std::uint64_t total_injected() const;
+  void reset_counters();
+
+  /// The process-wide injector every production fault point consults.
+  [[nodiscard]] static FaultInjector& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_;
+  std::map<std::string, FaultPointStats, std::less<>> points_;
+};
+
+/// RAII plan for the global injector: arms on construction, disarms (and
+/// clears counters) on destruction so tests cannot leak chaos into each
+/// other.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan) {
+    FaultInjector::global().reset_counters();
+    FaultInjector::global().arm(std::move(plan));
+  }
+  ~FaultScope() {
+    FaultInjector::global().disarm();
+    FaultInjector::global().reset_counters();
+  }
+  /// End the chaos early (idempotent — the destructor still cleans up).
+  void disarm() { FaultInjector::global().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+/// FNV-1a over arbitrary bytes — the building block for caller-side fault
+/// keys (hash your local ordinals/features into one 64-bit salt).
+[[nodiscard]] std::uint64_t fault_key_hash(const void* data, std::size_t len,
+                                           std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Convenience: fold a pack of integral/floating values into a fault key.
+template <typename... Ts>
+[[nodiscard]] std::uint64_t fault_key(Ts... values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](auto v) {
+    h = fault_key_hash(&v, sizeof(v), h);
+  };
+  (mix(values), ...);
+  // Keys of 0 mean "use the hit counter"; keep real keys nonzero.
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace stac

@@ -1,0 +1,115 @@
+// Generic retry with exponential backoff, deterministic jitter and a
+// per-operation deadline budget.
+//
+// Control-plane writes (COS/MSR programming, profile persistence) fail
+// transiently in real deployments; the resilient path retries a bounded
+// number of times with exponentially growing, jittered backoff, and gives
+// up once either the attempt budget or the deadline budget is exhausted —
+// at which point the caller degrades (CatController reverts to the default
+// COS, StacManager drops a rung on the degradation ladder).
+//
+// Everything here is simulation-time: backoff durations are *accounted*
+// (returned in RetryStats and charged against the deadline) rather than
+// slept, and jitter comes from a caller-supplied stac::Rng so a seed
+// reproduces the identical retry schedule.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac {
+
+struct RetryPolicy {
+  /// Total attempts (first try included).  Must be >= 1.
+  std::size_t max_attempts = 3;
+  /// Backoff before the second attempt, in the caller's time units.
+  double initial_backoff = 1.0;
+  /// Growth factor per further attempt (exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Per-wait cap, pre-jitter.
+  double max_backoff = 64.0;
+  /// Uniform jitter: each wait is scaled by [1 - j, 1 + j].
+  double jitter_fraction = 0.1;
+  /// Deadline budget on the *summed* backoff; a wait that would overflow it
+  /// stops retrying (the operation fails with the last error).
+  double deadline = std::numeric_limits<double>::infinity();
+};
+
+struct RetryStats {
+  std::size_t attempts = 0;       ///< attempts actually made
+  std::size_t failures = 0;       ///< attempts that threw
+  double total_backoff = 0.0;     ///< simulated wait accumulated
+  bool succeeded = false;
+  bool deadline_exhausted = false;
+  std::string last_error;
+};
+
+/// Jittered backoff before attempt `attempt` (1-based; attempt 1 has no
+/// wait).  Deterministic given the rng state.
+[[nodiscard]] inline double backoff_before_attempt(const RetryPolicy& policy,
+                                                   std::size_t attempt,
+                                                   Rng& rng) {
+  STAC_REQUIRE(attempt >= 1);
+  if (attempt == 1) return 0.0;
+  double wait = policy.initial_backoff;
+  for (std::size_t i = 2; i < attempt; ++i) wait *= policy.backoff_multiplier;
+  wait = std::min(wait, policy.max_backoff);
+  if (policy.jitter_fraction > 0.0)
+    wait *= rng.uniform(1.0 - policy.jitter_fraction,
+                        1.0 + policy.jitter_fraction);
+  return wait;
+}
+
+/// Run `fn` under the policy.  Returns fn's result on success; rethrows the
+/// last exception when the attempt or deadline budget is exhausted.  Only
+/// std::exception-derived errors are retried — anything else (and
+/// ContractViolation, which signals a programming bug rather than an
+/// environment failure) propagates immediately.
+template <typename F>
+auto retry_with_backoff(F&& fn, const RetryPolicy& policy, Rng& rng,
+                        RetryStats* stats = nullptr)
+    -> decltype(std::forward<F>(fn)()) {
+  STAC_REQUIRE_MSG(policy.max_attempts >= 1, "retry needs >= 1 attempt");
+  RetryStats local;
+  RetryStats& s = stats ? *stats : local;
+  s = RetryStats{};
+  std::exception_ptr last;
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const double wait = backoff_before_attempt(policy, attempt, rng);
+      if (s.total_backoff + wait > policy.deadline) {
+        s.deadline_exhausted = true;
+        break;
+      }
+      s.total_backoff += wait;
+    }
+    ++s.attempts;
+    try {
+      if constexpr (std::is_void_v<decltype(std::forward<F>(fn)())>) {
+        std::forward<F>(fn)();
+        s.succeeded = true;
+        return;
+      } else {
+        auto result = std::forward<F>(fn)();
+        s.succeeded = true;
+        return result;
+      }
+    } catch (const ContractViolation&) {
+      throw;  // programming bug: never retried
+    } catch (const std::exception& e) {
+      ++s.failures;
+      s.last_error = e.what();
+      last = std::current_exception();
+    }
+  }
+  STAC_ENSURE(last != nullptr);
+  std::rethrow_exception(last);
+}
+
+}  // namespace stac

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::core {
 
@@ -30,6 +31,9 @@ ml::ProfileSample EaModel::make_sample(const Profile& profile) const {
 
 void EaModel::fit(const std::vector<Profile>& profiles) {
   STAC_REQUIRE(!profiles.empty());
+  // Models a failed/aborted training job (e.g. OOM-killed trainer); the
+  // StacManager ladder falls back to simpler EA sources.
+  FaultInjector::global().check("model.fit");
   std::vector<ml::ProfileSample> samples;
   std::vector<double> targets;
   samples.reserve(profiles.size());
@@ -74,6 +78,13 @@ void EaModel::fit(const std::vector<Profile>& profiles) {
 
 double EaModel::predict(const ml::ProfileSample& sample) const {
   STAC_REQUIRE_MSG(trained_, "EaModel::predict before fit");
+  // Models a stale/unreachable model server.  Keyed on the sample features
+  // so the fault schedule is deterministic even when predictions run on a
+  // thread pool (same query → same decision, for a given plan seed).
+  FaultInjector::global().check(
+      "model.predict",
+      fault_key_hash(sample.tabular.data(),
+                     sample.tabular.size() * sizeof(double)));
   double ea = 0.0;
   switch (config_.backend) {
     case EaBackend::kDeepForest:

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "profiler/profile_io.hpp"
+
 namespace stac::core {
 
 using profiler::Profile;
@@ -15,6 +17,25 @@ void ProfileLibrary::add(Profile profile) {
 
 void ProfileLibrary::add_all(std::vector<Profile> profiles) {
   for (auto& p : profiles) profiles_.push_back(std::move(p));
+}
+
+ProfileLibrary::FileLoadStats ProfileLibrary::load_file(
+    const std::string& path) {
+  profiler::ProfileLoadReport report =
+      profiler::load_profiles_resilient(path);
+  FileLoadStats stats;
+  if (report.file_quarantined) {
+    stats.file_quarantined = true;
+    quarantine_log_.push_back(path + ": " + report.file_reason);
+    return stats;
+  }
+  for (const auto& q : report.quarantined)
+    quarantine_log_.push_back(path + ": record " + std::to_string(q.index) +
+                              ": " + q.reason);
+  stats.records_quarantined = report.quarantined.size();
+  stats.profiles_loaded = report.profiles.size();
+  add_all(std::move(report.profiles));
+  return stats;
 }
 
 double ProfileLibrary::condition_distance(const RuntimeCondition& a,

@@ -7,6 +7,7 @@
 // data only, never the condition under test.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "profiler/profiler.hpp"
@@ -19,6 +20,25 @@ class ProfileLibrary {
 
   void add(profiler::Profile profile);
   void add_all(std::vector<profiler::Profile> profiles);
+
+  /// Outcome of load_file(): what made it in, what was quarantined.
+  struct FileLoadStats {
+    std::size_t profiles_loaded = 0;
+    std::size_t records_quarantined = 0;
+    bool file_quarantined = false;
+  };
+
+  /// Best-effort load of a profile file into the library.  Corrupt or
+  /// truncated records (and unreadable files) are quarantined — skipped,
+  /// with the reason appended to quarantine_log() — never fatal.  The
+  /// library keeps serving whatever loaded cleanly.
+  FileLoadStats load_file(const std::string& path);
+
+  /// Human-readable record of everything quarantined so far ("<path>:
+  /// record N: reason").
+  [[nodiscard]] const std::vector<std::string>& quarantine_log() const {
+    return quarantine_log_;
+  }
 
   [[nodiscard]] std::size_t size() const { return profiles_.size(); }
   [[nodiscard]] bool empty() const { return profiles_.empty(); }
@@ -46,6 +66,7 @@ class ProfileLibrary {
 
  private:
   std::vector<profiler::Profile> profiles_;
+  std::vector<std::string> quarantine_log_;
 };
 
 }  // namespace stac::core

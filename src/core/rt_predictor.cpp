@@ -11,21 +11,53 @@ using profiler::RuntimeCondition;
 using queueing::GGkConfig;
 using queueing::GGkResult;
 
+const char* degradation_rung_name(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kPrimaryModel: return "primary-model";
+    case DegradationRung::kLinearFallback: return "linear-fallback";
+    case DegradationRung::kNearestNeighbor: return "nearest-neighbor";
+    case DegradationRung::kConservative: return "conservative-static";
+  }
+  return "?";
+}
+
 RtPredictor::RtPredictor(const profiler::Profiler& profiler,
                          const EaModel* model, const ProfileLibrary* library,
                          RtPredictorConfig config)
     : profiler_(profiler), model_(model), library_(library),
       config_(config) {
   if (!config_.analytic_ea) {
-    STAC_REQUIRE_MSG(model_ != nullptr && model_->trained(),
-                     "RtPredictor needs a trained EA model");
-    STAC_REQUIRE_MSG(library_ != nullptr && !library_->empty(),
-                     "RtPredictor needs a profile library for images");
+    const bool has_model = model_ != nullptr && model_->trained();
+    const bool has_library = library_ != nullptr && !library_->empty();
+    STAC_REQUIRE_MSG(has_model || has_library,
+                     "RtPredictor needs at least one EA source (trained "
+                     "model or non-empty profile library)");
   }
 }
 
-double RtPredictor::ea_for(const RuntimeCondition& condition,
-                           const std::vector<double>& dynamics) const {
+double RtPredictor::conservative_ea() const {
+  // EA such that EA x allocation_ratio == 1: boosted execution proceeds at
+  // the default rate.  Equivalent to a static allocation — the safe answer
+  // when every predictive input is unavailable or suspect.
+  const auto& cfg = profiler_.config();
+  const double ratio =
+      static_cast<double>(cfg.private_ways + cfg.shared_ways) /
+      static_cast<double>(cfg.private_ways);
+  return 1.0 / ratio;
+}
+
+double RtPredictor::neighbor_ea(const RuntimeCondition& condition) const {
+  const auto nearest = library_->nearest_k(
+      condition, std::max<std::size_t>(1, config_.ea_neighbors));
+  STAC_REQUIRE(!nearest.empty());
+  double sum = 0.0;
+  for (const Profile* near : nearest) sum += near->ea_boost;
+  return sum / static_cast<double>(nearest.size());
+}
+
+RtPredictor::EaQuery RtPredictor::ea_for(
+    const RuntimeCondition& condition,
+    const std::vector<double>& dynamics) const {
   const auto& cfg = profiler_.config();
   const double boosted_ways =
       static_cast<double>(cfg.private_ways + cfg.shared_ways);
@@ -33,7 +65,8 @@ double RtPredictor::ea_for(const RuntimeCondition& condition,
       boosted_ways / static_cast<double>(cfg.private_ways);
   if (config_.analytic_ea) {
     // Contention-blind: solo MRC speedup over the allocation increase.
-    return profiler_.model(condition.primary).speedup(boosted_ways) / ratio;
+    return {profiler_.model(condition.primary).speedup(boosted_ways) / ratio,
+            DegradationRung::kPrimaryModel};
   }
   // The learned target EA0 is measured at the always-boost counterpart and
   // therefore independent of the primary's own timeout; canonicalizing the
@@ -42,21 +75,40 @@ double RtPredictor::ea_for(const RuntimeCondition& condition,
   // wiggle the prediction for what is one underlying quantity).
   RuntimeCondition canonical = condition;
   canonical.timeout_primary = 0.0;
-  const auto nearest = library_->nearest_k(
-      canonical, std::max<std::size_t>(1, config_.ea_neighbors));
-  STAC_REQUIRE(!nearest.empty());
-  // Borrow neighbours' images; use the queried condition's statics and the
-  // feedback-loop dynamics.  Averaging over several library neighbours
-  // smooths the image-borrowing jitter between nearby grid cells.
-  double sum = 0.0;
-  for (const Profile* near : nearest) {
-    Profile query = *near;
-    query.condition = canonical;
-    query.statics = profiler_.static_features(canonical);
-    query.dynamics = dynamics;
-    sum += model_->predict(model_->make_sample(query));
+
+  // Degradation ladder: learned model → linear fallback → library
+  // neighbours → conservative static.  A rung that throws anything but a
+  // ContractViolation (stale model, injected "model.predict" fault) is
+  // treated as unavailable and the query drops to the next rung.
+  for (const auto& [ea_model, rung] :
+       {std::pair{model_, DegradationRung::kPrimaryModel},
+        std::pair{fallback_, DegradationRung::kLinearFallback}}) {
+    if (ea_model == nullptr || !ea_model->trained()) continue;
+    try {
+      // Borrow neighbours' images; use the queried condition's statics and
+      // the feedback-loop dynamics.  Averaging over several library
+      // neighbours smooths the image-borrowing jitter between grid cells.
+      const auto nearest = library_->nearest_k(
+          canonical, std::max<std::size_t>(1, config_.ea_neighbors));
+      STAC_REQUIRE(!nearest.empty());
+      double sum = 0.0;
+      for (const Profile* near : nearest) {
+        Profile query = *near;
+        query.condition = canonical;
+        query.statics = profiler_.static_features(canonical);
+        query.dynamics = dynamics;
+        sum += ea_model->predict(ea_model->make_sample(query));
+      }
+      return {sum / static_cast<double>(nearest.size()), rung};
+    } catch (const ContractViolation&) {
+      throw;  // programming bug, not an environment failure
+    } catch (const std::exception&) {
+      // fall through to the next rung
+    }
   }
-  return sum / static_cast<double>(nearest.size());
+  if (library_ != nullptr && !library_->empty())
+    return {neighbor_ea(canonical), DegradationRung::kNearestNeighbor};
+  return {conservative_ea(), DegradationRung::kConservative};
 }
 
 RtPrediction RtPredictor::predict_for_profile(
@@ -80,8 +132,31 @@ RtPrediction RtPredictor::predict_for_profile(
     out.ea = wm.speedup(boosted_ways) / ratio;
   } else {
     // The model's target is the potential (always-boost) EA, predicted
-    // on-distribution from the condition's own counters and dynamics.
-    out.ea = model_->predict(model_->make_sample(profile));
+    // on-distribution from the condition's own counters and dynamics —
+    // with the same degradation ladder as exploration mode.
+    out.ea = 0.0;
+    out.rung = DegradationRung::kConservative;
+    for (const auto& [ea_model, rung] :
+         {std::pair{model_, DegradationRung::kPrimaryModel},
+          std::pair{fallback_, DegradationRung::kLinearFallback}}) {
+      if (ea_model == nullptr || !ea_model->trained()) continue;
+      try {
+        out.ea = ea_model->predict(ea_model->make_sample(profile));
+        out.rung = rung;
+        break;
+      } catch (const ContractViolation&) {
+        throw;
+      } catch (const std::exception&) {
+      }
+    }
+    if (out.rung == DegradationRung::kConservative) {
+      if (library_ != nullptr && !library_->empty()) {
+        out.ea = neighbor_ea(condition);
+        out.rung = DegradationRung::kNearestNeighbor;
+      } else {
+        out.ea = conservative_ea();
+      }
+    }
   }
 
   GGkConfig g;
@@ -135,7 +210,9 @@ RtPrediction RtPredictor::predict(const RuntimeCondition& condition) const {
   RtPrediction out;
   double prevalence_p = 0.0, prevalence_c = 0.0;
   for (std::size_t iter = 0; iter < config_.feedback_iterations; ++iter) {
-    out.ea = ea_for(condition, dynamics);
+    const EaQuery eq = ea_for(condition, dynamics);
+    out.ea = eq.ea;
+    out.rung = std::max(out.rung, eq.rung);
 
     GGkConfig gp;
     gp.utilization = condition.util_primary;
@@ -158,10 +235,15 @@ RtPrediction RtPredictor::predict(const RuntimeCondition& condition) const {
     gc.mean_service = scales.scaled_base_collocated;
     gc.service_cv = cv_c;
     gc.timeout_rel = swapped.timeout_primary;
-    gc.effective_allocation =
-        config_.analytic_ea ? ea_for(swapped, dynamics)
-                            : ea_for(swapped, {dynamics[2], dynamics[3],
-                                               dynamics[0], dynamics[1]});
+    {
+      const EaQuery eqc =
+          config_.analytic_ea
+              ? ea_for(swapped, dynamics)
+              : ea_for(swapped, {dynamics[2], dynamics[3], dynamics[0],
+                                 dynamics[1]});
+      gc.effective_allocation = eqc.ea;
+      out.rung = std::max(out.rung, eqc.rung);
+    }
     gc.boost_prevalence = prevalence_c;
     gc.seed = config_.seed + 1000 + iter;
     const GGkResult rc = queueing::simulate_ggk(gc);

@@ -18,6 +18,19 @@
 
 namespace stac::core {
 
+/// The EA-source degradation ladder (most→least capable).  Every EA query
+/// tries the rungs in order and records the first that answered; a fault in
+/// the deep-forest model (stale model, injected "model.predict" failure)
+/// drops the prediction one rung instead of killing the pipeline.
+enum class DegradationRung : std::uint8_t {
+  kPrimaryModel = 0,    ///< the configured (deep-forest) EA model
+  kLinearFallback = 1,  ///< cheap linear-regression EA trained alongside
+  kNearestNeighbor = 2, ///< profile-library nearest-neighbour EA lookup
+  kConservative = 3,    ///< static allocation: boosts assumed to buy nothing
+};
+
+[[nodiscard]] const char* degradation_rung_name(DegradationRung rung);
+
 struct RtPrediction {
   double mean_rt = 0.0;  ///< in the pairing's scaled time units
   double p95_rt = 0.0;
@@ -27,6 +40,8 @@ struct RtPrediction {
   /// Normalized by the primary's scaled base service time (scale-free).
   double norm_mean_rt = 0.0;
   double norm_p95_rt = 0.0;
+  /// Worst (deepest) ladder rung any EA query of this prediction fell to.
+  DegradationRung rung = DegradationRung::kPrimaryModel;
 };
 
 struct RtPredictorConfig {
@@ -43,9 +58,16 @@ struct RtPredictorConfig {
 
 class RtPredictor {
  public:
-  /// `model` may be null only when config.analytic_ea is true.
+  /// At least one EA source is required: a trained `model`, a trained
+  /// fallback (set_fallback_model), a non-empty `library`, or
+  /// config.analytic_ea.  `model` may be null when another source exists —
+  /// predictions then start lower on the degradation ladder.
   RtPredictor(const profiler::Profiler& profiler, const EaModel* model,
               const ProfileLibrary* library, RtPredictorConfig config = {});
+
+  /// Attach the linear-regression fallback model (ladder rung 1).  Null
+  /// detaches.  The pointer must outlive the predictor.
+  void set_fallback_model(const EaModel* fallback) { fallback_ = fallback; }
 
   /// Exploration-mode prediction for a *hypothetical* condition: the
   /// counter image is borrowed from the nearest training profile and the
@@ -63,11 +85,22 @@ class RtPredictor {
       const profiler::Profile& profile) const;
 
  private:
-  [[nodiscard]] double ea_for(const profiler::RuntimeCondition& condition,
-                              const std::vector<double>& dynamics) const;
+  struct EaQuery {
+    double ea = 0.0;
+    DegradationRung rung = DegradationRung::kPrimaryModel;
+  };
+  [[nodiscard]] EaQuery ea_for(const profiler::RuntimeCondition& condition,
+                               const std::vector<double>& dynamics) const;
+  /// Rung-2 EA: average ea_boost over the library's nearest profiles.
+  [[nodiscard]] double neighbor_ea(
+      const profiler::RuntimeCondition& condition) const;
+  /// Rung-3 EA: boost-neutral ("static allocation") — the boosted rate
+  /// equals the default rate, so a wrong model can never promise speedup.
+  [[nodiscard]] double conservative_ea() const;
 
   const profiler::Profiler& profiler_;
   const EaModel* model_;
+  const EaModel* fallback_ = nullptr;
   const ProfileLibrary* library_;
   RtPredictorConfig config_;
 };

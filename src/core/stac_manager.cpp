@@ -6,16 +6,48 @@ namespace stac::core {
 
 StacManager::StacManager(StacOptions options)
     : options_(std::move(options)), profiler_(options_.profiler),
-      model_(options_.model) {}
+      model_(options_.model),
+      fallback_(EaModelConfig{.backend = EaBackend::kLinear}) {}
+
+void StacManager::refit() {
+  STAC_REQUIRE_MSG(!library_.empty(), "profiling produced no profiles");
+  // Primary model: a training failure (injected "model.fit" fault, stale
+  // inputs) is survivable — the ladder answers from a lower rung — but it
+  // must leave the manager with an untrained primary, not a half-fit one.
+  model_ = EaModel(options_.model);
+  try {
+    model_.fit(library_.profiles());
+  } catch (const ContractViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    model_ = EaModel(options_.model);  // discard partial state
+  }
+  fallback_ = EaModel(EaModelConfig{.backend = EaBackend::kLinear});
+  if (options_.train_fallback) {
+    try {
+      fallback_.fit(library_.profiles());
+    } catch (const ContractViolation&) {
+      throw;
+    } catch (const std::exception&) {
+      fallback_ = EaModel(EaModelConfig{.backend = EaBackend::kLinear});
+    }
+  }
+  predictor_.emplace(profiler_, model_.trained() ? &model_ : nullptr,
+                     &library_, options_.predictor);
+  predictor_->set_fallback_model(fallback_.trained() ? &fallback_ : nullptr);
+}
 
 void StacManager::calibrate(wl::Benchmark a, wl::Benchmark b) {
   profiler::StratifiedSampler sampler(profiler_, options_.sampler);
   library_.add_all(sampler.collect(a, b, options_.profile_budget));
   library_.add_all(sampler.collect(b, a, options_.profile_budget));
-  STAC_REQUIRE_MSG(!library_.empty(), "profiling produced no profiles");
-  model_ = EaModel(options_.model);
-  model_.fit(library_.profiles());
-  predictor_.emplace(profiler_, &model_, &library_, options_.predictor);
+  refit();
+}
+
+std::size_t StacManager::load_profiles(const std::string& path) {
+  const auto stats = library_.load_file(path);
+  if (!library_.empty()) refit();
+  return stats.profiles_loaded;
 }
 
 RtPrediction StacManager::predict(

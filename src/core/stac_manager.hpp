@@ -7,6 +7,14 @@
 //   recommend()  — §5.2 model-driven timeout-vector selection;
 //   evaluate()   — ground-truth check of any timeout pair on the testbed.
 //
+// Resilience: calibrate() also trains a cheap linear-regression fallback
+// EA model and attaches it (plus the profile library) to the predictor's
+// degradation ladder, so a failed/stale primary model degrades predictions
+// by one rung instead of aborting; a primary-model training failure is
+// likewise survived as long as any ladder rung can answer.  Profile files
+// can be merged in through load_profiles(), which quarantines corrupt
+// records rather than throwing.
+//
 // See examples/quickstart.cpp for the canonical five-line usage.
 #pragma once
 
@@ -27,17 +35,28 @@ struct StacOptions {
   /// Profiling budget in conditions per collocation direction (the paper's
   /// 30-minute budget yields ~100 profiles; max_windows rows each).
   std::size_t profile_budget = 30;
+  /// Train the linear-regression fallback EA model during calibrate() (the
+  /// degradation ladder's rung 1).  Costs one extra linear fit.
+  bool train_fallback = true;
 };
 
 class StacManager {
  public:
   explicit StacManager(StacOptions options = {});
 
-  /// Profile the pairing in both directions and train the EA model.
-  /// May be called again with other pairings; the library accumulates.
+  /// Profile the pairing in both directions and train the EA model (and the
+  /// linear fallback).  May be called again with other pairings; the
+  /// library accumulates.  Survives a primary-model training failure as
+  /// long as a ladder rung below it can answer.
   void calibrate(wl::Benchmark a, wl::Benchmark b);
 
-  /// Stage-3 prediction for a condition (requires calibrate()).
+  /// Merge a saved profile file into the library (corrupt/truncated records
+  /// are quarantined, see library().quarantine_log()) and refresh the
+  /// models over the grown library.  Returns the number of profiles added.
+  std::size_t load_profiles(const std::string& path);
+
+  /// Stage-3 prediction for a condition (requires calibrate()).  The
+  /// returned RtPrediction reports the degradation-ladder rung used.
   [[nodiscard]] RtPrediction predict(
       const profiler::RuntimeCondition& condition) const;
 
@@ -56,13 +75,25 @@ class StacManager {
   }
   [[nodiscard]] const ProfileLibrary& library() const { return library_; }
   [[nodiscard]] const EaModel& model() const { return model_; }
-  [[nodiscard]] bool calibrated() const { return model_.trained(); }
+  [[nodiscard]] const EaModel& fallback_model() const { return fallback_; }
+  /// Usable for predict()/recommend() — true once any ladder rung can
+  /// answer, even if the primary model failed to train.
+  [[nodiscard]] bool calibrated() const { return predictor_.has_value(); }
+  /// True when the last calibrate() could not train the primary model and
+  /// predictions start below rung 0.
+  [[nodiscard]] bool primary_model_degraded() const {
+    return calibrated() && !model_.trained();
+  }
 
  private:
+  /// (Re)train models over the current library and rebuild the predictor.
+  void refit();
+
   StacOptions options_;
   profiler::Profiler profiler_;
   ProfileLibrary library_;
   EaModel model_;
+  EaModel fallback_;
   std::optional<RtPredictor> predictor_;
 };
 

@@ -6,10 +6,26 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::profiler {
 
 namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string checksum_hex(const std::string& record) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << fnv1a64(record);
+  return os.str();
+}
 
 void write_doubles(std::ostream& os, const std::vector<double>& values) {
   os << values.size();
@@ -20,90 +36,196 @@ void write_doubles(std::ostream& os, const std::vector<double>& values) {
 std::vector<double> read_doubles(std::istream& is, const char* what) {
   std::size_t n = 0;
   STAC_REQUIRE_MSG(static_cast<bool>(is >> n), "truncated " << what);
+  STAC_REQUIRE_MSG(n < (1u << 20), "implausible " << what << " length");
   std::vector<double> values(n);
   for (auto& v : values)
     STAC_REQUIRE_MSG(static_cast<bool>(is >> v), "truncated " << what);
   return values;
 }
 
+/// Serialize one profile record (everything the checksum covers).
+std::string record_string(const Profile& p) {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const RuntimeCondition& c = p.condition;
+  out << wl::benchmark_id(c.primary) << ' ' << wl::benchmark_id(c.collocated)
+      << ' ' << c.util_primary << ' ' << c.util_collocated << ' '
+      << c.timeout_primary << ' ' << c.timeout_collocated << ' '
+      << c.sampling_rel << ' ' << c.mix_primary << ' ' << c.mix_collocated
+      << ' ' << c.churn << ' ' << c.seed << ' ' << p.ea << ' ' << p.ea_boost
+      << ' ' << p.mean_rt << ' ' << p.p95_rt << ' ' << p.mean_rt_default
+      << ' ' << p.p95_rt_default << ' ' << p.mean_service << ' '
+      << p.scaled_base_primary << ' ' << p.allocation_ratio << '\n';
+  write_doubles(out, p.statics);
+  write_doubles(out, p.dynamics);
+  out << p.image.rows() << ' ' << p.image.cols();
+  for (std::size_t r = 0; r < p.image.rows(); ++r)
+    for (double v : p.image.row(r)) out << ' ' << v;
+  out << '\n';
+  return out.str();
+}
+
+/// Parse one record (the exact inverse of record_string).  Throws
+/// ContractViolation with a reason on any damage.
+Profile parse_record(const std::string& record, std::size_t index) {
+  std::istringstream in(record);
+  Profile p;
+  std::string primary, collocated;
+  STAC_REQUIRE_MSG(
+      static_cast<bool>(
+          in >> primary >> collocated >> p.condition.util_primary >>
+          p.condition.util_collocated >> p.condition.timeout_primary >>
+          p.condition.timeout_collocated >> p.condition.sampling_rel >>
+          p.condition.mix_primary >> p.condition.mix_collocated >>
+          p.condition.churn >> p.condition.seed >> p.ea >> p.ea_boost >>
+          p.mean_rt >> p.p95_rt >> p.mean_rt_default >> p.p95_rt_default >>
+          p.mean_service >> p.scaled_base_primary >> p.allocation_ratio),
+      "truncated profile record " << index);
+  const auto b_primary = wl::benchmark_from_id(primary);
+  const auto b_collocated = wl::benchmark_from_id(collocated);
+  STAC_REQUIRE_MSG(b_primary && b_collocated,
+                   "unknown benchmark id in record " << index);
+  p.condition.primary = *b_primary;
+  p.condition.collocated = *b_collocated;
+
+  p.statics = read_doubles(in, "statics");
+  p.dynamics = read_doubles(in, "dynamics");
+  std::size_t rows = 0, cols = 0;
+  STAC_REQUIRE_MSG(static_cast<bool>(in >> rows >> cols),
+                   "truncated image header in record " << index);
+  STAC_REQUIRE_MSG(rows * cols < (1u << 24), "implausible image size");
+  p.image = Matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t col = 0; col < cols; ++col)
+      STAC_REQUIRE_MSG(static_cast<bool>(in >> p.image(r, col)),
+                       "truncated image data in record " << index);
+  return p;
+}
+
+/// Read the next `n` lines into one string (newline-terminated each).
+/// Returns false on EOF before all lines were read.
+bool read_lines(std::istream& in, std::size_t n, std::string& out) {
+  out.clear();
+  std::string line;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) return false;
+    out += line;
+    out += '\n';
+  }
+  return true;
+}
+
 }  // namespace
 
 void save_profiles(const std::string& path,
                    const std::vector<Profile>& profiles) {
+  FaultInjector::global().check("io.save_profile");
   std::ofstream out(path);
   STAC_REQUIRE_MSG(out.good(), "cannot open " << path << " for writing");
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << "stac-profiles v" << kProfileFileVersion << ' ' << profiles.size()
       << '\n';
   for (const Profile& p : profiles) {
-    const RuntimeCondition& c = p.condition;
-    out << wl::benchmark_id(c.primary) << ' '
-        << wl::benchmark_id(c.collocated) << ' ' << c.util_primary << ' '
-        << c.util_collocated << ' ' << c.timeout_primary << ' '
-        << c.timeout_collocated << ' ' << c.sampling_rel << ' '
-        << c.mix_primary << ' ' << c.mix_collocated << ' ' << c.churn << ' '
-        << c.seed << ' ' << p.ea << ' ' << p.ea_boost << ' ' << p.mean_rt
-        << ' ' << p.p95_rt << ' ' << p.mean_rt_default << ' '
-        << p.p95_rt_default << ' ' << p.mean_service << ' '
-        << p.scaled_base_primary << ' ' << p.allocation_ratio << '\n';
-    write_doubles(out, p.statics);
-    write_doubles(out, p.dynamics);
-    out << p.image.rows() << ' ' << p.image.cols();
-    for (std::size_t r = 0; r < p.image.rows(); ++r)
-      for (double v : p.image.row(r)) out << ' ' << v;
-    out << '\n';
+    const std::string record = record_string(p);
+    out << record << "checksum " << checksum_hex(record) << '\n';
   }
   STAC_REQUIRE_MSG(out.good(), "write to " << path << " failed");
 }
 
-std::vector<Profile> load_profiles(const std::string& path) {
-  std::ifstream in(path);
-  STAC_REQUIRE_MSG(in.good(), "cannot open " << path);
-  std::string magic;
-  std::string version;
-  std::size_t count = 0;
-  STAC_REQUIRE_MSG(static_cast<bool>(in >> magic >> version >> count),
-                   "not a stac profile file: " << path);
-  STAC_REQUIRE_MSG(magic == "stac-profiles", "bad magic in " << path);
-  STAC_REQUIRE_MSG(version == "v" + std::to_string(kProfileFileVersion),
-                   "unsupported profile file version " << version);
-
-  std::vector<Profile> profiles;
-  profiles.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    Profile p;
-    std::string primary, collocated;
-    STAC_REQUIRE_MSG(
-        static_cast<bool>(
-            in >> primary >> collocated >> p.condition.util_primary >>
-            p.condition.util_collocated >> p.condition.timeout_primary >>
-            p.condition.timeout_collocated >> p.condition.sampling_rel >>
-            p.condition.mix_primary >> p.condition.mix_collocated >>
-            p.condition.churn >> p.condition.seed >> p.ea >> p.ea_boost >>
-            p.mean_rt >> p.p95_rt >> p.mean_rt_default >> p.p95_rt_default >>
-            p.mean_service >> p.scaled_base_primary >> p.allocation_ratio),
-        "truncated profile record " << i << " in " << path);
-    const auto b_primary = wl::benchmark_from_id(primary);
-    const auto b_collocated = wl::benchmark_from_id(collocated);
-    STAC_REQUIRE_MSG(b_primary && b_collocated,
-                     "unknown benchmark id in " << path);
-    p.condition.primary = *b_primary;
-    p.condition.collocated = *b_collocated;
-
-    p.statics = read_doubles(in, "statics");
-    p.dynamics = read_doubles(in, "dynamics");
-    std::size_t rows = 0, cols = 0;
-    STAC_REQUIRE_MSG(static_cast<bool>(in >> rows >> cols),
-                     "truncated image header in " << path);
-    STAC_REQUIRE_MSG(rows * cols < (1u << 24), "implausible image size");
-    p.image = Matrix(rows, cols);
-    for (std::size_t r = 0; r < rows; ++r)
-      for (std::size_t col = 0; col < cols; ++col)
-        STAC_REQUIRE_MSG(static_cast<bool>(in >> p.image(r, col)),
-                         "truncated image data in " << path);
-    profiles.push_back(std::move(p));
+ProfileLoadReport load_profiles_resilient(const std::string& path) {
+  ProfileLoadReport report;
+  try {
+    FaultInjector::global().check("io.load_profile");
+  } catch (const InjectedFault& e) {
+    report.file_quarantined = true;
+    report.file_reason = e.what();
+    return report;
   }
-  return profiles;
+
+  std::ifstream in(path);
+  std::size_t count = 0;
+  {
+    std::string header;
+    if (!in.good() || !std::getline(in, header)) {
+      report.file_quarantined = true;
+      report.file_reason = "cannot open " + path;
+      return report;
+    }
+    std::istringstream hs(header);
+    std::string magic, version;
+    if (!(hs >> magic >> version >> count) || magic != "stac-profiles") {
+      report.file_quarantined = true;
+      report.file_reason = "not a stac profile file: " + path;
+      return report;
+    }
+    if (version == "v1") {
+      report.version = 1;
+    } else if (version == "v" + std::to_string(kProfileFileVersion)) {
+      report.version = kProfileFileVersion;
+    } else {
+      report.file_quarantined = true;
+      report.file_reason = "unsupported profile file version " + version;
+      return report;
+    }
+  }
+  if (count >= (1u << 24)) {
+    report.file_quarantined = true;
+    report.file_reason = "implausible profile count in " + path;
+    return report;
+  }
+
+  report.profiles.reserve(count);
+  std::string record;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Records are 4 lines (meta, statics, dynamics, image); v2 adds a
+    // checksum trailer line.
+    if (!read_lines(in, 4, record)) {
+      report.quarantined.push_back({i, "truncated file (record missing)"});
+      // Nothing left to resync against — the remaining records are gone.
+      for (std::size_t j = i + 1; j < count; ++j)
+        report.quarantined.push_back({j, "truncated file (record missing)"});
+      break;
+    }
+    if (report.version >= 2) {
+      std::string trailer;
+      if (!std::getline(in, trailer)) {
+        report.quarantined.push_back({i, "truncated file (checksum missing)"});
+        for (std::size_t j = i + 1; j < count; ++j)
+          report.quarantined.push_back({j, "truncated file (record missing)"});
+        break;
+      }
+      std::istringstream ts(trailer);
+      std::string tag, hex;
+      if (!(ts >> tag >> hex) || tag != "checksum") {
+        // The record structure itself is damaged; alignment past this point
+        // is unrecoverable, so quarantine the rest of the file too.
+        report.quarantined.push_back({i, "malformed checksum trailer"});
+        for (std::size_t j = i + 1; j < count; ++j)
+          report.quarantined.push_back({j, "unreachable (lost alignment)"});
+        break;
+      }
+      if (hex != checksum_hex(record)) {
+        report.quarantined.push_back(
+            {i, "checksum mismatch (corrupt record)"});
+        continue;  // structure intact: the next record still aligns
+      }
+    }
+    try {
+      report.profiles.push_back(parse_record(record, i));
+    } catch (const ContractViolation& e) {
+      report.quarantined.push_back({i, e.what()});
+    }
+  }
+  return report;
+}
+
+std::vector<Profile> load_profiles(const std::string& path) {
+  ProfileLoadReport report = load_profiles_resilient(path);
+  STAC_REQUIRE_MSG(!report.file_quarantined, report.file_reason);
+  STAC_REQUIRE_MSG(report.quarantined.empty(),
+                   "profile file " << path << ": record "
+                                   << report.quarantined.front().index << ": "
+                                   << report.quarantined.front().reason);
+  return std::move(report.profiles);
 }
 
 }  // namespace stac::profiler

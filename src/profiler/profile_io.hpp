@@ -4,9 +4,17 @@
 // (possibly elsewhere), so the profile library must round-trip losslessly.
 //
 // Format: a line-oriented text file.  One header line with a format
-// version, then per profile a metadata line followed by four data lines
-// (statics, dynamics, image dimensions + row-major values).  Numbers use
+// version, then per profile a metadata line followed by three data lines
+// (statics, dynamics, image dimensions + row-major values) and — since v2 —
+// a `checksum <hex>` trailer computed over the record's bytes.  Numbers use
 // max_digits10 so doubles survive the round trip bit-exactly.
+//
+// Corruption handling: load_profiles() is strict (throws on the first bad
+// byte; use it when a bad library must abort a run), while
+// load_profiles_resilient() quarantines corrupt or truncated records —
+// skipping them and recording the reason — so one flipped bit on disk
+// cannot kill a calibrate→predict→recommend pipeline.  Both paths consult
+// the "io.load_profile" / "io.save_profile" fault points.
 #pragma once
 
 #include <string>
@@ -16,16 +24,43 @@
 
 namespace stac::profiler {
 
-/// Current file format version.
-inline constexpr int kProfileFileVersion = 1;
+/// Current file format version.  v1 files (no checksums) still load.
+inline constexpr int kProfileFileVersion = 2;
 
 /// Write profiles to `path`, replacing any existing file.  Throws
-/// ContractViolation on I/O failure.
+/// ContractViolation on I/O failure.  Every record carries an FNV-1a64
+/// checksum so later loads can detect corruption.
 void save_profiles(const std::string& path,
                    const std::vector<Profile>& profiles);
 
 /// Read profiles back.  Throws ContractViolation on I/O failure, version
-/// mismatch, or malformed content.
+/// mismatch, malformed content, or a checksum mismatch.
 [[nodiscard]] std::vector<Profile> load_profiles(const std::string& path);
+
+/// One skipped record (or file-level failure) from a resilient load.
+struct QuarantinedProfile {
+  std::size_t index = 0;  ///< record index within the file
+  std::string reason;
+};
+
+struct ProfileLoadReport {
+  std::vector<Profile> profiles;           ///< the records that survived
+  std::vector<QuarantinedProfile> quarantined;
+  int version = 0;
+  /// File-level failure (unreadable / bad magic / bad version): nothing was
+  /// loaded and `reason` says why.  Record-level damage does NOT set this.
+  bool file_quarantined = false;
+  std::string file_reason;
+
+  [[nodiscard]] bool clean() const {
+    return !file_quarantined && quarantined.empty();
+  }
+};
+
+/// Best-effort load: corrupt or truncated records are skipped and recorded
+/// instead of aborting the load.  Never throws on bad content (only on
+/// programming errors).
+[[nodiscard]] ProfileLoadReport load_profiles_resilient(
+    const std::string& path);
 
 }  // namespace stac::profiler

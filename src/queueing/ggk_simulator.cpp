@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::queueing {
 
@@ -127,6 +128,18 @@ GGkResult simulate_ggk(const GGkConfig& config) {
         job.demand = config.service_cv > 0.0
                          ? rng.lognormal_mean_cv(1.0, config.service_cv)
                          : 1.0;
+        if (FaultInjector::global().armed()) {
+          // Chaos hook: an injected service-latency spike inflates this
+          // job's demand.  Keyed on (seed, arrival ordinal) so the schedule
+          // is a pure function of the plan seed.
+          const auto fault = FaultInjector::global().evaluate(
+              "ggk.service",
+              fault_key(config.seed, static_cast<std::uint64_t>(arrivals)));
+          if (fault.action == FaultAction::kLatency) {
+            job.demand *= 1.0 + std::max(0.0, fault.latency);
+            ++result.latency_injections;
+          }
+        }
         job.remaining = job.demand;
         jobs.push_back(job);
         const auto idx = jobs.size() - 1;
@@ -147,7 +160,10 @@ GGkResult simulate_ggk(const GGkConfig& config) {
         if (job.done || job.overdue) break;
         job.overdue = true;
         if (config.class_level_boost) {
-          if (boost_refs++ == 0) reschedule_all();  // class switched
+          if (boost_refs++ == 0) {
+            ++result.cos_switches;
+            reschedule_all();  // class switched
+          }
         } else if (job.start >= 0.0) {
           schedule_completion(ev.job);  // only this job speeds up
         }
@@ -168,12 +184,16 @@ GGkResult simulate_ggk(const GGkConfig& config) {
                                 static_cast<std::size_t>(ev.job)));
         if (job.overdue && config.class_level_boost) {
           STAC_ENSURE(boost_refs > 0);
-          if (--boost_refs == 0) reschedule_all();  // class reverted
+          if (--boost_refs == 0) {
+            ++result.cos_switches;
+            reschedule_all();  // class reverted
+          }
         }
         if (ev.job >= config.warmup) {
           result.response_times.add(now - job.arrival);
           result.queue_delays.add(job.start - job.arrival);
           queue_delay_sum += job.start - job.arrival;
+          if (now - job.arrival < 0.0) ++result.negative_sojourns;
           if (job.overdue) ++result.boosted_queries;
           ++result.completed;
         }
@@ -192,6 +212,9 @@ GGkResult simulate_ggk(const GGkConfig& config) {
       result.completed > 0
           ? queue_delay_sum / static_cast<double>(result.completed)
           : 0.0;
+  result.residual_boost_refs = boost_refs;
+  for (const Job& job : jobs)
+    if (!job.done && job.overdue) ++result.residual_overdue_jobs;
   return result;
 }
 

@@ -61,6 +61,14 @@ struct GGkResult {
   /// Mean instantaneous queueing delay — fed back as a dynamic-condition
   /// feature for the model (§3.3 "outputted as dynamic condition feedback").
   double mean_queue_delay = 0.0;
+  /// Teardown invariants (class-level boosting): the refcount left at
+  /// simulation end must equal the number of still-outstanding overdue
+  /// jobs, and every counted sojourn must be non-negative.
+  std::uint32_t residual_boost_refs = 0;
+  std::uint32_t residual_overdue_jobs = 0;
+  std::uint64_t cos_switches = 0;  ///< class boost transitions (up + down)
+  std::uint64_t latency_injections = 0;  ///< "ggk.service" chaos hits
+  std::size_t negative_sojourns = 0;     ///< counted completions with rt < 0
 };
 
 /// Run the Stage-3 simulator.  Boosted execution rate multiplier is

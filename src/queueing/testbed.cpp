@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::queueing {
 
@@ -76,6 +77,23 @@ void Testbed::schedule(double time, EventType type, std::uint32_t wlid,
 
 void Testbed::record_trace_sample(double at) {
   if (trace_.size() >= config_.max_trace_samples) return;
+  // Chaos hook: a counter read can be lost (kDrop) or return garbage
+  // (kCorrupt), exactly like a flaky MSR/CMT read on real hardware.  Keyed
+  // on (testbed seed, sample ordinal): the schedule is deterministic per
+  // run even when many testbeds share the injector across a thread pool.
+  double corrupt_factor = 1.0;
+  if (FaultInjector::global().armed()) {
+    const FaultOutcome fault = FaultInjector::global().evaluate(
+        "profiler.sample", fault_key(config_.seed, ++sample_ordinal_));
+    if (fault.action == FaultAction::kDrop) {
+      ++faults_.dropped_samples;
+      return;
+    }
+    if (fault.action == FaultAction::kCorrupt) {
+      ++faults_.corrupted_samples;
+      corrupt_factor = fault.corrupt_factor;
+    }
+  }
   TraceSample sample;
   sample.time = at;
   sample.per_workload.reserve(wl_.size());
@@ -91,6 +109,11 @@ void Testbed::record_trace_sample(double at) {
     pw.occupancy = occ;
     pw.effective_ways = occupancy_.effective_ways(w);
     pw.exec_rate = s.next_rate;
+    if (corrupt_factor != 1.0) {  // garbage counter row
+      pw.occupancy *= corrupt_factor;
+      pw.effective_ways *= corrupt_factor;
+      pw.exec_rate *= corrupt_factor;
+    }
     sample.per_workload.push_back(pw);
   }
   trace_.push_back(std::move(sample));
@@ -203,6 +226,16 @@ void Testbed::handle_arrival(std::uint32_t wlid) {
   Query q;
   q.arrival = now_;
   q.demand = s.cfg.model->sample_demand(rng_);
+  // Chaos hook: a latency spike (interference burst, minor page faults)
+  // inflates this query's demand by the injected relative amount.
+  if (FaultInjector::global().armed()) {
+    const FaultOutcome fault = FaultInjector::global().evaluate(
+        "testbed.service", fault_key(config_.seed, ++arrival_ordinal_));
+    if (fault.action == FaultAction::kLatency) {
+      q.demand *= 1.0 + std::max(0.0, fault.latency);
+      ++faults_.latency_injections;
+    }
+  }
   q.remaining = q.demand;
   q.expected_service = s.scaled_base_service;
   s.queries.push_back(q);
@@ -279,11 +312,37 @@ void Testbed::set_boost(std::uint32_t wlid, bool up) {
   const bool is = s.boost_refs > 0;
   if (was != is) {
     ++s.result.cos_switches;
+    if (is && config_.max_boost_lease_rel > 0.0) {
+      // Grant watchdog: arm a lease on this boost epoch.  The generation
+      // stamp invalidates the event if the class reverts (and possibly
+      // re-boosts) before the lease expires.
+      ++s.lease_gen;
+      schedule(now_ + config_.max_boost_lease_rel * s.scaled_base_service,
+               EventType::kLease, wlid, 0, s.lease_gen);
+    } else if (!is) {
+      ++s.lease_gen;  // epoch over; any armed lease event is now stale
+    }
     recompute_rates();
     // Rates themselves move only via occupancy, but fill pressure changed;
     // refresh pacing must follow.
     maybe_schedule_refresh();
   }
+}
+
+void Testbed::force_revoke_boost(std::uint32_t wlid) {
+  WlState& s = wl_[wlid];
+  if (s.boost_refs == 0) return;
+  // Every outstanding grant is dropped: in-flight and queued queries lose
+  // their boosted flag, so their eventual completions do not decrement a
+  // refcount that no longer carries their grant (no underflow, no leak).
+  for (std::size_t qid : s.in_service) s.queries[qid].boosted = false;
+  for (std::size_t qid : s.fifo) s.queries[qid].boosted = false;
+  s.boost_refs = 0;
+  ++s.lease_gen;
+  ++s.result.cos_switches;
+  ++faults_.watchdog_revocations;
+  recompute_rates();
+  maybe_schedule_refresh();
 }
 
 bool Testbed::all_done() const {
@@ -334,12 +393,17 @@ TestbedResult Testbed::run() {
           reschedule_completions(w);
         maybe_schedule_refresh();
         break;
+      case EventType::kLease:
+        if (ev.gen != wl_[ev.wl].lease_gen) break;  // stale lease
+        force_revoke_boost(ev.wl);
+        break;
     }
   }
 
   result.sim_time = now_;
   result.events_processed = events_;
   result.trace = std::move(trace_);
+  result.faults = faults_;
   result.per_workload.reserve(wl_.size());
   for (auto& s : wl_) {
     if (now_ > 0.0) {
@@ -347,6 +411,16 @@ TestbedResult Testbed::run() {
       s.result.mean_effective_ways = s.eff_ways_integral / now_;
       s.result.mean_occupancy = s.occ_integral / now_;
     }
+    // Teardown accounting: a healthy run ends with the refcount exactly
+    // covering the still-in-flight boosted queries — anything else is a
+    // leaked or double-released grant.
+    s.result.final_boost_refs = s.boost_refs;
+    std::uint32_t inflight_boosted = 0;
+    for (std::size_t qid : s.in_service)
+      if (s.queries[qid].boosted) ++inflight_boosted;
+    for (std::size_t qid : s.fifo)
+      if (s.queries[qid].boosted) ++inflight_boosted;
+    s.result.final_inflight_boosted = inflight_boosted;
     result.per_workload.push_back(std::move(s.result));
   }
   return result;

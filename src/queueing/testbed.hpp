@@ -76,6 +76,23 @@ struct TestbedConfig {
   /// units (the profiler's 12–60 samples/min counter sampling, §3.1).
   double sample_interval = 0.0;
   std::size_t max_trace_samples = 100'000;
+  /// Grant watchdog: force-revoke a workload's boost once its class has
+  /// been continuously boosted for more than this many expected service
+  /// times (<= 0 disables).  Outstanding boosted queries lose their grant
+  /// (their later unboosts become no-ops) so a leaked refcount can never
+  /// pin shared ways indefinitely.
+  double max_boost_lease_rel = 0.0;
+};
+
+/// Chaos accounting: what the armed FaultInjector did to this run.  The
+/// testbed consults the "profiler.sample" fault point per trace sample
+/// (drop / corrupt) and the "testbed.service" point per arrival (latency);
+/// all zero when no plan is armed.
+struct TestbedFaultCounters {
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t corrupted_samples = 0;
+  std::uint64_t latency_injections = 0;
+  std::uint64_t watchdog_revocations = 0;  ///< boost leases force-revoked
 };
 
 /// Point-in-time dynamic state captured by the trace hook (the profiler
@@ -103,6 +120,10 @@ struct TestbedWorkloadResult {
   double mean_effective_ways = 0.0;  ///< time-averaged
   double mean_occupancy = 0.0;       ///< time-averaged total shared occ
   std::uint64_t cos_switches = 0;
+  /// Teardown invariants: the boost refcount at simulation end must equal
+  /// the number of still-in-flight boosted queries (zero leaks).
+  std::uint32_t final_boost_refs = 0;
+  std::uint32_t final_inflight_boosted = 0;
 };
 
 struct TestbedResult {
@@ -111,6 +132,7 @@ struct TestbedResult {
   double sim_time = 0.0;
   std::uint64_t events_processed = 0;
   bool hit_event_cap = false;
+  TestbedFaultCounters faults;
 
   /// Mean response time of workload w.
   [[nodiscard]] double mean_rt(std::size_t w) const {
@@ -161,6 +183,7 @@ class Testbed {
     double miss_fill_rate = 0.0; ///< region-capacities/sec while boosted
     std::uint32_t boost_refs = 0;
     double scaled_base_service = 0.0;
+    std::uint32_t lease_gen = 0;  ///< invalidates stale kLease events
     // accumulators
     TestbedWorkloadResult result;
     double eff_ways_integral = 0.0;
@@ -173,7 +196,8 @@ class Testbed {
     kArrival,
     kCompletion,
     kTimeout,
-    kRefresh
+    kRefresh,
+    kLease  ///< grant-watchdog lease expiry
   };
   struct Event {
     double time;
@@ -199,6 +223,9 @@ class Testbed {
                          std::uint32_t gen);
   void handle_timeout(std::uint32_t wlid, std::uint32_t qid);
   void set_boost(std::uint32_t wlid, bool up);
+  /// Grant watchdog: drop every boost grant of the workload (refcount to
+  /// zero, outstanding queries lose their boosted flag) and revert the COS.
+  void force_revoke_boost(std::uint32_t wlid);
   [[nodiscard]] bool all_done() const;
 
   TestbedConfig config_;
@@ -209,12 +236,15 @@ class Testbed {
 
   Rng rng_;
   std::vector<TraceSample> trace_;
+  TestbedFaultCounters faults_;
   double next_sample_ = 0.0;
   double fill_kappa_ = 0.0;  ///< global fill-rate normalizer
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   std::uint32_t refresh_gen_ = 0;
+  std::uint64_t sample_ordinal_ = 0;   ///< fault key: trace samples seen
+  std::uint64_t arrival_ordinal_ = 0;  ///< fault key: arrivals admitted
 };
 
 }  // namespace stac::queueing

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::cat {
 namespace {
@@ -58,8 +59,82 @@ TEST_F(CatControllerTest, RefcountedBoostSingleSwitch) {
   EXPECT_EQ(cat_.switch_count(), 2u);
 }
 
-TEST_F(CatControllerTest, UnboostWithoutBoostThrows) {
-  EXPECT_THROW(cat_.unboost(0), ContractViolation);
+TEST_F(CatControllerTest, UnboostWithoutBoostIsCountedNoOp) {
+  // A leaked unboost (double release) must not underflow the refcount or
+  // flip masks — it is tolerated and counted for post-run auditing.
+  cat_.unboost(0);
+  EXPECT_FALSE(cat_.is_boosted(0));
+  EXPECT_EQ(hw_.llc_fill_mask(0), plan_.policy(0).dflt.mask());
+  EXPECT_EQ(cat_.switch_count(), 0u);
+  EXPECT_EQ(cat_.fault_stats().spurious_unboosts, 1u);
+  cat_.unboost(0);
+  EXPECT_EQ(cat_.fault_stats().spurious_unboosts, 2u);
+}
+
+TEST_F(CatControllerTest, AccessorsRejectOutOfRangeWorkload) {
+  EXPECT_THROW(cat_.boost(2), ContractViolation);
+  EXPECT_THROW(cat_.unboost(2), ContractViolation);
+  EXPECT_THROW(cat_.reset_boost(2), ContractViolation);
+  EXPECT_THROW((void)cat_.is_boosted(2), ContractViolation);
+  EXPECT_THROW((void)cat_.current_allocation(2), ContractViolation);
+  EXPECT_THROW((void)cat_.occupancy(2), ContractViolation);
+  EXPECT_THROW((void)cat_.degraded(2), ContractViolation);
+  EXPECT_THROW(cat_.clear_degraded(2), ContractViolation);
+}
+
+TEST_F(CatControllerTest, TransientApplyFailureIsRetried) {
+  // Every 2nd cat.apply write fails once; the retry loop absorbs it and the
+  // boost still lands.
+  FaultPlan plan;
+  plan.add({.point = "cat.apply",
+            .action = FaultAction::kThrow,
+            .every_nth = 2});
+  FaultScope scope(plan);
+  cat_.boost(0);
+  cat_.unboost(0);
+  EXPECT_FALSE(cat_.is_boosted(0));
+  EXPECT_EQ(cat_.switch_count(), 2u);
+  EXPECT_GE(cat_.fault_stats().write_failures, 1u);
+  EXPECT_GE(cat_.fault_stats().write_retries, 1u);
+  EXPECT_EQ(cat_.fault_stats().degraded_reverts, 0u);
+}
+
+TEST_F(CatControllerTest, PersistentApplyFailureDegradesWorkload) {
+  FaultPlan plan;
+  plan.add({.point = "cat.apply",
+            .action = FaultAction::kThrow,
+            .probability = 1.0});
+  FaultScope scope(plan);
+  cat_.boost(0);  // every attempt fails -> degraded, reverted to default
+  EXPECT_TRUE(cat_.degraded(0));
+  EXPECT_FALSE(cat_.is_boosted(0));
+  EXPECT_EQ(hw_.llc_fill_mask(0), plan_.policy(0).dflt.mask());
+  EXPECT_EQ(cat_.fault_stats().degraded_reverts, 1u);
+  // Degraded workloads ignore boosts...
+  cat_.boost(0);
+  EXPECT_FALSE(cat_.is_boosted(0));
+  // ...until an operator re-admits them.
+  scope.disarm();
+  cat_.clear_degraded(0);
+  cat_.boost(0);
+  EXPECT_TRUE(cat_.is_boosted(0));
+}
+
+TEST_F(CatControllerTest, WatchdogRevokesExpiredLease) {
+  CatResilienceConfig res;
+  res.max_boost_lease = 5.0;
+  CatController cat(hw_, plan_, res);
+  cat.boost(0, /*now=*/1.0);
+  cat.boost(0, /*now=*/1.5);  // refcount 2, lease stamped at first grant
+  EXPECT_EQ(cat.poll_watchdog(3.0), 0u);  // within lease
+  EXPECT_EQ(cat.poll_watchdog(7.0), 1u);  // 7.0 - 1.0 > 5.0 -> revoked
+  EXPECT_FALSE(cat.is_boosted(0));
+  EXPECT_EQ(hw_.llc_fill_mask(0), plan_.policy(0).dflt.mask());
+  EXPECT_EQ(cat.fault_stats().watchdog_revocations, 1u);
+  // The stale grants' releases become counted no-ops.
+  cat.unboost(0);
+  cat.unboost(0);
+  EXPECT_EQ(cat.fault_stats().spurious_unboosts, 2u);
 }
 
 TEST_F(CatControllerTest, ResetBoostForcesDefault) {

@@ -1,0 +1,73 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stac {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(STAC_REQUIRE(1 + 1 == 2));
+  EXPECT_NO_THROW(STAC_REQUIRE_MSG(true, "never rendered"));
+  EXPECT_NO_THROW(STAC_ENSURE(true));
+}
+
+TEST(Check, RequireThrowsContractViolation) {
+  EXPECT_THROW(STAC_REQUIRE(false), ContractViolation);
+  // ContractViolation is a logic_error — resilience code relies on this to
+  // tell programming bugs (never retried) from environment failures.
+  EXPECT_THROW(STAC_REQUIRE(false), std::logic_error);
+}
+
+TEST(Check, RequireMessageCarriesExpressionAndLocation) {
+  try {
+    STAC_REQUIRE(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, RequireMsgStreamsArbitraryValues) {
+  const std::size_t w = 7;
+  try {
+    STAC_REQUIRE_MSG(w < 2, "workload " << w << " out of range (have " << 2
+                                        << ")");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("workload 7 out of range (have 2)"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Check, EnsureReportsPostconditionKind) {
+  try {
+    STAC_ENSURE(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos) << what;
+    EXPECT_EQ(what.find("precondition"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return true;
+  };
+  STAC_REQUIRE(probe());
+  EXPECT_EQ(evaluations, 1);
+  STAC_ENSURE(probe());
+  EXPECT_EQ(evaluations, 2);
+}
+
+}  // namespace
+}  // namespace stac

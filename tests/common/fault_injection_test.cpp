@@ -1,0 +1,231 @@
+#include "common/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace stac {
+namespace {
+
+TEST(FaultInjection, UnarmedInjectorIsInert) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  const auto out = inj.evaluate("cat.apply");
+  EXPECT_EQ(out.action, FaultAction::kNone);
+  EXPECT_FALSE(static_cast<bool>(out));
+  EXPECT_NO_THROW(inj.check("cat.apply"));
+  // Unarmed hits are not even counted (fast path).
+  EXPECT_EQ(inj.stats("cat.apply").hits, 0u);
+}
+
+TEST(FaultInjection, EveryNthFiresDeterministically) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add({.point = "cat.apply",
+            .action = FaultAction::kThrow,
+            .every_nth = 3});
+  inj.arm(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i)
+    fired.push_back(static_cast<bool>(inj.evaluate("cat.apply")));
+  const std::vector<bool> expect = {false, false, true, false, false,
+                                    true,  false, false, true};
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(inj.stats("cat.apply").hits, 9u);
+  EXPECT_EQ(inj.stats("cat.apply").injected, 3u);
+}
+
+TEST(FaultInjection, ProbabilityScheduleIsSeedStable) {
+  auto schedule = [](std::uint64_t seed) {
+    FaultInjector inj;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.add({.point = "profiler.sample",
+              .action = FaultAction::kDrop,
+              .probability = 0.3});
+    inj.arm(plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i)
+      fired.push_back(static_cast<bool>(inj.evaluate("profiler.sample")));
+    return fired;
+  };
+  EXPECT_EQ(schedule(11), schedule(11));  // same seed, same schedule
+  EXPECT_NE(schedule(11), schedule(12));
+}
+
+TEST(FaultInjection, ExplicitKeyMakesDecisionOrderIndependent) {
+  // With caller-supplied keys the decision for a given key is identical no
+  // matter how many other hits interleave — the property parallel call
+  // sites rely on.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.add({.point = "model.predict",
+            .action = FaultAction::kThrow,
+            .probability = 0.5});
+  FaultInjector a;
+  a.arm(plan);
+  FaultInjector b;
+  b.arm(plan);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; k <= 64; ++k) keys.push_back(fault_key(k));
+  std::vector<bool> forward;
+  for (const auto k : keys)
+    forward.push_back(static_cast<bool>(a.evaluate("model.predict", k)));
+  std::vector<bool> reversed(keys.size());
+  for (std::size_t i = keys.size(); i-- > 0;)
+    reversed[i] = static_cast<bool>(b.evaluate("model.predict", keys[i]));
+  EXPECT_EQ(forward, reversed);
+}
+
+TEST(FaultInjection, ProbabilityRoughlyMatchesRate) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.add({.point = "io.load_profile",
+            .action = FaultAction::kThrow,
+            .probability = 0.1});
+  inj.arm(plan);
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (inj.evaluate("io.load_profile")) ++fired;
+  EXPECT_GT(fired, 120);  // ~200 expected; generous band
+  EXPECT_LT(fired, 300);
+}
+
+TEST(FaultInjection, HitWindowLimitsRule) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add({.point = "cat.apply",
+            .action = FaultAction::kThrow,
+            .every_nth = 1,
+            .from_hit = 3,
+            .until_hit = 5});
+  inj.arm(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i)
+    fired.push_back(static_cast<bool>(inj.evaluate("cat.apply")));
+  const std::vector<bool> expect = {false, false, true, true, false, false};
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(FaultInjection, CheckThrowsInjectedFaultWithMessage) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add({.point = "cat.apply",
+            .action = FaultAction::kThrow,
+            .every_nth = 1,
+            .message = "MSR write failed"});
+  inj.arm(plan);
+  try {
+    inj.check("cat.apply");
+    FAIL() << "should have thrown";
+  } catch (const InjectedFault& e) {
+    EXPECT_STREQ(e.what(), "MSR write failed");
+  }
+  // Default message names the point.
+  FaultPlan plan2;
+  plan2.add({.point = "model.fit",
+             .action = FaultAction::kThrow,
+             .every_nth = 1});
+  inj.arm(plan2);
+  try {
+    inj.check("model.fit");
+    FAIL() << "should have thrown";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("model.fit"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, InjectedFaultIsNotAContractViolation) {
+  // The whole resilience design hangs on this type split.
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add(
+      {.point = "x", .action = FaultAction::kThrow, .every_nth = 1});
+  inj.arm(plan);
+  try {
+    inj.check("x");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error&) {
+    FAIL() << "InjectedFault must not be a logic_error";
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(FaultInjection, NonThrowActionsCarryParameters) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add({.point = "testbed.service",
+            .action = FaultAction::kLatency,
+            .every_nth = 1,
+            .latency = 0.75});
+  plan.add({.point = "profiler.sample",
+            .action = FaultAction::kCorrupt,
+            .every_nth = 1,
+            .corrupt_factor = 16.0});
+  inj.arm(plan);
+  const auto lat = inj.check("testbed.service");  // check() only throws kThrow
+  EXPECT_EQ(lat.action, FaultAction::kLatency);
+  EXPECT_DOUBLE_EQ(lat.latency, 0.75);
+  const auto cor = inj.evaluate("profiler.sample");
+  EXPECT_EQ(cor.action, FaultAction::kCorrupt);
+  EXPECT_DOUBLE_EQ(cor.corrupt_factor, 16.0);
+}
+
+TEST(FaultInjection, FirstMatchingRuleWins) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add({.point = "p", .action = FaultAction::kDrop, .every_nth = 2});
+  plan.add({.point = "p", .action = FaultAction::kThrow, .every_nth = 1});
+  inj.arm(plan);
+  EXPECT_EQ(inj.evaluate("p").action, FaultAction::kThrow);  // hit 1: rule 2
+  EXPECT_EQ(inj.evaluate("p").action, FaultAction::kDrop);   // hit 2: rule 1
+}
+
+TEST(FaultInjection, StatsAndResetAccounting) {
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.add({.point = "a", .action = FaultAction::kDrop, .every_nth = 2});
+  plan.add({.point = "b", .action = FaultAction::kDrop, .every_nth = 1});
+  inj.arm(plan);
+  for (int i = 0; i < 4; ++i) (void)inj.evaluate("a");
+  (void)inj.evaluate("b");
+  EXPECT_EQ(inj.stats("a").hits, 4u);
+  EXPECT_EQ(inj.stats("a").injected, 2u);
+  EXPECT_EQ(inj.stats("b").injected, 1u);
+  EXPECT_EQ(inj.total_injected(), 3u);
+  inj.reset_counters();
+  EXPECT_EQ(inj.stats("a").hits, 0u);
+  EXPECT_EQ(inj.total_injected(), 0u);
+}
+
+TEST(FaultInjection, FaultScopeArmsAndCleansUpGlobal) {
+  ASSERT_FALSE(FaultInjector::global().armed());
+  {
+    FaultPlan plan;
+    plan.add({.point = "scope.test",
+              .action = FaultAction::kDrop,
+              .every_nth = 1});
+    FaultScope scope(plan);
+    EXPECT_TRUE(FaultInjector::global().armed());
+    EXPECT_TRUE(static_cast<bool>(FaultInjector::global().evaluate(
+        "scope.test")));
+    scope.disarm();
+    EXPECT_FALSE(FaultInjector::global().armed());
+  }
+  EXPECT_FALSE(FaultInjector::global().armed());
+  EXPECT_EQ(FaultInjector::global().stats("scope.test").hits, 0u);
+}
+
+TEST(FaultInjection, FaultKeyIsStableAndNonzero) {
+  EXPECT_EQ(fault_key(1, 2, 3), fault_key(1, 2, 3));
+  EXPECT_NE(fault_key(1, 2, 3), fault_key(3, 2, 1));
+  EXPECT_NE(fault_key(std::uint64_t{42}), 0u);
+  const double xs[] = {1.0, 2.5};
+  EXPECT_EQ(fault_key_hash(xs, sizeof(xs)), fault_key_hash(xs, sizeof(xs)));
+}
+
+}  // namespace
+}  // namespace stac

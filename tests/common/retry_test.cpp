@@ -1,0 +1,161 @@
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace stac {
+namespace {
+
+TEST(Retry, FirstAttemptSuccessCostsNothing) {
+  Rng rng(1);
+  RetryStats stats;
+  const int v = retry_with_backoff([] { return 42; }, RetryPolicy{}, rng,
+                                   &stats);
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.total_backoff, 0.0);
+}
+
+TEST(Retry, TransientFailureIsAbsorbed) {
+  Rng rng(1);
+  RetryStats stats;
+  int calls = 0;
+  retry_with_backoff(
+      [&] {
+        if (++calls < 3) throw std::runtime_error("transient");
+      },
+      RetryPolicy{.max_attempts = 5}, rng, &stats);
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.failures, 2u);
+  EXPECT_GT(stats.total_backoff, 0.0);
+}
+
+TEST(Retry, ExhaustionRethrowsLastError) {
+  Rng rng(1);
+  RetryStats stats;
+  int calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   [&] {
+                     ++calls;
+                     throw std::runtime_error("persistent #" +
+                                              std::to_string(calls));
+                   },
+                   RetryPolicy{.max_attempts = 3}, rng, &stats),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_EQ(stats.failures, 3u);
+  EXPECT_EQ(stats.last_error, "persistent #3");
+}
+
+TEST(Retry, ContractViolationIsNeverRetried) {
+  Rng rng(1);
+  int calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   [&]() -> int {
+                     ++calls;
+                     STAC_REQUIRE_MSG(false, "bug, not weather");
+                     return 0;
+                   },
+                   RetryPolicy{.max_attempts = 5}, rng),
+               ContractViolation);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, BackoffGrowsExponentiallyAndCaps) {
+  const RetryPolicy policy{.initial_backoff = 1.0,
+                           .backoff_multiplier = 2.0,
+                           .max_backoff = 4.0,
+                           .jitter_fraction = 0.0};
+  Rng rng(1);
+  EXPECT_EQ(backoff_before_attempt(policy, 1, rng), 0.0);
+  EXPECT_DOUBLE_EQ(backoff_before_attempt(policy, 2, rng), 1.0);
+  EXPECT_DOUBLE_EQ(backoff_before_attempt(policy, 3, rng), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_before_attempt(policy, 4, rng), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_before_attempt(policy, 5, rng), 4.0);  // capped
+}
+
+TEST(Retry, JitterIsDeterministicGivenSeed) {
+  const RetryPolicy policy{.max_attempts = 6,
+                           .initial_backoff = 0.5,
+                           .jitter_fraction = 0.25};
+  auto run = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    RetryStats stats;
+    EXPECT_THROW(retry_with_backoff(
+                     [] { throw std::runtime_error("always"); }, policy, rng,
+                     &stats),
+                 std::runtime_error);
+    return stats.total_backoff;
+  };
+  const double a = run(7);
+  const double b = run(7);
+  const double c = run(8);
+  EXPECT_DOUBLE_EQ(a, b);  // same seed -> identical schedule
+  EXPECT_NE(a, c);         // different seed -> different jitter
+}
+
+TEST(Retry, JitterStaysWithinFraction) {
+  const RetryPolicy policy{.initial_backoff = 1.0,
+                           .backoff_multiplier = 1.0,
+                           .jitter_fraction = 0.1};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double wait = backoff_before_attempt(policy, 2, rng);
+    EXPECT_GE(wait, 0.9);
+    EXPECT_LT(wait, 1.1);
+  }
+}
+
+TEST(Retry, DeadlineBudgetStopsRetrying) {
+  // Waits would be 1 + 2 + 4 + ...; a deadline of 2.5 admits only the first
+  // backoff, so exactly two attempts run.
+  const RetryPolicy policy{.max_attempts = 10,
+                           .initial_backoff = 1.0,
+                           .backoff_multiplier = 2.0,
+                           .jitter_fraction = 0.0,
+                           .deadline = 2.5};
+  Rng rng(1);
+  RetryStats stats;
+  EXPECT_THROW(
+      retry_with_backoff([] { throw std::runtime_error("always"); }, policy,
+                         rng, &stats),
+      std::runtime_error);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_TRUE(stats.deadline_exhausted);
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_DOUBLE_EQ(stats.total_backoff, 1.0);  // the rejected wait uncharged
+}
+
+TEST(Retry, VoidAndValueReturnsBothWork) {
+  Rng rng(1);
+  bool ran = false;
+  retry_with_backoff([&] { ran = true; }, RetryPolicy{}, rng);
+  EXPECT_TRUE(ran);
+  const std::string s = retry_with_backoff(
+      [] { return std::string("ok"); }, RetryPolicy{}, rng);
+  EXPECT_EQ(s, "ok");
+}
+
+TEST(Retry, ZeroJitterScheduleIsExact) {
+  const RetryPolicy policy{.max_attempts = 4,
+                           .initial_backoff = 1.0,
+                           .backoff_multiplier = 3.0,
+                           .max_backoff = 100.0,
+                           .jitter_fraction = 0.0};
+  Rng rng(1);
+  RetryStats stats;
+  EXPECT_THROW(
+      retry_with_backoff([] { throw std::runtime_error("always"); }, policy,
+                         rng, &stats),
+      std::runtime_error);
+  EXPECT_DOUBLE_EQ(stats.total_backoff, 1.0 + 3.0 + 9.0);
+}
+
+}  // namespace
+}  // namespace stac

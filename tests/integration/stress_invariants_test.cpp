@@ -1,0 +1,159 @@
+// Long-run robustness: drive the G/G/k simulator and the CatController for
+// 50k completions / cycles under an armed fault plan and check that the
+// control-plane invariants hold exactly — no leaked boost refcounts, no
+// negative sojourns, switch counts that match an independently tracked
+// shadow accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cat/cat_controller.hpp"
+#include "common/fault_injection.hpp"
+#include "queueing/ggk_simulator.hpp"
+
+namespace stac {
+namespace {
+
+TEST(StressInvariants, GGk50kCompletionsUnderChaos) {
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.add({.point = "ggk.service",
+            .action = FaultAction::kLatency,
+            .probability = 0.03,
+            .latency = 2.0});
+  FaultScope scope(plan);
+
+  queueing::GGkConfig cfg;
+  cfg.utilization = 0.8;
+  cfg.servers = 2;
+  cfg.service_cv = 0.5;
+  cfg.timeout_rel = 0.8;
+  cfg.effective_allocation = 0.7;
+  cfg.allocation_ratio = 3.0;
+  cfg.queries = 50'200;
+  cfg.warmup = 200;
+  cfg.seed = 11;
+  const auto r = queueing::simulate_ggk(cfg);
+
+  EXPECT_EQ(r.completed, 50'000u);
+  EXPECT_EQ(r.response_times.count(), r.completed);
+  EXPECT_EQ(r.negative_sojourns, 0u);
+  EXPECT_GT(r.boosted_queries, 0u);
+  EXPECT_GT(r.latency_injections, 500u);  // ~3% of 50k arrivals
+  // Refcount teardown: whatever boost references remain are exactly the
+  // still-outstanding overdue jobs — nothing leaked, nothing double-freed.
+  EXPECT_EQ(r.residual_boost_refs, r.residual_overdue_jobs);
+  // Switch accounting: up- and down-transitions alternate, so the total is
+  // odd exactly when the class ends the run boosted.
+  EXPECT_EQ(r.cos_switches % 2 == 1, r.residual_boost_refs > 0);
+
+  // The same seeds reproduce the identical fault schedule and results.
+  const auto r2 = queueing::simulate_ggk(cfg);
+  EXPECT_EQ(r2.latency_injections, r.latency_injections);
+  EXPECT_DOUBLE_EQ(r2.response_times.mean(), r.response_times.mean());
+  EXPECT_EQ(r2.cos_switches, r.cos_switches);
+}
+
+TEST(StressInvariants, CatController50kChaoticCyclesMatchShadowAccounting) {
+  cachesim::HierarchyConfig hw_cfg;
+  hw_cfg.l1d = {8 * 1024, 8, 64, 4};
+  hw_cfg.l1i = {8 * 1024, 8, 64, 4};
+  hw_cfg.l2 = {64 * 1024, 16, 64, 12};
+  hw_cfg.llc = {512 * 1024, 8, 64, 40};
+  cachesim::CacheHierarchy hw(hw_cfg, 2);
+  const cat::AllocationPlan plan = cat::make_pair_plan(8, 1, 2);
+
+  FaultPlan faults;
+  faults.seed = 7;
+  faults.add({.point = "cat.apply",
+              .action = FaultAction::kThrow,
+              .probability = 0.15});
+  FaultScope scope(faults);
+
+  cat::CatResilienceConfig res;
+  res.max_boost_lease = 1.0;
+  cat::CatController cat(hw, plan, res);
+
+  // Shadow state tracked independently of the controller.
+  std::vector<std::uint32_t> refs(2, 0);
+  std::uint64_t expected_switches = 0;
+  std::uint64_t expected_spurious = 0;
+  Rng rng(99);
+
+  for (int i = 0; i < 50'000; ++i) {
+    const double now = 0.01 * i;
+    const std::size_t w = rng.uniform_index(2);
+    // Balanced grant/release mix (refcounts hover near zero, so COS
+    // transitions — and thus chaotic applies — stay frequent) plus
+    // periodic watchdog sweeps.
+    switch (rng.uniform_index(8)) {
+      case 0:
+      case 1:
+      case 2: {  // grant
+        const bool was_degraded = cat.degraded(w);
+        if (!was_degraded && refs[w] == 0) ++expected_switches;
+        cat.boost(w, now);
+        if (!was_degraded) {
+          if (cat.degraded(w))
+            refs[w] = 0;  // the grant's apply degraded the workload
+          else
+            ++refs[w];
+        }
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {  // release
+        if (refs[w] == 0) {
+          ++expected_spurious;
+          cat.unboost(w);
+        } else {
+          if (refs[w] == 1) ++expected_switches;
+          cat.unboost(w);
+          --refs[w];
+        }
+        break;
+      }
+      default: {  // watchdog sweep
+        const std::size_t revoked = cat.poll_watchdog(now);
+        expected_switches += revoked;
+        for (std::size_t x = 0; x < 2; ++x)
+          if (refs[x] > 0 && !cat.is_boosted(x)) refs[x] = 0;
+        break;
+      }
+    }
+    // Occasionally recover a degraded workload (operator action).
+    if (i % 977 == 0)
+      for (std::size_t x = 0; x < 2; ++x)
+        if (cat.degraded(x)) cat.clear_degraded(x);
+  }
+
+  // The chaos actually bit: failures happened and at least one persistent
+  // failure degraded a workload.
+  EXPECT_GT(cat.fault_stats().write_failures, 100u);
+  EXPECT_GT(cat.fault_stats().degraded_reverts, 0u);
+  EXPECT_GT(cat.fault_stats().watchdog_revocations, 0u);
+
+  // Exact accounting after 50k chaotic operations.
+  EXPECT_EQ(cat.switch_count(), expected_switches);
+  EXPECT_EQ(cat.fault_stats().spurious_unboosts, expected_spurious);
+  for (std::size_t w = 0; w < 2; ++w) {
+    EXPECT_EQ(cat.is_boosted(w), refs[w] > 0) << "workload " << w;
+    // The programmed mask always matches the controller's view.
+    EXPECT_EQ(hw.llc_fill_mask(static_cast<cachesim::ClassId>(w)),
+              cat.current_allocation(w).mask())
+        << "workload " << w;
+  }
+
+  // Teardown: releasing every shadow reference leaves nothing boosted.
+  for (std::size_t w = 0; w < 2; ++w) {
+    while (refs[w] > 0) {
+      cat.unboost(w);
+      --refs[w];
+    }
+    EXPECT_FALSE(cat.is_boosted(w));
+  }
+}
+
+}  // namespace
+}  // namespace stac

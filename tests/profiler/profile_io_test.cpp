@@ -4,8 +4,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::profiler {
 namespace {
@@ -102,6 +106,147 @@ TEST(ProfileIo, RejectsWrongVersion) {
     out << "stac-profiles v999 0\n";
   }
   EXPECT_THROW((void)load_profiles(kPath), ContractViolation);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, SavedFilesCarryPerRecordChecksums) {
+  save_profiles(kPath, {sample_profile(1), sample_profile(2)});
+  std::ifstream in(kPath);
+  std::string line;
+  std::size_t checksums = 0;
+  while (std::getline(in, line))
+    if (line.rfind("checksum ", 0) == 0) ++checksums;
+  EXPECT_EQ(checksums, 2u);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, ResilientLoadQuarantinesCorruptRecord) {
+  save_profiles(kPath, {sample_profile(1), sample_profile(2),
+                        sample_profile(3)});
+  // Damage the middle record's payload: checksum mismatch, structure kept.
+  // v2 layout: header line, then 5 lines per record (meta, statics,
+  // dynamics, image, checksum) — line 6 is record 1's meta line.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(kPath);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 1u + 3 * 5);
+  lines[6][lines[6].size() - 1] ^= 1;  // flip a payload bit
+  {
+    std::ofstream out(kPath);
+    for (const auto& line : lines) out << line << '\n';
+  }
+  const ProfileLoadReport report = load_profiles_resilient(kPath);
+  EXPECT_FALSE(report.file_quarantined);
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.profiles.size(), 2u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].index, 1u);
+  EXPECT_NE(report.quarantined[0].reason.find("checksum"),
+            std::string::npos);
+  // Records around the damage survive intact (alignment kept).
+  EXPECT_EQ(report.profiles[0].condition.seed, 1u);
+  EXPECT_EQ(report.profiles[1].condition.seed, 3u);
+  // The strict loader refuses the same file loudly.
+  EXPECT_THROW((void)load_profiles(kPath), ContractViolation);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, ResilientLoadQuarantinesTruncatedTail) {
+  save_profiles(kPath, {sample_profile(1), sample_profile(2)});
+  std::string text;
+  {
+    std::ifstream in(kPath);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  // Chop the file in the middle of the second record.
+  const std::size_t first_cs = text.find("checksum ");
+  ASSERT_NE(first_cs, std::string::npos);
+  const std::size_t cut = text.find('\n', first_cs);
+  {
+    std::ofstream out(kPath);
+    out << text.substr(0, cut + 30);
+  }
+  const ProfileLoadReport report = load_profiles_resilient(kPath);
+  EXPECT_FALSE(report.file_quarantined);
+  ASSERT_EQ(report.profiles.size(), 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].index, 1u);
+  EXPECT_NE(report.quarantined[0].reason.find("truncated"),
+            std::string::npos);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, ResilientLoadAcceptsV1FilesWithoutChecksums) {
+  save_profiles(kPath, {sample_profile(4), sample_profile(5)});
+  // Rewrite as a v1 file: old header, no checksum trailers.
+  std::string text;
+  {
+    std::ifstream in(kPath);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  std::istringstream lines(text);
+  std::ostringstream v1;
+  std::string line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (first) {
+      v1 << "stac-profiles v1 2\n";
+      first = false;
+      continue;
+    }
+    if (line.rfind("checksum ", 0) == 0) continue;
+    v1 << line << '\n';
+  }
+  {
+    std::ofstream out(kPath);
+    out << v1.str();
+  }
+  const ProfileLoadReport report = load_profiles_resilient(kPath);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.version, 1);
+  ASSERT_EQ(report.profiles.size(), 2u);
+  EXPECT_EQ(report.profiles[0].condition.seed, 4u);
+  // v1 files also still satisfy the strict loader.
+  EXPECT_EQ(load_profiles(kPath).size(), 2u);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, ResilientLoadQuarantinesWholeFileOnMissingOrBadHeader) {
+  auto report = load_profiles_resilient("/tmp/stac_definitely_missing.txt");
+  EXPECT_TRUE(report.file_quarantined);
+  EXPECT_TRUE(report.profiles.empty());
+  {
+    std::ofstream out(kPath);
+    out << "not-a-profile v1 0\n";
+  }
+  report = load_profiles_resilient(kPath);
+  EXPECT_TRUE(report.file_quarantined);
+  std::remove(kPath);
+}
+
+TEST(ProfileIo, InjectedIoFaultQuarantinesFile) {
+  save_profiles(kPath, {sample_profile(9)});
+  FaultPlan plan;
+  plan.add({.point = "io.load_profile",
+            .action = FaultAction::kThrow,
+            .every_nth = 1,
+            .message = "disk unreadable"});
+  {
+    FaultScope scope(plan);
+    const ProfileLoadReport report = load_profiles_resilient(kPath);
+    EXPECT_TRUE(report.file_quarantined);
+    EXPECT_EQ(report.file_reason, "disk unreadable");
+    EXPECT_THROW((void)load_profiles(kPath), ContractViolation);
+  }
+  // Chaos disarmed: the same file loads fine.
+  EXPECT_EQ(load_profiles(kPath).size(), 1u);
   std::remove(kPath);
 }
 

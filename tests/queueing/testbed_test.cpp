@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "wl/benchmark_suite.hpp"
 
 namespace stac::queueing {
@@ -135,6 +136,95 @@ TEST_F(TestbedTest, QueueDelayPlusServiceEqualsResponse) {
   const double lhs = r.per_workload[0].queue_delays.mean() +
                      r.per_workload[0].service_durations.mean();
   EXPECT_NEAR(lhs, r.mean_rt(0), 1e-6 * r.mean_rt(0));
+}
+
+TEST_F(TestbedTest, FaultCountersZeroWithoutChaos) {
+  TestbedConfig cfg = config(1.0, 1.0);
+  cfg.sample_interval = 0.5;
+  const TestbedResult r = Testbed(cfg).run();
+  EXPECT_EQ(r.faults.dropped_samples, 0u);
+  EXPECT_EQ(r.faults.corrupted_samples, 0u);
+  EXPECT_EQ(r.faults.latency_injections, 0u);
+  EXPECT_EQ(r.faults.watchdog_revocations, 0u);
+}
+
+TEST_F(TestbedTest, ChaosDropsAndCorruptsTraceSamples) {
+  TestbedConfig cfg = config(1.0, 1.0);
+  cfg.sample_interval = 0.5;
+  const std::size_t clean_samples = Testbed(cfg).run().trace.size();
+
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.add({.point = "profiler.sample",
+            .action = FaultAction::kDrop,
+            .probability = 0.15});
+  plan.add({.point = "profiler.sample",
+            .action = FaultAction::kCorrupt,
+            .probability = 0.10,
+            .corrupt_factor = 8.0});
+  FaultScope scope(plan);
+  const TestbedResult r = Testbed(cfg).run();
+  EXPECT_GT(r.faults.dropped_samples, 0u);
+  EXPECT_GT(r.faults.corrupted_samples, 0u);
+  EXPECT_EQ(r.trace.size() + r.faults.dropped_samples, clean_samples);
+
+  // Same seeds -> identical fault schedule and counters.
+  const TestbedResult r2 = Testbed(cfg).run();
+  EXPECT_EQ(r2.faults.dropped_samples, r.faults.dropped_samples);
+  EXPECT_EQ(r2.faults.corrupted_samples, r.faults.corrupted_samples);
+  EXPECT_EQ(r2.trace.size(), r.trace.size());
+}
+
+TEST_F(TestbedTest, ServiceLatencyInjectionSlowsQueries) {
+  const double clean_rt = Testbed(config(6.0, 6.0)).run().mean_rt(0);
+
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.add({.point = "testbed.service",
+            .action = FaultAction::kLatency,
+            .probability = 0.2,
+            .latency = 1.0});
+  FaultScope scope(plan);
+  const TestbedResult r = Testbed(config(6.0, 6.0)).run();
+  EXPECT_GT(r.faults.latency_injections, 0u);
+  EXPECT_GT(r.mean_rt(0), clean_rt);
+}
+
+TEST_F(TestbedTest, LeaseWatchdogRevokesLongBoosts) {
+  // Aggressive boosting with a short lease: the watchdog must fire and the
+  // run must still satisfy the teardown refcount invariant.
+  TestbedConfig cfg = config(0.3, 0.3, 0.9);
+  const double clean_boost_frac =
+      Testbed(cfg).run().per_workload[0].boost_time_fraction;
+  cfg.max_boost_lease_rel = 1.0;
+  const TestbedResult r = Testbed(cfg).run();
+  EXPECT_GT(r.faults.watchdog_revocations, 0u);
+  // Revoked leases cap how long the class can stay boosted.
+  EXPECT_LT(r.per_workload[0].boost_time_fraction, clean_boost_frac);
+  for (const auto& w : r.per_workload)
+    EXPECT_EQ(w.final_boost_refs, w.final_inflight_boosted);
+}
+
+TEST_F(TestbedTest, TeardownRefcountInvariantUnderCombinedChaos) {
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.add({.point = "testbed.service",
+            .action = FaultAction::kLatency,
+            .probability = 0.1,
+            .latency = 2.0});
+  plan.add({.point = "profiler.sample",
+            .action = FaultAction::kDrop,
+            .probability = 0.1});
+  FaultScope scope(plan);
+  TestbedConfig cfg = config(0.5, 0.5, 0.9);
+  cfg.sample_interval = 0.5;
+  cfg.max_boost_lease_rel = 2.0;
+  const TestbedResult r = Testbed(cfg).run();
+  ASSERT_EQ(r.per_workload.size(), 2u);
+  for (const auto& w : r.per_workload) {
+    EXPECT_EQ(w.final_boost_refs, w.final_inflight_boosted);
+    EXPECT_EQ(w.completed, 1200u);
+  }
 }
 
 TEST(TestbedChain, ThreeWorkloadChainCollocation) {
