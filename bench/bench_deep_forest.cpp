@@ -1,0 +1,245 @@
+// Training-stack performance: the PR-2 hot-path overhaul measured end to
+// end.  Four stages, each timed against its serial/legacy counterpart and
+// recorded in the machine-readable BENCH_PR2.json:
+//
+//   tree_fit      presorted split search vs the per-node-sort baseline
+//                 (single thread; target >= 1.5x on exhaustive splits)
+//   cascade_fit   level-parallel deep-forest training vs a serial fit
+//                 (target >= 3x with >= 4 cores; recorded with the core
+//                 count so small machines are interpretable)
+//   policy_sweep  grid-parallel G/G/k policy exploration vs serial
+//   mgs_scan      multi-grain scanning fit + transform wall time
+//
+// Every parallel/serial and presort/legacy pair is also cross-checked for
+// bit-identical predictions — speed that changes the model is a bug.
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "core/policy_explorer.hpp"
+#include "ml/cascade.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/mgs.hpp"
+
+using namespace stac;
+using namespace stac::bench;
+
+namespace {
+
+ml::Dataset synthetic_dataset(std::size_t n, std::size_t features,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, features);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto row = x.row(r);
+    for (auto& v : row) v = rng.uniform();
+    y[r] = row[0] * row[1] + 0.5 * std::abs(row[2] - row[3]) +
+           rng.normal(0.0, 0.05);
+  }
+  return ml::Dataset(std::move(x), std::move(y));
+}
+
+/// Best-of-`reps` wall time for one call.
+template <typename Fn>
+double timed_best(std::size_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+bool same_predictions(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;  // bitwise, not approximate
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner(std::cout, "Deep-forest training & policy-sweep performance");
+  const std::size_t cores = ThreadPool::global().size();
+  std::cout << "thread pool: " << cores << " workers\n";
+
+  JsonObject record;
+  JsonObject meta;
+  meta.set("hardware_threads", cores)
+      .set("seed", static_cast<std::size_t>(args.seed))
+      .set("fast", args.fast);
+  record.set("meta", meta);
+  Table table({"Stage", "baseline", "optimized", "speedup", "identical"});
+
+  // ---- Stage 1: single-tree fit, presorted vs per-node sort ------------
+  {
+    const std::size_t n = args.fast ? 1200 : 4000;
+    const ml::Dataset data = synthetic_dataset(n, 24, args.seed);
+    const ml::Dataset probe = synthetic_dataset(256, 24, args.seed + 1);
+    ml::TreeConfig tc;
+    tc.split_mode = ml::SplitMode::kAllFeatures;
+    tc.seed = args.seed;
+
+    tc.presort = false;
+    ml::DecisionTree legacy(tc);
+    const double legacy_s =
+        timed_best(args.fast ? 1 : 3, [&] { legacy.fit(data); });
+    tc.presort = true;
+    ml::DecisionTree presorted(tc);
+    const double presorted_s =
+        timed_best(args.fast ? 1 : 3, [&] { presorted.fit(data); });
+
+    const bool identical = same_predictions(legacy.predict(probe.features()),
+                                            presorted.predict(probe.features()));
+    const double speedup = legacy_s / presorted_s;
+    JsonObject s;
+    s.set("rows", n)
+        .set("features", std::size_t{24})
+        .set("legacy_s", legacy_s)
+        .set("presorted_s", presorted_s)
+        .set("speedup", speedup)
+        .set("identical_predictions", identical);
+    record.set("tree_fit", s);
+    table.add_row({"tree fit (presort)", Table::num(legacy_s, 3) + "s",
+                   Table::num(presorted_s, 3) + "s", Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+  }
+
+  // ---- Stage 2: cascade fit, level-parallel vs serial ------------------
+  {
+    const std::size_t n = args.fast ? 250 : 600;
+    const ml::Dataset data = synthetic_dataset(n, 6, args.seed + 2);
+    ml::CascadeConfig cc;
+    cc.levels = 2;
+    cc.forests_per_level = 4;
+    cc.estimators = args.fast ? 15 : 30;
+    cc.final_forests = 2;
+    cc.min_samples_leaf = 2;
+    cc.seed = args.seed + 3;
+
+    cc.parallel = false;
+    ml::CascadeForest serial(cc);
+    Stopwatch sw_serial;
+    serial.fit(data);
+    const double serial_s = sw_serial.seconds();
+
+    cc.parallel = true;
+    ml::CascadeForest parallel(cc);
+    Stopwatch sw_parallel;
+    parallel.fit(data);
+    const double parallel_s = sw_parallel.seconds();
+
+    std::vector<double> ps, ss;
+    for (std::size_t r = 0; r < data.size(); ++r) {
+      ss.push_back(serial.predict(data.row(r)));
+      ps.push_back(parallel.predict(data.row(r)));
+    }
+    const bool identical = same_predictions(ss, ps);
+    const double speedup = serial_s / parallel_s;
+    JsonObject s;
+    s.set("rows", n)
+        .set("serial_s", serial_s)
+        .set("parallel_s", parallel_s)
+        .set("speedup", speedup)
+        .set("bit_identical", identical);
+    record.set("cascade_fit", s);
+    table.add_row({"cascade fit (parallel)", Table::num(serial_s, 3) + "s",
+                   Table::num(parallel_s, 3) + "s", Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+  }
+
+  // ---- Stage 3: policy sweep, grid-parallel vs serial ------------------
+  {
+    profiler::ProfilerConfig pc;
+    pc.target_completions = args.fast ? 250 : 400;
+    pc.warmup_completions = 40;
+    profiler::Profiler profiler(pc);
+    core::RtPredictorConfig rc;
+    rc.analytic_ea = true;  // no trained model needed: isolates sweep cost
+    rc.sim_queries = args.fast ? 2000 : 4000;
+    rc.seed = args.seed + 4;
+    core::RtPredictor predictor(profiler, nullptr, nullptr, rc);
+    profiler::RuntimeCondition cond;
+    cond.primary = wl::Benchmark::kKmeans;
+    cond.collocated = wl::Benchmark::kRedis;
+    cond.util_primary = 0.9;
+    cond.util_collocated = 0.9;
+    cond.seed = args.seed + 5;
+
+    core::ExplorerConfig ec;  // the paper's 5x5 = 25-setting grid
+    ec.parallel = false;
+    Stopwatch sw_serial;
+    const core::PolicyExploration serial =
+        core::explore_policies(predictor, cond, ec);
+    const double serial_s = sw_serial.seconds();
+
+    ec.parallel = true;
+    Stopwatch sw_parallel;
+    const core::PolicyExploration parallel =
+        core::explore_policies(predictor, cond, ec);
+    const double parallel_s = sw_parallel.seconds();
+
+    const bool identical =
+        serial.selection.timeout_primary == parallel.selection.timeout_primary &&
+        serial.selection.timeout_collocated ==
+            parallel.selection.timeout_collocated &&
+        same_predictions(
+            {serial.predicted_primary.data().begin(),
+             serial.predicted_primary.data().end()},
+            {parallel.predicted_primary.data().begin(),
+             parallel.predicted_primary.data().end()});
+    const double speedup = serial_s / parallel_s;
+    JsonObject s;
+    s.set("grid_cells", ec.grid.size() * ec.grid.size())
+        .set("serial_s", serial_s)
+        .set("parallel_s", parallel_s)
+        .set("speedup", speedup)
+        .set("same_selection", identical);
+    record.set("policy_sweep", s);
+    table.add_row({"policy sweep (25 cells)", Table::num(serial_s, 3) + "s",
+                   Table::num(parallel_s, 3) + "s", Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+  }
+
+  // ---- Stage 4: multi-grain scan wall time -----------------------------
+  {
+    const std::size_t images_n = args.fast ? 10 : 24;
+    Rng rng(args.seed + 6);
+    std::vector<Matrix> images(images_n, Matrix(30, 20));
+    std::vector<double> targets(images_n);
+    for (std::size_t i = 0; i < images_n; ++i) {
+      for (auto& v : images[i].data()) v = rng.uniform();
+      targets[i] = rng.uniform();
+    }
+    ml::MgsConfig mc;
+    mc.window_sizes = {5, 10};
+    mc.estimators = 10;
+    mc.seed = args.seed + 7;
+    ml::MultiGrainScanner scanner(mc);
+    Stopwatch sw_fit;
+    scanner.fit(images, targets);
+    const double fit_s = sw_fit.seconds();
+    Stopwatch sw_transform;
+    for (const auto& im : images) (void)scanner.transform(im);
+    const double transform_s = sw_transform.seconds();
+    JsonObject s;
+    s.set("images", images_n)
+        .set("fit_s", fit_s)
+        .set("transform_s", transform_s);
+    record.set("mgs_scan", s);
+    table.add_row({"MGS fit+transform", Table::num(fit_s, 3) + "s",
+                   Table::num(transform_s, 3) + "s", "-", "-"});
+  }
+
+  table.print(std::cout);
+  table.write_csv(csv_path(argv[0]));
+  write_bench_section(args.json_path, "bench_deep_forest", record);
+  return 0;
+}

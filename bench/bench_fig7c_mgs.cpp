@@ -48,9 +48,12 @@ int main(int argc, char** argv) {
   const Pairing pairing{wl::Benchmark::kKmeans, wl::Benchmark::kRedis};
   Profiler profiler(bench_profiler_config());
 
-  Table table({"MGS setting", "Median APE", "p95 APE"});
+  Table table({"MGS setting", "Median APE", "p95 APE", "train wall"});
+  JsonObject record;
+  Stopwatch total;
   for (std::size_t v = 0; v < variants.size(); ++v) {
     const Variant& var = variants[v];
+    Stopwatch variant_sw;
     // Re-profile when the sampling rate changes (it alters the trace).
     profiler::SamplerConfig sc;
     sc.seed = args.seed;  // same conditions across variants
@@ -77,7 +80,9 @@ int main(int argc, char** argv) {
         std::max<std::size_t>(3, var.estimators / 2);
     cfg.shuffle_counter_rows = var.shuffled_rows;
     EaModel model(cfg);
+    Stopwatch fit_sw;
     model.fit(train);
+    const double fit_s = fit_sw.seconds();
 
     ProfileLibrary library;
     library.add_all(std::move(train));
@@ -91,10 +96,19 @@ int main(int argc, char** argv) {
       apes.push_back(absolute_percent_error(predicted, p.mean_rt));
     }
     const ApeSummary s = summarize_apes(apes);
-    table.add_row({var.name, Table::pct(s.median), Table::pct(s.p95)});
+    table.add_row({var.name, Table::pct(s.median), Table::pct(s.p95),
+                   Table::num(fit_s, 2) + "s"});
+    JsonObject vj;
+    vj.set("median_ape", s.median)
+        .set("p95_ape", s.p95)
+        .set("model_fit_s", fit_s)
+        .set("variant_s", variant_sw.seconds());
+    record.set("variant_" + std::to_string(v), vj);
     std::cout << "variant " << v + 1 << "/" << variants.size() << " done\n";
   }
+  record.set("total_s", total.seconds());
   table.print(std::cout);
   table.write_csv(csv_path(argv[0]));
+  write_bench_section(args.json_path, "bench_fig7c_mgs", record);
   return 0;
 }

@@ -6,15 +6,22 @@
 //   --budget N   conditions profiled per collocation direction
 //   --seed S     master seed
 //   --fast       shrink everything (CI smoke mode)
+//   --json PATH  machine-readable record file (default BENCH_PR2.json)
 // and prints the regenerated table/figure series.
 #pragma once
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -23,10 +30,19 @@
 
 namespace stac::bench {
 
+/// Default target for the machine-readable bench record: overridable via
+/// the STAC_BENCH_JSON environment variable, else BENCH_PR2.json in the
+/// working directory (the perf-trajectory file tracked at the repo root).
+inline std::string default_json_path() {
+  if (const char* env = std::getenv("STAC_BENCH_JSON")) return env;
+  return "BENCH_PR2.json";
+}
+
 struct BenchArgs {
   std::size_t budget = 24;
   std::uint64_t seed = 2022;  // ICPP '22
   bool fast = false;
+  std::string json_path = default_json_path();
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -38,15 +54,222 @@ struct BenchArgs {
         args.budget = static_cast<std::size_t>(std::atoll(argv[++i]));
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_path = argv[++i];
       } else {
         std::cerr << "usage: " << argv[0]
-                  << " [--budget N] [--seed S] [--fast]\n";
+                  << " [--budget N] [--seed S] [--fast] [--json PATH]\n";
         std::exit(2);
       }
     }
     return args;
   }
 };
+
+/// Monotonic stopwatch for stage wall times.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Ordered JSON object builder for the machine-readable bench records.
+/// Values are numbers, booleans, strings or nested objects; set() on an
+/// existing key replaces it in place.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    return set_raw(key, buf);
+  }
+  JsonObject& set(const std::string& key, int value) {
+    return set_raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, std::size_t value) {
+    return set_raw(key, std::to_string(value));
+  }
+  JsonObject& set(const std::string& key, bool value) {
+    return set_raw(key, value ? "true" : "false");
+  }
+  JsonObject& set(const std::string& key, const std::string& value) {
+    return set_raw(key, quoted(value));
+  }
+  JsonObject& set(const std::string& key, const char* value) {
+    return set_raw(key, quoted(value));
+  }
+  JsonObject& set(const std::string& key, const JsonObject& nested) {
+    return set_raw(key, nested.str());
+  }
+
+  /// Insert `value` (already-encoded JSON) under `key`.
+  JsonObject& set_raw(const std::string& key, std::string value) {
+    for (auto& [k, v] : members_) {
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::ostringstream out;
+    out << '{';
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i) out << ", ";
+      out << quoted(members_[i].first) << ": " << members_[i].second;
+    }
+    out << '}';
+    return out.str();
+  }
+
+  [[nodiscard]] static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+namespace detail {
+
+/// Split a top-level JSON object (the shape write_bench_section emits) into
+/// (key, raw value) pairs.  Returns false on anything unexpected, in which
+/// case the caller starts the record afresh.
+inline bool split_top_level_json(
+    const std::string& text,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t i = text.find('{');
+  if (i == std::string::npos) return false;
+  ++i;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (i < text.size()) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    std::string key;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        key += text[i + 1];  // good enough for the keys we write
+        i += 2;
+      } else {
+        key += text[i++];
+      }
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws();
+    // Scan one value: a string, or anything balanced up to the next
+    // top-level ',' or '}'.
+    const std::size_t value_start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\')
+          ++i;
+        else if (c == '"')
+          in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      else if (c == '{' || c == '[') ++depth;
+      else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // object close
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    if (i >= text.size()) return false;
+    std::string value = text.substr(value_start, i - value_start);
+    while (!value.empty() &&
+           std::isspace(static_cast<unsigned char>(value.back())))
+      value.pop_back();
+    out.emplace_back(std::move(key), std::move(value));
+    if (text[i] == '}') return true;
+    ++i;  // consume ','
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Merge `section` into the top-level object of the record at `path`
+/// (created if absent, replaced if already present) and rewrite the file.
+/// Each bench binary owns one section, so independent runs compose into a
+/// single perf-trajectory record.
+inline void write_bench_section(const std::string& path,
+                                const std::string& section,
+                                const JsonObject& value) {
+  std::vector<std::pair<std::string, std::string>> members;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::vector<std::pair<std::string, std::string>> parsed;
+      if (detail::split_top_level_json(buf.str(), parsed))
+        members = std::move(parsed);
+    }
+  }
+  bool replaced = false;
+  for (auto& [k, v] : members) {
+    if (k == section) {
+      v = value.str();
+      replaced = true;
+    }
+  }
+  if (!replaced) members.emplace_back(section, value.str());
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    out << "  " << JsonObject::quoted(members[m].first) << ": "
+        << members[m].second;
+    out << (m + 1 < members.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  std::cout << "json record: " << path << " [" << section << "]\n";
+}
 
 /// Profiler configuration tuned for bench runtime (a few hundred testbed
 /// completions per condition is enough for stable means).

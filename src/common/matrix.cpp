@@ -44,6 +44,10 @@ void Matrix::append_row(std::span<const double> values) {
   ++rows_;
 }
 
+void Matrix::reserve_rows(std::size_t rows) {
+  data_.reserve(rows * cols_);
+}
+
 Matrix Matrix::multiply(const Matrix& other) const {
   STAC_REQUIRE(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);

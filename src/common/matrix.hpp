@@ -35,6 +35,10 @@ class Matrix {
   /// Append a row (must match cols(), or set cols on first append).
   void append_row(std::span<const double> values);
 
+  /// Reserve storage for `rows` total rows (needs cols() already known).
+  /// Lets append_row-heavy builders (the MGS patch scan) allocate once.
+  void reserve_rows(std::size_t rows);
+
   /// Matrix product this * other.
   [[nodiscard]] Matrix multiply(const Matrix& other) const;
   /// this^T * this (Gram matrix), the hot path of ridge regression.

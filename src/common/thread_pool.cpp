@@ -1,10 +1,17 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/check.hpp"
 
 namespace stac {
+
+namespace {
+// The pool whose worker_loop the current thread is running (null on
+// non-worker threads).  Lets parallel_for detect self-nesting.
+thread_local ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -42,9 +49,19 @@ void ThreadPool::wait_idle() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const { return tls_worker_pool == this; }
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  if (on_worker_thread()) {
+    // Nested invocation from one of our own workers: blocking in wait_idle
+    // here would deadlock (this worker can never drain its own queue entry),
+    // so run the range inline.  The enclosing parallel_for keeps the pool
+    // busy; inline execution loses nothing.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t n = end - begin;
   // A few chunks per worker balances load without excessive queue traffic.
   const std::size_t chunks = std::min(n, size() * 4);
@@ -59,11 +76,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    // STAC_THREADS caps/raises the process-wide pool (bench comparisons,
+    // CI smoke runs on small runners); unset or invalid falls back to the
+    // hardware concurrency via the constructor's 0 convention.
+    if (const char* env = std::getenv("STAC_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

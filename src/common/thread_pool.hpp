@@ -4,6 +4,13 @@
 // fixed pool of workers, a mutex/condvar task queue, and a blocking
 // parallel_for that chunks an index range.  No detached threads, no futures
 // leaked past scope; the pool joins in its destructor (RAII).
+//
+// Nesting rule: parallel_for issued from one of the pool's own workers runs
+// the loop inline on that worker instead of enqueueing (a worker blocking in
+// wait_idle on its own pool would deadlock once every other worker queues
+// behind it).  Outer parallelism therefore wins — e.g. a cascade level
+// spreads its forests across the pool and each forest's internal
+// parallel_for collapses to a serial loop on its worker.
 #pragma once
 
 #include <condition_variable>
@@ -37,11 +44,17 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
   /// Chunks the range so each worker gets contiguous indices (cache-friendly
-  /// and deterministic apart from interleaving).
+  /// and deterministic apart from interleaving).  Safe to call from one of
+  /// this pool's own workers: the nested call runs inline (see header note).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Process-wide pool (lazily constructed, sized to the machine).
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
+
+  /// Process-wide pool (lazily constructed).  Sized from the STAC_THREADS
+  /// environment variable when set to a positive integer, else to the
+  /// machine's hardware concurrency.
   static ThreadPool& global();
 
  private:

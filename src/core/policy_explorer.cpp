@@ -17,17 +17,26 @@ PolicyExploration explore_policies(const RtPredictor& predictor,
   out.predicted_primary = Matrix(g, g);
   out.predicted_collocated = Matrix(g, g);
 
-  for (std::size_t i = 0; i < g; ++i) {
-    for (std::size_t j = 0; j < g; ++j) {
-      RuntimeCondition c = condition;
-      c.timeout_primary = config.grid[i];
-      c.timeout_collocated = config.grid[j];
-      out.predicted_primary(i, j) = predictor.predict(c).norm_p95_rt;
-      out.predicted_collocated(i, j) =
-          predictor.predict(c.swapped()).norm_p95_rt;
-      out.predictions_made += 2;
-    }
+  // One task per grid cell; each writes only its own two matrix slots and
+  // RtPredictor::predict is const and self-seeded, so scheduling cannot
+  // change the outcome.
+  auto eval_cell = [&](std::size_t cell) {
+    const std::size_t i = cell / g;
+    const std::size_t j = cell % g;
+    RuntimeCondition c = condition;
+    c.timeout_primary = config.grid[i];
+    c.timeout_collocated = config.grid[j];
+    out.predicted_primary(i, j) = predictor.predict(c).norm_p95_rt;
+    out.predicted_collocated(i, j) =
+        predictor.predict(c.swapped()).norm_p95_rt;
+  };
+  if (config.parallel && g * g > 1) {
+    ThreadPool& pool = config.pool ? *config.pool : ThreadPool::global();
+    pool.parallel_for(0, g * g, eval_cell);
+  } else {
+    for (std::size_t cell = 0; cell < g * g; ++cell) eval_cell(cell);
   }
+  out.predictions_made = 2 * g * g;
 
   double best_p = std::numeric_limits<double>::infinity();
   double best_c = std::numeric_limits<double>::infinity();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
 #include "core/baselines.hpp"
 #include "core/rt_predictor.hpp"
 
@@ -23,6 +24,13 @@ struct ExplorerConfig {
   /// Slack growth factor when the intersection is empty.
   double slack_growth = 2.0;
   std::size_t max_relaxations = 6;
+  /// Evaluate the grid_p x grid_c cells concurrently: every cell's two
+  /// G/G/k simulations are independent and internally seeded, and each cell
+  /// writes only its own matrix slots, so the result is bit-identical to a
+  /// serial sweep regardless of thread count.
+  bool parallel = true;
+  /// Pool for the sweep (tests vary thread counts); null = the global pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct PolicyExploration {

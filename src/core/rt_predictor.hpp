@@ -56,6 +56,11 @@ struct RtPredictorConfig {
   std::uint64_t seed = 2024;
 };
 
+/// Concurrency: predict() and predict_for_profile() are const, keep all
+/// mutable state (simulators, RNGs, feedback dynamics) on the stack, and
+/// derive every seed from the config — the grid-parallel policy explorer
+/// calls them from many pool workers at once.  The referenced profiler,
+/// models and library must not be mutated while predictions are in flight.
 class RtPredictor {
  public:
   /// At least one EA source is required: a trained `model`, a trained

@@ -1,8 +1,40 @@
 #include "ml/cascade.hpp"
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace stac::ml {
+
+namespace {
+
+/// Train `count` forests into `out`, one per slot, with pre-drawn seeds.
+/// `make_config(f)` builds the forest's config minus the seed.  The fan-out
+/// runs on the global pool when `parallel`; seeds are consumed from `rng`
+/// serially either way, so threading never changes the fitted forests.
+template <typename MakeConfig>
+void train_forest_bank(std::vector<RandomForest>& out, std::size_t count,
+                       const Dataset& data, Rng& rng, bool parallel,
+                       MakeConfig&& make_config) {
+  std::vector<std::uint64_t> seeds(count);
+  for (auto& s : seeds) s = rng.next_u64();
+  const std::size_t first = out.size();
+  out.resize(first + count);
+  auto train_one = [&](std::size_t f) {
+    ForestConfig fc = make_config(f);
+    fc.seed = seeds[f];
+    fc.parallel = !parallel;  // inner tree fan-out only when the bank is serial
+    RandomForest forest(fc);
+    forest.fit(data);
+    out[first + f] = std::move(forest);
+  };
+  if (parallel && count > 1) {
+    ThreadPool::global().parallel_for(0, count, train_one);
+  } else {
+    for (std::size_t f = 0; f < count; ++f) train_one(f);
+  }
+}
+
+}  // namespace
 
 CascadeForest::CascadeForest(CascadeConfig config) : config_(config) {
   STAC_REQUIRE(config.levels >= 1);
@@ -55,21 +87,20 @@ void CascadeForest::fit(const Dataset& base,
     }
     Dataset level_data(std::move(x), base.targets());
 
-    // Train the level's forests (alternating random / completely-random).
-    level.forests.reserve(config_.forests_per_level);
-    std::vector<const std::vector<double>*> oobs;
-    for (std::size_t f = 0; f < config_.forests_per_level; ++f) {
-      ForestConfig fc;
-      fc.estimators = config_.estimators;
-      fc.split_mode = (f % 2 == 0) ? SplitMode::kSqrtFeatures
-                                   : SplitMode::kCompletelyRandom;
-      fc.max_depth = config_.max_tree_depth;
-      fc.min_samples_leaf = config_.min_samples_leaf;
-      fc.seed = rng.next_u64();
-      RandomForest forest(fc);
-      forest.fit(level_data);
-      level.forests.push_back(std::move(forest));
-    }
+    // Train the level's forests (alternating random / completely-random),
+    // fanned out across the pool — the forests of one level are mutually
+    // independent given the level's training matrix.
+    train_forest_bank(level.forests, config_.forests_per_level, level_data,
+                      rng, config_.parallel, [&](std::size_t f) {
+                        ForestConfig fc;
+                        fc.estimators = config_.estimators;
+                        fc.split_mode = (f % 2 == 0)
+                                            ? SplitMode::kSqrtFeatures
+                                            : SplitMode::kCompletelyRandom;
+                        fc.max_depth = config_.max_tree_depth;
+                        fc.min_samples_leaf = config_.min_samples_leaf;
+                        return fc;
+                      });
     // Append this level's OOB concepts for the next level.
     for (std::size_t r = 0; r < n; ++r) {
       for (const auto& forest : level.forests)
@@ -101,17 +132,15 @@ void CascadeForest::fit(const Dataset& base,
       std::copy(cr.begin(), cr.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
     }
     Dataset final_data(std::move(x), base.targets());
-    for (std::size_t f = 0; f < config_.final_forests; ++f) {
-      ForestConfig fc;
-      fc.estimators = config_.estimators;
-      fc.split_mode = SplitMode::kSqrtFeatures;
-      fc.max_depth = config_.max_tree_depth;
-      fc.min_samples_leaf = config_.min_samples_leaf;
-      fc.seed = rng.next_u64();
-      RandomForest forest(fc);
-      forest.fit(final_data);
-      final_forests_.push_back(std::move(forest));
-    }
+    train_forest_bank(final_forests_, config_.final_forests, final_data, rng,
+                      config_.parallel, [&](std::size_t) {
+                        ForestConfig fc;
+                        fc.estimators = config_.estimators;
+                        fc.split_mode = SplitMode::kSqrtFeatures;
+                        fc.max_depth = config_.max_tree_depth;
+                        fc.min_samples_leaf = config_.min_samples_leaf;
+                        return fc;
+                      });
   }
 }
 

@@ -26,6 +26,13 @@ struct CascadeConfig {
   /// Closing bank averaged into the final prediction.
   std::size_t final_forests = 4;
   std::uint64_t seed = 1;
+  /// Train the independent forests of each level (and the closing bank)
+  /// concurrently on ThreadPool::global().  Every forest's seed is drawn
+  /// serially before the fan-out and each forest trains into its own slot,
+  /// so parallel and serial fits are bit-identical.  Forest-internal tree
+  /// parallelism collapses to inline execution on pool workers (nested
+  /// parallel_for rule), keeping the level fan-out the outer parallelism.
+  bool parallel = true;
 };
 
 class CascadeForest {

@@ -15,6 +15,27 @@ Dataset::Dataset(Matrix features, std::vector<double> targets,
 void Dataset::add_row(std::span<const double> x, double y) {
   features_.append_row(x);
   targets_.push_back(y);
+  // Geometry changed: force a rebuild on the next column() call.
+  col_cache_.ready.store(false, std::memory_order_release);
+}
+
+std::span<const double> Dataset::column(std::size_t f) const {
+  STAC_REQUIRE(f < feature_count());
+  if (!col_cache_.ready.load(std::memory_order_acquire)) {
+    std::lock_guard lock(col_cache_.build_mutex);
+    if (!col_cache_.ready.load(std::memory_order_relaxed)) {
+      const std::size_t n = size();
+      const std::size_t cols = feature_count();
+      col_cache_.data.assign(n * cols, 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto src = features_.row(r);
+        for (std::size_t c = 0; c < cols; ++c)
+          col_cache_.data[c * n + r] = src[c];
+      }
+      col_cache_.ready.store(true, std::memory_order_release);
+    }
+  }
+  return {col_cache_.data.data() + f * size(), size()};
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {

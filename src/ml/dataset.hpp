@@ -4,7 +4,9 @@
 // for generalization claims).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,6 +45,14 @@ class Dataset {
   }
   [[nodiscard]] double target(std::size_t i) const { return targets_[i]; }
 
+  /// Stride-1 view of feature column `f` (all rows), backed by a lazily
+  /// built column-major copy of the features — the tree trainer's split
+  /// scans walk columns, and the row-major matrix would stride by
+  /// feature_count() per element.  The cache is built once per dataset
+  /// (thread-safe: concurrent tree fits share one build) and invalidated by
+  /// add_row; the returned span is valid until then.
+  [[nodiscard]] std::span<const double> column(std::size_t f) const;
+
   void add_row(std::span<const double> x, double y);
 
   /// Subset by row indices.
@@ -61,9 +71,27 @@ class Dataset {
   [[nodiscard]] Dataset with_extra_features(const Matrix& extra) const;
 
  private:
+  /// Feature-major [f * rows + i] mirror of `features_`.  Copying or moving
+  /// a Dataset drops the cache (rebuilt on demand) so the synchronization
+  /// members never need to transfer.
+  struct ColumnCache {
+    ColumnCache() = default;
+    ColumnCache(const ColumnCache&) {}
+    ColumnCache& operator=(const ColumnCache&) {
+      ready.store(false, std::memory_order_relaxed);
+      data.clear();
+      return *this;
+    }
+
+    mutable std::mutex build_mutex;
+    mutable std::vector<double> data;
+    mutable std::atomic<bool> ready{false};
+  };
+
   Matrix features_;
   std::vector<double> targets_;
   std::vector<std::string> names_;
+  ColumnCache col_cache_;
 };
 
 }  // namespace stac::ml

@@ -16,6 +16,9 @@ struct SplitCandidate {
   std::uint32_t feature = 0;
   double threshold = 0.0;
   double gain = 0.0;
+  /// Samples on the left side (presorted path: the split feature's sorted
+  /// prefix length, which pins the partition point without re-scanning).
+  std::size_t left_count = 0;
 };
 
 /// Sum and sum-of-squares over a row subset for one pass variance.
@@ -39,6 +42,29 @@ struct Moments {
 
 }  // namespace
 
+/// State of the presorted build: every feature's sample order, established
+/// by one sort per fit and maintained through stable partitions so each
+/// node's split sweep is a stride-1 pass over already-sorted values.
+/// "Slots" index the (possibly duplicated) bootstrap sample, not dataset
+/// rows: slot s stands for dataset row work[s].
+struct DecisionTree::PresortContext {
+  std::size_t n = 0;         ///< sample (slot) count
+  std::size_t features = 0;  ///< feature count
+  std::vector<double> target;  ///< target[slot]
+  /// features x n: order[f*n + i] is the slot with the i-th smallest value
+  /// of feature f within the node ranges currently partitioning the array.
+  std::vector<std::uint32_t> order;
+  /// features x n: values[f*n + i] mirrors order (stride-1 sweep reads).
+  std::vector<double> values;
+  /// Node slots in bootstrap order (stable partitions preserve it).  Node
+  /// moments accumulate over this order so leaf values are bitwise equal
+  /// to the legacy per-node-sort path.
+  std::vector<std::uint32_t> slots;
+  std::vector<char> goes_left;          ///< per-slot partition flag
+  std::vector<std::uint32_t> tmp_order;  ///< stable-partition spill
+  std::vector<double> tmp_values;
+};
+
 DecisionTree::DecisionTree(TreeConfig config) : config_(config) {}
 
 void DecisionTree::fit(const Dataset& data, std::span<const std::size_t> rows) {
@@ -51,7 +77,154 @@ void DecisionTree::fit(const Dataset& data, std::span<const std::size_t> rows) {
     std::iota(work.begin(), work.end(), 0);
   }
   Rng rng(config_.seed);
+
+  if (config_.presort && config_.split_mode != SplitMode::kCompletelyRandom) {
+    const std::size_t n = work.size();
+    PresortContext ctx;
+    ctx.n = n;
+    ctx.features = feature_count_;
+    ctx.target.resize(n);
+    for (std::size_t s = 0; s < n; ++s) ctx.target[s] = data.target(work[s]);
+    ctx.order.resize(feature_count_ * n);
+    ctx.values.resize(feature_count_ * n);
+    ctx.slots.resize(n);
+    std::iota(ctx.slots.begin(), ctx.slots.end(), 0);
+    ctx.goes_left.resize(n);
+    ctx.tmp_order.resize(n);
+    ctx.tmp_values.resize(n);
+    // One sort per feature per fit; ties ordered by slot so the layout is
+    // deterministic.  Column-major reads make the gather stride-1.
+    std::vector<std::pair<double, std::uint32_t>> keyed(n);
+    for (std::size_t f = 0; f < feature_count_; ++f) {
+      const auto col = data.column(f);
+      for (std::size_t s = 0; s < n; ++s)
+        keyed[s] = {col[work[s]], static_cast<std::uint32_t>(s)};
+      std::sort(keyed.begin(), keyed.end());
+      for (std::size_t i = 0; i < n; ++i) {
+        ctx.order[f * n + i] = keyed[i].second;
+        ctx.values[f * n + i] = keyed[i].first;
+      }
+    }
+    build_presorted(ctx, 0, n, 0, rng);
+    return;
+  }
   build(data, work, 0, work.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build_presorted(PresortContext& ctx,
+                                           std::size_t begin, std::size_t end,
+                                           std::size_t depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  STAC_REQUIRE(n > 0);
+
+  // Accumulate in bootstrap order (ctx.slots), matching the legacy path's
+  // row order bit for bit.
+  Moments all;
+  for (std::size_t i = begin; i < end; ++i)
+    all.add(ctx.target[ctx.slots[i]]);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].value = all.mean();
+
+  const bool depth_ok = config_.max_depth == 0 || depth < config_.max_depth;
+  const bool pure = all.sse() <= 1e-12;
+  if (!depth_ok || pure || n < config_.min_samples_split) return node_id;
+
+  std::vector<std::size_t> candidates;
+  if (config_.split_mode == SplitMode::kAllFeatures) {
+    candidates.resize(feature_count_);
+    std::iota(candidates.begin(), candidates.end(), 0);
+  } else {  // kSqrtFeatures (kCompletelyRandom never reaches this path)
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::sqrt(static_cast<double>(feature_count_))));
+    candidates = rng.sample_indices(feature_count_, k);
+  }
+
+  SplitCandidate best;
+  for (std::size_t f : candidates) {
+    const double* vals = ctx.values.data() + f * ctx.n + begin;
+    const std::uint32_t* ord = ctx.order.data() + f * ctx.n + begin;
+    if (vals[0] == vals[n - 1]) continue;  // constant feature here
+    Moments left;
+    Moments right = all;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double t = ctx.target[ord[i]];
+      left.add(t);
+      right.sum -= t;
+      right.sum2 -= t * t;
+      --right.n;
+      if (vals[i] == vals[i + 1]) continue;  // no cut between ties
+      if (left.n < config_.min_samples_leaf ||
+          right.n < config_.min_samples_leaf)
+        continue;
+      const double gain = all.sse() - left.sse() - right.sse();
+      if (!best.found || gain > best.gain) {
+        best.found = true;
+        best.feature = static_cast<std::uint32_t>(f);
+        best.threshold = 0.5 * (vals[i] + vals[i + 1]);
+        best.gain = gain;
+        best.left_count = i + 1;
+      }
+    }
+  }
+
+  if (!best.found || best.gain <= 0.0) return node_id;
+
+  // The split feature's segment is sorted, so the left side is its sorted
+  // prefix.  Start from the sweep's cut position but fix up by threshold:
+  // the midpoint of two adjacent doubles can round up onto the right
+  // neighbour, and predict-time routing (as well as the legacy partition)
+  // sends value == threshold left.
+  std::size_t mid = begin + best.left_count;
+  {
+    const double* bvals = ctx.values.data() + best.feature * ctx.n;
+    while (mid < end && bvals[mid] <= best.threshold) ++mid;
+  }
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+  {
+    const std::uint32_t* bord = ctx.order.data() + best.feature * ctx.n;
+    for (std::size_t i = begin; i < mid; ++i) ctx.goes_left[bord[i]] = 1;
+    for (std::size_t i = mid; i < end; ++i) ctx.goes_left[bord[i]] = 0;
+  }
+  {
+    // Slot order partitions stably like the feature segments.
+    std::uint32_t* sl = ctx.slots.data();
+    std::size_t l = begin, spill = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (ctx.goes_left[sl[i]]) sl[l++] = sl[i];
+      else ctx.tmp_order[spill++] = sl[i];
+    }
+    std::copy_n(ctx.tmp_order.data(), spill, sl + l);
+  }
+  for (std::size_t f = 0; f < ctx.features; ++f) {
+    std::uint32_t* ord = ctx.order.data() + f * ctx.n;
+    double* vals = ctx.values.data() + f * ctx.n;
+    std::size_t l = begin, spill = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (ctx.goes_left[ord[i]]) {
+        ord[l] = ord[i];
+        vals[l] = vals[i];
+        ++l;
+      } else {
+        ctx.tmp_order[spill] = ord[i];
+        ctx.tmp_values[spill] = vals[i];
+        ++spill;
+      }
+    }
+    std::copy_n(ctx.tmp_order.data(), spill, ord + l);
+    std::copy_n(ctx.tmp_values.data(), spill, vals + l);
+  }
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  nodes_[static_cast<std::size_t>(node_id)].gain = best.gain;
+  const std::int32_t left = build_presorted(ctx, begin, mid, depth + 1, rng);
+  const std::int32_t right = build_presorted(ctx, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
 }
 
 std::int32_t DecisionTree::build(const Dataset& data,
@@ -97,27 +270,23 @@ std::int32_t DecisionTree::build(const Dataset& data,
   if (config_.split_mode == SplitMode::kCompletelyRandom) {
     // Random feature, random threshold between observed min and max.
     for (std::size_t f : candidates) {
+      const auto col = data.column(f);  // stride-1 scans
       double lo = std::numeric_limits<double>::infinity();
       double hi = -std::numeric_limits<double>::infinity();
       for (std::size_t i = begin; i < end; ++i) {
-        const double v = data.row(rows[i])[f];
+        const double v = col[rows[i]];
         lo = std::min(lo, v);
         hi = std::max(hi, v);
       }
       if (hi <= lo) continue;  // constant feature here
       const double thr = rng.uniform(lo, hi);
-      // Compute gain for bookkeeping (not used for selection).
-      Moments left;
+      // Both sides' moments in a single pass over the rows (gain is
+      // bookkeeping only, not used for selection).
+      Moments left, right;
       for (std::size_t i = begin; i < end; ++i) {
-        const double v = data.row(rows[i])[f];
-        if (v <= thr) left.add(data.target(rows[i]));
+        (col[rows[i]] <= thr ? left : right).add(data.target(rows[i]));
       }
       if (left.n == 0 || left.n == n) continue;
-      Moments right;
-      for (std::size_t i = begin; i < end; ++i) {
-        const double v = data.row(rows[i])[f];
-        if (v > thr) right.add(data.target(rows[i]));
-      }
       best.found = true;
       best.feature = static_cast<std::uint32_t>(f);
       best.threshold = thr;
@@ -157,13 +326,15 @@ std::int32_t DecisionTree::build(const Dataset& data,
 
   if (!best.found || best.gain <= 0.0) return node_id;
 
-  // Partition rows in place around the threshold.
+  // Partition rows in place around the threshold.  Stable, so child row
+  // order (and thus FP accumulation order) matches the presorted path.
+  const auto split_col = data.column(best.feature);
   const auto mid = static_cast<std::size_t>(
-      std::partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
-                     rows.begin() + static_cast<std::ptrdiff_t>(end),
-                     [&](std::size_t r) {
-                       return data.row(r)[best.feature] <= best.threshold;
-                     }) -
+      std::stable_partition(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                            rows.begin() + static_cast<std::ptrdiff_t>(end),
+                            [&](std::size_t r) {
+                              return split_col[r] <= best.threshold;
+                            }) -
       rows.begin());
   if (mid == begin || mid == end) return node_id;  // degenerate partition
 

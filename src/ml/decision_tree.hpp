@@ -27,6 +27,13 @@ struct TreeConfig {
   std::size_t min_samples_leaf = 1;
   std::size_t min_samples_split = 2;
   std::uint64_t seed = 1;
+  /// Exhaustive split modes: sort each feature once per fit and keep the
+  /// per-feature order through in-place stable partitions (O(F·n) sweeps
+  /// per level) instead of re-sorting every candidate at every node
+  /// (O(F·n log n)).  false falls back to the per-node-sort path (kept as
+  /// the benchmark baseline).  Ignored by kCompletelyRandom, which never
+  /// sorts.
+  bool presort = true;
 };
 
 class DecisionTree {
@@ -59,6 +66,11 @@ class DecisionTree {
   std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
                      std::size_t begin, std::size_t end, std::size_t depth,
                      Rng& rng);
+
+  /// Presorted-feature-index build state (see decision_tree.cpp).
+  struct PresortContext;
+  std::int32_t build_presorted(PresortContext& ctx, std::size_t begin,
+                               std::size_t end, std::size_t depth, Rng& rng);
 
   TreeConfig config_;
   std::size_t feature_count_ = 0;

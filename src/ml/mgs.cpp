@@ -1,5 +1,7 @@
 #include "ml/mgs.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -14,11 +16,15 @@ MultiGrainScanner::MultiGrainScanner(MgsConfig config)
 void MultiGrainScanner::extract_patch(const Matrix& image, std::size_t r0,
                                       std::size_t c0, std::size_t w,
                                       std::vector<double>& out) const {
-  out.clear();
-  out.reserve(w * w);
+  // `out` is a caller-held scratch buffer: after the first window of a
+  // grain the resize is a no-op and the row copies reuse its storage, so
+  // the scan allocates nothing per window.
+  out.resize(w * w);
+  double* dst = out.data();
   for (std::size_t r = 0; r < w; ++r) {
     const auto row = image.row(r0 + r);
-    for (std::size_t c = 0; c < w; ++c) out.push_back(row[c0 + c]);
+    std::copy_n(row.data() + c0, w, dst);
+    dst += w;
   }
 }
 
@@ -51,12 +57,32 @@ void MultiGrainScanner::fit(const std::vector<Matrix>& images,
             : static_cast<double>(config_.max_training_instances) /
                   static_cast<double>(total);
 
+    // Draw the keep decisions up front (same stream order as the scan, so
+    // results match a draw-in-loop implementation bit for bit) to size the
+    // training matrix exactly: the scan then allocates once instead of
+    // growing through thousands of append_row reallocations.
+    std::vector<char> keep_mask;
+    std::size_t kept = total;
+    if (keep < 1.0) {
+      keep_mask.resize(total);
+      kept = 0;
+      for (std::size_t t = 0; t < total; ++t) {
+        keep_mask[t] = rng.bernoulli(keep) ? 1 : 0;
+        kept += static_cast<std::size_t>(keep_mask[t]);
+      }
+    }
+
     Matrix x(0, w * w);
+    x.reserve_rows(kept);
     std::vector<double> y;
+    y.reserve(kept);
+    std::size_t instance = 0;
     for (std::size_t i = 0; i < images.size(); ++i) {
       for (std::size_t pr = 0; pr < g.positions_r; ++pr) {
         for (std::size_t pc = 0; pc < g.positions_c; ++pc) {
-          if (keep < 1.0 && !rng.bernoulli(keep)) continue;
+          const bool take = keep_mask.empty() || keep_mask[instance] != 0;
+          ++instance;
+          if (!take) continue;
           extract_patch(images[i], pr * config_.stride, pc * config_.stride,
                         w, patch);
           x.append_row(patch);

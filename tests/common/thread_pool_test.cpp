@@ -63,6 +63,49 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   EXPECT_EQ(counter.load(), 64);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // parallel_for from a pool worker must not enqueue onto the same pool —
+  // with every worker blocked waiting, that deadlocks.  Nest two deep on a
+  // single-thread pool: any deadlock hangs the test, and the counts prove
+  // every index of every level still ran exactly once.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> outer_hits(4);
+  std::atomic<int> inner_hits{0};
+  std::atomic<int> innermost_hits{0};
+  pool.parallel_for(0, 4, [&](std::size_t i) {
+    ++outer_hits[i];
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(0, 3, [&](std::size_t) {
+      ++inner_hits;
+      pool.parallel_for(0, 2, [&](std::size_t) { ++innermost_hits; });
+    });
+  });
+  for (const auto& h : outer_hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(inner_hits.load(), 4 * 3);
+  EXPECT_EQ(innermost_hits.load(), 4 * 3 * 2);
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOutsidePool) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> saw_worker{false};
+  pool.submit([&] { saw_worker = pool.on_worker_thread(); });
+  pool.wait_idle();
+  EXPECT_TRUE(saw_worker.load());
+}
+
+TEST(ThreadPool, NestedParallelForAcrossDistinctPools) {
+  // A worker of pool A may still fan out on pool B; only same-pool nesting
+  // collapses to inline execution.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallel_for(0, 4, [&](std::size_t) {
+    inner.parallel_for(0, 8, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(ThreadPool, NestedWorkFromManySubmitters) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};

@@ -89,6 +89,35 @@ TEST_F(PolicyExplorerTest, SelectionBeatsNeverBoostInPrediction) {
             r.predicted_primary(never, never) * (1.0 + r.slack_used) + 1e-9);
 }
 
+TEST_F(PolicyExplorerTest, ParallelSweepBitIdenticalAcrossThreadCounts) {
+  // Each grid cell is internally seeded and writes only its own slots, so
+  // the sweep must return the same selection and the same predicted
+  // matrices bit for bit, whatever the pool size — including serial.
+  ExplorerConfig cfg;
+  cfg.grid = {0.0, 1.0, 4.0};
+  cfg.parallel = false;
+  const PolicyExploration serial =
+      explore_policies(predictor_, pairing(), cfg);
+
+  ThreadPool one(1), four(4);
+  for (ThreadPool* pool : {&one, &four}) {
+    cfg.parallel = true;
+    cfg.pool = pool;
+    const PolicyExploration r = explore_policies(predictor_, pairing(), cfg);
+    EXPECT_EQ(r.selection.timeout_primary, serial.selection.timeout_primary);
+    EXPECT_EQ(r.selection.timeout_collocated,
+              serial.selection.timeout_collocated);
+    EXPECT_EQ(r.slack_used, serial.slack_used);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(r.predicted_primary(i, j), serial.predicted_primary(i, j));
+        EXPECT_EQ(r.predicted_collocated(i, j),
+                  serial.predicted_collocated(i, j));
+      }
+    }
+  }
+}
+
 TEST_F(PolicyExplorerTest, EmptyGridThrows) {
   ExplorerConfig cfg;
   cfg.grid.clear();

@@ -92,6 +92,26 @@ TEST(CascadeForest, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
 }
 
+TEST(CascadeForest, ParallelFitBitIdenticalToSerial) {
+  // Forest seeds are drawn serially before the fan-out and every forest
+  // trains into its own slot, so thread scheduling must not change a single
+  // bit of the model.
+  const Dataset train = nonlinear_dataset(250, 7);
+  CascadeConfig cfg = small_config();
+  cfg.parallel = false;
+  CascadeForest serial(cfg);
+  serial.fit(train);
+  cfg.parallel = true;
+  CascadeForest parallel(cfg);
+  parallel.fit(train);
+
+  const Dataset probe = nonlinear_dataset(100, 8);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(serial.predict(probe.row(i)), parallel.predict(probe.row(i)));
+    EXPECT_EQ(serial.concepts(probe.row(i)), parallel.concepts(probe.row(i)));
+  }
+}
+
 TEST(CascadeForest, ConfigValidation) {
   CascadeConfig bad = small_config();
   bad.levels = 0;

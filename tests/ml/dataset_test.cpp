@@ -89,5 +89,34 @@ TEST(Dataset, WithExtraFeatures) {
   EXPECT_THROW(d.with_extra_features(bad), ContractViolation);
 }
 
+TEST(Dataset, ColumnViewMatchesRowMajorData) {
+  const Dataset d = small_dataset(6);
+  const auto c0 = d.column(0);
+  const auto c1 = d.column(1);
+  ASSERT_EQ(c0.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(c0[i], d.row(i)[0]);
+    EXPECT_DOUBLE_EQ(c1[i], d.row(i)[1]);
+  }
+}
+
+TEST(Dataset, ColumnCacheInvalidatedByAddRow) {
+  Dataset d = small_dataset(3);
+  EXPECT_DOUBLE_EQ(d.column(0)[2], 2.0);  // builds the cache
+  d.add_row(std::vector<double>{50.0, 2500.0}, 150.0);
+  const auto col = d.column(0);  // must rebuild, not serve the stale cache
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_DOUBLE_EQ(col[3], 50.0);
+}
+
+TEST(Dataset, ColumnSurvivesCopy) {
+  const Dataset d = small_dataset(4);
+  (void)d.column(1);  // warm the cache on the source
+  const Dataset copy = d;  // cache is dropped, not shared
+  const auto col = copy.column(1);
+  ASSERT_EQ(col.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(col[i], copy.row(i)[1]);
+}
+
 }  // namespace
 }  // namespace stac::ml

@@ -106,6 +106,73 @@ TEST(DecisionTree, FitOnRowSubset) {
   EXPECT_TRUE(tree.trained());
 }
 
+TEST(DecisionTree, PresortMatchesLegacySortBitwise) {
+  // With continuous (distinct) feature values the presorted split search
+  // must reproduce the per-node-sort baseline exactly: same structure,
+  // bitwise-equal thresholds and leaf values.
+  Rng rng(11);
+  Matrix x(0, 5);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 300; ++i) {
+    std::vector<double> row(5);
+    for (auto& v : row) v = rng.uniform();
+    x.append_row(row);
+    y.push_back(row[0] * row[1] - row[2] + rng.normal(0.0, 0.05));
+  }
+  const Dataset d(std::move(x), std::move(y));
+
+  for (const SplitMode mode :
+       {SplitMode::kAllFeatures, SplitMode::kSqrtFeatures}) {
+    TreeConfig cfg;
+    cfg.split_mode = mode;
+    cfg.seed = 99;
+    cfg.presort = false;
+    DecisionTree legacy(cfg);
+    legacy.fit(d);
+    cfg.presort = true;
+    DecisionTree fast(cfg);
+    fast.fit(d);
+    EXPECT_EQ(legacy.depth(), fast.depth());
+    const auto a = legacy.predict(d.features());
+    const auto b = fast.predict(d.features());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    const auto ia = legacy.feature_importance();
+    const auto ib = fast.feature_importance();
+    for (std::size_t f = 0; f < ia.size(); ++f) EXPECT_EQ(ia[f], ib[f]);
+  }
+}
+
+TEST(DecisionTree, PresortFitOnRowSubsetMatchesLegacy) {
+  // The presorted path indexes bootstrap slots, not dataset rows — check a
+  // subset with duplicated rows (the random-forest bootstrap shape).
+  Rng rng(12);
+  Matrix x(0, 4);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 120; ++i) {
+    std::vector<double> row(4);
+    for (auto& v : row) v = rng.uniform();
+    x.append_row(row);
+    y.push_back(row[0] + 2.0 * row[3] + rng.normal(0.0, 0.03));
+  }
+  const Dataset d(std::move(x), std::move(y));
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < 150; ++i)
+    slots.push_back(rng.uniform_index(d.size()));
+
+  TreeConfig cfg;
+  cfg.split_mode = SplitMode::kAllFeatures;
+  cfg.presort = false;
+  DecisionTree legacy(cfg);
+  legacy.fit(d, slots);
+  cfg.presort = true;
+  DecisionTree fast(cfg);
+  fast.fit(d, slots);
+  const auto a = legacy.predict(d.features());
+  const auto b = fast.predict(d.features());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
 TEST(DecisionTree, DeterministicForSeed) {
   const Dataset d = step_dataset(300, 10);
   DecisionTree a(TreeConfig{.split_mode = SplitMode::kSqrtFeatures, .seed = 3});
