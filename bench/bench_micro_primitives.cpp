@@ -7,6 +7,8 @@
 #include "cat/cat_controller.hpp"
 #include "common/rng.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "queueing/ggk_simulator.hpp"
 #include "queueing/testbed.hpp"
 #include "wl/benchmark_suite.hpp"
@@ -131,6 +133,73 @@ void BM_ConjectureSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConjectureSearch);
+
+// --- Observability overhead ------------------------------------------------
+// The tracing/metrics layer is compiled in by default and gated by a runtime
+// flag, so its disabled path sits on every hot loop in the pipeline.  These
+// benchmarks pin that path's cost: a disabled span/instant/count must be a
+// latched-boolean check and nothing else.  Compare BM_GGkSimulation against
+// BM_GGkSimulationTraceDisabled for the end-to-end claim (<5% delta).
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    STAC_TRACE_SPAN(span, "bench.noop", "bench");
+    span.arg("x", 1.0);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceInstantDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) obs::instant("bench.noop", "bench");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceInstantDisabled);
+
+void BM_MetricsCountDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) obs::count("bench.noop");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCountDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  // Upper bound for the recording path (mutexed buffer append); the buffer
+  // is cleared per iteration batch to keep memory flat.
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    STAC_TRACE_SPAN(span, "bench.span", "bench");
+    span.arg("x", 1.0);
+  }
+  obs::set_enabled(false);
+  obs::TraceBuffer::global().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_GGkSimulationTraceDisabled(benchmark::State& state) {
+  // Same body as BM_GGkSimulation with tracing explicitly forced off: the
+  // delta between the two is the disabled-path overhead inside the
+  // simulator's instrumented loop.
+  obs::set_enabled(false);
+  queueing::GGkConfig cfg;
+  cfg.utilization = 0.9;
+  cfg.timeout_rel = 1.0;
+  cfg.effective_allocation = 0.5;
+  cfg.allocation_ratio = 3.0;
+  cfg.queries = 2000;
+  cfg.warmup = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(queueing::simulate_ggk(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.queries);
+}
+BENCHMARK(BM_GGkSimulationTraceDisabled);
 
 }  // namespace
 

@@ -27,6 +27,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/stac_manager.hpp"
+#include "obs/metrics.hpp"
 
 namespace stac::bench {
 
@@ -236,10 +237,15 @@ inline bool split_top_level_json(
 /// Merge `section` into the top-level object of the record at `path`
 /// (created if absent, replaced if already present) and rewrite the file.
 /// Each bench binary owns one section, so independent runs compose into a
-/// single perf-trajectory record.
+/// single perf-trajectory record.  Any metrics accumulated in the process-
+/// wide obs registry during the run ride along under "obs_metrics", so the
+/// bench record carries the pipeline's internal counters for free.
 inline void write_bench_section(const std::string& path,
                                 const std::string& section,
-                                const JsonObject& value) {
+                                const JsonObject& value_in) {
+  JsonObject value = value_in;
+  if (obs::MetricsRegistry::global().size() > 0)
+    value.set_raw("obs_metrics", obs::MetricsRegistry::global().to_json());
   std::vector<std::pair<std::string, std::string>> members;
   {
     std::ifstream in(path);

@@ -33,10 +33,22 @@ void StreamingStats::merge(const StreamingStats& other) {
 }
 
 double StreamingStats::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::population_variance() const {
   return n_ ? m2_ / static_cast<double>(n_) : 0.0;
 }
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const {
+  return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double StreamingStats::max() const {
+  return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
 
 double StreamingStats::cv() const {
   return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
@@ -82,6 +94,10 @@ double SampleStats::percentile(double q) const {
   const double frac = pos - static_cast<double>(lo);
   if (lo + 1 >= samples_.size()) return samples_.back();
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleStats::percentile_or(double q, double fallback) const {
+  return samples_.empty() ? fallback : percentile(q);
 }
 
 double SampleStats::min() const {

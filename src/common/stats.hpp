@@ -22,11 +22,16 @@ class StreamingStats {
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
-  [[nodiscard]] double variance() const;  ///< population variance
-  [[nodiscard]] double stddev() const;
-  [[nodiscard]] double min() const { return min_; }
-  [[nodiscard]] double max() const { return max_; }
-  /// Coefficient of variation (stddev / mean); 0 when mean == 0.
+  /// Unbiased sample variance (n−1 denominator, numpy's ddof=1 / Bessel
+  /// convention); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  /// Biased population variance (n denominator, numpy's default ddof=0).
+  [[nodiscard]] double population_variance() const;
+  [[nodiscard]] double stddev() const;  ///< sqrt of the sample variance
+  /// NaN when empty (never the ±infinity fill sentinels).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Coefficient of variation (sample stddev / |mean|); 0 when mean == 0.
   [[nodiscard]] double cv() const;
 
  private:
@@ -51,8 +56,13 @@ class SampleStats {
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double stddev() const;
-  /// q in [0, 1]; e.g. percentile(0.95) is the 95th percentile.
+  /// q in [0, 1]; e.g. percentile(0.95) is the 95th percentile.  Throws
+  /// ContractViolation on an empty sample set.
   [[nodiscard]] double percentile(double q) const;
+  /// percentile(q), or `fallback` when the sample set is empty — the
+  /// non-throwing form for paths where zero completions is survivable
+  /// (degraded testbed runs, chaos experiments).
+  [[nodiscard]] double percentile_or(double q, double fallback) const;
   [[nodiscard]] double median() const { return percentile(0.5); }
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;

@@ -11,13 +11,18 @@ namespace {
 // The pool whose worker_loop the current thread is running (null on
 // non-worker threads).  Lets parallel_for detect self-nesting.
 thread_local ThreadPool* tls_worker_pool = nullptr;
+// 0-based index of this worker within its pool; 0 on non-worker threads.
+thread_local std::size_t tls_worker_index = 0;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tls_worker_index = i;
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -50,6 +55,8 @@ void ThreadPool::wait_idle() {
 }
 
 bool ThreadPool::on_worker_thread() const { return tls_worker_pool == this; }
+
+std::size_t ThreadPool::worker_index() { return tls_worker_index; }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {

@@ -52,6 +52,11 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   [[nodiscard]] bool on_worker_thread() const;
 
+  /// Small stable index of the calling pool worker (0-based, unique within
+  /// its pool), or 0 for threads that are not pool workers.  Used to label
+  /// trace spans with the worker that executed them.
+  [[nodiscard]] static std::size_t worker_index();
+
   /// Process-wide pool (lazily constructed).  Sized from the STAC_THREADS
   /// environment variable when set to a positive integer, else to the
   /// machine's hardware concurrency.

@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::core {
 
@@ -31,6 +33,9 @@ ml::ProfileSample EaModel::make_sample(const Profile& profile) const {
 
 void EaModel::fit(const std::vector<Profile>& profiles) {
   STAC_REQUIRE(!profiles.empty());
+  STAC_TRACE_SPAN(span, "model.fit", "ml");
+  span.arg("profiles", static_cast<std::uint64_t>(profiles.size()));
+  obs::count("ml.model_fits");
   // Models a failed/aborted training job (e.g. OOM-killed trainer); the
   // StacManager ladder falls back to simpler EA sources.
   FaultInjector::global().check("model.fit");

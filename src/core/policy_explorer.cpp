@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::core {
 
@@ -13,6 +15,9 @@ PolicyExploration explore_policies(const RtPredictor& predictor,
                                    const ExplorerConfig& config) {
   STAC_REQUIRE(!config.grid.empty());
   const std::size_t g = config.grid.size();
+  STAC_TRACE_SPAN(sweep_span, "explore.sweep", "explore");
+  sweep_span.arg("grid", static_cast<std::uint64_t>(g));
+  sweep_span.arg("cells", static_cast<std::uint64_t>(g * g));
   PolicyExploration out;
   out.predicted_primary = Matrix(g, g);
   out.predicted_collocated = Matrix(g, g);
@@ -21,8 +26,13 @@ PolicyExploration explore_policies(const RtPredictor& predictor,
   // RtPredictor::predict is const and self-seeded, so scheduling cannot
   // change the outcome.
   auto eval_cell = [&](std::size_t cell) {
+    STAC_TRACE_SPAN(cell_span, "explore.cell", "explore");
     const std::size_t i = cell / g;
     const std::size_t j = cell % g;
+    cell_span.arg("timeout_primary", config.grid[i]);
+    cell_span.arg("timeout_collocated", config.grid[j]);
+    cell_span.arg("worker",
+                  static_cast<std::uint64_t>(ThreadPool::worker_index()));
     RuntimeCondition c = condition;
     c.timeout_primary = config.grid[i];
     c.timeout_collocated = config.grid[j];
@@ -37,6 +47,7 @@ PolicyExploration explore_policies(const RtPredictor& predictor,
     for (std::size_t cell = 0; cell < g * g; ++cell) eval_cell(cell);
   }
   out.predictions_made = 2 * g * g;
+  obs::count("explore.cells", g * g);
 
   double best_p = std::numeric_limits<double>::infinity();
   double best_c = std::numeric_limits<double>::infinity();

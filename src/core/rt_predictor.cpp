@@ -1,6 +1,7 @@
 #include "core/rt_predictor.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -173,8 +174,11 @@ RtPrediction RtPredictor::predict_for_profile(
   g.warmup = config_.sim_warmup;
   g.seed = config_.seed;
   const GGkResult r = queueing::simulate_ggk(g);
+  // A fault-degraded simulation can complete zero queries; NaN marks the
+  // prediction as "no data" instead of throwing out of the predictor.
   out.mean_rt = r.response_times.mean();
-  out.p95_rt = r.response_times.percentile(0.95);
+  out.p95_rt = r.response_times.percentile_or(
+      0.95, std::numeric_limits<double>::quiet_NaN());
   out.mean_queue_delay = r.mean_queue_delay;
   out.boosted_fraction =
       r.completed > 0 ? static_cast<double>(r.boosted_queries) /
@@ -249,7 +253,8 @@ RtPrediction RtPredictor::predict(const RuntimeCondition& condition) const {
     const GGkResult rc = queueing::simulate_ggk(gc);
 
     out.mean_rt = rp.response_times.mean();
-    out.p95_rt = rp.response_times.percentile(0.95);
+    out.p95_rt = rp.response_times.percentile_or(
+        0.95, std::numeric_limits<double>::quiet_NaN());
     out.mean_queue_delay = rp.mean_queue_delay;
     out.boosted_fraction =
         rp.completed > 0 ? static_cast<double>(rp.boosted_queries) /

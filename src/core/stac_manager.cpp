@@ -1,6 +1,8 @@
 #include "core/stac_manager.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::core {
 
@@ -11,6 +13,8 @@ StacManager::StacManager(StacOptions options)
 
 void StacManager::refit() {
   STAC_REQUIRE_MSG(!library_.empty(), "profiling produced no profiles");
+  STAC_TRACE_SPAN(span, "stac.refit", "stac");
+  span.arg("profiles", static_cast<std::uint64_t>(library_.size()));
   // Primary model: a training failure (injected "model.fit" fault, stale
   // inputs) is survivable — the ladder answers from a lower rung — but it
   // must leave the manager with an untrained primary, not a half-fit one.
@@ -21,6 +25,8 @@ void StacManager::refit() {
     throw;
   } catch (const std::exception&) {
     model_ = EaModel(options_.model);  // discard partial state
+    obs::count("stac.primary_fit_failures");
+    obs::instant("stac.primary_fit_failed", "stac");
   }
   fallback_ = EaModel(EaModelConfig{.backend = EaBackend::kLinear});
   if (options_.train_fallback) {
@@ -38,6 +44,7 @@ void StacManager::refit() {
 }
 
 void StacManager::calibrate(wl::Benchmark a, wl::Benchmark b) {
+  STAC_TRACE_SPAN(span, "stac.calibrate", "stac");
   profiler::StratifiedSampler sampler(profiler_, options_.sampler);
   library_.add_all(sampler.collect(a, b, options_.profile_budget));
   library_.add_all(sampler.collect(b, a, options_.profile_budget));
@@ -53,12 +60,24 @@ std::size_t StacManager::load_profiles(const std::string& path) {
 RtPrediction StacManager::predict(
     const profiler::RuntimeCondition& condition) const {
   STAC_REQUIRE_MSG(predictor_.has_value(), "predict before calibrate");
-  return predictor_->predict(condition);
+  STAC_TRACE_SPAN(span, "stac.predict", "stac");
+  RtPrediction out = predictor_->predict(condition);
+  // Degradation-rung changes are the control plane's key health signal;
+  // surface every rung shift as a trace instant plus a counter.
+  if (out.rung != DegradationRung::kPrimaryModel) {
+    obs::count(std::string("stac.rung.") + degradation_rung_name(out.rung));
+    obs::instant("stac.degraded", "stac",
+                 {{"rung", std::string("\"") +
+                               degradation_rung_name(out.rung) + "\""}});
+  }
+  span.arg("rung", std::string(degradation_rung_name(out.rung)));
+  return out;
 }
 
 PolicyExploration StacManager::recommend(
     const profiler::RuntimeCondition& condition) const {
   STAC_REQUIRE_MSG(predictor_.has_value(), "recommend before calibrate");
+  STAC_TRACE_SPAN(span, "stac.recommend", "stac");
   return explore_policies(*predictor_, condition, options_.explorer);
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::ml {
 
@@ -20,6 +22,9 @@ void train_forest_bank(std::vector<RandomForest>& out, std::size_t count,
   const std::size_t first = out.size();
   out.resize(first + count);
   auto train_one = [&](std::size_t f) {
+    STAC_TRACE_SPAN(span, "forest.fit", "ml");
+    span.arg("slot", static_cast<std::uint64_t>(f));
+    span.arg("worker", static_cast<std::uint64_t>(ThreadPool::worker_index()));
     ForestConfig fc = make_config(f);
     fc.seed = seeds[f];
     fc.parallel = !parallel;  // inner tree fan-out only when the bank is serial
@@ -59,7 +64,13 @@ void CascadeForest::fit(const Dataset& base,
   Matrix concepts(n, 0);
   std::vector<std::vector<double>> concept_rows(n);
 
+  STAC_TRACE_SPAN(fit_span, "cascade.fit", "ml");
+  fit_span.arg("samples", static_cast<std::uint64_t>(n));
+  fit_span.arg("levels", static_cast<std::uint64_t>(config_.levels));
+
   for (std::size_t l = 0; l < config_.levels; ++l) {
+    STAC_TRACE_SPAN(level_span, "cascade.level", "ml");
+    level_span.arg("level", static_cast<std::uint64_t>(l));
     Level level;
     level.extra_grains = std::min(per_level_extra.size(), l + 1);
 
@@ -111,6 +122,7 @@ void CascadeForest::fit(const Dataset& base,
 
   // Closing bank: random forests over base + all extras + all concepts.
   {
+    STAC_TRACE_SPAN(final_span, "cascade.final", "ml");
     const std::size_t extra_all = per_level_extra.size();
     std::size_t width = base_features_;
     for (std::size_t g = 0; g < extra_all; ++g)
@@ -142,6 +154,7 @@ void CascadeForest::fit(const Dataset& base,
                         return fc;
                       });
   }
+  obs::count("ml.cascade_fits");
 }
 
 std::vector<double> CascadeForest::level_input(

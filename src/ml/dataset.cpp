@@ -32,10 +32,17 @@ std::span<const double> Dataset::column(std::size_t f) const {
         for (std::size_t c = 0; c < cols; ++c)
           col_cache_.data[c * n + r] = src[c];
       }
+      col_cache_.rows = n;
       col_cache_.ready.store(true, std::memory_order_release);
     }
   }
-  return {col_cache_.data.data() + f * size(), size()};
+  // Span geometry must be the row count the cache was *built* for, published
+  // under the build lock before the ready flag.  Re-reading size() here used
+  // to race with a concurrent add_row: a row appended between the ready
+  // check and the return misaligned every column view (offset f * new_size
+  // into data laid out with the old stride) — exactly the kind of silent
+  // corruption TSan flags as a read/write race on targets_.
+  return {col_cache_.data.data() + f * col_cache_.rows, col_cache_.rows};
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {

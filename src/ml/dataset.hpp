@@ -80,11 +80,15 @@ class Dataset {
     ColumnCache& operator=(const ColumnCache&) {
       ready.store(false, std::memory_order_relaxed);
       data.clear();
+      rows = 0;
       return *this;
     }
 
     mutable std::mutex build_mutex;
     mutable std::vector<double> data;
+    /// Row count the cache was built for — span geometry must come from
+    /// this snapshot, not a fresh size() read (see column()).
+    mutable std::size_t rows = 0;
     mutable std::atomic<bool> ready{false};
   };
 

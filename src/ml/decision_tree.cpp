@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::ml {
 
@@ -69,6 +70,9 @@ DecisionTree::DecisionTree(TreeConfig config) : config_(config) {}
 
 void DecisionTree::fit(const Dataset& data, std::span<const std::size_t> rows) {
   STAC_REQUIRE(!data.empty());
+  STAC_TRACE_SPAN(span, "tree.fit", "ml");
+  span.arg("rows", static_cast<std::uint64_t>(rows.empty() ? data.size()
+                                                           : rows.size()));
   feature_count_ = data.feature_count();
   nodes_.clear();
   std::vector<std::size_t> work(rows.begin(), rows.end());

@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace stac::obs {
+
+namespace {
+
+std::string fmt_number(double v) {
+  if (std::isnan(v)) return "null";  // JSON has no NaN literal
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void LatencyRecorder::record(double seconds) {
+  std::lock_guard lock(mu_);
+  moments_.add(seconds);
+  if (reservoir_.count() < cap_) reservoir_.add(seconds);
+}
+
+StreamingStats LatencyRecorder::moments() const {
+  std::lock_guard lock(mu_);
+  return moments_;
+}
+
+double LatencyRecorder::percentile(double q) const {
+  std::lock_guard lock(mu_);
+  return reservoir_.percentile_or(q,
+                                  std::numeric_limits<double>::quiet_NaN());
+}
+
+std::size_t LatencyRecorder::count() const {
+  std::lock_guard lock(mu_);
+  return moments_.count();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+LatencyRecorder& MetricsRegistry::latency(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end())
+    it = latencies_.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.value() : 0;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.value() : 0.0;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + latencies_.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  latencies_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Collect rendered entries under the lock, emit after.  Maps iterate in
+  // key order, so the output is deterministic.
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [name, c] : counters_)
+      entries.emplace_back(name, std::to_string(c.value()));
+    for (const auto& [name, g] : gauges_)
+      entries.emplace_back(name, fmt_number(g.value()));
+    for (const auto& [name, l] : latencies_) {
+      // LatencyRecorder has its own mutex; safe to query here.
+      const StreamingStats m = l.moments();
+      std::ostringstream os;
+      os << "{\"count\": " << m.count() << ", \"mean\": "
+         << fmt_number(m.mean()) << ", \"p50\": "
+         << fmt_number(l.percentile(0.5)) << ", \"p95\": "
+         << fmt_number(l.percentile(0.95)) << ", \"max\": "
+         << fmt_number(m.count() ? m.max() : 0.0) << "}";
+      entries.emplace_back(name, os.str());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) out << ", ";
+    out << '"' << entries[i].first << "\": " << entries[i].second;
+  }
+  out << '}';
+  return out.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace stac::obs

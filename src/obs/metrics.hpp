@@ -1,0 +1,126 @@
+// Process-wide metrics: named counters, gauges and latency recorders
+// registered in a MetricsRegistry and exportable as one flat JSON object
+// (embeddable into the BENCH_*.json records via bench_util).
+//
+// Counters and gauges are single atomics — safe to bump from pool workers.
+// Latency recorders aggregate through the shared stats primitives
+// (StreamingStats for the moments, SampleStats for exact percentiles over
+// a capped reservoir) behind a per-recorder mutex.
+//
+// Recording respects the same compile-time gate (STAC_OBS_ENABLED) and
+// runtime flag (obs::enabled()) as tracing when used through the
+// convenience helpers count()/set_gauge()/record_latency(); direct handle
+// use (registry().counter("x").add(1)) is always live, for callers that
+// want unconditional accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace stac::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram: streaming moments plus a capped sample reservoir for
+/// exact percentiles (the first `reservoir_cap` observations; moments keep
+/// covering everything).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t reservoir_cap = 4096)
+      : cap_(reservoir_cap) {}
+
+  void record(double seconds);
+
+  [[nodiscard]] StreamingStats moments() const;
+  /// Percentile over the retained reservoir (NaN when empty).
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  StreamingStats moments_;
+  SampleStats reservoir_;
+};
+
+/// Name → metric registry.  Handles returned by counter()/gauge()/latency()
+/// are stable for the registry's lifetime (node-based map).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] LatencyRecorder& latency(std::string_view name);
+
+  /// Snapshot accessors (0 / NaN-free defaults when absent).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const;
+  void reset();  ///< drop every metric (tests)
+
+  /// Flat JSON object: counters/gauges as numbers, latency recorders as
+  /// {"count", "mean", "p50", "p95", "max"} objects.  Keys sorted.
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, LatencyRecorder, std::less<>> latencies_;
+};
+
+#if STAC_OBS_ENABLED
+
+/// Gated helpers: no-ops unless obs::enabled() (and compiled out entirely
+/// with STAC_OBS_ENABLED=0).
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (enabled()) MetricsRegistry::global().counter(name).add(n);
+}
+inline void set_gauge(std::string_view name, double v) {
+  if (enabled()) MetricsRegistry::global().gauge(name).set(v);
+}
+inline void record_latency(std::string_view name, double seconds) {
+  if (enabled()) MetricsRegistry::global().latency(name).record(seconds);
+}
+
+#else
+
+inline void count(std::string_view, std::uint64_t = 1) {}
+inline void set_gauge(std::string_view, double) {}
+inline void record_latency(std::string_view, double) {}
+
+#endif  // STAC_OBS_ENABLED
+
+}  // namespace stac::obs

@@ -1,0 +1,264 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace stac::obs {
+
+namespace {
+
+// Runtime state: -1 = uninitialized (consult STAC_TRACE once), 0 = off,
+// 1 = on.  Relaxed loads keep the disabled fast path to a single atomic
+// read.
+std::atomic<int> g_enabled{-1};
+
+std::mutex g_path_mu;
+std::string g_trace_path;  // guarded by g_path_mu
+
+std::atomic<std::uint32_t> g_next_tid{1};
+thread_local std::uint32_t tls_tid = 0;
+
+int init_from_env() {
+  const char* env = std::getenv("STAC_TRACE");
+  int on = 0;
+  if (env != nullptr && env[0] != '\0') {
+    std::lock_guard lock(g_path_mu);
+    if (g_trace_path.empty()) g_trace_path = env;
+    on = 1;
+  }
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Flushes the trace to STAC_TRACE at static destruction time, so plain
+/// binaries (quickstart, the bench harnesses) need no explicit teardown.
+struct ExitFlusher {
+  ~ExitFlusher() { flush_trace(); }
+};
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int state = g_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  return init_from_env() != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_trace_path(std::string path) {
+  {
+    std::lock_guard lock(g_path_mu);
+    g_trace_path = std::move(path);
+  }
+  set_enabled(true);
+}
+
+std::string trace_path() {
+  (void)enabled();  // pick up STAC_TRACE before reporting
+  std::lock_guard lock(g_path_mu);
+  return g_trace_path;
+}
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::uint32_t thread_id() noexcept {
+  if (tls_tid == 0)
+    tls_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tls_tid;
+}
+
+void set_thread_name(const std::string& name) {
+#if STAC_OBS_ENABLED
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = "thread_name";
+  ev.cat = "__metadata";
+  ev.phase = TraceEvent::Phase::kMetadata;
+  ev.tid = thread_id();
+  ev.ts_us = now_us();
+  ev.args.emplace_back("name", json_string(name));
+  TraceBuffer::global().record(std::move(ev));
+#else
+  (void)name;
+#endif
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  static ExitFlusher flusher;  // destroyed before `buffer` (LIFO order)
+  return buffer;
+}
+
+void TraceBuffer::record(TraceEvent event) {
+  std::lock_guard lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceBuffer::set_capacity(std::size_t cap) {
+  std::lock_guard lock(mu_);
+  capacity_ = cap;
+}
+
+std::string TraceBuffer::chrome_trace_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (i) out << ',';
+    out << "\n{\"name\": " << json_string(ev.name)
+        << ", \"cat\": " << json_string(ev.cat) << ", \"ph\": \""
+        << static_cast<char>(ev.phase) << "\", \"pid\": 1, \"tid\": "
+        << ev.tid << ", \"ts\": " << ev.ts_us;
+    if (ev.phase == TraceEvent::Phase::kComplete)
+      out << ", \"dur\": " << ev.dur_us;
+    if (ev.phase == TraceEvent::Phase::kInstant) out << ", \"s\": \"t\"";
+    if (!ev.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t a = 0; a < ev.args.size(); ++a) {
+        if (a) out << ", ";
+        out << json_string(ev.args[a].first) << ": " << ev.args[a].second;
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\", \"droppedEvents\": " << dropped_
+      << "}\n";
+  return out.str();
+}
+
+bool TraceBuffer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+void flush_trace() {
+  const std::string path = trace_path();
+  if (path.empty()) return;
+  TraceBuffer::global().write_chrome_trace(path);
+}
+
+#if STAC_OBS_ENABLED
+
+void TraceSpan::arg(const char* key, double value) {
+  if (active_) args_.emplace_back(key, json_number(value));
+}
+void TraceSpan::arg(const char* key, std::uint64_t value) {
+  if (active_) args_.emplace_back(key, std::to_string(value));
+}
+void TraceSpan::arg(const char* key, std::int64_t value) {
+  if (active_) args_.emplace_back(key, std::to_string(value));
+}
+void TraceSpan::arg(const char* key, const std::string& value) {
+  if (active_) args_.emplace_back(key, json_string(value));
+}
+
+void TraceSpan::finish() {
+  if (!active_) return;
+  active_ = false;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.tid = thread_id();
+  ev.ts_us = start_us_;
+  const std::uint64_t end = now_us();
+  ev.dur_us = end > start_us_ ? end - start_us_ : 0;
+  ev.args = std::move(args_);
+  TraceBuffer::global().record(std::move(ev));
+}
+
+void instant(const char* name, const char* cat) {
+  instant(name, cat, {});
+}
+
+void instant(const char* name, const char* cat,
+             std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.tid = thread_id();
+  ev.ts_us = now_us();
+  ev.args = std::move(args);
+  TraceBuffer::global().record(std::move(ev));
+}
+
+#endif  // STAC_OBS_ENABLED
+
+}  // namespace stac::obs

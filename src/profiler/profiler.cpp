@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "cat/cat_controller.hpp"
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wl/access_stream.hpp"
 
 namespace stac::profiler {
@@ -287,6 +290,10 @@ Matrix Profiler::render_image(const queueing::TestbedResult& result,
 
 std::vector<Profile> Profiler::profile_condition(
     const RuntimeCondition& condition) const {
+  STAC_TRACE_SPAN(span, "profile.condition", "profiler");
+  span.arg("util_primary", condition.util_primary);
+  span.arg("util_collocated", condition.util_collocated);
+  span.arg("worker", static_cast<std::uint64_t>(ThreadPool::worker_index()));
   std::vector<std::unique_ptr<wl::WorkloadModel>> owned;
   // Policy run with tracing.
   queueing::TestbedConfig policy_cfg =
@@ -312,6 +319,18 @@ std::vector<Profile> Profiler::profile_condition(
       condition, 0.0, condition.timeout_collocated, owned);
   queueing::Testbed boost_bed(boost_cfg);
   const queueing::TestbedResult boosted = boost_bed.run();
+
+  // Under heavy fault injection a run can complete zero queries of the
+  // primary workload; effective_allocation() contracts on positive mean
+  // service times, and a profile built from empty sample sets would feed
+  // NaN targets into training.  Skip the condition instead of throwing.
+  if (policy.per_workload[0].completed == 0 ||
+      dflt.per_workload[0].completed == 0 ||
+      boosted.per_workload[0].completed == 0) {
+    obs::count("profiler.conditions_skipped_zero_completions");
+    obs::instant("profile.zero_completions", "profiler");
+    return {};
+  }
 
   const double ratio =
       static_cast<double>(config_.private_ways + config_.shared_ways) /
@@ -367,10 +386,14 @@ std::vector<Profile> Profiler::profile_condition(
 
     p.ea = ea;
     p.ea_boost = ea_boost;
+    // completed > 0 was checked above, so the sample sets are non-empty;
+    // percentile_or keeps this resilient if the guard ever moves.
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
     p.mean_rt = policy.per_workload[0].response_times.mean();
-    p.p95_rt = policy.per_workload[0].response_times.percentile(0.95);
+    p.p95_rt = policy.per_workload[0].response_times.percentile_or(0.95, kNan);
     p.mean_rt_default = dflt.per_workload[0].response_times.mean();
-    p.p95_rt_default = dflt.per_workload[0].response_times.percentile(0.95);
+    p.p95_rt_default =
+        dflt.per_workload[0].response_times.percentile_or(0.95, kNan);
     p.mean_service = policy.per_workload[0].service_durations.mean();
     p.scaled_base_primary = scales.scaled_base_primary;
     p.allocation_ratio = ratio;
@@ -381,6 +404,8 @@ std::vector<Profile> Profiler::profile_condition(
 
 std::vector<Profile> Profiler::profile_conditions(
     const std::vector<RuntimeCondition>& conditions) const {
+  STAC_TRACE_SPAN(span, "profile.conditions", "profiler");
+  span.arg("conditions", static_cast<std::uint64_t>(conditions.size()));
   std::vector<std::vector<Profile>> buckets(conditions.size());
   ThreadPool::global().parallel_for(0, conditions.size(), [&](std::size_t i) {
     buckets[i] = profile_condition(conditions[i]);
@@ -388,6 +413,8 @@ std::vector<Profile> Profiler::profile_conditions(
   std::vector<Profile> out;
   for (auto& b : buckets)
     for (auto& p : b) out.push_back(std::move(p));
+  span.arg("profiles", static_cast<std::uint64_t>(out.size()));
+  obs::count("profiler.profiles", out.size());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::profiler {
 
@@ -36,12 +37,15 @@ std::vector<Profile> StratifiedSampler::collect(wl::Benchmark primary,
                                static_cast<double>(budget)));
 
   // Phase 1: random seed experiments.
+  STAC_TRACE_SPAN(seed_span, "sampler.seed", "profiler");
+  seed_span.arg("conditions", static_cast<std::uint64_t>(n_seed));
   std::vector<RuntimeCondition> seeds;
   seeds.reserve(n_seed);
   for (std::size_t i = 0; i < n_seed; ++i)
     seeds.push_back(
         random_condition(primary, collocated, config_.ranges, rng));
   std::vector<Profile> profiles = profiler_.profile_conditions(seeds);
+  seed_span.finish();
   if (profiles.empty() || budget <= n_seed) return profiles;
 
   // Phase 2: cluster the seed profiles by effective allocation.
@@ -68,7 +72,9 @@ std::vector<Profile> StratifiedSampler::collect(wl::Benchmark primary,
   }
 
   // Phase 3: perturbed refinements near cluster members.
+  STAC_TRACE_SPAN(refine_span, "sampler.refine", "profiler");
   const std::size_t n_refine = budget - n_seed;
+  refine_span.arg("conditions", static_cast<std::uint64_t>(n_refine));
   std::vector<RuntimeCondition> refinements;
   refinements.reserve(n_refine);
   for (std::size_t i = 0; i < n_refine; ++i) {

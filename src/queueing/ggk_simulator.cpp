@@ -6,6 +6,8 @@
 
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::queueing {
 
@@ -37,6 +39,7 @@ struct Event {
 }  // namespace
 
 GGkResult simulate_ggk(const GGkConfig& config) {
+  STAC_TRACE_SPAN(span, "ggk.simulate", "queueing");
   STAC_REQUIRE(config.utilization > 0.0 && config.utilization < 1.0);
   STAC_REQUIRE(config.servers >= 1);
   STAC_REQUIRE(config.mean_service > 0.0);
@@ -88,13 +91,27 @@ GGkResult simulate_ggk(const GGkConfig& config) {
   };
 
   auto advance_to = [&](double t) {
-    const double dt = t - now;
+    // Clock monotonicity is the invariant every sojourn (now - arrival)
+    // depends on: all pushes are `now + nonneg` and the heap pops in time
+    // order, so a popped event behind `now` means heap corruption or a
+    // negative interarrival/duration — fail loudly instead of silently
+    // producing rt < 0 (which the old code only *counted*, post hoc).
+    STAC_ENSURE(t >= now - 1e-9 * std::max(1.0, now));
+    const double dt = std::max(0.0, t - now);
     if (dt > 0.0) {
-      for (std::size_t j : serving)
-        jobs[j].remaining =
-            std::max(0.0, jobs[j].remaining - job_rate(jobs[j]) * dt);
+      for (std::size_t j : serving) {
+        const double next = jobs[j].remaining - job_rate(jobs[j]) * dt;
+        // `next` can only dip below zero by float dust: every rate change
+        // (boost switch/revert, per-query timeout) reschedules the affected
+        // completions, so work depletes exactly at a scheduled completion
+        // modulo rounding in now + remaining/rate.  A materially negative
+        // residual would mean an unrescheduled rate change — the
+        // event-ordering bug the clamp used to mask.
+        STAC_ENSURE(next > -1e-6);
+        jobs[j].remaining = std::max(0.0, next);
+      }
     }
-    now = t;
+    now = std::max(now, t);
   };
   auto schedule_completion = [&](std::size_t j) {
     ++jobs[j].gen;
@@ -138,6 +155,7 @@ GGkResult simulate_ggk(const GGkConfig& config) {
           if (fault.action == FaultAction::kLatency) {
             job.demand *= 1.0 + std::max(0.0, fault.latency);
             ++result.latency_injections;
+            obs::instant("fault.ggk.service", "fault");
           }
         }
         job.remaining = job.demand;
@@ -215,6 +233,12 @@ GGkResult simulate_ggk(const GGkConfig& config) {
   result.residual_boost_refs = boost_refs;
   for (const Job& job : jobs)
     if (!job.done && job.overdue) ++result.residual_overdue_jobs;
+  span.arg("utilization", config.utilization);
+  span.arg("completed", static_cast<std::uint64_t>(result.completed));
+  span.arg("cos_switches", result.cos_switches);
+  obs::count("ggk.runs");
+  obs::count("ggk.completed", result.completed);
+  obs::count("ggk.latency_injections", result.latency_injections);
   return result;
 }
 

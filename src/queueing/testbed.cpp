@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stac::queueing {
 
@@ -87,11 +89,13 @@ void Testbed::record_trace_sample(double at) {
         "profiler.sample", fault_key(config_.seed, ++sample_ordinal_));
     if (fault.action == FaultAction::kDrop) {
       ++faults_.dropped_samples;
+      obs::instant("fault.profiler.sample.drop", "fault");
       return;
     }
     if (fault.action == FaultAction::kCorrupt) {
       ++faults_.corrupted_samples;
       corrupt_factor = fault.corrupt_factor;
+      obs::instant("fault.profiler.sample.corrupt", "fault");
     }
   }
   TraceSample sample;
@@ -234,6 +238,7 @@ void Testbed::handle_arrival(std::uint32_t wlid) {
     if (fault.action == FaultAction::kLatency) {
       q.demand *= 1.0 + std::max(0.0, fault.latency);
       ++faults_.latency_injections;
+      obs::instant("fault.testbed.service", "fault");
     }
   }
   q.remaining = q.demand;
@@ -341,6 +346,7 @@ void Testbed::force_revoke_boost(std::uint32_t wlid) {
   ++s.lease_gen;
   ++s.result.cos_switches;
   ++faults_.watchdog_revocations;
+  obs::instant("testbed.watchdog_revoke", "fault");
   recompute_rates();
   maybe_schedule_refresh();
 }
@@ -352,6 +358,8 @@ bool Testbed::all_done() const {
 }
 
 TestbedResult Testbed::run() {
+  STAC_TRACE_SPAN(span, "testbed.run", "queueing");
+  span.arg("workloads", static_cast<std::uint64_t>(wl_.size()));
   // Kick off one arrival per workload (staggered by the sampler itself).
   for (std::uint32_t w = 0; w < wl_.size(); ++w) {
     const WlState& s = wl_[w];
@@ -423,6 +431,10 @@ TestbedResult Testbed::run() {
     s.result.final_inflight_boosted = inflight_boosted;
     result.per_workload.push_back(std::move(s.result));
   }
+  span.arg("events", events_);
+  span.arg("sim_time", now_);
+  obs::count("testbed.runs");
+  obs::count("testbed.events", events_);
   return result;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "cat/stap.hpp"
@@ -134,12 +135,19 @@ struct TestbedResult {
   bool hit_event_cap = false;
   TestbedFaultCounters faults;
 
-  /// Mean response time of workload w.
+  /// Mean response time of workload w; quiet NaN for an out-of-range
+  /// workload id or when the workload completed zero queries (both happen
+  /// under heavy fault injection), never a thrown exception.
   [[nodiscard]] double mean_rt(std::size_t w) const {
-    return per_workload.at(w).response_times.mean();
+    if (w >= per_workload.size() || per_workload[w].completed == 0)
+      return std::numeric_limits<double>::quiet_NaN();
+    return per_workload[w].response_times.mean();
   }
   [[nodiscard]] double p95_rt(std::size_t w) const {
-    return per_workload.at(w).response_times.percentile(0.95);
+    if (w >= per_workload.size())
+      return std::numeric_limits<double>::quiet_NaN();
+    return per_workload[w].response_times.percentile_or(
+        0.95, std::numeric_limits<double>::quiet_NaN());
   }
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -16,11 +17,28 @@ TEST(StreamingStats, MeanVarianceMinMax) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
   EXPECT_EQ(st.count(), 8u);
   EXPECT_DOUBLE_EQ(st.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
-  EXPECT_DOUBLE_EQ(st.stddev(), 2.0);
+  // Sum of squared deviations is 32: sample variance 32/7, population 32/8.
+  EXPECT_DOUBLE_EQ(st.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(st.population_variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), std::sqrt(32.0 / 7.0));
   EXPECT_DOUBLE_EQ(st.min(), 2.0);
   EXPECT_DOUBLE_EQ(st.max(), 9.0);
-  EXPECT_DOUBLE_EQ(st.cv(), 0.4);
+  EXPECT_DOUBLE_EQ(st.cv(), std::sqrt(32.0 / 7.0) / 5.0);
+}
+
+// Regression: variance() used to return the biased population estimator
+// (m2/n), which understated dispersion — visibly so at the small sample
+// counts the stratified sampler and per-rung latency metrics operate on.
+TEST(StreamingStats, VarianceIsUnbiasedSampleEstimator) {
+  StreamingStats st;
+  st.add(1.0);
+  st.add(3.0);
+  // Two samples, squared deviations sum to 2: sample variance 2/1 = 2,
+  // not the population value 2/2 = 1 the old code produced.
+  EXPECT_DOUBLE_EQ(st.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(st.population_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(st.cv(), std::sqrt(2.0) / 2.0);
 }
 
 TEST(StreamingStats, EmptyIsSafe) {
@@ -29,6 +47,29 @@ TEST(StreamingStats, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(st.mean(), 0.0);
   EXPECT_DOUBLE_EQ(st.variance(), 0.0);
   EXPECT_DOUBLE_EQ(st.cv(), 0.0);
+}
+
+// Regression: min()/max() on an empty accumulator used to leak the
+// ±infinity fill sentinels; they now report NaN so downstream consumers
+// (metrics JSON, merged per-thread stats) can detect "no data".
+TEST(StreamingStats, EmptyMinMaxAreNaNNotSentinels) {
+  StreamingStats st;
+  EXPECT_TRUE(std::isnan(st.min()));
+  EXPECT_TRUE(std::isnan(st.max()));
+  StreamingStats other;
+  other.add(4.0);
+  st.merge(other);  // merging into empty must adopt, not mix with ±inf
+  EXPECT_DOUBLE_EQ(st.min(), 4.0);
+  EXPECT_DOUBLE_EQ(st.max(), 4.0);
+}
+
+TEST(StreamingStats, SingleSampleVarianceIsZero) {
+  StreamingStats st;
+  st.add(7.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(st.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(st.min(), 7.0);
+  EXPECT_DOUBLE_EQ(st.max(), 7.0);
 }
 
 TEST(StreamingStats, MergeMatchesSinglePass) {
@@ -81,6 +122,17 @@ TEST(SampleStats, PercentileOfEmptyThrows) {
   SampleStats st;
   EXPECT_THROW((void)st.percentile(0.5), ContractViolation);
   EXPECT_THROW((void)st.percentile(-0.1), ContractViolation);
+}
+
+// Regression: callers that can legitimately see zero samples (testbed runs
+// where every query faulted) need a non-throwing percentile.
+TEST(SampleStats, PercentileOrFallsBackOnEmpty) {
+  SampleStats st;
+  EXPECT_TRUE(std::isnan(
+      st.percentile_or(0.95, std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_DOUBLE_EQ(st.percentile_or(0.5, -1.0), -1.0);
+  st.add(3.0);
+  EXPECT_DOUBLE_EQ(st.percentile_or(0.5, -1.0), 3.0);
 }
 
 TEST(SampleStats, MeanStddev) {

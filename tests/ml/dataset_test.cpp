@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace stac::ml {
 namespace {
@@ -107,6 +111,62 @@ TEST(Dataset, ColumnCacheInvalidatedByAddRow) {
   const auto col = d.column(0);  // must rebuild, not serve the stale cache
   ASSERT_EQ(col.size(), 4u);
   EXPECT_DOUBLE_EQ(col[3], 50.0);
+}
+
+// Regression (TSan): column() used to re-read size() after the lock-free
+// ready check when constructing the returned span, so the span's offset and
+// length could mix the *new* row count with a cache built for the *old* one.
+// The geometry now comes from the row count snapshotted under the build
+// lock; a stale-but-consistent view is the documented contract.
+TEST(Dataset, ColumnGeometryComesFromBuildSnapshot) {
+  Dataset d = small_dataset(5);
+  const auto before = d.column(1);  // build the cache at 5 rows
+  ASSERT_EQ(before.size(), 5u);
+  d.add_row(std::vector<double>{7.0, 49.0}, 21.0);  // invalidates
+  const auto after = d.column(1);  // rebuilds at 6 rows
+  ASSERT_EQ(after.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_DOUBLE_EQ(after[i], d.row(i)[1]);
+}
+
+// TSan stress: many threads race through the double-checked cache build and
+// read every column concurrently — the access pattern of parallel forest
+// training over one shared level dataset during cascade fits.  Run under
+// -fsanitize=thread in CI; in a plain build it still verifies every view is
+// bitwise correct.
+TEST(Dataset, TSanConcurrentColumnReadsDuringCascadeTraining) {
+  for (int round = 0; round < 8; ++round) {
+    const Dataset d = small_dataset(64);  // fresh dataset: cold cache
+    constexpr std::size_t kThreads = 8;
+    std::atomic<int> errors{0};
+    std::vector<std::thread> readers;
+    readers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      readers.emplace_back([&d, &errors] {
+        for (int iter = 0; iter < 50; ++iter) {
+          for (std::size_t f = 0; f < d.feature_count(); ++f) {
+            const auto col = d.column(f);
+            if (col.size() != d.size()) ++errors;
+            for (std::size_t i = 0; i < col.size(); ++i)
+              if (col[i] != d.row(i)[f]) ++errors;
+          }
+        }
+      });
+    }
+    for (auto& r : readers) r.join();
+    EXPECT_EQ(errors.load(), 0);
+  }
+
+  // Same race exercised through the pool the cascade actually uses.
+  const Dataset d = small_dataset(128);
+  std::atomic<int> errors{0};
+  ThreadPool::global().parallel_for(0, 64, [&](std::size_t task) {
+    const std::size_t f = task % d.feature_count();
+    const auto col = d.column(f);
+    for (std::size_t i = 0; i < col.size(); ++i)
+      if (col[i] != d.row(i)[f]) ++errors;
+  });
+  EXPECT_EQ(errors.load(), 0);
 }
 
 TEST(Dataset, ColumnSurvivesCopy) {

@@ -1,0 +1,116 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace stac::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    set_enabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(MetricsTest, CounterAndGaugeBasics) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  reg.gauge("g").set(2.5);
+  EXPECT_EQ(reg.counter_value("a"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 2.5);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST_F(MetricsTest, HandleStabilityAcrossInsertions) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("stable");
+  for (int i = 0; i < 100; ++i)
+    reg.counter("other-" + std::to_string(i)).add();
+  a.add(7);  // the reference must still point at the same counter
+  EXPECT_EQ(reg.counter_value("stable"), 7u);
+}
+
+TEST_F(MetricsTest, ConcurrentCountsAreExact) {
+  auto& reg = MetricsRegistry::global();
+  constexpr int kThreads = 8, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) reg.counter("hot").add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("hot"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, LatencyRecorderMomentsAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(static_cast<double>(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_DOUBLE_EQ(rec.moments().mean(), 50.5);
+  EXPECT_NEAR(rec.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(rec.percentile(0.95), 95.05, 1e-9);
+}
+
+TEST_F(MetricsTest, LatencyPercentileOfEmptyIsNaNNotThrow) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(std::isnan(rec.percentile(0.95)));
+}
+
+TEST_F(MetricsTest, ReservoirCapKeepsMomentsComplete) {
+  LatencyRecorder rec(8);  // tiny reservoir
+  for (int i = 0; i < 100; ++i) rec.record(1.0);
+  EXPECT_EQ(rec.count(), 100u);       // moments cover everything
+  EXPECT_DOUBLE_EQ(rec.percentile(0.5), 1.0);  // reservoir still answers
+}
+
+TEST_F(MetricsTest, ToJsonShapeAndDeterminism) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("z.count").add(3);
+  reg.gauge("a.gauge").set(1.5);
+  reg.latency("m.lat").record(0.25);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"z.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"m.lat\": {\"count\": 1"), std::string::npos);
+  // Keys are sorted, so the document is byte-stable run to run.
+  EXPECT_LT(json.find("a.gauge"), json.find("m.lat"));
+  EXPECT_LT(json.find("m.lat"), json.find("z.count"));
+  EXPECT_EQ(json, reg.to_json());
+}
+
+TEST_F(MetricsTest, GatedHelpersRespectRuntimeFlag) {
+  set_enabled(false);
+  count("gated.counter");
+  set_gauge("gated.gauge", 1.0);
+  record_latency("gated.lat", 0.1);
+  EXPECT_EQ(MetricsRegistry::global().size(), 0u);
+
+  set_enabled(true);
+  count("gated.counter", 2);
+  EXPECT_EQ(MetricsRegistry::global().counter_value("gated.counter"), 2u);
+}
+
+TEST_F(MetricsTest, CountsFromPoolWorkers) {
+  set_enabled(true);
+  ThreadPool::global().parallel_for(0, 1000,
+                                    [](std::size_t) { count("pool.work"); });
+  EXPECT_EQ(MetricsRegistry::global().counter_value("pool.work"), 1000u);
+}
+
+}  // namespace
+}  // namespace stac::obs

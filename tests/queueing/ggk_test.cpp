@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::queueing {
 namespace {
@@ -219,6 +220,69 @@ TEST(GGkSimulator, ResidualNeverExceedsBoostedRate) {
   always.boost_prevalence = 0.0;
   EXPECT_GE(simulate_ggk(full).response_times.mean(),
             simulate_ggk(always).response_times.mean() * 0.95);
+}
+
+// Regression: negative_sojourns was a post-hoc counter papering over a
+// suspected event-ordering bug, and advance_to() silently clamped negative
+// residual work.  The event clock is provably monotone (every push is
+// `now + nonneg` and the heap pops in time order), so sojourns can never be
+// negative — the simulator now asserts both invariants inline, and this
+// sweep drives the adversarial corners (heavy tail, near-saturation, both
+// boost semantics, chaos on and off) to pin them.
+TEST(GGkSimulator, NegativeSojournsImpossibleUnderAdversarialSweep) {
+  for (const double cv : {0.3, 1.0, 2.5}) {
+    for (const double util : {0.5, 0.95}) {
+      for (const bool class_level : {true, false}) {
+        for (const std::uint64_t seed : {7u, 99u}) {
+          GGkConfig c;
+          c.utilization = util;
+          c.servers = 2;
+          c.mean_service = 1.0;
+          c.service_cv = cv;
+          c.timeout_rel = 0.5;  // aggressive boosting: many reschedules
+          c.effective_allocation = 0.6;
+          c.allocation_ratio = 3.0;
+          c.class_level_boost = class_level;
+          c.queries = 12'000;
+          c.warmup = 500;
+          c.seed = seed;
+          const GGkResult r = simulate_ggk(c);
+          EXPECT_EQ(r.negative_sojourns, 0u)
+              << "cv=" << cv << " util=" << util
+              << " class_level=" << class_level << " seed=" << seed;
+          EXPECT_GE(r.response_times.min(), 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(GGkSimulator, NegativeSojournsImpossibleWithServiceChaos) {
+  // Latency injection inflates demand at arrival — it must never bend the
+  // event clock or the sojourn accounting.
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.add({.point = "ggk.service",
+            .action = FaultAction::kLatency,
+            .probability = 0.1,
+            .latency = 5.0});
+  FaultScope scope(plan);
+
+  GGkConfig c;
+  c.utilization = 0.9;
+  c.servers = 2;
+  c.mean_service = 1.0;
+  c.service_cv = 2.0;
+  c.timeout_rel = 0.5;
+  c.effective_allocation = 0.6;
+  c.allocation_ratio = 3.0;
+  c.queries = 20'000;
+  c.warmup = 500;
+  c.seed = 3;
+  const GGkResult r = simulate_ggk(c);
+  EXPECT_GT(r.latency_injections, 0u);
+  EXPECT_EQ(r.negative_sojourns, 0u);
+  EXPECT_GE(r.response_times.min(), 0.0);
 }
 
 }  // namespace

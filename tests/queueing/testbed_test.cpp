@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
 #include "wl/benchmark_suite.hpp"
@@ -41,6 +43,28 @@ class TestbedTest : public ::testing::Test {
   wl::WorkloadModel bfs_;
   cat::AllocationPlan plan_;
 };
+
+// Regression: mean_rt()/p95_rt() used to throw (vector::at out-of-range or
+// a percentile-of-empty ContractViolation) for unknown workload ids and for
+// runs with zero counted completions — both reachable under heavy fault
+// injection.  They now report quiet NaN, the "no data" value every caller
+// can branch on.
+TEST_F(TestbedTest, RtAccessorsReturnNaNForUnknownOrEmptyWorkloads) {
+  TestbedResult empty;  // no workloads at all
+  EXPECT_TRUE(std::isnan(empty.mean_rt(0)));
+  EXPECT_TRUE(std::isnan(empty.p95_rt(0)));
+
+  const TestbedResult r = Testbed(config(6.0, 6.0)).run();
+  EXPECT_TRUE(std::isnan(r.mean_rt(99)));  // out-of-range id
+  EXPECT_TRUE(std::isnan(r.p95_rt(99)));
+  EXPECT_FALSE(std::isnan(r.mean_rt(0)));  // healthy ids unaffected
+  EXPECT_FALSE(std::isnan(r.p95_rt(0)));
+
+  TestbedResult zero;  // a workload slot that completed nothing
+  zero.per_workload.resize(1);
+  EXPECT_TRUE(std::isnan(zero.mean_rt(0)));
+  EXPECT_TRUE(std::isnan(zero.p95_rt(0)));
+}
 
 TEST_F(TestbedTest, CompletesRequestedQueries) {
   Testbed bed(config(6.0, 6.0));
