@@ -21,15 +21,34 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/stac_manager.hpp"
 #include "obs/metrics.hpp"
 
 namespace stac::bench {
+
+/// Size the global thread pool for a bench run and return the effective
+/// worker count.  Honors an explicit STAC_THREADS; otherwise defaults to
+/// max(2, hardware_concurrency) so parallel-vs-serial comparisons exercise
+/// real concurrency even on single-core CI runners (BENCH_PR2.json once
+/// recorded a 0.94x "parallel speedup" measured on a 1-thread pool).  Must
+/// be called before the first ThreadPool::global() use — the pool reads
+/// STAC_THREADS exactly once.  Sections that claim a speedup should record
+/// this count and skip the claim when it is 1.
+inline std::size_t ensure_bench_pool() {
+  if (std::getenv("STAC_THREADS") == nullptr) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned workers = std::max(2u, hw);
+    ::setenv("STAC_THREADS", std::to_string(workers).c_str(), /*overwrite=*/0);
+  }
+  return ThreadPool::global().size();
+}
 
 /// Default target for the machine-readable bench record: overridable via
 /// the STAC_BENCH_JSON environment variable, else BENCH_PR2.json in the

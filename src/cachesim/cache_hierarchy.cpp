@@ -11,6 +11,10 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config,
     : config_(config), llc_(config.llc) {
   STAC_REQUIRE(config.valid());
   STAC_REQUIRE(max_classes >= 1);
+  line_pow2_ = std::has_single_bit(config.l1d.line_bytes);
+  if (line_pow2_)
+    line_shift_ =
+        static_cast<std::uint32_t>(std::countr_zero(config.l1d.line_bytes));
   l1d_.reserve(max_classes);
   l1i_.reserve(max_classes);
   l2_.reserve(max_classes);
@@ -37,7 +41,9 @@ std::uint32_t CacheHierarchy::access(ClassId class_id,
                                      const MemoryAccess& ref) {
   STAC_REQUIRE(class_id < counters_.size());
   CounterSnapshot& ctr = counters_[class_id];
-  const std::uint64_t line = ref.address / config_.l1d.line_bytes;
+  const std::uint64_t line = line_pow2_
+                                 ? ref.address >> line_shift_
+                                 : ref.address / config_.l1d.line_bytes;
   const bool is_store = ref.type == AccessType::kStore;
   const bool is_ifetch = ref.type == AccessType::kIfetch;
   const bool is_prefetch = ref.type == AccessType::kPrefetch;
@@ -117,6 +123,144 @@ std::uint32_t CacheHierarchy::access(ClassId class_id,
   ctr.bump(Counter::kMemBandwidthBytes, config_.llc.line_bytes);
   ctr.bump(Counter::kStallCycles, config_.memory_latency_cycles);
   return latency;
+}
+
+namespace {
+// Counter selection by access type (kLoad, kStore, kIfetch, kPrefetch) —
+// the same classification access() makes with its is_store/is_ifetch/
+// is_prefetch branch chains, folded into lookups so the replay loop stays
+// branch-light on unpredictable type mixes.
+constexpr Counter kL1AccCtr[4] = {Counter::kL1dLoads, Counter::kL1dStores,
+                                  Counter::kL1iLoads, Counter::kL1dLoads};
+constexpr Counter kL1MissCtr[4] = {
+    Counter::kL1dLoadMisses, Counter::kL1dStoreMisses,
+    Counter::kL1iLoadMisses, Counter::kL1dLoadMisses};
+constexpr Counter kL2AccCtr[4] = {Counter::kL2Loads, Counter::kL2Stores,
+                                  Counter::kL2Loads, Counter::kL2Prefetches};
+constexpr Counter kL2MissCtr[4] = {
+    Counter::kL2LoadMisses, Counter::kL2StoreMisses, Counter::kL2LoadMisses,
+    Counter::kL2PrefetchMisses};
+constexpr Counter kLlcAccCtr[4] = {Counter::kLlcLoads, Counter::kLlcStores,
+                                   Counter::kLlcLoads, Counter::kLlcLoads};
+constexpr Counter kLlcMissCtr[4] = {
+    Counter::kLlcLoadMisses, Counter::kLlcStoreMisses, Counter::kLlcLoadMisses,
+    Counter::kLlcLoadMisses};
+constexpr Counter kMemCtr[4] = {Counter::kMemReads, Counter::kMemWrites,
+                                Counter::kMemReads, Counter::kMemReads};
+}  // namespace
+
+template <std::size_t W>
+[[gnu::always_inline]] inline AccessResult CacheHierarchy::probe_level(
+    CacheLevel& level, std::uint64_t line, WayMask fill_mask,
+    ClassId class_id) {
+  if constexpr (W == 0) {
+    return level.access(line, fill_mask, class_id);
+  } else {
+    return level.template access_soa_impl<W>(line, fill_mask, class_id);
+  }
+}
+
+std::uint64_t CacheHierarchy::replay(const MemoryAccess* refs,
+                                     const ClassId* classes, std::size_t n) {
+  // Pick the loop instantiation once per batch: the default Xeon presets
+  // all use 8/8/16/20 ways, so that tuple gets a fully specialized body
+  // whose SoA probes inline and unroll; anything else (or any level still
+  // on the legacy layout) takes the generic body driven through access().
+  if (config_.l1d.soa && config_.l1i.soa && config_.l2.soa &&
+      config_.llc.soa && config_.l1d.ways == 8 && config_.l1i.ways == 8 &&
+      config_.l2.ways == 16 && config_.llc.ways == 20) {
+    return replay_fixed<8, 8, 16, 20>(refs, classes, n);
+  }
+  return replay_fixed<0, 0, 0, 0>(refs, classes, n);
+}
+
+template <std::size_t L1DW, std::size_t L1IW, std::size_t L2W,
+          std::size_t LLCW>
+std::uint64_t CacheHierarchy::replay_fixed(const MemoryAccess* refs,
+                                           const ClassId* classes,
+                                           std::size_t n) {
+  // Mirrors access() bump-for-bump (any change there must be reflected
+  // here; the replay identity test holds the two together).  The loop body
+  // lives in one TU with the level probes, hoists the per-level latencies
+  // and L1/L2 fill masks, and classifies each reference through the type
+  // tables above instead of a per-reference branch chain.
+  const std::uint32_t l1d_lat = config_.l1d.latency_cycles;
+  const std::uint32_t l1i_lat = config_.l1i.latency_cycles;
+  const std::uint32_t l2_lat = config_.l2.latency_cycles;
+  const std::uint32_t llc_lat = config_.llc.latency_cycles;
+  const std::uint32_t mem_lat = config_.memory_latency_cycles;
+  // Hoisted into locals: the member vectors never reallocate during a
+  // replay, but the level probes write through their data pointers, so
+  // without the locals the compiler must re-derive size() (a 64-bit
+  // divide) and the data pointers every iteration.
+  const std::size_t nclasses = counters_.size();
+  CounterSnapshot* const ctrs = counters_.data();
+  CacheLevel* const l1d = l1d_.data();
+  CacheLevel* const l1i = l1i_.data();
+  CacheLevel* const l2s = l2_.data();
+  const WayMask* const masks = llc_masks_.data();
+  // Validate the class column up front so the per-reference path carries no
+  // bounds branch; the pre-pass is a trivially-predicted streaming scan.
+  ClassId max_class = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_class = classes[i] > max_class ? classes[i] : max_class;
+  STAC_REQUIRE(n == 0 || max_class < nclasses);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClassId c = classes[i];
+    const MemoryAccess ref = refs[i];
+    const auto t = static_cast<std::size_t>(ref.type) & 3u;
+    const std::uint64_t line = line_pow2_
+                                   ? ref.address >> line_shift_
+                                   : ref.address / config_.l1d.line_bytes;
+    CounterSnapshot& ctr = ctrs[c];
+    const bool is_ifetch = ref.type == AccessType::kIfetch;
+
+    std::uint32_t latency = is_ifetch ? l1i_lat : l1d_lat;
+    ctr.bump(kL1AccCtr[t]);
+    const AccessResult r1 =
+        is_ifetch
+            ? probe_level<L1IW>(l1i[c], line, l1i[c].full_mask(), c)
+            : probe_level<L1DW>(l1d[c], line, l1d[c].full_mask(), c);
+    if (r1.hit) {
+      total += latency;
+      continue;
+    }
+    ctr.bump(kL1MissCtr[t]);
+
+    CacheLevel& l2 = l2s[c];
+    latency += l2_lat;
+    ctr.bump(Counter::kL2Requests);
+    ctr.bump(kL2AccCtr[t]);
+    const AccessResult r2 = probe_level<L2W>(l2, line, l2.full_mask(), c);
+    if (r2.evicted) ctr.bump(Counter::kL2Evictions);
+    if (r2.hit) {
+      total += latency;
+      continue;
+    }
+    ctr.bump(kL2MissCtr[t]);
+
+    latency += llc_lat;
+    ctr.bump(kLlcAccCtr[t]);
+    const WayMask mask = masks[c];
+    const AccessResult r3 = probe_level<LLCW>(llc_, line, mask, c);
+    if (r3.evicted) ctr.bump(Counter::kLlcEvictions);
+    if (r3.hit) {
+      if (r3.hit_outside_mask) ctr.bump(Counter::kLlcSharedWayHits);
+      total += latency;
+      continue;
+    }
+    ctr.bump(kLlcMissCtr[t]);
+    if (std::popcount(mask) * 3 > static_cast<int>(config_.llc.ways))
+      ctr.bump(Counter::kLlcBoostedFills);
+
+    latency += mem_lat;
+    ctr.bump(kMemCtr[t]);
+    ctr.bump(Counter::kMemBandwidthBytes, config_.llc.line_bytes);
+    ctr.bump(Counter::kStallCycles, mem_lat);
+    total += latency;
+  }
+  return total;
 }
 
 void CacheHierarchy::retire_instructions(ClassId class_id, std::uint64_t n) {

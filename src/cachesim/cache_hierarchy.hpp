@@ -52,6 +52,15 @@ class CacheHierarchy {
   /// Returns the total latency in cycles, and updates the class's counters.
   std::uint32_t access(ClassId class_id, const MemoryAccess& ref);
 
+  /// Replay a pre-recorded reference stream: equivalent to calling
+  /// access() per reference and summing the latencies — counters end up
+  /// bit-identical — but the batched loop hoists the per-level constants
+  /// and classifies references through type-indexed counter tables
+  /// instead of access()'s per-reference branch chains.  Trace-driven
+  /// benchmarks and calibration replays should use this entry point.
+  std::uint64_t replay(const MemoryAccess* refs, const ClassId* classes,
+                       std::size_t n);
+
   /// Charge `n` retired instructions to the class (IPC bookkeeping).  Call
   /// alongside access(); non-memory instructions cost one cycle each.
   void retire_instructions(ClassId class_id, std::uint64_t n);
@@ -68,7 +77,24 @@ class CacheHierarchy {
   [[nodiscard]] const CacheLevel& llc() const { return llc_; }
 
  private:
+  /// replay() loop body, stamped per (L1D, L1I, L2, LLC) way-width tuple so
+  /// the SoA probes inline and unroll into the loop.  Width 0 falls back to
+  /// the generic access() dispatcher for that level (any layout/geometry).
+  template <std::size_t L1DW, std::size_t L1IW, std::size_t L2W,
+            std::size_t LLCW>
+  std::uint64_t replay_fixed(const MemoryAccess* refs, const ClassId* classes,
+                             std::size_t n);
+  /// Probe one level with a compile-time way width (0 = generic dispatch).
+  template <std::size_t W>
+  static AccessResult probe_level(CacheLevel& level, std::uint64_t line,
+                                  WayMask fill_mask, ClassId class_id);
+
   HierarchyConfig config_;
+  /// Precomputed line-address shift (line_bytes is power-of-two in every
+  /// preset; falls back to division otherwise) — access() runs per memory
+  /// reference, so the repeated 64-bit divide was measurable.
+  std::uint32_t line_shift_ = 0;
+  bool line_pow2_ = false;
   std::vector<CacheLevel> l1d_;
   std::vector<CacheLevel> l1i_;
   std::vector<CacheLevel> l2_;

@@ -1,6 +1,10 @@
 #include "cachesim/cache_level.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
+#include <limits>
+#include <numeric>
 
 #include "common/check.hpp"
 
@@ -21,12 +25,20 @@ CacheLevel::CacheLevel(const LevelConfig& config) : config_(config) {
   sets_ = config.sets();
   set_bits_ = static_cast<std::size_t>(std::countr_zero(sets_));
   set_mask_ = sets_ - 1;
-  ways_.resize(sets_ * config.ways);
+  if (config_.soa) {
+    keys_.resize(sets_ * config.ways, 0);
+    ages_.resize(sets_ * config.ways, 0);
+    owners_.resize(sets_ * config.ways, kNoClass);
+    set_clock_.resize(sets_, 0);
+    mru_.resize(sets_, 0);
+  } else {
+    ways_.resize(sets_ * config.ways);
+  }
   occupancy_.resize(1, 0);
 }
 
-AccessResult CacheLevel::access(std::uint64_t line_addr, WayMask fill_mask,
-                                ClassId class_id) {
+AccessResult CacheLevel::access_legacy(std::uint64_t line_addr,
+                                       WayMask fill_mask, ClassId class_id) {
   AccessResult result;
   const std::size_t set = set_index(line_addr);
   const std::uint64_t tag = tag_of(line_addr);
@@ -65,27 +77,39 @@ AccessResult CacheLevel::access(std::uint64_t line_addr, WayMask fill_mask,
   STAC_ENSURE(victim < config_.ways);
 
   Way& way = base[victim];
-  if (way.valid) {
-    result.evicted = true;
-    result.evicted_class = way.owner;
-    if (way.owner != kNoClass && way.owner < occupancy_.size() &&
-        occupancy_[way.owner] > 0)
-      --occupancy_[way.owner];
-  }
+  if (way.valid) note_eviction(way.owner, result);
   way.tag = tag;
   way.valid = true;
   way.owner = class_id;
   way.lru_stamp = clock_;
-  if (class_id != kNoClass) {
-    if (class_id >= occupancy_.size()) occupancy_.resize(class_id + 1, 0);
-    ++occupancy_[class_id];
-  }
+  note_install(class_id);
   return result;
+}
+
+void CacheLevel::renormalize_set_ages(std::size_t set) {
+  // Rank-compress the set's ages to 1..ways.  Relative order — the only
+  // thing LRU selection reads — is preserved exactly.
+  std::uint32_t* age = ages_.data() + set * config_.ways;
+  std::array<std::uint8_t, 32> order{};
+  const std::size_t n = config_.ways;
+  std::iota(order.begin(), order.begin() + n, std::uint8_t{0});
+  std::sort(order.begin(), order.begin() + n,
+            [age](std::uint8_t a, std::uint8_t b) { return age[a] < age[b]; });
+  for (std::size_t rank = 0; rank < n; ++rank)
+    age[order[rank]] = static_cast<std::uint32_t>(rank + 1);
+  set_clock_[set] = static_cast<std::uint32_t>(n);
 }
 
 bool CacheLevel::contains(std::uint64_t line_addr) const {
   const std::size_t set = set_index(line_addr);
   const std::uint64_t tag = tag_of(line_addr);
+  if (config_.soa) {
+    const std::uint64_t* keys = keys_.data() + set * config_.ways;
+    const std::uint64_t probe = tag | kValidBit;
+    bool found = false;
+    for (std::size_t w = 0; w < config_.ways; ++w) found |= keys[w] == probe;
+    return found;
+  }
   const Way* base = ways_.data() + set * config_.ways;
   for (std::size_t w = 0; w < config_.ways; ++w)
     if (base[w].valid && base[w].tag == tag) return true;
@@ -97,13 +121,28 @@ std::size_t CacheLevel::occupancy(ClassId class_id) const {
 }
 
 void CacheLevel::flush() {
-  for (auto& w : ways_) w = Way{};
+  if (config_.soa) {
+    std::fill(keys_.begin(), keys_.end(), std::uint64_t{0});
+    std::fill(ages_.begin(), ages_.end(), 0u);
+    std::fill(owners_.begin(), owners_.end(), kNoClass);
+  } else {
+    for (auto& w : ways_) w = Way{};
+  }
   for (auto& o : occupancy_) o = 0;
 }
 
 void CacheLevel::flush_class(ClassId class_id) {
-  for (auto& w : ways_) {
-    if (w.valid && w.owner == class_id) w = Way{};
+  if (config_.soa) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if ((keys_[i] & kValidBit) != 0 && owners_[i] == class_id) {
+        keys_[i] = 0;
+        owners_[i] = kNoClass;
+      }
+    }
+  } else {
+    for (auto& w : ways_) {
+      if (w.valid && w.owner == class_id) w = Way{};
+    }
   }
   if (class_id < occupancy_.size()) occupancy_[class_id] = 0;
 }

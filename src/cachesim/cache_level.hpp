@@ -6,12 +6,30 @@
 //   * Lookups hit in ANY way — a line installed while a workload was boosted
 //     keeps serving hits after the boost is revoked, until evicted.
 // Replacement is LRU within the permitted ways; invalid ways are preferred.
+//
+// Two storage layouts (LevelConfig::soa, DESIGN.md §10):
+//   * SoA (default): per-set lanes — a packed 64-bit key lane holding
+//     (tag << 1) | valid, owner ids, and 32-bit per-set age counters (with
+//     rank renormalization on wrap) instead of a global 64-bit LRU stamp.
+//     The tag probe touches only the key lane and accumulates one compare
+//     per way into a match mask (branchless, unrolled); victim selection
+//     is a countr_zero on the invalid mask or a strided min-age sweep.
+//   * Legacy AoS: the original vector<Way> reference implementation.
+// Replacement decisions are identical: per-set age order is exactly the
+// per-set order of the legacy global stamps.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "cachesim/cache_config.hpp"
+#include "common/check.hpp"
 
 namespace stac::cachesim {
 
@@ -42,8 +60,26 @@ class CacheLevel {
   /// installs the line into a way permitted by `fill_mask`, evicting LRU.
   /// If `fill_mask` has no bits within the way range, the access bypasses
   /// the cache (counts as a miss, installs nothing).
+  ///
+  /// Defined inline (with the SoA body below) so per-reference callers —
+  /// the hierarchy and trace replays — pay no call/dispatch overhead on
+  /// the hot path.  The legacy layout stays out-of-line in the .cpp.
   AccessResult access(std::uint64_t line_addr, WayMask fill_mask,
-                      ClassId class_id);
+                      ClassId class_id) {
+    if (!config_.soa) return access_legacy(line_addr, fill_mask, class_id);
+    // Fixed-width bodies for the way counts the presets use, so the
+    // per-way loops unroll into straight-line compare/select code; the
+    // W = 0 body is the generic runtime-count fallback.
+    switch (config_.ways) {
+      case 4: return access_soa_impl<4>(line_addr, fill_mask, class_id);
+      case 8: return access_soa_impl<8>(line_addr, fill_mask, class_id);
+      case 11: return access_soa_impl<11>(line_addr, fill_mask, class_id);
+      case 12: return access_soa_impl<12>(line_addr, fill_mask, class_id);
+      case 16: return access_soa_impl<16>(line_addr, fill_mask, class_id);
+      case 20: return access_soa_impl<20>(line_addr, fill_mask, class_id);
+      default: return access_soa_impl<0>(line_addr, fill_mask, class_id);
+    }
+  }
 
   /// Probe without side effects.
   [[nodiscard]] bool contains(std::uint64_t line_addr) const;
@@ -66,12 +102,67 @@ class CacheLevel {
   }
 
  private:
+  /// CacheHierarchy::replay() dispatches on the way widths once per batch
+  /// and then drives access_soa_impl<W> directly, skipping the per-access
+  /// layout/width dispatch in access().
+  friend class CacheHierarchy;
+
+  // --- legacy AoS storage (config_.soa == false) ---
   struct Way {
     std::uint64_t tag = 0;
     std::uint64_t lru_stamp = 0;
     ClassId owner = kNoClass;
     bool valid = false;
   };
+  AccessResult access_legacy(std::uint64_t line_addr, WayMask fill_mask,
+                             ClassId class_id);
+
+  // --- SoA storage (config_.soa == true) ---
+  /// W = compile-time way count (0 = generic runtime loop).  The fixed
+  /// widths let the probe and age scans fully unroll into straight-line
+  /// compare/select code — the "branch-light strided sweep".  Defined
+  /// inline below the class; always_inline because the per-access call
+  /// (prologue + struct return + dispatch) otherwise costs as much as the
+  /// probe itself, and GCC's size heuristic refuses on its own.
+  template <std::size_t W>
+  [[gnu::always_inline]] inline AccessResult access_soa_impl(
+      std::uint64_t line_addr, WayMask fill_mask, ClassId class_id);
+  /// Advance the set's age clock; on wrap, rank-compress the set's ages
+  /// (relative order preserved, so replacement decisions are unaffected).
+  std::uint32_t bump_set_clock(std::size_t set) {
+    std::uint32_t& c = set_clock_[set];
+    // Renormalize one tick before the ceiling: no real age ever equals
+    // UINT32_MAX, which the masked victim scan uses as its "not
+    // permitted" sentinel.
+    if (c >= std::numeric_limits<std::uint32_t>::max() - 1) [[unlikely]]
+      renormalize_set_ages(set);
+    return ++c;
+  }
+  /// Cold path of bump_set_clock (out of line in the .cpp).
+  void renormalize_set_ages(std::size_t set);
+
+  // Occupancy bookkeeping shared by both layouts (inline: they sit on the
+  // install path of every simulated miss).  Eviction *requires* the books
+  // to balance: every valid line with a real owner was installed through
+  // note_install, so its class slot exists and is nonzero.
+  void note_eviction(ClassId owner, AccessResult& result) {
+    result.evicted = true;
+    result.evicted_class = owner;
+    if (owner != kNoClass) {
+      // Tight invariant: a valid owned line always has a live occupancy
+      // slot (note_install created/extended it), so a shortfall here is a
+      // bookkeeping bug, not a condition to paper over.
+      STAC_ENSURE(owner < occupancy_.size());
+      STAC_ENSURE(occupancy_[owner] > 0);
+      --occupancy_[owner];
+    }
+  }
+  void note_install(ClassId class_id) {
+    if (class_id == kNoClass) return;
+    if (class_id >= occupancy_.size()) [[unlikely]]
+      occupancy_.resize(class_id + 1, 0);
+    ++occupancy_[class_id];
+  }
 
   [[nodiscard]] std::size_t set_index(std::uint64_t line_addr) const {
     return static_cast<std::size_t>(line_addr) & set_mask_;
@@ -84,9 +175,129 @@ class CacheLevel {
   std::size_t sets_ = 0;
   std::size_t set_bits_ = 0;
   std::size_t set_mask_ = 0;
-  std::uint64_t clock_ = 0;
-  std::vector<Way> ways_;  // sets_ x config_.ways, row-major
+  std::uint64_t clock_ = 0;  // legacy global LRU clock
+  std::vector<Way> ways_;    // legacy: sets_ x config_.ways, row-major
+  // SoA lanes (allocated only when config_.soa), row-major per set.  The
+  // probe touches exactly one lane: keys_ packs tag | kValidBit, which is
+  // lossless (a line tag uses at most 58 bits) and makes the probe a
+  // single equality against tag | kValidBit — invalid ways can never
+  // match.  Valid lives in the sign bit so a 2-wide SSE2 sweep reads the
+  // whole set's valid mask with sign-bit movemasks.
+  static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> ages_;      // hit-update / victim-scan lane
+  std::vector<ClassId> owners_;          // install/evict bookkeeping lane
+  std::vector<std::uint32_t> set_clock_; // one age clock per set
+  std::vector<std::uint8_t> mru_;        // way-prediction hint per set
   std::vector<std::size_t> occupancy_;
 };
+
+template <std::size_t W>
+AccessResult CacheLevel::access_soa_impl(std::uint64_t line_addr,
+                                         WayMask fill_mask, ClassId class_id) {
+  AccessResult result;
+  const std::size_t set = set_index(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  const std::size_t ways = W != 0 ? W : config_.ways;
+  const std::size_t base = set * ways;
+
+  // Branch-light strided probe over the packed key lane: one compare per
+  // way folded into a match mask (unrolled, no per-way branch), then a
+  // single test.  The probe key carries the valid bit, so invalid ways can
+  // never match, and a set never holds two valid ways with the same tag
+  // (installs happen only on miss) — the lowest match bit is the only one.
+  std::uint64_t* keys = keys_.data() + base;
+  const std::uint64_t probe = tag | kValidBit;
+
+  // Way prediction: probe the set's most-recently-touched way first.  A
+  // set holds at most one match, so a predicted hit needs one compare
+  // instead of the full sweep; temporal locality makes this the common
+  // case on real traces.  Pure probe-order hint — results are identical.
+  const std::size_t mru = mru_[set];
+  if (keys[mru] == probe) {
+    ages_[base + mru] = bump_set_clock(set);
+    result.hit = true;
+    result.hit_outside_mask = ((fill_mask >> mru) & 1u) == 0;
+    return result;
+  }
+
+  // One branch-light sweep of the key lane produces both the match mask
+  // and the valid mask.  With SSE2, two ways per step: 64-bit equality is
+  // two 32-bit lane compares ANDed with their pairwise swap, and both
+  // masks fall out of sign-bit movemasks (valid is the key's sign bit).
+  std::uint32_t match = 0;
+  std::uint32_t vmask = 0;
+#if defined(__SSE2__)
+  {
+    const __m128i vprobe = _mm_set1_epi64x(static_cast<long long>(probe));
+    std::size_t w = 0;
+    for (; w + 2 <= ways; w += 2) {
+      const __m128i k =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + w));
+      const __m128i eq32 = _mm_cmpeq_epi32(k, vprobe);
+      const __m128i eq64 = _mm_and_si128(
+          eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+      match |= static_cast<std::uint32_t>(
+                   _mm_movemask_pd(_mm_castsi128_pd(eq64)))
+               << w;
+      vmask |= static_cast<std::uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(k)))
+               << w;
+    }
+    for (; w < ways; ++w) {
+      match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
+      vmask |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
+    }
+  }
+#else
+  for (std::size_t w = 0; w < ways; ++w) {
+    match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
+    vmask |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
+  }
+#endif
+  if (match != 0) {
+    const auto w = static_cast<std::size_t>(std::countr_zero(match));
+    ages_[base + w] = bump_set_clock(set);
+    mru_[set] = static_cast<std::uint8_t>(w);
+    result.hit = true;
+    result.hit_outside_mask = ((fill_mask >> w) & 1u) == 0;
+    return result;
+  }
+
+  const WayMask usable = fill_mask & full_mask();
+  if (usable == 0) return result;  // bypass: nothing to fill into
+
+  // Invalid permitted ways first (lowest index, as the legacy scan picks),
+  // else the strict-min age among permitted ways.  Ages within a set are
+  // distinct (each comes from a fresh clock tick), so the minimum is
+  // unique and matches the legacy first-strictly-smaller scan.  Excluded
+  // ways read as "infinitely young" instead of being branched around.
+  const std::uint32_t invalid = usable & ~vmask;
+  std::size_t victim;
+  if (invalid != 0) {
+    victim = static_cast<std::size_t>(std::countr_zero(invalid));
+  } else {
+    const std::uint32_t* age = ages_.data() + base;
+    std::uint32_t oldest = std::numeric_limits<std::uint32_t>::max();
+    victim = ways;
+    for (std::size_t w = 0; w < ways; ++w) {
+      const std::uint32_t a = ((usable >> w) & 1u) != 0
+                                  ? age[w]
+                                  : std::numeric_limits<std::uint32_t>::max();
+      const bool better = a < oldest;
+      oldest = better ? a : oldest;
+      victim = better ? w : victim;
+    }
+  }
+  STAC_ENSURE(victim < ways);
+
+  if (((vmask >> victim) & 1u) != 0)
+    note_eviction(owners_[base + victim], result);
+  keys[victim] = probe;
+  owners_[base + victim] = class_id;
+  ages_[base + victim] = bump_set_clock(set);
+  mru_[set] = static_cast<std::uint8_t>(victim);
+  note_install(class_id);
+  return result;
+}
 
 }  // namespace stac::cachesim

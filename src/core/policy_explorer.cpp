@@ -18,6 +18,7 @@ PolicyExploration explore_policies(const RtPredictor& predictor,
   STAC_TRACE_SPAN(sweep_span, "explore.sweep", "explore");
   sweep_span.arg("grid", static_cast<std::uint64_t>(g));
   sweep_span.arg("cells", static_cast<std::uint64_t>(g * g));
+  const RtPredictionCache::Stats cache_before = predictor.cache_stats();
   PolicyExploration out;
   out.predicted_primary = Matrix(g, g);
   out.predicted_collocated = Matrix(g, g);
@@ -48,6 +49,18 @@ PolicyExploration explore_policies(const RtPredictor& predictor,
   }
   out.predictions_made = 2 * g * g;
   obs::count("explore.cells", g * g);
+
+  // How much of the sweep the simulation memoizer absorbed (the grid cells
+  // share seeds and, with analytic EA, whole configs — DESIGN.md §10).
+  {
+    const RtPredictionCache::Stats after = predictor.cache_stats();
+    const RtPredictionCache::Stats delta{after.hits - cache_before.hits,
+                                         after.misses - cache_before.misses};
+    sweep_span.arg("sim_cache_hits", delta.hits);
+    sweep_span.arg("sim_cache_misses", delta.misses);
+    if (delta.hits + delta.misses > 0)
+      obs::set_gauge("explore.sim_cache_hit_rate", delta.hit_rate());
+  }
 
   double best_p = std::numeric_limits<double>::infinity();
   double best_c = std::numeric_limits<double>::infinity();

@@ -26,7 +26,7 @@ RtPredictor::RtPredictor(const profiler::Profiler& profiler,
                          const EaModel* model, const ProfileLibrary* library,
                          RtPredictorConfig config)
     : profiler_(profiler), model_(model), library_(library),
-      config_(config) {
+      config_(config), sim_cache_(config.memoize) {
   if (!config_.analytic_ea) {
     const bool has_model = model_ != nullptr && model_->trained();
     const bool has_library = library_ != nullptr && !library_->empty();
@@ -173,7 +173,8 @@ RtPrediction RtPredictor::predict_for_profile(
   g.queries = config_.sim_queries;
   g.warmup = config_.sim_warmup;
   g.seed = config_.seed;
-  const GGkResult r = queueing::simulate_ggk(g);
+  const auto r_ptr = sim_cache_.simulate(g);
+  const GGkResult& r = *r_ptr;
   // A fault-degraded simulation can complete zero queries; NaN marks the
   // prediction as "no data" instead of throwing out of the predictor.
   out.mean_rt = r.response_times.mean();
@@ -230,7 +231,8 @@ RtPrediction RtPredictor::predict(const RuntimeCondition& condition) const {
     gp.queries = config_.sim_queries;
     gp.warmup = config_.sim_warmup;
     gp.seed = config_.seed + iter;
-    const GGkResult rp = queueing::simulate_ggk(gp);
+    const auto rp_ptr = sim_cache_.simulate(gp);
+    const GGkResult& rp = *rp_ptr;
 
     // Collocated side, for its feedback features only.
     const RuntimeCondition swapped = condition.swapped();
@@ -250,7 +252,8 @@ RtPrediction RtPredictor::predict(const RuntimeCondition& condition) const {
     }
     gc.boost_prevalence = prevalence_c;
     gc.seed = config_.seed + 1000 + iter;
-    const GGkResult rc = queueing::simulate_ggk(gc);
+    const auto rc_ptr = sim_cache_.simulate(gc);
+    const GGkResult& rc = *rc_ptr;
 
     out.mean_rt = rp.response_times.mean();
     out.p95_rt = rp.response_times.percentile_or(

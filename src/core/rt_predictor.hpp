@@ -14,6 +14,7 @@
 
 #include "core/ea_model.hpp"
 #include "core/profile_library.hpp"
+#include "core/rt_prediction_cache.hpp"
 #include "queueing/ggk_simulator.hpp"
 
 namespace stac::core {
@@ -53,6 +54,11 @@ struct RtPredictorConfig {
   /// EA source when no learned model is attached (the Fig. 6 "Queue Model"
   /// comparator): contention-blind analytic EA from the solo speedup.
   bool analytic_ea = false;
+  /// Memoize Stage-3 simulations in an RtPredictionCache keyed on the
+  /// bit-exact GGkConfig (DESIGN.md §10).  The simulator is deterministic,
+  /// so a hit returns exactly what a fresh run would; chaos runs bypass the
+  /// cache automatically.  false = always re-simulate.
+  bool memoize = true;
   std::uint64_t seed = 2024;
 };
 
@@ -89,6 +95,12 @@ class RtPredictor {
   [[nodiscard]] RtPrediction predict_for_profile(
       const profiler::Profile& profile) const;
 
+  /// Simulation-memoization counters for this predictor (sweeps report the
+  /// hit rate; see bench_sim_core).  Zeros when `memoize` is off.
+  [[nodiscard]] RtPredictionCache::Stats cache_stats() const {
+    return sim_cache_.stats();
+  }
+
  private:
   struct EaQuery {
     double ea = 0.0;
@@ -108,6 +120,9 @@ class RtPredictor {
   const EaModel* fallback_ = nullptr;
   const ProfileLibrary* library_;
   RtPredictorConfig config_;
+  /// Internally synchronized; mutable so the const, pool-shared predict
+  /// paths can memoize through it.
+  mutable RtPredictionCache sim_cache_;
 };
 
 }  // namespace stac::core

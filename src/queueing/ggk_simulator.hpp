@@ -9,6 +9,20 @@
 // rate.  Short-term allocation breaks the Markov assumption (service rate
 // depends on queueing delay), which is why this is a discrete-event
 // simulation rather than a closed-form queueing formula.
+//
+// Two event engines share one job-accounting core (DESIGN.md §10):
+//   * legacy (`fast_events = false`): one std::push_heap/pop_heap binary
+//     heap carrying arrivals, timeouts and completions, with inline RNG
+//     draws — the reference implementation.
+//   * fast (`fast_events = true`, default): arrival and demand streams are
+//     pre-drawn into reusable buffers shared through a process-wide common-
+//     random-number cache keyed on (seed, rate, cv, count); arrivals replay
+//     from the sorted buffer, timeouts queue in a FIFO (their times are
+//     nondecreasing by construction), and only completions go through an
+//     indexed 4-ary min-heap with lazy deletion keyed by job generation.
+// Both engines process the identical event sequence and produce bit-
+// identical results (tests/queueing/ggk_fast_test.cpp sweeps the
+// adversarial corners).
 #pragma once
 
 #include <cstdint>
@@ -48,6 +62,10 @@ struct GGkConfig {
   /// congestion-triggered class-wide speedup and mispredicts heavy-load
   /// long-timeout conditions badly — see DESIGN.md §5b).
   bool class_level_boost = true;
+  /// Event-engine selection (see header note).  Results are bit-identical
+  /// either way; `true` replays pre-drawn streams through the 4-ary heap
+  /// engine and is the production default.
+  bool fast_events = true;
   std::size_t queries = 4000;
   std::size_t warmup = 200;
   std::uint64_t seed = 7;
@@ -75,5 +93,9 @@ struct GGkResult {
 /// max(1, EA x allocation_ratio) — allocation never slows a query down
 /// below its default rate (CAT masks only add fill ways).
 [[nodiscard]] GGkResult simulate_ggk(const GGkConfig& config);
+
+/// Drop every pre-drawn common-random-number stream held by the fast
+/// engine's process-wide cache (tests; bounded anyway — see .cpp).
+void clear_crn_stream_cache();
 
 }  // namespace stac::queueing

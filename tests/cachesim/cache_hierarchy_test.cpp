@@ -122,6 +122,136 @@ TEST(CacheHierarchy, InvalidClassThrows) {
   EXPECT_THROW(hw.set_llc_fill_mask(5, 1), ContractViolation);
 }
 
+// --- replay() identity -----------------------------------------------------
+//
+// replay() promises to be equivalent to a per-reference access() loop:
+// same latency sum, bit-identical counters, same LLC occupancy.  The
+// batched loop mirrors access() bump-for-bump, and these replays are what
+// hold the two implementations together (see cache_hierarchy.cpp).
+
+struct RecordedTrace {
+  std::vector<MemoryAccess> refs;
+  std::vector<ClassId> classes;
+};
+
+// Adversarial mix: word-granular loop walks, random hot lines, cold lines
+// that sweep past every level, all four access types (including prefetch),
+// three classes with asymmetric CAT masks.
+RecordedTrace adversarial_trace(std::size_t n, std::uint64_t seed) {
+  RecordedTrace t;
+  t.refs.reserve(n);
+  t.classes.reserve(n);
+  std::uint64_t s = seed | 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  std::uint64_t seq[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<ClassId>(next() % 3);
+    const std::uint64_t base = (cls + 1) * (1ULL << 32);
+    const std::uint64_t pick = next() % 10;
+    std::uint64_t addr;
+    if (pick < 5) {
+      addr = base + (seq[cls] += 8) % (4 * 1024);  // L1-resident walk
+    } else if (pick < 8) {
+      addr = base + next() % (32 * 1024);  // hot: L2 traffic
+    } else {
+      addr = base + next() % (4 * 1024 * 1024);  // cold: LLC + memory
+    }
+    auto type = AccessType::kLoad;
+    if (pick == 0) type = AccessType::kStore;
+    if (pick == 8) type = AccessType::kIfetch;
+    if (pick == 9) type = AccessType::kPrefetch;
+    t.refs.push_back({addr, type});
+    t.classes.push_back(cls);
+  }
+  return t;
+}
+
+// Drive one hierarchy per-access and an identically configured one through
+// replay(); every observable must match bitwise.
+void expect_replay_identical(const HierarchyConfig& cfg) {
+  const RecordedTrace t = adversarial_trace(60000, 0xFEEDull);
+  CacheHierarchy loop_hw(cfg, 3);
+  CacheHierarchy replay_hw(cfg, 3);
+  const WayMask full = loop_hw.llc().full_mask();
+  const WayMask masks[3] = {full, full & 0x3F, full & 0x1};
+  for (ClassId c = 0; c < 3; ++c) {
+    loop_hw.set_llc_fill_mask(c, masks[c]);
+    replay_hw.set_llc_fill_mask(c, masks[c]);
+  }
+
+  std::uint64_t loop_total = 0;
+  for (std::size_t i = 0; i < t.refs.size(); ++i)
+    loop_total += loop_hw.access(t.classes[i], t.refs[i]);
+  const std::uint64_t replay_total =
+      replay_hw.replay(t.refs.data(), t.classes.data(), t.refs.size());
+
+  EXPECT_EQ(loop_total, replay_total);
+  for (ClassId c = 0; c < 3; ++c) {
+    EXPECT_EQ(loop_hw.counters(c).values, replay_hw.counters(c).values)
+        << "class " << static_cast<int>(c);
+    EXPECT_EQ(loop_hw.llc_occupancy(c), replay_hw.llc_occupancy(c));
+  }
+}
+
+// Tiny sizes but 8/8/16/20 ways: takes the fully specialized replay body
+// (the default-Xeon tuple) while keeping every miss path hot.
+TEST(CacheHierarchyReplay, IdenticalOnSpecializedGeometry) {
+  HierarchyConfig cfg;
+  cfg.l1d = {4 * 1024, 8, 64, 4};     // 8 sets
+  cfg.l1i = {4 * 1024, 8, 64, 4};
+  cfg.l2 = {16 * 1024, 16, 64, 12};   // 16 sets
+  cfg.llc = {160 * 1024, 20, 64, 40};  // 128 sets
+  ASSERT_TRUE(cfg.valid());
+  expect_replay_identical(cfg);
+}
+
+// small_hw way widths miss the specialized tuple: generic replay body over
+// SoA levels.
+TEST(CacheHierarchyReplay, IdenticalOnGenericSoaGeometry) {
+  expect_replay_identical(small_hw());
+}
+
+// Legacy array-of-Way layout everywhere: generic replay body over the
+// reference access path.
+TEST(CacheHierarchyReplay, IdenticalOnLegacyLayout) {
+  HierarchyConfig cfg = small_hw();
+  cfg.l1d.soa = cfg.l1i.soa = cfg.l2.soa = cfg.llc.soa = false;
+  expect_replay_identical(cfg);
+}
+
+// SoA and legacy layouts must agree with each other end to end as well.
+TEST(CacheHierarchyReplay, SoaAndLegacyReplaysAgree) {
+  HierarchyConfig legacy = small_hw();
+  legacy.l1d.soa = legacy.l1i.soa = legacy.l2.soa = legacy.llc.soa = false;
+  const RecordedTrace t = adversarial_trace(60000, 0xBEEFull);
+  CacheHierarchy a(small_hw(), 3);
+  CacheHierarchy b(legacy, 3);
+  const std::uint64_t ta = a.replay(t.refs.data(), t.classes.data(),
+                                    t.refs.size());
+  const std::uint64_t tb = b.replay(t.refs.data(), t.classes.data(),
+                                    t.refs.size());
+  EXPECT_EQ(ta, tb);
+  for (ClassId c = 0; c < 3; ++c)
+    EXPECT_EQ(a.counters(c).values, b.counters(c).values);
+}
+
+TEST(CacheHierarchyReplay, EmptyTraceReturnsZero) {
+  CacheHierarchy hw(small_hw(), 2);
+  EXPECT_EQ(hw.replay(nullptr, nullptr, 0), 0u);
+}
+
+TEST(CacheHierarchyReplay, OutOfRangeClassThrows) {
+  CacheHierarchy hw(small_hw(), 2);
+  const MemoryAccess ref{0x1000, AccessType::kLoad};
+  const ClassId bad = 7;
+  EXPECT_THROW(hw.replay(&ref, &bad, 1), ContractViolation);
+}
+
 // All processor presets must have valid geometry and Fig. 7b's LLC sizes.
 class PresetSweep : public ::testing::TestWithParam<std::size_t> {};
 

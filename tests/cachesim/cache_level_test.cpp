@@ -131,5 +131,88 @@ TEST_P(WayMaskSweep, MaskBoundsOccupancyPerSet) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, WayMaskSweep, ::testing::Values(1, 2, 3, 4));
 
+// --- SoA vs legacy layout identity (LevelConfig::soa, DESIGN.md §10) ---
+
+LevelConfig with_layout(bool soa) {
+  LevelConfig cfg = tiny();
+  cfg.soa = soa;
+  return cfg;
+}
+
+TEST(CacheLevelSoA, MatchesLegacyOnAdversarialReplay) {
+  // Replay one pseudo-random trace through both layouts and require the
+  // exact same hit/evict/owner decision on every access.  The trace mixes
+  // classes, narrow/overlapping/empty fill masks, flushes and re-touches.
+  CacheLevel soa(with_layout(true));
+  CacheLevel aos(with_layout(false));
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const WayMask masks[] = {0b1111, 0b0011, 0b1100, 0b0001, 0b1000, 0};
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t line = next() % 64;  // 16 lines per set: heavy churn
+    const WayMask mask = masks[next() % 6];
+    const auto cls = static_cast<ClassId>(next() % 5);
+    const AccessResult a = soa.access(line, mask, cls);
+    const AccessResult b = aos.access(line, mask, cls);
+    ASSERT_EQ(a.hit, b.hit) << "access " << i;
+    ASSERT_EQ(a.evicted, b.evicted) << "access " << i;
+    ASSERT_EQ(a.evicted_class, b.evicted_class) << "access " << i;
+    ASSERT_EQ(a.hit_outside_mask, b.hit_outside_mask) << "access " << i;
+    if (i % 4096 == 0) {
+      const auto flush_cls = static_cast<ClassId>(next() % 5);
+      soa.flush_class(flush_cls);
+      aos.flush_class(flush_cls);
+    }
+  }
+  for (ClassId cls = 0; cls < 5; ++cls)
+    EXPECT_EQ(soa.occupancy(cls), aos.occupancy(cls)) << "class " << cls;
+  for (std::uint64_t line = 0; line < 64; ++line)
+    EXPECT_EQ(soa.contains(line), aos.contains(line)) << "line " << line;
+}
+
+TEST(CacheLevelSoA, LegacyLayoutStillAvailable) {
+  CacheLevel c(with_layout(false));
+  EXPECT_FALSE(c.access(100, c.full_mask(), 0).hit);
+  EXPECT_TRUE(c.access(100, c.full_mask(), 0).hit);
+  EXPECT_EQ(c.occupancy(0), 1u);
+}
+
+// --- occupancy bookkeeping across class-slot growth (ISSUE 4 satellite) ---
+
+class OccupancyInvariant : public ::testing::TestWithParam<bool> {};
+
+TEST_P(OccupancyInvariant, EvictionOfClassInstalledBeforeLaterResize) {
+  // Class 2's install sizes the occupancy table to 3 slots; class 9's
+  // install later grows it to 10.  Evicting class 2's line afterwards must
+  // decrement the *original* slot — the permissive pre-PR4 guard
+  // (`owner < occupancy_.size() && occupancy_[owner] > 0`) could silently
+  // skip the decrement and leak phantom occupancy; the invariant is now
+  // enforced rather than papered over.
+  CacheLevel c(with_layout(GetParam()));
+  // Fill set 0 (4 ways) with class 2, growing the table to 3 slots.
+  for (std::uint64_t i = 0; i < 4; ++i) c.access(i * 4, c.full_mask(), 2);
+  EXPECT_EQ(c.occupancy(2), 4u);
+  // Class 9 installs into the same set: the table grows, then class 2's
+  // LRU line is evicted.
+  const auto r = c.access(100 * 4, c.full_mask(), 9);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_class, 2);
+  EXPECT_EQ(c.occupancy(2), 3u);
+  EXPECT_EQ(c.occupancy(9), 1u);
+  // Drain the rest of class 2 out of the set; the books must hit zero
+  // exactly (underflow now trips the STAC_ENSURE instead of saturating).
+  for (std::uint64_t i = 101; i < 104; ++i) c.access(i * 4, c.full_mask(), 9);
+  EXPECT_EQ(c.occupancy(2), 0u);
+  EXPECT_EQ(c.occupancy(9), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, OccupancyInvariant,
+                         ::testing::Values(true, false));
+
 }  // namespace
 }  // namespace stac::cachesim

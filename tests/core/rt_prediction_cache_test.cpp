@@ -1,0 +1,165 @@
+// The Stage-3 simulation memoizer: hits must be bit-identical stand-ins
+// for fresh simulations, chaos must bypass the cache, and a policy sweep
+// must actually reuse (the ISSUE-4 acceptance line: >50% hit rate on a
+// 25-cell grid).
+#include "core/rt_prediction_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fault_injection.hpp"
+#include "core/policy_explorer.hpp"
+#include "core/rt_predictor.hpp"
+#include "obs/metrics.hpp"
+
+namespace stac::core {
+namespace {
+
+using profiler::Profiler;
+using profiler::ProfilerConfig;
+using profiler::RuntimeCondition;
+using queueing::GGkConfig;
+using queueing::GGkResult;
+
+ProfilerConfig fast_config() {
+  ProfilerConfig cfg;
+  cfg.target_completions = 300;
+  cfg.warmup_completions = 40;
+  cfg.max_windows = 1;
+  cfg.accesses_per_sample = 800;
+  return cfg;
+}
+
+RuntimeCondition condition(double util, double timeout) {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKmeans;
+  c.collocated = wl::Benchmark::kBfs;
+  c.util_primary = util;
+  c.util_collocated = util;
+  c.timeout_primary = timeout;
+  c.timeout_collocated = timeout;
+  c.seed = 77;
+  return c;
+}
+
+GGkConfig small_sim(std::uint64_t seed) {
+  GGkConfig c;
+  c.utilization = 0.8;
+  c.servers = 2;
+  c.service_cv = 1.0;
+  c.timeout_rel = 0.5;
+  c.effective_allocation = 0.6;
+  c.allocation_ratio = 3.0;
+  c.queries = 2000;
+  c.warmup = 100;
+  c.seed = seed;
+  return c;
+}
+
+TEST(RtPredictionCache, HitReturnsBitIdenticalResult) {
+  RtPredictionCache cache;
+  const GGkConfig c = small_sim(5);
+  const auto first = cache.simulate(c);
+  const auto second = cache.simulate(c);
+  EXPECT_EQ(first.get(), second.get());  // the very same object
+  const GGkResult fresh = queueing::simulate_ggk(c);
+  EXPECT_EQ(first->completed, fresh.completed);
+  EXPECT_EQ(first->response_times.mean(), fresh.response_times.mean());
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(RtPredictionCache, KeyIsBitExactOverEveryField) {
+  RtPredictionCache cache;
+  GGkConfig c = small_sim(5);
+  (void)cache.simulate(c);
+  // Any field nudge — including the engine flag and a one-ulp double
+  // change — must miss.
+  GGkConfig c2 = c;
+  c2.seed += 1;
+  GGkConfig c3 = c;
+  c3.utilization = std::nextafter(c3.utilization, 1.0);
+  GGkConfig c4 = c;
+  c4.fast_events = !c4.fast_events;
+  GGkConfig c5 = c;
+  c5.class_level_boost = !c5.class_level_boost;
+  for (const GGkConfig& v : {c2, c3, c4, c5}) (void)cache.simulate(v);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(RtPredictionCache, DisabledCacheNeverStores) {
+  RtPredictionCache cache(/*enabled=*/false);
+  const GGkConfig c = small_sim(5);
+  (void)cache.simulate(c);
+  (void)cache.simulate(c);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(RtPredictionCache, ArmedChaosBypassesInBothDirections) {
+  RtPredictionCache cache;
+  const GGkConfig c = small_sim(5);
+  const auto clean = cache.simulate(c);  // miss, stored
+  {
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.add({.point = "ggk.service",
+              .action = FaultAction::kLatency,
+              .probability = 0.3,
+              .latency = 5.0});
+    FaultScope scope(plan);
+    const auto chaotic = cache.simulate(c);
+    // Not served from the cache (the chaotic run really injected), and the
+    // chaotic result did not overwrite the clean entry.
+    EXPECT_GT(chaotic->latency_injections, 0u);
+    EXPECT_NE(chaotic.get(), clean.get());
+  }
+  const auto after = cache.simulate(c);
+  EXPECT_EQ(after.get(), clean.get());
+  EXPECT_EQ(after->latency_injections, 0u);
+}
+
+TEST(RtPredictionCache, MemoizedPredictorMatchesUnmemoized) {
+  Profiler profiler(fast_config());
+  RtPredictorConfig on;
+  on.analytic_ea = true;
+  on.memoize = true;
+  RtPredictorConfig off = on;
+  off.memoize = false;
+  RtPredictor pon(profiler, nullptr, nullptr, on);
+  RtPredictor poff(profiler, nullptr, nullptr, off);
+  for (const double timeout : {0.5, 2.0}) {
+    const RtPrediction a = pon.predict(condition(0.8, timeout));
+    const RtPrediction b = poff.predict(condition(0.8, timeout));
+    EXPECT_EQ(a.mean_rt, b.mean_rt);
+    EXPECT_EQ(a.p95_rt, b.p95_rt);
+    EXPECT_EQ(a.mean_queue_delay, b.mean_queue_delay);
+    EXPECT_EQ(a.boosted_fraction, b.boosted_fraction);
+  }
+  EXPECT_EQ(poff.cache_stats().hits + poff.cache_stats().misses, 0u);
+}
+
+TEST(RtPredictionCache, PolicySweepReusesMostSimulations) {
+  // The ISSUE-4 acceptance bar: on the paper's 25-cell grid the memoizer
+  // absorbs >50% of Stage-3 simulations (seeds are cell-independent and,
+  // with analytic EA, collocated configs repeat across rows).
+  Profiler profiler(fast_config());
+  RtPredictorConfig cfg;
+  cfg.analytic_ea = true;
+  RtPredictor pred(profiler, nullptr, nullptr, cfg);
+  ExplorerConfig ex;  // 5x5 grid
+  const PolicyExploration out = explore_policies(pred, condition(0.8, 0.0), ex);
+  EXPECT_EQ(out.predictions_made, 50u);
+  const auto st = pred.cache_stats();
+  EXPECT_GT(st.hits + st.misses, 0u);
+  EXPECT_GT(st.hit_rate(), 0.5) << "hits=" << st.hits
+                                << " misses=" << st.misses;
+}
+
+}  // namespace
+}  // namespace stac::core

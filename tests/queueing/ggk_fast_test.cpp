@@ -1,0 +1,174 @@
+// Fast-engine (pre-drawn CRN streams + 4-ary lazy-deletion heap) vs the
+// legacy single-heap engine: the two must process the identical event
+// sequence and produce bit-identical results on every field, including
+// under heavy boost churn (stale-generation completions after class
+// switch/revert must be dropped, never applied) and under chaos.
+#include "queueing/ggk_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
+
+namespace stac::queueing {
+namespace {
+
+void expect_bit_identical(const GGkResult& legacy, const GGkResult& fast,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(legacy.completed, fast.completed);
+  EXPECT_EQ(legacy.boosted_queries, fast.boosted_queries);
+  EXPECT_EQ(legacy.cos_switches, fast.cos_switches);
+  EXPECT_EQ(legacy.residual_boost_refs, fast.residual_boost_refs);
+  EXPECT_EQ(legacy.residual_overdue_jobs, fast.residual_overdue_jobs);
+  EXPECT_EQ(legacy.negative_sojourns, fast.negative_sojourns);
+  EXPECT_EQ(legacy.latency_injections, fast.latency_injections);
+  // Bitwise equality of every retained sample, in completion order.
+  const auto ls = legacy.response_times.samples();
+  const auto fs = fast.response_times.samples();
+  ASSERT_EQ(ls.size(), fs.size());
+  for (std::size_t i = 0; i < ls.size(); ++i)
+    ASSERT_EQ(ls[i], fs[i]) << "response sample " << i << " diverges";
+  const auto lq = legacy.queue_delays.samples();
+  const auto fq = fast.queue_delays.samples();
+  ASSERT_EQ(lq.size(), fq.size());
+  for (std::size_t i = 0; i < lq.size(); ++i)
+    ASSERT_EQ(lq[i], fq[i]) << "queue-delay sample " << i << " diverges";
+  EXPECT_EQ(legacy.mean_queue_delay, fast.mean_queue_delay);
+}
+
+std::pair<GGkResult, GGkResult> run_both(GGkConfig c) {
+  c.fast_events = false;
+  const GGkResult legacy = simulate_ggk(c);
+  c.fast_events = true;
+  const GGkResult fast = simulate_ggk(c);
+  return {legacy, fast};
+}
+
+TEST(GGkFastEngine, BitIdenticalUnderAdversarialSweep) {
+  // Heavy tail, near-saturation, both boost semantics, aggressive and lazy
+  // timeouts, multiple seeds: the corners where event ordering, lazy
+  // deletion and tie-breaking could plausibly diverge.
+  for (const double cv : {0.3, 1.0, 2.5}) {
+    for (const double util : {0.5, 0.95}) {
+      for (const bool class_level : {true, false}) {
+        for (const double timeout : {0.25, 2.0}) {
+          for (const std::uint64_t seed : {7u, 99u}) {
+            GGkConfig c;
+            c.utilization = util;
+            c.servers = 3;
+            c.mean_service = 1.0;
+            c.service_cv = cv;
+            c.timeout_rel = timeout;
+            c.effective_allocation = 0.6;
+            c.allocation_ratio = 3.0;
+            c.class_level_boost = class_level;
+            c.queries = 6000;
+            c.warmup = 300;
+            c.seed = seed;
+            const auto [legacy, fast] = run_both(c);
+            expect_bit_identical(
+                legacy, fast,
+                "cv=" + std::to_string(cv) + " util=" + std::to_string(util) +
+                    " class=" + std::to_string(class_level) +
+                    " timeout=" + std::to_string(timeout) +
+                    " seed=" + std::to_string(seed));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GGkFastEngine, StaleGenerationsDroppedAcrossBoostChurn) {
+  // An aggressive timeout at heavy load produces many class switch/revert
+  // cycles; every switch reschedules all serving jobs and strands the
+  // previously queued completions as stale generations.  If any stale event
+  // were applied, completion times (and hence the bitwise comparison or the
+  // teardown invariants) would diverge.
+  GGkConfig c;
+  c.utilization = 0.93;
+  c.servers = 2;
+  c.service_cv = 1.5;
+  c.timeout_rel = 0.5;
+  c.effective_allocation = 0.6;
+  c.allocation_ratio = 3.0;
+  c.queries = 20000;
+  c.warmup = 500;
+  c.seed = 31;
+  const auto [legacy, fast] = run_both(c);
+  // Churn actually happened (both directions of the class switch).
+  EXPECT_GT(fast.cos_switches, 10u);
+  EXPECT_GT(fast.boosted_queries, 0u);
+  expect_bit_identical(legacy, fast, "boost churn");
+  EXPECT_EQ(fast.residual_boost_refs, fast.residual_overdue_jobs);
+}
+
+TEST(GGkFastEngine, BitIdenticalUnderServiceChaos) {
+  FaultPlan plan;
+  plan.seed = 4321;
+  plan.add({.point = "ggk.service",
+            .action = FaultAction::kLatency,
+            .probability = 0.1,
+            .latency = 5.0});
+  FaultScope scope(plan);
+
+  GGkConfig c;
+  c.utilization = 0.9;
+  c.servers = 2;
+  c.service_cv = 2.0;
+  c.timeout_rel = 0.5;
+  c.effective_allocation = 0.6;
+  c.allocation_ratio = 3.0;
+  c.queries = 10000;
+  c.warmup = 500;
+  c.seed = 3;
+  const auto [legacy, fast] = run_both(c);
+  EXPECT_GT(fast.latency_injections, 0u);
+  expect_bit_identical(legacy, fast, "service chaos");
+}
+
+TEST(GGkFastEngine, CrnStreamCacheReusesAcrossTimeoutGrid) {
+  clear_crn_stream_cache();
+  auto& reg = obs::MetricsRegistry::global();
+  const auto hits0 = reg.counter_value("ggk.crn_stream_hits");
+  const auto misses0 = reg.counter_value("ggk.crn_stream_misses");
+
+  GGkConfig c;
+  c.utilization = 0.8;
+  c.servers = 2;
+  c.service_cv = 1.0;
+  c.effective_allocation = 0.6;
+  c.allocation_ratio = 3.0;
+  c.queries = 4000;
+  c.warmup = 200;
+  c.seed = 77;
+  // A timeout grid at fixed (seed, load): one regeneration, then replays.
+  GGkResult first;
+  std::size_t cells = 0;
+  for (const double timeout : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    c.timeout_rel = timeout;
+    const GGkResult r = simulate_ggk(c);
+    if (cells++ == 0) first = r;
+    EXPECT_EQ(r.completed, first.completed);
+  }
+  EXPECT_EQ(reg.counter_value("ggk.crn_stream_misses"), misses0 + 1);
+  EXPECT_EQ(reg.counter_value("ggk.crn_stream_hits"), hits0 + cells - 1);
+
+  // A replayed cell is bit-identical to a cold regeneration of it.
+  clear_crn_stream_cache();
+  c.timeout_rel = 0.5;
+  const GGkResult cold = simulate_ggk(c);
+  c.timeout_rel = 4.0;  // intervening cell shares the stream (same key)
+  (void)simulate_ggk(c);
+  c.timeout_rel = 0.5;
+  const GGkResult warm = simulate_ggk(c);
+  expect_bit_identical(cold, warm, "cold vs warm replay");
+}
+
+TEST(GGkFastEngine, FastPathIsTheDefault) {
+  EXPECT_TRUE(GGkConfig{}.fast_events);
+}
+
+}  // namespace
+}  // namespace stac::queueing
