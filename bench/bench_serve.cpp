@@ -1,0 +1,267 @@
+// Serving-runtime performance harness (PR-5 record, BENCH_PR5.json).
+//
+// Three sections:
+//   ingest_throughput — raw MPSC ring rate under producer contention,
+//                       gated at >= 1M simulated events/min end to end;
+//   control_epoch     — closed-loop epoch planning latency (p50/p99) on
+//                       stationary traffic, plus the memo-cache reuse the
+//                       cheap epochs depend on;
+//   hot_swap          — model hot-swaps under live load, gated on zero
+//                       lost events.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/trace.hpp"
+#include "serve/online_controller.hpp"
+#include "serve/traffic_replay.hpp"
+
+using namespace stac;
+using namespace stac::bench;
+
+namespace {
+
+core::StacOptions serve_options(const BenchArgs& args) {
+  core::StacOptions opts;
+  opts.profile_budget = args.fast ? 6 : 10;
+  opts.profiler.target_completions = args.fast ? 250 : 500;
+  opts.profiler.warmup_completions = 40;
+  opts.profiler.max_windows = 1;
+  opts.profiler.accesses_per_sample = 800;
+  opts.model.deep_forest.mgs.window_sizes = {5};
+  opts.model.deep_forest.mgs.estimators = 8;
+  opts.model.deep_forest.cascade.levels = 1;
+  opts.model.deep_forest.cascade.estimators = 12;
+  opts.predictor.sim_queries = args.fast ? 1500 : 3000;
+  opts.sampler.seed = args.seed;
+  return opts;
+}
+
+profiler::RuntimeCondition serve_condition() {
+  profiler::RuntimeCondition c;
+  c.primary = wl::Benchmark::kKmeans;
+  c.collocated = wl::Benchmark::kRedis;
+  c.util_primary = 0.6;
+  c.util_collocated = 0.6;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 1.0;
+  c.seed = 99;
+  return c;
+}
+
+serve::ControllerConfig controller_config(const core::StacOptions& opts) {
+  serve::ControllerConfig cfg;
+  cfg.base_condition = serve_condition();
+  cfg.explorer = opts.explorer;
+  cfg.estimator.min_completions = 10;
+  return cfg;
+}
+
+/// Section 1: raw ring throughput, producers vs the single consumer.
+JsonObject bench_ingest_throughput(const BenchArgs& args) {
+  const std::size_t producers = 3;
+  const std::uint64_t per_producer = args.fast ? 200'000 : 1'000'000;
+  serve::ArrivalIngest ring(1 << 14);
+
+  Stopwatch clock;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&ring, per_producer, p] {
+      serve::QueryEvent e;
+      e.kind = serve::EventKind::kArrival;
+      e.producer = static_cast<std::uint32_t>(p);
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        e.time = static_cast<double>(i);
+        (void)ring.try_push(e);  // drops are part of the contract
+      }
+    });
+  }
+  std::uint64_t consumed = 0;
+  std::vector<serve::QueryEvent> batch(4096);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    for (;;) {
+      const bool finished = done.load(std::memory_order_acquire);
+      const std::size_t n = ring.drain(batch);
+      consumed += n;
+      if (finished && n == 0) break;
+    }
+  });
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  const double seconds = clock.seconds();
+
+  const double attempted = static_cast<double>(producers * per_producer);
+  const double consumed_per_min = static_cast<double>(consumed) / seconds * 60;
+  JsonObject out;
+  out.set("producers", producers);
+  out.set("events_attempted", static_cast<std::size_t>(attempted));
+  out.set("events_consumed", static_cast<std::size_t>(consumed));
+  out.set("events_dropped", static_cast<std::size_t>(ring.dropped()));
+  out.set("seconds", seconds);
+  out.set("consumed_per_minute", consumed_per_min);
+  out.set("accounting_exact",
+          ring.pushed() + ring.dropped() ==
+              static_cast<std::uint64_t>(attempted) &&
+              ring.popped() == ring.pushed());
+  out.set("throughput_gate_1m_per_min", consumed_per_min >= 1'000'000.0);
+  std::printf("  ingest: %.2fM events consumed in %.2fs (%.1fM/min, "
+              "%llu dropped)\n",
+              static_cast<double>(consumed) / 1e6, seconds,
+              consumed_per_min / 1e6,
+              static_cast<unsigned long long>(ring.dropped()));
+  return out;
+}
+
+/// Section 2: per-epoch planning latency on stationary closed-loop traffic.
+JsonObject bench_control_epoch(const BenchArgs& args,
+                               const core::StacManager& mgr,
+                               const core::StacOptions& opts) {
+  serve::ArrivalIngest ring(1 << 16);
+  serve::ModelSnapshot<serve::ServingModel> models(
+      serve::build_serving_model(mgr, opts, 1));
+  serve::OnlineController controller(ring, models, controller_config(opts));
+
+  serve::ReplayConfig traffic;
+  traffic.workloads = {{.mean_service = 0.05, .servers = 2, .base_util = 0.6},
+                       {.mean_service = 0.05, .servers = 2, .base_util = 0.6}};
+  traffic.seed = args.seed;
+  serve::TrafficReplay replay(ring, &controller, traffic);
+
+  const std::size_t epochs = args.fast ? 30 : 100;
+  const double interval = 2.0;
+  std::vector<double> plan_seconds;
+  std::vector<double> epoch_seconds;
+  plan_seconds.reserve(epochs);
+  epoch_seconds.reserve(epochs);
+  std::uint64_t replans = 0;
+  for (std::size_t k = 0; k < epochs; ++k) {
+    const double t1 = static_cast<double>(k + 1) * interval;
+    (void)replay.generate(static_cast<double>(k) * interval, t1);
+    Stopwatch epoch_clock;
+    const serve::EpochReport r = controller.run_epoch(t1);
+    epoch_seconds.push_back(epoch_clock.seconds());
+    plan_seconds.push_back(r.plan_seconds);
+    if (r.replanned) ++replans;
+  }
+
+  SampleStats plan{std::vector<double>(plan_seconds)};
+  SampleStats epoch{std::vector<double>(epoch_seconds)};
+  const auto guard = models.acquire();
+  const auto cache = guard->pred().cache_stats();
+
+  JsonObject out;
+  out.set("epochs", epochs);
+  out.set("replans", static_cast<std::size_t>(replans));
+  out.set("events_drained",
+          static_cast<std::size_t>(controller.totals().events_drained));
+  out.set("plan_p50_seconds", plan.median());
+  out.set("plan_p99_seconds", plan.percentile(0.99));
+  out.set("epoch_p50_seconds", epoch.median());
+  out.set("epoch_p99_seconds", epoch.percentile(0.99));
+  out.set("rt_cache_hit_rate", cache.hit_rate());
+  std::printf("  control epoch: plan p50 %.1f ms, p99 %.1f ms over %zu "
+              "epochs (%llu replans, rt_cache hit rate %.2f)\n",
+              plan.median() * 1e3, plan.percentile(0.99) * 1e3, epochs,
+              static_cast<unsigned long long>(replans), cache.hit_rate());
+  return out;
+}
+
+/// Section 3: hot-swapping models under live load loses nothing.
+JsonObject bench_hot_swap(const BenchArgs& args, const core::StacManager& mgr,
+                          const core::StacOptions& opts) {
+  serve::ArrivalIngest ring(1 << 16);
+  serve::ModelSnapshot<serve::ServingModel> models(
+      serve::build_serving_model(mgr, opts, 1));
+  serve::OnlineController controller(ring, models, controller_config(opts));
+
+  serve::ReplayConfig traffic;
+  traffic.workloads = {{.mean_service = 0.05, .servers = 2, .base_util = 0.6},
+                       {.mean_service = 0.05, .servers = 2, .base_util = 0.6}};
+  traffic.shards_per_workload = 2;
+  traffic.seed = args.seed + 1;
+  serve::TrafficReplay replay(ring, &controller, traffic);
+
+  const std::size_t swaps = args.fast ? 3 : 6;
+  std::vector<std::unique_ptr<const serve::ServingModel>> bundles;
+  bundles.reserve(swaps);
+  for (std::uint64_t v = 0; v < swaps; ++v)
+    bundles.push_back(serve::build_serving_model(mgr, opts, v + 2));
+
+  std::thread swapper([&] {
+    for (auto& b : bundles) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      models.publish(std::move(b));
+    }
+  });
+  const serve::SoakResult result = replay.run_threaded(
+      controller, /*sim_seconds=*/40.0, /*epoch_interval=*/2.0,
+      /*wall_pace=*/80.0);
+  swapper.join();
+
+  const bool zero_lost = result.traffic.push_failures == 0 &&
+                         result.ingest_dropped == 0 &&
+                         ring.popped() == ring.pushed() &&
+                         result.controller.events_drained == ring.pushed();
+  JsonObject out;
+  out.set("swaps_published", swaps);
+  out.set("swaps_observed",
+          static_cast<std::size_t>(result.controller.model_swaps_observed));
+  out.set("events", static_cast<std::size_t>(ring.pushed()));
+  out.set("events_dropped", static_cast<std::size_t>(result.ingest_dropped));
+  out.set("push_failures",
+          static_cast<std::size_t>(result.traffic.push_failures));
+  out.set("epochs", static_cast<std::size_t>(result.epochs));
+  out.set("zero_lost", zero_lost);
+  std::printf("  hot swap: %zu published, %llu observed, %llu events, "
+              "zero_lost=%s\n",
+              swaps,
+              static_cast<unsigned long long>(
+                  result.controller.model_swaps_observed),
+              static_cast<unsigned long long>(ring.pushed()),
+              zero_lost ? "true" : "false");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  // This binary owns the PR-5 record; an explicit --json or STAC_BENCH_JSON
+  // still wins.
+  if (args.json_path == "BENCH_PR2.json" &&
+      std::getenv("STAC_BENCH_JSON") == nullptr)
+    args.json_path = "BENCH_PR5.json";
+  print_banner(std::cout, "Online serving runtime (ingest, control epochs, hot swap)");
+  const std::size_t workers = ensure_bench_pool();
+  obs::set_enabled(true);  // serve gauges/counters ride along in obs_metrics
+
+  JsonObject record;
+  JsonObject meta;
+  meta.set("hardware_threads",
+           static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  meta.set("pool_workers", workers);
+  meta.set("fast", args.fast);
+  meta.set("seed", static_cast<std::size_t>(args.seed));
+  record.set("meta", meta);
+
+  std::printf("ingest throughput\n");
+  record.set("ingest_throughput", bench_ingest_throughput(args));
+
+  const core::StacOptions opts = serve_options(args);
+  core::StacManager mgr(opts);
+  std::printf("calibrating (kmeans + redis, trimmed budgets)...\n");
+  mgr.calibrate(wl::Benchmark::kKmeans, wl::Benchmark::kRedis);
+
+  std::printf("control epochs\n");
+  record.set("control_epoch", bench_control_epoch(args, mgr, opts));
+
+  std::printf("hot swap under load\n");
+  record.set("hot_swap", bench_hot_swap(args, mgr, opts));
+
+  write_bench_section(args.json_path, "bench_serve", record);
+  return 0;
+}

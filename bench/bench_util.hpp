@@ -42,10 +42,12 @@ namespace stac::bench {
 /// STAC_THREADS exactly once.  Sections that claim a speedup should record
 /// this count and skip the claim when it is 1.
 inline std::size_t ensure_bench_pool() {
-  if (std::getenv("STAC_THREADS") == nullptr) {
+  // An unset — or present-but-unusable (threads_from_env returns 0 for
+  // garbage, zero, or huge values) — STAC_THREADS gets the bench default.
+  if (ThreadPool::threads_from_env(std::getenv("STAC_THREADS")) == 0) {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     const unsigned workers = std::max(2u, hw);
-    ::setenv("STAC_THREADS", std::to_string(workers).c_str(), /*overwrite=*/0);
+    ::setenv("STAC_THREADS", std::to_string(workers).c_str(), /*overwrite=*/1);
   }
   return ThreadPool::global().size();
 }

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -82,17 +84,35 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   wait_idle();
 }
 
+std::size_t ThreadPool::threads_from_env(const char* value) {
+  if (value == nullptr) return 0;
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  const bool negative = *p == '-';
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  const bool parsed_digits = end != p;
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  const bool trailing_junk = end == nullptr || *end != '\0';
+  const bool out_of_range = errno == ERANGE || v > kMaxEnvThreads;
+  if (negative || !parsed_digits || trailing_junk || out_of_range || v == 0) {
+    std::fprintf(stderr,
+                 "stac: ignoring invalid STAC_THREADS=\"%s\" (want an "
+                 "integer in [1, %zu]); using hardware concurrency (%u)\n",
+                 value, kMaxEnvThreads,
+                 std::max(1u, std::thread::hardware_concurrency()));
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    // STAC_THREADS caps/raises the process-wide pool (bench comparisons,
-    // CI smoke runs on small runners); unset or invalid falls back to the
-    // hardware concurrency via the constructor's 0 convention.
-    if (const char* env = std::getenv("STAC_THREADS")) {
-      const long v = std::atol(env);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{0};
-  }());
+  // STAC_THREADS caps/raises the process-wide pool (bench comparisons,
+  // CI smoke runs on small runners); unset or invalid falls back to the
+  // hardware concurrency via the constructor's 0 convention —
+  // threads_from_env guarantees a usable count, never UB or a throw.
+  static ThreadPool pool(threads_from_env(std::getenv("STAC_THREADS")));
   return pool;
 }
 

@@ -62,6 +62,17 @@ class ThreadPool {
   /// machine's hardware concurrency.
   static ThreadPool& global();
 
+  /// Largest worker count accepted from STAC_THREADS; anything above is
+  /// treated as invalid (a typo like "80000" must not spawn 80k threads).
+  static constexpr std::size_t kMaxEnvThreads = 1024;
+
+  /// Parse a STAC_THREADS-style value into a worker count.  Returns 0 —
+  /// the constructor's "use hardware concurrency" convention — for null,
+  /// empty, non-numeric, negative, zero, or > kMaxEnvThreads values, and
+  /// logs one stderr warning for values that were present but unusable
+  /// (never throws, never UB).  Surrounding whitespace is tolerated.
+  [[nodiscard]] static std::size_t threads_from_env(const char* value);
+
  private:
   void worker_loop();
 

@@ -54,10 +54,16 @@ std::shared_ptr<const queueing::GGkResult> RtPredictionCache::simulate(
   obs::MetricsRegistry::global().counter("rt_cache.misses").add();
   auto result =
       std::make_shared<const queueing::GGkResult>(queueing::simulate_ggk(config));
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.misses;
-  if (map_.size() >= capacity_) map_.clear();  // epoch flush, like CRN cache
-  map_.try_emplace(key, result);  // a racing identical insert may win: fine
+  std::size_t entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    if (map_.size() >= capacity_) map_.clear();  // epoch flush, like CRN cache
+    map_.try_emplace(key, result);  // a racing identical insert may win: fine
+    entries = map_.size();
+  }
+  obs::MetricsRegistry::global().gauge("rt_cache.size").set(
+      static_cast<double>(entries));
   return result;
 }
 
@@ -67,9 +73,12 @@ RtPredictionCache::Stats RtPredictionCache::stats() const {
 }
 
 void RtPredictionCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  stats_ = {};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    stats_ = {};
+  }
+  obs::MetricsRegistry::global().gauge("rt_cache.size").set(0.0);
 }
 
 std::size_t RtPredictionCache::size() const {

@@ -35,8 +35,17 @@ class RtPredictionCache {
  public:
   /// `enabled = false` turns every lookup into a plain simulate_ggk call
   /// (no storage, no counters) — the RtPredictorConfig::memoize=false path.
+  /// `capacity` bounds the entry count: a long-running controller that
+  /// re-plans every epoch over drifting conditions keys a fresh config per
+  /// epoch, so an unbounded map would grow for the process lifetime.  At
+  /// capacity the whole map is flushed (epoch eviction, like the CRN
+  /// stream cache) — O(1) amortized, no LRU bookkeeping on the hit path —
+  /// and the current entry count is exported as the "rt_cache.size" obs
+  /// gauge so soak runs can assert boundedness.  Zero means capacity 1.
   explicit RtPredictionCache(bool enabled = true, std::size_t capacity = 4096)
-      : enabled_(enabled), capacity_(capacity) {}
+      : enabled_(enabled), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Return the cached result for a bit-identical config, or simulate and
   /// remember.  Thread-safe; the simulation itself runs outside the lock so

@@ -26,7 +26,7 @@ RtPredictor::RtPredictor(const profiler::Profiler& profiler,
                          const EaModel* model, const ProfileLibrary* library,
                          RtPredictorConfig config)
     : profiler_(profiler), model_(model), library_(library),
-      config_(config), sim_cache_(config.memoize) {
+      config_(config), sim_cache_(config.memoize, config.memoize_capacity) {
   if (!config_.analytic_ea) {
     const bool has_model = model_ != nullptr && model_->trained();
     const bool has_library = library_ != nullptr && !library_->empty();

@@ -59,6 +59,11 @@ struct RtPredictorConfig {
   /// so a hit returns exactly what a fresh run would; chaos runs bypass the
   /// cache automatically.  false = always re-simulate.
   bool memoize = true;
+  /// Max entries the memo cache may hold before its epoch flush — bounds
+  /// the memory of a long-running controller that re-plans every epoch
+  /// over drifting conditions (current size exported as the
+  /// "rt_cache.size" obs gauge).
+  std::size_t memoize_capacity = 4096;
   std::uint64_t seed = 2024;
 };
 
@@ -100,6 +105,9 @@ class RtPredictor {
   [[nodiscard]] RtPredictionCache::Stats cache_stats() const {
     return sim_cache_.stats();
   }
+
+  /// Current memo-cache entry count (bounded by config.memoize_capacity).
+  [[nodiscard]] std::size_t cache_size() const { return sim_cache_.size(); }
 
  private:
   struct EaQuery {

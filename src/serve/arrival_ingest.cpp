@@ -1,0 +1,67 @@
+#include "serve/arrival_ingest.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace stac::serve {
+
+ArrivalIngest::ArrivalIngest(std::size_t capacity) {
+  capacity = std::bit_ceil(std::max<std::size_t>(2, capacity));
+  cells_ = std::vector<Cell>(capacity);
+  mask_ = capacity - 1;
+  // Cell i is writable for ticket i once seq == i (Vyukov's invariant).
+  for (std::size_t i = 0; i < capacity; ++i)
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool ArrivalIngest::try_push(const QueryEvent& event) {
+  std::size_t ticket = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[ticket & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto lag = static_cast<std::ptrdiff_t>(seq) -
+                     static_cast<std::ptrdiff_t>(ticket);
+    if (lag == 0) {
+      // Cell is free for this ticket; claim it.  Weak CAS: a spurious
+      // failure just retries with the refreshed ticket.
+      if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                      std::memory_order_relaxed)) {
+        cell.event = event;
+        cell.seq.store(ticket + 1, std::memory_order_release);
+        pushed_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // CAS refreshed `ticket`; loop re-reads that cell.
+    } else if (lag < 0) {
+      // The consumer has not recycled this cell yet: the ring is full at
+      // this instant.  Drop-not-block is the admission contract.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().counter("serve.ingest_drops").add();
+      return false;
+    } else {
+      // Another producer claimed this ticket and has not published yet;
+      // chase the tail.
+      ticket = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t ArrivalIngest::drain(std::span<QueryEvent> out) {
+  std::size_t n = 0;
+  while (n < out.size()) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != head_ + 1) break;  // next ticket not published yet
+    out[n++] = cell.event;
+    // Recycle for the producer that will claim ticket head_ + capacity.
+    cell.seq.store(head_ + cells_.size(), std::memory_order_release);
+    ++head_;
+  }
+  if (n > 0) popped_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace stac::serve

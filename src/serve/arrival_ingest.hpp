@@ -1,0 +1,76 @@
+// Lock-free bounded MPSC ingest ring for live query events.
+//
+// Admission must never block on the control plane: proxies publish events
+// from many threads with a handful of atomic ops and move on, and a full
+// ring *drops* (counted) instead of applying backpressure — a controller
+// that is briefly behind loses telemetry, not traffic.
+//
+// The ring is Vyukov's bounded queue (per-cell sequence numbers) used
+// MPSC: producers claim a ticket by CAS on `tail_`, write their cell, and
+// publish it by storing seq = ticket + 1 with release order; the single
+// consumer owns `head_` outright (plain variable) and consumes the longest
+// contiguous published prefix, recycling each cell by storing
+// seq = ticket + capacity.  Claim order is ticket order, so the consumer
+// observes a global FIFO — in particular each producer's events stay in
+// its emission order.  A cell whose seq lags the producer's ticket means
+// the ring is full *now*; try_push bumps the drop counter and returns
+// false rather than waiting for the consumer (see DESIGN.md §11 for the
+// memory-ordering argument).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/query_event.hpp"
+
+namespace stac::serve {
+
+class ArrivalIngest {
+ public:
+  /// Capacity is rounded up to a power of two (mask indexing), minimum 2.
+  explicit ArrivalIngest(std::size_t capacity = 1 << 16);
+
+  ArrivalIngest(const ArrivalIngest&) = delete;
+  ArrivalIngest& operator=(const ArrivalIngest&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return cells_.size(); }
+
+  /// Publish one event.  Wait-free apart from the claim CAS; returns false
+  /// (and counts the drop) when the ring is full.  Safe from any number of
+  /// producer threads concurrently with the single consumer.
+  bool try_push(const QueryEvent& event);
+
+  /// Consume up to out.size() events into `out`, returning the number
+  /// drained.  Single consumer only.
+  std::size_t drain(std::span<QueryEvent> out);
+
+  /// Producer/consumer accounting (relaxed counters; exact once producers
+  /// have quiesced): pushed + dropped == attempted, popped <= pushed.
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    QueryEvent event;
+  };
+
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers' next ticket
+  alignas(64) std::size_t head_ = 0;              ///< consumer-owned
+  alignas(64) std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> popped_{0};
+};
+
+}  // namespace stac::serve

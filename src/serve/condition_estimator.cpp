@@ -1,0 +1,113 @@
+#include "serve/condition_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::serve {
+
+ConditionEstimator::ConditionEstimator(std::size_t workloads,
+                                       std::size_t servers_per_workload,
+                                       EstimatorConfig config)
+    : config_(config), servers_(std::max<std::size_t>(1, servers_per_workload)),
+      wl_(workloads) {
+  STAC_REQUIRE(workloads > 0);
+  STAC_REQUIRE(config_.window_span > 0.0);
+  STAC_REQUIRE(config_.half_life > 0.0);
+  STAC_REQUIRE(config_.window_samples > 0);
+}
+
+void ConditionEstimator::Ewma::update(double t, double x, double half_life) {
+  if (!seeded) {
+    value = x;
+    last_time = t;
+    seeded = true;
+    return;
+  }
+  // Irregular-interval EWMA: weight of the old value decays by half per
+  // half_life of elapsed event time.  A non-increasing timestamp (cross-
+  // producer skew) degenerates to alpha = 1/2 — still a valid average.
+  const double dt = std::max(0.0, t - last_time);
+  const double keep = std::exp2(-dt / half_life);
+  value = keep * value + (1.0 - keep) * x;
+  last_time = std::max(last_time, t);
+}
+
+void ConditionEstimator::observe(const QueryEvent& event) {
+  ++total_events_;
+  if (event.workload >= wl_.size()) {
+    ++ignored_;
+    return;
+  }
+  PerWorkload& s = wl_[event.workload];
+  switch (event.kind) {
+    case EventKind::kArrival:
+      s.arrivals.push_back(event.time);
+      break;
+    case EventKind::kTimeout:
+      s.timeouts.push_back(event.time);
+      break;
+    case EventKind::kCompletion:
+      s.completions.push_back(
+          {event.time, event.queue_delay, event.service, event.boosted});
+      if (s.completions.size() > config_.window_samples)
+        s.completions.pop_front();
+      s.queue_delay.update(event.time, event.queue_delay, config_.half_life);
+      s.service.update(event.time, event.service, config_.half_life);
+      break;
+  }
+}
+
+void ConditionEstimator::evict(PerWorkload& s, double now) const {
+  const double cutoff = now - config_.window_span;
+  while (!s.arrivals.empty() && s.arrivals.front() < cutoff)
+    s.arrivals.pop_front();
+  while (!s.completions.empty() && s.completions.front().time < cutoff)
+    s.completions.pop_front();
+  while (!s.timeouts.empty() && s.timeouts.front() < cutoff)
+    s.timeouts.pop_front();
+}
+
+WorkloadEstimate ConditionEstimator::estimate(std::size_t w, double now) {
+  STAC_REQUIRE(w < wl_.size());
+  PerWorkload& s = wl_[w];
+  evict(s, now);
+
+  WorkloadEstimate out;
+  out.arrivals = s.arrivals.size();
+  out.completions = s.completions.size();
+  out.timeouts = s.timeouts.size();
+  // Rate over the *observed* span: until a full window has elapsed, divide
+  // by the span actually covered so early estimates are not biased low.
+  const double span =
+      s.arrivals.empty()
+          ? config_.window_span
+          : std::min(config_.window_span,
+                     std::max(now - s.arrivals.front(), 1e-9));
+  out.arrival_rate = static_cast<double>(out.arrivals) / span;
+
+  StreamingStats service;
+  StreamingStats queue;
+  std::uint64_t boosted = 0;
+  for (const Completion& c : s.completions) {
+    service.add(c.service);
+    queue.add(c.queue_delay);
+    if (c.boosted) ++boosted;
+  }
+  out.mean_service = service.mean();
+  out.service_cv = service.cv();
+  out.mean_queue_delay = queue.mean();
+  out.inst_queue_delay = s.queue_delay.value;
+  out.inst_service = s.service.value;
+  out.boost_fraction =
+      out.completions > 0
+          ? static_cast<double>(boosted) / static_cast<double>(out.completions)
+          : 0.0;
+  out.utilization =
+      out.arrival_rate * out.mean_service / static_cast<double>(servers_);
+  out.warm = out.completions >= config_.min_completions;
+  return out;
+}
+
+}  // namespace stac::serve

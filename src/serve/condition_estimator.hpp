@@ -1,0 +1,104 @@
+// Dynamic-condition estimation from the live event stream (§4, Eq. 4).
+//
+// The paper's Stage-3 loop feeds "instantaneous queuing delay ... as
+// dynamic condition feedback"; offline, the G/G/k simulator supplies it.
+// Online, this estimator reconstructs the same dynamic conditions from
+// ingest events, per workload, with two complementary horizons:
+//   * a sliding window (span-bounded and count-bounded) over recent
+//     completions/arrivals — the controller's per-epoch planning inputs
+//     (arrival rate, service mean/CV, mean queueing delay, boost
+//     prevalence), matching StreamingStats over the retained window; and
+//   * exponentially-decayed (half-life) trackers of queueing delay and
+//     service time — the "instantaneous" signal that reacts within a few
+//     events when a rate step hits, before the window turns over.
+//
+// Single-threaded by design: it is fed by the runtime's one consumer
+// thread (observe() right after ArrivalIngest::drain()).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/query_event.hpp"
+
+namespace stac::serve {
+
+struct EstimatorConfig {
+  double window_span = 30.0;        ///< seconds of history retained
+  std::size_t window_samples = 4096;  ///< completion-record cap per workload
+  double half_life = 2.0;           ///< EWMA half-life, seconds
+  std::size_t min_completions = 20;  ///< below this a workload is not warm
+};
+
+/// Point-in-time estimate for one workload.
+struct WorkloadEstimate {
+  double arrival_rate = 0.0;    ///< arrivals/sec over the window
+  double mean_service = 0.0;    ///< windowed service-duration mean
+  double service_cv = 0.0;      ///< windowed service-duration CV
+  double mean_queue_delay = 0.0;   ///< windowed queueing-delay mean
+  double inst_queue_delay = 0.0;   ///< EWMA (instantaneous) queueing delay
+  double inst_service = 0.0;       ///< EWMA service duration
+  double boost_fraction = 0.0;  ///< boosted completions / completions
+  /// arrival_rate x mean_service / servers — the offered-load coordinate
+  /// the models were trained on (Table 2's utilization axis).
+  double utilization = 0.0;
+  std::uint64_t arrivals = 0;      ///< window counts
+  std::uint64_t completions = 0;
+  std::uint64_t timeouts = 0;
+  bool warm = false;  ///< enough window completions to plan on
+};
+
+class ConditionEstimator {
+ public:
+  ConditionEstimator(std::size_t workloads, std::size_t servers_per_workload,
+                     EstimatorConfig config = {});
+
+  [[nodiscard]] std::size_t workload_count() const { return wl_.size(); }
+
+  /// Fold one event in.  Events must be fed in drain order (time-sorted
+  /// per producer; modest cross-producer skew is fine — windows are
+  /// span-based, not order-based).  Out-of-range workload ids are counted
+  /// and ignored, never UB.
+  void observe(const QueryEvent& event);
+
+  /// Estimate for workload w at time `now` (evicts window entries older
+  /// than now - window_span first).
+  [[nodiscard]] WorkloadEstimate estimate(std::size_t w, double now);
+
+  /// Lifetime (non-window) totals, for accounting tests and gauges.
+  [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
+  [[nodiscard]] std::uint64_t ignored_events() const { return ignored_; }
+
+ private:
+  struct Completion {
+    double time;
+    double queue_delay;
+    double service;
+    bool boosted;
+  };
+  struct Ewma {
+    double value = 0.0;
+    double last_time = 0.0;
+    bool seeded = false;
+    void update(double t, double x, double half_life);
+  };
+  struct PerWorkload {
+    std::deque<double> arrivals;       ///< arrival timestamps
+    std::deque<Completion> completions;
+    std::deque<double> timeouts;       ///< timeout timestamps
+    Ewma queue_delay;
+    Ewma service;
+  };
+
+  void evict(PerWorkload& s, double now) const;
+
+  EstimatorConfig config_;
+  std::size_t servers_;
+  std::vector<PerWorkload> wl_;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t ignored_ = 0;
+};
+
+}  // namespace stac::serve

@@ -1,0 +1,175 @@
+// Epoch-based (RCU-style) hot swap of an immutable model bundle.
+//
+// Background recalibration refits an EaModel from newly merged profiles
+// and publishes the result while the controller keeps planning against the
+// old one — admission never stalls on a model swap.  Readers pin the
+// current bundle through a hazard slot:
+//
+//   reader:  p = current (acquire); slot.store(p, seq_cst);
+//            re-check current (seq_cst) == p, else retry
+//   writer:  old = current.exchange(next); retire(old);
+//            reclaim retired bundles present in no slot
+//
+// The seq_cst store/load pair is the classic hazard-pointer handshake: the
+// writer's post-exchange scan of the slots and the reader's post-store
+// re-check of `current_` cannot both miss each other, so a bundle is only
+// deleted when no reader can still dereference it.  Readers are lock-free
+// (claim a slot, two loads, one store); the writer side is serialized by a
+// mutex and defers reclamation — it never waits for readers.  If every
+// slot is occupied (more than kSlots concurrent guards) acquire falls back
+// to holding the writer mutex for the guard's lifetime: correct, merely
+// not lock-free, and only reachable under absurd reader fan-out.
+//
+// See DESIGN.md §11 for the memory-ordering discussion.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace stac::serve {
+
+template <typename T>
+class ModelSnapshot {
+ public:
+  static constexpr std::size_t kSlots = 64;
+
+  ModelSnapshot() = default;
+  explicit ModelSnapshot(std::unique_ptr<const T> initial) {
+    if (initial) publish(std::move(initial));
+  }
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  ~ModelSnapshot() {
+    // No readers may outlive the snapshot (guards borrow from it).
+    delete current_.load(std::memory_order_relaxed);
+    for (const T* p : retired_) delete p;
+  }
+
+  /// Pins the bundle that was current at acquire() until destruction.
+  class ReadGuard {
+   public:
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard(ReadGuard&& o) noexcept
+        : owner_(o.owner_), slot_(o.slot_), ptr_(o.ptr_),
+          fallback_(std::move(o.fallback_)) {
+      o.owner_ = nullptr;
+      o.ptr_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&&) = delete;
+
+    ~ReadGuard() {
+      if (owner_ != nullptr && slot_ != kNoSlot) {
+        owner_->slots_[slot_].hazard.store(nullptr, std::memory_order_release);
+        owner_->slots_[slot_].in_use.store(false, std::memory_order_release);
+      }
+    }
+
+    [[nodiscard]] const T* get() const { return ptr_; }
+    [[nodiscard]] const T* operator->() const { return ptr_; }
+    [[nodiscard]] const T& operator*() const { return *ptr_; }
+    [[nodiscard]] explicit operator bool() const { return ptr_ != nullptr; }
+
+   private:
+    friend class ModelSnapshot;
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+    ReadGuard(ModelSnapshot* owner, std::size_t slot, const T* ptr,
+              std::unique_lock<std::mutex> fallback)
+        : owner_(owner), slot_(slot), ptr_(ptr),
+          fallback_(std::move(fallback)) {}
+
+    ModelSnapshot* owner_;
+    std::size_t slot_;
+    const T* ptr_;
+    std::unique_lock<std::mutex> fallback_;  ///< held only on slot overflow
+  };
+
+  /// Pin and return the current bundle (null guard before first publish).
+  /// Lock-free while a hazard slot is available.
+  [[nodiscard]] ReadGuard acquire() {
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      if (slots_[s].in_use.exchange(true, std::memory_order_acquire)) continue;
+      // Hazard handshake: publish the candidate, then confirm it is still
+      // current.  seq_cst on both sides pairs with the writer's exchange +
+      // slot scan (see header note).
+      const T* p = current_.load(std::memory_order_seq_cst);
+      for (;;) {
+        slots_[s].hazard.store(p, std::memory_order_seq_cst);
+        const T* again = current_.load(std::memory_order_seq_cst);
+        if (again == p) break;
+        p = again;
+      }
+      return ReadGuard(this, s, p, std::unique_lock<std::mutex>());
+    }
+    // Every slot taken: pin via the writer mutex instead (publish cannot
+    // retire anything while this guard lives).
+    std::unique_lock<std::mutex> lock(writer_mu_);
+    const T* p = current_.load(std::memory_order_seq_cst);
+    return ReadGuard(this, ReadGuard::kNoSlot, p, std::move(lock));
+  }
+
+  /// Swap in `next` as the current bundle and retire the old one.  The old
+  /// bundle is reclaimed on this or a later publish(), once no reader slot
+  /// pins it.  Thread-safe against readers and other writers; never blocks
+  /// on readers.
+  void publish(std::unique_ptr<const T> next) {
+    STAC_REQUIRE(next != nullptr);
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const T* old = current_.exchange(next.release(), std::memory_order_seq_cst);
+    version_.fetch_add(1, std::memory_order_release);
+    if (old != nullptr) retired_.push_back(old);
+    reclaim_locked();
+  }
+
+  /// Monotone swap count; 0 until the first publish.  Readers compare the
+  /// version to decide whether a refreshed acquire() is worthwhile.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Bundles awaiting reclamation (pinned by a reader at last publish).
+  [[nodiscard]] std::size_t retired_count() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return retired_.size();
+  }
+
+ private:
+  void reclaim_locked() {
+    auto pinned = [this](const T* p) {
+      for (const Slot& s : slots_)
+        if (s.hazard.load(std::memory_order_seq_cst) == p) return true;
+      return false;
+    };
+    std::vector<const T*> keep;
+    keep.reserve(retired_.size());
+    for (const T* p : retired_) {
+      if (pinned(p))
+        keep.push_back(p);
+      else
+        delete p;
+    }
+    retired_ = std::move(keep);
+  }
+
+  struct Slot {
+    std::atomic<bool> in_use{false};
+    std::atomic<const T*> hazard{nullptr};
+    char pad_[64 - sizeof(std::atomic<bool>) - sizeof(std::atomic<const T*>)];
+  };
+
+  std::atomic<const T*> current_{nullptr};
+  std::atomic<std::uint64_t> version_{0};
+  std::array<Slot, kSlots> slots_{};
+  mutable std::mutex writer_mu_;
+  std::vector<const T*> retired_;
+};
+
+}  // namespace stac::serve

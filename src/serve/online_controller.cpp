@@ -1,0 +1,146 @@
+#include "serve/online_controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace stac::serve {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+OnlineController::OnlineController(ArrivalIngest& ingest,
+                                   ModelSnapshot<ServingModel>& models,
+                                   ControllerConfig config,
+                                   cat::CatController* cat)
+    : ingest_(ingest), models_(models), config_(std::move(config)), cat_(cat),
+      estimator_(2, config_.servers, config_.estimator),
+      batch_(std::max<std::size_t>(1, config_.drain_batch)) {
+  STAC_REQUIRE(config_.util_lo > 0.0 && config_.util_lo <= config_.util_hi);
+  STAC_REQUIRE(config_.util_quantum >= 0.0);
+  if (cat_ != nullptr) STAC_REQUIRE(cat_->workload_count() >= 2);
+  timeouts_[0].store(config_.base_condition.timeout_primary,
+                     std::memory_order_relaxed);
+  timeouts_[1].store(config_.base_condition.timeout_collocated,
+                     std::memory_order_relaxed);
+}
+
+double OnlineController::snap_utilization(double u) const {
+  if (config_.util_quantum > 0.0)
+    u = config_.util_lo +
+        std::round((u - config_.util_lo) / config_.util_quantum) *
+            config_.util_quantum;
+  return std::clamp(u, config_.util_lo, config_.util_hi);
+}
+
+void OnlineController::mirror_to_cat(const QueryEvent& event) {
+  // Keep the hardware view in step with the proxies' grants: a fired STAP
+  // timeout boosts the class (refcounted, lease-stamped for the watchdog),
+  // a boosted completion releases one grant.  Degraded workloads ignore
+  // boosts inside CatController; spurious unboosts are counted no-ops —
+  // both are exactly the resilience semantics the offline stack has.
+  if (event.kind == EventKind::kTimeout) {
+    cat_->boost(event.workload, event.time);
+  } else if (event.kind == EventKind::kCompletion && event.boosted) {
+    cat_->unboost(event.workload);
+  }
+}
+
+EpochReport OnlineController::run_epoch(double now) {
+  STAC_TRACE_SPAN(span, "serve.epoch", "serve");
+  auto& registry = obs::MetricsRegistry::global();
+
+  EpochReport report;
+  report.epoch = ++totals_.epochs;
+  report.now = now;
+
+  // 1. Drain everything published so far and fold it in.
+  for (;;) {
+    const std::size_t n = ingest_.drain(batch_);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      estimator_.observe(batch_[i]);
+      if (cat_ != nullptr) mirror_to_cat(batch_[i]);
+    }
+    report.events_drained += n;
+  }
+  totals_.events_drained += report.events_drained;
+  registry.counter("serve.events_drained").add(report.events_drained);
+
+  // 2. Rebuild the runtime condition from live estimates.
+  WorkloadEstimate est_p = estimator_.estimate(0, now);
+  WorkloadEstimate est_c = estimator_.estimate(1, now);
+  report.warm = est_p.warm && est_c.warm;
+
+  const double t0 = now_seconds();
+  if (report.warm) {
+    profiler::RuntimeCondition cond = config_.base_condition;
+    cond.util_primary = snap_utilization(est_p.utilization);
+    cond.util_collocated = snap_utilization(est_c.utilization);
+    report.planned_condition = cond;
+
+    // 3. Pin the current model bundle for the whole planning step.
+    auto guard = models_.acquire();
+    STAC_REQUIRE_MSG(guard, "run_epoch before the first model publish");
+    report.model_version = guard->version;
+    if (guard->version != last_model_version_) {
+      ++totals_.model_swaps_observed;
+      last_model_version_ = guard->version;
+      registry.counter("serve.model_swaps_observed").add();
+    }
+
+    // Staleness probe: one prediction (memoized against the sweep's own
+    // cells) reveals which ladder rung answers for this condition.
+    const core::RtPrediction probe = guard->pred().predict(cond);
+    report.probe_rung = probe.rung;
+    if (probe.rung > config_.max_planning_rung) {
+      // 3b. Model too degraded to plan on: hold the last-known-good
+      // vector rather than steering traffic with rung-4 guesses.
+      report.stale_hold = true;
+      ++totals_.stale_holds;
+      registry.counter("serve.stale_holds").add();
+      obs::instant("serve.stale_hold", "serve");
+    } else {
+      // 4. Re-plan: the §5.2 sweep against the pinned predictor.
+      const core::PolicyExploration plan =
+          core::explore_policies(guard->pred(), cond, config_.explorer);
+      timeouts_[0].store(plan.selection.timeout_primary,
+                         std::memory_order_relaxed);
+      timeouts_[1].store(plan.selection.timeout_collocated,
+                         std::memory_order_relaxed);
+      report.replanned = true;
+      ++totals_.replans;
+      registry.counter("serve.replans").add();
+    }
+  }
+  report.plan_seconds = now_seconds() - t0;
+  registry.latency("serve.epoch_plan_seconds").record(report.plan_seconds);
+
+  // 5. Grant watchdog: no boost lease outlives its budget.
+  if (cat_ != nullptr) {
+    report.watchdog_revocations = cat_->poll_watchdog(now);
+    totals_.watchdog_revocations += report.watchdog_revocations;
+    if (report.watchdog_revocations > 0)
+      registry.counter("serve.watchdog_revocations")
+          .add(report.watchdog_revocations);
+  }
+
+  report.timeout_primary = timeouts_[0].load(std::memory_order_relaxed);
+  report.timeout_collocated = timeouts_[1].load(std::memory_order_relaxed);
+  registry.gauge("serve.timeout_primary").set(report.timeout_primary);
+  registry.gauge("serve.timeout_collocated").set(report.timeout_collocated);
+  span.arg("drained", static_cast<std::uint64_t>(report.events_drained));
+  span.arg("replanned", static_cast<std::uint64_t>(report.replanned));
+  return report;
+}
+
+}  // namespace stac::serve

@@ -1,0 +1,132 @@
+// The closed control loop: live conditions in, timeout vector out.
+//
+// Every control epoch the controller (single consumer thread):
+//   1. drains ArrivalIngest and folds the events into the
+//      ConditionEstimator (and mirrors boost grants into the
+//      CatController: a timeout event boosts the workload's class, a
+//      boosted completion releases one grant — the lease/watchdog path);
+//   2. rebuilds the paper's runtime condition from the estimates
+//      (utilization clamped and quantized onto the profiled Table-2 axis);
+//   3. pins the current ServingModel (ModelSnapshot::acquire) and probes
+//      one prediction: if it answers from a rung deeper than
+//      `max_planning_rung` the model is stale — the epoch *holds* the
+//      last-known-good timeout vector instead of re-planning on bad data
+//      (the serving-side analogue of the degradation ladder);
+//   4. otherwise re-runs the §5.2 policy sweep (explore_policies) against
+//      the pinned predictor — PR 4's RtPredictionCache memoizes the
+//      repeated G/G/k cells, so a stationary epoch costs near-zero — and
+//      publishes the selected timeout vector through per-workload atomics
+//      the admission proxies read; and
+//   5. polls the CatController grant watchdog so no boost lease outlives
+//      its budget even if a proxy leaked an unboost.
+//
+// On stationary traffic the rebuilt condition is constant, so the sweep's
+// selection equals StacManager::recommend() for that condition — the
+// online == offline identity the serve tests pin.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cat/cat_controller.hpp"
+#include "core/policy_explorer.hpp"
+#include "serve/arrival_ingest.hpp"
+#include "serve/condition_estimator.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/serving_model.hpp"
+
+namespace stac::serve {
+
+struct ControllerConfig {
+  /// Pairing plus the fixed condition knobs (mix, churn, sampling, seed);
+  /// utilizations are overwritten from the estimator each epoch and the
+  /// timeouts are the initial applied vector.
+  profiler::RuntimeCondition base_condition;
+  core::ExplorerConfig explorer;
+  EstimatorConfig estimator;
+  /// Events drained per batch (one stack buffer per controller).
+  std::size_t drain_batch = 8192;
+  /// Query slots per workload (the paper provisions 2 cores per service);
+  /// the estimator's utilization = arrival_rate x service / servers.
+  std::size_t servers = 2;
+  /// Utilization snap grid for the planned condition (0 = raw estimate);
+  /// quantizing keeps stationary traffic on one condition — and the memo
+  /// cache hot — instead of jittering by one sample each epoch.
+  double util_quantum = 0.05;
+  /// Table-2 clamp: the models were only ever trained inside this range.
+  double util_lo = 0.25;
+  double util_hi = 0.95;
+  /// Deepest ladder rung the controller will plan on; a probe answering
+  /// below holds the last-known-good vector (counted as a stale hold).
+  core::DegradationRung max_planning_rung =
+      core::DegradationRung::kNearestNeighbor;
+};
+
+/// What one control epoch did (returned to the driver; aggregated totals
+/// live in obs metrics and totals()).
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  double now = 0.0;
+  std::size_t events_drained = 0;
+  bool warm = false;       ///< estimator had enough completions to plan
+  bool replanned = false;  ///< sweep ran and the selection was applied
+  bool stale_hold = false; ///< ladder said stale: kept last-known-good
+  profiler::RuntimeCondition planned_condition;  ///< valid when warm
+  core::DegradationRung probe_rung = core::DegradationRung::kPrimaryModel;
+  double timeout_primary = 0.0;    ///< applied vector after this epoch
+  double timeout_collocated = 0.0;
+  double plan_seconds = 0.0;       ///< sweep + probe wall time
+  std::size_t watchdog_revocations = 0;
+  std::uint64_t model_version = 0;
+};
+
+class OnlineController {
+ public:
+  /// `cat` is optional (null = no hardware mirroring, e.g. ingest-only
+  /// benches); when set it must have >= 2 workloads and outlive the
+  /// controller.  The controller is the ring's single consumer.
+  OnlineController(ArrivalIngest& ingest, ModelSnapshot<ServingModel>& models,
+                   ControllerConfig config,
+                   cat::CatController* cat = nullptr);
+
+  /// One control epoch at runtime-clock `now`.  Call from one thread only.
+  EpochReport run_epoch(double now);
+
+  /// Applied STAP timeout for workload w (0 = primary, 1 = collocated).
+  /// Lock-free; admission proxies read this on their own threads.
+  [[nodiscard]] double timeout(std::size_t w) const {
+    return timeouts_[w].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ConditionEstimator& estimator() const {
+    return estimator_;
+  }
+
+  struct Totals {
+    std::uint64_t epochs = 0;
+    std::uint64_t replans = 0;
+    std::uint64_t stale_holds = 0;
+    std::uint64_t events_drained = 0;
+    std::uint64_t watchdog_revocations = 0;
+    std::uint64_t model_swaps_observed = 0;
+  };
+  [[nodiscard]] const Totals& totals() const { return totals_; }
+
+ private:
+  [[nodiscard]] double snap_utilization(double u) const;
+  void mirror_to_cat(const QueryEvent& event);
+
+  ArrivalIngest& ingest_;
+  ModelSnapshot<ServingModel>& models_;
+  ControllerConfig config_;
+  cat::CatController* cat_;
+  ConditionEstimator estimator_;
+  std::vector<QueryEvent> batch_;
+  std::array<std::atomic<double>, 2> timeouts_;
+  std::uint64_t last_model_version_ = 0;
+  Totals totals_;
+};
+
+}  // namespace stac::serve

@@ -1,0 +1,37 @@
+// The serving runtime's wire format: one event per query lifecycle edge.
+//
+// Producers (service proxies, or the traffic replay driver standing in for
+// them) emit an event when a query arrives, when its STAP timeout fires
+// (§4, Eq. 4 — the sojourn exceeded T x expected service time and the
+// class was boosted), and when it completes.  Events carry everything the
+// ConditionEstimator needs to reconstruct the paper's dynamic conditions —
+// arrival rate, service-time CV, instantaneous queueing delay, boost
+// prevalence — without the consumer ever touching producer state.
+#pragma once
+
+#include <cstdint>
+
+namespace stac::serve {
+
+enum class EventKind : std::uint8_t {
+  kArrival = 0,     ///< query admitted to the workload's queue
+  kTimeout = 1,     ///< STAP timeout fired; the query went boosted
+  kCompletion = 2,  ///< query finished (boosted or not)
+};
+
+/// POD event record; fits two per cache line so a full ingest ring stays
+/// small and scans stay dense.
+struct QueryEvent {
+  double time = 0.0;         ///< event timestamp (runtime clock, seconds)
+  double queue_delay = 0.0;  ///< completion: time spent queued before service
+  double service = 0.0;      ///< completion: service duration
+  EventKind kind = EventKind::kArrival;
+  bool boosted = false;      ///< completion: query held a boost grant
+  std::uint16_t workload = 0;
+  std::uint32_t producer = 0;  ///< producer tag (shard id; tests use it to
+                               ///< assert per-producer FIFO order)
+
+  [[nodiscard]] double sojourn() const { return queue_delay + service; }
+};
+
+}  // namespace stac::serve

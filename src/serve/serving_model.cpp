@@ -1,0 +1,62 @@
+#include "serve/serving_model.hpp"
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace stac::serve {
+
+std::unique_ptr<const ServingModel> build_serving_model(
+    const profiler::Profiler& profiler, core::ProfileLibrary library,
+    const core::EaModelConfig& model_config,
+    const core::RtPredictorConfig& predictor_config, std::uint64_t version,
+    bool train_fallback) {
+  STAC_REQUIRE_MSG(!library.empty(), "serving model needs profiles");
+  STAC_TRACE_SPAN(span, "serve.build_model", "serve");
+  span.arg("profiles", static_cast<std::uint64_t>(library.size()));
+  span.arg("version", version);
+
+  auto bundle = std::make_unique<ServingModel>();
+  bundle->version = version;
+  bundle->library = std::move(library);
+  // Mirror StacManager::refit's failure policy: a primary fit failure
+  // (injected "model.fit" fault, degenerate profiles) leaves an untrained
+  // primary and the ladder answers from a lower rung.
+  bundle->primary = core::EaModel(model_config);
+  try {
+    bundle->primary.fit(bundle->library.profiles());
+  } catch (const ContractViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    bundle->primary = core::EaModel(model_config);
+    obs::count("serve.model_fit_failures");
+  }
+  if (train_fallback) {
+    try {
+      bundle->fallback.fit(bundle->library.profiles());
+    } catch (const ContractViolation&) {
+      throw;
+    } catch (const std::exception&) {
+      bundle->fallback = core::EaModel(linear_fallback_config());
+    }
+  }
+  bundle->predictor.emplace(profiler,
+                            bundle->primary.trained() ? &bundle->primary
+                                                      : nullptr,
+                            &bundle->library, predictor_config);
+  bundle->predictor->set_fallback_model(
+      bundle->fallback.trained() ? &bundle->fallback : nullptr);
+  obs::count("serve.models_built");
+  return bundle;
+}
+
+std::unique_ptr<const ServingModel> build_serving_model(
+    const core::StacManager& manager, const core::StacOptions& options,
+    std::uint64_t version) {
+  STAC_REQUIRE_MSG(manager.calibrated(), "manager must be calibrated");
+  return build_serving_model(manager.profiler(), manager.library(),
+                             options.model, options.predictor, version,
+                             options.train_fallback);
+}
+
+}  // namespace stac::serve

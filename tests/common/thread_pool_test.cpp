@@ -106,6 +106,50 @@ TEST(ThreadPool, NestedParallelForAcrossDistinctPools) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ThreadPool, ThreadsFromEnvAcceptsPlainIntegers) {
+  EXPECT_EQ(ThreadPool::threads_from_env("8"), 8u);
+  EXPECT_EQ(ThreadPool::threads_from_env("1"), 1u);
+  EXPECT_EQ(ThreadPool::threads_from_env("1024"), 1024u);
+  // Surrounding whitespace is tolerated (shell-quoted exports).
+  EXPECT_EQ(ThreadPool::threads_from_env("  8  "), 8u);
+  EXPECT_EQ(ThreadPool::threads_from_env("\t4"), 4u);
+}
+
+TEST(ThreadPool, ThreadsFromEnvRejectsUnsetAndEmpty) {
+  // 0 is the "fall back to hardware concurrency" sentinel the pool
+  // constructor understands.
+  EXPECT_EQ(ThreadPool::threads_from_env(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env(""), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("   "), 0u);
+}
+
+TEST(ThreadPool, ThreadsFromEnvRejectsNonNumeric) {
+  EXPECT_EQ(ThreadPool::threads_from_env("abc"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("8abc"), 0u);   // trailing junk
+  EXPECT_EQ(ThreadPool::threads_from_env("3.5"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("0x10"), 0u);
+}
+
+TEST(ThreadPool, ThreadsFromEnvRejectsZeroAndNegative) {
+  EXPECT_EQ(ThreadPool::threads_from_env("0"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("-4"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("-1"), 0u);
+}
+
+TEST(ThreadPool, ThreadsFromEnvRejectsHugeValues) {
+  // A fat-fingered export must not spawn thousands of threads (or wrap).
+  EXPECT_EQ(ThreadPool::threads_from_env("1025"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("999999"), 0u);
+  EXPECT_EQ(ThreadPool::threads_from_env("18446744073709551616"), 0u);  // 2^64
+  EXPECT_EQ(ThreadPool::threads_from_env("99999999999999999999999999"), 0u);
+}
+
+TEST(ThreadPool, ConstructorZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(),
+            std::max(1u, std::thread::hardware_concurrency()));
+}
+
 TEST(ThreadPool, NestedWorkFromManySubmitters) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};

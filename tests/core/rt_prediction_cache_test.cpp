@@ -144,6 +144,54 @@ TEST(RtPredictionCache, MemoizedPredictorMatchesUnmemoized) {
   EXPECT_EQ(poff.cache_stats().hits + poff.cache_stats().misses, 0u);
 }
 
+TEST(RtPredictionCache, CapacityBoundsGrowthViaEpochFlush) {
+  // A drifting-condition controller keys a fresh config every epoch; the
+  // capacity bound (flush-at-capacity) must keep the map finite while the
+  // "rt_cache.size" gauge tracks the live entry count.
+  RtPredictionCache cache(/*enabled=*/true, /*capacity=*/8);
+  EXPECT_EQ(cache.capacity(), 8u);
+  auto& gauge = obs::MetricsRegistry::global().gauge("rt_cache.size");
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    GGkConfig c = small_sim(1000 + i);  // 50 distinct keys
+    c.queries = 50;                     // keep each miss cheap
+    c.warmup = 5;
+    (void)cache.simulate(c);
+    ASSERT_LE(cache.size(), 8u) << "after insert " << i;
+    EXPECT_EQ(gauge.value(), static_cast<double>(cache.size()));
+  }
+  EXPECT_EQ(cache.stats().misses, 50u);
+  // Entries cached since the last flush still hit.
+  GGkConfig again = small_sim(1000 + 49);
+  again.queries = 50;
+  again.warmup = 5;
+  (void)cache.simulate(again);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(RtPredictionCache, ZeroCapacityClampsToOne) {
+  RtPredictionCache cache(true, 0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  GGkConfig c = small_sim(3);
+  c.queries = 50;
+  c.warmup = 5;
+  (void)cache.simulate(c);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RtPredictionCache, MemoizeCapacityKnobReachesThePredictorCache) {
+  Profiler profiler(fast_config());
+  RtPredictorConfig cfg;
+  cfg.analytic_ea = true;
+  cfg.sim_queries = 200;
+  cfg.sim_warmup = 20;
+  cfg.memoize_capacity = 4;
+  RtPredictor pred(profiler, nullptr, nullptr, cfg);
+  for (int i = 0; i < 12; ++i)
+    (void)pred.predict(condition(0.55 + 0.03 * i, 1.0));
+  EXPECT_LE(pred.cache_size(), 4u);
+  EXPECT_GT(pred.cache_stats().misses, 0u);
+}
+
 TEST(RtPredictionCache, PolicySweepReusesMostSimulations) {
   // The ISSUE-4 acceptance bar: on the paper's 25-cell grid the memoizer
   // absorbs >50% of Stage-3 simulations (seeds are cell-independent and,

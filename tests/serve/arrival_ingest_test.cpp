@@ -1,0 +1,143 @@
+// The ingest ring's contract: FIFO through the single consumer, exact
+// drop-not-block accounting when full, and clean MPSC behaviour under
+// producer contention (the TSan job runs the stress test).
+#include "serve/arrival_ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace stac::serve {
+namespace {
+
+QueryEvent arrival(double t, std::uint32_t producer = 0) {
+  QueryEvent e;
+  e.kind = EventKind::kArrival;
+  e.time = t;
+  e.producer = producer;
+  return e;
+}
+
+TEST(ArrivalIngest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ArrivalIngest(5).capacity(), 8u);
+  EXPECT_EQ(ArrivalIngest(8).capacity(), 8u);
+  EXPECT_EQ(ArrivalIngest(1).capacity(), 2u);
+  EXPECT_EQ(ArrivalIngest(1000).capacity(), 1024u);
+}
+
+TEST(ArrivalIngest, FifoSingleThread) {
+  ArrivalIngest ring(64);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(ring.try_push(arrival(i)));
+  std::vector<QueryEvent> out(64);
+  const std::size_t n = ring.drain(out);
+  ASSERT_EQ(n, 40u);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(out[i].time, static_cast<double>(i));
+  EXPECT_EQ(ring.pushed(), 40u);
+  EXPECT_EQ(ring.popped(), 40u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(ArrivalIngest, FullRingDropsInsteadOfBlocking) {
+  ArrivalIngest ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(arrival(i)));
+  EXPECT_FALSE(ring.try_push(arrival(4)));
+  EXPECT_FALSE(ring.try_push(arrival(5)));
+  EXPECT_EQ(ring.pushed(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);
+
+  // Draining frees the cells; pushes succeed again and FIFO holds.
+  std::vector<QueryEvent> out(4);
+  EXPECT_EQ(ring.drain(out), 4u);
+  EXPECT_TRUE(ring.try_push(arrival(6)));
+  EXPECT_EQ(ring.drain(out), 1u);
+  EXPECT_EQ(out[0].time, 6.0);
+}
+
+TEST(ArrivalIngest, DrainInSmallBatches) {
+  ArrivalIngest ring(64);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(ring.try_push(arrival(i)));
+  std::vector<QueryEvent> out(7);
+  double expect = 0.0;
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t n = ring.drain(out);
+    if (n == 0) break;
+    total += n;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].time, expect++);
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(ArrivalIngest, DrainEmptyReturnsZero) {
+  ArrivalIngest ring(8);
+  std::vector<QueryEvent> out(8);
+  EXPECT_EQ(ring.drain(out), 0u);
+}
+
+TEST(ArrivalIngest, MpscStressExactAccountingAndPerProducerOrder) {
+  // N producers hammer a deliberately small ring while the consumer drains
+  // concurrently: every attempted push is either consumed or counted as a
+  // drop, and each producer's surviving events arrive in emission order.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  ArrivalIngest ring(256);
+
+  std::vector<std::uint64_t> producer_pushed(kProducers, 0);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, &producer_pushed, p] {
+      std::uint64_t ok = 0;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // Encode the per-producer sequence number in the timestamp.
+        if (ring.try_push(arrival(static_cast<double>(i),
+                                  static_cast<std::uint32_t>(p))))
+          ++ok;
+      }
+      producer_pushed[p] = ok;
+    });
+  }
+
+  std::vector<double> last_seen(kProducers, -1.0);
+  std::vector<std::uint64_t> consumed_per(kProducers, 0);
+  std::uint64_t consumed = 0;
+  std::vector<QueryEvent> out(512);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    for (;;) {
+      // Observe quiescence BEFORE draining: every push happens-before the
+      // done store, so done-then-empty-drain means empty forever.
+      const bool finished = done.load(std::memory_order_acquire);
+      const std::size_t n = ring.drain(out);
+      for (std::size_t i = 0; i < n; ++i) {
+        const QueryEvent& e = out[i];
+        ASSERT_LT(e.producer, kProducers);
+        // Per-producer FIFO: sequence numbers strictly increase.
+        ASSERT_GT(e.time, last_seen[e.producer]);
+        last_seen[e.producer] = e.time;
+        ++consumed_per[e.producer];
+        ++consumed;
+      }
+      if (finished && n == 0) break;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  std::uint64_t pushed_total = 0;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(consumed_per[p], producer_pushed[p]) << "producer " << p;
+    pushed_total += producer_pushed[p];
+  }
+  EXPECT_EQ(consumed, pushed_total);
+  EXPECT_EQ(ring.pushed(), pushed_total);
+  EXPECT_EQ(ring.popped(), pushed_total);
+  EXPECT_EQ(ring.pushed() + ring.dropped(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace stac::serve

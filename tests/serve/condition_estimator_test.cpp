@@ -1,0 +1,150 @@
+// The estimator must reproduce StreamingStats over the retained window
+// exactly, evict by span, expose the utilization coordinate the models
+// were trained on, and react faster through its EWMA than its window.
+#include "serve/condition_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace stac::serve {
+namespace {
+
+QueryEvent arrival(std::uint16_t w, double t) {
+  QueryEvent e;
+  e.kind = EventKind::kArrival;
+  e.workload = w;
+  e.time = t;
+  return e;
+}
+
+QueryEvent completion(std::uint16_t w, double t, double queue_delay,
+                      double service, bool boosted = false) {
+  QueryEvent e;
+  e.kind = EventKind::kCompletion;
+  e.workload = w;
+  e.time = t;
+  e.queue_delay = queue_delay;
+  e.service = service;
+  e.boosted = boosted;
+  return e;
+}
+
+QueryEvent timeout_event(std::uint16_t w, double t) {
+  QueryEvent e;
+  e.kind = EventKind::kTimeout;
+  e.workload = w;
+  e.time = t;
+  return e;
+}
+
+TEST(ConditionEstimator, WindowedMomentsMatchStreamingStats) {
+  ConditionEstimator est(1, 2);
+  StreamingStats service;
+  StreamingStats queue;
+  // Deterministic but uneven samples, all inside the window.
+  for (int i = 0; i < 50; ++i) {
+    const double s = 0.5 + 0.03 * (i % 7);
+    const double q = 0.1 * (i % 5);
+    est.observe(completion(0, 1.0 + 0.1 * i, q, s, i % 4 == 0));
+    service.add(s);
+    queue.add(q);
+  }
+  const WorkloadEstimate e = est.estimate(0, 6.0);
+  EXPECT_EQ(e.completions, 50u);
+  EXPECT_DOUBLE_EQ(e.mean_service, service.mean());
+  EXPECT_DOUBLE_EQ(e.service_cv, service.cv());
+  EXPECT_DOUBLE_EQ(e.mean_queue_delay, queue.mean());
+  EXPECT_DOUBLE_EQ(e.boost_fraction, 13.0 / 50.0);
+}
+
+TEST(ConditionEstimator, SpanEvictionDropsOldEntries) {
+  EstimatorConfig cfg;
+  cfg.window_span = 10.0;
+  ConditionEstimator est(1, 1, cfg);
+  for (int t = 0; t < 20; ++t) {
+    est.observe(arrival(0, t));
+    est.observe(completion(0, t, 0.0, 1.0));
+    est.observe(timeout_event(0, t));
+  }
+  // now = 25: only timestamps in [15, 20) survive.
+  const WorkloadEstimate e = est.estimate(0, 25.0);
+  EXPECT_EQ(e.arrivals, 5u);
+  EXPECT_EQ(e.completions, 5u);
+  EXPECT_EQ(e.timeouts, 5u);
+  // Far future: everything evicted, estimate degrades to zeros, not UB.
+  const WorkloadEstimate late = est.estimate(0, 1000.0);
+  EXPECT_EQ(late.completions, 0u);
+  EXPECT_FALSE(late.warm);
+  EXPECT_EQ(late.arrival_rate, 0.0);
+}
+
+TEST(ConditionEstimator, CountCapBoundsCompletionWindow) {
+  EstimatorConfig cfg;
+  cfg.window_span = 1e9;  // span never evicts in this test
+  cfg.window_samples = 32;
+  ConditionEstimator est(1, 1, cfg);
+  for (int i = 0; i < 500; ++i)
+    est.observe(completion(0, 0.001 * i, 0.0, 1.0));
+  EXPECT_EQ(est.estimate(0, 1.0).completions, 32u);
+}
+
+TEST(ConditionEstimator, ArrivalRateAndUtilizationCoordinate) {
+  ConditionEstimator est(1, 2);  // 2 servers
+  // Exactly rate 1.6/s: arrivals every 0.625 s over [0, 60).
+  for (int i = 0; i * 0.625 < 60.0; ++i) {
+    est.observe(arrival(0, i * 0.625));
+    est.observe(completion(0, i * 0.625, 0.0, 1.0));  // unit service
+  }
+  const WorkloadEstimate e = est.estimate(0, 60.0);
+  // Window span 30: arrivals in [30, 60), front exactly at 30.0.
+  EXPECT_NEAR(e.arrival_rate, 1.6, 1e-12);
+  EXPECT_DOUBLE_EQ(e.mean_service, 1.0);
+  // util = rate x service / servers — Table 2's load axis.
+  EXPECT_NEAR(e.utilization, 0.8, 1e-12);
+  EXPECT_TRUE(e.warm);
+}
+
+TEST(ConditionEstimator, EwmaTracksAStepFasterThanTheWindow) {
+  EstimatorConfig cfg;
+  cfg.half_life = 1.0;
+  cfg.window_span = 100.0;
+  ConditionEstimator est(1, 1, cfg);
+  for (int i = 0; i < 50; ++i)
+    est.observe(completion(0, 0.5 * i, 0.2, 1.0));
+  // Step: queueing delay jumps 0.2 -> 2.0 for a few events.
+  for (int i = 0; i < 6; ++i)
+    est.observe(completion(0, 25.0 + 0.5 * i, 2.0, 1.0));
+  const WorkloadEstimate e = est.estimate(0, 28.0);
+  // The window still averages mostly old samples; the EWMA has crossed
+  // most of the step already.
+  EXPECT_LT(e.mean_queue_delay, 0.6);
+  EXPECT_GT(e.inst_queue_delay, 1.5);
+}
+
+TEST(ConditionEstimator, OutOfRangeWorkloadCountedNotUb) {
+  ConditionEstimator est(2, 1);
+  est.observe(completion(7, 1.0, 0.0, 1.0));
+  est.observe(arrival(2, 1.0));
+  EXPECT_EQ(est.ignored_events(), 2u);
+  EXPECT_EQ(est.total_events(), 2u);
+  EXPECT_EQ(est.estimate(0, 2.0).completions, 0u);
+  EXPECT_THROW((void)est.estimate(5, 2.0), ContractViolation);
+}
+
+TEST(ConditionEstimator, WarmRequiresMinCompletions) {
+  EstimatorConfig cfg;
+  cfg.min_completions = 3;
+  ConditionEstimator est(1, 1, cfg);
+  est.observe(completion(0, 1.0, 0.0, 1.0));
+  est.observe(completion(0, 1.1, 0.0, 1.0));
+  EXPECT_FALSE(est.estimate(0, 2.0).warm);
+  est.observe(completion(0, 1.2, 0.0, 1.0));
+  EXPECT_TRUE(est.estimate(0, 2.0).warm);
+}
+
+}  // namespace
+}  // namespace stac::serve

@@ -1,0 +1,306 @@
+// The closed loop end to end: on stationary traffic the online controller
+// must re-derive exactly the offline recommendation (the online == offline
+// identity), hold last-known-good timeouts when the model degrades past
+// the planning rung, mirror grants into the CAT lease/watchdog path, and
+// survive model hot-swaps under load without losing a single event.
+#include "serve/online_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "serve/traffic_replay.hpp"
+
+namespace stac::serve {
+namespace {
+
+using core::StacManager;
+using core::StacOptions;
+using profiler::RuntimeCondition;
+
+StacOptions tiny_options() {
+  StacOptions opts;
+  opts.profile_budget = 6;
+  opts.profiler.target_completions = 250;
+  opts.profiler.warmup_completions = 30;
+  opts.profiler.max_windows = 1;
+  opts.profiler.accesses_per_sample = 600;
+  opts.model.deep_forest.mgs.window_sizes = {5};
+  opts.model.deep_forest.mgs.estimators = 6;
+  opts.model.deep_forest.cascade.levels = 1;
+  opts.model.deep_forest.cascade.estimators = 10;
+  opts.predictor.sim_queries = 1500;
+  opts.explorer.grid = {0.0, 2.0, 6.0};
+  return opts;
+}
+
+RuntimeCondition base_condition() {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKnn;
+  c.collocated = wl::Benchmark::kBfs;
+  c.util_primary = 0.8;
+  c.util_collocated = 0.8;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 1.0;
+  c.seed = 12;
+  return c;
+}
+
+ControllerConfig controller_config() {
+  ControllerConfig cfg;
+  cfg.base_condition = base_condition();
+  cfg.explorer = tiny_options().explorer;
+  cfg.servers = 2;
+  return cfg;
+}
+
+cachesim::HierarchyConfig hw_cfg() {
+  cachesim::HierarchyConfig c;
+  c.l1d = {8 * 1024, 8, 64, 4};
+  c.l1i = {8 * 1024, 8, 64, 4};
+  c.l2 = {64 * 1024, 16, 64, 12};
+  c.llc = {512 * 1024, 8, 64, 40};
+  return c;
+}
+
+QueryEvent make_event(EventKind kind, std::uint16_t w, double t,
+                      double service = 1.0, bool boosted = false) {
+  QueryEvent e;
+  e.kind = kind;
+  e.workload = w;
+  e.time = t;
+  e.service = service;
+  e.queue_delay = kind == EventKind::kCompletion ? 0.1 : 0.0;
+  e.boosted = boosted;
+  return e;
+}
+
+/// Deterministic stationary traffic at utilization 0.8 for both workloads:
+/// arrival rate 1.6/s against 2 servers of unit mean service.
+void feed_stationary(ArrivalIngest& ring, double t0, double t1) {
+  constexpr double kGap = 0.625;  // 1.6 arrivals/s
+  for (std::uint16_t w = 0; w < 2; ++w) {
+    for (double t = t0; t < t1; t += kGap) {
+      ASSERT_TRUE(ring.try_push(make_event(EventKind::kArrival, w, t)));
+      ASSERT_TRUE(ring.try_push(make_event(EventKind::kCompletion, w, t)));
+    }
+  }
+}
+
+// Calibration is the expensive part; share one manager across the suite.
+class OnlineControllerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mgr_ = new StacManager(tiny_options());
+    mgr_->calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  }
+  static void TearDownTestSuite() {
+    delete mgr_;
+    mgr_ = nullptr;
+  }
+
+  static StacManager* mgr_;
+};
+
+StacManager* OnlineControllerTest::mgr_ = nullptr;
+
+TEST_F(OnlineControllerTest, ColdEpochHoldsInitialTimeouts) {
+  ArrivalIngest ring(1024);
+  ModelSnapshot<ServingModel> snap;  // nothing published: must not be touched
+  OnlineController ctrl(ring, snap, controller_config());
+  const EpochReport r = ctrl.run_epoch(1.0);
+  EXPECT_FALSE(r.warm);
+  EXPECT_FALSE(r.replanned);
+  EXPECT_FALSE(r.stale_hold);
+  EXPECT_EQ(r.events_drained, 0u);
+  EXPECT_DOUBLE_EQ(r.timeout_primary, 1.0);
+  EXPECT_DOUBLE_EQ(r.timeout_collocated, 1.0);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(0), 1.0);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(1), 1.0);
+}
+
+TEST_F(OnlineControllerTest, StationaryTrafficMatchesOfflineRecommend) {
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap(
+      build_serving_model(*mgr_, tiny_options(), 1));
+  OnlineController ctrl(ring, snap, controller_config());
+
+  feed_stationary(ring, 0.0, 60.0);
+  const EpochReport r = ctrl.run_epoch(60.0);
+  ASSERT_TRUE(r.warm);
+  ASSERT_TRUE(r.replanned);
+  EXPECT_FALSE(r.stale_hold);
+  EXPECT_EQ(r.probe_rung, core::DegradationRung::kPrimaryModel);
+  EXPECT_NEAR(r.planned_condition.util_primary, 0.8, 0.051);
+  EXPECT_NEAR(r.planned_condition.util_collocated, 0.8, 0.051);
+
+  // The identity: offline recommend() on the very condition the controller
+  // planned for selects the very same timeout vector (deterministic
+  // training makes the serving bundle predict identically to the manager).
+  const core::PolicyExploration offline =
+      mgr_->recommend(r.planned_condition);
+  EXPECT_EQ(r.timeout_primary, offline.selection.timeout_primary);
+  EXPECT_EQ(r.timeout_collocated, offline.selection.timeout_collocated);
+  EXPECT_EQ(ctrl.timeout(0), offline.selection.timeout_primary);
+  EXPECT_EQ(ctrl.timeout(1), offline.selection.timeout_collocated);
+
+  // Still stationary an epoch later: same condition, same selection.
+  feed_stationary(ring, 60.0, 120.0);
+  const EpochReport r2 = ctrl.run_epoch(120.0);
+  ASSERT_TRUE(r2.replanned);
+  EXPECT_EQ(r2.planned_condition.util_primary,
+            r.planned_condition.util_primary);
+  EXPECT_EQ(r2.timeout_primary, r.timeout_primary);
+  EXPECT_EQ(r2.timeout_collocated, r.timeout_collocated);
+  EXPECT_EQ(ctrl.totals().replans, 2u);
+}
+
+TEST_F(OnlineControllerTest, DegradedModelHoldsLastKnownGoodVector) {
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap(
+      build_serving_model(*mgr_, tiny_options(), 1));
+  ControllerConfig cfg = controller_config();
+  // Only model rungs are acceptable for planning in this test.
+  cfg.max_planning_rung = core::DegradationRung::kLinearFallback;
+  OnlineController ctrl(ring, snap, cfg);
+
+  // Epoch 1: healthy, replanned — this is the last-known-good vector.
+  feed_stationary(ring, 0.0, 60.0);
+  const EpochReport healthy = ctrl.run_epoch(60.0);
+  ASSERT_TRUE(healthy.replanned);
+
+  // Epoch 2: every EA-model prediction faults, so the ladder answers from
+  // the library-neighbour rung — too deep to plan on.  Hold.
+  {
+    FaultPlan plan;
+    plan.add({.point = "model.predict",
+              .action = FaultAction::kThrow,
+              .probability = 1.0});
+    FaultScope scope(plan);
+    feed_stationary(ring, 60.0, 120.0);
+    const EpochReport degraded = ctrl.run_epoch(120.0);
+    ASSERT_TRUE(degraded.warm);
+    EXPECT_TRUE(degraded.stale_hold);
+    EXPECT_FALSE(degraded.replanned);
+    EXPECT_GT(degraded.probe_rung, cfg.max_planning_rung);
+    EXPECT_EQ(degraded.timeout_primary, healthy.timeout_primary);
+    EXPECT_EQ(degraded.timeout_collocated, healthy.timeout_collocated);
+  }
+
+  // Epoch 3: chaos gone, planning resumes.
+  feed_stationary(ring, 120.0, 180.0);
+  const EpochReport recovered = ctrl.run_epoch(180.0);
+  EXPECT_TRUE(recovered.replanned);
+  EXPECT_EQ(ctrl.totals().stale_holds, 1u);
+}
+
+TEST_F(OnlineControllerTest, MirrorsGrantsIntoCatController) {
+  cachesim::CacheHierarchy hw(hw_cfg(), 2);
+  cat::AllocationPlan plan = cat::make_pair_plan(8, 1, 2);
+  cat::CatController cat(hw, plan);
+
+  ArrivalIngest ring(1024);
+  ModelSnapshot<ServingModel> snap;
+  OnlineController ctrl(ring, snap, controller_config(), &cat);
+
+  // A fired STAP timeout boosts the class...
+  ASSERT_TRUE(ring.try_push(make_event(EventKind::kTimeout, 0, 1.0)));
+  (void)ctrl.run_epoch(2.0);
+  EXPECT_TRUE(cat.is_boosted(0));
+  EXPECT_FALSE(cat.is_boosted(1));
+
+  // ...and the boosted completion releases the grant.
+  ASSERT_TRUE(
+      ring.try_push(make_event(EventKind::kCompletion, 0, 3.0, 1.0, true)));
+  (void)ctrl.run_epoch(4.0);
+  EXPECT_FALSE(cat.is_boosted(0));
+  EXPECT_EQ(cat.switch_count(), 2u);
+
+  // Unboosted completions never touch the refcount.
+  ASSERT_TRUE(
+      ring.try_push(make_event(EventKind::kCompletion, 1, 5.0, 1.0, false)));
+  (void)ctrl.run_epoch(6.0);
+  EXPECT_EQ(cat.fault_stats().spurious_unboosts, 0u);
+  EXPECT_EQ(ctrl.totals().events_drained, 3u);
+}
+
+TEST_F(OnlineControllerTest, WatchdogRevokesLeakedLease) {
+  cachesim::CacheHierarchy hw(hw_cfg(), 2);
+  cat::AllocationPlan plan = cat::make_pair_plan(8, 1, 2);
+  cat::CatResilienceConfig resilience;
+  resilience.max_boost_lease = 5.0;
+  cat::CatController cat(hw, plan, resilience);
+
+  ArrivalIngest ring(1024);
+  ModelSnapshot<ServingModel> snap;
+  OnlineController ctrl(ring, snap, controller_config(), &cat);
+
+  // The boost's completion never arrives (leaked grant).
+  ASSERT_TRUE(ring.try_push(make_event(EventKind::kTimeout, 1, 1.0)));
+  const EpochReport early = ctrl.run_epoch(2.0);
+  EXPECT_EQ(early.watchdog_revocations, 0u);
+  EXPECT_TRUE(cat.is_boosted(1));
+
+  const EpochReport late = ctrl.run_epoch(20.0);
+  EXPECT_EQ(late.watchdog_revocations, 1u);
+  EXPECT_FALSE(cat.is_boosted(1));
+  EXPECT_EQ(ctrl.totals().watchdog_revocations, 1u);
+}
+
+TEST_F(OnlineControllerTest, HotSwapUnderLoadLosesNoEvents) {
+  ArrivalIngest ring(1 << 16);
+  ModelSnapshot<ServingModel> snap(
+      build_serving_model(*mgr_, tiny_options(), 1));
+  ControllerConfig cfg = controller_config();
+  cfg.estimator.min_completions = 10;
+  OnlineController ctrl(ring, snap, cfg);
+
+  ReplayConfig replay_cfg;
+  replay_cfg.workloads = {
+      {.mean_service = 0.05, .service_cv = 0.7, .servers = 2,
+       .base_util = 0.6},
+      {.mean_service = 0.05, .service_cv = 0.7, .servers = 2,
+       .base_util = 0.6}};
+  replay_cfg.shards_per_workload = 2;  // 4 producer threads
+  TrafficReplay replay(ring, &ctrl, replay_cfg);
+
+  // Pre-built bundles so the swap thread only publishes (refits would
+  // dominate the test under TSan).
+  std::vector<std::unique_ptr<const ServingModel>> bundles;
+  for (std::uint64_t v = 2; v <= 4; ++v)
+    bundles.push_back(build_serving_model(*mgr_, tiny_options(), v));
+
+  std::thread swapper([&] {
+    for (auto& b : bundles) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      snap.publish(std::move(b));
+    }
+  });
+
+  // ~20 wall-paced simulated seconds per wall second: the run overlaps all
+  // three publishes.
+  const SoakResult result = replay.run_threaded(ctrl, /*sim_seconds=*/40.0,
+                                                /*epoch_interval=*/2.0,
+                                                /*wall_pace=*/40.0);
+  swapper.join();
+
+  // Zero loss through the swap: every published event was drained.
+  EXPECT_EQ(result.traffic.push_failures, 0u);
+  EXPECT_EQ(result.ingest_dropped, 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.popped(), ring.pushed());
+  EXPECT_EQ(result.controller.events_drained, ring.pushed());
+  EXPECT_EQ(result.traffic.arrivals, result.traffic.completions);
+  EXPECT_GT(result.traffic.arrivals, 100u);
+  EXPECT_EQ(result.epochs, 20u);
+  EXPECT_EQ(snap.version(), 4u);
+  EXPECT_GE(ctrl.totals().model_swaps_observed, 1u);
+  EXPECT_GT(ctrl.totals().replans, 0u);
+}
+
+}  // namespace
+}  // namespace stac::serve
