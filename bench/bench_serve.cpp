@@ -1,19 +1,29 @@
-// Serving-runtime performance harness (PR-5 record, BENCH_PR5.json).
+// Serving-runtime performance harness (PR-6 record, BENCH_PR6.json).
 //
-// Three sections:
+// Five sections:
 //   ingest_throughput — raw MPSC ring rate under producer contention,
 //                       gated at >= 1M simulated events/min end to end;
 //   control_epoch     — closed-loop epoch planning latency (p50/p99) on
 //                       stationary traffic, plus the memo-cache reuse the
 //                       cheap epochs depend on;
 //   hot_swap          — model hot-swaps under live load, gated on zero
-//                       lost events.
+//                       lost events;
+//   recovery_time     — checkpoint write / load / recover latency, plus the
+//                       post-restart epochs until the first replan, gated on
+//                       the recovered vector matching the checkpointed one;
+//   overload          — 5x offered load against a small ring with admission
+//                       control and a plan deadline budget, gated on plan
+//                       p99 within the budget (shed fraction recorded; the
+//                       admission gauges land in obs_metrics).
+#include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "obs/trace.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/online_controller.hpp"
 #include "serve/traffic_replay.hpp"
 
@@ -226,15 +236,216 @@ JsonObject bench_hot_swap(const BenchArgs& args, const core::StacManager& mgr,
   return out;
 }
 
+/// Section 4: how fast a crashed controller is whole again.
+JsonObject bench_recovery_time(const BenchArgs& args,
+                               const core::StacManager& mgr,
+                               const core::StacOptions& opts) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "stac_bench_recovery")
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string path = serve::checkpoint_path(dir);
+
+  // Warm a controller on stationary traffic so the checkpoint has real
+  // EWMAs and a planned vector in it.
+  serve::ControllerConfig cfg = controller_config(opts);
+  cfg.checkpoint.directory = dir;
+  cfg.checkpoint.every_n_epochs = 0;  // explicit checkpoint_now below
+  serve::ArrivalIngest ring(1 << 16);
+  serve::ModelSnapshot<serve::ServingModel> models(
+      serve::build_serving_model(mgr, opts, 1));
+  serve::OnlineController warm(ring, models, cfg);
+  serve::ReplayConfig traffic;
+  traffic.workloads = {{.mean_service = 0.05, .servers = 2, .base_util = 0.6},
+                       {.mean_service = 0.05, .servers = 2, .base_util = 0.6}};
+  traffic.seed = args.seed + 2;
+  serve::TrafficReplay replay(ring, &warm, traffic);
+  const std::size_t warm_epochs = args.fast ? 10 : 25;
+  const double interval = 2.0;
+  for (std::size_t k = 0; k < warm_epochs; ++k) {
+    const double t1 = static_cast<double>(k + 1) * interval;
+    (void)replay.generate(static_cast<double>(k) * interval, t1);
+    (void)warm.run_epoch(t1);
+  }
+  const double t_crash = static_cast<double>(warm_epochs) * interval;
+
+  // Measure each leg of the crash-recovery path.
+  const std::size_t reps = args.fast ? 20 : 100;
+  std::vector<double> save_s, load_s;
+  save_s.reserve(reps);
+  load_s.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    Stopwatch w;
+    warm.checkpoint_now(t_crash);
+    save_s.push_back(w.seconds());
+  }
+  serve::CheckpointLoadReport loaded;
+  for (std::size_t i = 0; i < reps; ++i) {
+    Stopwatch w;
+    loaded = serve::load_checkpoint(path);
+    load_s.push_back(w.seconds());
+  }
+
+  // "Restart": a fresh controller with no model recovers and keeps serving
+  // until the refit bundle (published immediately here) lets it replan.
+  serve::ModelSnapshot<serve::ServingModel> models2;
+  serve::OnlineController restarted(ring, models2, cfg);
+  Stopwatch recover_clock;
+  restarted.recover(*loaded.checkpoint, t_crash);
+  const double recover_s = recover_clock.seconds();
+  const bool vector_matches =
+      restarted.timeout(0) == warm.timeout(0) &&
+      restarted.timeout(1) == warm.timeout(1);
+
+  replay.rebind_controller(&restarted);
+  models2.publish(serve::build_serving_model(mgr, opts, 2));
+  std::uint64_t epochs_to_replan = 0;
+  for (std::size_t k = 0; k < 5 && epochs_to_replan == 0; ++k) {
+    const double t0 = t_crash + static_cast<double>(k) * interval;
+    (void)replay.generate(t0, t0 + interval);
+    const serve::EpochReport r = restarted.run_epoch(t0 + interval);
+    if (r.replanned) epochs_to_replan = k + 1;
+  }
+
+  SampleStats save{std::vector<double>(save_s)};
+  SampleStats load{std::vector<double>(load_s)};
+  JsonObject out;
+  out.set("checkpoint_bytes",
+          static_cast<std::size_t>(std::filesystem::file_size(path)));
+  out.set("save_p50_seconds", save.median());
+  out.set("save_p99_seconds", save.percentile(0.99));
+  out.set("load_p50_seconds", load.median());
+  out.set("load_p99_seconds", load.percentile(0.99));
+  out.set("recover_seconds", recover_s);
+  out.set("epochs_to_first_replan",
+          static_cast<std::size_t>(epochs_to_replan));
+  out.set("recovered_vector_matches", vector_matches);
+  out.set("recovery_gate", vector_matches && epochs_to_replan >= 1 &&
+                               epochs_to_replan <= 3);
+  std::printf("  recovery: save p50 %.2f ms, load p50 %.2f ms, recover "
+              "%.2f ms, replan after %llu epoch(s), vector_matches=%s\n",
+              save.median() * 1e3, load.median() * 1e3, recover_s * 1e3,
+              static_cast<unsigned long long>(epochs_to_replan),
+              vector_matches ? "true" : "false");
+  return out;
+}
+
+/// Section 5: 5x offered load against a deliberately small ring; admission
+/// control sheds, the plan deadline keeps the control period honest.
+JsonObject bench_overload(const BenchArgs& args, const core::StacManager& mgr,
+                          const core::StacOptions& opts) {
+  const double interval = 2.0;
+  serve::ModelSnapshot<serve::ServingModel> models(
+      serve::build_serving_model(mgr, opts, 1));
+
+  // Calibrate the planner envelope at nominal load first: the deadline
+  // budget is 3x the unloaded plan median, so the gate asserts *overload
+  // does not inflate planning latency* rather than that this machine's
+  // sweep is fast in absolute terms.
+  double calib_median = 0.05;
+  {
+    serve::ArrivalIngest calib_ring(1 << 13);
+    serve::OnlineController calib(calib_ring, models,
+                                  controller_config(opts));
+    serve::ReplayConfig nominal;
+    nominal.workloads = {
+        {.mean_service = 0.05, .servers = 2, .base_util = 0.6},
+        {.mean_service = 0.05, .servers = 2, .base_util = 0.6}};
+    nominal.seed = args.seed + 7;
+    serve::TrafficReplay warm(calib_ring, &calib, nominal);
+    std::vector<double> samples;
+    for (std::size_t k = 0; k < 5; ++k) {
+      (void)warm.generate(static_cast<double>(k) * interval,
+                          static_cast<double>(k + 1) * interval);
+      const serve::EpochReport r =
+          calib.run_epoch(static_cast<double>(k + 1) * interval);
+      if (r.replanned) samples.push_back(r.plan_seconds);
+    }
+    if (!samples.empty())
+      calib_median = SampleStats{std::move(samples)}.median();
+  }
+  const double deadline = std::max(0.1, 3.0 * calib_median);
+
+  serve::ArrivalIngest ring(512);  // small on purpose: occupancy must bite
+  serve::AdmissionController admission(ring, 2);
+
+  serve::ControllerConfig cfg = controller_config(opts);
+  cfg.plan_deadline_seconds = deadline;
+  cfg.admission = &admission;
+  serve::OnlineController controller(ring, models, cfg);
+
+  serve::ReplayConfig traffic;
+  // 5x capacity offered on both services.
+  traffic.workloads = {{.mean_service = 0.05, .servers = 2, .base_util = 3.0},
+                       {.mean_service = 0.05, .servers = 2, .base_util = 3.0}};
+  traffic.shards_per_workload = 2;
+  traffic.seed = args.seed + 3;
+  traffic.admission = &admission;
+  serve::TrafficReplay replay(ring, &controller, traffic);
+
+  // The first epochs are a transient: shedding ramps up while the sweep
+  // warms the quantized-utilization cells it will keep landing in.  The
+  // deadline gate is about *sustained* overload, so the transient and the
+  // steady state are measured separately (both are reported).
+  const std::size_t warmup = 5;
+  const std::size_t epochs = warmup + (args.fast ? 15 : 30);
+  std::vector<double> warmup_seconds;
+  std::vector<double> plan_seconds;
+  plan_seconds.reserve(epochs);
+  serve::ReplayStats offered_stats;
+  for (std::size_t k = 0; k < epochs; ++k) {
+    const double t1 = static_cast<double>(k + 1) * interval;
+    const serve::ReplayStats st =
+        replay.generate(static_cast<double>(k) * interval, t1);
+    offered_stats.arrivals += st.arrivals;
+    offered_stats.shed += st.shed;
+    const serve::EpochReport r = controller.run_epoch(t1);
+    (k < warmup ? warmup_seconds : plan_seconds).push_back(r.plan_seconds);
+  }
+
+  SampleStats plan{std::vector<double>(plan_seconds)};
+  const double plan_p99 = plan.percentile(0.99);
+  const double warmup_max =
+      *std::max_element(warmup_seconds.begin(), warmup_seconds.end());
+  const double shed_fraction = admission.shed_fraction();
+
+  JsonObject out;
+  out.set("offered_x_capacity", 5.0);
+  out.set("warmup_epochs", warmup);
+  out.set("warmup_plan_max_seconds", warmup_max);
+  out.set("epochs", epochs);
+  out.set("arrivals_admitted",
+          static_cast<std::size_t>(offered_stats.arrivals));
+  out.set("shed", static_cast<std::size_t>(offered_stats.shed));
+  out.set("shed_fraction", shed_fraction);
+  out.set("ingest_dropped", static_cast<std::size_t>(ring.dropped()));
+  out.set("deadline_seconds", deadline);
+  out.set("plan_p99_seconds", plan_p99);
+  out.set("deadline_misses",
+          static_cast<std::size_t>(controller.totals().deadline_misses));
+  out.set("replans", static_cast<std::size_t>(controller.totals().replans));
+  out.set("plan_p99_within_deadline", plan_p99 <= deadline);
+  out.set("shedding_engaged", shed_fraction > 0.01);
+  std::printf("  overload: 5x offered, shed %.1f%%, steady plan p99 %.1f ms "
+              "(budget %.0f ms, warmup max %.1f ms), %llu deadline misses, "
+              "%llu ring drops\n",
+              shed_fraction * 100.0, plan_p99 * 1e3, deadline * 1e3,
+              warmup_max * 1e3,
+              static_cast<unsigned long long>(
+                  controller.totals().deadline_misses),
+              static_cast<unsigned long long>(ring.dropped()));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::parse(argc, argv);
-  // This binary owns the PR-5 record; an explicit --json or STAC_BENCH_JSON
+  // This binary owns the PR-6 record; an explicit --json or STAC_BENCH_JSON
   // still wins.
   if (args.json_path == "BENCH_PR2.json" &&
       std::getenv("STAC_BENCH_JSON") == nullptr)
-    args.json_path = "BENCH_PR5.json";
+    args.json_path = "BENCH_PR6.json";
   print_banner(std::cout, "Online serving runtime (ingest, control epochs, hot swap)");
   const std::size_t workers = ensure_bench_pool();
   obs::set_enabled(true);  // serve gauges/counters ride along in obs_metrics
@@ -261,6 +472,12 @@ int main(int argc, char** argv) {
 
   std::printf("hot swap under load\n");
   record.set("hot_swap", bench_hot_swap(args, mgr, opts));
+
+  std::printf("recovery time\n");
+  record.set("recovery_time", bench_recovery_time(args, mgr, opts));
+
+  std::printf("overload with admission control\n");
+  record.set("overload", bench_overload(args, mgr, opts));
 
   write_bench_section(args.json_path, "bench_serve", record);
   return 0;

@@ -15,12 +15,28 @@
 //   paces the simulated clock to run >= N wall seconds of closed loop and
 //   exits nonzero unless the run was clean (zero ingest drops, zero
 //   watchdog force-revokes) — the CI serve-soak gate greps its last line.
+// Chaos mode:   ./build/examples/serve_demo --soak 20 --kill-after 8 --recover
+//   arms an injected crash of the control thread at epoch 8, then
+//   "restarts" the controller: a fresh OnlineController loads the last
+//   checkpoint, serves the recovered last-known-good vector immediately
+//   (before any model exists in the new process), and must re-plan within
+//   3 epochs once the refit bundle publishes.  The proxies and the ingest
+//   ring survive the crash, exactly like a controller-process restart on a
+//   live host.  The CI chaos gate greps the `recovery ok:` line.
+// Knobs:        --checkpoint-dir DIR   durable state location
+//               --admission            shed load in front of the ring
+//               --deadline SECONDS     planning budget per epoch
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "cat/cat_controller.hpp"
+#include "common/fault_injection.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/online_controller.hpp"
 #include "serve/traffic_replay.hpp"
 
@@ -47,14 +63,36 @@ core::StacOptions demo_options() {
 
 int main(int argc, char** argv) {
   double soak_wall_seconds = 0.0;
+  std::uint64_t kill_after = 0;
+  bool recover = false;
+  bool admission_on = false;
+  double plan_deadline = 0.0;
+  std::string checkpoint_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--soak") == 0 && i + 1 < argc) {
       soak_wall_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-after") == 0 && i + 1 < argc) {
+      kill_after = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--admission") == 0) {
+      admission_on = true;
+    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      plan_deadline = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--soak WALL_SECONDS]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--soak WALL_SECONDS] [--kill-after EPOCH] [--recover]"
+                   " [--checkpoint-dir DIR] [--admission]"
+                   " [--deadline SECONDS]\n";
       return 2;
     }
   }
+  if ((kill_after > 0 || recover) && checkpoint_dir.empty())
+    checkpoint_dir = "serve_demo_ckpt";
+  if (!checkpoint_dir.empty())
+    std::filesystem::create_directories(checkpoint_dir);
 
   std::cout << "== stac serve_demo: closed-loop STAP control over a live "
                "stream ==\n\n";
@@ -84,6 +122,8 @@ int main(int argc, char** argv) {
   resilience.max_boost_lease = 30.0;  // generous: clean runs never trip it
   cat::CatController cat(hw, plan, resilience);
 
+  serve::AdmissionController admission(ingest, 2);
+
   serve::ControllerConfig cfg;
   cfg.base_condition.primary = wl::Benchmark::kKmeans;
   cfg.base_condition.collocated = wl::Benchmark::kRedis;
@@ -94,6 +134,14 @@ int main(int argc, char** argv) {
   cfg.base_condition.seed = 99;
   cfg.explorer = opts.explorer;
   cfg.estimator.min_completions = 10;
+  cfg.plan_deadline_seconds = plan_deadline;
+  if (!checkpoint_dir.empty()) {
+    cfg.checkpoint.directory = checkpoint_dir;
+    cfg.checkpoint.every_n_epochs = 2;
+    cfg.checkpoint.library_ref = "stac_manager:kmeans+redis";
+    cfg.checkpoint.library_size = mgr.library().size();
+  }
+  if (admission_on) cfg.admission = &admission;
   serve::OnlineController controller(ingest, models, cfg, &cat);
 
   // Traffic: both services breathe (sinusoidal load) so the controller has
@@ -105,6 +153,7 @@ int main(int argc, char** argv) {
       {.mean_service = 0.05, .service_cv = 0.8, .servers = 2,
        .base_util = 0.55, .util_amplitude = 0.10, .util_period = 45.0}};
   traffic.shards_per_workload = 2;
+  if (admission_on) traffic.admission = &admission;
   serve::TrafficReplay replay(ingest, &controller, traffic);
 
   const bool soak = soak_wall_seconds > 0.0;
@@ -121,12 +170,115 @@ int main(int argc, char** argv) {
     std::cout << "  [recalibrator] published model v2 (hot swap)\n";
   });
 
+  // Chaos: arm an injected crash of the control thread at epoch
+  // `kill_after` (fires once, counted per run_epoch hit).
+  std::optional<FaultScope> chaos;
+  if (kill_after > 0) {
+    FaultPlan fplan;
+    fplan.seed = 7;
+    fplan.add({.point = "serve.controller.epoch",
+               .action = FaultAction::kThrow,
+               .every_nth = 1,
+               .from_hit = kill_after,
+               .until_hit = kill_after + 1,
+               .message = "injected controller crash"});
+    chaos.emplace(std::move(fplan));
+  }
+
   std::cout << "serving " << sim_seconds << " simulated seconds, epoch "
             << epoch_interval << " s"
             << (soak ? " (wall-paced soak)" : " (full speed)") << "...\n";
-  const serve::SoakResult result =
-      replay.run_threaded(controller, sim_seconds, epoch_interval, wall_pace);
+
+  bool crashed = false;
+  double crash_sim_time = 0.0;
+  serve::SoakResult result;
+  try {
+    result = replay.run_threaded(controller, sim_seconds, epoch_interval,
+                                 wall_pace);
+  } catch (const InjectedFault& e) {
+    crashed = true;
+    crash_sim_time =
+        static_cast<double>(kill_after) * epoch_interval;
+    std::cout << "\n  [chaos] control thread died at epoch " << kill_after
+              << " (sim t=" << crash_sim_time << "): " << e.what() << "\n";
+  }
   recalibrator.join();
+  chaos.reset();  // disarm: the restarted controller runs fault-free
+
+  if (crashed && !recover) {
+    std::cout << "crashed (no --recover): exiting dirty\n";
+    return 1;
+  }
+
+  if (crashed) {
+    // ---- Restart: a brand-new controller attaches to the surviving ring.
+    const serve::CheckpointLoadReport loaded =
+        serve::load_checkpoint(serve::checkpoint_path(checkpoint_dir));
+    const std::uint64_t corrupt_checkpoints = loaded.quarantined ? 1 : 0;
+    if (!loaded.clean()) {
+      std::cout << "recovery FAILED: checkpoint unusable (" << loaded.reason
+                << ")\n";
+      return 1;
+    }
+    std::cout << "  [recovery] checkpoint @ epoch " << loaded.checkpoint->epoch
+              << " (sim t=" << loaded.checkpoint->time << ", library "
+              << loaded.checkpoint->library_ref << ")\n";
+
+    // The new process has no model yet: serving starts from the recovered
+    // last-known-good vector while the refit happens behind it.
+    serve::ModelSnapshot<serve::ServingModel> models2;
+    serve::OnlineController controller2(ingest, models2, cfg, &cat);
+    controller2.recover(*loaded.checkpoint, crash_sim_time);
+    replay.rebind_controller(&controller2);
+    std::cout << "  [recovery] serving recovered vector ("
+              << controller2.timeout(0) << ", " << controller2.timeout(1)
+              << ") while the model refits\n";
+
+    // Refit now (restart-time model load), publish after roughly one epoch
+    // so the bounded-staleness window is actually exercised.
+    auto bundle = serve::build_serving_model(mgr, opts, 3);
+    std::thread publisher([&models2, &bundle, wall_pace, epoch_interval] {
+      const double delay_s =
+          wall_pace > 0.0 ? epoch_interval / wall_pace : 0.05;
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+      models2.publish(std::move(bundle));
+    });
+
+    const double remaining = sim_seconds - crash_sim_time;
+    const serve::SoakResult after = replay.run_threaded(
+        controller2, remaining, epoch_interval, wall_pace, crash_sim_time);
+    publisher.join();
+
+    const auto& totals2 = controller2.totals();
+    std::cout << "\nrecovery summary\n"
+              << "  epochs after restart:  " << after.epochs << "\n"
+              << "  held (no model):       " << totals2.model_unavailable_holds
+              << "\n"
+              << "  first replan at epoch: " << after.epochs_to_first_replan
+              << " (post-restart)\n"
+              << "  checkpoints written:   " << totals2.checkpoints_written
+              << "\n"
+              << "  recoveries:            " << totals2.recoveries << "\n"
+              << "  applied timeouts:      (" << controller2.timeout(0) << ", "
+              << controller2.timeout(1) << ")\n";
+
+    // Machine-parseable verdict (the CI chaos step greps this line):
+    // recovered_in counts post-restart epochs until the first replan.
+    const std::uint64_t recovered_in = after.epochs_to_first_replan;
+    const bool ok = recovered_in >= 1 && recovered_in <= 3 &&
+                    corrupt_checkpoints == 0 && totals2.recoveries == 1 &&
+                    after.traffic.push_failures == 0 &&
+                    after.watchdog_revocations == 0;
+    std::cout << "\n"
+              << (ok ? "recovery ok" : "recovery FAILED")
+              << ": recovered_in=" << recovered_in
+              << " corrupt_checkpoints=" << corrupt_checkpoints
+              << " push_failures=" << after.traffic.push_failures
+              << " watchdog_revocations=" << after.watchdog_revocations
+              << " replans_after=" << totals2.replans
+              << " epochs_after=" << after.epochs << "\n";
+    return ok ? 0 : 1;
+  }
 
   const auto& totals = result.controller;
   std::cout << "\nrun summary\n"
@@ -136,8 +288,11 @@ int main(int argc, char** argv) {
             << result.traffic.timeouts << "\n"
             << "  replans:             " << totals.replans << "\n"
             << "  stale holds:         " << totals.stale_holds << "\n"
+            << "  deadline misses:     " << totals.deadline_misses << "\n"
+            << "  checkpoints:         " << totals.checkpoints_written << "\n"
             << "  model swaps seen:    " << totals.model_swaps_observed << "\n"
             << "  ingest drops:        " << result.ingest_dropped << "\n"
+            << "  shed (admission):    " << result.traffic.shed << "\n"
             << "  watchdog revokes:    " << totals.watchdog_revocations << "\n"
             << "  COS switches:        " << cat.switch_count() << "\n"
             << "  applied timeouts:    (" << controller.timeout(0) << ", "

@@ -1,0 +1,92 @@
+#include "common/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define STAC_HAVE_FSYNC 1
+#endif
+
+namespace stac {
+
+namespace {
+
+#ifdef STAC_HAVE_FSYNC
+/// fsync the directory containing `path` so a completed rename survives a
+/// power cut.  Best-effort: some filesystems refuse O_RDONLY on dirs.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+#endif
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  STAC_REQUIRE(!path.empty());
+  const std::string tmp = path + ".tmp";
+#ifdef STAC_HAVE_FSYNC
+  // POSIX path: explicit fd control so the data is durable before the
+  // rename publishes it.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  STAC_REQUIRE_MSG(fd >= 0, "cannot open " << tmp << " for writing");
+  std::size_t written = 0;
+  bool ok = true;
+  while (ok && written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      ok = false;
+    } else {
+      written += static_cast<std::size_t>(n);
+    }
+  }
+  if (ok) ok = ::fsync(fd) == 0;
+  (void)::close(fd);
+  if (ok) ok = ::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    (void)::unlink(tmp.c_str());
+    STAC_REQUIRE_MSG(false, "atomic write to " << path << " failed");
+  }
+  sync_parent_dir(path);
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    STAC_REQUIRE_MSG(out.good(), "cannot open " << tmp << " for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      (void)std::remove(tmp.c_str());
+      STAC_REQUIRE_MSG(false, "write to " << tmp << " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    STAC_REQUIRE_MSG(false, "rename " << tmp << " -> " << path << " failed");
+  }
+#endif
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  out.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace stac

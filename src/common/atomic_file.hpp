@@ -1,0 +1,27 @@
+// Crash-safe file replacement: write-to-temp + fsync + atomic rename.
+//
+// A checkpoint that is half-written when the process dies is worse than no
+// checkpoint at all — recovery would read torn state.  POSIX rename(2) is
+// atomic within a filesystem, so the durable-write recipe is: write the new
+// contents to a sibling temp file, fsync it so the bytes are on stable
+// storage *before* the rename makes them visible, rename over the target,
+// then fsync the directory so the rename itself survives a power cut.
+// Readers therefore only ever observe the old complete file or the new
+// complete file, never a mixture.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace stac {
+
+/// Atomically replace (or create) `path` with `contents`.  Throws
+/// ContractViolation on any I/O failure; on failure the previous file (if
+/// any) is left untouched and the temp file is removed best-effort.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Read a whole file into a string.  Returns false (leaving `out` empty)
+/// when the file cannot be opened; never throws on missing files.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace stac

@@ -1,0 +1,123 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace stac::serve {
+
+namespace {
+
+/// SplitMix64 finalizer — the same full-avalanche mix the fault injector
+/// uses for its deterministic decision draws.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double decision_uniform(std::uint64_t seed, std::uint64_t workload,
+                        std::uint64_t ordinal) {
+  const std::uint64_t h = mix64(mix64(seed ^ mix64(workload)) ^ ordinal);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const ArrivalIngest& ingest,
+                                         std::size_t workloads,
+                                         AdmissionConfig config)
+    : ingest_(ingest), config_(config), wl_(std::max<std::size_t>(1, workloads)),
+      last_offered_(wl_.size(), 0) {
+  STAC_REQUIRE(config_.target_occupancy >= 0.0 &&
+               config_.target_occupancy < config_.full_occupancy);
+  STAC_REQUIRE(config_.max_shed >= 0.0 && config_.max_shed < 1.0);
+  STAC_REQUIRE(config_.lag_weight >= 0.0);
+  STAC_REQUIRE(config_.lag_grace >= 0.0 && config_.lag_grace < 1.0);
+  STAC_REQUIRE(config_.fairness_strength >= 0.0);
+}
+
+double AdmissionController::pressure() const {
+  const double occ = static_cast<double>(ingest_.approx_size()) /
+                     static_cast<double>(ingest_.capacity());
+  const double from_depth =
+      (occ - config_.target_occupancy) /
+      (config_.full_occupancy - config_.target_occupancy);
+  // Lag contributes only past the grace fraction, rescaled so a plan that
+  // consumed its whole budget still adds the full lag_weight.
+  const double lag = epoch_lag_.load(std::memory_order_relaxed);
+  const double over = std::max(0.0, lag - config_.lag_grace) /
+                      std::max(1e-9, 1.0 - config_.lag_grace);
+  const double from_lag = config_.lag_weight * std::min(over, 4.0);
+  return std::clamp(from_depth, 0.0, 1.0) * config_.max_shed + from_lag;
+}
+
+double AdmissionController::shed_probability(std::size_t w) const {
+  if (w >= wl_.size()) return 0.0;
+  const double p =
+      pressure() * wl_[w].scale.load(std::memory_order_relaxed);
+  return std::clamp(p, 0.0, config_.max_shed);
+}
+
+bool AdmissionController::admit(std::size_t w) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (w >= wl_.size()) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;  // ungoverned id: the estimator ignores it anyway
+  }
+  PerWorkload& s = wl_[w];
+  const std::uint64_t ordinal =
+      s.offered.fetch_add(1, std::memory_order_relaxed);
+  const double p = shed_probability(w);
+  if (p > 0.0 && decision_uniform(config_.seed, w, ordinal) < p) {
+    s.shed.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.admission.shed");
+    return false;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t AdmissionController::shed_for(std::size_t w) const {
+  STAC_REQUIRE(w < wl_.size());
+  return wl_[w].shed.load(std::memory_order_relaxed);
+}
+
+void AdmissionController::note_epoch(double epoch_lag) {
+  epoch_lag_.store(std::max(0.0, epoch_lag), std::memory_order_relaxed);
+
+  // Fairness: scale each workload's shed probability by how far its offered
+  // share last epoch exceeded the fair share.  Over-share tenants shed
+  // more; under-share tenants shed less — never more than max_shed either
+  // way (admit() clamps).
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> epoch_offered(wl_.size(), 0);
+  for (std::size_t w = 0; w < wl_.size(); ++w) {
+    const std::uint64_t now = wl_[w].offered.load(std::memory_order_relaxed);
+    epoch_offered[w] = now - last_offered_[w];
+    last_offered_[w] = now;
+    total += epoch_offered[w];
+  }
+  const double fair = 1.0 / static_cast<double>(wl_.size());
+  for (std::size_t w = 0; w < wl_.size(); ++w) {
+    double scale = 1.0;
+    if (config_.fairness_strength > 0.0 && total > 0) {
+      const double share = static_cast<double>(epoch_offered[w]) /
+                           static_cast<double>(total);
+      // A silent workload (share 0) keeps scale at the floor rather than 0,
+      // so a tenant cannot dodge shedding entirely by bursting in pulses.
+      scale = std::pow(std::max(share / fair, 0.25),
+                       config_.fairness_strength);
+    }
+    wl_[w].scale.store(scale, std::memory_order_relaxed);
+  }
+  obs::set_gauge("serve.admission.shed_fraction", shed_fraction());
+  obs::set_gauge("serve.admission.epoch_lag",
+                 epoch_lag_.load(std::memory_order_relaxed));
+}
+
+}  // namespace stac::serve

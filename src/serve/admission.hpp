@@ -1,0 +1,124 @@
+// Overload protection in front of the ingest ring: probabilistic,
+// per-workload-fair load shedding.
+//
+// The ring already refuses to block (drop-not-block), but by the time it is
+// dropping, telemetry is already gone and the G/G/k backlog behind the
+// proxies is already minutes deep.  The admission controller sheds *queries*
+// earlier and fairly, from two pressure signals:
+//
+//   * queue depth — the ring's instantaneous occupancy fraction.  Shedding
+//     ramps linearly from `target_occupancy` to `full_occupancy`, where it
+//     saturates at `max_shed` (an admit floor always survives, so the
+//     estimator keeps seeing a trickle of every workload and recovery needs
+//     no out-of-band signal);
+//   * epoch lag — how far the controller's last planning epoch overran its
+//     deadline budget (set_epoch_lag, written by the controller each epoch).
+//     A control plane that cannot keep up sheds load instead of letting the
+//     backlog compound.
+//
+// Fairness: the controller re-computes per-workload scale factors each
+// epoch from the previous epoch's offered counts — a workload offering more
+// than its fair share sheds proportionally more, so one tenant's burst
+// cannot starve the others (the Com-CAS isolation-under-pressure framing).
+//
+// Decisions are a pure hash of (seed, workload, per-workload attempt
+// ordinal): deterministic for a fixed offered sequence, lock-free, and
+// callable from any number of producer threads.  Shed queries are counted
+// in a dedicated `shed` counter — NEVER folded into the ring's `dropped`
+// accounting; the two failure modes are distinct and both observable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "serve/arrival_ingest.hpp"
+
+namespace stac::serve {
+
+struct AdmissionConfig {
+  /// Ring occupancy fraction where shedding starts (0..1).
+  double target_occupancy = 0.5;
+  /// Ring occupancy fraction where shedding saturates at max_shed.
+  double full_occupancy = 0.9;
+  /// Shed-probability ceiling; 1 - max_shed is the guaranteed admit floor.
+  double max_shed = 0.95;
+  /// Additional shed probability per unit of epoch lag (lag 1.0 = the last
+  /// plan consumed its entire deadline budget).
+  double lag_weight = 0.25;
+  /// Budget fraction below which epoch lag contributes nothing — a healthy
+  /// plan using a sliver of its budget must not shed at idle.
+  double lag_grace = 0.5;
+  /// Fairness exponent: per-workload shed scale = (share / fair_share) ^
+  /// strength.  0 disables fairness (uniform shedding).
+  double fairness_strength = 1.0;
+  std::uint64_t seed = 0x5EDD;
+};
+
+class AdmissionController {
+ public:
+  /// `ingest` supplies the queue-depth signal and must outlive the
+  /// controller.  `workloads` bounds the fairness bookkeeping; out-of-range
+  /// workload ids are admitted ungoverned (the estimator ignores them too).
+  AdmissionController(const ArrivalIngest& ingest, std::size_t workloads,
+                      AdmissionConfig config = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admit-or-shed decision for one query of workload `w`.  Lock-free and
+  /// safe from any producer thread.  Returns false when the query should be
+  /// shed (counted per workload).
+  [[nodiscard]] bool admit(std::size_t w);
+
+  /// Current shed probability for workload `w` (diagnostic; what admit()
+  /// would flip its coin against right now).
+  [[nodiscard]] double shed_probability(std::size_t w) const;
+
+  /// Controller feedback, once per epoch: updates the epoch-lag signal and
+  /// re-derives the fairness scales from the epoch's offered counts.
+  /// Single-caller (the control thread).
+  void note_epoch(double epoch_lag);
+
+  /// Lifetime accounting.  offered == admitted + shed (exact once
+  /// producers have quiesced).
+  [[nodiscard]] std::uint64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_for(std::size_t w) const;
+  [[nodiscard]] double shed_fraction() const {
+    const std::uint64_t off = offered();
+    return off == 0 ? 0.0
+                    : static_cast<double>(shed()) / static_cast<double>(off);
+  }
+
+ private:
+  struct PerWorkload {
+    /// Offer ordinal: both the fairness sample and the decision salt.
+    alignas(64) std::atomic<std::uint64_t> offered{0};
+    std::atomic<std::uint64_t> shed{0};
+    /// Fairness scale applied to the global pressure (written by
+    /// note_epoch, read by producers).
+    std::atomic<double> scale{1.0};
+  };
+
+  [[nodiscard]] double pressure() const;
+
+  const ArrivalIngest& ingest_;
+  AdmissionConfig config_;
+  std::vector<PerWorkload> wl_;
+  std::atomic<double> epoch_lag_{0.0};
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  /// note_epoch's view of each workload's offered count last epoch.
+  std::vector<std::uint64_t> last_offered_;
+};
+
+}  // namespace stac::serve

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "obs/metrics.hpp"
 
 namespace stac::serve {
@@ -18,6 +19,21 @@ ArrivalIngest::ArrivalIngest(std::size_t capacity) {
 }
 
 bool ArrivalIngest::try_push(const QueryEvent& event) {
+  if (FaultInjector::global().armed()) {
+    // Keyed by the event's identity so the fault schedule is independent of
+    // producer-thread interleaving.
+    const FaultOutcome fault = FaultInjector::global().check(
+        "serve.ingest.push",
+        fault_key(event.producer, event.workload, event.time));
+    if (fault.action == FaultAction::kDrop) {
+      // An injected transport loss: the event never reaches the ring.
+      // Counted as a drop (it IS lost telemetry) plus a dedicated metric so
+      // chaos runs can tell injected losses from genuine ring-full drops.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().counter("serve.ingest.fault_drops").add();
+      return false;
+    }
+  }
   std::size_t ticket = tail_.load(std::memory_order_relaxed);
   for (;;) {
     Cell& cell = cells_[ticket & mask_];

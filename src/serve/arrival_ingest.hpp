@@ -37,6 +37,15 @@ class ArrivalIngest {
 
   [[nodiscard]] std::size_t capacity() const { return cells_.size(); }
 
+  /// Instantaneous occupancy estimate (pushed - popped).  Racy by nature —
+  /// producers and the consumer move both counters concurrently — but
+  /// monotone enough for admission-control pressure signals.
+  [[nodiscard]] std::size_t approx_size() const {
+    const std::uint64_t in = pushed_.load(std::memory_order_relaxed);
+    const std::uint64_t out = popped_.load(std::memory_order_relaxed);
+    return in > out ? static_cast<std::size_t>(in - out) : 0;
+  }
+
   /// Publish one event.  Wait-free apart from the claim CAS; returns false
   /// (and counts the drop) when the ring is full.  Safe from any number of
   /// producer threads concurrently with the single consumer.

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
 
 namespace stac::serve {
 
@@ -34,29 +36,103 @@ void ConditionEstimator::Ewma::update(double t, double x, double half_life) {
   last_time = std::max(last_time, t);
 }
 
+double ConditionEstimator::monotone_time(double newest, double t) {
+  if (t >= newest) return t;
+  if (newest - t > config_.skew_tolerance) {
+    ++skew_clamped_;
+    obs::count("serve.estimator.time_skew");
+  }
+  return newest;
+}
+
 void ConditionEstimator::observe(const QueryEvent& event) {
   ++total_events_;
   if (event.workload >= wl_.size()) {
     ++ignored_;
     return;
   }
-  PerWorkload& s = wl_[event.workload];
-  switch (event.kind) {
+  // A non-finite timestamp or measurement would poison every downstream
+  // mean; refuse it outright (counted, never folded in).
+  if (!std::isfinite(event.time) || !std::isfinite(event.queue_delay) ||
+      !std::isfinite(event.service)) {
+    ++ignored_;
+    obs::count("serve.estimator.invalid_event");
+    return;
+  }
+  QueryEvent e = event;
+  if (FaultInjector::global().armed()) {
+    const FaultOutcome fault = FaultInjector::global().check(
+        "serve.estimator.update",
+        fault_key(e.producer, e.workload, e.time));
+    if (fault.action == FaultAction::kDrop) {
+      ++ignored_;
+      return;
+    }
+    if (fault.action == FaultAction::kCorrupt) {
+      e.queue_delay *= fault.corrupt_factor;
+      e.service *= fault.corrupt_factor;
+    }
+  }
+  PerWorkload& s = wl_[e.workload];
+  switch (e.kind) {
     case EventKind::kArrival:
-      s.arrivals.push_back(event.time);
+      s.arrivals.push_back(
+          s.arrivals.empty() ? e.time
+                             : monotone_time(s.arrivals.back(), e.time));
+      ++s.lifetime_arrivals;
       break;
     case EventKind::kTimeout:
-      s.timeouts.push_back(event.time);
+      s.timeouts.push_back(
+          s.timeouts.empty() ? e.time
+                             : monotone_time(s.timeouts.back(), e.time));
+      ++s.lifetime_timeouts;
       break;
-    case EventKind::kCompletion:
-      s.completions.push_back(
-          {event.time, event.queue_delay, event.service, event.boosted});
+    case EventKind::kCompletion: {
+      const double t =
+          s.completions.empty()
+              ? e.time
+              : monotone_time(s.completions.back().time, e.time);
+      s.completions.push_back({t, e.queue_delay, e.service, e.boosted});
       if (s.completions.size() > config_.window_samples)
         s.completions.pop_front();
-      s.queue_delay.update(event.time, event.queue_delay, config_.half_life);
-      s.service.update(event.time, event.service, config_.half_life);
+      s.queue_delay.update(t, e.queue_delay, config_.half_life);
+      s.service.update(t, e.service, config_.half_life);
+      ++s.lifetime_completions;
       break;
+    }
   }
+}
+
+ConditionEstimator::WorkloadEstimatorState
+ConditionEstimator::snapshot_workload(std::size_t w) const {
+  STAC_REQUIRE(w < wl_.size());
+  const PerWorkload& s = wl_[w];
+  WorkloadEstimatorState state;
+  state.ewma_queue_delay = s.queue_delay.value;
+  state.ewma_queue_time = s.queue_delay.last_time;
+  state.ewma_queue_seeded = s.queue_delay.seeded;
+  state.ewma_service = s.service.value;
+  state.ewma_service_time = s.service.last_time;
+  state.ewma_service_seeded = s.service.seeded;
+  state.arrivals = s.lifetime_arrivals;
+  state.completions = s.lifetime_completions;
+  state.timeouts = s.lifetime_timeouts;
+  return state;
+}
+
+void ConditionEstimator::restore_workload(std::size_t w,
+                                          const WorkloadEstimatorState& state) {
+  STAC_REQUIRE(w < wl_.size());
+  PerWorkload& s = wl_[w];
+  s.queue_delay.value = state.ewma_queue_delay;
+  s.queue_delay.last_time = state.ewma_queue_time;
+  s.queue_delay.seeded = state.ewma_queue_seeded;
+  s.service.value = state.ewma_service;
+  s.service.last_time = state.ewma_service_time;
+  s.service.seeded = state.ewma_service_seeded;
+  s.lifetime_arrivals = state.arrivals;
+  s.lifetime_completions = state.completions;
+  s.lifetime_timeouts = state.timeouts;
 }
 
 void ConditionEstimator::evict(PerWorkload& s, double now) const {

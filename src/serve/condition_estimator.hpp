@@ -30,6 +30,10 @@ struct EstimatorConfig {
   std::size_t window_samples = 4096;  ///< completion-record cap per workload
   double half_life = 2.0;           ///< EWMA half-life, seconds
   std::size_t min_completions = 20;  ///< below this a workload is not warm
+  /// Backward timestamp movement (vs the same deque's newest entry) beyond
+  /// which a clamp is *counted* as skew.  Smaller regressions are clamped
+  /// silently — modest cross-producer skew is expected and harmless.
+  double skew_tolerance = 0.25;
 };
 
 /// Point-in-time estimate for one workload.
@@ -70,6 +74,26 @@ class ConditionEstimator {
   /// Lifetime (non-window) totals, for accounting tests and gauges.
   [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
   [[nodiscard]] std::uint64_t ignored_events() const { return ignored_; }
+  /// Timestamps clamped because they ran backwards past skew_tolerance.
+  [[nodiscard]] std::uint64_t skew_clamped() const { return skew_clamped_; }
+
+  /// Durable per-workload state for checkpointing: the EWMA trackers plus
+  /// lifetime event counters.  Window contents are intentionally excluded —
+  /// they refill from live traffic within one window span.
+  struct WorkloadEstimatorState {
+    double ewma_queue_delay = 0.0;
+    double ewma_queue_time = 0.0;
+    bool ewma_queue_seeded = false;
+    double ewma_service = 0.0;
+    double ewma_service_time = 0.0;
+    bool ewma_service_seeded = false;
+    std::uint64_t arrivals = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t timeouts = 0;
+  };
+  [[nodiscard]] WorkloadEstimatorState snapshot_workload(std::size_t w) const;
+  /// Restore the EWMA trackers and lifetime counters (recovery path).
+  void restore_workload(std::size_t w, const WorkloadEstimatorState& state);
 
  private:
   struct Completion {
@@ -90,15 +114,22 @@ class ConditionEstimator {
     std::deque<double> timeouts;       ///< timeout timestamps
     Ewma queue_delay;
     Ewma service;
+    std::uint64_t lifetime_arrivals = 0;
+    std::uint64_t lifetime_completions = 0;
+    std::uint64_t lifetime_timeouts = 0;
   };
 
   void evict(PerWorkload& s, double now) const;
+  /// Keep each deque non-decreasing: a timestamp older than the deque's
+  /// newest entry is clamped forward (counted when past skew_tolerance).
+  [[nodiscard]] double monotone_time(double newest, double t);
 
   EstimatorConfig config_;
   std::size_t servers_;
   std::vector<PerWorkload> wl_;
   std::uint64_t total_events_ = 0;
   std::uint64_t ignored_ = 0;
+  std::uint64_t skew_clamped_ = 0;
 };
 
 }  // namespace stac::serve

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::serve {
 
@@ -122,6 +123,9 @@ class ModelSnapshot {
   /// on readers.
   void publish(std::unique_ptr<const T> next) {
     STAC_REQUIRE(next != nullptr);
+    // Chaos hook: a kThrow here models a failed swap — the candidate bundle
+    // is discarded and readers keep pinning the old one, untouched.
+    FaultInjector::global().check("serve.snapshot.swap");
     std::lock_guard<std::mutex> lock(writer_mu_);
     const T* old = current_.exchange(next.release(), std::memory_order_seq_cst);
     version_.fetch_add(1, std::memory_order_release);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -59,6 +60,11 @@ EpochReport OnlineController::run_epoch(double now) {
   STAC_TRACE_SPAN(span, "serve.epoch", "serve");
   auto& registry = obs::MetricsRegistry::global();
 
+  // Chaos hook: a kThrow here models the control thread dying mid-tick —
+  // before the epoch counter moves, so a recovered controller re-runs the
+  // tick rather than skipping it.
+  FaultInjector::global().check("serve.controller.epoch");
+
   EpochReport report;
   report.epoch = ++totals_.epochs;
   report.now = now;
@@ -88,42 +94,74 @@ EpochReport OnlineController::run_epoch(double now) {
     cond.util_collocated = snap_utilization(est_c.utilization);
     report.planned_condition = cond;
 
-    // 3. Pin the current model bundle for the whole planning step.
+    // 3. Pin the current model bundle for the whole planning step.  No
+    // bundle published yet (cold start, or serving from a checkpoint while
+    // the refit runs in the background) is a *hold*, not an error: the
+    // applied vector — initial or recovered — keeps serving.
     auto guard = models_.acquire();
-    STAC_REQUIRE_MSG(guard, "run_epoch before the first model publish");
-    report.model_version = guard->version;
-    if (guard->version != last_model_version_) {
-      ++totals_.model_swaps_observed;
-      last_model_version_ = guard->version;
-      registry.counter("serve.model_swaps_observed").add();
-    }
-
-    // Staleness probe: one prediction (memoized against the sweep's own
-    // cells) reveals which ladder rung answers for this condition.
-    const core::RtPrediction probe = guard->pred().predict(cond);
-    report.probe_rung = probe.rung;
-    if (probe.rung > config_.max_planning_rung) {
-      // 3b. Model too degraded to plan on: hold the last-known-good
-      // vector rather than steering traffic with rung-4 guesses.
-      report.stale_hold = true;
-      ++totals_.stale_holds;
-      registry.counter("serve.stale_holds").add();
-      obs::instant("serve.stale_hold", "serve");
+    if (!guard) {
+      report.model_unavailable_hold = true;
+      ++totals_.model_unavailable_holds;
+      registry.counter("serve.model_unavailable_holds").add();
     } else {
-      // 4. Re-plan: the §5.2 sweep against the pinned predictor.
-      const core::PolicyExploration plan =
-          core::explore_policies(guard->pred(), cond, config_.explorer);
-      timeouts_[0].store(plan.selection.timeout_primary,
-                         std::memory_order_relaxed);
-      timeouts_[1].store(plan.selection.timeout_collocated,
-                         std::memory_order_relaxed);
-      report.replanned = true;
-      ++totals_.replans;
-      registry.counter("serve.replans").add();
+      report.model_version = guard->version;
+      if (guard->version != last_model_version_) {
+        ++totals_.model_swaps_observed;
+        last_model_version_ = guard->version;
+        registry.counter("serve.model_swaps_observed").add();
+      }
+
+      // Staleness probe: one prediction (memoized against the sweep's own
+      // cells) reveals which ladder rung answers for this condition.
+      const core::RtPrediction probe = guard->pred().predict(cond);
+      report.probe_rung = probe.rung;
+      if (probe.rung > config_.max_planning_rung) {
+        // 3b. Model too degraded to plan on: hold the last-known-good
+        // vector rather than steering traffic with rung-4 guesses.
+        report.stale_hold = true;
+        ++totals_.stale_holds;
+        registry.counter("serve.stale_holds").add();
+        obs::instant("serve.stale_hold", "serve");
+      } else {
+        // 4. Re-plan: the §5.2 sweep against the pinned predictor.
+        const core::PolicyExploration plan =
+            core::explore_policies(guard->pred(), cond, config_.explorer);
+        const double plan_elapsed = now_seconds() - t0;
+        if (config_.plan_deadline_seconds > 0.0 &&
+            plan_elapsed > config_.plan_deadline_seconds) {
+          // Deadline miss: discard the late selection and keep serving the
+          // last-known-good (ladder-fallback) vector.  The epoch cadence
+          // stays fixed; overload shows up as misses + shed, not as a
+          // silently stretched control period.
+          report.deadline_miss = true;
+          ++totals_.deadline_misses;
+          registry.counter("serve.plan.deadline_miss").add();
+          obs::instant("serve.plan_deadline_miss", "serve");
+        } else {
+          timeouts_[0].store(plan.selection.timeout_primary,
+                             std::memory_order_relaxed);
+          timeouts_[1].store(plan.selection.timeout_collocated,
+                             std::memory_order_relaxed);
+          report.replanned = true;
+          ++totals_.replans;
+          registry.counter("serve.replans").add();
+        }
+      }
     }
   }
   report.plan_seconds = now_seconds() - t0;
   registry.latency("serve.epoch_plan_seconds").record(report.plan_seconds);
+
+  // Overload feedback: tell the admission controller how much of the
+  // deadline budget the plan consumed (lag 1.0 = the whole budget) and let
+  // it re-derive the fairness scales from this epoch's offered counts.
+  if (config_.admission != nullptr) {
+    const double lag =
+        config_.plan_deadline_seconds > 0.0
+            ? report.plan_seconds / config_.plan_deadline_seconds
+            : 0.0;
+    config_.admission->note_epoch(lag);
+  }
 
   // 5. Grant watchdog: no boost lease outlives its budget.
   if (cat_ != nullptr) {
@@ -134,6 +172,22 @@ EpochReport OnlineController::run_epoch(double now) {
           .add(report.watchdog_revocations);
   }
 
+  // 6. Durable state at the configured cadence.  A failed write (disk
+  // trouble, injected "serve.checkpoint.write" fault) is survived and
+  // counted — the previous checkpoint on disk stays valid, and serving is
+  // never gated on storage.
+  if (!config_.checkpoint.directory.empty() &&
+      config_.checkpoint.every_n_epochs > 0 &&
+      report.epoch % config_.checkpoint.every_n_epochs == 0) {
+    try {
+      checkpoint_now(now);
+      report.checkpoint_written = true;
+    } catch (const std::exception&) {
+      ++totals_.checkpoint_failures;
+      registry.counter("serve.checkpoint.write_failures").add();
+    }
+  }
+
   report.timeout_primary = timeouts_[0].load(std::memory_order_relaxed);
   report.timeout_collocated = timeouts_[1].load(std::memory_order_relaxed);
   registry.gauge("serve.timeout_primary").set(report.timeout_primary);
@@ -141,6 +195,88 @@ EpochReport OnlineController::run_epoch(double now) {
   span.arg("drained", static_cast<std::uint64_t>(report.events_drained));
   span.arg("replanned", static_cast<std::uint64_t>(report.replanned));
   return report;
+}
+
+ControllerCheckpoint OnlineController::make_checkpoint(double now) const {
+  ControllerCheckpoint ckpt;
+  ckpt.epoch = totals_.epochs;
+  ckpt.time = now;
+  ckpt.condition_seed = config_.base_condition.seed;
+  ckpt.predictor_seed = config_.checkpoint.predictor_seed;
+  ckpt.model_version = last_model_version_;
+  ckpt.library_ref =
+      config_.checkpoint.library_ref.empty() ? "-" : config_.checkpoint.library_ref;
+  ckpt.library_size = config_.checkpoint.library_size;
+  ckpt.replans = totals_.replans;
+  ckpt.stale_holds = totals_.stale_holds;
+  ckpt.deadline_misses = totals_.deadline_misses;
+  ckpt.workloads.resize(2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    const auto est = estimator_.snapshot_workload(w);
+    WorkloadCheckpoint& out = ckpt.workloads[w];
+    out.timeout = timeouts_[w].load(std::memory_order_relaxed);
+    out.ewma_queue_delay = est.ewma_queue_delay;
+    out.ewma_queue_time = est.ewma_queue_time;
+    out.ewma_queue_seeded = est.ewma_queue_seeded;
+    out.ewma_service = est.ewma_service;
+    out.ewma_service_time = est.ewma_service_time;
+    out.ewma_service_seeded = est.ewma_service_seeded;
+    out.arrivals = est.arrivals;
+    out.completions = est.completions;
+    out.timeouts = est.timeouts;
+  }
+  return ckpt;
+}
+
+void OnlineController::checkpoint_now(double now) {
+  STAC_REQUIRE_MSG(!config_.checkpoint.directory.empty(),
+                   "checkpoint_now without a checkpoint directory");
+  save_checkpoint(checkpoint_path(config_.checkpoint.directory),
+                  make_checkpoint(now));
+  ++totals_.checkpoints_written;
+}
+
+void OnlineController::recover(const ControllerCheckpoint& checkpoint,
+                               double now) {
+  STAC_REQUIRE_MSG(checkpoint.workloads.size() == 2,
+                   "checkpoint does not describe a primary/collocated pair");
+  for (std::size_t w = 0; w < 2; ++w) {
+    const WorkloadCheckpoint& in = checkpoint.workloads[w];
+    STAC_REQUIRE_MSG(std::isfinite(in.timeout) && in.timeout >= 0.0,
+                     "recovered timeout must be finite and non-negative");
+    // The last-known-good vector goes live *now*: admission proxies read a
+    // sane plan before any model exists in this process.
+    timeouts_[w].store(in.timeout, std::memory_order_relaxed);
+    ConditionEstimator::WorkloadEstimatorState est;
+    est.ewma_queue_delay = in.ewma_queue_delay;
+    est.ewma_queue_time = in.ewma_queue_time;
+    est.ewma_queue_seeded = in.ewma_queue_seeded;
+    est.ewma_service = in.ewma_service;
+    est.ewma_service_time = in.ewma_service_time;
+    est.ewma_service_seeded = in.ewma_service_seeded;
+    est.arrivals = in.arrivals;
+    est.completions = in.completions;
+    est.timeouts = in.timeouts;
+    estimator_.restore_workload(w, est);
+  }
+  totals_.epochs = checkpoint.epoch;
+  totals_.replans = checkpoint.replans;
+  totals_.stale_holds = checkpoint.stale_holds;
+  totals_.deadline_misses = checkpoint.deadline_misses;
+  // Remember which bundle version the pre-crash controller planned against:
+  // the first post-recovery publish then registers as an observed swap.
+  last_model_version_ = checkpoint.model_version;
+  // Reconcile the hardware view: boost grants that survived the crash
+  // belong to proxies that no longer exist — force-release them rather
+  // than waiting a watchdog budget with stale allocations applied.
+  if (cat_ != nullptr) {
+    for (std::size_t w = 0; w < cat_->workload_count(); ++w)
+      while (cat_->is_boosted(w)) cat_->unboost(w);
+    (void)cat_->poll_watchdog(now);
+  }
+  ++totals_.recoveries;
+  obs::count("serve.recoveries");
+  obs::instant("serve.recovered", "serve");
 }
 
 }  // namespace stac::serve

@@ -32,12 +32,27 @@
 
 #include "cat/cat_controller.hpp"
 #include "core/policy_explorer.hpp"
+#include "serve/admission.hpp"
 #include "serve/arrival_ingest.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/condition_estimator.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/serving_model.hpp"
 
 namespace stac::serve {
+
+/// Durable-state knobs.  An empty directory disables checkpointing.
+struct CheckpointConfig {
+  std::string directory;
+  /// Write cadence in epochs (a write also happens via checkpoint_now()).
+  std::uint64_t every_n_epochs = 4;
+  /// Provenance recorded into each checkpoint: which profile-library
+  /// snapshot the serving model refits from after recovery, and the CRN
+  /// predictor seed (audit trail for the bit-identity guarantee).
+  std::string library_ref = "-";
+  std::size_t library_size = 0;
+  std::uint64_t predictor_seed = 2024;
+};
 
 struct ControllerConfig {
   /// Pairing plus the fixed condition knobs (mix, churn, sampling, seed);
@@ -62,6 +77,18 @@ struct ControllerConfig {
   /// below holds the last-known-good vector (counted as a stale hold).
   core::DegradationRung max_planning_rung =
       core::DegradationRung::kNearestNeighbor;
+  /// Planning deadline budget, seconds (0 = unlimited).  A sweep that
+  /// overruns it is *discarded* — the epoch keeps the last-known-good
+  /// (ladder-fallback) vector and counts a deadline miss — so a slow plan
+  /// can never stretch the control period.  Measure-then-discard, not
+  /// predict-and-skip: the next epoch always gets a fresh measurement, so
+  /// a single slow sweep cannot wedge the controller into never planning.
+  double plan_deadline_seconds = 0.0;
+  /// Crash-safe durable state (empty directory = disabled).
+  CheckpointConfig checkpoint;
+  /// Optional overload protection: when set, run_epoch feeds the epoch-lag
+  /// signal back after each plan.  Not owned; must outlive the controller.
+  AdmissionController* admission = nullptr;
 };
 
 /// What one control epoch did (returned to the driver; aggregated totals
@@ -78,6 +105,9 @@ struct EpochReport {
   double timeout_primary = 0.0;    ///< applied vector after this epoch
   double timeout_collocated = 0.0;
   double plan_seconds = 0.0;       ///< sweep + probe wall time
+  bool deadline_miss = false;      ///< sweep overran the budget, discarded
+  bool model_unavailable_hold = false;  ///< no bundle published yet: held
+  bool checkpoint_written = false;
   std::size_t watchdog_revocations = 0;
   std::uint64_t model_version = 0;
 };
@@ -104,13 +134,37 @@ class OnlineController {
     return estimator_;
   }
 
+  /// Snapshot the controller's durable state as of runtime clock `now`.
+  [[nodiscard]] ControllerCheckpoint make_checkpoint(double now) const;
+
+  /// Write a checkpoint immediately (independent of the epoch cadence).
+  /// Throws on I/O failure or an injected "serve.checkpoint.write" fault —
+  /// callers on the epoch path swallow and count the failure instead.
+  void checkpoint_now(double now);
+
+  /// Restore from a loaded checkpoint: re-apply the last-known-good
+  /// timeout vector (serving resumes *immediately*, before any model is
+  /// published), re-seed the estimator's EWMA trackers and lifetime
+  /// counters, adopt the epoch/replan/hold totals, and reconcile the
+  /// CatController by force-releasing any boost grants that survived the
+  /// crash (their proxies are gone; the watchdog would reap them anyway,
+  /// but recovery should not start with leaked leases).  The model bundle
+  /// is NOT restored here — run_epoch holds the recovered vector until a
+  /// background refit publishes one.
+  void recover(const ControllerCheckpoint& checkpoint, double now);
+
   struct Totals {
     std::uint64_t epochs = 0;
     std::uint64_t replans = 0;
     std::uint64_t stale_holds = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t model_unavailable_holds = 0;
     std::uint64_t events_drained = 0;
     std::uint64_t watchdog_revocations = 0;
     std::uint64_t model_swaps_observed = 0;
+    std::uint64_t checkpoints_written = 0;
+    std::uint64_t checkpoint_failures = 0;
+    std::uint64_t recoveries = 0;
   };
   [[nodiscard]] const Totals& totals() const { return totals_; }
 

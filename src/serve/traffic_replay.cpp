@@ -8,6 +8,7 @@
 
 #include "cat/stap.hpp"
 #include "common/check.hpp"
+#include "common/fault_injection.hpp"
 
 namespace stac::serve {
 
@@ -44,7 +45,9 @@ double TrafficReplay::utilization_at(const ReplayWorkloadConfig& w,
            ? w.util_amplitude *
                  std::sin(2.0 * std::numbers::pi * t / w.util_period)
            : 0.0);
-  return std::clamp(u, 0.02, 0.98);
+  // Offered load may far exceed capacity — that is what overload benches
+  // express (admission control, not this clamp, is the protection).
+  return std::clamp(u, 0.02, 16.0);
 }
 
 double TrafficReplay::applied_timeout(std::size_t workload) const {
@@ -69,6 +72,14 @@ ReplayStats TrafficReplay::generate_shard(std::size_t shard_id, double t0,
                         static_cast<double>(wc.servers) / wc.mean_service *
                         sh.rate_scale;
     sh.next_arrival = t_a + sh.rng.exponential(std::max(rate, 1e-9));
+
+    // Admission gate at the arrival instant: a shed query never existed as
+    // far as the runtime is concerned — no server slot, no events.
+    if (config_.admission != nullptr &&
+        !config_.admission->admit(sh.workload)) {
+      ++stats.shed;
+      continue;
+    }
 
     // G/G/k recurrence: the query takes the earliest-free slot.
     auto slot = std::min_element(sh.server_free.begin(), sh.server_free.end());
@@ -126,8 +137,15 @@ ReplayStats TrafficReplay::generate_shard(std::size_t shard_id, double t0,
                    [](const QueryEvent& a, const QueryEvent& b) {
                      return a.time < b.time;
                    });
-  for (const QueryEvent& ev : buf)
-    if (!ingest_.try_push(ev)) ++stats.push_failures;
+  for (const QueryEvent& ev : buf) {
+    try {
+      if (!ingest_.try_push(ev)) ++stats.push_failures;
+    } catch (const InjectedFault&) {
+      // A kThrow at "serve.ingest.push" models the proxy's transport
+      // throwing; the proxy survives and the event is simply lost.
+      ++stats.push_failures;
+    }
+  }
   return stats;
 }
 
@@ -139,6 +157,7 @@ ReplayStats TrafficReplay::generate(double t0, double t1) {
     total.timeouts += st.timeouts;
     total.completions += st.completions;
     total.push_failures += st.push_failures;
+    total.shed += st.shed;
   }
   return total;
 }
@@ -146,11 +165,13 @@ ReplayStats TrafficReplay::generate(double t0, double t1) {
 SoakResult TrafficReplay::run_threaded(OnlineController& controller,
                                        double sim_seconds,
                                        double epoch_interval,
-                                       double wall_pace) {
+                                       double wall_pace,
+                                       double start_time) {
   STAC_REQUIRE(sim_seconds > 0.0 && epoch_interval > 0.0);
   const auto chunks = static_cast<std::uint64_t>(
       std::ceil(sim_seconds / epoch_interval));
   for (auto& p : progress_) p.store(0, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
 
   std::vector<ReplayStats> shard_stats(shards_.size());
   std::vector<std::thread> threads;
@@ -158,24 +179,28 @@ SoakResult TrafficReplay::run_threaded(OnlineController& controller,
   const auto wall_start = std::chrono::steady_clock::now();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     threads.emplace_back([this, s, chunks, epoch_interval, wall_pace,
-                          wall_start, &shard_stats] {
+                          wall_start, start_time, &shard_stats] {
       ReplayStats acc;
       for (std::uint64_t k = 0; k < chunks; ++k) {
-        const double t0 = static_cast<double>(k) * epoch_interval;
+        if (stop_.load(std::memory_order_acquire)) break;
+        const double t0 =
+            start_time + static_cast<double>(k) * epoch_interval;
         const ReplayStats st = generate_shard(s, t0, t0 + epoch_interval);
         acc.arrivals += st.arrivals;
         acc.timeouts += st.timeouts;
         acc.completions += st.completions;
         acc.push_failures += st.push_failures;
+        acc.shed += st.shed;
         progress_[s].store(k + 1, std::memory_order_release);
         if (wall_pace > 0.0) {
           // Pace the simulated clock to the wall: chunk k+1 may start no
-          // earlier than (t0 + interval) / pace wall seconds in.
+          // earlier than (k+1) * interval / pace wall seconds in.
           const auto deadline =
               wall_start + std::chrono::duration_cast<
                                std::chrono::steady_clock::duration>(
                                std::chrono::duration<double>(
-                                   (t0 + epoch_interval) / wall_pace));
+                                   static_cast<double>(k + 1) *
+                                   epoch_interval / wall_pace));
           std::this_thread::sleep_until(deadline);
         }
       }
@@ -184,17 +209,30 @@ SoakResult TrafficReplay::run_threaded(OnlineController& controller,
   }
 
   SoakResult result;
+  std::exception_ptr epoch_error;
   for (std::uint64_t k = 0; k < chunks; ++k) {
-    // Run epoch k once every shard has published chunk k.
+    // Run epoch k once every shard has published chunk k (or bailed out).
     for (std::size_t s = 0; s < shards_.size(); ++s)
       while (progress_[s].load(std::memory_order_acquire) < k + 1)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    const EpochReport report = controller.run_epoch(
-        static_cast<double>(k + 1) * epoch_interval);
-    result.watchdog_revocations += report.watchdog_revocations;
-    ++result.epochs;
+    try {
+      const EpochReport report = controller.run_epoch(
+          start_time + static_cast<double>(k + 1) * epoch_interval);
+      result.watchdog_revocations += report.watchdog_revocations;
+      ++result.epochs;
+      if (report.replanned && result.epochs_to_first_replan == 0)
+        result.epochs_to_first_replan = result.epochs;
+    } catch (...) {
+      // A dead control tick (injected crash, contract violation) must not
+      // leave shard threads running: stop, join, then let the caller see
+      // the original exception.
+      epoch_error = std::current_exception();
+      stop_.store(true, std::memory_order_release);
+      break;
+    }
   }
   for (auto& t : threads) t.join();
+  if (epoch_error) std::rethrow_exception(epoch_error);
 
   result.sim_seconds = static_cast<double>(chunks) * epoch_interval;
   for (const ReplayStats& st : shard_stats) {
@@ -202,6 +240,7 @@ SoakResult TrafficReplay::run_threaded(OnlineController& controller,
     result.traffic.timeouts += st.timeouts;
     result.traffic.completions += st.completions;
     result.traffic.push_failures += st.push_failures;
+    result.traffic.shed += st.shed;
   }
   result.controller = controller.totals();
   result.ingest_dropped = ingest_.dropped();

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "serve/admission.hpp"
 #include "serve/arrival_ingest.hpp"
 #include "serve/online_controller.hpp"
 
@@ -45,6 +46,11 @@ struct ReplayConfig {
   std::vector<ReplayWorkloadConfig> workloads;  ///< index = workload id
   std::size_t shards_per_workload = 1;          ///< producers per workload
   std::uint64_t seed = 2022;
+  /// Optional overload protection: queries are offered to the admission
+  /// controller at their arrival instant; a shed query is never generated —
+  /// it consumes no server slot and emits no events (counted in
+  /// ReplayStats::shed, distinct from ring drops).  Not owned.
+  AdmissionController* admission = nullptr;
 };
 
 struct ReplayStats {
@@ -52,6 +58,7 @@ struct ReplayStats {
   std::uint64_t timeouts = 0;
   std::uint64_t completions = 0;
   std::uint64_t push_failures = 0;  ///< events the ring dropped
+  std::uint64_t shed = 0;           ///< queries refused by admission control
 };
 
 struct SoakResult {
@@ -61,6 +68,10 @@ struct SoakResult {
   OnlineController::Totals controller;
   std::uint64_t ingest_dropped = 0;
   std::uint64_t watchdog_revocations = 0;
+  /// Epoch ordinal (1-based, within this run) of the first epoch that
+  /// re-planned; 0 = the run never replanned.  The kill-and-recover soak
+  /// gates on this: recovery must re-plan within a bounded epoch count.
+  std::uint64_t epochs_to_first_replan = 0;
 };
 
 class TrafficReplay {
@@ -71,6 +82,14 @@ class TrafficReplay {
                 ReplayConfig config);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Point the proxies at a different controller's applied-timeout vector —
+  /// the kill-and-recover flow: the controller process dies and restarts,
+  /// the proxies and the ring survive and re-attach.  Only legal between
+  /// runs (no shard threads active).
+  void rebind_controller(const OnlineController* timeouts) {
+    timeouts_ = timeouts;
+  }
 
   /// Advance every shard over simulated [t0, t1) on the calling thread,
   /// pushing events time-sorted per shard chunk.  Deterministic for a
@@ -84,9 +103,15 @@ class TrafficReplay {
   /// chunks while the calling thread runs one control epoch per chunk as
   /// soon as every shard has produced it.  `wall_pace` > 0 slows shards to
   /// roughly `wall_pace` simulated seconds per wall second (soak mode);
-  /// 0 = as fast as possible.
+  /// 0 = as fast as possible.  `start_time` offsets the simulated clock —
+  /// shard state (G/G/k occupancy, RNG streams) persists across calls, so
+  /// a second call continuing at the first call's end time replays one
+  /// uninterrupted traffic history (the kill-and-recover flow).  If
+  /// run_epoch throws (e.g. an injected "serve.controller.epoch" crash),
+  /// the shards are stopped and joined before the exception propagates.
   SoakResult run_threaded(OnlineController& controller, double sim_seconds,
-                          double epoch_interval, double wall_pace = 0.0);
+                          double epoch_interval, double wall_pace = 0.0,
+                          double start_time = 0.0);
 
  private:
   struct Shard {
@@ -109,6 +134,8 @@ class TrafficReplay {
   /// Chunks completed per shard (written by the shard's thread, polled by
   /// the epoch thread in run_threaded).
   std::vector<std::atomic<std::uint64_t>> progress_;
+  /// Early-stop signal for shard threads (set when run_epoch throws).
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace stac::serve

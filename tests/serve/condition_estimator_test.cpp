@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -133,6 +134,81 @@ TEST(ConditionEstimator, OutOfRangeWorkloadCountedNotUb) {
   EXPECT_EQ(est.total_events(), 2u);
   EXPECT_EQ(est.estimate(0, 2.0).completions, 0u);
   EXPECT_THROW((void)est.estimate(5, 2.0), ContractViolation);
+}
+
+TEST(ConditionEstimator, OutOfOrderTimestampsAreClampedAndCounted) {
+  ConditionEstimator est(1, 1);  // default skew_tolerance 0.25
+  est.observe(arrival(0, 10.0));
+  est.observe(arrival(0, 12.0));
+  // A proxy whose clock ran 3 s behind: clamped forward to 12.0 AND
+  // counted — that much skew is an operational signal, not noise.
+  est.observe(arrival(0, 9.0));
+  EXPECT_EQ(est.skew_clamped(), 1u);
+  // Modest cross-producer skew (0.1 s < tolerance) is clamped silently.
+  est.observe(arrival(0, 11.9));
+  EXPECT_EQ(est.skew_clamped(), 1u);
+  // The deque stayed monotone, so the window still accounts for all four
+  // arrivals and eviction can never strand entries behind a newer head.
+  EXPECT_EQ(est.estimate(0, 13.0).arrivals, 4u);
+  EXPECT_EQ(est.ignored_events(), 0u);
+}
+
+TEST(ConditionEstimator, SkewedCompletionKeepsEstimatesSane) {
+  EstimatorConfig cfg;
+  cfg.half_life = 1.0;
+  ConditionEstimator est(1, 1, cfg);
+  for (int i = 0; i < 10; ++i)
+    est.observe(completion(0, 10.0 + 0.1 * i, 0.2, 1.0));
+  // A completion stamped far in the past (negative dt would otherwise
+  // blow the EWMA decay up): clamped to the newest completion time.
+  est.observe(completion(0, 2.0, 2.0, 1.0));
+  EXPECT_EQ(est.skew_clamped(), 1u);
+  const WorkloadEstimate e = est.estimate(0, 11.5);
+  EXPECT_TRUE(std::isfinite(e.inst_queue_delay));
+  EXPECT_GE(e.inst_queue_delay, 0.2);
+  EXPECT_LE(e.inst_queue_delay, 2.0);
+  EXPECT_EQ(e.completions, 11u);
+  // Timeout deque clamps independently of the completion deque.
+  est.observe(timeout_event(0, 11.0));
+  est.observe(timeout_event(0, 1.0));
+  EXPECT_EQ(est.skew_clamped(), 2u);
+  EXPECT_EQ(est.estimate(0, 11.5).timeouts, 2u);
+}
+
+TEST(ConditionEstimator, NonFiniteEventFieldsAreIgnoredNotFolded) {
+  ConditionEstimator est(1, 1);
+  est.observe(completion(0, std::nan(""), 0.2, 1.0));
+  est.observe(completion(0, 1.0, std::numeric_limits<double>::infinity(), 1.0));
+  est.observe(completion(0, 1.0, 0.2,
+                         -std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(est.ignored_events(), 3u);
+  EXPECT_EQ(est.estimate(0, 2.0).completions, 0u);
+}
+
+TEST(ConditionEstimator, SnapshotRestoreRoundTripsEwmaState) {
+  ConditionEstimator a(1, 1);
+  for (int i = 0; i < 8; ++i) {
+    a.observe(arrival(0, 1.0 + 0.5 * i));
+    a.observe(completion(0, 1.0 + 0.5 * i, 0.3, 0.9));
+  }
+  a.observe(timeout_event(0, 5.0));
+  const auto state = a.snapshot_workload(0);
+  EXPECT_TRUE(state.ewma_queue_seeded);
+  EXPECT_EQ(state.completions, 8u);
+  EXPECT_EQ(state.arrivals, 8u);
+  EXPECT_EQ(state.timeouts, 1u);
+
+  ConditionEstimator b(1, 1);
+  b.restore_workload(0, state);
+  const auto restored = b.snapshot_workload(0);
+  EXPECT_EQ(restored.ewma_queue_delay, state.ewma_queue_delay);
+  EXPECT_EQ(restored.ewma_queue_time, state.ewma_queue_time);
+  EXPECT_EQ(restored.ewma_service, state.ewma_service);
+  EXPECT_EQ(restored.ewma_service_time, state.ewma_service_time);
+  EXPECT_EQ(restored.completions, state.completions);
+  // Window contents are deliberately NOT restored: the restored estimator
+  // reports no windowed completions until live traffic refills it.
+  EXPECT_EQ(b.estimate(0, 10.0).completions, 0u);
 }
 
 TEST(ConditionEstimator, WarmRequiresMinCompletions) {

@@ -8,11 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/fault_injection.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/traffic_replay.hpp"
 
 namespace stac::serve {
@@ -249,6 +254,177 @@ TEST_F(OnlineControllerTest, WatchdogRevokesLeakedLease) {
   EXPECT_EQ(late.watchdog_revocations, 1u);
   EXPECT_FALSE(cat.is_boosted(1));
   EXPECT_EQ(ctrl.totals().watchdog_revocations, 1u);
+}
+
+std::string ckpt_dir(const char* leaf) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST_F(OnlineControllerTest, WarmEpochWithNoModelIsAHoldNotAnError) {
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap;  // recovery window: no bundle yet
+  OnlineController ctrl(ring, snap, controller_config());
+  feed_stationary(ring, 0.0, 60.0);
+  const EpochReport r = ctrl.run_epoch(60.0);
+  EXPECT_TRUE(r.warm);
+  EXPECT_TRUE(r.model_unavailable_hold);
+  EXPECT_FALSE(r.replanned);
+  EXPECT_DOUBLE_EQ(r.timeout_primary, 1.0);
+  EXPECT_DOUBLE_EQ(r.timeout_collocated, 1.0);
+  EXPECT_EQ(ctrl.totals().model_unavailable_holds, 1u);
+}
+
+TEST_F(OnlineControllerTest, PlanDeadlineMissHoldsLastKnownGoodVector) {
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap(
+      build_serving_model(*mgr_, tiny_options(), 1));
+  ControllerConfig cfg = controller_config();
+  cfg.plan_deadline_seconds = 1e-12;  // every sweep overruns this
+  OnlineController ctrl(ring, snap, cfg);
+
+  feed_stationary(ring, 0.0, 60.0);
+  const EpochReport r = ctrl.run_epoch(60.0);
+  ASSERT_TRUE(r.warm);
+  // The sweep ran and overran: its selection is discarded, the epoch is
+  // counted as a miss, and the pre-epoch vector keeps serving.
+  EXPECT_TRUE(r.deadline_miss);
+  EXPECT_FALSE(r.replanned);
+  EXPECT_DOUBLE_EQ(r.timeout_primary, 1.0);
+  EXPECT_DOUBLE_EQ(r.timeout_collocated, 1.0);
+  EXPECT_EQ(ctrl.totals().deadline_misses, 1u);
+  EXPECT_EQ(ctrl.totals().replans, 0u);
+}
+
+TEST_F(OnlineControllerTest, EpochFaultPointCrashesBeforeStateMoves) {
+  ArrivalIngest ring(1024);
+  ModelSnapshot<ServingModel> snap;
+  OnlineController ctrl(ring, snap, controller_config());
+  {
+    FaultPlan plan;
+    plan.add({.point = "serve.controller.epoch",
+              .action = FaultAction::kThrow,
+              .every_nth = 1,
+              .message = "injected controller crash"});
+    FaultScope scope(plan);
+    EXPECT_THROW((void)ctrl.run_epoch(1.0), InjectedFault);
+  }
+  // The crash hit before the epoch counter moved: re-run, don't skip.
+  EXPECT_EQ(ctrl.totals().epochs, 0u);
+  const EpochReport r = ctrl.run_epoch(1.0);
+  EXPECT_EQ(r.epoch, 1u);
+}
+
+TEST_F(OnlineControllerTest, CheckpointCadenceWritesAndSurvivesWriteFaults) {
+  const std::string dir = ckpt_dir("stac_ctrl_ckpt_cadence");
+  ArrivalIngest ring(1024);
+  ModelSnapshot<ServingModel> snap;
+  ControllerConfig cfg = controller_config();
+  cfg.checkpoint.directory = dir;
+  cfg.checkpoint.every_n_epochs = 1;
+  OnlineController ctrl(ring, snap, cfg);
+
+  const EpochReport first = ctrl.run_epoch(1.0);
+  EXPECT_TRUE(first.checkpoint_written);
+  const CheckpointLoadReport loaded = load_checkpoint(checkpoint_path(dir));
+  ASSERT_TRUE(loaded.clean()) << loaded.reason;
+  EXPECT_EQ(loaded.checkpoint->epoch, 1u);
+
+  // Storage trouble mid-epoch: the tick completes, the failure is counted,
+  // and the epoch-1 checkpoint on disk stays valid.
+  {
+    FaultPlan plan;
+    plan.add({.point = "serve.checkpoint.write",
+              .action = FaultAction::kThrow,
+              .every_nth = 1});
+    FaultScope scope(plan);
+    const EpochReport second = ctrl.run_epoch(2.0);
+    EXPECT_EQ(second.epoch, 2u);
+    EXPECT_FALSE(second.checkpoint_written);
+  }
+  EXPECT_EQ(ctrl.totals().checkpoint_failures, 1u);
+  const CheckpointLoadReport after = load_checkpoint(checkpoint_path(dir));
+  ASSERT_TRUE(after.clean()) << after.reason;
+  EXPECT_EQ(after.checkpoint->epoch, 1u);
+}
+
+TEST_F(OnlineControllerTest, RecoveryMatchesUninterruptedRunBitExactly) {
+  const std::string dir = ckpt_dir("stac_ctrl_ckpt_roundtrip");
+  auto bundle_for = [&] { return build_serving_model(*mgr_, tiny_options(), 1); };
+
+  // Uninterrupted baseline: two epochs of stationary CRN traffic, with a
+  // checkpoint written after epoch 1.
+  ArrivalIngest ring_a(1 << 12);
+  ModelSnapshot<ServingModel> snap_a(bundle_for());
+  ControllerConfig cfg = controller_config();
+  cfg.checkpoint.directory = dir;
+  cfg.checkpoint.every_n_epochs = 1;
+  cfg.checkpoint.library_ref = "stac_manager:test";
+  OnlineController a(ring_a, snap_a, cfg);
+  feed_stationary(ring_a, 0.0, 60.0);
+  const EpochReport a1 = a.run_epoch(60.0);
+  ASSERT_TRUE(a1.replanned);
+  ASSERT_TRUE(a1.checkpoint_written);
+  // Grab the epoch-1 checkpoint before the epoch-2 cadence overwrites it —
+  // this is the file a crash between the two ticks would recover from.
+  const CheckpointLoadReport loaded = load_checkpoint(checkpoint_path(dir));
+  ASSERT_TRUE(loaded.clean()) << loaded.reason;
+  feed_stationary(ring_a, 60.0, 120.0);
+  const EpochReport a2 = a.run_epoch(120.0);
+  ASSERT_TRUE(a2.replanned);
+
+  // "Crash" after epoch 1: a fresh controller process recovers from the
+  // epoch-1 checkpoint and replays the same epoch-2 traffic.
+  EXPECT_EQ(loaded.checkpoint->epoch, 1u);
+  EXPECT_EQ(loaded.checkpoint->library_ref, "stac_manager:test");
+
+  ArrivalIngest ring_b(1 << 12);
+  ModelSnapshot<ServingModel> snap_b(bundle_for());
+  ControllerConfig cfg_b = controller_config();  // no checkpoint dir: read-only
+  OnlineController b(ring_b, snap_b, cfg_b);
+  b.recover(*loaded.checkpoint, 60.0);
+  EXPECT_EQ(b.totals().recoveries, 1u);
+  EXPECT_EQ(b.totals().epochs, 1u);  // epoch counter continues, not restarts
+
+  // The last-known-good vector is live immediately, before any replan.
+  const double recovered_primary = b.timeout(0);
+  EXPECT_EQ(std::memcmp(&a1.timeout_primary, &recovered_primary,
+                        sizeof(double)),
+            0);
+  EXPECT_DOUBLE_EQ(b.timeout(1), a1.timeout_collocated);
+
+  feed_stationary(ring_b, 60.0, 120.0);
+  const EpochReport b2 = b.run_epoch(120.0);
+  ASSERT_TRUE(b2.replanned);
+  EXPECT_EQ(b2.epoch, 2u);
+
+  // Bit-identical recommended vectors vs the uninterrupted run.
+  const double a2p = a2.timeout_primary, b2p = b2.timeout_primary;
+  const double a2c = a2.timeout_collocated, b2c = b2.timeout_collocated;
+  EXPECT_EQ(std::memcmp(&a2p, &b2p, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a2c, &b2c, sizeof(double)), 0);
+  EXPECT_EQ(b2.planned_condition.util_primary,
+            a2.planned_condition.util_primary);
+  EXPECT_EQ(b2.planned_condition.util_collocated,
+            a2.planned_condition.util_collocated);
+}
+
+TEST_F(OnlineControllerTest, RecoverRejectsMalformedCheckpoints) {
+  ArrivalIngest ring(1024);
+  ModelSnapshot<ServingModel> snap;
+  OnlineController ctrl(ring, snap, controller_config());
+
+  ControllerCheckpoint wrong_shape;
+  wrong_shape.workloads.resize(1);
+  EXPECT_THROW(ctrl.recover(wrong_shape, 1.0), ContractViolation);
+
+  ControllerCheckpoint bad_timeout;
+  bad_timeout.workloads.resize(2);
+  bad_timeout.workloads[0].timeout = -1.0;
+  EXPECT_THROW(ctrl.recover(bad_timeout, 1.0), ContractViolation);
+  EXPECT_EQ(ctrl.totals().recoveries, 0u);
 }
 
 TEST_F(OnlineControllerTest, HotSwapUnderLoadLosesNoEvents) {
