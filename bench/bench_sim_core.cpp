@@ -1,17 +1,26 @@
-// Simulation-core performance: the PR-4 overhaul measured end to end and
-// recorded in the machine-readable BENCH_PR4.json:
+// Simulation-core performance: the PR-4 overhaul plus the PR-7 batch /
+// SIMD layers, measured end to end and recorded in the machine-readable
+// BENCH_PR7.json:
 //
 //   ggk_event_loop     fast engine (pre-drawn CRN streams, sorted-arrival
 //                      replay, 4-ary lazy-deletion completion heap) vs the
 //                      legacy single binary heap, over a timeout x load
 //                      grid (single thread; target >= 2x)
+//   ggk_batch          simulate_ggk_batch (arena recycling + one CRN
+//                      stream fetch per (seed, rate, cv) group) vs per-cell
+//                      simulate_ggk on the same grid, both cold-cache
 //   cache_replay       SoA cache levels (packed tag/valid/owner/age lanes,
 //                      branch-light probe) vs the legacy array-of-Way
 //                      layout on a hierarchy access-trace replay
 //                      (target >= 1.5x)
+//   probe_simd         widest-ISA probe/victim kernels vs the scalar
+//                      oracles (identity, not speed: the end-to-end effect
+//                      is inside cache_replay); records the effective ISA
 //   policy_sweep_memo  RtPredictionCache memoization of the paper's 25-cell
 //                      policy grid vs always-resimulating (target >50% hit
 //                      rate, visible in obs_metrics)
+//   policy_sweep_batch ExplorerConfig::batch (whole grid in one
+//                      simulate_batch wave) vs the per-cell sweep
 //
 // Every fast/legacy pair is cross-checked bit for bit — a speedup that
 // changes a single sample, counter or selection is a bug, and CI asserts
@@ -21,6 +30,8 @@
 
 #include "bench_util.hpp"
 #include "cachesim/cache_hierarchy.hpp"
+#include "cachesim/simd_probe.hpp"
+#include "common/rng.hpp"
 #include "core/policy_explorer.hpp"
 #include "core/rt_predictor.hpp"
 #include "obs/trace.hpp"
@@ -166,11 +177,11 @@ std::uint64_t drive_replay(cachesim::CacheHierarchy& h, const Trace& t,
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::parse(argc, argv);
-  // This binary owns the PR-4 record; an explicit --json or STAC_BENCH_JSON
+  // This binary owns the PR-7 record; an explicit --json or STAC_BENCH_JSON
   // still wins.
   if (args.json_path == "BENCH_PR2.json" &&
       std::getenv("STAC_BENCH_JSON") == nullptr)
-    args.json_path = "BENCH_PR4.json";
+    args.json_path = "BENCH_PR7.json";
   print_banner(std::cout, "Simulation-core performance (G/G/k, cachesim, memoization)");
   const std::size_t workers = ensure_bench_pool();
   obs::set_enabled(true);  // gauges (hit rates) ride along in obs_metrics
@@ -181,7 +192,8 @@ int main(int argc, char** argv) {
            static_cast<std::size_t>(std::thread::hardware_concurrency()))
       .set("pool_workers", workers)
       .set("seed", static_cast<std::size_t>(args.seed))
-      .set("fast", args.fast);
+      .set("fast", args.fast)
+      .set("simd_isa", cachesim::simd::isa_name());
   record.set("meta", meta);
   Table table({"Stage", "legacy", "fast", "speedup", "identical"});
   const std::size_t reps = args.fast ? 1 : 3;
@@ -228,6 +240,43 @@ int main(int argc, char** argv) {
                    identical ? "yes" : "NO"});
   }
 
+  // ---- Stage 1b: batched G/G/k, simulate_ggk_batch vs per-cell ---------
+  {
+    const std::size_t queries = args.fast ? 6000 : 40000;
+    const auto grid = ggk_grid(queries, args.seed + 1);
+    std::vector<queueing::GGkResult> per_cell(grid.size());
+    std::vector<queueing::GGkResult> batch;
+
+    // Both sides run the fast engine with a cold CRN cache each rep: the
+    // batch side's win is the shared stream fetch + arena recycling, which
+    // only shows when the streams are not already memoized process-wide.
+    const double cell_s = timed_best(reps, [&] {
+      queueing::clear_crn_stream_cache();
+      for (std::size_t i = 0; i < grid.size(); ++i)
+        per_cell[i] = queueing::simulate_ggk(grid[i]);
+    });
+    const double batch_s = timed_best(reps, [&] {
+      queueing::clear_crn_stream_cache();
+      batch = queueing::simulate_ggk_batch(grid);
+    });
+
+    bool identical = batch.size() == grid.size();
+    for (std::size_t i = 0; identical && i < grid.size(); ++i)
+      identical = same_result(per_cell[i], batch[i]);
+    const double speedup = cell_s / batch_s;
+    JsonObject s;
+    s.set("grid_cells", grid.size())
+        .set("queries_per_cell", queries)
+        .set("per_cell_s", cell_s)
+        .set("batch_s", batch_s)
+        .set("speedup", speedup)
+        .set("bit_identical", identical);
+    record.set("ggk_batch", s);
+    table.add_row({"G/G/k batch engine", Table::num(cell_s, 3) + "s",
+                   Table::num(batch_s, 3) + "s", Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+  }
+
   // ---- Stage 2: cache-hierarchy replay, SoA vs AoS levels --------------
   {
     const std::size_t n = args.fast ? 300000 : 3000000;
@@ -269,6 +318,49 @@ int main(int argc, char** argv) {
     record.set("cache_replay", s);
     table.add_row({"hierarchy replay (SoA)", Table::num(legacy_s, 3) + "s",
                    Table::num(soa_s, 3) + "s", Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+  }
+
+  // ---- Stage 2b: SIMD probe/victim kernels vs the scalar oracles -------
+  {
+    // Identity, not wall-clock: the kernels' end-to-end effect is already
+    // inside cache_replay; here the widest compiled tier is checked bit for
+    // bit against the scalar reference so BENCH_PR7.json records which ISA
+    // produced the replay numbers and that it is trustworthy.
+    Rng rng(args.seed + 21);
+    bool identical = true;
+    std::size_t checks = 0;
+    for (std::size_t trial = 0; trial < 4000 && identical; ++trial) {
+      const std::size_t ways = 2 + rng.uniform_index(19);  // 2..20
+      std::vector<std::uint64_t> keys(ways);
+      std::vector<std::uint32_t> ages(ways);
+      std::uint32_t usable = 0;
+      for (std::size_t w = 0; w < ways; ++w) {
+        keys[w] = rng.next_u64() | (rng.bernoulli(0.75) ? (1ULL << 63) : 0);
+        ages[w] = static_cast<std::uint32_t>(w * 7919u + trial);
+        if (rng.bernoulli(0.5)) usable |= 1u << w;
+      }
+      if (usable == 0) usable = 1u;
+      const std::uint64_t probe =
+          rng.bernoulli(0.5) ? keys[rng.uniform_index(ways)] | (1ULL << 63)
+                             : rng.next_u64() | (1ULL << 63);
+      const auto ref = cachesim::simd::probe_sweep_scalar(keys.data(), ways,
+                                                          probe);
+      const auto wide = cachesim::simd::probe_sweep(keys.data(), ways, probe);
+      identical = identical && ref.match == wide.match &&
+                  ref.valid == wide.valid &&
+                  cachesim::simd::victim_scan_scalar(ages.data(), ways,
+                                                     usable) ==
+                      cachesim::simd::victim_scan(ages.data(), ways, usable);
+      ++checks;
+    }
+    JsonObject s;
+    s.set("isa", cachesim::simd::isa_name())
+        .set("trials", checks)
+        .set("bit_identical", identical);
+    record.set("probe_simd", s);
+    table.add_row({"SIMD probe/victim", "scalar",
+                   cachesim::simd::isa_name(), "-",
                    identical ? "yes" : "NO"});
   }
 
@@ -327,6 +419,64 @@ int main(int argc, char** argv) {
     record.set("policy_sweep_memo", s);
     table.add_row({"policy sweep (memoized)", Table::num(plain_s, 3) + "s",
                    Table::num(memo_s, 3) + "s", Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+  }
+
+  // ---- Stage 3b: batched policy sweep vs per-cell ----------------------
+  {
+    profiler::ProfilerConfig pc;
+    pc.target_completions = args.fast ? 250 : 400;
+    pc.warmup_completions = 40;
+    profiler::Profiler profiler(pc);
+    core::RtPredictorConfig rc;
+    rc.analytic_ea = true;
+    rc.sim_queries = args.fast ? 2000 : 6000;
+    rc.seed = args.seed + 4;
+    rc.memoize = false;  // isolate the batch wave from the memo cache
+    profiler::RuntimeCondition cond;
+    cond.primary = wl::Benchmark::kKmeans;
+    cond.collocated = wl::Benchmark::kRedis;
+    cond.util_primary = 0.9;
+    cond.util_collocated = 0.9;
+    cond.seed = args.seed + 5;
+    core::RtPredictor pred(profiler, nullptr, nullptr, rc);
+
+    core::ExplorerConfig per_cell;  // 5x5 grid
+    per_cell.parallel = false;
+    per_cell.batch = false;
+    core::ExplorerConfig batched = per_cell;
+    batched.batch = true;
+
+    core::PolicyExploration base, wave;
+    const double cell_s = timed_best(reps, [&] {
+      queueing::clear_crn_stream_cache();
+      base = explore_policies(pred, cond, per_cell);
+    });
+    const double batch_s = timed_best(reps, [&] {
+      queueing::clear_crn_stream_cache();
+      wave = explore_policies(pred, cond, batched);
+    });
+
+    bool identical =
+        base.selection.timeout_primary == wave.selection.timeout_primary &&
+        base.selection.timeout_collocated ==
+            wave.selection.timeout_collocated;
+    for (std::size_t i = 0;
+         identical && i < base.predicted_primary.data().size(); ++i)
+      identical = base.predicted_primary.data()[i] ==
+                      wave.predicted_primary.data()[i] &&
+                  base.predicted_collocated.data()[i] ==
+                      wave.predicted_collocated.data()[i];
+    const double speedup = cell_s / batch_s;
+    JsonObject s;
+    s.set("grid_cells", per_cell.grid.size() * per_cell.grid.size())
+        .set("per_cell_s", cell_s)
+        .set("batch_s", batch_s)
+        .set("speedup", speedup)
+        .set("bit_identical", identical);
+    record.set("policy_sweep_batch", s);
+    table.add_row({"policy sweep (batched)", Table::num(cell_s, 3) + "s",
+                   Table::num(batch_s, 3) + "s", Table::num(speedup, 2),
                    identical ? "yes" : "NO"});
   }
 

@@ -24,11 +24,8 @@
 #include <limits>
 #include <vector>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "cachesim/cache_config.hpp"
+#include "cachesim/simd_probe.hpp"
 #include "common/check.hpp"
 
 namespace stac::cachesim {
@@ -181,8 +178,9 @@ class CacheLevel {
   // probe touches exactly one lane: keys_ packs tag | kValidBit, which is
   // lossless (a line tag uses at most 58 bits) and makes the probe a
   // single equality against tag | kValidBit — invalid ways can never
-  // match.  Valid lives in the sign bit so a 2-wide SSE2 sweep reads the
-  // whole set's valid mask with sign-bit movemasks.
+  // match.  Valid lives in the sign bit so the SIMD sweeps (simd_probe.hpp:
+  // 4-wide AVX2 / 2-wide SSE2) read the whole set's valid mask with
+  // sign-bit movemasks.
   static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
   std::vector<std::uint64_t> keys_;
   std::vector<std::uint32_t> ages_;      // hit-update / victim-scan lane
@@ -222,38 +220,13 @@ AccessResult CacheLevel::access_soa_impl(std::uint64_t line_addr,
   }
 
   // One branch-light sweep of the key lane produces both the match mask
-  // and the valid mask.  With SSE2, two ways per step: 64-bit equality is
-  // two 32-bit lane compares ANDed with their pairwise swap, and both
-  // masks fall out of sign-bit movemasks (valid is the key's sign bit).
-  std::uint32_t match = 0;
-  std::uint32_t vmask = 0;
-#if defined(__SSE2__)
-  {
-    const __m128i vprobe = _mm_set1_epi64x(static_cast<long long>(probe));
-    std::size_t w = 0;
-    for (; w + 2 <= ways; w += 2) {
-      const __m128i k =
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + w));
-      const __m128i eq32 = _mm_cmpeq_epi32(k, vprobe);
-      const __m128i eq64 = _mm_and_si128(
-          eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
-      match |= static_cast<std::uint32_t>(
-                   _mm_movemask_pd(_mm_castsi128_pd(eq64)))
-               << w;
-      vmask |= static_cast<std::uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(k)))
-               << w;
-    }
-    for (; w < ways; ++w) {
-      match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
-      vmask |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
-    }
-  }
-#else
-  for (std::size_t w = 0; w < ways; ++w) {
-    match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
-    vmask |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
-  }
-#endif
+  // and the valid mask (valid is the key's sign bit).  The kernel lives in
+  // simd_probe.hpp: AVX2 compares 4 ways per step, SSE2 2, scalar 1 —
+  // widest available picked at compile time, all tiers bit-identical
+  // (tests/cachesim/simd_probe_test.cpp).
+  const simd::ProbeMasks probe_masks = simd::probe_sweep(keys, ways, probe);
+  const std::uint32_t match = probe_masks.match;
+  const std::uint32_t vmask = probe_masks.valid;
   if (match != 0) {
     const auto w = static_cast<std::size_t>(std::countr_zero(match));
     ages_[base + w] = bump_set_clock(set);
@@ -269,25 +242,15 @@ AccessResult CacheLevel::access_soa_impl(std::uint64_t line_addr,
   // Invalid permitted ways first (lowest index, as the legacy scan picks),
   // else the strict-min age among permitted ways.  Ages within a set are
   // distinct (each comes from a fresh clock tick), so the minimum is
-  // unique and matches the legacy first-strictly-smaller scan.  Excluded
-  // ways read as "infinitely young" instead of being branched around.
+  // unique and matches the legacy first-strictly-smaller scan.  The scan
+  // kernel (simd_probe.hpp) reads excluded ways as "infinitely young"
+  // instead of branching around them; AVX2 blends + min-reduces 8 ages
+  // per step, narrower builds run the scalar reference loop.
   const std::uint32_t invalid = usable & ~vmask;
-  std::size_t victim;
-  if (invalid != 0) {
-    victim = static_cast<std::size_t>(std::countr_zero(invalid));
-  } else {
-    const std::uint32_t* age = ages_.data() + base;
-    std::uint32_t oldest = std::numeric_limits<std::uint32_t>::max();
-    victim = ways;
-    for (std::size_t w = 0; w < ways; ++w) {
-      const std::uint32_t a = ((usable >> w) & 1u) != 0
-                                  ? age[w]
-                                  : std::numeric_limits<std::uint32_t>::max();
-      const bool better = a < oldest;
-      oldest = better ? a : oldest;
-      victim = better ? w : victim;
-    }
-  }
+  const std::size_t victim =
+      invalid != 0
+          ? static_cast<std::size_t>(std::countr_zero(invalid))
+          : simd::victim_scan(ages_.data() + base, ways, usable);
   STAC_ENSURE(victim < ways);
 
   if (((vmask >> victim) & 1u) != 0)

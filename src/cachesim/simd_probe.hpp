@@ -1,0 +1,221 @@
+// SIMD kernels for the SoA cache-level hot path (DESIGN.md §10/§13):
+//
+//   probe_sweep   one pass over a set's packed key lane producing the
+//                 match mask (key == tag|valid) and the valid mask (key
+//                 sign bit) — the two bitmaps access_soa_impl branches on;
+//   victim_scan   strict-min age among the permitted ways, with excluded
+//                 ways reading as "infinitely young" (UINT32_MAX, which
+//                 renormalization guarantees no real age ever equals).
+//
+// Three ISA tiers, widest-available picked at compile time by the
+// unsuffixed wrappers: AVX2 compares 4 ways per step (_mm256_cmpeq_epi64)
+// and scans 8 ages per step, SSE2 compares 2 ways per step (the PR 4
+// sweep), scalar is the reference loop.  Every tier the compiler can
+// target is ALWAYS compiled — narrower tiers stay callable as identity
+// oracles, so an AVX2 build can assert avx2 == sse2 == scalar on the same
+// lanes (tests/cachesim/simd_probe_test.cpp, the CI -mavx2 leg).
+//
+// Contracts shared by all tiers (the SoA layout guarantees them):
+//   * a set holds at most one valid way matching the probe key, so the
+//     match mask has at most one bit set;
+//   * ages within a set are pairwise distinct (each is a fresh clock
+//     tick), so the permitted minimum is unique and any scan order finds
+//     the same victim;
+//   * victim_scan requires a non-empty permitted mask whose ways are all
+//     valid (invalid ways are claimed earlier via countr_zero).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace stac::cachesim::simd {
+
+struct ProbeMasks {
+  std::uint32_t match = 0;  ///< bit w => keys[w] == probe
+  std::uint32_t valid = 0;  ///< bit w => keys[w] has the valid (sign) bit
+};
+
+/// Reference sweep: one compare per way, no per-way branch.
+inline ProbeMasks probe_sweep_scalar(const std::uint64_t* keys,
+                                     std::size_t ways, std::uint64_t probe) {
+  ProbeMasks m;
+  for (std::size_t w = 0; w < ways; ++w) {
+    m.match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
+    m.valid |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
+  }
+  return m;
+}
+
+/// Reference victim scan: first strictly-smaller age wins (the minimum is
+/// unique, so this equals "index of min"); excluded ways read as MAX.
+inline std::size_t victim_scan_scalar(const std::uint32_t* ages,
+                                      std::size_t ways, std::uint32_t usable) {
+  std::uint32_t oldest = std::numeric_limits<std::uint32_t>::max();
+  std::size_t victim = ways;
+  for (std::size_t w = 0; w < ways; ++w) {
+    const std::uint32_t a = ((usable >> w) & 1u) != 0
+                                ? ages[w]
+                                : std::numeric_limits<std::uint32_t>::max();
+    const bool better = a < oldest;
+    oldest = better ? a : oldest;
+    victim = better ? w : victim;
+  }
+  return victim;
+}
+
+#if defined(__SSE2__)
+/// Two ways per step: 64-bit equality is two 32-bit lane compares ANDed
+/// with their pairwise swap; both masks fall out of sign-bit movemasks.
+inline ProbeMasks probe_sweep_sse2(const std::uint64_t* keys,
+                                   std::size_t ways, std::uint64_t probe) {
+  ProbeMasks m;
+  const __m128i vprobe = _mm_set1_epi64x(static_cast<long long>(probe));
+  std::size_t w = 0;
+  for (; w + 2 <= ways; w += 2) {
+    const __m128i k =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + w));
+    const __m128i eq32 = _mm_cmpeq_epi32(k, vprobe);
+    const __m128i eq64 = _mm_and_si128(
+        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    m.match |= static_cast<std::uint32_t>(
+                   _mm_movemask_pd(_mm_castsi128_pd(eq64)))
+               << w;
+    m.valid |= static_cast<std::uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(k)))
+               << w;
+  }
+  for (; w < ways; ++w) {
+    m.match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
+    m.valid |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
+  }
+  return m;
+}
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+/// Four ways per step: native 64-bit lane equality, masks from the
+/// double-lane sign movemask (cmpeq sets all bits incl. the sign; the key
+/// sign bit is the valid bit).
+inline ProbeMasks probe_sweep_avx2(const std::uint64_t* keys,
+                                   std::size_t ways, std::uint64_t probe) {
+  ProbeMasks m;
+  const __m256i vprobe = _mm256_set1_epi64x(static_cast<long long>(probe));
+  std::size_t w = 0;
+  for (; w + 4 <= ways; w += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + w));
+    const __m256i eq = _mm256_cmpeq_epi64(k, vprobe);
+    m.match |= static_cast<std::uint32_t>(
+                   _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+               << w;
+    m.valid |= static_cast<std::uint32_t>(
+                   _mm256_movemask_pd(_mm256_castsi256_pd(k)))
+               << w;
+  }
+  for (; w < ways; ++w) {
+    m.match |= static_cast<std::uint32_t>(keys[w] == probe) << w;
+    m.valid |= static_cast<std::uint32_t>(keys[w] >> 63) << w;
+  }
+  return m;
+}
+
+/// Eight ages per step: excluded lanes are blended to MAX, an unsigned
+/// vector min + horizontal reduce finds the oldest age, and — ages being
+/// pairwise distinct within a set — a cmpeq rescan locates its unique way.
+/// The scalar tail then merges ways past the last full block.
+inline std::size_t victim_scan_avx2(const std::uint32_t* ages,
+                                    std::size_t ways, std::uint32_t usable) {
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t oldest = kMax;
+  std::size_t victim = ways;
+  std::size_t w = 0;
+  if (ways >= 8) {
+    const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i all = _mm256_set1_epi32(-1);
+    const __m256i vusable = _mm256_set1_epi32(static_cast<int>(usable));
+    __m256i vmin = all;
+    for (; w + 8 <= ways; w += 8) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ages + w));
+      const __m256i shift =
+          _mm256_add_epi32(lane, _mm256_set1_epi32(static_cast<int>(w)));
+      const __m256i bit =
+          _mm256_and_si256(_mm256_srlv_epi32(vusable, shift), one);
+      const __m256i permitted = _mm256_cmpeq_epi32(bit, one);
+      vmin = _mm256_min_epu32(vmin, _mm256_blendv_epi8(all, a, permitted));
+    }
+    __m128i m = _mm_min_epu32(_mm256_castsi256_si128(vmin),
+                              _mm256_extracti128_si256(vmin, 1));
+    m = _mm_min_epu32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(1, 0, 3, 2)));
+    m = _mm_min_epu32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+    oldest = static_cast<std::uint32_t>(_mm_cvtsi128_si32(m));
+    if (oldest != kMax) {
+      // Rescan raw ages for the unique holder: distinctness means no other
+      // way — permitted or not — carries this value.
+      const __m256i vold = _mm256_set1_epi32(static_cast<int>(oldest));
+      for (std::size_t b = 0; b + 8 <= ways; b += 8) {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ages + b));
+        const auto eq = static_cast<std::uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(a, vold))));
+        if (eq != 0) {
+          victim = b + static_cast<std::size_t>(std::countr_zero(eq));
+          break;
+        }
+      }
+    }
+  }
+  for (; w < ways; ++w) {
+    const std::uint32_t a = ((usable >> w) & 1u) != 0 ? ages[w] : kMax;
+    if (a < oldest) {
+      oldest = a;
+      victim = w;
+    }
+  }
+  return victim;
+}
+#endif  // __AVX2__
+
+/// Widest tier this translation unit was compiled for ("avx2" / "sse2" /
+/// "scalar") — recorded into every BENCH_*.json meta block so results are
+/// comparable across machines.
+inline const char* isa_name() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// Widest-available dispatch used on the access hot path.
+inline ProbeMasks probe_sweep(const std::uint64_t* keys, std::size_t ways,
+                              std::uint64_t probe) {
+#if defined(__AVX2__)
+  return probe_sweep_avx2(keys, ways, probe);
+#elif defined(__SSE2__)
+  return probe_sweep_sse2(keys, ways, probe);
+#else
+  return probe_sweep_scalar(keys, ways, probe);
+#endif
+}
+
+inline std::size_t victim_scan(const std::uint32_t* ages, std::size_t ways,
+                               std::uint32_t usable) {
+#if defined(__AVX2__)
+  return victim_scan_avx2(ages, ways, usable);
+#else
+  return victim_scan_scalar(ages, ways, usable);
+#endif
+}
+
+}  // namespace stac::cachesim::simd

@@ -55,6 +55,17 @@ class RtPredictionCache {
   [[nodiscard]] std::shared_ptr<const queueing::GGkResult> simulate(
       const queueing::GGkConfig& config);
 
+  /// Batch lookup: results[i] is bit-identical to simulate(configs[i]).
+  /// All misses run through ONE simulate_ggk_batch call (shared CRN
+  /// streams, one recycled arena — DESIGN.md §13), with within-batch
+  /// duplicate keys simulated once.  Accounting: map hits and within-batch
+  /// duplicates count as hits (no simulation ran for them), distinct
+  /// simulated keys as misses.  Chaos/disabled runs bypass storage but
+  /// still batch — simulate_ggk_batch replays faults per (seed, ordinal),
+  /// so even chaos batches match the per-cell entry point bit for bit.
+  [[nodiscard]] std::vector<std::shared_ptr<const queueing::GGkResult>>
+  simulate_batch(const std::vector<queueing::GGkConfig>& configs);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

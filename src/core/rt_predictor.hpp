@@ -12,6 +12,8 @@
 //      feedback for future simulations".
 #pragma once
 
+#include <limits>
+
 #include "core/ea_model.hpp"
 #include "core/profile_library.hpp"
 #include "core/rt_prediction_cache.hpp"
@@ -92,6 +94,26 @@ class RtPredictor {
   [[nodiscard]] RtPrediction predict(
       const profiler::RuntimeCondition& condition) const;
 
+  /// Batched exploration-mode prediction: results[i] is bit-identical to
+  /// predict(conditions[i]).  The per-condition feedback loops advance in
+  /// lockstep — every iteration gathers ALL conditions' primary and
+  /// collocated G/G/k configs into one RtPredictionCache::simulate_batch
+  /// call, so the whole wave shares one simulation arena and one CRN
+  /// stream fetch per (seed, load) group (DESIGN.md §13).  This is how a
+  /// sub-10ms control epoch runs the §5.2 sweep: conditions differing only
+  /// in timeout collapse onto shared streams and memoized cells.
+  [[nodiscard]] std::vector<RtPrediction> predict_batch(
+      const std::vector<profiler::RuntimeCondition>& conditions) const;
+
+  /// Which ladder rung answers for `condition` right now: one EA query
+  /// seeded with the same initial dynamics predict() starts from — no
+  /// simulation, no feedback loop.  The serving controller's health check
+  /// (DESIGN.md §13): rung availability is model state, not query state,
+  /// so this equals predict(condition).rung whenever availability is
+  /// stable across one prediction's EA queries.
+  [[nodiscard]] DegradationRung probe_rung(
+      const profiler::RuntimeCondition& condition) const;
+
   /// Measurement-mode prediction for a profiled condition (the Fig. 6
   /// protocol): the profile's own counter image and dynamic conditions are
   /// model *inputs* — the paper only forbids using the observed profile
@@ -114,8 +136,14 @@ class RtPredictor {
     double ea = 0.0;
     DegradationRung rung = DegradationRung::kPrimaryModel;
   };
-  [[nodiscard]] EaQuery ea_for(const profiler::RuntimeCondition& condition,
-                               const std::vector<double>& dynamics) const;
+  /// `neighbor_cap` bounds the library neighbours averaged on the learned
+  /// rungs (probe_rung passes 1 — the rung does not depend on the average;
+  /// predictions use the config value).
+  [[nodiscard]] EaQuery ea_for(
+      const profiler::RuntimeCondition& condition,
+      const std::vector<double>& dynamics,
+      std::size_t neighbor_cap =
+          std::numeric_limits<std::size_t>::max()) const;
   /// Rung-2 EA: average ea_boost over the library's nearest profiles.
   [[nodiscard]] double neighbor_ea(
       const profiler::RuntimeCondition& condition) const;

@@ -365,8 +365,15 @@ std::shared_ptr<const PredrawnStreams> generate_streams(std::uint64_t seed,
   return s;
 }
 
+/// Streams are ~16 bytes per query; a handful of (seed, load) points are
+/// live at once during a sweep, so a small cap bounds memory and the rare
+/// overflow just starts the cache afresh.  Overridable via
+/// set_crn_stream_cache_capacity for soaks over drifting conditions.
+constexpr std::size_t kCrnCacheDefaultCap = 64;
+
 struct CrnCache {
   std::mutex mu;
+  std::size_t capacity = kCrnCacheDefaultCap;
   std::unordered_map<StreamKey, std::shared_ptr<const PredrawnStreams>,
                      StreamKeyHash>
       map;
@@ -376,11 +383,6 @@ CrnCache& crn_cache() {
   static CrnCache cache;
   return cache;
 }
-
-/// Streams are ~16 bytes per query; a handful of (seed, load) points are
-/// live at once during a sweep, so a small cap bounds memory and the rare
-/// overflow just starts the cache afresh.
-constexpr std::size_t kCrnCacheCap = 64;
 
 std::shared_ptr<const PredrawnStreams> crn_streams(std::uint64_t seed,
                                                    double lambda, double cv,
@@ -397,14 +399,21 @@ std::shared_ptr<const PredrawnStreams> crn_streams(std::uint64_t seed,
   }
   obs::MetricsRegistry::global().counter("ggk.crn_stream_misses").add();
   auto s = generate_streams(seed, lambda, cv, count);
-  std::lock_guard lock(cache.mu);
-  const auto [it, inserted] = cache.map.try_emplace(key, s);
-  if (!inserted) return it->second;  // a racer generated the same stream
-  if (cache.map.size() > kCrnCacheCap) {
-    cache.map.clear();
-    cache.map.emplace(key, s);
+  std::size_t entries = 0;
+  std::shared_ptr<const PredrawnStreams> out;
+  {
+    std::lock_guard lock(cache.mu);
+    const auto [it, inserted] = cache.map.try_emplace(key, s);
+    out = it->second;  // a racing identical insert may have won: same bits
+    if (inserted && cache.map.size() > cache.capacity) {
+      cache.map.clear();  // epoch flush, like RtPredictionCache
+      cache.map.emplace(key, out);
+    }
+    entries = cache.map.size();
   }
-  return s;
+  obs::MetricsRegistry::global().gauge("ggk.crn_stream_cache.size").set(
+      static_cast<double>(entries));
+  return out;
 }
 
 // --------------------------------------------------------------------------
@@ -432,6 +441,7 @@ class FourAryHeap {
  public:
   [[nodiscard]] bool empty() const { return h_.empty(); }
   [[nodiscard]] const CompletionEv& top() const { return h_.front(); }
+  void clear() { h_.clear(); }  // keeps capacity: batch replicas recycle it
 
   void push(const CompletionEv& e) {
     h_.push_back(e);
@@ -469,20 +479,48 @@ class FourAryHeap {
   std::vector<CompletionEv> h_;
 };
 
-GGkResult simulate_fast(const GGkConfig& config, const Derived& d) {
+struct TimeoutEv {
+  double time;
+  std::uint64_t seq;
+  std::uint32_t job;
+};
+
+/// Per-replica state arena the batch entry point recycles from cell to
+/// cell: the job table, FIFO/server pools, timeout queue and the lazy-
+/// deletion completion heap keep their capacity across replicas, so a
+/// whole sweep allocates these once (cell-major layout — one cell's state
+/// is contiguous and cache-resident while it runs, then the next cell
+/// reuses the same storage).
+struct BatchArena {
+  std::vector<Job> jobs;
+  std::vector<std::size_t> fifo_q;
+  std::vector<std::size_t> serving;
+  std::vector<TimeoutEv> timeouts;
+  FourAryHeap completions;
+};
+
+GGkResult simulate_fast(const GGkConfig& config, const Derived& d,
+                        const PredrawnStreams& streams,
+                        BatchArena* arena = nullptr) {
   const std::size_t count = d.arrival_limit + 1;  // arrival ordinals 0..limit
-  const std::shared_ptr<const PredrawnStreams> streams =
-      crn_streams(config.seed, d.lambda, config.service_cv, count);
 
   Core core(config, d);
-  core.jobs.reserve(count);
   FourAryHeap completions;
-  struct TimeoutEv {
-    double time;
-    std::uint64_t seq;
-    std::uint32_t job;
-  };
   std::vector<TimeoutEv> timeouts;
+  if (arena != nullptr) {
+    // Adopt the arena's storage (clear keeps capacity); handed back below.
+    core.jobs = std::move(arena->jobs);
+    core.fifo_q = std::move(arena->fifo_q);
+    core.serving = std::move(arena->serving);
+    timeouts = std::move(arena->timeouts);
+    completions = std::move(arena->completions);
+    core.jobs.clear();
+    core.fifo_q.clear();
+    core.serving.clear();
+    timeouts.clear();
+    completions.clear();
+  }
+  core.jobs.reserve(count);
   if (d.boosting) timeouts.reserve(count);
   std::size_t timeout_head = 0;
   std::size_t next_arrival = 0;
@@ -507,7 +545,7 @@ GGkResult simulate_fast(const GGkConfig& config, const Derived& d) {
     double t = 0.0;
     std::uint64_t s = 0;
     if (next_arrival < count) {
-      t = streams->arrival[next_arrival];
+      t = streams.arrival[next_arrival];
       s = next_arrival_seq;
       src = 0;
     }
@@ -535,7 +573,7 @@ GGkResult simulate_fast(const GGkConfig& config, const Derived& d) {
       if (k < d.arrival_limit) next_arrival_seq = seq++;  // successor arrival
       Job job;
       job.arrival = core.now;
-      job.demand = streams->demand[k];
+      job.demand = streams.demand[k];
       apply_service_fault(config, k + 1, job, core.result);
       job.remaining = job.demand;
       job.snap_time = core.now;
@@ -584,27 +622,69 @@ GGkResult simulate_fast(const GGkConfig& config, const Derived& d) {
     }
   }
   core.finish();
+  if (arena != nullptr) {
+    arena->jobs = std::move(core.jobs);
+    arena->fifo_q = std::move(core.fifo_q);
+    arena->serving = std::move(core.serving);
+    arena->timeouts = std::move(timeouts);
+    arena->completions = std::move(completions);
+  }
   return core.result;
+}
+
+/// Shared argument validation for both entry points (bit-identity demands
+/// identical rejection behaviour too).
+void validate_config(const GGkConfig& config) {
+  STAC_REQUIRE(config.utilization > 0.0 && config.utilization < 1.0);
+  STAC_REQUIRE(config.servers >= 1);
+  STAC_REQUIRE(config.mean_service > 0.0);
+  STAC_REQUIRE(config.queries > config.warmup);
 }
 
 }  // namespace
 
 void clear_crn_stream_cache() {
+  {
+    auto& cache = crn_cache();
+    std::lock_guard lock(cache.mu);
+    cache.map.clear();
+  }
+  obs::MetricsRegistry::global().gauge("ggk.crn_stream_cache.size").set(0.0);
+}
+
+void set_crn_stream_cache_capacity(std::size_t capacity) {
   auto& cache = crn_cache();
   std::lock_guard lock(cache.mu);
-  cache.map.clear();
+  cache.capacity = capacity == 0 ? 1 : capacity;
+  if (cache.map.size() > cache.capacity) cache.map.clear();
+}
+
+std::size_t crn_stream_cache_capacity() {
+  auto& cache = crn_cache();
+  std::lock_guard lock(cache.mu);
+  return cache.capacity;
+}
+
+std::size_t crn_stream_cache_size() {
+  auto& cache = crn_cache();
+  std::lock_guard lock(cache.mu);
+  return cache.map.size();
 }
 
 GGkResult simulate_ggk(const GGkConfig& config) {
   STAC_TRACE_SPAN(span, "ggk.simulate", "queueing");
-  STAC_REQUIRE(config.utilization > 0.0 && config.utilization < 1.0);
-  STAC_REQUIRE(config.servers >= 1);
-  STAC_REQUIRE(config.mean_service > 0.0);
-  STAC_REQUIRE(config.queries > config.warmup);
+  validate_config(config);
 
   const Derived d = derive(config);
-  const GGkResult result =
-      config.fast_events ? simulate_fast(config, d) : simulate_legacy(config, d);
+  GGkResult result;
+  if (config.fast_events) {
+    const std::size_t count = d.arrival_limit + 1;
+    const std::shared_ptr<const PredrawnStreams> streams =
+        crn_streams(config.seed, d.lambda, config.service_cv, count);
+    result = simulate_fast(config, d, *streams);
+  } else {
+    result = simulate_legacy(config, d);
+  }
 
   span.arg("utilization", config.utilization);
   span.arg("completed", static_cast<std::uint64_t>(result.completed));
@@ -614,6 +694,59 @@ GGkResult simulate_ggk(const GGkConfig& config) {
   obs::count("ggk.completed", result.completed);
   obs::count("ggk.latency_injections", result.latency_injections);
   return result;
+}
+
+std::vector<GGkResult> simulate_ggk_batch(const std::vector<GGkConfig>& configs) {
+  STAC_TRACE_SPAN(span, "ggk.simulate_batch", "queueing");
+  std::vector<GGkResult> results;
+  results.reserve(configs.size());
+  if (configs.empty()) return results;
+
+  // One arena and one per-batch stream table for the whole sweep: a grid
+  // whose cells differ only in policy resolves to a single (seed, rate,
+  // cv, count) stream fetched exactly once, and every replica recycles the
+  // same job/heap storage.
+  BatchArena arena;
+  std::unordered_map<StreamKey, std::shared_ptr<const PredrawnStreams>,
+                     StreamKeyHash>
+      batch_streams;
+  std::size_t completed_total = 0;
+  std::size_t injections_total = 0;
+  for (const GGkConfig& config : configs) {
+    validate_config(config);
+    const Derived d = derive(config);
+    if (!config.fast_events) {
+      results.push_back(simulate_legacy(config, d));
+    } else {
+      const std::size_t count = d.arrival_limit + 1;
+      const StreamKey key{config.seed, std::bit_cast<std::uint64_t>(d.lambda),
+                          std::bit_cast<std::uint64_t>(config.service_cv),
+                          count};
+      auto& slot = batch_streams[key];
+      if (!slot)
+        slot = crn_streams(config.seed, d.lambda, config.service_cv, count);
+      results.push_back(simulate_fast(config, d, *slot, &arena));
+    }
+    completed_total += results.back().completed;
+    injections_total += results.back().latency_injections;
+  }
+
+  span.arg("cells", static_cast<std::uint64_t>(configs.size()));
+  span.arg("streams", static_cast<std::uint64_t>(batch_streams.size()));
+  // Always-live (like the CRN stream counters): batch reuse is the whole
+  // point of this entry point, so tests and benches can assert on it
+  // without flipping the obs runtime gate.
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ggk.batch.runs").add();
+  registry.counter("ggk.batch.cells").add(configs.size());
+  registry.counter("ggk.batch.streams_shared")
+      .add(configs.size() >= batch_streams.size()
+               ? configs.size() - batch_streams.size()
+               : 0);
+  obs::count("ggk.runs", configs.size());
+  obs::count("ggk.completed", completed_total);
+  obs::count("ggk.latency_injections", injections_total);
+  return results;
 }
 
 }  // namespace stac::queueing

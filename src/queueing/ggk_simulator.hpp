@@ -23,6 +23,12 @@
 // Both engines process the identical event sequence and produce bit-
 // identical results (tests/queueing/ggk_fast_test.cpp sweeps the
 // adversarial corners).
+//
+// simulate_ggk_batch layers a third entry point on the fast engine for the
+// §5.2 policy sweep (DESIGN.md §13): many replicas advance through one
+// engine cell-major, with per-replica state recycled through a shared
+// arena and CRN streams fetched once per (seed, rate, cv, count) group —
+// per-cell results stay bit-identical to simulate_ggk.
 #pragma once
 
 #include <cstdint>
@@ -94,8 +100,34 @@ struct GGkResult {
 /// below its default rate (CAT masks only add fill ways).
 [[nodiscard]] GGkResult simulate_ggk(const GGkConfig& config);
 
+/// Run a whole policy-sweep worth of replicas through one engine.  The
+/// batch is processed cell-major: every replica's jobs, FIFO, server pool
+/// and lazy-deletion completion heap live in one arena that is recycled
+/// from cell to cell, so the sweep allocates once per batch instead of once
+/// per cell, and the pre-drawn CRN arrival/demand streams are fetched once
+/// per distinct (seed, rate, cv, count) group and shared by reference
+/// across every cell that differs only in policy (timeout / boost rates).
+/// Per-batch reuse is reported through the "ggk.batch.*" obs counters.
+///
+/// results[i] is bit-identical to simulate_ggk(configs[i]) — same
+/// validation, same event sequence, same chaos hooks; cells with
+/// `fast_events = false` run the legacy reference engine, exactly as the
+/// per-cell entry point would.
+[[nodiscard]] std::vector<GGkResult> simulate_ggk_batch(
+    const std::vector<GGkConfig>& configs);
+
 /// Drop every pre-drawn common-random-number stream held by the fast
-/// engine's process-wide cache (tests; bounded anyway — see .cpp).
+/// engine's process-wide cache (tests).
 void clear_crn_stream_cache();
+
+/// Bound the process-wide CRN stream cache (default 64 streams).  At
+/// capacity the whole map is flushed (epoch eviction, like the
+/// RtPredictionCache) — a controller sweeping drifting (seed, rate, cv)
+/// conditions for the process lifetime stays bounded.  Zero means
+/// capacity 1.  The live entry count is exported as the
+/// "ggk.crn_stream_cache.size" obs gauge.
+void set_crn_stream_cache_capacity(std::size_t capacity);
+[[nodiscard]] std::size_t crn_stream_cache_capacity();
+[[nodiscard]] std::size_t crn_stream_cache_size();
 
 }  // namespace stac::queueing

@@ -1,6 +1,7 @@
 #include "serve/online_controller.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 
@@ -25,7 +26,8 @@ OnlineController::OnlineController(ArrivalIngest& ingest,
                                    cat::CatController* cat)
     : ingest_(ingest), models_(models), config_(std::move(config)), cat_(cat),
       estimator_(2, config_.servers, config_.estimator),
-      batch_(std::max<std::size_t>(1, config_.drain_batch)) {
+      batch_(std::max<std::size_t>(1, config_.drain_batch)),
+      explore_memos_(config_.memo_conditions) {
   STAC_REQUIRE(config_.util_lo > 0.0 && config_.util_lo <= config_.util_hi);
   STAC_REQUIRE(config_.util_quantum >= 0.0);
   if (cat_ != nullptr) STAC_REQUIRE(cat_->workload_count() >= 2);
@@ -111,11 +113,32 @@ EpochReport OnlineController::run_epoch(double now) {
         registry.counter("serve.model_swaps_observed").add();
       }
 
-      // Staleness probe: one prediction (memoized against the sweep's own
-      // cells) reveals which ladder rung answers for this condition.
-      const core::RtPrediction probe = guard->pred().predict(cond);
-      report.probe_rung = probe.rung;
-      if (probe.rung > config_.max_planning_rung) {
+      // Staleness probe: one EA query (RtPredictor::probe_rung — no
+      // simulation, no feedback loop) reveals which ladder rung answers
+      // for this condition.  Against drift and hot-swap the memoed rung is
+      // exact — only the utilizations vary epoch to epoch (the rest of
+      // `cond` is copied from base_condition) and the version is the
+      // bundle stamp, both compared bitwise below.  The TTL bounds how
+      // long an *environmental* model failure can hide behind the memo.
+      const bool probe_reusable =
+          probe_valid_ && probe_version_ == guard->version &&
+          probe_age_ + 1 < config_.probe_ttl_epochs &&
+          std::bit_cast<std::uint64_t>(probe_util_primary_) ==
+              std::bit_cast<std::uint64_t>(cond.util_primary) &&
+          std::bit_cast<std::uint64_t>(probe_util_collocated_) ==
+              std::bit_cast<std::uint64_t>(cond.util_collocated);
+      if (probe_reusable) {
+        ++probe_age_;
+      } else {
+        probe_rung_ = guard->pred().probe_rung(cond);
+        probe_valid_ = true;
+        probe_version_ = guard->version;
+        probe_age_ = 0;
+        probe_util_primary_ = cond.util_primary;
+        probe_util_collocated_ = cond.util_collocated;
+      }
+      report.probe_rung = probe_rung_;
+      if (probe_rung_ > config_.max_planning_rung) {
         // 3b. Model too degraded to plan on: hold the last-known-good
         // vector rather than steering traffic with rung-4 guesses.
         report.stale_hold = true;
@@ -123,9 +146,22 @@ EpochReport OnlineController::run_epoch(double now) {
         registry.counter("serve.stale_holds").add();
         obs::instant("serve.stale_hold", "serve");
       } else {
-        // 4. Re-plan: the §5.2 sweep against the pinned predictor.
+        // 4. Re-plan: the §5.2 sweep against the pinned predictor.  In
+        // incremental mode the matrices memoed for this quantized
+        // condition answer every cell whose (timeout pair, model version)
+        // is unchanged — the stationary-epoch path the sub-10ms plan
+        // budget relies on.  The pool keeps one memo per recently-seen
+        // condition, so an estimate oscillating across a quantization
+        // boundary revisits warm memos instead of thrashing one.
         const core::PolicyExploration plan =
-            core::explore_policies(guard->pred(), cond, config_.explorer);
+            config_.incremental
+                ? core::explore_policies_incremental(
+                      guard->pred(), cond, config_.explorer,
+                      explore_memos_.acquire(cond), guard->version)
+                : core::explore_policies(guard->pred(), cond,
+                                         config_.explorer);
+        report.cells_simulated = plan.cells_simulated;
+        report.cells_reused = plan.cells_reused;
         const double plan_elapsed = now_seconds() - t0;
         if (config_.plan_deadline_seconds > 0.0 &&
             plan_elapsed > config_.plan_deadline_seconds) {

@@ -77,6 +77,31 @@ struct ControllerConfig {
   /// below holds the last-known-good vector (counted as a stale hold).
   core::DegradationRung max_planning_rung =
       core::DegradationRung::kNearestNeighbor;
+  /// How many consecutive epochs one staleness probe may answer for.  The
+  /// probed rung is a pure function of (condition, bundle version) — both
+  /// re-checked every epoch — so reuse is sound against drift and hot-swap;
+  /// what a longer TTL trades away is detection latency for *environmental*
+  /// model failure (the chaos-drill scenario), which only a fresh predict
+  /// can see.  1 = probe every epoch (detect within one epoch, the
+  /// conservative default); raise it to take EA inference off stationary
+  /// epochs' plan path (DESIGN.md §13) at the cost of up to TTL-1 epochs of
+  /// undetected degradation.
+  std::uint64_t probe_ttl_epochs = 1;
+  /// Incremental re-planning (DESIGN.md §13): keep the previous epoch's
+  /// prediction matrices in an ExplorationMemo and re-simulate only grid
+  /// cells the memo cannot answer — on stationary traffic (same quantized
+  /// condition, same model version) an epoch's sweep touches zero cells
+  /// and planning drops to matrix reads + selection.  Selections are
+  /// bit-identical to a full sweep; the memo invalidates itself on any
+  /// condition drift or model hot-swap.  false = full sweep every epoch.
+  bool incremental = true;
+  /// Distinct quantized conditions memoized at once (ExplorationMemoPool
+  /// capacity, min 1).  A utilization estimate hovering at a quantization
+  /// boundary flips the planned condition between adjacent cells
+  /// indefinitely; with a single memo every flip is a full sweep, while a
+  /// small pool keeps each recurring condition's matrices warm.  Memory is
+  /// `memo_conditions` pairs of grid x grid matrices.
+  std::size_t memo_conditions = 4;
   /// Planning deadline budget, seconds (0 = unlimited).  A sweep that
   /// overruns it is *discarded* — the epoch keeps the last-known-good
   /// (ladder-fallback) vector and counts a deadline miss — so a slow plan
@@ -105,6 +130,8 @@ struct EpochReport {
   double timeout_primary = 0.0;    ///< applied vector after this epoch
   double timeout_collocated = 0.0;
   double plan_seconds = 0.0;       ///< sweep + probe wall time
+  std::size_t cells_simulated = 0; ///< grid cells predicted this epoch
+  std::size_t cells_reused = 0;    ///< grid cells answered from the memo
   bool deadline_miss = false;      ///< sweep overran the budget, discarded
   bool model_unavailable_hold = false;  ///< no bundle published yet: held
   bool checkpoint_written = false;
@@ -179,6 +206,21 @@ class OnlineController {
   ConditionEstimator estimator_;
   std::vector<QueryEvent> batch_;
   std::array<std::atomic<double>, 2> timeouts_;
+  /// Prior-epoch sweep matrices for incremental re-planning, one memo per
+  /// recently-seen quantized condition (ControllerConfig::memo_conditions),
+  /// keyed on the pinned bundle's version as the generation stamp.
+  core::ExplorationMemoPool explore_memos_;
+  /// Staleness-probe memo (see ControllerConfig::probe_ttl_epochs): the
+  /// last probed rung plus the inputs it is valid for and how many epochs
+  /// it has answered.  With the sweep answered by explore_memos_, a fresh
+  /// probe's EA inference would otherwise be a stationary epoch's whole
+  /// plan cost.
+  bool probe_valid_ = false;
+  std::uint64_t probe_version_ = 0;
+  std::uint64_t probe_age_ = 0;
+  double probe_util_primary_ = 0.0;
+  double probe_util_collocated_ = 0.0;
+  core::DegradationRung probe_rung_ = core::DegradationRung::kPrimaryModel;
   std::uint64_t last_model_version_ = 0;
   Totals totals_;
 };

@@ -1,0 +1,180 @@
+// Batch entry point vs per-cell simulate_ggk: one arena, shared CRN
+// streams, and — the contract everything above it leans on — bit-identical
+// per-cell results, including mixed fast/legacy cells and chaos runs.
+// Also pins the CRN stream cache's capacity knob and growth bound.
+#include "queueing/ggk_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/fault_injection.hpp"
+#include "obs/metrics.hpp"
+
+namespace stac::queueing {
+namespace {
+
+void expect_bit_identical(const GGkResult& a, const GGkResult& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.boosted_queries, b.boosted_queries);
+  EXPECT_EQ(a.cos_switches, b.cos_switches);
+  EXPECT_EQ(a.residual_boost_refs, b.residual_boost_refs);
+  EXPECT_EQ(a.residual_overdue_jobs, b.residual_overdue_jobs);
+  EXPECT_EQ(a.negative_sojourns, b.negative_sojourns);
+  EXPECT_EQ(a.latency_injections, b.latency_injections);
+  EXPECT_EQ(a.mean_queue_delay, b.mean_queue_delay);
+  const auto as = a.response_times.samples();
+  const auto bs = b.response_times.samples();
+  ASSERT_EQ(as.size(), bs.size());
+  for (std::size_t i = 0; i < as.size(); ++i)
+    ASSERT_EQ(as[i], bs[i]) << "response sample " << i << " diverges";
+  const auto aq = a.queue_delays.samples();
+  const auto bq = b.queue_delays.samples();
+  ASSERT_EQ(aq.size(), bq.size());
+  for (std::size_t i = 0; i < aq.size(); ++i)
+    ASSERT_EQ(aq[i], bq[i]) << "queue-delay sample " << i << " diverges";
+}
+
+/// The §5.2 shape: one (seed, load) stream replayed across a timeout grid,
+/// with a couple of off-grid cells (different seed / utilization / engine)
+/// mixed in so the batch cannot assume one stream fits all.
+std::vector<GGkConfig> sweep_configs() {
+  std::vector<GGkConfig> configs;
+  for (const double timeout : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    GGkConfig c;
+    c.utilization = 0.85;
+    c.servers = 2;
+    c.service_cv = 1.2;
+    c.timeout_rel = timeout;
+    c.effective_allocation = 0.6;
+    c.allocation_ratio = 3.0;
+    c.queries = 1200;
+    c.warmup = 100;
+    c.seed = 31;
+    configs.push_back(c);
+  }
+  GGkConfig other = configs.front();
+  other.seed = 77;  // second stream group
+  configs.push_back(other);
+  other.utilization = 0.5;  // third group (lambda differs)
+  configs.push_back(other);
+  GGkConfig legacy = configs.front();
+  legacy.fast_events = false;  // reference engine routed per cell
+  configs.push_back(legacy);
+  return configs;
+}
+
+TEST(GGkBatch, BitIdenticalToPerCellSimulation) {
+  const auto configs = sweep_configs();
+  clear_crn_stream_cache();
+  const std::vector<GGkResult> batch = simulate_ggk_batch(configs);
+  ASSERT_EQ(batch.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const GGkResult solo = simulate_ggk(configs[i]);
+    expect_bit_identical(solo, batch[i], "cell " + std::to_string(i));
+  }
+}
+
+TEST(GGkBatch, EmptyBatchIsEmpty) {
+  EXPECT_TRUE(simulate_ggk_batch({}).empty());
+}
+
+TEST(GGkBatch, SharesOneStreamAcrossTimeoutGrid) {
+  // Five cells differing only in timeout consume one pre-drawn stream:
+  // exactly one miss against a cold cache, and the batch reports four
+  // shared fetches.
+  clear_crn_stream_cache();
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t misses_before =
+      registry.counter("ggk.crn_stream_misses").value();
+  const std::uint64_t shared_before =
+      registry.counter("ggk.batch.streams_shared").value();
+
+  std::vector<GGkConfig> configs;
+  for (const double timeout : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    GGkConfig c;
+    c.utilization = 0.7;
+    c.timeout_rel = timeout;
+    c.allocation_ratio = 2.0;
+    c.effective_allocation = 0.8;
+    c.queries = 800;
+    c.warmup = 80;
+    c.seed = 404;
+    configs.push_back(c);
+  }
+  (void)simulate_ggk_batch(configs);
+  EXPECT_EQ(registry.counter("ggk.crn_stream_misses").value() - misses_before,
+            1u);
+  EXPECT_EQ(
+      registry.counter("ggk.batch.streams_shared").value() - shared_before,
+      4u);
+}
+
+TEST(GGkBatch, BitIdenticalUnderServiceChaos) {
+  // Injected latency spikes are keyed on (seed, arrival ordinal), so the
+  // batch hits exactly the faults the per-cell runs hit.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.add({.point = "ggk.service",
+            .action = FaultAction::kLatency,
+            .probability = 0.25,
+            .latency = 1.5});
+  auto configs = sweep_configs();
+  configs.resize(3);
+
+  FaultScope scope(plan);
+  const std::vector<GGkResult> batch = simulate_ggk_batch(configs);
+  std::vector<GGkResult> solo;
+  for (const GGkConfig& c : configs) solo.push_back(simulate_ggk(c));
+  scope.disarm();
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_bit_identical(solo[i], batch[i], "chaos cell " + std::to_string(i));
+    EXPECT_GT(batch[i].latency_injections, 0u);
+  }
+}
+
+TEST(GGkBatch, RejectsInvalidCellLikePerCell) {
+  std::vector<GGkConfig> configs = sweep_configs();
+  configs[1].utilization = 1.5;
+  EXPECT_THROW((void)simulate_ggk_batch(configs), ContractViolation);
+}
+
+TEST(CrnStreamCache, CapacityKnobBoundsGrowth) {
+  const std::size_t restore = crn_stream_cache_capacity();
+  clear_crn_stream_cache();
+  set_crn_stream_cache_capacity(4);
+  EXPECT_EQ(crn_stream_cache_capacity(), 4u);
+
+  // Drifting conditions: every simulation keys a fresh (seed) stream.  The
+  // cache must flush at capacity instead of growing for the process
+  // lifetime, and the size gauge must track the live entry count.
+  GGkConfig c;
+  c.utilization = 0.6;
+  c.queries = 400;
+  c.warmup = 40;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    c.seed = 1000 + seed;
+    (void)simulate_ggk(c);
+    EXPECT_LE(crn_stream_cache_size(), 4u);
+  }
+  EXPECT_EQ(
+      static_cast<std::size_t>(obs::MetricsRegistry::global()
+                                   .gauge("ggk.crn_stream_cache.size")
+                                   .value()),
+      crn_stream_cache_size());
+
+  // Shrinking below the live count flushes immediately; zero clamps to 1.
+  set_crn_stream_cache_capacity(0);
+  EXPECT_EQ(crn_stream_cache_capacity(), 1u);
+  c.seed = 9999;
+  (void)simulate_ggk(c);
+  EXPECT_EQ(crn_stream_cache_size(), 1u);
+
+  set_crn_stream_cache_capacity(restore);
+  clear_crn_stream_cache();
+}
+
+}  // namespace
+}  // namespace stac::queueing

@@ -164,6 +164,78 @@ TEST_F(OnlineControllerTest, StationaryTrafficMatchesOfflineRecommend) {
   EXPECT_EQ(ctrl.totals().replans, 2u);
 }
 
+TEST_F(OnlineControllerTest, IncrementalPlanningReusesStationaryEpochs) {
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap(
+      build_serving_model(*mgr_, tiny_options(), 1));
+  ControllerConfig cfg = controller_config();  // incremental = true default
+  const std::size_t cells = cfg.explorer.grid.size() * cfg.explorer.grid.size();
+  OnlineController ctrl(ring, snap, cfg);
+
+  // Epoch 1: cold memo, full sweep.
+  feed_stationary(ring, 0.0, 60.0);
+  const EpochReport first = ctrl.run_epoch(60.0);
+  ASSERT_TRUE(first.replanned);
+  EXPECT_EQ(first.cells_simulated, cells);
+  EXPECT_EQ(first.cells_reused, 0u);
+
+  // Epoch 2: same quantized condition, same model version — the memo
+  // answers the whole grid and the selection is unchanged.
+  feed_stationary(ring, 60.0, 120.0);
+  const EpochReport second = ctrl.run_epoch(120.0);
+  ASSERT_TRUE(second.replanned);
+  EXPECT_EQ(second.cells_simulated, 0u);
+  EXPECT_EQ(second.cells_reused, cells);
+  EXPECT_EQ(second.timeout_primary, first.timeout_primary);
+  EXPECT_EQ(second.timeout_collocated, first.timeout_collocated);
+
+  // Model hot-swap: the version is the memo's generation stamp, so the
+  // next epoch re-simulates everything rather than planning on stale
+  // predictions.
+  snap.publish(build_serving_model(*mgr_, tiny_options(), 2));
+  feed_stationary(ring, 120.0, 180.0);
+  const EpochReport swapped = ctrl.run_epoch(180.0);
+  ASSERT_TRUE(swapped.replanned);
+  EXPECT_EQ(swapped.model_version, 2u);
+  EXPECT_EQ(swapped.cells_simulated, cells);
+  EXPECT_EQ(swapped.cells_reused, 0u);
+  // Identical training data: the refit model selects the same vector.
+  EXPECT_EQ(swapped.timeout_primary, first.timeout_primary);
+}
+
+TEST_F(OnlineControllerTest, ProbeTtlBoundsChaosDetectionLatency) {
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap(
+      build_serving_model(*mgr_, tiny_options(), 1));
+  ControllerConfig cfg = controller_config();
+  cfg.max_planning_rung = core::DegradationRung::kLinearFallback;
+  cfg.probe_ttl_epochs = 3;  // one probe answers at most 3 epochs
+  OnlineController ctrl(ring, snap, cfg);
+
+  feed_stationary(ring, 0.0, 60.0);
+  ASSERT_TRUE(ctrl.run_epoch(60.0).replanned);
+
+  // EA predictions now fault.  Epochs 2-3 ride the memoed healthy rung
+  // (stationary condition, same bundle, TTL not yet expired); epoch 4's
+  // fresh probe sees the failure and holds.
+  FaultPlan plan;
+  plan.add({.point = "model.predict",
+            .action = FaultAction::kThrow,
+            .probability = 1.0});
+  FaultScope scope(plan);
+  for (const double t1 : {120.0, 180.0}) {
+    feed_stationary(ring, t1 - 60.0, t1);
+    const EpochReport r = ctrl.run_epoch(t1);
+    EXPECT_TRUE(r.replanned);
+    EXPECT_FALSE(r.stale_hold);
+  }
+  feed_stationary(ring, 180.0, 240.0);
+  const EpochReport detected = ctrl.run_epoch(240.0);
+  EXPECT_TRUE(detected.stale_hold);
+  EXPECT_FALSE(detected.replanned);
+  EXPECT_GT(detected.probe_rung, cfg.max_planning_rung);
+}
+
 TEST_F(OnlineControllerTest, DegradedModelHoldsLastKnownGoodVector) {
   ArrivalIngest ring(1 << 12);
   ModelSnapshot<ServingModel> snap(
