@@ -20,9 +20,14 @@
 //   overload          — 5x offered load against a small ring with admission
 //                       control and a plan deadline budget, gated on plan
 //                       p99 within the budget (shed fraction recorded; the
-//                       admission gauges land in obs_metrics).
+//                       admission gauges land in obs_metrics);
+//   fleet_identity    — PR-8 acceptance gate: a 1-shard FleetCoordinator and
+//                       a standalone OnlineController replay the same
+//                       traffic and must make bit-identical timeout
+//                       selections every epoch.
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <thread>
@@ -30,6 +35,7 @@
 
 #include "bench_util.hpp"
 #include "cachesim/simd_probe.hpp"
+#include "fleet/fleet_coordinator.hpp"
 #include "obs/trace.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/online_controller.hpp"
@@ -203,12 +209,15 @@ JsonObject bench_control_epoch(const BenchArgs& args,
     if (k >= warmup) steady_cells_simulated += r.cells_simulated;
   }
 
+  // percentile_or everywhere a latency set could be empty (a section run
+  // with every epoch in warmup, or a fleet shard with zero completions in
+  // the merge window): the record carries a 0.0, never a throw or a NaN.
   SampleStats warm{std::vector<double>(warmup_seconds)};
   SampleStats plan{std::vector<double>(plan_seconds)};
   SampleStats epoch{std::vector<double>(epoch_seconds)};
   const auto guard = models.acquire();
   const auto cache = guard->pred().cache_stats();
-  const double plan_p99 = plan.percentile(0.99);
+  const double plan_p99 = plan.percentile_or(0.99, 0.0);
 
   JsonObject out;
   out.set("epochs", epochs);
@@ -216,11 +225,11 @@ JsonObject bench_control_epoch(const BenchArgs& args,
   out.set("replans", static_cast<std::size_t>(replans));
   out.set("events_drained",
           static_cast<std::size_t>(controller.totals().events_drained));
-  out.set("warmup_plan_p50_seconds", warm.median());
-  out.set("plan_p50_seconds", plan.median());
+  out.set("warmup_plan_p50_seconds", warm.percentile_or(0.5, 0.0));
+  out.set("plan_p50_seconds", plan.percentile_or(0.5, 0.0));
   out.set("plan_p99_seconds", plan_p99);
-  out.set("epoch_p50_seconds", epoch.median());
-  out.set("epoch_p99_seconds", epoch.percentile(0.99));
+  out.set("epoch_p50_seconds", epoch.percentile_or(0.5, 0.0));
+  out.set("epoch_p99_seconds", epoch.percentile_or(0.99, 0.0));
   out.set("cells_simulated", static_cast<std::size_t>(cells_simulated));
   out.set("cells_reused", static_cast<std::size_t>(cells_reused));
   out.set("steady_cells_simulated",
@@ -230,7 +239,8 @@ JsonObject bench_control_epoch(const BenchArgs& args,
   std::printf("  control epoch: warmup plan p50 %.1f ms; steady plan p50 "
               "%.2f ms, p99 %.2f ms over %zu epochs (%llu replans, %llu "
               "cells simulated / %llu reused, rt_cache hit rate %.2f)\n",
-              warm.median() * 1e3, plan.median() * 1e3, plan_p99 * 1e3,
+              warm.percentile_or(0.5, 0.0) * 1e3,
+              plan.percentile_or(0.5, 0.0) * 1e3, plan_p99 * 1e3,
               epochs, static_cast<unsigned long long>(replans),
               static_cast<unsigned long long>(cells_simulated),
               static_cast<unsigned long long>(cells_reused),
@@ -349,10 +359,11 @@ JsonObject bench_recovery_time(const BenchArgs& args,
   serve::ModelSnapshot<serve::ServingModel> models2;
   serve::OnlineController restarted(ring, models2, cfg);
   Stopwatch recover_clock;
-  restarted.recover(*loaded.checkpoint, t_crash);
+  const bool recover_restored =
+      restarted.recover(*loaded.checkpoint, t_crash).restored;
   const double recover_s = recover_clock.seconds();
   const bool vector_matches =
-      restarted.timeout(0) == warm.timeout(0) &&
+      recover_restored && restarted.timeout(0) == warm.timeout(0) &&
       restarted.timeout(1) == warm.timeout(1);
 
   replay.rebind_controller(&restarted);
@@ -370,10 +381,10 @@ JsonObject bench_recovery_time(const BenchArgs& args,
   JsonObject out;
   out.set("checkpoint_bytes",
           static_cast<std::size_t>(std::filesystem::file_size(path)));
-  out.set("save_p50_seconds", save.median());
-  out.set("save_p99_seconds", save.percentile(0.99));
-  out.set("load_p50_seconds", load.median());
-  out.set("load_p99_seconds", load.percentile(0.99));
+  out.set("save_p50_seconds", save.percentile_or(0.5, 0.0));
+  out.set("save_p99_seconds", save.percentile_or(0.99, 0.0));
+  out.set("load_p50_seconds", load.percentile_or(0.5, 0.0));
+  out.set("load_p99_seconds", load.percentile_or(0.99, 0.0));
   out.set("recover_seconds", recover_s);
   out.set("epochs_to_first_replan",
           static_cast<std::size_t>(epochs_to_replan));
@@ -382,7 +393,8 @@ JsonObject bench_recovery_time(const BenchArgs& args,
                                epochs_to_replan <= 3);
   std::printf("  recovery: save p50 %.2f ms, load p50 %.2f ms, recover "
               "%.2f ms, replan after %llu epoch(s), vector_matches=%s\n",
-              save.median() * 1e3, load.median() * 1e3, recover_s * 1e3,
+              save.percentile_or(0.5, 0.0) * 1e3,
+              load.percentile_or(0.5, 0.0) * 1e3, recover_s * 1e3,
               static_cast<unsigned long long>(epochs_to_replan),
               vector_matches ? "true" : "false");
   return out;
@@ -462,7 +474,7 @@ JsonObject bench_overload(const BenchArgs& args, const core::StacManager& mgr,
   }
 
   SampleStats plan{std::vector<double>(plan_seconds)};
-  const double plan_p99 = plan.percentile(0.99);
+  const double plan_p99 = plan.percentile_or(0.99, 0.0);
   const double warmup_max =
       *std::max_element(warmup_seconds.begin(), warmup_seconds.end());
   const double shed_fraction = admission.shed_fraction();
@@ -492,6 +504,85 @@ JsonObject bench_overload(const BenchArgs& args, const core::StacManager& mgr,
               static_cast<unsigned long long>(
                   controller.totals().deadline_misses),
               static_cast<unsigned long long>(ring.dropped()));
+  return out;
+}
+
+/// Section 6: the fleet-of-one identity gate.  A 1-shard FleetCoordinator
+/// configured like the standalone controller, both replaying the same
+/// seeded traffic, must apply bit-identical timeout vectors every epoch —
+/// the refactor that shares EpochPlanner between the two is only correct
+/// if the fleet layer adds exactly nothing at N=1.
+JsonObject bench_fleet_identity(const BenchArgs& args,
+                                const core::StacManager& mgr,
+                                const core::StacOptions& opts) {
+  const serve::ControllerConfig solo_cfg = controller_config(opts);
+  serve::ArrivalIngest ring(1 << 16);
+  serve::ModelSnapshot<serve::ServingModel> solo_models(
+      serve::build_serving_model(mgr, opts, 1));
+  serve::OnlineController solo(ring, solo_models, solo_cfg);
+
+  fleet::FleetConfig fleet_cfg;
+  fleet_cfg.shards = 1;
+  fleet_cfg.shard.servers = solo_cfg.servers;
+  fleet_cfg.shard.drain_batch = solo_cfg.drain_batch;
+  fleet_cfg.shard.estimator = solo_cfg.estimator;
+  fleet_cfg.planner.base_condition = solo_cfg.base_condition;
+  fleet_cfg.planner.explorer = solo_cfg.explorer;
+  fleet_cfg.planner.util_quantum = solo_cfg.util_quantum;
+  fleet_cfg.planner.util_lo = solo_cfg.util_lo;
+  fleet_cfg.planner.util_hi = solo_cfg.util_hi;
+  fleet_cfg.planner.probe_ttl_epochs = solo_cfg.probe_ttl_epochs;
+  fleet_cfg.planner.incremental = solo_cfg.incremental;
+  fleet_cfg.planner.memo_conditions = solo_cfg.memo_conditions;
+  serve::ModelSnapshot<serve::ServingModel> fleet_models(
+      serve::build_serving_model(mgr, opts, 1));
+  fleet::FleetCoordinator fleet(fleet_models, fleet_cfg);
+
+  serve::ReplayConfig traffic;
+  traffic.workloads = {{.mean_service = 0.05, .servers = 2, .base_util = 0.6},
+                       {.mean_service = 0.05, .servers = 2, .base_util = 0.6}};
+  traffic.seed = args.seed + 11;
+  serve::TrafficReplay solo_replay(ring, &solo, traffic);
+  serve::TrafficReplay fleet_replay(fleet.shard(0).ingest(), &fleet.shard(0),
+                                    traffic);
+
+  const auto bits_equal = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  const std::size_t epochs = args.fast ? 20 : 60;
+  const double interval = 2.0;
+  std::size_t identical_epochs = 0;
+  std::uint64_t replans = 0;
+  for (std::size_t k = 0; k < epochs; ++k) {
+    const double t0 = static_cast<double>(k) * interval;
+    (void)solo_replay.generate(t0, t0 + interval);
+    (void)fleet_replay.generate(t0, t0 + interval);
+    const serve::EpochReport a = solo.run_epoch(t0 + interval);
+    const fleet::FleetEpochReport b = fleet.run_epoch(t0 + interval);
+    const bool same =
+        a.replanned == b.replanned && a.warm == b.warm &&
+        a.cells_simulated == b.cells_simulated &&
+        a.cells_reused == b.cells_reused &&
+        bits_equal(solo.timeout(0), fleet.shard(0).timeout(0)) &&
+        bits_equal(solo.timeout(1), fleet.shard(0).timeout(1));
+    if (same) ++identical_epochs;
+    if (a.replanned) ++replans;
+  }
+
+  const bool identity = identical_epochs == epochs && replans > 0 &&
+                        solo.totals().replans == fleet.totals().replans;
+  JsonObject out;
+  out.set("epochs", epochs);
+  out.set("identical_epochs", identical_epochs);
+  out.set("replans", static_cast<std::size_t>(replans));
+  out.set("events",
+          static_cast<std::size_t>(fleet.totals().events_drained));
+  out.set("fleet_identity_gate", identity);
+  std::printf("  fleet identity: %zu/%zu epochs bit-identical over %llu "
+              "replans, gate=%s\n",
+              identical_epochs, epochs,
+              static_cast<unsigned long long>(replans),
+              identity ? "true" : "false");
   return out;
 }
 
@@ -537,6 +628,9 @@ int main(int argc, char** argv) {
 
   std::printf("overload with admission control\n");
   record.set("overload", bench_overload(args, mgr, opts));
+
+  std::printf("fleet-of-one identity\n");
+  record.set("fleet_identity", bench_fleet_identity(args, mgr, opts));
 
   write_bench_section(args.json_path, "bench_serve", record);
   return 0;

@@ -228,7 +228,12 @@ int main(int argc, char** argv) {
     // last-known-good vector while the refit happens behind it.
     serve::ModelSnapshot<serve::ServingModel> models2;
     serve::OnlineController controller2(ingest, models2, cfg, &cat);
-    controller2.recover(*loaded.checkpoint, crash_sim_time);
+    const serve::RecoveryReport rec =
+        controller2.recover(*loaded.checkpoint, crash_sim_time);
+    if (!rec.restored) {
+      std::cout << "  [recovery] checkpoint quarantined: " << rec.reason
+                << "\n";
+    }
     replay.rebind_controller(&controller2);
     std::cout << "  [recovery] serving recovered vector ("
               << controller2.timeout(0) << ", " << controller2.timeout(1)

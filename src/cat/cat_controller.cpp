@@ -86,6 +86,17 @@ void CatController::reset_boost(std::size_t w) {
   }
 }
 
+std::size_t CatController::release_all_boosts() {
+  std::size_t released = 0;
+  for (std::size_t w = 0; w < staps_.size(); ++w) {
+    while (is_boosted(w)) {
+      unboost(w);
+      ++released;
+    }
+  }
+  return released;
+}
+
 std::size_t CatController::poll_watchdog(double now) {
   if (resilience_.max_boost_lease <= 0.0) return 0;
   std::size_t revoked = 0;

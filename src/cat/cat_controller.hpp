@@ -84,6 +84,12 @@ class CatController {
   void unboost(std::size_t w);
   /// Force-revert regardless of refcount (experiment teardown).
   void reset_boost(std::size_t w);
+  /// Drain every outstanding boost reference on every workload via the
+  /// counted unboost path (refcounts reach zero, classes revert to their
+  /// default COS).  Returns the number of references released.  The
+  /// reconciliation primitive for control-plane restarts and fleet shard
+  /// leave: grants whose proxies no longer exist must not outlive them.
+  std::size_t release_all_boosts();
 
   /// Grant watchdog: force-revoke every boost whose lease started more than
   /// max_boost_lease clock units before `now`.  Returns the number revoked.

@@ -1,0 +1,44 @@
+#include "core/condition_merge.hpp"
+
+#include "common/check.hpp"
+
+namespace stac::core {
+
+MergedWorkloadEstimate merge_moments(std::span<const WorkloadMoments> shards,
+                                     std::size_t servers_total,
+                                     std::size_t min_completions) {
+  STAC_REQUIRE(servers_total > 0);
+  MergedWorkloadEstimate out;
+  StreamingStats service;
+  StreamingStats queue;
+  std::uint64_t boosted = 0;
+  for (const WorkloadMoments& m : shards) {
+    out.arrivals += m.arrivals;
+    out.completions += m.completions;
+    out.timeouts += m.timeouts;
+    boosted += m.boosted;
+    // Rates add: each shard's rate is over its own observed span, and the
+    // fleet's offered stream is the union of the shards' streams.  For a
+    // single shard 0.0 + r == r exactly — the N=1 bit identity.
+    out.arrival_rate += m.arrival_rate;
+    // Parallel Welford (StreamingStats::merge): merging into an empty
+    // accumulator copies the shard's state verbatim.
+    service.merge(m.service);
+    queue.merge(m.queue);
+  }
+  // Derived fields use the exact expression shapes of
+  // ConditionEstimator::estimate so an N=1 merge matches it bitwise.
+  out.mean_service = service.mean();
+  out.service_cv = service.cv();
+  out.mean_queue_delay = queue.mean();
+  out.boost_fraction =
+      out.completions > 0
+          ? static_cast<double>(boosted) / static_cast<double>(out.completions)
+          : 0.0;
+  out.utilization = out.arrival_rate * out.mean_service /
+                    static_cast<double>(servers_total);
+  out.warm = out.completions >= min_completions;
+  return out;
+}
+
+}  // namespace stac::core

@@ -1,0 +1,68 @@
+// Fleet-wide condition aggregation: count-weighted moment merge.
+//
+// Each node shard estimates its workloads from its own event stream
+// (serve::ConditionEstimator).  The fleet coordinator plans ONE global
+// timeout vector, so it needs the conditions the whole fleet offers — the
+// total arrival rate against the total capacity, and the service-time
+// moments over every shard's window pooled together.  Per-shard windows
+// export mergeable moments (counts + Welford mean/M2 via StreamingStats)
+// and this merge combines them with the standard parallel-Welford (Chan)
+// update, which StreamingStats::merge implements.
+//
+// Identities the fleet tests and the bench gate pin:
+//   * N=1: merging a single shard's moments reproduces that shard's
+//     WorkloadEstimate bit-for-bit (StreamingStats::merge copies into an
+//     empty accumulator verbatim, and every derived expression below uses
+//     the same operation order as ConditionEstimator::estimate) — the
+//     fleet-of-one == standalone-controller identity;
+//   * N=k: counts are exact sums, the merged mean is the count-weighted
+//     mean, and utilization is total rate x merged mean service over the
+//     fleet's total server count — so a shard leaving simply renormalizes
+//     the offered load onto the remaining capacity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/stats.hpp"
+
+namespace stac::core {
+
+/// One workload's window moments on one shard, in mergeable form: event
+/// counts, the observed-span arrival rate, and the completion-window
+/// service/queue moments as Welford accumulators.
+struct WorkloadMoments {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t boosted = 0;     ///< boosted completions in the window
+  double span = 0.0;             ///< observed-span divisor behind arrival_rate
+  double arrival_rate = 0.0;     ///< arrivals / span on this shard
+  StreamingStats service;        ///< completion service durations
+  StreamingStats queue;          ///< completion queueing delays
+};
+
+/// The fleet-level estimate for one workload (the merge of every active
+/// shard's WorkloadMoments).  Field meanings match serve::WorkloadEstimate.
+struct MergedWorkloadEstimate {
+  double arrival_rate = 0.0;     ///< sum of per-shard rates
+  double mean_service = 0.0;
+  double service_cv = 0.0;
+  double mean_queue_delay = 0.0;
+  double boost_fraction = 0.0;
+  double utilization = 0.0;      ///< rate x mean_service / servers_total
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t timeouts = 0;
+  bool warm = false;             ///< pooled completions >= min_completions
+};
+
+/// Count-weighted merge of per-shard moments for one workload.
+/// `servers_total` is the fleet's capacity for this workload (servers per
+/// shard x active shards); `min_completions` is the pooled warmth bar.
+/// An empty span yields a cold all-zero estimate (never NaN).
+[[nodiscard]] MergedWorkloadEstimate merge_moments(
+    std::span<const WorkloadMoments> shards, std::size_t servers_total,
+    std::size_t min_completions);
+
+}  // namespace stac::core

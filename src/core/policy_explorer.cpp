@@ -230,7 +230,17 @@ PolicyExploration explore_policies_incremental(const RtPredictor& predictor,
   // cell's (grid_i, grid_j) pair exists in the memoed grid.  Anything else
   // — refit, drifted estimate, new grid point — re-simulates.
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
-  const bool memo_usable = memo.valid && memo.generation == generation &&
+  // Geometry guard: a memo whose matrices do not match its own grid (a
+  // partially-initialized or hand-tampered memo after a grid-config change
+  // mid-run) must never be indexed — reads past a smaller matrix would
+  // serve garbage predictions as "reused" cells.
+  const bool memo_geometry_ok =
+      memo.predicted_primary.rows() == memo.grid.size() &&
+      memo.predicted_primary.cols() == memo.grid.size() &&
+      memo.predicted_collocated.rows() == memo.grid.size() &&
+      memo.predicted_collocated.cols() == memo.grid.size();
+  const bool memo_usable = memo.valid && memo_geometry_ok &&
+                           memo.generation == generation &&
                            same_condition_modulo_timeouts(memo.condition,
                                                           condition);
   std::vector<std::size_t> memo_index(g, kNone);
@@ -285,11 +295,18 @@ PolicyExploration explore_policies_incremental(const RtPredictor& predictor,
 }
 
 ExplorationMemoPool::ExplorationMemoPool(std::size_t capacity)
-    : slots_(std::max<std::size_t>(1, capacity)) {}
+    : capacity_(capacity), slots_(std::max<std::size_t>(1, capacity)) {}
 
 ExplorationMemo& ExplorationMemoPool::acquire(
     const RuntimeCondition& condition) {
   ++tick_;
+  if (capacity_ == 0) {
+    // Memoing disabled: hand back the scratch slot reset to cold, every
+    // time.  The caller's incremental sweep then simulates every cell and
+    // whatever it writes into the memo is discarded at the next acquire.
+    slots_.front().memo = ExplorationMemo{};
+    return slots_.front().memo;
+  }
   Slot* lru = &slots_.front();
   for (Slot& slot : slots_) {
     if (slot.memo.valid &&

@@ -92,7 +92,10 @@ struct ExplorationMemo {
 /// re-checked inside explore_policies_incremental either way.
 class ExplorationMemoPool {
  public:
-  /// `capacity` = distinct conditions memoized at once (min 1).
+  /// `capacity` = distinct conditions memoized at once.  0 disables
+  /// memoing entirely: acquire() then always hands back an invalidated
+  /// scratch memo, so every sweep is a full sweep and nothing is ever
+  /// retained across epochs (no recycling, no empty-pool edge cases).
   explicit ExplorationMemoPool(std::size_t capacity = 4);
 
   /// The memo for `condition` (timeouts ignored), or the LRU slot reset to
@@ -101,13 +104,16 @@ class ExplorationMemoPool {
   [[nodiscard]] ExplorationMemo& acquire(
       const profiler::RuntimeCondition& condition);
 
-  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   struct Slot {
     ExplorationMemo memo;
     std::uint64_t last_used = 0;
   };
+  std::size_t capacity_;
+  /// One scratch slot survives even at capacity 0 so acquire() can always
+  /// return a (cold) memo by reference.
   std::vector<Slot> slots_;
   std::uint64_t tick_ = 0;
 };

@@ -1,7 +1,9 @@
 #include "core/profile_library.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "profiler/profile_io.hpp"
@@ -17,6 +19,38 @@ void ProfileLibrary::add(Profile profile) {
 
 void ProfileLibrary::add_all(std::vector<Profile> profiles) {
   for (auto& p : profiles) profiles_.push_back(std::move(p));
+}
+
+bool ProfileLibrary::same_condition(const RuntimeCondition& a,
+                                    const RuntimeCondition& b) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  return a.primary == b.primary && a.collocated == b.collocated &&
+         bits(a.util_primary) == bits(b.util_primary) &&
+         bits(a.util_collocated) == bits(b.util_collocated) &&
+         bits(a.timeout_primary) == bits(b.timeout_primary) &&
+         bits(a.timeout_collocated) == bits(b.timeout_collocated) &&
+         bits(a.sampling_rel) == bits(b.sampling_rel) &&
+         bits(a.mix_primary) == bits(b.mix_primary) &&
+         bits(a.mix_collocated) == bits(b.mix_collocated) &&
+         bits(a.churn) == bits(b.churn) && a.seed == b.seed;
+}
+
+ProfileLibrary::MergeStats ProfileLibrary::merge_from(
+    const ProfileLibrary& other) {
+  MergeStats stats;
+  for (const Profile& incoming : other.profiles_) {
+    const bool duplicate =
+        std::any_of(profiles_.begin(), profiles_.end(), [&](const Profile& p) {
+          return same_condition(p.condition, incoming.condition);
+        });
+    if (duplicate) {
+      ++stats.duplicates;
+    } else {
+      profiles_.push_back(incoming);
+      ++stats.added;
+    }
+  }
+  return stats;
 }
 
 ProfileLibrary::FileLoadStats ProfileLibrary::load_file(

@@ -21,6 +21,26 @@ class ProfileLibrary {
   void add(profiler::Profile profile);
   void add_all(std::vector<profiler::Profile> profiles);
 
+  /// Outcome of merge_from(): profiles copied in vs. skipped as duplicates.
+  struct MergeStats {
+    std::size_t added = 0;
+    std::size_t duplicates = 0;
+  };
+
+  /// Cross-node library merge: copy every profile from `other` whose exact
+  /// condition (all fields, bitwise) this library does not already hold.
+  /// One shard's calibration thereby warms the whole fleet — merged
+  /// libraries feed background refits, never the live planning path
+  /// directly.  Deterministic: iterates `other` in order, so two nodes
+  /// merging the same sequence of libraries converge to the same contents.
+  MergeStats merge_from(const ProfileLibrary& other);
+
+  /// Bitwise condition equality (every field, timeouts included) — the
+  /// duplicate test merge_from() uses.
+  [[nodiscard]] static bool same_condition(
+      const profiler::RuntimeCondition& a,
+      const profiler::RuntimeCondition& b);
+
   /// Outcome of load_file(): what made it in, what was quarantined.
   struct FileLoadStats {
     std::size_t profiles_loaded = 0;

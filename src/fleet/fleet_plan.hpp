@@ -1,0 +1,28 @@
+// The unit the fleet control plane distributes: one globally-planned STAP
+// timeout vector, versioned and published through the same ModelSnapshot
+// RCU machinery that hot-swaps serving models.  Nodes pull the newest plan
+// asynchronously (NodeShard::refresh_plan) — a node that misses a push
+// catches up on its next refresh, and a rejoining node adopts the current
+// plan before taking traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "profiler/runtime_condition.hpp"
+
+namespace stac::fleet {
+
+struct FleetPlan {
+  /// Coordinator epoch that produced this plan (monotone per coordinator).
+  std::uint64_t epoch = 0;
+  /// Serving-model bundle version the sweep was planned against.
+  std::uint64_t model_version = 0;
+  /// The fleet-merged, quantized condition the sweep ran on.
+  profiler::RuntimeCondition planned_condition;
+  /// The selected timeout vector (always finite and non-negative — the
+  /// coordinator asserts this before publishing).
+  double timeout_primary = 0.0;
+  double timeout_collocated = 0.0;
+};
+
+}  // namespace stac::fleet

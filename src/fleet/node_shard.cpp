@@ -1,0 +1,159 @@
+#include "fleet/node_shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace stac::fleet {
+
+NodeShard::NodeShard(NodeShardConfig config, double initial_timeout_primary,
+                     double initial_timeout_collocated,
+                     cat::CatController* cat)
+    : config_(std::move(config)), cat_(cat),
+      ingest_(config_.ring_capacity),
+      estimator_(2, config_.servers, config_.estimator),
+      batch_(std::max<std::size_t>(1, config_.drain_batch)) {
+  if (cat_ != nullptr) STAC_REQUIRE(cat_->workload_count() >= 2);
+  if (config_.admission_enabled)
+    admission_.emplace(ingest_, 2, config_.admission);
+  timeouts_[0].store(initial_timeout_primary, std::memory_order_relaxed);
+  timeouts_[1].store(initial_timeout_collocated, std::memory_order_relaxed);
+}
+
+void NodeShard::mirror_to_cat(const serve::QueryEvent& event) {
+  // Same lease discipline as OnlineController: a fired STAP timeout boosts
+  // this node's class, a boosted completion releases one grant.
+  if (event.kind == serve::EventKind::kTimeout) {
+    cat_->boost(event.workload, event.time);
+  } else if (event.kind == serve::EventKind::kCompletion && event.boosted) {
+    cat_->unboost(event.workload);
+  }
+}
+
+std::size_t NodeShard::drain() {
+  std::size_t drained = 0;
+  for (;;) {
+    const std::size_t n = ingest_.drain(batch_);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      estimator_.observe(batch_[i]);
+      if (cat_ != nullptr) mirror_to_cat(batch_[i]);
+    }
+    drained += n;
+  }
+  totals_.events_drained += drained;
+  return drained;
+}
+
+void NodeShard::apply_plan(const FleetPlan& plan) {
+  // The coordinator asserts finiteness before publishing; re-check here so
+  // a plan can never reach the proxies' atomics with a NaN even if a new
+  // caller skips the coordinator.
+  STAC_REQUIRE(std::isfinite(plan.timeout_primary) &&
+               plan.timeout_primary >= 0.0);
+  STAC_REQUIRE(std::isfinite(plan.timeout_collocated) &&
+               plan.timeout_collocated >= 0.0);
+  timeouts_[0].store(plan.timeout_primary, std::memory_order_relaxed);
+  timeouts_[1].store(plan.timeout_collocated, std::memory_order_relaxed);
+  applied_plan_epoch_ = plan.epoch;
+  ++totals_.plans_applied;
+}
+
+bool NodeShard::refresh_plan(serve::ModelSnapshot<FleetPlan>& plans) {
+  auto guard = plans.acquire();
+  if (!guard || guard->epoch <= applied_plan_epoch_) return false;
+  apply_plan(*guard);
+  return true;
+}
+
+void NodeShard::note_epoch(double epoch_lag) {
+  if (admission_) admission_->note_epoch(epoch_lag);
+}
+
+std::size_t NodeShard::poll_watchdog(double now) {
+  if (cat_ == nullptr) return 0;
+  const std::size_t revoked = cat_->poll_watchdog(now);
+  totals_.watchdog_revocations += revoked;
+  return revoked;
+}
+
+void NodeShard::deactivate(double now) {
+  if (cat_ != nullptr) {
+    totals_.boosts_released_on_leave += cat_->release_all_boosts();
+    (void)cat_->poll_watchdog(now);
+  }
+  active_ = false;
+}
+
+serve::ControllerCheckpoint NodeShard::make_checkpoint(double now) const {
+  serve::ControllerCheckpoint ckpt;
+  ckpt.time = now;
+  ckpt.workloads.resize(2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    const auto est = estimator_.snapshot_workload(w);
+    serve::WorkloadCheckpoint& out = ckpt.workloads[w];
+    out.timeout = timeouts_[w].load(std::memory_order_relaxed);
+    out.ewma_queue_delay = est.ewma_queue_delay;
+    out.ewma_queue_time = est.ewma_queue_time;
+    out.ewma_queue_seeded = est.ewma_queue_seeded;
+    out.ewma_service = est.ewma_service;
+    out.ewma_service_time = est.ewma_service_time;
+    out.ewma_service_seeded = est.ewma_service_seeded;
+    out.arrivals = est.arrivals;
+    out.completions = est.completions;
+    out.timeouts = est.timeouts;
+  }
+  return ckpt;
+}
+
+serve::RecoveryReport NodeShard::restore(
+    const serve::ControllerCheckpoint& checkpoint, double now) {
+  serve::RecoveryReport report;
+  if (checkpoint.workloads.size() != 2) {
+    report.quarantined = true;
+    report.reason = "checkpoint describes " +
+                    std::to_string(checkpoint.workloads.size()) +
+                    " workloads; live shard is a primary/collocated pair";
+  } else {
+    for (std::size_t w = 0; w < 2 && !report.quarantined; ++w) {
+      const serve::WorkloadCheckpoint& in = checkpoint.workloads[w];
+      if (!std::isfinite(in.timeout) || in.timeout < 0.0) {
+        report.quarantined = true;
+        report.reason = "workload " + std::to_string(w) +
+                        " timeout is not finite and non-negative";
+      }
+    }
+  }
+  if (report.quarantined) {
+    ++totals_.restore_quarantines;
+    obs::count("fleet.shard.restore_quarantines");
+    return report;
+  }
+  for (std::size_t w = 0; w < 2; ++w) {
+    const serve::WorkloadCheckpoint& in = checkpoint.workloads[w];
+    timeouts_[w].store(in.timeout, std::memory_order_relaxed);
+    serve::ConditionEstimator::WorkloadEstimatorState est;
+    est.ewma_queue_delay = in.ewma_queue_delay;
+    est.ewma_queue_time = in.ewma_queue_time;
+    est.ewma_queue_seeded = in.ewma_queue_seeded;
+    est.ewma_service = in.ewma_service;
+    est.ewma_service_time = in.ewma_service_time;
+    est.ewma_service_seeded = in.ewma_service_seeded;
+    est.arrivals = in.arrivals;
+    est.completions = in.completions;
+    est.timeouts = in.timeouts;
+    const bool restored = estimator_.restore_workload(w, est);
+    STAC_ENSURE(restored);
+  }
+  if (cat_ != nullptr) {
+    cat_->release_all_boosts();
+    (void)cat_->poll_watchdog(now);
+  }
+  report.restored = true;
+  return report;
+}
+
+}  // namespace stac::fleet

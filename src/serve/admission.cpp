@@ -88,6 +88,9 @@ std::uint64_t AdmissionController::shed_for(std::size_t w) const {
 }
 
 void AdmissionController::note_epoch(double epoch_lag) {
+  // A non-finite lag (a clock glitch upstream, 0/0 from an unset deadline)
+  // must not poison pressure() for every producer until the next epoch.
+  if (!std::isfinite(epoch_lag)) epoch_lag = 0.0;
   epoch_lag_.store(std::max(0.0, epoch_lag), std::memory_order_relaxed);
 
   // Fairness: scale each workload's shed probability by how far its offered
@@ -105,6 +108,9 @@ void AdmissionController::note_epoch(double epoch_lag) {
   const double fair = 1.0 / static_cast<double>(wl_.size());
   for (std::size_t w = 0; w < wl_.size(); ++w) {
     double scale = 1.0;
+    // The all-idle epoch (total == 0) must keep every scale at 1.0: the
+    // share would be 0/0 and a NaN scale here would flow straight into
+    // shed_probability for every producer until the next epoch.
     if (config_.fairness_strength > 0.0 && total > 0) {
       const double share = static_cast<double>(epoch_offered[w]) /
                            static_cast<double>(total);
@@ -112,6 +118,9 @@ void AdmissionController::note_epoch(double epoch_lag) {
       // so a tenant cannot dodge shedding entirely by bursting in pulses.
       scale = std::pow(std::max(share / fair, 0.25),
                        config_.fairness_strength);
+      // Belt over the braces: whatever the exponent does, a non-finite
+      // scale never reaches the producers' shed coin.
+      if (!std::isfinite(scale)) scale = 1.0;
     }
     wl_[w].scale.store(scale, std::memory_order_relaxed);
   }

@@ -120,9 +120,16 @@ ConditionEstimator::snapshot_workload(std::size_t w) const {
   return state;
 }
 
-void ConditionEstimator::restore_workload(std::size_t w,
+bool ConditionEstimator::restore_workload(std::size_t w,
                                           const WorkloadEstimatorState& state) {
-  STAC_REQUIRE(w < wl_.size());
+  if (w >= wl_.size()) {
+    // Checkpoint/config workload-count mismatch: quarantine, exactly like
+    // the checkpoint loader quarantines damaged files — never restore into
+    // a slot that does not exist live.
+    ++restore_quarantined_;
+    obs::count("serve.estimator.restore_quarantined");
+    return false;
+  }
   PerWorkload& s = wl_[w];
   s.queue_delay.value = state.ewma_queue_delay;
   s.queue_delay.last_time = state.ewma_queue_time;
@@ -133,6 +140,7 @@ void ConditionEstimator::restore_workload(std::size_t w,
   s.lifetime_arrivals = state.arrivals;
   s.lifetime_completions = state.completions;
   s.lifetime_timeouts = state.timeouts;
+  return true;
 }
 
 void ConditionEstimator::evict(PerWorkload& s, double now) const {
@@ -145,40 +153,49 @@ void ConditionEstimator::evict(PerWorkload& s, double now) const {
     s.timeouts.pop_front();
 }
 
-WorkloadEstimate ConditionEstimator::estimate(std::size_t w, double now) {
+core::WorkloadMoments ConditionEstimator::window_moments(std::size_t w,
+                                                         double now) {
   STAC_REQUIRE(w < wl_.size());
   PerWorkload& s = wl_[w];
   evict(s, now);
 
-  WorkloadEstimate out;
-  out.arrivals = s.arrivals.size();
-  out.completions = s.completions.size();
-  out.timeouts = s.timeouts.size();
+  core::WorkloadMoments m;
+  m.arrivals = s.arrivals.size();
+  m.completions = s.completions.size();
+  m.timeouts = s.timeouts.size();
   // Rate over the *observed* span: until a full window has elapsed, divide
   // by the span actually covered so early estimates are not biased low.
-  const double span =
-      s.arrivals.empty()
-          ? config_.window_span
-          : std::min(config_.window_span,
-                     std::max(now - s.arrivals.front(), 1e-9));
-  out.arrival_rate = static_cast<double>(out.arrivals) / span;
-
-  StreamingStats service;
-  StreamingStats queue;
-  std::uint64_t boosted = 0;
+  m.span = s.arrivals.empty()
+               ? config_.window_span
+               : std::min(config_.window_span,
+                          std::max(now - s.arrivals.front(), 1e-9));
+  m.arrival_rate = static_cast<double>(m.arrivals) / m.span;
   for (const Completion& c : s.completions) {
-    service.add(c.service);
-    queue.add(c.queue_delay);
-    if (c.boosted) ++boosted;
+    m.service.add(c.service);
+    m.queue.add(c.queue_delay);
+    if (c.boosted) ++m.boosted;
   }
-  out.mean_service = service.mean();
-  out.service_cv = service.cv();
-  out.mean_queue_delay = queue.mean();
+  return m;
+}
+
+WorkloadEstimate ConditionEstimator::estimate(std::size_t w, double now) {
+  const core::WorkloadMoments m = window_moments(w, now);
+  const PerWorkload& s = wl_[w];
+
+  WorkloadEstimate out;
+  out.arrivals = m.arrivals;
+  out.completions = m.completions;
+  out.timeouts = m.timeouts;
+  out.arrival_rate = m.arrival_rate;
+  out.mean_service = m.service.mean();
+  out.service_cv = m.service.cv();
+  out.mean_queue_delay = m.queue.mean();
   out.inst_queue_delay = s.queue_delay.value;
   out.inst_service = s.service.value;
   out.boost_fraction =
       out.completions > 0
-          ? static_cast<double>(boosted) / static_cast<double>(out.completions)
+          ? static_cast<double>(m.boosted) /
+                static_cast<double>(out.completions)
           : 0.0;
   out.utilization =
       out.arrival_rate * out.mean_service / static_cast<double>(servers_);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/condition_merge.hpp"
 #include "serve/query_event.hpp"
 
 namespace stac::serve {
@@ -71,6 +72,13 @@ class ConditionEstimator {
   /// than now - window_span first).
   [[nodiscard]] WorkloadEstimate estimate(std::size_t w, double now);
 
+  /// The same window, exported as mergeable moments (counts + Welford
+  /// accumulators + observed-span rate) for fleet-wide aggregation
+  /// (core::merge_moments).  estimate() is implemented on top of this, so
+  /// merging one shard's moments reproduces its estimate bit-for-bit.
+  [[nodiscard]] core::WorkloadMoments window_moments(std::size_t w,
+                                                     double now);
+
   /// Lifetime (non-window) totals, for accounting tests and gauges.
   [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
   [[nodiscard]] std::uint64_t ignored_events() const { return ignored_; }
@@ -93,7 +101,16 @@ class ConditionEstimator {
   };
   [[nodiscard]] WorkloadEstimatorState snapshot_workload(std::size_t w) const;
   /// Restore the EWMA trackers and lifetime counters (recovery path).
-  void restore_workload(std::size_t w, const WorkloadEstimatorState& state);
+  /// An out-of-range `w` (a checkpoint describing more workloads than the
+  /// live config — e.g. after a retrain changed the workload set) is
+  /// quarantined: counted in restore_quarantined(), no state touched,
+  /// returns false.  Never walks off the end, never restores into the
+  /// wrong slot.
+  bool restore_workload(std::size_t w, const WorkloadEstimatorState& state);
+  /// Restore attempts refused because the slot does not exist live.
+  [[nodiscard]] std::uint64_t restore_quarantined() const {
+    return restore_quarantined_;
+  }
 
  private:
   struct Completion {
@@ -130,6 +147,7 @@ class ConditionEstimator {
   std::uint64_t total_events_ = 0;
   std::uint64_t ignored_ = 0;
   std::uint64_t skew_clamped_ = 0;
+  std::uint64_t restore_quarantined_ = 0;
 };
 
 }  // namespace stac::serve

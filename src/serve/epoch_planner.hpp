@@ -1,0 +1,108 @@
+// The planning core of a control epoch, factored out of OnlineController
+// so one implementation serves both control planes:
+//   * the standalone OnlineController (one node, one estimator), and
+//   * the FleetCoordinator (N shards, fleet-merged conditions, one global
+//     plan pushed to every node).
+//
+// plan() is steps 3-4 of the epoch loop: pin the current ServingModel,
+// quantize the utilization estimates onto the profiled Table-2 axis,
+// probe model staleness (TTL-memoized), and run the §5.2 policy sweep
+// (memoized/incremental) under the optional planning deadline.  It owns
+// the state those steps memo across epochs — the ExplorationMemoPool, the
+// staleness-probe memo, and the last-seen bundle version — so a caller
+// that feeds identical estimates and models gets bit-identical selections
+// regardless of which control plane it is (the N=1 fleet identity).
+//
+// The caller owns everything around the plan: draining, estimation,
+// publishing the selected vector, admission feedback, CAT watchdog,
+// checkpoints, and its own totals.
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy_explorer.hpp"
+#include "profiler/runtime_condition.hpp"
+#include "serve/model_snapshot.hpp"
+#include "serve/serving_model.hpp"
+
+namespace stac::serve {
+
+/// Planning knobs — the subset of ControllerConfig the sweep itself needs.
+/// Field semantics are documented on ControllerConfig; OnlineController
+/// and FleetCoordinator both build one of these from their own configs.
+struct PlannerConfig {
+  profiler::RuntimeCondition base_condition;
+  core::ExplorerConfig explorer;
+  double util_quantum = 0.05;
+  double util_lo = 0.25;
+  double util_hi = 0.95;
+  core::DegradationRung max_planning_rung =
+      core::DegradationRung::kNearestNeighbor;
+  std::uint64_t probe_ttl_epochs = 1;
+  bool incremental = true;
+  std::size_t memo_conditions = 4;
+  double plan_deadline_seconds = 0.0;
+};
+
+/// What one plan() call decided.  Exactly one of the four outcome booleans
+/// is set per call; timeout_* are the selection and only valid when
+/// `replanned` (on a hold the caller keeps its last-known-good vector).
+struct PlanOutcome {
+  bool model_unavailable_hold = false;
+  bool stale_hold = false;
+  bool deadline_miss = false;
+  bool replanned = false;
+  /// The pinned bundle's version differed from the previous plan's.
+  bool model_swap_observed = false;
+  profiler::RuntimeCondition planned_condition;
+  core::DegradationRung probe_rung = core::DegradationRung::kPrimaryModel;
+  std::uint64_t model_version = 0;
+  double plan_seconds = 0.0;
+  std::size_t cells_simulated = 0;
+  std::size_t cells_reused = 0;
+  double timeout_primary = 0.0;
+  double timeout_collocated = 0.0;
+};
+
+class EpochPlanner {
+ public:
+  explicit EpochPlanner(PlannerConfig config);
+
+  /// Quantize a raw utilization estimate onto the profiled axis (snap to
+  /// util_quantum from util_lo, clamp to [util_lo, util_hi]).
+  [[nodiscard]] double snap_utilization(double u) const;
+
+  /// Run the planning step for this epoch's raw utilization estimates.
+  /// Call from one thread only (the memo state is single-writer, like the
+  /// rest of the control loop).
+  PlanOutcome plan(ModelSnapshot<ServingModel>& models,
+                   double raw_util_primary, double raw_util_collocated);
+
+  /// Seed the version memo from a recovered checkpoint so the first
+  /// post-recovery publish registers as an observed swap.
+  void note_model_version(std::uint64_t version) {
+    last_model_version_ = version;
+  }
+  [[nodiscard]] std::uint64_t last_model_version() const {
+    return last_model_version_;
+  }
+
+ private:
+  PlannerConfig config_;
+  /// Prior-epoch sweep matrices for incremental re-planning, one memo per
+  /// recently-seen quantized condition (PlannerConfig::memo_conditions),
+  /// keyed on the pinned bundle's version as the generation stamp.
+  core::ExplorationMemoPool explore_memos_;
+  /// Staleness-probe memo (see PlannerConfig::probe_ttl_epochs): the last
+  /// probed rung plus the inputs it is valid for and how many epochs it
+  /// has answered.
+  bool probe_valid_ = false;
+  std::uint64_t probe_version_ = 0;
+  std::uint64_t probe_age_ = 0;
+  double probe_util_primary_ = 0.0;
+  double probe_util_collocated_ = 0.0;
+  core::DegradationRung probe_rung_ = core::DegradationRung::kPrimaryModel;
+  std::uint64_t last_model_version_ = 0;
+};
+
+}  // namespace stac::serve

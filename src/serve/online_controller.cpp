@@ -1,9 +1,9 @@
 #include "serve/online_controller.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cmath>
+#include <string>
 
 #include "common/check.hpp"
 #include "common/fault_injection.hpp"
@@ -18,6 +18,21 @@ double now_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+PlannerConfig planner_config(const ControllerConfig& c) {
+  PlannerConfig p;
+  p.base_condition = c.base_condition;
+  p.explorer = c.explorer;
+  p.util_quantum = c.util_quantum;
+  p.util_lo = c.util_lo;
+  p.util_hi = c.util_hi;
+  p.max_planning_rung = c.max_planning_rung;
+  p.probe_ttl_epochs = c.probe_ttl_epochs;
+  p.incremental = c.incremental;
+  p.memo_conditions = c.memo_conditions;
+  p.plan_deadline_seconds = c.plan_deadline_seconds;
+  return p;
+}
 }  // namespace
 
 OnlineController::OnlineController(ArrivalIngest& ingest,
@@ -27,22 +42,12 @@ OnlineController::OnlineController(ArrivalIngest& ingest,
     : ingest_(ingest), models_(models), config_(std::move(config)), cat_(cat),
       estimator_(2, config_.servers, config_.estimator),
       batch_(std::max<std::size_t>(1, config_.drain_batch)),
-      explore_memos_(config_.memo_conditions) {
-  STAC_REQUIRE(config_.util_lo > 0.0 && config_.util_lo <= config_.util_hi);
-  STAC_REQUIRE(config_.util_quantum >= 0.0);
+      planner_(planner_config(config_)) {
   if (cat_ != nullptr) STAC_REQUIRE(cat_->workload_count() >= 2);
   timeouts_[0].store(config_.base_condition.timeout_primary,
                      std::memory_order_relaxed);
   timeouts_[1].store(config_.base_condition.timeout_collocated,
                      std::memory_order_relaxed);
-}
-
-double OnlineController::snap_utilization(double u) const {
-  if (config_.util_quantum > 0.0)
-    u = config_.util_lo +
-        std::round((u - config_.util_lo) / config_.util_quantum) *
-            config_.util_quantum;
-  return std::clamp(u, config_.util_lo, config_.util_hi);
 }
 
 void OnlineController::mirror_to_cat(const QueryEvent& event) {
@@ -91,98 +96,31 @@ EpochReport OnlineController::run_epoch(double now) {
 
   const double t0 = now_seconds();
   if (report.warm) {
-    profiler::RuntimeCondition cond = config_.base_condition;
-    cond.util_primary = snap_utilization(est_p.utilization);
-    cond.util_collocated = snap_utilization(est_c.utilization);
-    report.planned_condition = cond;
-
-    // 3. Pin the current model bundle for the whole planning step.  No
-    // bundle published yet (cold start, or serving from a checkpoint while
-    // the refit runs in the background) is a *hold*, not an error: the
-    // applied vector — initial or recovered — keeps serving.
-    auto guard = models_.acquire();
-    if (!guard) {
-      report.model_unavailable_hold = true;
-      ++totals_.model_unavailable_holds;
-      registry.counter("serve.model_unavailable_holds").add();
-    } else {
-      report.model_version = guard->version;
-      if (guard->version != last_model_version_) {
-        ++totals_.model_swaps_observed;
-        last_model_version_ = guard->version;
-        registry.counter("serve.model_swaps_observed").add();
-      }
-
-      // Staleness probe: one EA query (RtPredictor::probe_rung — no
-      // simulation, no feedback loop) reveals which ladder rung answers
-      // for this condition.  Against drift and hot-swap the memoed rung is
-      // exact — only the utilizations vary epoch to epoch (the rest of
-      // `cond` is copied from base_condition) and the version is the
-      // bundle stamp, both compared bitwise below.  The TTL bounds how
-      // long an *environmental* model failure can hide behind the memo.
-      const bool probe_reusable =
-          probe_valid_ && probe_version_ == guard->version &&
-          probe_age_ + 1 < config_.probe_ttl_epochs &&
-          std::bit_cast<std::uint64_t>(probe_util_primary_) ==
-              std::bit_cast<std::uint64_t>(cond.util_primary) &&
-          std::bit_cast<std::uint64_t>(probe_util_collocated_) ==
-              std::bit_cast<std::uint64_t>(cond.util_collocated);
-      if (probe_reusable) {
-        ++probe_age_;
-      } else {
-        probe_rung_ = guard->pred().probe_rung(cond);
-        probe_valid_ = true;
-        probe_version_ = guard->version;
-        probe_age_ = 0;
-        probe_util_primary_ = cond.util_primary;
-        probe_util_collocated_ = cond.util_collocated;
-      }
-      report.probe_rung = probe_rung_;
-      if (probe_rung_ > config_.max_planning_rung) {
-        // 3b. Model too degraded to plan on: hold the last-known-good
-        // vector rather than steering traffic with rung-4 guesses.
-        report.stale_hold = true;
-        ++totals_.stale_holds;
-        registry.counter("serve.stale_holds").add();
-        obs::instant("serve.stale_hold", "serve");
-      } else {
-        // 4. Re-plan: the §5.2 sweep against the pinned predictor.  In
-        // incremental mode the matrices memoed for this quantized
-        // condition answer every cell whose (timeout pair, model version)
-        // is unchanged — the stationary-epoch path the sub-10ms plan
-        // budget relies on.  The pool keeps one memo per recently-seen
-        // condition, so an estimate oscillating across a quantization
-        // boundary revisits warm memos instead of thrashing one.
-        const core::PolicyExploration plan =
-            config_.incremental
-                ? core::explore_policies_incremental(
-                      guard->pred(), cond, config_.explorer,
-                      explore_memos_.acquire(cond), guard->version)
-                : core::explore_policies(guard->pred(), cond,
-                                         config_.explorer);
-        report.cells_simulated = plan.cells_simulated;
-        report.cells_reused = plan.cells_reused;
-        const double plan_elapsed = now_seconds() - t0;
-        if (config_.plan_deadline_seconds > 0.0 &&
-            plan_elapsed > config_.plan_deadline_seconds) {
-          // Deadline miss: discard the late selection and keep serving the
-          // last-known-good (ladder-fallback) vector.  The epoch cadence
-          // stays fixed; overload shows up as misses + shed, not as a
-          // silently stretched control period.
-          report.deadline_miss = true;
-          ++totals_.deadline_misses;
-          registry.counter("serve.plan.deadline_miss").add();
-          obs::instant("serve.plan_deadline_miss", "serve");
-        } else {
-          timeouts_[0].store(plan.selection.timeout_primary,
-                             std::memory_order_relaxed);
-          timeouts_[1].store(plan.selection.timeout_collocated,
-                             std::memory_order_relaxed);
-          report.replanned = true;
-          ++totals_.replans;
-          registry.counter("serve.replans").add();
-        }
-      }
+    // 3-4. The shared planning core: pin the bundle, quantize the
+    // utilization estimates, probe staleness (TTL-memoized), run the
+    // memoized §5.2 sweep under the deadline.  The planner owns the
+    // cross-epoch memo state; this controller owns what happens with the
+    // outcome (publish, totals, admission, watchdog, checkpoints).
+    const PlanOutcome outcome =
+        planner_.plan(models_, est_p.utilization, est_c.utilization);
+    report.planned_condition = outcome.planned_condition;
+    report.probe_rung = outcome.probe_rung;
+    report.model_version = outcome.model_version;
+    report.cells_simulated = outcome.cells_simulated;
+    report.cells_reused = outcome.cells_reused;
+    report.model_unavailable_hold = outcome.model_unavailable_hold;
+    report.stale_hold = outcome.stale_hold;
+    report.deadline_miss = outcome.deadline_miss;
+    if (outcome.model_unavailable_hold) ++totals_.model_unavailable_holds;
+    if (outcome.model_swap_observed) ++totals_.model_swaps_observed;
+    if (outcome.stale_hold) ++totals_.stale_holds;
+    if (outcome.deadline_miss) ++totals_.deadline_misses;
+    if (outcome.replanned) {
+      timeouts_[0].store(outcome.timeout_primary, std::memory_order_relaxed);
+      timeouts_[1].store(outcome.timeout_collocated,
+                         std::memory_order_relaxed);
+      report.replanned = true;
+      ++totals_.replans;
     }
   }
   report.plan_seconds = now_seconds() - t0;
@@ -239,7 +177,7 @@ ControllerCheckpoint OnlineController::make_checkpoint(double now) const {
   ckpt.time = now;
   ckpt.condition_seed = config_.base_condition.seed;
   ckpt.predictor_seed = config_.checkpoint.predictor_seed;
-  ckpt.model_version = last_model_version_;
+  ckpt.model_version = planner_.last_model_version();
   ckpt.library_ref =
       config_.checkpoint.library_ref.empty() ? "-" : config_.checkpoint.library_ref;
   ckpt.library_size = config_.checkpoint.library_size;
@@ -272,14 +210,36 @@ void OnlineController::checkpoint_now(double now) {
   ++totals_.checkpoints_written;
 }
 
-void OnlineController::recover(const ControllerCheckpoint& checkpoint,
-                               double now) {
-  STAC_REQUIRE_MSG(checkpoint.workloads.size() == 2,
-                   "checkpoint does not describe a primary/collocated pair");
+RecoveryReport OnlineController::recover(
+    const ControllerCheckpoint& checkpoint, double now) {
+  // Validate *everything* before mutating *anything*: a quarantined
+  // recover must leave the controller exactly as constructed — no
+  // half-restored estimator, no partially-applied timeout vector.
+  RecoveryReport report;
+  if (checkpoint.workloads.size() != 2) {
+    report.quarantined = true;
+    report.reason = "checkpoint describes " +
+                    std::to_string(checkpoint.workloads.size()) +
+                    " workloads; live config is a primary/collocated pair";
+  } else {
+    for (std::size_t w = 0; w < 2 && !report.quarantined; ++w) {
+      const WorkloadCheckpoint& in = checkpoint.workloads[w];
+      if (!std::isfinite(in.timeout) || in.timeout < 0.0) {
+        report.quarantined = true;
+        report.reason = "workload " + std::to_string(w) +
+                        " timeout is not finite and non-negative";
+      }
+    }
+  }
+  if (report.quarantined) {
+    ++totals_.recovery_quarantines;
+    obs::count("serve.recovery_quarantines");
+    obs::instant("serve.recovery_quarantined", "serve");
+    return report;
+  }
+
   for (std::size_t w = 0; w < 2; ++w) {
     const WorkloadCheckpoint& in = checkpoint.workloads[w];
-    STAC_REQUIRE_MSG(std::isfinite(in.timeout) && in.timeout >= 0.0,
-                     "recovered timeout must be finite and non-negative");
     // The last-known-good vector goes live *now*: admission proxies read a
     // sane plan before any model exists in this process.
     timeouts_[w].store(in.timeout, std::memory_order_relaxed);
@@ -293,7 +253,8 @@ void OnlineController::recover(const ControllerCheckpoint& checkpoint,
     est.arrivals = in.arrivals;
     est.completions = in.completions;
     est.timeouts = in.timeouts;
-    estimator_.restore_workload(w, est);
+    const bool restored = estimator_.restore_workload(w, est);
+    STAC_ENSURE(restored);  // w < 2 == estimator workload count
   }
   totals_.epochs = checkpoint.epoch;
   totals_.replans = checkpoint.replans;
@@ -301,18 +262,19 @@ void OnlineController::recover(const ControllerCheckpoint& checkpoint,
   totals_.deadline_misses = checkpoint.deadline_misses;
   // Remember which bundle version the pre-crash controller planned against:
   // the first post-recovery publish then registers as an observed swap.
-  last_model_version_ = checkpoint.model_version;
+  planner_.note_model_version(checkpoint.model_version);
   // Reconcile the hardware view: boost grants that survived the crash
   // belong to proxies that no longer exist — force-release them rather
   // than waiting a watchdog budget with stale allocations applied.
   if (cat_ != nullptr) {
-    for (std::size_t w = 0; w < cat_->workload_count(); ++w)
-      while (cat_->is_boosted(w)) cat_->unboost(w);
+    cat_->release_all_boosts();
     (void)cat_->poll_watchdog(now);
   }
   ++totals_.recoveries;
   obs::count("serve.recoveries");
   obs::instant("serve.recovered", "serve");
+  report.restored = true;
+  return report;
 }
 
 }  // namespace stac::serve

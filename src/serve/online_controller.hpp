@@ -36,8 +36,10 @@
 #include "serve/arrival_ingest.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/condition_estimator.hpp"
+#include "serve/epoch_planner.hpp"
 #include "serve/model_snapshot.hpp"
 #include "serve/serving_model.hpp"
+#include "serve/timeout_source.hpp"
 
 namespace stac::serve {
 
@@ -139,7 +141,19 @@ struct EpochReport {
   std::uint64_t model_version = 0;
 };
 
-class OnlineController {
+/// What recover() did with a checkpoint.  Malformed durable state (wrong
+/// workload count after a config change, non-finite or negative timeout)
+/// is *quarantined* — counted, reported, no controller state touched —
+/// exactly like the checkpoint loader quarantines damaged files.  The
+/// controller keeps serving its initial vector; it never crashes on, or
+/// half-applies, stale durable state.
+struct RecoveryReport {
+  bool restored = false;
+  bool quarantined = false;
+  std::string reason;  ///< human-readable, set when quarantined
+};
+
+class OnlineController : public TimeoutSource {
  public:
   /// `cat` is optional (null = no hardware mirroring, e.g. ingest-only
   /// benches); when set it must have >= 2 workloads and outlive the
@@ -153,7 +167,7 @@ class OnlineController {
 
   /// Applied STAP timeout for workload w (0 = primary, 1 = collocated).
   /// Lock-free; admission proxies read this on their own threads.
-  [[nodiscard]] double timeout(std::size_t w) const {
+  [[nodiscard]] double timeout(std::size_t w) const override {
     return timeouts_[w].load(std::memory_order_relaxed);
   }
 
@@ -178,7 +192,15 @@ class OnlineController {
   /// but recovery should not start with leaked leases).  The model bundle
   /// is NOT restored here — run_epoch holds the recovered vector until a
   /// background refit publishes one.
-  void recover(const ControllerCheckpoint& checkpoint, double now);
+  ///
+  /// A checkpoint whose workload count differs from the live pair (e.g. a
+  /// retrain changed the workload set under the durable state) or whose
+  /// timeouts are non-finite/negative is quarantined: nothing is applied,
+  /// Totals::recovery_quarantines counts it, and the report says why.
+  /// Validation runs *before* any mutation — a quarantined recover leaves
+  /// the controller exactly as it was.
+  [[nodiscard]] RecoveryReport recover(const ControllerCheckpoint& checkpoint,
+                                       double now);
 
   struct Totals {
     std::uint64_t epochs = 0;
@@ -192,11 +214,11 @@ class OnlineController {
     std::uint64_t checkpoints_written = 0;
     std::uint64_t checkpoint_failures = 0;
     std::uint64_t recoveries = 0;
+    std::uint64_t recovery_quarantines = 0;
   };
   [[nodiscard]] const Totals& totals() const { return totals_; }
 
  private:
-  [[nodiscard]] double snap_utilization(double u) const;
   void mirror_to_cat(const QueryEvent& event);
 
   ArrivalIngest& ingest_;
@@ -206,22 +228,10 @@ class OnlineController {
   ConditionEstimator estimator_;
   std::vector<QueryEvent> batch_;
   std::array<std::atomic<double>, 2> timeouts_;
-  /// Prior-epoch sweep matrices for incremental re-planning, one memo per
-  /// recently-seen quantized condition (ControllerConfig::memo_conditions),
-  /// keyed on the pinned bundle's version as the generation stamp.
-  core::ExplorationMemoPool explore_memos_;
-  /// Staleness-probe memo (see ControllerConfig::probe_ttl_epochs): the
-  /// last probed rung plus the inputs it is valid for and how many epochs
-  /// it has answered.  With the sweep answered by explore_memos_, a fresh
-  /// probe's EA inference would otherwise be a stationary epoch's whole
-  /// plan cost.
-  bool probe_valid_ = false;
-  std::uint64_t probe_version_ = 0;
-  std::uint64_t probe_age_ = 0;
-  double probe_util_primary_ = 0.0;
-  double probe_util_collocated_ = 0.0;
-  core::DegradationRung probe_rung_ = core::DegradationRung::kPrimaryModel;
-  std::uint64_t last_model_version_ = 0;
+  /// The shared planning core (probe-TTL memo, incremental sweep memos,
+  /// bundle-version memo) — identical machinery to a fleet coordinator's,
+  /// which is what makes the N=1 fleet selections bit-identical.
+  EpochPlanner planner_;
   Totals totals_;
 };
 

@@ -1,0 +1,21 @@
+// The one-method surface admission proxies read: the applied STAP timeout
+// vector.  Both the standalone OnlineController and a fleet NodeShard
+// implement it, so TrafficReplay (the proxy stand-in) can drive either
+// without caring which control plane is behind the atomics.
+#pragma once
+
+#include <cstddef>
+
+namespace stac::serve {
+
+class TimeoutSource {
+ public:
+  virtual ~TimeoutSource() = default;
+
+  /// Applied STAP timeout for workload `w` (relative to service time).
+  /// Implementations must be lock-free and callable from any producer
+  /// thread (a relaxed atomic read in practice).
+  [[nodiscard]] virtual double timeout(std::size_t w) const = 0;
+};
+
+}  // namespace stac::serve

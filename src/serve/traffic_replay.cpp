@@ -13,7 +13,7 @@
 namespace stac::serve {
 
 TrafficReplay::TrafficReplay(ArrivalIngest& ingest,
-                             const OnlineController* timeouts,
+                             const TimeoutSource* timeouts,
                              ReplayConfig config)
     : ingest_(ingest), timeouts_(timeouts), config_(std::move(config)) {
   STAC_REQUIRE(!config_.workloads.empty());

@@ -27,6 +27,7 @@
 #include "serve/admission.hpp"
 #include "serve/arrival_ingest.hpp"
 #include "serve/online_controller.hpp"
+#include "serve/timeout_source.hpp"
 
 namespace stac::serve {
 
@@ -76,9 +77,10 @@ struct SoakResult {
 
 class TrafficReplay {
  public:
-  /// `timeouts` supplies the applied STAP vector (closed loop); null means
-  /// a fixed never-boost threshold.  Both must outlive the replay.
-  TrafficReplay(ArrivalIngest& ingest, const OnlineController* timeouts,
+  /// `timeouts` supplies the applied STAP vector (closed loop) — an
+  /// OnlineController or a fleet NodeShard; null means a fixed never-boost
+  /// threshold.  Both must outlive the replay.
+  TrafficReplay(ArrivalIngest& ingest, const TimeoutSource* timeouts,
                 ReplayConfig config);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -87,7 +89,7 @@ class TrafficReplay {
   /// the kill-and-recover flow: the controller process dies and restarts,
   /// the proxies and the ring survive and re-attach.  Only legal between
   /// runs (no shard threads active).
-  void rebind_controller(const OnlineController* timeouts) {
+  void rebind_controller(const TimeoutSource* timeouts) {
     timeouts_ = timeouts;
   }
 
@@ -128,7 +130,7 @@ class TrafficReplay {
   [[nodiscard]] double applied_timeout(std::size_t workload) const;
 
   ArrivalIngest& ingest_;
-  const OnlineController* timeouts_;
+  const TimeoutSource* timeouts_;
   ReplayConfig config_;
   std::vector<Shard> shards_;
   /// Chunks completed per shard (written by the shard's thread, polled by

@@ -1,0 +1,156 @@
+// Fleet condition aggregation: the merge identities the fleet control
+// plane is built on.  N=1 must be a bitwise no-op (fleet-of-one ==
+// standalone controller), and k-way merges must satisfy the exact count /
+// weighted-mean identities regardless of how a stream is split.
+#include "core/condition_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace stac::core {
+namespace {
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+WorkloadMoments make_moments(std::uint64_t seed, std::size_t completions,
+                             double rate) {
+  WorkloadMoments m;
+  Rng rng(seed);
+  m.completions = completions;
+  m.arrivals = completions + 3;
+  m.timeouts = completions / 4;
+  m.boosted = completions / 5;
+  m.span = 30.0;
+  m.arrival_rate = rate;
+  for (std::size_t i = 0; i < completions; ++i) {
+    m.service.add(rng.lognormal_mean_cv(1.0, 0.7));
+    m.queue.add(rng.uniform() * 0.4);
+  }
+  return m;
+}
+
+TEST(ConditionMerge, SingleShardMergeIsBitIdentical) {
+  const WorkloadMoments m = make_moments(7, 64, 1.6);
+  const std::vector<WorkloadMoments> shards = {m};
+  const MergedWorkloadEstimate out = merge_moments(shards, 2, 20);
+
+  // Counts and rate come through untouched.
+  EXPECT_EQ(out.arrivals, m.arrivals);
+  EXPECT_EQ(out.completions, m.completions);
+  EXPECT_EQ(out.timeouts, m.timeouts);
+  EXPECT_TRUE(bit_equal(out.arrival_rate, m.arrival_rate));
+
+  // The Welford accumulators were copied verbatim into the empty merge
+  // target, so every derived moment is bit-identical to the shard's own.
+  EXPECT_TRUE(bit_equal(out.mean_service, m.service.mean()));
+  EXPECT_TRUE(bit_equal(out.service_cv, m.service.cv()));
+  EXPECT_TRUE(bit_equal(out.mean_queue_delay, m.queue.mean()));
+  EXPECT_TRUE(bit_equal(
+      out.boost_fraction,
+      static_cast<double>(m.boosted) / static_cast<double>(m.completions)));
+  EXPECT_TRUE(
+      bit_equal(out.utilization, m.arrival_rate * m.service.mean() / 2.0));
+  EXPECT_TRUE(out.warm);
+}
+
+TEST(ConditionMerge, TwoShardSplitSatisfiesWeightedIdentities) {
+  // One stream of samples, split across two shards at an arbitrary point:
+  // the merged estimate must see exact total counts, the exact rate sum,
+  // and the count-weighted mean of the two shards' service means.
+  Rng rng(99);
+  std::vector<double> service(120), queue(120);
+  for (std::size_t i = 0; i < service.size(); ++i) {
+    service[i] = rng.lognormal_mean_cv(2.0, 0.5);
+    queue[i] = rng.uniform();
+  }
+  const std::size_t cut = 47;
+  WorkloadMoments a, b;
+  a.span = b.span = 30.0;
+  a.arrival_rate = 0.9;
+  b.arrival_rate = 0.7;
+  for (std::size_t i = 0; i < service.size(); ++i) {
+    WorkloadMoments& m = i < cut ? a : b;
+    m.service.add(service[i]);
+    m.queue.add(queue[i]);
+    ++m.completions;
+    ++m.arrivals;
+  }
+  a.boosted = 5;
+  b.boosted = 11;
+
+  const std::vector<WorkloadMoments> shards = {a, b};
+  const MergedWorkloadEstimate out = merge_moments(shards, 4, 20);
+
+  EXPECT_EQ(out.completions, service.size());
+  EXPECT_EQ(out.arrivals, service.size());
+  EXPECT_DOUBLE_EQ(out.arrival_rate, 1.6);
+
+  const double na = static_cast<double>(a.completions);
+  const double nb = static_cast<double>(b.completions);
+  const double weighted_mean =
+      (na * a.service.mean() + nb * b.service.mean()) / (na + nb);
+  EXPECT_NEAR(out.mean_service, weighted_mean, 1e-12);
+  EXPECT_DOUBLE_EQ(out.boost_fraction, 16.0 / 120.0);
+  EXPECT_NEAR(out.utilization, 1.6 * weighted_mean / 4.0, 1e-12);
+
+  // The merged second moment matches a sequential pass over the whole
+  // stream (parallel-Welford vs sequential Welford agree to rounding).
+  StreamingStats all;
+  for (const double s : service) all.add(s);
+  EXPECT_NEAR(out.mean_service, all.mean(), 1e-12);
+  EXPECT_NEAR(out.service_cv, all.cv(), 1e-9);
+}
+
+TEST(ConditionMerge, MergeIsPermutationInsensitiveOnCounts) {
+  const WorkloadMoments a = make_moments(1, 40, 1.0);
+  const WorkloadMoments b = make_moments(2, 25, 0.5);
+  const WorkloadMoments c = make_moments(3, 10, 0.25);
+  const std::vector<WorkloadMoments> abc = {a, b, c};
+  const std::vector<WorkloadMoments> cba = {c, b, a};
+  const MergedWorkloadEstimate x = merge_moments(abc, 6, 20);
+  const MergedWorkloadEstimate y = merge_moments(cba, 6, 20);
+  EXPECT_EQ(x.completions, y.completions);
+  EXPECT_EQ(x.arrivals, y.arrivals);
+  EXPECT_NEAR(x.mean_service, y.mean_service, 1e-12);
+  EXPECT_NEAR(x.arrival_rate, y.arrival_rate, 1e-12);
+  EXPECT_EQ(x.warm, y.warm);
+}
+
+TEST(ConditionMerge, EmptySpanYieldsColdZeroEstimateNeverNaN) {
+  const std::vector<WorkloadMoments> none;
+  const MergedWorkloadEstimate out = merge_moments(none, 2, 20);
+  EXPECT_FALSE(out.warm);
+  EXPECT_EQ(out.completions, 0u);
+  EXPECT_EQ(out.arrival_rate, 0.0);
+  EXPECT_TRUE(std::isfinite(out.mean_service));
+  EXPECT_TRUE(std::isfinite(out.service_cv));
+  EXPECT_TRUE(std::isfinite(out.mean_queue_delay));
+  EXPECT_TRUE(std::isfinite(out.boost_fraction));
+  EXPECT_TRUE(std::isfinite(out.utilization));
+}
+
+TEST(ConditionMerge, WarmBarAppliesToPooledCompletions) {
+  // Two shards each below the bar together clear it: warmth is a fleet
+  // property, not a per-shard one.
+  const WorkloadMoments a = make_moments(5, 12, 0.5);
+  const WorkloadMoments b = make_moments(6, 12, 0.5);
+  const std::vector<WorkloadMoments> shards = {a, b};
+  EXPECT_FALSE(merge_moments({&a, 1}, 2, 20).warm);
+  EXPECT_TRUE(merge_moments(shards, 4, 20).warm);
+}
+
+TEST(ConditionMerge, RequiresPositiveCapacity) {
+  const std::vector<WorkloadMoments> none;
+  EXPECT_THROW((void)merge_moments(none, 0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::core

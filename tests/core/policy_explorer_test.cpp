@@ -303,14 +303,64 @@ TEST_F(PolicyExplorerTest, MemoPoolEvictsLeastRecentlyUsed) {
   EXPECT_EQ(sweep(b), 4u);  // b was evicted: cold again
 }
 
-TEST(ExplorationMemoPool, ZeroCapacityClampsToOne) {
+TEST(ExplorationMemoPool, ZeroCapacityDisablesMemoingEntirely) {
+  // capacity 0 = memoing off: every acquire() hands back a cold scratch
+  // memo, even for a condition the previous sweep just wrote into it.
   ExplorationMemoPool pool(0);
-  EXPECT_EQ(pool.capacity(), 1u);
+  EXPECT_EQ(pool.capacity(), 0u);
   profiler::RuntimeCondition c;
   c.primary = wl::Benchmark::kKmeans;
   c.collocated = wl::Benchmark::kRedis;
   ExplorationMemo& memo = pool.acquire(c);
   EXPECT_FALSE(memo.valid);
+  memo.valid = true;  // simulate a sweep populating the memo
+  memo.condition = c;
+  ExplorationMemo& again = pool.acquire(c);
+  EXPECT_FALSE(again.valid);  // discarded, not recycled
+}
+
+TEST_F(PolicyExplorerTest, ZeroCapacityPoolFullSweepsEveryEpoch) {
+  ExplorerConfig cfg;
+  cfg.grid = {0.0, 1.0, 4.0};
+  ExplorationMemoPool pool(0);
+  const RuntimeCondition cond = pairing();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const PolicyExploration r = explore_policies_incremental(
+        predictor_, cond, cfg, pool.acquire(cond), 7);
+    EXPECT_EQ(r.cells_simulated, 9u) << "epoch " << epoch;
+    EXPECT_EQ(r.cells_reused, 0u) << "epoch " << epoch;
+  }
+}
+
+TEST_F(PolicyExplorerTest, MemoWithStaleGeometryIsNotServedAfterGridShrink) {
+  // A memo populated under one grid must never satisfy a sweep whose grid
+  // no longer matches the memoized matrices' geometry — even when valid,
+  // same-generation, and same-condition.  The shrunken sweep's matrices
+  // must be rebuilt at the new size, not sliced out of the stale ones.
+  ExplorerConfig wide;
+  wide.grid = {0.0, 1.0, 4.0};
+  const RuntimeCondition cond = pairing();
+  ExplorationMemo memo;
+  (void)explore_policies_incremental(predictor_, cond, wide, memo, 7);
+  ASSERT_TRUE(memo.valid);
+  ASSERT_EQ(memo.grid.size(), 3u);
+
+  // Corrupt the memo the way a config hot-swap bug would: the grid list
+  // shrinks but the matrices keep their old 3x3 geometry.
+  memo.grid = {0.0, 1.0};
+
+  ExplorerConfig narrow;
+  narrow.grid = {0.0, 1.0};
+  const PolicyExploration r =
+      explore_policies_incremental(predictor_, cond, narrow, memo, 7);
+  EXPECT_EQ(r.cells_simulated, 4u);  // full re-sweep, no stale reuse
+  EXPECT_EQ(r.cells_reused, 0u);
+  EXPECT_EQ(r.predicted_primary.rows(), 2u);
+  EXPECT_EQ(r.predicted_primary.cols(), 2u);
+  const PolicyExploration fresh = explore_policies(predictor_, cond, narrow);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_EQ(r.predicted_primary(i, j), fresh.predicted_primary(i, j));
 }
 
 // --- slack-relaxation ladder on hand-built matrices (select_policy) ---

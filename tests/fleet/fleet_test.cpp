@@ -1,0 +1,344 @@
+// The fleet control plane end to end: a fleet of one must be bit-identical
+// to the standalone OnlineController (same estimator windows, same merged
+// moments, same planner memos, same selections), multi-shard merges must
+// aggregate to the fleet-level condition, and the join/leave protocol must
+// hand a shard off and back with zero event loss and quarantining restores.
+#include "fleet/fleet_coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/stac_manager.hpp"
+#include "serve/online_controller.hpp"
+
+namespace stac::fleet {
+namespace {
+
+using core::StacManager;
+using core::StacOptions;
+using profiler::RuntimeCondition;
+
+StacOptions tiny_options() {
+  StacOptions opts;
+  opts.profile_budget = 6;
+  opts.profiler.target_completions = 250;
+  opts.profiler.warmup_completions = 30;
+  opts.profiler.max_windows = 1;
+  opts.profiler.accesses_per_sample = 600;
+  opts.model.deep_forest.mgs.window_sizes = {5};
+  opts.model.deep_forest.mgs.estimators = 6;
+  opts.model.deep_forest.cascade.levels = 1;
+  opts.model.deep_forest.cascade.estimators = 10;
+  opts.predictor.sim_queries = 1500;
+  opts.explorer.grid = {0.0, 2.0, 6.0};
+  return opts;
+}
+
+RuntimeCondition base_condition() {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKnn;
+  c.collocated = wl::Benchmark::kBfs;
+  c.util_primary = 0.8;
+  c.util_collocated = 0.8;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 1.0;
+  c.seed = 12;
+  return c;
+}
+
+FleetConfig fleet_config(std::size_t shards) {
+  FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.shard.servers = 2;
+  cfg.planner.base_condition = base_condition();
+  cfg.planner.explorer = tiny_options().explorer;
+  return cfg;
+}
+
+serve::ControllerConfig controller_config() {
+  serve::ControllerConfig cfg;
+  cfg.base_condition = base_condition();
+  cfg.explorer = tiny_options().explorer;
+  cfg.servers = 2;
+  return cfg;
+}
+
+serve::QueryEvent make_event(serve::EventKind kind, std::uint16_t w, double t,
+                             double service = 1.0, bool boosted = false) {
+  serve::QueryEvent e;
+  e.kind = kind;
+  e.workload = w;
+  e.time = t;
+  e.service = service;
+  e.queue_delay = kind == serve::EventKind::kCompletion ? 0.1 : 0.0;
+  e.boosted = boosted;
+  return e;
+}
+
+/// Stationary utilization-0.8 traffic (1.6 arrivals/s, 2 servers, unit
+/// service) — the same deterministic feed the controller suite uses.
+/// `gap_scale` > 1 thins the stream (a shard carrying a fraction of the
+/// workload's total rate).
+void feed_stationary(serve::ArrivalIngest& ring, double t0, double t1,
+                     double gap_scale = 1.0) {
+  const double gap = 0.625 * gap_scale;
+  for (std::uint16_t w = 0; w < 2; ++w) {
+    for (double t = t0; t < t1; t += gap) {
+      ASSERT_TRUE(
+          ring.try_push(make_event(serve::EventKind::kArrival, w, t)));
+      ASSERT_TRUE(
+          ring.try_push(make_event(serve::EventKind::kCompletion, w, t)));
+    }
+  }
+}
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// Calibration is the expensive part; share one manager across the suite.
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mgr_ = new StacManager(tiny_options());
+    mgr_->calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  }
+  static void TearDownTestSuite() {
+    delete mgr_;
+    mgr_ = nullptr;
+  }
+
+  static StacManager* mgr_;
+};
+
+StacManager* FleetTest::mgr_ = nullptr;
+
+TEST_F(FleetTest, FleetOfOneMatchesStandaloneControllerBitExactly) {
+  // Two control planes, one traffic history: the standalone controller and
+  // a 1-shard fleet, each with its own identically-built serving bundle,
+  // fed the same deterministic event stream.  Every epoch's selection must
+  // agree to the bit.
+  serve::ArrivalIngest ring(1 << 12);
+  serve::ModelSnapshot<serve::ServingModel> snap_solo(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  serve::OnlineController solo(ring, snap_solo, controller_config());
+
+  serve::ModelSnapshot<serve::ServingModel> snap_fleet(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  FleetCoordinator fleet(snap_fleet, fleet_config(1));
+  ASSERT_EQ(fleet.shard_count(), 1u);
+
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    const double t0 = 60.0 * (epoch - 1), t1 = 60.0 * epoch;
+    feed_stationary(ring, t0, t1);
+    feed_stationary(fleet.shard(0).ingest(), t0, t1);
+    const serve::EpochReport r_solo = solo.run_epoch(t1);
+    const FleetEpochReport r_fleet = fleet.run_epoch(t1);
+
+    ASSERT_EQ(r_fleet.warm, r_solo.warm) << "epoch " << epoch;
+    ASSERT_EQ(r_fleet.replanned, r_solo.replanned) << "epoch " << epoch;
+    // Identical planned condition (quantized utilizations bitwise equal).
+    EXPECT_TRUE(bit_equal(r_fleet.planned_condition.util_primary,
+                          r_solo.planned_condition.util_primary));
+    EXPECT_TRUE(bit_equal(r_fleet.planned_condition.util_collocated,
+                          r_solo.planned_condition.util_collocated));
+    // Identical memo behaviour: same cells simulated vs reused per epoch.
+    EXPECT_EQ(r_fleet.cells_simulated, r_solo.cells_simulated);
+    EXPECT_EQ(r_fleet.cells_reused, r_solo.cells_reused);
+    // The identity itself: bit-identical applied timeout vectors.
+    EXPECT_TRUE(bit_equal(r_fleet.timeout_primary, r_solo.timeout_primary));
+    EXPECT_TRUE(
+        bit_equal(r_fleet.timeout_collocated, r_solo.timeout_collocated));
+    EXPECT_TRUE(bit_equal(fleet.shard(0).timeout(0), solo.timeout(0)));
+    EXPECT_TRUE(bit_equal(fleet.shard(0).timeout(1), solo.timeout(1)));
+  }
+  EXPECT_EQ(fleet.totals().replans, solo.totals().replans);
+  EXPECT_GT(fleet.totals().replans, 0u);
+}
+
+TEST_F(FleetTest, TwoShardSplitAggregatesToTheFleetCondition) {
+  // The same offered load split across two shards (each carries half the
+  // rate against half the fleet's capacity) must merge to the same fleet
+  // utilization a single shard carrying it all would see.
+  serve::ModelSnapshot<serve::ServingModel> snap(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  FleetCoordinator fleet(snap, fleet_config(2));
+
+  // Each shard gets a thinned stream: gap 1.25s -> 0.8 arrivals/s/shard,
+  // 1.6 aggregate against 4 servers of unit service = utilization 0.4...
+  // per-workload utilization = rate x service / servers_total = 0.4.
+  feed_stationary(fleet.shard(0).ingest(), 0.0, 60.0, 2.0);
+  feed_stationary(fleet.shard(1).ingest(), 0.0, 60.0, 2.0);
+  const FleetEpochReport r = fleet.run_epoch(60.0);
+  ASSERT_TRUE(r.warm);
+  EXPECT_EQ(r.active_shards, 2u);
+
+  // Pooled counts are exact sums of the two shards' windows: 24 in-window
+  // completions per shard per workload (gap 1.25s, 30s window).
+  EXPECT_EQ(r.merged_primary.completions, 48u);
+  EXPECT_NEAR(r.merged_primary.arrival_rate, 1.6, 0.05);
+  EXPECT_NEAR(r.merged_primary.utilization, 0.4, 0.02);
+  EXPECT_NEAR(r.merged_collocated.utilization, 0.4, 0.02);
+  // The planned condition snapped onto the profiled axis from the merged
+  // utilization (clamped at util_lo = 0.25 grid, quantum 0.05).
+  EXPECT_NEAR(r.planned_condition.util_primary, 0.4, 0.051);
+  ASSERT_TRUE(r.replanned);
+  // Both shards applied the same published plan.
+  EXPECT_TRUE(bit_equal(fleet.shard(0).timeout(0), fleet.shard(1).timeout(0)));
+  EXPECT_TRUE(bit_equal(fleet.shard(0).timeout(1), fleet.shard(1).timeout(1)));
+  EXPECT_EQ(fleet.totals().plan_pushes, 2u);
+}
+
+TEST_F(FleetTest, LeaveDrainsCheckpointsAndRenormalizesCapacity) {
+  serve::ModelSnapshot<serve::ServingModel> snap(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  FleetCoordinator fleet(snap, fleet_config(2));
+
+  feed_stationary(fleet.shard(0).ingest(), 0.0, 60.0, 2.0);
+  feed_stationary(fleet.shard(1).ingest(), 0.0, 60.0, 2.0);
+  ASSERT_TRUE(fleet.run_epoch(60.0).replanned);
+
+  // Events published after the last epoch but before the leave: the final
+  // drain inside leave_shard must fold them in — zero loss.
+  feed_stationary(fleet.shard(1).ingest(), 60.0, 90.0, 2.0);
+  const std::uint64_t pushed = fleet.shard(1).ingest().pushed();
+  const serve::ControllerCheckpoint ckpt = fleet.leave_shard(1, 90.0);
+  EXPECT_EQ(fleet.shard(1).ingest().popped(), pushed);
+  EXPECT_EQ(fleet.shard(1).ingest().dropped(), 0u);
+  EXPECT_FALSE(fleet.shard(1).active());
+  EXPECT_EQ(fleet.active_shards(), 1u);
+  ASSERT_EQ(ckpt.workloads.size(), 2u);
+  // The checkpoint carries the shard's full lifetime accounting (including
+  // the final drain) and its applied vector.
+  EXPECT_EQ(ckpt.workloads[0].completions +
+                ckpt.workloads[1].completions +
+                ckpt.workloads[0].arrivals + ckpt.workloads[1].arrivals,
+            pushed);
+  EXPECT_TRUE(bit_equal(ckpt.workloads[0].timeout, fleet.shard(0).timeout(0)));
+
+  // Next epoch plans on the remaining capacity: same per-shard offered
+  // load, half the servers — the merged utilization renormalizes (one
+  // shard at 0.8 arrivals/s over 2 servers = 0.4, unchanged per-capacity).
+  feed_stationary(fleet.shard(0).ingest(), 60.0, 120.0, 2.0);
+  const FleetEpochReport after = fleet.run_epoch(120.0);
+  EXPECT_EQ(after.active_shards, 1u);
+  EXPECT_NEAR(after.merged_primary.utilization, 0.4, 0.05);
+  EXPECT_EQ(fleet.totals().leaves, 1u);
+
+  // Rejoin from the hand-off checkpoint: estimator continuity restored.
+  const serve::RecoveryReport rec = fleet.rejoin_shard(1, ckpt, 120.0);
+  EXPECT_TRUE(rec.restored);
+  EXPECT_FALSE(rec.quarantined);
+  EXPECT_TRUE(fleet.shard(1).active());
+  EXPECT_EQ(fleet.active_shards(), 2u);
+  EXPECT_EQ(fleet.totals().joins, 1u);
+  // The rejoined shard serves the currently published plan immediately.
+  EXPECT_TRUE(bit_equal(fleet.shard(1).timeout(0), fleet.shard(0).timeout(0)));
+  EXPECT_TRUE(bit_equal(fleet.shard(1).timeout(1), fleet.shard(0).timeout(1)));
+}
+
+TEST_F(FleetTest, RejoinQuarantinesMalformedCheckpointAndJoinsCold) {
+  serve::ModelSnapshot<serve::ServingModel> snap(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  FleetCoordinator fleet(snap, fleet_config(2));
+  feed_stationary(fleet.shard(0).ingest(), 0.0, 60.0);
+  feed_stationary(fleet.shard(1).ingest(), 0.0, 60.0);
+  ASSERT_TRUE(fleet.run_epoch(60.0).replanned);
+  (void)fleet.leave_shard(1, 60.0);
+
+  // A checkpoint from a different (3-workload) fleet generation: the shape
+  // does not match the live pair.  Quarantine — but the shard still
+  // rejoins, cold, serving the current fleet plan.
+  serve::ControllerCheckpoint stale;
+  stale.workloads.resize(3);
+  for (auto& w : stale.workloads) w.timeout = 0.5;
+  const serve::RecoveryReport rec = fleet.rejoin_shard(1, stale, 61.0);
+  EXPECT_FALSE(rec.restored);
+  EXPECT_TRUE(rec.quarantined);
+  EXPECT_FALSE(rec.reason.empty());
+  EXPECT_TRUE(fleet.shard(1).active());
+  EXPECT_EQ(fleet.totals().join_quarantines, 1u);
+  EXPECT_EQ(fleet.shard(1).totals().restore_quarantines, 1u);
+  // Not the stale checkpoint's 0.5 — the published plan.
+  EXPECT_TRUE(bit_equal(fleet.shard(1).timeout(0), fleet.shard(0).timeout(0)));
+
+  // A non-finite timeout quarantines the same way.
+  (void)fleet.leave_shard(1, 62.0);
+  serve::ControllerCheckpoint nan_ckpt;
+  nan_ckpt.workloads.resize(2);
+  nan_ckpt.workloads[0].timeout = std::numeric_limits<double>::quiet_NaN();
+  nan_ckpt.workloads[1].timeout = 1.0;
+  const serve::RecoveryReport rec2 = fleet.rejoin_shard(1, nan_ckpt, 63.0);
+  EXPECT_TRUE(rec2.quarantined);
+  EXPECT_EQ(fleet.totals().join_quarantines, 2u);
+  // The NaN never reached the applied vector.
+  EXPECT_TRUE(std::isfinite(fleet.shard(1).timeout(0)));
+}
+
+TEST_F(FleetTest, ColdFleetHoldsInitialVectorAndNeverPublishesNaN) {
+  serve::ModelSnapshot<serve::ServingModel> snap;  // no model published
+  FleetCoordinator fleet(snap, fleet_config(2));
+  const FleetEpochReport cold = fleet.run_epoch(1.0);
+  EXPECT_FALSE(cold.warm);
+  EXPECT_FALSE(cold.replanned);
+  EXPECT_DOUBLE_EQ(cold.timeout_primary, 1.0);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_TRUE(std::isfinite(fleet.shard(s).timeout(0)));
+    EXPECT_TRUE(std::isfinite(fleet.shard(s).timeout(1)));
+  }
+  // Warm traffic but still no model: hold, not an error.
+  feed_stationary(fleet.shard(0).ingest(), 0.0, 60.0);
+  feed_stationary(fleet.shard(1).ingest(), 0.0, 60.0);
+  const FleetEpochReport held = fleet.run_epoch(60.0);
+  EXPECT_TRUE(held.warm);
+  EXPECT_TRUE(held.model_unavailable_hold);
+  EXPECT_FALSE(held.replanned);
+  EXPECT_EQ(fleet.totals().model_unavailable_holds, 1u);
+}
+
+TEST_F(FleetTest, LibraryMergeDeduplicatesAcrossNodes) {
+  serve::ModelSnapshot<serve::ServingModel> snap(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  FleetCoordinator fleet(snap, fleet_config(1));
+
+  // "Node A" contributes the manager's calibration profiles.
+  const core::ProfileLibrary& node_a = mgr_->library();
+  const auto first = fleet.merge_library(node_a);
+  EXPECT_EQ(first.added, node_a.size());
+  EXPECT_EQ(first.duplicates, 0u);
+
+  // "Node B" re-offers the same profiles: all duplicates, none added.
+  const auto second = fleet.merge_library(node_a);
+  EXPECT_EQ(second.added, 0u);
+  EXPECT_EQ(second.duplicates, node_a.size());
+  EXPECT_EQ(fleet.library().size(), node_a.size());
+  EXPECT_EQ(fleet.totals().library_profiles_merged, node_a.size());
+}
+
+TEST_F(FleetTest, AsyncRefreshConvergesANodeThatMissedThePush) {
+  serve::ModelSnapshot<serve::ServingModel> snap(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  FleetCoordinator fleet(snap, fleet_config(2));
+  feed_stationary(fleet.shard(0).ingest(), 0.0, 60.0);
+  feed_stationary(fleet.shard(1).ingest(), 0.0, 60.0);
+  ASSERT_TRUE(fleet.run_epoch(60.0).replanned);
+
+  // A node with the plan already applied sees nothing new...
+  EXPECT_FALSE(fleet.shard(0).refresh_plan(fleet.plans()));
+  // ...and a stale node (simulated: fresh shard state via leave + cold
+  // rejoin) pulls the current plan from the RCU snapshot on its own.
+  const auto plan_guard = fleet.plans().acquire();
+  ASSERT_TRUE(static_cast<bool>(plan_guard));
+  EXPECT_EQ(plan_guard->epoch, 1u);
+  EXPECT_TRUE(bit_equal(plan_guard->timeout_primary, fleet.shard(0).timeout(0)));
+}
+
+}  // namespace
+}  // namespace stac::fleet

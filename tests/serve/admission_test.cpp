@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -117,6 +119,45 @@ TEST(Admission, FairnessScalesShedTowardTheHeavyWorkload) {
   // sheds strictly less — one tenant's burst cannot starve the other.
   EXPECT_GT(heavy, light);
   EXPECT_GT(light, 0.0);  // but nobody rides free under pressure
+}
+
+TEST(Admission, AllIdleEpochKeepsFairnessScalesAtUnity) {
+  // Regression: an epoch in which nothing was offered made the fairness
+  // share 0/0.  A NaN scale stored here would flow into every producer's
+  // shed coin until the next epoch.  The all-idle rescale must behave
+  // exactly like a fresh controller: scale 1.0 for everyone.
+  ArrivalIngest ring(256);
+  AdmissionController idle_rescaled(ring, 2);
+  idle_rescaled.note_epoch(0.0);  // zero offers since construction
+  idle_rescaled.note_epoch(0.0);  // and again: repeated idle epochs
+  AdmissionController fresh(ring, 2);
+
+  fill_ring(ring, 250);  // saturate the shared depth signal
+  for (std::size_t w = 0; w < 2; ++w) {
+    const double p = idle_rescaled.shed_probability(w);
+    EXPECT_TRUE(std::isfinite(p)) << "workload " << w;
+    EXPECT_EQ(p, fresh.shed_probability(w)) << "workload " << w;
+  }
+}
+
+TEST(Admission, NonFiniteEpochLagIsDroppedNotFolded) {
+  ArrivalIngest ring(1024);  // empty ring: lag is the only pressure term
+  AdmissionConfig cfg;
+  cfg.lag_weight = 0.5;
+  cfg.lag_grace = 0.5;
+  AdmissionController admission(ring, 2);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    admission.note_epoch(bad);
+    for (std::size_t w = 0; w < 2; ++w) {
+      const double p = admission.shed_probability(w);
+      EXPECT_TRUE(std::isfinite(p));
+      EXPECT_EQ(p, 0.0);  // a glitched clock never sheds traffic
+    }
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(admission.admit(i % 2));
+  }
+  EXPECT_EQ(admission.shed(), 0u);
 }
 
 TEST(Admission, OutOfRangeWorkloadIsAdmittedUngoverned) {

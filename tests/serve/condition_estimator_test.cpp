@@ -211,6 +211,49 @@ TEST(ConditionEstimator, SnapshotRestoreRoundTripsEwmaState) {
   EXPECT_EQ(b.estimate(0, 10.0).completions, 0u);
 }
 
+TEST(ConditionEstimator, RestoreWorkloadQuarantinesOutOfRangeSlot) {
+  // A checkpoint describing more workloads than the live config (the set
+  // changed across the restart) must be refused slot-by-slot: counted,
+  // nothing written, no walk off the end, and the valid slots untouched.
+  ConditionEstimator est(2, 1);
+  for (int i = 0; i < 4; ++i)
+    est.observe(completion(0, 1.0 + 0.1 * i, 0.05, 0.4));
+  const auto before = est.snapshot_workload(0);
+
+  ConditionEstimator::WorkloadEstimatorState stray;
+  stray.ewma_service = 99.0;
+  stray.completions = 1000;
+  EXPECT_FALSE(est.restore_workload(2, stray));
+  EXPECT_FALSE(est.restore_workload(17, stray));
+  EXPECT_EQ(est.restore_quarantined(), 2u);
+
+  const auto after = est.snapshot_workload(0);
+  EXPECT_EQ(after.ewma_service, before.ewma_service);
+  EXPECT_EQ(after.completions, before.completions);
+}
+
+TEST(ConditionEstimator, WindowMomentsAndEstimateDescribeTheSameWindow) {
+  // The fleet aggregation path (window_moments -> merge_moments) and the
+  // standalone path (estimate) must read the same retained window: the
+  // moments' counts, rate, and service mean are exactly the estimate's.
+  ConditionEstimator est(1, 2);
+  for (int i = 0; i < 25; ++i) {
+    const double t = 0.4 * i;
+    est.observe(arrival(0, t));
+    est.observe(completion(0, t + 0.1, 0.02, 0.5 + 0.01 * i, i % 3 == 0));
+  }
+  est.observe(timeout_event(0, 10.0));
+
+  const double now = 10.2;
+  const core::WorkloadMoments m = est.window_moments(0, now);
+  const WorkloadEstimate e = est.estimate(0, now);
+  EXPECT_EQ(m.completions, e.completions);
+  EXPECT_EQ(m.service.count(), e.completions);
+  EXPECT_EQ(m.arrival_rate, e.arrival_rate);
+  EXPECT_EQ(m.service.mean(), e.mean_service);
+  EXPECT_EQ(e.utilization, m.arrival_rate * m.service.mean() / 2.0);
+}
+
 TEST(ConditionEstimator, WarmRequiresMinCompletions) {
   EstimatorConfig cfg;
   cfg.min_completions = 3;

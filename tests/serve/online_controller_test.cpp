@@ -456,7 +456,9 @@ TEST_F(OnlineControllerTest, RecoveryMatchesUninterruptedRunBitExactly) {
   ModelSnapshot<ServingModel> snap_b(bundle_for());
   ControllerConfig cfg_b = controller_config();  // no checkpoint dir: read-only
   OnlineController b(ring_b, snap_b, cfg_b);
-  b.recover(*loaded.checkpoint, 60.0);
+  const RecoveryReport rec = b.recover(*loaded.checkpoint, 60.0);
+  EXPECT_TRUE(rec.restored);
+  EXPECT_FALSE(rec.quarantined);
   EXPECT_EQ(b.totals().recoveries, 1u);
   EXPECT_EQ(b.totals().epochs, 1u);  // epoch counter continues, not restarts
 
@@ -483,20 +485,59 @@ TEST_F(OnlineControllerTest, RecoveryMatchesUninterruptedRunBitExactly) {
             a2.planned_condition.util_collocated);
 }
 
-TEST_F(OnlineControllerTest, RecoverRejectsMalformedCheckpoints) {
+TEST_F(OnlineControllerTest, RecoverQuarantinesMalformedCheckpoints) {
   ArrivalIngest ring(1024);
   ModelSnapshot<ServingModel> snap;
   OnlineController ctrl(ring, snap, controller_config());
 
+  // A checkpoint written before a retrain changed the workload set: the
+  // shape no longer matches the live pair.  Quarantined — counted, nothing
+  // restored, and the controller keeps serving its initial vector rather
+  // than crashing on stale durable state.
   ControllerCheckpoint wrong_shape;
   wrong_shape.workloads.resize(1);
-  EXPECT_THROW(ctrl.recover(wrong_shape, 1.0), ContractViolation);
+  wrong_shape.workloads[0].timeout = 0.25;
+  wrong_shape.workloads[0].arrivals = 777;
+  const RecoveryReport shape = ctrl.recover(wrong_shape, 1.0);
+  EXPECT_FALSE(shape.restored);
+  EXPECT_TRUE(shape.quarantined);
+  EXPECT_FALSE(shape.reason.empty());
+  EXPECT_DOUBLE_EQ(ctrl.timeout(0), 1.0);  // untouched
 
   ControllerCheckpoint bad_timeout;
   bad_timeout.workloads.resize(2);
   bad_timeout.workloads[0].timeout = -1.0;
-  EXPECT_THROW(ctrl.recover(bad_timeout, 1.0), ContractViolation);
+  const RecoveryReport bad = ctrl.recover(bad_timeout, 1.0);
+  EXPECT_FALSE(bad.restored);
+  EXPECT_TRUE(bad.quarantined);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(0), 1.0);
+
+  // Validation runs before mutation: the oversize checkpoint's extra slots
+  // never walked off the estimator's end, and nothing was half-applied.
+  ControllerCheckpoint oversize;
+  oversize.workloads.resize(5);
+  for (auto& w : oversize.workloads) w.timeout = 0.5;
+  const RecoveryReport over = ctrl.recover(oversize, 1.0);
+  EXPECT_TRUE(over.quarantined);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(0), 1.0);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(1), 1.0);
+
   EXPECT_EQ(ctrl.totals().recoveries, 0u);
+  EXPECT_EQ(ctrl.totals().recovery_quarantines, 3u);
+  EXPECT_EQ(ctrl.estimator().restore_quarantined(), 0u);
+
+  // A clean checkpoint still restores after the quarantines.
+  ControllerCheckpoint good;
+  good.epoch = 7;
+  good.workloads.resize(2);
+  good.workloads[0].timeout = 2.0;
+  good.workloads[1].timeout = 6.0;
+  const RecoveryReport ok = ctrl.recover(good, 1.0);
+  EXPECT_TRUE(ok.restored);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(0), 2.0);
+  EXPECT_DOUBLE_EQ(ctrl.timeout(1), 6.0);
+  EXPECT_EQ(ctrl.totals().recoveries, 1u);
+  EXPECT_EQ(ctrl.totals().epochs, 7u);
 }
 
 TEST_F(OnlineControllerTest, HotSwapUnderLoadLosesNoEvents) {
