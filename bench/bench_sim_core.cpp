@@ -42,6 +42,12 @@ using namespace stac::bench;
 
 namespace {
 
+/// Pool width below which the batch-engine sections report their
+/// measurement but make no speedup claim: the wave's win is fan-out across
+/// the worker pool, and at 1-2 workers the number is scheduling noise
+/// (0.95x on the PR-7 record's 2-worker box), not a property of the engine.
+constexpr std::size_t kMinBatchClaimWorkers = 4;
+
 /// Best-of-`reps` wall time for one call.
 template <typename Fn>
 double timed_best(std::size_t reps, Fn&& fn) {
@@ -177,11 +183,11 @@ std::uint64_t drive_replay(cachesim::CacheHierarchy& h, const Trace& t,
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::parse(argc, argv);
-  // This binary owns the PR-7 record; an explicit --json or STAC_BENCH_JSON
-  // still wins.
+  // This binary owns a section of the PR-9 record; an explicit --json or
+  // STAC_BENCH_JSON still wins.
   if (args.json_path == "BENCH_PR2.json" &&
       std::getenv("STAC_BENCH_JSON") == nullptr)
-    args.json_path = "BENCH_PR7.json";
+    args.json_path = "BENCH_PR9.json";
   print_banner(std::cout, "Simulation-core performance (G/G/k, cachesim, memoization)");
   const std::size_t workers = ensure_bench_pool();
   obs::set_enabled(true);  // gauges (hit rates) ride along in obs_metrics
@@ -264,16 +270,28 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; identical && i < grid.size(); ++i)
       identical = same_result(per_cell[i], batch[i]);
     const double speedup = cell_s / batch_s;
+    // The batch engine's win is pool fan-out over the grid; on a small
+    // machine the fan-out barely outruns its own scheduling (the PR-7
+    // record printed 0.95x at pool_workers: 2).  Same policy as the PR-2
+    // cascade sections: record the measurement, claim the speedup only
+    // when the pool is wide enough for it to mean anything.
+    const bool claim = workers >= kMinBatchClaimWorkers;
     JsonObject s;
     s.set("grid_cells", grid.size())
         .set("queries_per_cell", queries)
+        .set("workers", workers)
         .set("per_cell_s", cell_s)
         .set("batch_s", batch_s)
-        .set("speedup", speedup)
+        .set("speedup_measured", speedup)
+        .set("speedup_claimed", claim)
         .set("bit_identical", identical);
+    if (claim) s.set("speedup", speedup);
     record.set("ggk_batch", s);
     table.add_row({"G/G/k batch engine", Table::num(cell_s, 3) + "s",
-                   Table::num(batch_s, 3) + "s", Table::num(speedup, 2),
+                   Table::num(batch_s, 3) + "s",
+                   claim ? Table::num(speedup, 2)
+                         : Table::num(speedup, 2) + " (n/a: " +
+                               std::to_string(workers) + " workers)",
                    identical ? "yes" : "NO"});
   }
 
@@ -468,15 +486,24 @@ int main(int argc, char** argv) {
                   base.predicted_collocated.data()[i] ==
                       wave.predicted_collocated.data()[i];
     const double speedup = cell_s / batch_s;
+    // Same honesty rule as ggk_batch: the wave's advantage is pool-wide
+    // CRN-stream sharing and fan-out, invisible at 1-2 workers.
+    const bool claim = workers >= kMinBatchClaimWorkers;
     JsonObject s;
     s.set("grid_cells", per_cell.grid.size() * per_cell.grid.size())
+        .set("workers", workers)
         .set("per_cell_s", cell_s)
         .set("batch_s", batch_s)
-        .set("speedup", speedup)
+        .set("speedup_measured", speedup)
+        .set("speedup_claimed", claim)
         .set("bit_identical", identical);
+    if (claim) s.set("speedup", speedup);
     record.set("policy_sweep_batch", s);
     table.add_row({"policy sweep (batched)", Table::num(cell_s, 3) + "s",
-                   Table::num(batch_s, 3) + "s", Table::num(speedup, 2),
+                   Table::num(batch_s, 3) + "s",
+                   claim ? Table::num(speedup, 2)
+                         : Table::num(speedup, 2) + " (n/a: " +
+                               std::to_string(workers) + " workers)",
                    identical ? "yes" : "NO"});
   }
 

@@ -23,6 +23,23 @@ std::vector<double> tabular_row(const ml::ProfileSample& s) {
 
 EaModel::EaModel(EaModelConfig config) : config_(std::move(config)) {}
 
+EaModel::EaModel(const EaModel& other)
+    : config_(other.config_), trained_(other.trained_),
+      deep_(other.deep_ ? std::make_unique<ml::DeepForest>(*other.deep_)
+                        : nullptr),
+      forest_(other.forest_ ? std::make_unique<ml::RandomForest>(*other.forest_)
+                            : nullptr),
+      tree_(other.tree_ ? std::make_unique<ml::DecisionTree>(*other.tree_)
+                        : nullptr),
+      linear_(other.linear_
+                  ? std::make_unique<ml::LinearRegression>(*other.linear_)
+                  : nullptr) {}
+
+EaModel& EaModel::operator=(const EaModel& other) {
+  if (this != &other) *this = EaModel(other);  // copy-then-move
+  return *this;
+}
+
 ml::ProfileSample EaModel::make_sample(const Profile& profile) const {
   const bool needs_image = config_.backend == EaBackend::kDeepForest;
   ml::ProfileSample s = Profiler::to_sample(
@@ -79,6 +96,59 @@ void EaModel::fit(const std::vector<Profile>& profiles) {
     }
   }
   trained_ = true;
+}
+
+void EaModel::refit_incremental(const std::vector<Profile>& profiles,
+                                double retrain_fraction) {
+  if (!trained_) {
+    fit(profiles);
+    return;
+  }
+  STAC_REQUIRE(!profiles.empty());
+  STAC_TRACE_SPAN(span, "model.refit", "ml");
+  span.arg("profiles", static_cast<std::uint64_t>(profiles.size()));
+  obs::count("ml.model_warm_refits");
+  // Same failure domain as fit(): a warm refit is still a training job and
+  // dies the same way (the RefitExecutor's retry ladder catches it).
+  FaultInjector::global().check("model.fit");
+  std::vector<ml::ProfileSample> samples;
+  std::vector<double> targets;
+  samples.reserve(profiles.size());
+  targets.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    samples.push_back(make_sample(p));
+    targets.push_back(p.ea_boost);
+  }
+
+  switch (config_.backend) {
+    case EaBackend::kDeepForest:
+    case EaBackend::kCascadeOnly:
+      deep_->refit_incremental(samples, targets, retrain_fraction);
+      break;
+    case EaBackend::kSimpleForest: {
+      Matrix x(0, samples.front().tabular.size());
+      for (const auto& s : samples) x.append_row(tabular_row(s));
+      forest_->refit_incremental(ml::Dataset(std::move(x), targets),
+                                 retrain_fraction);
+      break;
+    }
+    case EaBackend::kTree: {
+      // No incremental path for a single tree — a full refit is already
+      // cheap at this scale.
+      Matrix x(0, samples.front().tabular.size());
+      for (const auto& s : samples) x.append_row(tabular_row(s));
+      tree_ = std::make_unique<ml::DecisionTree>(config_.tree);
+      tree_->fit(ml::Dataset(std::move(x), targets));
+      break;
+    }
+    case EaBackend::kLinear: {
+      Matrix x(0, samples.front().tabular.size());
+      for (const auto& s : samples) x.append_row(tabular_row(s));
+      linear_ = std::make_unique<ml::LinearRegression>();
+      linear_->fit(ml::Dataset(std::move(x), targets));
+      break;
+    }
+  }
 }
 
 double EaModel::predict(const ml::ProfileSample& sample) const {

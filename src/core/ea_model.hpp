@@ -44,7 +44,25 @@ class EaModel {
  public:
   explicit EaModel(EaModelConfig config = {});
 
+  /// Deep copies (the backends are value types behind the unique_ptrs) —
+  /// the RefitExecutor keeps a mutable master model and copies it into
+  /// each immutable ServingModel bundle it publishes.
+  EaModel(const EaModel& other);
+  EaModel& operator=(const EaModel& other);
+  EaModel(EaModel&&) noexcept = default;
+  EaModel& operator=(EaModel&&) noexcept = default;
+
   void fit(const std::vector<profiler::Profile>& profiles);
+
+  /// Warm-start refit: `profiles` must extend the set the model was fitted
+  /// on (ProfileLibrary order is append-only, so a grown library snapshot
+  /// qualifies).  Forest-backed backends retrain only a round-robin tree
+  /// subset (see RandomForest/CascadeForest::refit_incremental); the cheap
+  /// tree/linear backends simply refit in full.  Falls back to fit() when
+  /// the model is untrained.  Shares fit()'s "model.fit" fault point — a
+  /// refit job can die exactly like a training job.
+  void refit_incremental(const std::vector<profiler::Profile>& profiles,
+                         double retrain_fraction = 0.125);
 
   /// Predicted EA, clamped into (0, 1].
   [[nodiscard]] double predict(const ml::ProfileSample& sample) const;

@@ -198,6 +198,15 @@ core::ProfileLibrary::MergeStats FleetCoordinator::merge_library(
   obs::MetricsRegistry::global()
       .counter("fleet.library_profiles_merged")
       .add(stats.added);
+  // Route the delta through the shared refit pipeline: the executor merges
+  // it into the authoritative library, warm-refits the masters off this
+  // thread, and publishes the refreshed bundle — one node's calibration
+  // warms the whole fleet without any coordinator epoch carrying a fit.
+  if (config_.refit != nullptr && stats.added > 0) {
+    (void)config_.refit->request_refit(other);
+    ++totals_.refit_requests;
+    obs::count("fleet.refit_requests");
+  }
   return stats;
 }
 

@@ -42,6 +42,7 @@
 #include "fleet/node_shard.hpp"
 #include "serve/epoch_planner.hpp"
 #include "serve/model_snapshot.hpp"
+#include "serve/refit_executor.hpp"
 #include "serve/serving_model.hpp"
 
 namespace stac::fleet {
@@ -64,6 +65,12 @@ struct FleetConfig {
   /// Plan-lag denominator for per-node admission feedback (mirrors
   /// ControllerConfig::plan_deadline_seconds; 0 = no lag signal).
   double plan_deadline_seconds = 0.0;
+  /// Background refit pipeline (not owned; must outlive the coordinator).
+  /// When set, merge_library routes merged deltas through the executor —
+  /// merge→warm-refit→publish happens off the coordinator thread and no
+  /// fleet epoch ever carries a fit.  null = merges only update the
+  /// coordinator's library (the pre-executor behavior).
+  serve::RefitExecutor* refit = nullptr;
 };
 
 /// What one coordinator epoch did.
@@ -150,6 +157,7 @@ class FleetCoordinator {
     std::uint64_t joins = 0;
     std::uint64_t join_quarantines = 0;
     std::uint64_t library_profiles_merged = 0;
+    std::uint64_t refit_requests = 0;  ///< merges routed to the RefitExecutor
     std::uint64_t watchdog_revocations = 0;
   };
   [[nodiscard]] const Totals& totals() const { return totals_; }

@@ -39,12 +39,58 @@ void train_forest_bank(std::vector<RandomForest>& out, std::size_t count,
   }
 }
 
+/// Warm-refit every forest of a bank in place (pool fan-out mirrors
+/// train_forest_bank; each forest's refit is internally deterministic).
+void refit_forest_bank(std::vector<RandomForest>& bank, const Dataset& data,
+                       bool parallel, double retrain_fraction) {
+  auto refit_one = [&](std::size_t f) {
+    STAC_TRACE_SPAN(span, "forest.refit", "ml");
+    span.arg("slot", static_cast<std::uint64_t>(f));
+    bank[f].refit_incremental(data, retrain_fraction);
+  };
+  if (parallel && bank.size() > 1) {
+    ThreadPool::global().parallel_for(0, bank.size(), refit_one);
+  } else {
+    for (std::size_t f = 0; f < bank.size(); ++f) refit_one(f);
+  }
+}
+
 }  // namespace
 
 CascadeForest::CascadeForest(CascadeConfig config) : config_(config) {
   STAC_REQUIRE(config.levels >= 1);
   STAC_REQUIRE(config.forests_per_level >= 1);
   STAC_REQUIRE(config.final_forests >= 1);
+}
+
+Matrix CascadeForest::assemble_training_matrix(
+    const Dataset& base, const std::vector<Matrix>& per_level_extra,
+    std::size_t extra_blocks, std::size_t concept_width) const {
+  const std::size_t n = base.size();
+  std::size_t width = base.feature_count();
+  for (std::size_t g = 0; g < extra_blocks; ++g)
+    width += per_level_extra[g].cols();
+  width += concept_width;
+  Matrix x(n, width);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto dst = x.row(r);
+    std::size_t at = 0;
+    const auto b = base.row(r);
+    std::copy(b.begin(), b.end(), dst.begin());
+    at += b.size();
+    for (std::size_t g = 0; g < extra_blocks; ++g) {
+      const auto e = per_level_extra[g].row(r);
+      std::copy(e.begin(), e.end(),
+                dst.begin() + static_cast<std::ptrdiff_t>(at));
+      at += e.size();
+    }
+    const auto& cr = concept_rows_[r];
+    STAC_REQUIRE(cr.size() >= concept_width);
+    std::copy(cr.begin(),
+              cr.begin() + static_cast<std::ptrdiff_t>(concept_width),
+              dst.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  return x;
 }
 
 void CascadeForest::fit(const Dataset& base,
@@ -60,9 +106,10 @@ void CascadeForest::fit(const Dataset& base,
   const std::size_t n = base.size();
   Rng rng(config_.seed);
 
-  // Training-side concepts accumulate per sample across levels (OOB).
-  Matrix concepts(n, 0);
-  std::vector<std::vector<double>> concept_rows(n);
+  // Training-side concepts accumulate per sample across levels (OOB);
+  // cached as a member so a later warm refit can reassemble any level's
+  // matrix with old rows' concepts frozen at these fitted values.
+  concept_rows_.assign(n, {});
 
   STAC_TRACE_SPAN(fit_span, "cascade.fit", "ml");
   fit_span.arg("samples", static_cast<std::uint64_t>(n));
@@ -74,28 +121,11 @@ void CascadeForest::fit(const Dataset& base,
     Level level;
     level.extra_grains = std::min(per_level_extra.size(), l + 1);
 
-    // Assemble this level's training matrix: base + visible extras +
-    // accumulated concepts.
-    std::size_t width = base_features_;
-    for (std::size_t g = 0; g < level.extra_grains; ++g)
-      width += per_level_extra[g].cols();
-    width += concept_rows.empty() ? 0 : concept_rows.front().size();
-
-    Matrix x(n, width);
-    for (std::size_t r = 0; r < n; ++r) {
-      auto dst = x.row(r);
-      std::size_t at = 0;
-      const auto b = base.row(r);
-      std::copy(b.begin(), b.end(), dst.begin());
-      at += b.size();
-      for (std::size_t g = 0; g < level.extra_grains; ++g) {
-        const auto e = per_level_extra[g].row(r);
-        std::copy(e.begin(), e.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
-        at += e.size();
-      }
-      const auto& cr = concept_rows[r];
-      std::copy(cr.begin(), cr.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
-    }
+    // This level's training matrix: base + visible extras + accumulated
+    // concepts (l levels seen so far → l * forests_per_level concepts).
+    Matrix x = assemble_training_matrix(base, per_level_extra,
+                                        level.extra_grains,
+                                        l * config_.forests_per_level);
     Dataset level_data(std::move(x), base.targets());
 
     // Train the level's forests (alternating random / completely-random),
@@ -115,7 +145,7 @@ void CascadeForest::fit(const Dataset& base,
     // Append this level's OOB concepts for the next level.
     for (std::size_t r = 0; r < n; ++r) {
       for (const auto& forest : level.forests)
-        concept_rows[r].push_back(forest.oob_predictions()[r]);
+        concept_rows_[r].push_back(forest.oob_predictions()[r]);
     }
     levels_.push_back(std::move(level));
   }
@@ -123,26 +153,9 @@ void CascadeForest::fit(const Dataset& base,
   // Closing bank: random forests over base + all extras + all concepts.
   {
     STAC_TRACE_SPAN(final_span, "cascade.final", "ml");
-    const std::size_t extra_all = per_level_extra.size();
-    std::size_t width = base_features_;
-    for (std::size_t g = 0; g < extra_all; ++g)
-      width += per_level_extra[g].cols();
-    width += concept_rows.front().size();
-    Matrix x(n, width);
-    for (std::size_t r = 0; r < n; ++r) {
-      auto dst = x.row(r);
-      std::size_t at = 0;
-      const auto b = base.row(r);
-      std::copy(b.begin(), b.end(), dst.begin());
-      at += b.size();
-      for (std::size_t g = 0; g < extra_all; ++g) {
-        const auto e = per_level_extra[g].row(r);
-        std::copy(e.begin(), e.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
-        at += e.size();
-      }
-      const auto& cr = concept_rows[r];
-      std::copy(cr.begin(), cr.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
-    }
+    Matrix x = assemble_training_matrix(base, per_level_extra,
+                                        per_level_extra.size(),
+                                        concept_rows_.front().size());
     Dataset final_data(std::move(x), base.targets());
     train_forest_bank(final_forests_, config_.final_forests, final_data, rng,
                       config_.parallel, [&](std::size_t) {
@@ -154,7 +167,60 @@ void CascadeForest::fit(const Dataset& base,
                         return fc;
                       });
   }
+  trained_rows_ = n;
   obs::count("ml.cascade_fits");
+}
+
+void CascadeForest::refit_incremental(
+    const Dataset& base, const std::vector<Matrix>& per_level_extra,
+    double retrain_fraction) {
+  STAC_REQUIRE_MSG(trained(), "refit_incremental before fit");
+  STAC_REQUIRE(!base.empty());
+  STAC_REQUIRE_MSG(base.feature_count() == base_features_,
+                   "base feature width changed under warm refit");
+  const std::size_t n = base.size();
+  const std::size_t old_n = trained_rows_;
+  STAC_REQUIRE_MSG(n >= old_n, "warm refit requires a grown (or equal) dataset");
+  for (const auto& m : per_level_extra)
+    STAC_REQUIRE_MSG(m.rows() == n, "extra feature block row count mismatch");
+
+  STAC_TRACE_SPAN(refit_span, "cascade.refit", "ml");
+  refit_span.arg("samples", static_cast<std::uint64_t>(n));
+  refit_span.arg("new_samples", static_cast<std::uint64_t>(n - old_n));
+
+  // New rows start with empty concept vectors and accumulate level by
+  // level; old rows keep their fitted concepts frozen (see header note).
+  concept_rows_.resize(n);
+
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    STAC_TRACE_SPAN(level_span, "cascade.refit_level", "ml");
+    level_span.arg("level", static_cast<std::uint64_t>(l));
+    Level& level = levels_[l];
+    STAC_REQUIRE_MSG(per_level_extra.size() >= level.extra_grains,
+                     "missing extra feature blocks at refit");
+    Matrix x = assemble_training_matrix(base, per_level_extra,
+                                        level.extra_grains,
+                                        l * config_.forests_per_level);
+    Dataset level_data(std::move(x), base.targets());
+    refit_forest_bank(level.forests, level_data, config_.parallel,
+                      retrain_fraction);
+    for (std::size_t r = old_n; r < n; ++r) {
+      for (const auto& forest : level.forests)
+        concept_rows_[r].push_back(forest.oob_predictions()[r]);
+    }
+  }
+
+  {
+    STAC_TRACE_SPAN(final_span, "cascade.refit_final", "ml");
+    Matrix x = assemble_training_matrix(
+        base, per_level_extra, per_level_extra.size(),
+        levels_.size() * config_.forests_per_level);
+    Dataset final_data(std::move(x), base.targets());
+    refit_forest_bank(final_forests_, final_data, config_.parallel,
+                      retrain_fraction);
+  }
+  trained_rows_ = n;
+  obs::count("ml.cascade_warm_refits");
 }
 
 std::vector<double> CascadeForest::level_input(

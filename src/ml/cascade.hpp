@@ -43,6 +43,19 @@ class CascadeForest {
   /// features from level l onward (row count must match `base`).
   void fit(const Dataset& base, const std::vector<Matrix>& per_level_extra = {});
 
+  /// Warm-start refit over a grown dataset whose first trained_rows() rows
+  /// (and their extra blocks) are unchanged.  Per level: the training
+  /// matrix is reassembled from base + extras + the *cached* training-time
+  /// concepts (old rows' concepts stay frozen at their fitted values — the
+  /// warm-start contract that keeps untouched trees' training data
+  /// consistent), each forest retrains only a round-robin tree subset
+  /// (RandomForest::refit_incremental), and new rows append their OOB
+  /// concepts to the cache.  Accuracy parity with a full fit is a tested
+  /// RMSE contract (DESIGN.md §15), not an identity.
+  void refit_incremental(const Dataset& base,
+                         const std::vector<Matrix>& per_level_extra = {},
+                         double retrain_fraction = 0.125);
+
   /// Predict one sample; `extra[l]` must mirror the training-time extras.
   [[nodiscard]] double predict(
       std::span<const double> x,
@@ -56,6 +69,8 @@ class CascadeForest {
 
   [[nodiscard]] bool trained() const { return !levels_.empty(); }
   [[nodiscard]] std::size_t level_count() const { return levels_.size(); }
+  /// Rows of the dataset the cascade was last (re)fitted on.
+  [[nodiscard]] std::size_t trained_rows() const { return trained_rows_; }
 
  private:
   struct Level {
@@ -69,10 +84,24 @@ class CascadeForest {
       const std::vector<std::vector<double>>& extra,
       const std::vector<double>& concepts_so_far) const;
 
+  /// Shared by fit (from scratch) and refit_incremental (frozen prefix):
+  /// assemble the n-row training matrix a forest bank sees — base + the
+  /// first `extra_blocks` extra matrices + the first `concept_width`
+  /// entries of each cached concept row.
+  [[nodiscard]] Matrix assemble_training_matrix(
+      const Dataset& base, const std::vector<Matrix>& per_level_extra,
+      std::size_t extra_blocks, std::size_t concept_width) const;
+
   CascadeConfig config_;
   std::vector<Level> levels_;
   std::vector<RandomForest> final_forests_;
   std::size_t base_features_ = 0;
+  /// Training-time concept rows (OOB outputs, all levels), cached so a
+  /// warm refit can reassemble level matrices without regenerating old
+  /// rows' concepts.  concept_rows_[r] has levels * forests_per_level
+  /// entries once fit; also the §5.2 insight-clustering representation.
+  std::vector<std::vector<double>> concept_rows_;
+  std::size_t trained_rows_ = 0;
 };
 
 }  // namespace stac::ml

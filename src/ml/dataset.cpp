@@ -15,34 +15,67 @@ Dataset::Dataset(Matrix features, std::vector<double> targets,
 void Dataset::add_row(std::span<const double> x, double y) {
   features_.append_row(x);
   targets_.push_back(y);
-  // Geometry changed: force a rebuild on the next column() call.
-  col_cache_.ready.store(false, std::memory_order_release);
+  if (!col_cache_.ready.load(std::memory_order_acquire)) return;
+  // Delta-append: extend the live cache in place instead of invalidating.
+  // Previously returned spans keep their geometry (their snapshot row
+  // count) and stay backed by live memory: a column buffer that must grow
+  // is retired, not freed.
+  std::lock_guard lock(col_cache_.build_mutex);
+  const std::size_t cols = feature_count();
+  for (std::size_t c = 0; c < cols; ++c) {
+    auto& col = col_cache_.cols[c];
+    if (col.size() == col.capacity()) {
+      std::vector<double> grown;
+      grown.reserve(std::max<std::size_t>(2 * col.capacity(), 64));
+      grown.assign(col.begin(), col.end());
+      col_cache_.retired.push_back(std::move(col));
+      col = std::move(grown);
+    }
+    col.push_back(x[c]);
+    col_cache_.ptrs[c].store(col.data(), std::memory_order_release);
+  }
+  // Row count bumps last: a reader that sees the new count is guaranteed
+  // (acquire on rows → release here) to also see pointers covering it.
+  col_cache_.rows.store(targets_.size(), std::memory_order_release);
+}
+
+void Dataset::build_column_cache_locked() const {
+  const std::size_t n = size();
+  const std::size_t cols = feature_count();
+  col_cache_.cols.assign(cols, {});
+  col_cache_.retired.clear();
+  col_cache_.ptrs = std::make_unique<std::atomic<const double*>[]>(cols);
+  for (std::size_t c = 0; c < cols; ++c)
+    col_cache_.cols[c].reserve(n + n / 2 + 16);  // headroom for delta appends
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = features_.row(r);
+    for (std::size_t c = 0; c < cols; ++c)
+      col_cache_.cols[c].push_back(src[c]);
+  }
+  for (std::size_t c = 0; c < cols; ++c)
+    col_cache_.ptrs[c].store(col_cache_.cols[c].data(),
+                             std::memory_order_release);
+  col_cache_.rows.store(n, std::memory_order_release);
+  col_cache_.ready.store(true, std::memory_order_release);
 }
 
 std::span<const double> Dataset::column(std::size_t f) const {
   STAC_REQUIRE(f < feature_count());
   if (!col_cache_.ready.load(std::memory_order_acquire)) {
     std::lock_guard lock(col_cache_.build_mutex);
-    if (!col_cache_.ready.load(std::memory_order_relaxed)) {
-      const std::size_t n = size();
-      const std::size_t cols = feature_count();
-      col_cache_.data.assign(n * cols, 0.0);
-      for (std::size_t r = 0; r < n; ++r) {
-        const auto src = features_.row(r);
-        for (std::size_t c = 0; c < cols; ++c)
-          col_cache_.data[c * n + r] = src[c];
-      }
-      col_cache_.rows = n;
-      col_cache_.ready.store(true, std::memory_order_release);
-    }
+    if (!col_cache_.ready.load(std::memory_order_relaxed))
+      build_column_cache_locked();
   }
-  // Span geometry must be the row count the cache was *built* for, published
-  // under the build lock before the ready flag.  Re-reading size() here used
-  // to race with a concurrent add_row: a row appended between the ready
-  // check and the return misaligned every column view (offset f * new_size
-  // into data laid out with the old stride) — exactly the kind of silent
-  // corruption TSan flags as a read/write race on targets_.
-  return {col_cache_.data.data() + f * col_cache_.rows, col_cache_.rows};
+  // Span geometry must come from the published row count, not a fresh
+  // size() read — re-reading size() here used to race with a concurrent
+  // add_row (a row appended between the ready check and the return would
+  // claim rows the buffer pointer may not cover).  Load order matters:
+  // rows first (acquire), then the pointer — the writer publishes the
+  // pointer before the count, so the pointer seen covers at least `n`
+  // rows, and newer buffers carry the identical prefix.
+  const std::size_t n = col_cache_.rows.load(std::memory_order_acquire);
+  const double* p = col_cache_.ptrs[f].load(std::memory_order_acquire);
+  return {p, n};
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {

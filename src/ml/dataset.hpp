@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -49,10 +50,16 @@ class Dataset {
   /// built column-major copy of the features — the tree trainer's split
   /// scans walk columns, and the row-major matrix would stride by
   /// feature_count() per element.  The cache is built once per dataset
-  /// (thread-safe: concurrent tree fits share one build) and invalidated by
-  /// add_row; the returned span is valid until then.
+  /// (thread-safe: concurrent tree fits share one build) and *extended in
+  /// place* by add_row: a span obtained before an append stays valid and
+  /// bitwise-equal over the rows it covered — superseded buffers are
+  /// retired, never freed, until the Dataset dies.
   [[nodiscard]] std::span<const double> column(std::size_t f) const;
 
+  /// Append one sample.  If the column cache is live it is extended
+  /// in place under the build lock (O(feature_count) amortized), not
+  /// invalidated — the delta-append protocol the warm-start refit path
+  /// relies on for cheap `Dataset` growth.
   void add_row(std::span<const double> x, double y);
 
   /// Subset by row indices.
@@ -71,26 +78,43 @@ class Dataset {
   [[nodiscard]] Dataset with_extra_features(const Matrix& extra) const;
 
  private:
-  /// Feature-major [f * rows + i] mirror of `features_`.  Copying or moving
-  /// a Dataset drops the cache (rebuilt on demand) so the synchronization
-  /// members never need to transfer.
+  /// Column-major mirror of `features_`, one buffer per column so appends
+  /// extend columns independently.  Publication protocol (all under
+  /// build_mutex on the writer side):
+  ///   1. values are appended to every column's buffer; a buffer that must
+  ///      grow is replaced (old generation pushed onto `retired`, keeping
+  ///      previously returned spans alive) and its pointer re-published;
+  ///   2. `rows` is bumped last (release).
+  /// Readers load `rows` first (acquire), then the column pointer: the
+  /// pointer they see is at least as new as the row count, and any newer
+  /// buffer still carries the identical prefix (columns are append-only).
+  /// Copying or moving a Dataset drops the cache (rebuilt on demand) so the
+  /// synchronization members never need to transfer.
   struct ColumnCache {
     ColumnCache() = default;
     ColumnCache(const ColumnCache&) {}
     ColumnCache& operator=(const ColumnCache&) {
       ready.store(false, std::memory_order_relaxed);
-      data.clear();
-      rows = 0;
+      cols.clear();
+      retired.clear();
+      ptrs.reset();
+      rows.store(0, std::memory_order_relaxed);
       return *this;
     }
 
     mutable std::mutex build_mutex;
-    mutable std::vector<double> data;
-    /// Row count the cache was built for — span geometry must come from
-    /// this snapshot, not a fresh size() read (see column()).
-    mutable std::size_t rows = 0;
+    /// Current storage, one vector per column.
+    mutable std::vector<std::vector<double>> cols;
+    /// Superseded column buffers, kept alive so old spans stay valid.
+    mutable std::vector<std::vector<double>> retired;
+    /// Published data pointer per column (readers never touch `cols`).
+    mutable std::unique_ptr<std::atomic<const double*>[]> ptrs;
+    /// Row count the published pointers are complete for.
+    mutable std::atomic<std::size_t> rows{0};
     mutable std::atomic<bool> ready{false};
   };
+
+  void build_column_cache_locked() const;
 
   Matrix features_;
   std::vector<double> targets_;

@@ -38,6 +38,17 @@ struct TreeConfig {
 
 class DecisionTree {
  public:
+  /// One tree node in the contiguous `nodes()` array (node 0 is the root).
+  /// Public so FlatForest can compile trained trees into its SoA arena.
+  struct Node {
+    std::int32_t left = -1;   ///< -1: leaf
+    std::int32_t right = -1;
+    std::uint32_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;       ///< leaf prediction / node mean
+    double gain = 0.0;        ///< impurity decrease at this split
+  };
+
   explicit DecisionTree(TreeConfig config = {});
 
   /// Fit on the rows of `data` selected by `rows` (empty = all rows).
@@ -53,16 +64,12 @@ class DecisionTree {
   /// Total impurity decrease attributed to each feature (importance).
   [[nodiscard]] std::vector<double> feature_importance() const;
 
- private:
-  struct Node {
-    std::int32_t left = -1;   ///< -1: leaf
-    std::int32_t right = -1;
-    std::uint32_t feature = 0;
-    double threshold = 0.0;
-    double value = 0.0;       ///< leaf prediction / node mean
-    double gain = 0.0;        ///< impurity decrease at this split
-  };
+  /// The fitted node array (empty before fit).  predict() walks it with
+  /// `x[nd.feature] <= nd.threshold ? left : right` — the exact semantics
+  /// any flattened representation must reproduce bitwise.
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
 
+ private:
   std::int32_t build(const Dataset& data, std::vector<std::size_t>& rows,
                      std::size_t begin, std::size_t end, std::size_t depth,
                      Rng& rng);

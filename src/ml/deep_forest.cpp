@@ -18,7 +18,7 @@ void DeepForest::fit(const std::vector<ProfileSample>& samples,
 
   const bool with_images = !samples.front().image.empty();
 
-  std::vector<Matrix> per_level_extra;
+  per_level_extra_.clear();
   if (with_images) {
     std::vector<Matrix> images;
     images.reserve(samples.size());
@@ -27,16 +27,18 @@ void DeepForest::fit(const std::vector<ProfileSample>& samples,
     scanner_->fit(images, targets);
 
     // One extra feature block per grain, introduced level by level.
-    per_level_extra.resize(scanner_->grain_count());
+    per_level_extra_.resize(scanner_->grain_count());
     for (std::size_t g = 0; g < scanner_->grain_count(); ++g)
-      per_level_extra[g] = Matrix(samples.size(), scanner_->feature_count(g));
+      per_level_extra_[g] = Matrix(samples.size(), scanner_->feature_count(g));
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const auto feats = scanner_->transform(samples[i].image);
       for (std::size_t g = 0; g < feats.size(); ++g) {
-        auto dst = per_level_extra[g].row(i);
+        auto dst = per_level_extra_[g].row(i);
         std::copy(feats[g].begin(), feats[g].end(), dst.begin());
       }
     }
+  } else {
+    scanner_.reset();
   }
 
   Matrix x(samples.size(), tabular_features_);
@@ -47,7 +49,43 @@ void DeepForest::fit(const std::vector<ProfileSample>& samples,
               dst.begin());
   }
   cascade_ = CascadeForest(config_.cascade);
-  cascade_.fit(Dataset(std::move(x), std::move(y)), per_level_extra);
+  cascade_.fit(Dataset(std::move(x), std::move(y)), per_level_extra_);
+}
+
+void DeepForest::refit_incremental(const std::vector<ProfileSample>& samples,
+                                   const std::vector<double>& targets,
+                                   double retrain_fraction) {
+  STAC_REQUIRE_MSG(trained(), "refit_incremental before fit");
+  STAC_REQUIRE(!samples.empty());
+  STAC_REQUIRE(samples.size() == targets.size());
+  const std::size_t old_n = cascade_.trained_rows();
+  STAC_REQUIRE_MSG(samples.size() >= old_n,
+                   "warm refit requires a grown (or equal) training set");
+  for (const auto& s : samples)
+    STAC_REQUIRE_MSG(s.tabular.size() == tabular_features_,
+                     "tabular feature width mismatch");
+
+  if (scanner_) {
+    // The scanner stays fixed between full refits; only appended samples
+    // need transforming, extending the cached per-grain blocks.
+    for (std::size_t i = old_n; i < samples.size(); ++i) {
+      STAC_REQUIRE_MSG(!samples[i].image.empty(),
+                       "model was trained with images; sample has none");
+      const auto feats = scanner_->transform(samples[i].image);
+      for (std::size_t g = 0; g < feats.size(); ++g)
+        per_level_extra_[g].append_row(feats[g]);
+    }
+  }
+
+  Matrix x(samples.size(), tabular_features_);
+  std::vector<double> y(targets.begin(), targets.end());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    auto dst = x.row(i);
+    std::copy(samples[i].tabular.begin(), samples[i].tabular.end(),
+              dst.begin());
+  }
+  cascade_.refit_incremental(Dataset(std::move(x), std::move(y)),
+                             per_level_extra_, retrain_fraction);
 }
 
 std::vector<std::vector<double>> DeepForest::window_features(

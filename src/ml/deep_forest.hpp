@@ -30,6 +30,15 @@ class DeepForest {
   void fit(const std::vector<ProfileSample>& samples,
            const std::vector<double>& targets);
 
+  /// Warm-start refit: `samples`/`targets` must extend the training set the
+  /// model was fitted on (identical prefix).  The multi-grain scanner is
+  /// kept fixed — only the new samples' window features are transformed and
+  /// appended to the cached per-grain blocks — and the cascade warm-refits
+  /// (CascadeForest::refit_incremental).  Requires a prior fit().
+  void refit_incremental(const std::vector<ProfileSample>& samples,
+                         const std::vector<double>& targets,
+                         double retrain_fraction = 0.125);
+
   [[nodiscard]] double predict(const ProfileSample& sample) const;
 
   /// Learned concept vector (cascade outputs) — the representation used for
@@ -47,6 +56,9 @@ class DeepForest {
   std::optional<MultiGrainScanner> scanner_;
   CascadeForest cascade_;
   std::size_t tabular_features_ = 0;
+  /// Training-time per-grain window-feature blocks, cached so warm refits
+  /// only transform the appended samples (rows track the training set).
+  std::vector<Matrix> per_level_extra_;
 };
 
 }  // namespace stac::ml

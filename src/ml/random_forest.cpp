@@ -1,9 +1,10 @@
 #include "ml/random_forest.hpp"
 
-#include <atomic>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace stac::ml {
 
@@ -21,10 +22,8 @@ void RandomForest::fit(const Dataset& data) {
                                   static_cast<double>(n)));
 
   trees_.assign(config_.estimators, DecisionTree{});
-  // Per-row OOB accumulation (sum + count), filled under per-tree locality
-  // then reduced; atomics avoided by giving each tree its own buffer only
-  // when parallel — simpler: accumulate after the parallel section.
-  std::vector<std::vector<std::size_t>> bags(config_.estimators);
+  bags_.assign(config_.estimators, {});
+  refit_round_ = 0;
 
   auto train_one = [&](std::size_t t) {
     Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + t * 1000003ULL + 17);
@@ -38,7 +37,7 @@ void RandomForest::fit(const Dataset& data) {
     tc.seed = rng.next_u64();
     trees_[t] = DecisionTree(tc);
     trees_[t].fit(data, rows);
-    bags[t] = std::move(rows);
+    bags_[t] = std::move(rows);
   };
 
   if (config_.parallel && config_.estimators > 1) {
@@ -47,13 +46,85 @@ void RandomForest::fit(const Dataset& data) {
     for (std::size_t t = 0; t < config_.estimators; ++t) train_one(t);
   }
 
-  // OOB reduction.
+  trained_rows_ = n;
+  compile_flat();
+  compute_oob(data);
+}
+
+void RandomForest::refit_incremental(const Dataset& data,
+                                     double retrain_fraction) {
+  STAC_REQUIRE_MSG(trained(), "refit_incremental before fit");
+  STAC_REQUIRE(!data.empty());
+  STAC_REQUIRE_MSG(data.size() >= trained_rows_,
+                   "warm refit requires a grown (or equal) dataset");
+  STAC_REQUIRE(retrain_fraction > 0.0 && retrain_fraction <= 1.0);
+  const std::size_t n = data.size();
+  const auto sample_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.bootstrap_fraction *
+                                  static_cast<double>(n)));
+  const std::size_t estimators = trees_.size();
+  const auto retrain = std::min<std::size_t>(
+      estimators,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(retrain_fraction * static_cast<double>(estimators)))));
+
+  // Deterministic round-robin window: round r retrains slots
+  // [r*retrain, r*retrain + retrain) mod estimators, so successive refits
+  // cycle through the whole forest and no tree goes stale forever.
+  const std::uint64_t round = refit_round_++;
+  const std::size_t start =
+      static_cast<std::size_t>((round * retrain) % estimators);
+
+  auto train_one = [&](std::size_t i) {
+    const std::size_t t = (start + i) % estimators;
+    // A refit-round-salted stream: distinct from the full-fit seeds so a
+    // retrained slot draws a fresh bag, yet fully deterministic given
+    // (seed, slot, round).
+    Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + t * 1000003ULL +
+            (round + 1) * 0xD1B54A32D192ED03ULL + 17);
+    std::vector<std::size_t> rows(sample_n);
+    for (auto& r : rows)
+      r = static_cast<std::size_t>(rng.uniform_index(n));
+    TreeConfig tc;
+    tc.split_mode = config_.split_mode;
+    tc.max_depth = config_.max_depth;
+    tc.min_samples_leaf = config_.min_samples_leaf;
+    tc.seed = rng.next_u64();
+    trees_[t] = DecisionTree(tc);
+    trees_[t].fit(data, rows);
+    bags_[t] = std::move(rows);
+  };
+
+  if (config_.parallel && retrain > 1) {
+    ThreadPool::global().parallel_for(0, retrain, train_one);
+  } else {
+    for (std::size_t i = 0; i < retrain; ++i) train_one(i);
+  }
+
+  trained_rows_ = n;
+  compile_flat();
+  // Full OOB recompute: untouched trees keep their old bags, so every
+  // appended row is out-of-bag for them and contributes honestly.
+  compute_oob(data);
+  obs::count("ml.forest_warm_refits");
+}
+
+void RandomForest::compile_flat() {
+  if (config_.flatten)
+    flat_.compile(trees_);
+  else
+    flat_.clear();
+}
+
+void RandomForest::compute_oob(const Dataset& data) {
+  const std::size_t n = data.size();
   std::vector<double> sum(n, 0.0);
   std::vector<std::size_t> cnt(n, 0);
   std::vector<char> in_bag(n);
   for (std::size_t t = 0; t < trees_.size(); ++t) {
     std::fill(in_bag.begin(), in_bag.end(), 0);
-    for (std::size_t r : bags[t]) in_bag[r] = 1;
+    for (std::size_t r : bags_[t]) in_bag[r] = 1;
     for (std::size_t r = 0; r < n; ++r) {
       if (!in_bag[r]) {
         sum[r] += trees_[t].predict(data.row(r));
@@ -70,15 +141,20 @@ void RandomForest::fit(const Dataset& data) {
 
 double RandomForest::predict(std::span<const double> x) const {
   STAC_REQUIRE_MSG(trained(), "predict before fit");
+  if (flat_.compiled()) return flat_.predict(x);
   double sum = 0.0;
   for (const auto& t : trees_) sum += t.predict(x);
   return sum / static_cast<double>(trees_.size());
 }
 
 std::vector<double> RandomForest::predict(const Matrix& x) const {
-  std::vector<double> out;
-  out.reserve(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  STAC_REQUIRE_MSG(trained(), "predict before fit");
+  std::vector<double> out(x.rows(), 0.0);
+  if (flat_.compiled()) {
+    flat_.predict_batch(x, out);
+    return out;
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
   return out;
 }
 

@@ -2,12 +2,23 @@
 // completely-random), parallel tree training, and out-of-bag estimates —
 // the OOB predictions let cascade levels pass concepts forward without a
 // held-out set, mirroring gcForest's k-fold trick at lower cost.
+//
+// Two serving-path additions (DESIGN.md §15):
+//   - warm-start refit: fit() keeps every tree's bootstrap bag, and
+//     refit_incremental() retrains only a deterministic round-robin subset
+//     of the trees over the grown dataset (old trees keep their bags, so
+//     appended rows are out-of-bag for them and the OOB estimates stay
+//     honest).  ~1/retrain_fraction cheaper than a full fit; accuracy
+//     parity is a tested contract, not an identity.
+//   - flattened SoA inference (FlatForest), gated by ForestConfig::flatten
+//     and bitwise-identical to the pointer walk.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 
 namespace stac::ml {
 
@@ -20,6 +31,9 @@ struct ForestConfig {
   double bootstrap_fraction = 1.0;
   std::uint64_t seed = 1;
   bool parallel = true;
+  /// Compile fitted trees into a FlatForest and answer predict() from the
+  /// SoA arena (bitwise-identical; false = AoS pointer walk baseline).
+  bool flatten = true;
 };
 
 class RandomForest {
@@ -27,6 +41,14 @@ class RandomForest {
   explicit RandomForest(ForestConfig config = {});
 
   void fit(const Dataset& data);
+
+  /// Warm-start refit over a grown dataset whose first trained_rows() rows
+  /// are unchanged.  Retrains ceil(retrain_fraction * estimators) trees —
+  /// a deterministic round-robin window that advances every call, so
+  /// repeated refits cycle through the whole forest — on fresh bootstrap
+  /// bags drawn over *all* rows, then recomputes OOB estimates from the
+  /// stored bags.  Requires a prior fit().
+  void refit_incremental(const Dataset& data, double retrain_fraction = 0.125);
 
   [[nodiscard]] double predict(std::span<const double> x) const;
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
@@ -37,12 +59,24 @@ class RandomForest {
 
   [[nodiscard]] bool trained() const { return !trees_.empty(); }
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  /// Rows of the dataset the forest was last (re)fitted on.
+  [[nodiscard]] std::size_t trained_rows() const { return trained_rows_; }
+  /// Completed warm-start refits since the last full fit().
+  [[nodiscard]] std::uint64_t refit_rounds() const { return refit_round_; }
   [[nodiscard]] std::vector<double> feature_importance() const;
 
  private:
+  void compile_flat();
+  void compute_oob(const Dataset& data);
+
   ForestConfig config_;
   std::vector<DecisionTree> trees_;
+  /// Bootstrap bag per tree, kept across fits for warm-start OOB math.
+  std::vector<std::vector<std::size_t>> bags_;
   std::vector<double> oob_;
+  std::size_t trained_rows_ = 0;
+  std::uint64_t refit_round_ = 0;
+  FlatForest flat_;
 };
 
 }  // namespace stac::ml

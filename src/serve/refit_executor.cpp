@@ -1,0 +1,261 @@
+#include "serve/refit_executor.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace stac::serve {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RefitExecutor::RefitExecutor(const profiler::Profiler& profiler,
+                             ModelSnapshot<ServingModel>& models,
+                             core::ProfileLibrary initial_library,
+                             RefitExecutorConfig config,
+                             std::uint64_t first_version)
+    : profiler_(profiler), models_(models), config_(std::move(config)),
+      library_(std::move(initial_library)), primary_(config_.model),
+      fallback_(linear_fallback_config()), next_version_(first_version) {
+  STAC_REQUIRE(config_.retrain_fraction > 0.0 &&
+               config_.retrain_fraction <= 1.0);
+}
+
+RefitExecutor::~RefitExecutor() { stop(); }
+
+void RefitExecutor::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void RefitExecutor::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    if (pending_.armed) {
+      // Cancellation: a job never started never publishes; its waiters
+      // are woken and see wait() == false.
+      pending_ = Pending{};
+      ++stats_.cancelled;
+      obs::count("serve.refit.cancelled");
+      obs::set_gauge("serve.refit.queue_depth", 0.0);
+    }
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard lock(mu_);
+  running_ = false;
+  stopping_ = false;
+}
+
+bool RefitExecutor::running() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+std::uint64_t RefitExecutor::request_refit(core::ProfileLibrary delta,
+                                           bool force_cold) {
+  bool inline_run = false;
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard lock(mu_);
+    ticket = ++next_ticket_;
+    ++stats_.requests;
+    obs::count("serve.refit.requests");
+    if (!running_) {
+      inline_run = true;
+    } else if (pending_.armed) {
+      // Coalesce: merge the delta into the pending job; one refit will
+      // serve every ticket up to (and including) this one.  Added counts
+      // are tallied when the job's delta reaches the library in execute().
+      (void)pending_.delta.merge_from(delta);
+      pending_.force_cold = pending_.force_cold || force_cold;
+      pending_.ticket = ticket;
+      ++stats_.coalesced;
+      obs::count("serve.refit.coalesced");
+    } else {
+      pending_.armed = true;
+      pending_.delta = std::move(delta);
+      pending_.force_cold = force_cold;
+      pending_.ticket = ticket;
+      obs::set_gauge("serve.refit.queue_depth", 1.0);
+      work_cv_.notify_one();
+    }
+  }
+  if (inline_run) {
+    execute(Pending{true, std::move(delta), force_cold, ticket});
+    std::lock_guard lock(mu_);
+    completed_ticket_ = std::max(completed_ticket_, ticket);
+    ++stats_.completed;
+    done_cv_.notify_all();
+  }
+  return ticket;
+}
+
+std::uint64_t RefitExecutor::refit_now(core::ProfileLibrary delta,
+                                       bool force_cold) {
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard lock(mu_);
+    ticket = ++next_ticket_;
+    ++stats_.requests;
+    obs::count("serve.refit.requests");
+  }
+  execute(Pending{true, std::move(delta), force_cold, ticket});
+  std::lock_guard lock(mu_);
+  completed_ticket_ = std::max(completed_ticket_, ticket);
+  ++stats_.completed;
+  done_cv_.notify_all();
+  return ticket;
+}
+
+bool RefitExecutor::wait(std::uint64_t ticket, double timeout_seconds) {
+  std::unique_lock lock(mu_);
+  done_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&] { return completed_ticket_ >= ticket || stopping_; });
+  return completed_ticket_ >= ticket;
+}
+
+std::size_t RefitExecutor::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return pending_.armed ? 1 : 0;
+}
+
+RefitStats RefitExecutor::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::uint64_t RefitExecutor::published_version() const {
+  std::lock_guard lock(exec_mu_);
+  return last_published_version_;
+}
+
+std::size_t RefitExecutor::library_size() const {
+  std::lock_guard lock(exec_mu_);
+  return library_.size();
+}
+
+void RefitExecutor::worker_loop() {
+  for (;;) {
+    Pending job;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return pending_.armed || stopping_; });
+      if (stopping_) return;
+      job = std::move(pending_);
+      pending_ = Pending{};
+      obs::set_gauge("serve.refit.queue_depth", 0.0);
+    }
+    const std::uint64_t ticket = job.ticket;
+    execute(std::move(job));
+    std::lock_guard lock(mu_);
+    completed_ticket_ = std::max(completed_ticket_, ticket);
+    ++stats_.completed;
+    done_cv_.notify_all();
+  }
+}
+
+void RefitExecutor::execute(Pending job) {
+  std::lock_guard exec_lock(exec_mu_);
+  STAC_TRACE_SPAN(span, "serve.refit", "serve");
+  const double t0 = now_seconds();
+
+  if (!job.delta.empty()) {
+    const auto ms = library_.merge_from(job.delta);
+    std::lock_guard lock(mu_);
+    stats_.profiles_merged += ms.added;
+  }
+  STAC_REQUIRE_MSG(!library_.empty(), "refit with an empty profile library");
+
+  bool cold = !config_.warm_start || !primary_.trained() || job.force_cold;
+  if (!cold && config_.full_refit_every > 0 &&
+      warm_streak_ + 1 >= config_.full_refit_every)
+    cold = true;  // drift backstop: cadence forces a periodic full fit
+  span.arg("cold", static_cast<std::uint64_t>(cold ? 1 : 0));
+
+  // Primary master: bounded immediate retries, then survive total failure
+  // by publishing with an untrained primary — the ladder answers from a
+  // lower rung (same policy as build_serving_model / StacManager::refit).
+  bool primary_ok = false;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (cold) {
+        core::EaModel fresh(config_.model);
+        fresh.fit(library_.profiles());
+        primary_ = std::move(fresh);
+      } else {
+        primary_.refit_incremental(library_.profiles(),
+                                   config_.retrain_fraction);
+      }
+      primary_ok = true;
+      break;
+    } catch (const ContractViolation&) {
+      throw;
+    } catch (const std::exception&) {
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.fit_failures;
+      }
+      obs::count("serve.refit.fit_failures");
+      if (attempt >= config_.fit_retries) break;
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.retries;
+      }
+      obs::count("serve.refit.retries");
+    }
+  }
+  if (!primary_ok) {
+    primary_ = core::EaModel(config_.model);
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.degraded_publishes;
+    }
+    obs::count("serve.refit.degraded_publishes");
+  }
+
+  if (config_.train_fallback) {
+    try {
+      core::EaModel fresh(linear_fallback_config());
+      fresh.fit(library_.profiles());
+      fallback_ = std::move(fresh);
+    } catch (const ContractViolation&) {
+      throw;
+    } catch (const std::exception&) {
+      fallback_ = core::EaModel(linear_fallback_config());
+    }
+  }
+
+  if (cold || !primary_ok)
+    warm_streak_ = 0;
+  else
+    ++warm_streak_;
+  {
+    std::lock_guard lock(mu_);
+    cold ? ++stats_.cold : ++stats_.warm;
+  }
+  obs::count(cold ? "serve.refit.cold" : "serve.refit.warm");
+
+  // Assemble (no training) and publish; readers swap over lock-free.
+  const std::uint64_t version = next_version_++;
+  models_.publish(assemble_serving_model(profiler_, library_, primary_,
+                                         fallback_, version,
+                                         config_.predictor));
+  last_published_version_ = version;
+  obs::record_latency("serve.refit.seconds", now_seconds() - t0);
+}
+
+}  // namespace stac::serve

@@ -1,0 +1,160 @@
+// RefitExecutor: the background refit pipeline — merge → warm-start refit
+// → assemble → RCU publish — that takes model fitting off every hot path.
+//
+// Before this existed, every recalibration was an inline
+// profiler→cascade→build_serving_model rebuild (~hundreds of ms) carried
+// by whoever triggered it: a controller epoch, a recovery, a fleet merge.
+// The executor owns that work instead:
+//
+//   - it holds the authoritative profile library plus persistent *master*
+//     EA models (primary + fallback);
+//   - a request merges a profile-library delta and asks for a refit; while
+//     the worker is busy, further requests coalesce into one pending job
+//     (deltas merged, one refit serves them all);
+//   - the worker warm-refits the masters (EaModel::refit_incremental —
+//     only a round-robin tree subset retrains) or, on a configurable
+//     cadence / on demand, runs a full cold fit as a drift backstop;
+//   - fit failures (the "model.fit" fault point, degenerate data) are
+//     retried a bounded number of times, then survived by publishing with
+//     an untrained primary — the ladder answers from a lower rung, exactly
+//     like build_serving_model's policy;
+//   - the refreshed bundle is assembled without any training
+//     (assemble_serving_model) and published through the ModelSnapshot
+//     RCU channel: readers never block, epochs never carry a fit.
+//
+// Metrics: serve.refit.queue_depth (gauge), serve.refit.seconds (latency),
+// serve.refit.{warm,cold,coalesced,fit_failures,retries,degraded} counters.
+//
+// Threading: request_refit/wait/stats are safe from any thread.  With the
+// worker running, requests execute on the worker thread; without it (or
+// via refit_now) they execute inline on the caller — same code path, which
+// is what the fleet's synchronous fallback and deterministic tests use.
+// stop() cancels any not-yet-started pending job and joins; published
+// bundles are unaffected.  See DESIGN.md §15.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "serve/model_snapshot.hpp"
+#include "serve/serving_model.hpp"
+
+namespace stac::serve {
+
+struct RefitExecutorConfig {
+  /// Configs the masters are (re)fitted with.
+  core::EaModelConfig model;
+  core::RtPredictorConfig predictor;
+  /// Train the linear fallback each refit (cheap full fit).
+  bool train_fallback = true;
+  /// Warm-start knobs: enabled → trained masters refit incrementally,
+  /// retraining ceil(retrain_fraction * estimators) trees per forest.
+  bool warm_start = true;
+  double retrain_fraction = 0.125;
+  /// Full-refit fallback cadence: after this many consecutive warm refits
+  /// the next one runs cold, bounding approximation drift.  0 = never
+  /// force a cold refit.
+  std::size_t full_refit_every = 8;
+  /// Immediate in-worker retries after a fit failure before publishing
+  /// degraded (untrained primary, ladder answers below rung 0).
+  std::size_t fit_retries = 1;
+};
+
+struct RefitStats {
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t coalesced = 0;       ///< requests folded into a pending job
+  std::uint64_t warm = 0;            ///< warm-start refits executed
+  std::uint64_t cold = 0;            ///< full (cold) refits executed
+  std::uint64_t fit_failures = 0;    ///< individual failed fit attempts
+  std::uint64_t retries = 0;         ///< retry attempts after a failure
+  std::uint64_t degraded_publishes = 0;  ///< published with untrained primary
+  std::uint64_t profiles_merged = 0;
+  std::uint64_t cancelled = 0;       ///< pending jobs dropped by stop()
+};
+
+class RefitExecutor {
+ public:
+  /// `profiler` and `models` must outlive the executor; `initial_library`
+  /// seeds the authoritative library (masters start untrained — the first
+  /// refit is cold).  Versions of published bundles count up from
+  /// `first_version`.
+  RefitExecutor(const profiler::Profiler& profiler,
+                ModelSnapshot<ServingModel>& models,
+                core::ProfileLibrary initial_library,
+                RefitExecutorConfig config, std::uint64_t first_version = 1);
+  ~RefitExecutor();
+
+  RefitExecutor(const RefitExecutor&) = delete;
+  RefitExecutor& operator=(const RefitExecutor&) = delete;
+
+  /// Spawn the background worker (idempotent).
+  void start();
+  /// Cancel any pending (not yet started) job, wake waiters, join the
+  /// worker.  Idempotent; the destructor calls it.
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  /// Enqueue merge(delta) + refit + publish and return a ticket (see
+  /// wait()).  Coalesces with a pending job if one exists.  With no worker
+  /// running, executes inline before returning.
+  std::uint64_t request_refit(core::ProfileLibrary delta,
+                              bool force_cold = false);
+
+  /// Synchronous refit on the calling thread (no worker round-trip).
+  std::uint64_t refit_now(core::ProfileLibrary delta, bool force_cold = false);
+
+  /// Block until the job carrying `ticket` has published (true) or the
+  /// timeout/stop() intervened (false).
+  [[nodiscard]] bool wait(std::uint64_t ticket, double timeout_seconds);
+
+  /// Pending jobs not yet picked up (0 or 1 — coalescing collapses).
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] RefitStats stats() const;
+  /// Version of the last bundle this executor published (0 = none yet).
+  [[nodiscard]] std::uint64_t published_version() const;
+  /// Profiles currently in the authoritative library.
+  [[nodiscard]] std::size_t library_size() const;
+
+ private:
+  struct Pending {
+    bool armed = false;
+    core::ProfileLibrary delta;
+    bool force_cold = false;
+    std::uint64_t ticket = 0;
+  };
+
+  void worker_loop();
+  /// merge → refit masters → assemble → publish.  Serialized by exec_mu_.
+  void execute(Pending job);
+
+  const profiler::Profiler& profiler_;
+  ModelSnapshot<ServingModel>& models_;
+  RefitExecutorConfig config_;
+
+  /// Master state, touched only under exec_mu_ (worker thread, or the
+  /// caller on the inline path).
+  mutable std::mutex exec_mu_;
+  core::ProfileLibrary library_;
+  core::EaModel primary_;
+  core::EaModel fallback_;
+  std::uint64_t next_version_;
+  std::uint64_t warm_streak_ = 0;
+  std::uint64_t last_published_version_ = 0;
+
+  /// Queue state under mu_.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Pending pending_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t completed_ticket_ = 0;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::thread worker_;
+  RefitStats stats_;
+};
+
+}  // namespace stac::serve

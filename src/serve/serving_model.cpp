@@ -50,6 +50,29 @@ std::unique_ptr<const ServingModel> build_serving_model(
   return bundle;
 }
 
+std::unique_ptr<const ServingModel> assemble_serving_model(
+    const profiler::Profiler& profiler, core::ProfileLibrary library,
+    core::EaModel primary, core::EaModel fallback, std::uint64_t version,
+    const core::RtPredictorConfig& predictor_config) {
+  STAC_REQUIRE_MSG(!library.empty(), "serving model needs profiles");
+  STAC_TRACE_SPAN(span, "serve.assemble_model", "serve");
+  span.arg("profiles", static_cast<std::uint64_t>(library.size()));
+  span.arg("version", version);
+  auto bundle = std::make_unique<ServingModel>();
+  bundle->version = version;
+  bundle->library = std::move(library);
+  bundle->primary = std::move(primary);
+  bundle->fallback = std::move(fallback);
+  bundle->predictor.emplace(profiler,
+                            bundle->primary.trained() ? &bundle->primary
+                                                      : nullptr,
+                            &bundle->library, predictor_config);
+  bundle->predictor->set_fallback_model(
+      bundle->fallback.trained() ? &bundle->fallback : nullptr);
+  obs::count("serve.models_assembled");
+  return bundle;
+}
+
 std::unique_ptr<const ServingModel> build_serving_model(
     const core::StacManager& manager, const core::StacOptions& options,
     std::uint64_t version) {

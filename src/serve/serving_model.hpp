@@ -56,4 +56,15 @@ struct ServingModel {
     const core::StacManager& manager, const core::StacOptions& options,
     std::uint64_t version);
 
+/// Assemble a bundle from *pre-fitted* models — no training happens here,
+/// only predictor wiring, so the call is O(model copy) instead of O(fit).
+/// The RefitExecutor's warm-start path: it owns persistent master models,
+/// warm-refits them off the hot path, and snapshots them into each
+/// published bundle through this.  An untrained `primary` is allowed (the
+/// ladder answers from a lower rung, as after a survived fit failure).
+[[nodiscard]] std::unique_ptr<const ServingModel> assemble_serving_model(
+    const profiler::Profiler& profiler, core::ProfileLibrary library,
+    core::EaModel primary, core::EaModel fallback, std::uint64_t version,
+    const core::RtPredictorConfig& predictor_config);
+
 }  // namespace stac::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace stac::core {
@@ -112,6 +114,56 @@ TEST_F(EaModelTest, ShuffledRowsStillTrainable) {
 TEST(EaModel, PredictBeforeFitThrows) {
   EaModel model;
   EXPECT_THROW((void)model.predict(ml::ProfileSample{}), ContractViolation);
+}
+
+// ---- PR-9: warm-start refit + deep copies (the RefitExecutor contract) ----
+
+TEST_F(EaModelTest, WarmRefitKeepsParityAcrossBackends) {
+  ASSERT_GE(profiles_->size(), 12u);
+  const std::vector<Profile> head(profiles_->begin(), profiles_->begin() + 8);
+  for (EaBackend backend : {EaBackend::kDeepForest, EaBackend::kSimpleForest,
+                            EaBackend::kLinear}) {
+    EaModel warm(small_df_config(backend));
+    // Untrained model: refit falls back to a full fit.
+    warm.refit_incremental(head);
+    EXPECT_TRUE(warm.trained());
+    // Grown, append-only library snapshot: the warm path.
+    warm.refit_incremental(*profiles_);
+
+    EaModel cold(small_df_config(backend));
+    cold.fit(*profiles_);
+    auto rmse = [&](const EaModel& m) {
+      double sq = 0.0;
+      for (const auto& p : *profiles_) {
+        const double d = m.predict(m.make_sample(p)) - p.ea_boost;
+        sq += d * d;
+      }
+      return std::sqrt(sq / static_cast<double>(profiles_->size()));
+    };
+    EXPECT_LE(rmse(warm), rmse(cold) + 0.05);
+    for (const auto& p : *profiles_) {
+      const double ea = warm.predict(warm.make_sample(p));
+      EXPECT_GT(ea, 0.0);
+      EXPECT_LE(ea, 1.0);
+    }
+  }
+}
+
+TEST_F(EaModelTest, CopyIsDeepAndPredictsIdentically) {
+  EaModel master(small_df_config(EaBackend::kDeepForest));
+  master.fit(*profiles_);
+  const EaModel snapshot(master);  // what the executor publishes
+  for (const auto& p : *profiles_)
+    EXPECT_EQ(snapshot.predict(snapshot.make_sample(p)),
+              master.predict(master.make_sample(p)));
+  // Mutating the master (a later warm refit) must not touch the snapshot.
+  std::vector<double> before;
+  for (const auto& p : *profiles_)
+    before.push_back(snapshot.predict(snapshot.make_sample(p)));
+  master.refit_incremental(*profiles_);
+  std::size_t i = 0;
+  for (const auto& p : *profiles_)
+    EXPECT_EQ(snapshot.predict(snapshot.make_sample(p)), before[i++]);
 }
 
 }  // namespace

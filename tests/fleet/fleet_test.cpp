@@ -322,6 +322,58 @@ TEST_F(FleetTest, LibraryMergeDeduplicatesAcrossNodes) {
   EXPECT_EQ(fleet.totals().library_profiles_merged, node_a.size());
 }
 
+TEST_F(FleetTest, MergeRoutesDeltaThroughRefitExecutor) {
+  // Cross-node calibration sharing end to end: a merge_library with new
+  // profiles must be forwarded to the shared RefitExecutor, which refits
+  // and publishes a fresh bundle — the fleet epoch itself never fits.
+  serve::ModelSnapshot<serve::ServingModel> snap(
+      serve::build_serving_model(*mgr_, tiny_options(), 1));
+  serve::RefitExecutorConfig rcfg;
+  rcfg.model = tiny_options().model;
+  rcfg.predictor = tiny_options().predictor;
+  serve::RefitExecutor refits(mgr_->profiler(), snap, mgr_->library(), rcfg,
+                              /*first_version=*/2);
+  refits.start();
+
+  FleetConfig cfg = fleet_config(1);
+  cfg.refit = &refits;
+  FleetCoordinator fleet(snap, cfg);
+
+  // "Node B" offers profiles the coordinator has not seen: perturb the
+  // conditions so dedup-by-condition counts them as new.
+  core::ProfileLibrary node_b;
+  for (const auto& p : mgr_->library().profiles()) {
+    profiler::Profile q = p;
+    q.condition.timeout_primary += 1e-6;
+    node_b.add(std::move(q));
+  }
+  const std::uint64_t version_before = snap.version();
+  const auto stats = fleet.merge_library(node_b);
+  EXPECT_EQ(stats.added, node_b.size());
+  EXPECT_EQ(fleet.totals().refit_requests, 1u);
+
+  // The executor publishes in the background; wait for its bundle.
+  const double deadline = 60.0;
+  const std::uint64_t ticket = refits.request_refit(core::ProfileLibrary{});
+  ASSERT_TRUE(refits.wait(ticket, deadline));
+  refits.stop();
+  EXPECT_GE(refits.stats().completed, 1u);
+  EXPECT_GT(snap.version(), version_before);
+  {
+    const auto guard = snap.acquire();
+    ASSERT_TRUE(static_cast<bool>(guard));
+    EXPECT_GE(guard->version, 2u);
+    EXPECT_TRUE(guard->primary_trained());
+  }
+  // The executor's authoritative library absorbed node B's delta.
+  EXPECT_EQ(refits.library_size(), mgr_->library().size() + node_b.size());
+
+  // A duplicate offer adds nothing and must NOT trigger another refit.
+  const auto dup = fleet.merge_library(node_b);
+  EXPECT_EQ(dup.added, 0u);
+  EXPECT_EQ(fleet.totals().refit_requests, 1u);
+}
+
 TEST_F(FleetTest, AsyncRefreshConvergesANodeThatMissedThePush) {
   serve::ModelSnapshot<serve::ServingModel> snap(
       serve::build_serving_model(*mgr_, tiny_options(), 1));

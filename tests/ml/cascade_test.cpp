@@ -118,5 +118,62 @@ TEST(CascadeForest, ConfigValidation) {
   EXPECT_THROW(CascadeForest{bad}, ContractViolation);
 }
 
+// ---- PR-9: warm-start cascade refit ---------------------------------------
+
+TEST(CascadeForest, WarmRefitParityWithColdFit) {
+  const Dataset grown = nonlinear_dataset(420, 21);
+  std::vector<std::size_t> head(350);
+  for (std::size_t i = 0; i < head.size(); ++i) head[i] = i;
+  Dataset base = grown.subset(head);
+  CascadeForest warm(small_config());
+  warm.fit(base);
+  EXPECT_EQ(warm.trained_rows(), 350u);
+  for (std::size_t i = 350; i < grown.size(); ++i)
+    base.add_row(grown.row(i), grown.target(i));
+  warm.refit_incremental(base);
+  EXPECT_EQ(warm.trained_rows(), 420u);
+
+  CascadeForest cold(small_config());
+  cold.fit(base);
+  const Dataset test = nonlinear_dataset(150, 22);
+  auto mae = [&](const CascadeForest& cf) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+      m += std::abs(cf.predict(test.row(i)) - test.target(i));
+    return m / static_cast<double>(test.size());
+  };
+  // The warm-start contract: old rows keep their frozen training-time
+  // concepts and only a round-robin tree subset retrains, so the result is
+  // an approximation — but one that must track a full refit closely.
+  EXPECT_LE(mae(warm), mae(cold) + 0.03);
+}
+
+TEST(CascadeForest, WarmRefitIsDeterministic) {
+  auto run = [] {
+    Dataset d = nonlinear_dataset(240, 25);
+    CascadeForest cf(small_config());
+    cf.fit(d);
+    const Dataset extra = nonlinear_dataset(60, 26);
+    for (std::size_t i = 0; i < extra.size(); ++i)
+      d.add_row(extra.row(i), extra.target(i));
+    cf.refit_incremental(d);
+    return cf;
+  };
+  const CascadeForest a = run();
+  const CascadeForest b = run();
+  const Dataset probe = nonlinear_dataset(80, 27);
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    EXPECT_EQ(a.predict(probe.row(i)), b.predict(probe.row(i)));
+}
+
+TEST(CascadeForest, RefitContractValidation) {
+  CascadeForest cf(small_config());
+  Dataset d = nonlinear_dataset(120, 28);
+  EXPECT_THROW(cf.refit_incremental(d), ContractViolation);
+  cf.fit(d);
+  const Dataset smaller = d.subset({0, 1, 2});
+  EXPECT_THROW(cf.refit_incremental(smaller), ContractViolation);
+}
+
 }  // namespace
 }  // namespace stac::ml

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <set>
 #include <thread>
 #include <vector>
@@ -176,6 +177,59 @@ TEST(Dataset, ColumnSurvivesCopy) {
   const auto col = copy.column(1);
   ASSERT_EQ(col.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(col[i], copy.row(i)[1]);
+}
+
+// PR-9 regression: add_row used to invalidate the whole column cache, so a
+// warm-refit over a grown dataset paid a full rebuild AND any span handed
+// out before the append dangled.  The delta-append protocol extends the
+// columns in place and *retires* (never frees) superseded buffers.
+TEST(Dataset, ColumnSpansSurviveAppendsBitwise) {
+  Dataset d = small_dataset(8);
+  const auto col0 = d.column(0);  // build + pin the cache
+  const auto col1 = d.column(1);
+  ASSERT_EQ(col0.size(), 8u);
+  const std::vector<double> snap0(col0.begin(), col0.end());
+  const std::vector<double> snap1(col1.begin(), col1.end());
+  // Grow far past the cache's initial headroom so every column buffer
+  // reallocates at least once.
+  for (std::size_t i = 0; i < 600; ++i) {
+    const double a = static_cast<double>(100 + i);
+    d.add_row(std::vector<double>{a, a * a}, 3.0 * a);
+  }
+  // The pre-append spans still dereference and read bitwise what they did.
+  EXPECT_EQ(std::memcmp(col0.data(), snap0.data(), 8 * sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(col1.data(), snap1.data(), 8 * sizeof(double)), 0);
+  // Fresh spans cover the grown column: original prefix bitwise unchanged,
+  // appended values in place.
+  const auto grown0 = d.column(0);
+  ASSERT_EQ(grown0.size(), 608u);
+  EXPECT_EQ(std::memcmp(grown0.data(), snap0.data(), 8 * sizeof(double)), 0);
+  EXPECT_DOUBLE_EQ(grown0[8], 100.0);
+  EXPECT_DOUBLE_EQ(grown0[607], 699.0);
+  EXPECT_DOUBLE_EQ(d.column(1)[607], 699.0 * 699.0);
+}
+
+TEST(Dataset, ConcurrentReadersSeeConsistentPrefixDuringAppends) {
+  Dataset d = small_dataset(16);
+  (void)d.column(0);  // build the cache before the writer starts
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  // Row i is {i, i*i}: any prefix a reader snapshots must obey that.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto col = d.column(0);
+      for (std::size_t i = 0; i < col.size(); i += 7)
+        if (col[i] != static_cast<double>(i)) ++errors;
+    }
+  });
+  for (std::size_t i = 16; i < 3000; ++i) {
+    const double a = static_cast<double>(i);
+    d.add_row(std::vector<double>{a, a * a}, 3.0 * a);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(d.column(0).size(), 3000u);
 }
 
 }  // namespace

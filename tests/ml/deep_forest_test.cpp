@@ -116,5 +116,44 @@ TEST(DeepForest, PredictBeforeFitThrows) {
   EXPECT_THROW((void)df.predict(ProfileSample{}), ContractViolation);
 }
 
+// ---- PR-9: warm-start refit through the MGS + cascade stack ---------------
+
+TEST(DeepForest, WarmRefitParityWithColdFit) {
+  std::vector<ProfileSample> xs, test_x;
+  std::vector<double> ys, test_y;
+  make_samples(220, 31, xs, ys);
+  make_samples(90, 32, test_x, test_y);
+
+  std::vector<ProfileSample> base_x(xs.begin(), xs.begin() + 170);
+  std::vector<double> base_y(ys.begin(), ys.begin() + 170);
+  DeepForest warm(small_config());
+  warm.fit(base_x, base_y);
+  // Only the appended samples pass through the scanner on refit; the old
+  // rows' window features and concepts are reused as cached.
+  warm.refit_incremental(xs, ys);
+
+  DeepForest cold(small_config());
+  cold.fit(xs, ys);
+  auto mae = [&](const DeepForest& df) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < test_x.size(); ++i)
+      m += std::abs(df.predict(test_x[i]) - test_y[i]);
+    return m / static_cast<double>(test_x.size());
+  };
+  EXPECT_LE(mae(warm), mae(cold) + 0.03);
+}
+
+TEST(DeepForest, RefitContractValidation) {
+  DeepForest df(small_config());
+  std::vector<ProfileSample> xs;
+  std::vector<double> ys;
+  make_samples(60, 35, xs, ys);
+  EXPECT_THROW(df.refit_incremental(xs, ys), ContractViolation);
+  df.fit(xs, ys);
+  std::vector<ProfileSample> fewer(xs.begin(), xs.begin() + 10);
+  std::vector<double> fewer_y(ys.begin(), ys.begin() + 10);
+  EXPECT_THROW(df.refit_incremental(fewer, fewer_y), ContractViolation);
+}
+
 }  // namespace
 }  // namespace stac::ml

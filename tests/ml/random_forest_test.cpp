@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -102,6 +103,118 @@ TEST(RandomForest, BootstrapFractionValidated) {
                ContractViolation);
   EXPECT_THROW(RandomForest(ForestConfig{.estimators = 0}),
                ContractViolation);
+}
+
+// ---- PR-9: flattened SoA inference + warm-start refit ---------------------
+
+TEST(RandomForest, FlattenedPredictBitIdenticalToPointerWalk) {
+  for (const std::uint64_t seed : {1ull, 9ull, 23ull}) {
+    for (const SplitMode mode :
+         {SplitMode::kSqrtFeatures, SplitMode::kCompletelyRandom}) {
+      const Dataset train = wavy_dataset(220, seed);
+      ForestConfig cfg{.estimators = 18, .split_mode = mode, .seed = seed};
+      ForestConfig ptr_cfg = cfg;
+      ptr_cfg.flatten = false;
+      RandomForest flat(cfg), pointer(ptr_cfg);
+      flat.fit(train);
+      pointer.fit(train);
+      // OOB estimates (the cascade's concept source) and fresh predictions
+      // must agree bit for bit — the flat walk uses identical comparisons
+      // and identical tree-order accumulation.
+      EXPECT_EQ(flat.oob_predictions(), pointer.oob_predictions());
+      const Dataset test = wavy_dataset(90, seed + 1000);
+      for (std::size_t i = 0; i < test.size(); ++i) {
+        const double a = flat.predict(test.row(i));
+        const double b = pointer.predict(test.row(i));
+        EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+      }
+      // The batch (level-major) walk is the same function.
+      const auto batch = flat.predict(test.features());
+      const auto scalar = pointer.predict(test.features());
+      EXPECT_EQ(batch, scalar);
+    }
+  }
+}
+
+TEST(RandomForest, FlattenedIdentityHoldsAcrossWarmRefit) {
+  Dataset data = wavy_dataset(200, 31);
+  ForestConfig cfg{.estimators = 16, .seed = 31};
+  ForestConfig ptr_cfg = cfg;
+  ptr_cfg.flatten = false;
+  RandomForest flat(cfg), pointer(ptr_cfg);
+  flat.fit(data);
+  pointer.fit(data);
+  const Dataset extra = wavy_dataset(60, 32);
+  for (std::size_t i = 0; i < extra.size(); ++i)
+    data.add_row(extra.row(i), extra.target(i));
+  flat.refit_incremental(data);
+  pointer.refit_incremental(data);
+  const Dataset test = wavy_dataset(80, 33);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double a = flat.predict(test.row(i));
+    const double b = pointer.predict(test.row(i));
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+  }
+  EXPECT_EQ(flat.oob_predictions(), pointer.oob_predictions());
+}
+
+TEST(RandomForest, WarmRefitParityWithColdFit) {
+  const Dataset grown = wavy_dataset(500, 41);
+  std::vector<std::size_t> head(400);
+  for (std::size_t i = 0; i < head.size(); ++i) head[i] = i;
+  Dataset base = grown.subset(head);
+  RandomForest warm(ForestConfig{.estimators = 32, .seed = 42});
+  warm.fit(base);
+  for (std::size_t i = 400; i < grown.size(); ++i)
+    base.add_row(grown.row(i), grown.target(i));
+  // Two refit rounds: the round-robin window advances, so different tree
+  // subsets retrain each call.
+  warm.refit_incremental(base);
+  warm.refit_incremental(base);
+  EXPECT_EQ(warm.trained_rows(), 500u);
+  EXPECT_EQ(warm.refit_rounds(), 2u);
+  RandomForest cold(ForestConfig{.estimators = 32, .seed = 42});
+  cold.fit(base);
+  const Dataset test = wavy_dataset(200, 43);
+  // The accuracy-parity contract: warm-start is an approximation, but it
+  // must track a full refit within a small absolute margin.
+  EXPECT_LE(test_mae(warm, test), test_mae(cold, test) + 0.03);
+}
+
+TEST(RandomForest, WarmRefitIsDeterministic) {
+  auto run = [] {
+    Dataset d = wavy_dataset(240, 51);
+    RandomForest rf(ForestConfig{.estimators = 24, .seed = 52});
+    rf.fit(d);
+    const Dataset extra = wavy_dataset(50, 53);
+    for (std::size_t i = 0; i < extra.size(); ++i)
+      d.add_row(extra.row(i), extra.target(i));
+    rf.refit_incremental(d);
+    rf.refit_incremental(d);
+    return rf;
+  };
+  const RandomForest a = run();
+  const RandomForest b = run();
+  const Dataset test = wavy_dataset(60, 54);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double pa = a.predict(test.row(i));
+    const double pb = b.predict(test.row(i));
+    EXPECT_EQ(std::memcmp(&pa, &pb, sizeof(double)), 0);
+  }
+}
+
+TEST(RandomForest, RefitContractValidation) {
+  RandomForest rf(ForestConfig{.estimators = 8, .seed = 61});
+  Dataset d = wavy_dataset(100, 61);
+  // Warm refit requires a prior fit.
+  EXPECT_THROW(rf.refit_incremental(d), ContractViolation);
+  rf.fit(d);
+  // ... and a dataset at least as large as the one last fitted.
+  const Dataset smaller = d.subset({0, 1, 2, 3});
+  EXPECT_THROW(rf.refit_incremental(smaller), ContractViolation);
+  // Same-size refit is legal (pure tree refresh, no growth).
+  rf.refit_incremental(d);
+  EXPECT_EQ(rf.refit_rounds(), 1u);
 }
 
 }  // namespace

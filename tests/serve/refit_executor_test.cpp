@@ -1,0 +1,274 @@
+// The background refit pipeline: merge -> warm-start refit -> assemble ->
+// RCU publish, with request coalescing, a full-refit cadence backstop,
+// clean cancellation on stop(), and survival of fit failures (the
+// "model.fit" fault point) via bounded retries + degraded publish.
+#include "serve/refit_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fault_injection.hpp"
+#include "core/stac_manager.hpp"
+#include "serve/serving_model.hpp"
+
+namespace stac::serve {
+namespace {
+
+using core::StacManager;
+using core::StacOptions;
+using profiler::RuntimeCondition;
+
+StacOptions tiny_options() {
+  StacOptions opts;
+  opts.profile_budget = 6;
+  opts.profiler.target_completions = 250;
+  opts.profiler.warmup_completions = 30;
+  opts.profiler.max_windows = 1;
+  opts.profiler.accesses_per_sample = 600;
+  opts.model.deep_forest.mgs.window_sizes = {5};
+  opts.model.deep_forest.mgs.estimators = 6;
+  opts.model.deep_forest.cascade.levels = 1;
+  opts.model.deep_forest.cascade.estimators = 10;
+  opts.predictor.sim_queries = 1500;
+  opts.explorer.grid = {0.0, 2.0, 6.0};
+  return opts;
+}
+
+RuntimeCondition probe_condition() {
+  RuntimeCondition c;
+  c.primary = wl::Benchmark::kKnn;
+  c.collocated = wl::Benchmark::kBfs;
+  c.util_primary = 0.8;
+  c.util_collocated = 0.8;
+  c.timeout_primary = 1.0;
+  c.timeout_collocated = 1.0;
+  c.seed = 12;
+  return c;
+}
+
+RefitExecutorConfig executor_config() {
+  RefitExecutorConfig cfg;
+  cfg.model = tiny_options().model;
+  cfg.predictor = tiny_options().predictor;
+  return cfg;
+}
+
+/// A delta library whose conditions are distinct from the manager's (the
+/// merge dedups on exact condition, so perturb the timeout).
+core::ProfileLibrary perturbed_delta(const core::ProfileLibrary& base,
+                                     std::size_t n, double epsilon) {
+  core::ProfileLibrary delta;
+  const auto& profiles = base.profiles();
+  for (std::size_t i = 0; i < n && i < profiles.size(); ++i) {
+    profiler::Profile p = profiles[i];
+    p.condition.timeout_primary += epsilon * static_cast<double>(i + 1);
+    delta.add(std::move(p));
+  }
+  return delta;
+}
+
+// Calibration is the expensive part; share one manager across the suite.
+class RefitExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mgr_ = new StacManager(tiny_options());
+    mgr_->calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  }
+  static void TearDownTestSuite() {
+    delete mgr_;
+    mgr_ = nullptr;
+  }
+  static StacManager* mgr_;
+};
+
+StacManager* RefitExecutorTest::mgr_ = nullptr;
+
+TEST_F(RefitExecutorTest, ColdThenWarmPublishesThroughSnapshot) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(),
+                   executor_config());
+  EXPECT_FALSE(ex.running());
+  EXPECT_EQ(ex.published_version(), 0u);
+
+  // No worker running: request_refit executes inline.  The masters start
+  // untrained, so the first refit is cold.
+  const std::uint64_t t1 = ex.request_refit(core::ProfileLibrary{});
+  EXPECT_TRUE(ex.wait(t1, 5.0));
+  EXPECT_EQ(ex.published_version(), 1u);
+  {
+    const auto guard = models.acquire();
+    ASSERT_NE(guard.get(), nullptr);
+    EXPECT_EQ(guard->version, 1u);
+    EXPECT_TRUE(guard->primary.trained());
+    EXPECT_EQ(guard->pred().probe_rung(probe_condition()),
+              core::DegradationRung::kPrimaryModel);
+  }
+
+  // Trained masters + warm_start on: the second refit is warm, and a
+  // merged delta grows the authoritative library.
+  const std::size_t before = ex.library_size();
+  const std::uint64_t t2 =
+      ex.request_refit(perturbed_delta(mgr_->library(), 2, 1e-6));
+  EXPECT_TRUE(ex.wait(t2, 5.0));
+  EXPECT_EQ(ex.published_version(), 2u);
+  EXPECT_EQ(ex.library_size(), before + 2);
+  const RefitStats st = ex.stats();
+  EXPECT_EQ(st.cold, 1u);
+  EXPECT_EQ(st.warm, 1u);
+  EXPECT_EQ(st.profiles_merged, 2u);
+  EXPECT_EQ(models.acquire()->pred().probe_rung(probe_condition()),
+            core::DegradationRung::kPrimaryModel);
+}
+
+TEST_F(RefitExecutorTest, CadenceForcesPeriodicColdRefit) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutorConfig cfg = executor_config();
+  cfg.full_refit_every = 2;  // every second refit after a cold one re-fits
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(), cfg);
+  // #1 cold (untrained), #2 warm (streak 0 -> 1), #3 cold (cadence), #4
+  // warm, #5 cold ...
+  for (int i = 0; i < 5; ++i) (void)ex.refit_now(core::ProfileLibrary{});
+  const RefitStats st = ex.stats();
+  EXPECT_EQ(st.cold, 3u);
+  EXPECT_EQ(st.warm, 2u);
+  EXPECT_EQ(ex.published_version(), 5u);
+}
+
+TEST_F(RefitExecutorTest, ForceColdOverridesWarmStart) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(),
+                   executor_config());
+  (void)ex.refit_now(core::ProfileLibrary{});
+  (void)ex.refit_now(core::ProfileLibrary{}, /*force_cold=*/true);
+  const RefitStats st = ex.stats();
+  EXPECT_EQ(st.cold, 2u);
+  EXPECT_EQ(st.warm, 0u);
+}
+
+TEST_F(RefitExecutorTest, BackgroundWorkerCoalescesBurstsAndServesAllTickets) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(),
+                   executor_config());
+  ex.start();
+  EXPECT_TRUE(ex.running());
+  // A burst much faster than one fit: at most one job can be in flight and
+  // one pending, so most requests fold into the pending job.
+  std::vector<std::uint64_t> tickets;
+  for (std::size_t i = 0; i < 6; ++i)
+    tickets.push_back(
+        ex.request_refit(perturbed_delta(mgr_->library(), 1, 1e-7 * (i + 1))));
+  for (const std::uint64_t t : tickets) EXPECT_TRUE(ex.wait(t, 60.0));
+  const RefitStats st = ex.stats();
+  EXPECT_EQ(st.requests, 6u);
+  EXPECT_GE(st.coalesced, 1u);
+  EXPECT_LT(st.completed, 6u);  // coalescing means fewer refits than asks
+  EXPECT_GE(ex.published_version(), 1u);
+  EXPECT_EQ(ex.queue_depth(), 0u);
+  ex.stop();
+  EXPECT_FALSE(ex.running());
+}
+
+TEST_F(RefitExecutorTest, StopCancelsPendingJobAndWakesWaiters) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(),
+                   executor_config());
+  ex.start();
+  const std::uint64_t t1 = ex.request_refit(core::ProfileLibrary{});
+  // Wait until the worker has dequeued job 1 so job 2 arms a fresh pending
+  // slot instead of coalescing into it.
+  while (ex.queue_depth() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const std::uint64_t t2 = ex.request_refit(core::ProfileLibrary{});
+  ex.stop();
+  // Job 1 either completed before stop() or ran to completion during join;
+  // job 2 was pending and must have been cancelled — unless the worker
+  // finished job 1 fast enough to take it first, in which case it
+  // completed.  Either way stop() left nothing half-done.
+  const RefitStats st = ex.stats();
+  EXPECT_EQ(st.completed + st.cancelled, 2u);
+  EXPECT_TRUE(ex.wait(t1, 1.0));
+  if (st.cancelled == 1u) EXPECT_FALSE(ex.wait(t2, 0.05));
+  EXPECT_EQ(ex.queue_depth(), 0u);
+  // Restart after stop works (idempotent lifecycle).
+  ex.start();
+  const std::uint64_t t3 = ex.request_refit(core::ProfileLibrary{});
+  EXPECT_TRUE(ex.wait(t3, 60.0));
+  ex.stop();
+}
+
+TEST_F(RefitExecutorTest, TransientFitFailureIsRetriedInJob) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(),
+                   executor_config());
+  // First hit of "model.fit" (the primary's first attempt) throws; the
+  // in-job retry and the fallback fit then succeed.
+  FaultPlan plan;
+  plan.add({.point = "model.fit",
+            .action = FaultAction::kThrow,
+            .probability = 1.0,
+            .from_hit = 1,
+            .until_hit = 2});
+  FaultScope scope(plan);
+  const std::uint64_t t = ex.request_refit(core::ProfileLibrary{});
+  scope.disarm();
+  EXPECT_TRUE(ex.wait(t, 5.0));
+  const RefitStats st = ex.stats();
+  EXPECT_EQ(st.fit_failures, 1u);
+  EXPECT_EQ(st.retries, 1u);
+  EXPECT_EQ(st.degraded_publishes, 0u);
+  const auto guard = models.acquire();
+  EXPECT_TRUE(guard->primary.trained());
+  EXPECT_EQ(guard->pred().probe_rung(probe_condition()),
+            core::DegradationRung::kPrimaryModel);
+}
+
+TEST_F(RefitExecutorTest, PersistentFitFailurePublishesDegradedThenRecovers) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, mgr_->library(),
+                   executor_config());
+  {
+    FaultPlan plan;
+    plan.add({.point = "model.fit",
+              .action = FaultAction::kThrow,
+              .probability = 1.0});
+    FaultScope scope(plan);
+    const std::uint64_t t = ex.request_refit(core::ProfileLibrary{});
+    EXPECT_TRUE(ex.wait(t, 5.0));
+  }
+  RefitStats st = ex.stats();
+  EXPECT_EQ(st.degraded_publishes, 1u);
+  EXPECT_EQ(st.fit_failures, 2u);  // initial attempt + one retry
+  {
+    // The degraded bundle still serves: the ladder answers from a lower
+    // rung instead of the (untrained) primary.
+    const auto guard = models.acquire();
+    ASSERT_NE(guard.get(), nullptr);
+    EXPECT_FALSE(guard->primary.trained());
+    EXPECT_GT(guard->pred().probe_rung(probe_condition()),
+              core::DegradationRung::kPrimaryModel);
+    const auto pred = guard->pred().predict(probe_condition());
+    EXPECT_GT(pred.mean_rt, 0.0);
+  }
+  // Fault gone: the next refit (cold — the master is untrained again)
+  // restores the primary rung.
+  const std::uint64_t t2 = ex.request_refit(core::ProfileLibrary{});
+  EXPECT_TRUE(ex.wait(t2, 5.0));
+  st = ex.stats();
+  EXPECT_EQ(st.cold, 2u);
+  EXPECT_EQ(models.acquire()->pred().probe_rung(probe_condition()),
+            core::DegradationRung::kPrimaryModel);
+}
+
+TEST_F(RefitExecutorTest, EmptyLibraryRefitIsAContractViolation) {
+  ModelSnapshot<ServingModel> models;
+  RefitExecutor ex(mgr_->profiler(), models, core::ProfileLibrary{},
+                   executor_config());
+  EXPECT_THROW((void)ex.refit_now(core::ProfileLibrary{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace stac::serve
