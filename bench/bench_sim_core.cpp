@@ -1,6 +1,6 @@
 // Simulation-core performance: the PR-4 overhaul plus the PR-7 batch /
-// SIMD layers, measured end to end and recorded in the machine-readable
-// BENCH_PR7.json:
+// SIMD layers and the PR-10 memory-time model, measured end to end and
+// recorded in the machine-readable BENCH_PR10.json:
 //
 //   ggk_event_loop     fast engine (pre-drawn CRN streams, sorted-arrival
 //                      replay, 4-ary lazy-deletion completion heap) vs the
@@ -21,6 +21,13 @@
 //                      rate, visible in obs_metrics)
 //   policy_sweep_batch ExplorerConfig::batch (whole grid in one
 //                      simulate_batch wave) vs the per-cell sweep
+//   timed_replay       memtime-timed replay (split hit/miss latencies,
+//                      bandwidth-queued DRAM) vs the flat fast path, plus
+//                      the timing-off closed-form identity and the queue
+//                      monotonicity check the CI gates assert
+//   cross_hardware     one trace replayed on every shipped preset: modeled
+//                      cycles per access, DRAM queue share, stacked-tier
+//                      hit fraction (the Fig. 7a hardware axis)
 //
 // Every fast/legacy pair is cross-checked bit for bit — a speedup that
 // changes a single sample, counter or selection is a bug, and CI asserts
@@ -183,11 +190,11 @@ std::uint64_t drive_replay(cachesim::CacheHierarchy& h, const Trace& t,
 
 int main(int argc, char** argv) {
   BenchArgs args = BenchArgs::parse(argc, argv);
-  // This binary owns a section of the PR-9 record; an explicit --json or
+  // This binary owns a section of the PR-10 record; an explicit --json or
   // STAC_BENCH_JSON still wins.
   if (args.json_path == "BENCH_PR2.json" &&
       std::getenv("STAC_BENCH_JSON") == nullptr)
-    args.json_path = "BENCH_PR9.json";
+    args.json_path = "BENCH_PR10.json";
   print_banner(std::cout, "Simulation-core performance (G/G/k, cachesim, memoization)");
   const std::size_t workers = ensure_bench_pool();
   obs::set_enabled(true);  // gauges (hit rates) ride along in obs_metrics
@@ -380,6 +387,189 @@ int main(int argc, char** argv) {
     table.add_row({"SIMD probe/victim", "scalar",
                    cachesim::simd::isa_name(), "-",
                    identical ? "yes" : "NO"});
+  }
+
+  // ---- Stage 2c: timed replay (memtime subsystem) ----------------------
+  {
+    // Three claims recorded for the CI gates:
+    //   timing_off_identity — with flat timing the modeled cycle totals
+    //     equal the closed form sum(counters x latency), so the timing
+    //     layer is provably free of behavioural drift when off;
+    //   queue_monotonic     — higher offered DRAM traffic never lowers the
+    //     next access's modeled latency (the windowed queue is monotone in
+    //     utilization by construction; this checks the shipped binary);
+    //   timed vs untimed throughput — the timed path (split latencies,
+    //     bandwidth queue, stacked tier) must stay within a small constant
+    //     factor of the flat fast path.
+    const std::size_t n = args.fast ? 300000 : 3000000;
+    const Trace trace = cache_trace(n, args.seed + 31);
+
+    cachesim::HierarchyConfig flat_cfg = hierarchy_with_layout(true);
+    cachesim::HierarchyConfig timed_cfg = flat_cfg;
+    timed_cfg.timing.l1d = {1, 4, memtime::LookupMode::kParallel};
+    timed_cfg.timing.l1i = {1, 4, memtime::LookupMode::kParallel};
+    timed_cfg.timing.l2 = {4, 8, memtime::LookupMode::kSequential};
+    timed_cfg.timing.llc = {14, 30, memtime::LookupMode::kSequential};
+    timed_cfg.timing.dram.bandwidth_bytes_per_cycle = 16.0;
+
+    cachesim::CacheHierarchy flat_hw(flat_cfg, 2);
+    cachesim::CacheHierarchy timed_hw(timed_cfg, 2);
+    const cachesim::WayMask mask0 = flat_hw.llc().full_mask();
+    const cachesim::WayMask mask1 = 0x3F;
+
+    std::uint64_t flat_lat = 0, timed_lat = 0;
+    double flat_s = std::numeric_limits<double>::infinity();
+    double timed_s = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < reps; ++r) {
+      Stopwatch sw;
+      flat_lat = drive_replay(flat_hw, trace, mask0, mask1);
+      flat_s = std::min(flat_s, sw.seconds());
+      sw.restart();
+      timed_lat = drive_replay(timed_hw, trace, mask0, mask1);
+      timed_s = std::min(timed_s, sw.seconds());
+    }
+
+    // Identity: flat modeled cycles match the closed form exactly.
+    std::uint64_t closed_form = 0;
+    for (cachesim::ClassId cls = 0; cls < 2; ++cls) {
+      const auto ctr = flat_hw.counters(cls);
+      using cachesim::Counter;
+      closed_form +=
+          (ctr.get(Counter::kL1dLoads) + ctr.get(Counter::kL1dStores)) *
+              flat_cfg.l1d.latency_cycles +
+          ctr.get(Counter::kL1iLoads) * flat_cfg.l1i.latency_cycles +
+          ctr.get(Counter::kL2Requests) * flat_cfg.l2.latency_cycles +
+          (ctr.get(Counter::kLlcLoads) + ctr.get(Counter::kLlcStores)) *
+              flat_cfg.llc.latency_cycles +
+          (ctr.get(Counter::kMemReads) + ctr.get(Counter::kMemWrites)) *
+              flat_cfg.memory_latency_cycles;
+    }
+    const bool timing_off_identity =
+        flat_lat == closed_form && flat_hw.clock_cycles() == flat_lat;
+
+    // Counter identity: the timing layer must not perturb hit/miss streams.
+    bool counters_identical = true;
+    for (cachesim::ClassId cls = 0; cls < 2; ++cls) {
+      const auto a = flat_hw.counters(cls);
+      const auto b = timed_hw.counters(cls);
+      for (std::size_t i = 0; i < cachesim::kCounterCount; ++i) {
+        const auto c = static_cast<cachesim::Counter>(i);
+        if (c == cachesim::Counter::kStallCycles ||
+            c == cachesim::Counter::kCycles ||
+            c == cachesim::Counter::kIpcX1000)
+          continue;
+        counters_identical = counters_identical && a.values[i] == b.values[i];
+      }
+    }
+
+    // Monotonicity of the shipped queue model: 4x the offered bytes can
+    // never lower the next access's latency, across a spread of loads.
+    bool queue_monotonic = true;
+    for (const int load : {1, 4, 16, 64, 256}) {
+      memtime::DramPerfSpec qs;
+      qs.base_latency_cycles = 200;
+      qs.bandwidth_bytes_per_cycle = 16.0;
+      qs.window_cycles = 4096;
+      memtime::DramPerfModel light(qs, 0), heavy(qs, 0);
+      for (int i = 0; i < load; ++i) light.access(10, 64);
+      for (int i = 0; i < load * 4; ++i) heavy.access(10, 64);
+      queue_monotonic = queue_monotonic &&
+                        heavy.access(11, 64).total >= light.access(11, 64).total;
+    }
+
+    const double slowdown = timed_s / flat_s;
+    const auto timed_total = timed_hw.total_cycles();
+    JsonObject s;
+    s.set("accesses", n)
+        .set("timed_total_cycles", static_cast<std::size_t>(timed_lat))
+        .set("untimed_s", flat_s)
+        .set("timed_s", timed_s)
+        .set("timed_slowdown", slowdown)
+        .set("untimed_maccess_per_s", n / flat_s / 1e6)
+        .set("timed_maccess_per_s", n / timed_s / 1e6)
+        .set("timing_off_identity", timing_off_identity)
+        .set("counters_identical", counters_identical)
+        .set("queue_monotonic", queue_monotonic)
+        .set("timed_cycles_per_access", timed_total.cycles_per_access())
+        .set("timed_dram_queue_cycles",
+             static_cast<std::size_t>(
+                 timed_total.get(cachesim::CycleLevel::kDramQueue)));
+    record.set("timed_replay", s);
+    table.add_row({"timed replay (memtime)", Table::num(flat_s, 3) + "s",
+                   Table::num(timed_s, 3) + "s",
+                   Table::num(1.0 / slowdown, 2),
+                   (timing_off_identity && counters_identical &&
+                    queue_monotonic)
+                       ? "yes"
+                       : "NO"});
+  }
+
+  // ---- Stage 2d: cross-hardware sweep over all presets -----------------
+  {
+    // The Fig. 7a rerun's hardware axis: one trace replayed on every
+    // shipped preset, recording modeled cycles per access (now a real
+    // differentiator between parts — flat presets only differ via geometry,
+    // timed ones via latency/bandwidth/stacked-tier too).
+    const std::size_t n = args.fast ? 200000 : 1000000;
+    const Trace trace = cache_trace(n, args.seed + 41);
+    JsonObject sweep;
+    std::size_t preset_count = 0;
+    for (const cachesim::HierarchyConfig& cfg : cachesim::presets::all()) {
+      cachesim::CacheHierarchy hw(cfg, 2);
+      Stopwatch sw;
+      const std::uint64_t cycles =
+          hw.replay(trace.refs.data(), trace.classes.data(), trace.refs.size());
+      const double secs = sw.seconds();
+      const auto total = hw.total_cycles();
+      const double dc_accesses =
+          static_cast<double>(total.dram_cache_hits + total.dram_cache_misses);
+      JsonObject p;
+      p.set("llc_mb", cfg.llc.size_bytes / (1024.0 * 1024.0))
+          .set("timed", !cfg.timing_flat())
+          .set("cycles_per_access", total.cycles_per_access())
+          .set("dram_queue_share",
+               cycles ? static_cast<double>(
+                            total.get(cachesim::CycleLevel::kDramQueue)) /
+                            static_cast<double>(cycles)
+                      : 0.0)
+          .set("dram_cache_hit_frac",
+               dc_accesses > 0.0 ? total.dram_cache_hits / dc_accesses : 0.0)
+          .set("maccess_per_s", n / secs / 1e6);
+      if (cfg.timing.dram_cache.has_value()) {
+        // The Stage-1 trace fits inside a 64 MB LLC, so the stacked tier
+        // above only sees compulsory misses.  Measure the tier on its own
+        // terms: a circular line sweep sized past the LLC but inside the
+        // tier — pass 1 populates it, pass 2 must hit it.
+        const std::uint64_t sweep_bytes = std::min<std::uint64_t>(
+            cfg.timing.dram_cache->geometry.size_bytes,
+            cfg.llc.size_bytes + cfg.llc.size_bytes / 2);
+        const std::uint64_t lines = sweep_bytes / cfg.l1d.line_bytes;
+        std::vector<cachesim::MemoryAccess> pass(lines);
+        std::vector<cachesim::ClassId> zeros(lines, 0);
+        for (std::uint64_t i = 0; i < lines; ++i)
+          pass[i] = {i * cfg.l1d.line_bytes, cachesim::AccessType::kLoad};
+        cachesim::CacheHierarchy tier_hw(cfg, 1);
+        tier_hw.replay(pass.data(), zeros.data(), pass.size());  // populate
+        const auto warm = tier_hw.total_cycles();
+        tier_hw.replay(pass.data(), zeros.data(), pass.size());  // re-sweep
+        const auto done = tier_hw.total_cycles();
+        const double tier_hits =
+            static_cast<double>(done.dram_cache_hits - warm.dram_cache_hits);
+        const double tier_refs = static_cast<double>(
+            (done.dram_cache_hits + done.dram_cache_misses) -
+            (warm.dram_cache_hits + warm.dram_cache_misses));
+        p.set("tier_sweep_mb", sweep_bytes / (1024.0 * 1024.0))
+            .set("tier_sweep_hit_frac",
+                 tier_refs > 0.0 ? tier_hits / tier_refs : 0.0);
+      }
+      sweep.set(cfg.name, p);
+      ++preset_count;
+    }
+    sweep.set("preset_count", preset_count);
+    record.set("cross_hardware", sweep);
+    table.add_row({"cross-hardware sweep",
+                   std::to_string(preset_count) + " presets", "-", "-",
+                   preset_count >= 8 ? "yes" : "NO"});
   }
 
   // ---- Stage 3: policy sweep with RtPredictionCache memoization --------

@@ -10,11 +10,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cachesim/cache_config.hpp"
 #include "cachesim/cache_level.hpp"
 #include "cachesim/perf_counters.hpp"
+#include "memtime/cache_perf_model.hpp"
+#include "memtime/dram_perf_model.hpp"
 
 namespace stac::cachesim {
 
@@ -68,10 +71,29 @@ class CacheHierarchy {
   /// Counter snapshot for a class; occupancy/IPC gauges computed on read.
   [[nodiscard]] CounterSnapshot counters(ClassId class_id) const;
 
+  /// Modeled-cycle breakdown for a class (DESIGN.md §16).  Accumulated
+  /// bit-identically by access() and replay(); reset() clears it.
+  [[nodiscard]] const CycleBreakdown& cycles(ClassId class_id) const;
+  /// Breakdown merged across all classes.
+  [[nodiscard]] CycleBreakdown total_cycles() const;
+  /// Modeled wall clock: total latency of every access plus retired
+  /// instructions.  Drives the DRAM model's utilization windows.
+  [[nodiscard]] std::uint64_t clock_cycles() const { return clock_cycles_; }
+  [[nodiscard]] const memtime::DramPerfModel& dram_model() const {
+    return dram_;
+  }
+  [[nodiscard]] bool has_dram_cache() const {
+    return dram_cache_.has_value();
+  }
+  /// Export the merged cycle breakdown as obs gauges
+  /// (`cachesim.cycles.<level>`, `cachesim.cycles.total`, ...).
+  void publish_cycle_metrics() const;
+
   /// LLC lines currently owned by the class (CMT-style occupancy).
   [[nodiscard]] std::size_t llc_occupancy(ClassId class_id) const;
 
-  /// Reset all cache contents and counters (between experiments).
+  /// Reset all cache contents, counters, cycle breakdowns and DRAM window
+  /// state (between experiments).
   void reset();
 
   [[nodiscard]] const CacheLevel& llc() const { return llc_; }
@@ -88,6 +110,13 @@ class CacheHierarchy {
   template <std::size_t W>
   static AccessResult probe_level(CacheLevel& level, std::uint64_t line,
                                   WayMask fill_mask, ClassId class_id);
+  /// Memory-side time past the LLC (optional DRAM-cache probe, then main
+  /// DRAM).  Bumps the mem/stall counters and the breakdown; shared by
+  /// access() and every replay_fixed instantiation so the two accounting
+  /// paths cannot diverge.
+  std::uint32_t memory_side(std::uint64_t line, ClassId class_id,
+                            std::uint64_t now, Counter mem_ctr,
+                            CounterSnapshot& ctr, CycleBreakdown& cyc);
 
   HierarchyConfig config_;
   /// Precomputed line-address shift (line_bytes is power-of-two in every
@@ -101,6 +130,23 @@ class CacheHierarchy {
   CacheLevel llc_;
   std::vector<WayMask> llc_masks_;
   std::vector<CounterSnapshot> counters_;
+  // --- modeled time (DESIGN.md §16) ---
+  memtime::CachePerfModel l1d_perf_;
+  memtime::CachePerfModel l1i_perf_;
+  memtime::CachePerfModel l2_perf_;
+  memtime::CachePerfModel llc_perf_;
+  memtime::DramPerfModel dram_;
+  /// Stacked DRAM-cache tier (probed on LLC miss; shared across classes
+  /// like the LLC, unmasked — CAT does not partition the stacked tier).
+  std::optional<CacheLevel> dram_cache_;
+  memtime::CachePerfModel dram_cache_perf_;
+  memtime::DramPerfModel dram_cache_dram_;  ///< stacked channel
+  /// True when the memory side is a single constant (no stacked tier, no
+  /// queue model): the replay loop then charges a hoisted scalar instead of
+  /// calling memory_side() — the pre-timing fast path.
+  bool mem_flat_ = false;
+  std::vector<CycleBreakdown> cycles_;
+  std::uint64_t clock_cycles_ = 0;
 };
 
 }  // namespace stac::cachesim

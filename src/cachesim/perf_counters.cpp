@@ -110,4 +110,37 @@ double CounterSnapshot::llc_mpki() const {
                         get(Counter::kInstructions));
 }
 
+std::string_view cycle_level_name(CycleLevel l) {
+  switch (l) {
+    case CycleLevel::kL1d: return "l1d";
+    case CycleLevel::kL1i: return "l1i";
+    case CycleLevel::kL2: return "l2";
+    case CycleLevel::kLlc: return "llc";
+    case CycleLevel::kDramCache: return "dram_cache";
+    case CycleLevel::kDramBase: return "dram_base";
+    case CycleLevel::kDramQueue: return "dram_queue";
+  }
+  return "?";
+}
+
+std::uint64_t CycleBreakdown::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : cycles) sum += v;
+  return sum;
+}
+
+double CycleBreakdown::cycles_per_access() const {
+  return accesses == 0
+             ? 0.0
+             : static_cast<double>(total()) / static_cast<double>(accesses);
+}
+
+void CycleBreakdown::merge(const CycleBreakdown& other) {
+  for (std::size_t i = 0; i < kCycleLevelCount; ++i)
+    cycles[i] += other.cycles[i];
+  accesses += other.accesses;
+  dram_cache_hits += other.dram_cache_hits;
+  dram_cache_misses += other.dram_cache_misses;
+}
+
 }  // namespace stac::cachesim

@@ -94,4 +94,57 @@ struct CounterSnapshot {
 /// Gauge counters report level, not accumulation — delta_since copies them.
 [[nodiscard]] bool counter_is_gauge(Counter c);
 
+// ---------------------------------------------------------------------------
+// Modeled-time accounting (DESIGN.md §16).
+//
+// Cycle totals live OUTSIDE the Counter enum on purpose: kCounterCount = 29
+// fixes the 2 x 29 x cols profile-image shape every trained model consumes,
+// so timing gets its own side structure instead of new counter rows.
+// ---------------------------------------------------------------------------
+
+/// Where modeled cycles were spent.  DRAM is split into its zero-contention
+/// share (base + transfer) and the bandwidth-queue share so contention is
+/// directly observable.
+enum class CycleLevel : std::uint8_t {
+  kL1d = 0,
+  kL1i,
+  kL2,
+  kLlc,
+  kDramCache,  ///< stacked-tier probe + stacked-channel time
+  kDramBase,   ///< main DRAM zero-contention latency + line transfer
+  kDramQueue,  ///< main DRAM bandwidth-contention queue delay
+};
+
+inline constexpr std::size_t kCycleLevelCount = 7;
+
+[[nodiscard]] std::string_view cycle_level_name(CycleLevel l);
+
+/// Per-class modeled-cycle breakdown accumulated by CacheHierarchy access
+/// and replay paths (bit-identically — the replay identity tests cover it).
+struct CycleBreakdown {
+  std::array<std::uint64_t, kCycleLevelCount> cycles{};
+  std::uint64_t accesses = 0;
+  std::uint64_t dram_cache_hits = 0;
+  std::uint64_t dram_cache_misses = 0;
+
+  [[nodiscard]] std::uint64_t get(CycleLevel l) const {
+    return cycles[static_cast<std::size_t>(l)];
+  }
+  void bump(CycleLevel l, std::uint64_t delta) {
+    cycles[static_cast<std::size_t>(l)] += delta;
+  }
+
+  /// Total modeled memory-access time across all levels.
+  [[nodiscard]] std::uint64_t total() const;
+  /// The memory-side share (everything past the LLC).
+  [[nodiscard]] std::uint64_t memory_cycles() const {
+    return get(CycleLevel::kDramCache) + get(CycleLevel::kDramBase) +
+           get(CycleLevel::kDramQueue);
+  }
+  [[nodiscard]] double cycles_per_access() const;
+
+  /// Element-wise accumulate (merging classes or sharded replays).
+  void merge(const CycleBreakdown& other);
+};
+
 }  // namespace stac::cachesim

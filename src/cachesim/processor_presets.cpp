@@ -65,10 +65,107 @@ HierarchyConfig xeon_2620() {
   return c;
 }
 
+// --- timed presets ------------------------------------------------------
+// Unlike the five paper parts above (which keep the flat legacy timing so
+// calibrated behaviour is unchanged), these carry explicit CachePerfSpecs
+// and a bandwidth-queued DRAM channel — distinct latency/bandwidth/geometry
+// points for the cross-hardware generalization rerun (EXPERIMENTS.md).
+
+HierarchyConfig epyc_milan_32mb() {
+  HierarchyConfig c;
+  c.name = "EPYC Milan CCX (32MB LLC, timed)";
+  // Parallel-lookup L1s (tag read hidden under the data access).
+  c.l1d = {32 * 1024, 8, 64, 4};
+  c.l1i = {32 * 1024, 8, 64, 4};
+  c.l2 = {512 * 1024, 8, 64, 13};
+  // 32 MB as 16 ways x 2 MB/way (32768 sets).
+  c.llc = {32 * 1024 * 1024, 16, 64, 46};
+  c.timing.l1d = {1, 4, memtime::LookupMode::kParallel};
+  c.timing.l1i = {1, 4, memtime::LookupMode::kParallel};
+  c.timing.l2 = {5, 8, memtime::LookupMode::kSequential};
+  c.timing.llc = {14, 32, memtime::LookupMode::kSequential};
+  // DDR4 channel; base inherited from the deprecated scalar (= 240).
+  c.memory_latency_cycles = 240;
+  c.timing.dram.bandwidth_bytes_per_cycle = 12.8;
+  c.cores = 16;
+  return c;
+}
+
+HierarchyConfig sapphire_rapids_48mb() {
+  HierarchyConfig c;
+  c.name = "Sapphire Rapids class (48MB LLC, timed)";
+  // 48 KB L1D as 12 ways x 64 sets; 2 MB private L2.
+  c.l1d = {48 * 1024, 12, 64, 5};
+  c.l1i = {32 * 1024, 8, 64, 4};
+  c.l2 = {2 * 1024 * 1024, 16, 64, 15};
+  // 48 MB as 12 ways x 4 MB/way (65536 sets).
+  c.llc = {48 * 1024 * 1024, 12, 64, 56};
+  c.timing.l1d = {1, 5, memtime::LookupMode::kParallel};
+  c.timing.l1i = {1, 4, memtime::LookupMode::kParallel};
+  c.timing.l2 = {4, 11, memtime::LookupMode::kSequential};
+  c.timing.llc = {20, 36, memtime::LookupMode::kSequential};
+  // DDR5 channel: lower base latency, ~1.7x Milan's bandwidth.
+  c.memory_latency_cycles = 190;
+  c.timing.dram.bandwidth_bytes_per_cycle = 21.3;
+  c.cores = 28;
+  return c;
+}
+
+HierarchyConfig emerald_rapids_60mb() {
+  HierarchyConfig c;
+  c.name = "Emerald Rapids class (60MB LLC, timed)";
+  c.l1d = {48 * 1024, 12, 64, 5};
+  c.l1i = {32 * 1024, 8, 64, 4};
+  c.l2 = {2 * 1024 * 1024, 16, 64, 16};
+  // 60 MB as 15 ways x 4 MB/way (65536 sets).
+  c.llc = {60 * 1024 * 1024, 15, 64, 60};
+  c.timing.l1d = {1, 5, memtime::LookupMode::kParallel};
+  c.timing.l1i = {1, 4, memtime::LookupMode::kParallel};
+  c.timing.l2 = {4, 12, memtime::LookupMode::kSequential};
+  c.timing.llc = {22, 38, memtime::LookupMode::kSequential};
+  c.memory_latency_cycles = 185;
+  c.timing.dram.bandwidth_bytes_per_cycle = 25.6;
+  c.cores = 32;
+  return c;
+}
+
+HierarchyConfig xeon_max_hbm_64mb() {
+  HierarchyConfig c;
+  c.name = "Xeon Max class (64MB LLC + 128MB HBM cache, timed)";
+  c.l1d = {48 * 1024, 12, 64, 5};
+  c.l1i = {32 * 1024, 8, 64, 4};
+  c.l2 = {2 * 1024 * 1024, 16, 64, 15};
+  // 64 MB as 16 ways x 4 MB/way (65536 sets).
+  c.llc = {64 * 1024 * 1024, 16, 64, 52};
+  c.timing.l1d = {1, 5, memtime::LookupMode::kParallel};
+  c.timing.l1i = {1, 4, memtime::LookupMode::kParallel};
+  c.timing.l2 = {4, 11, memtime::LookupMode::kSequential};
+  c.timing.llc = {18, 34, memtime::LookupMode::kSequential};
+  // Stacked HBM tier between LLC and DRAM: 128 MB as 16 ways x 131072
+  // sets; tags checked in the stacked DRAM (sequential, no data share —
+  // the row fetch is the stacked channel's access time below).
+  memtime::DramCacheSpec hbm;
+  hbm.geometry = {128 * 1024 * 1024, 16, 64};
+  hbm.perf = {28, 0, memtime::LookupMode::kSequential};
+  hbm.dram.base_latency_cycles = 90;
+  hbm.dram.bandwidth_bytes_per_cycle = 51.2;
+  hbm.dram.window_cycles = 4096;
+  hbm.dram.max_queue_factor = 4.0;
+  c.timing.dram_cache = hbm;
+  // Main DDR channel behind the HBM tier.
+  c.memory_latency_cycles = 220;
+  c.timing.dram.bandwidth_bytes_per_cycle = 16.0;
+  c.cores = 32;
+  return c;
+}
+
 const std::vector<HierarchyConfig>& all() {
   static const std::vector<HierarchyConfig> configs{
-      xeon_2620(), xeon_2650(), xeon_e5_2683(), xeon_platinum_8275_59mb(),
-      xeon_platinum_8275_72mb()};
+      xeon_2620(),          xeon_2650(),
+      xeon_e5_2683(),       xeon_platinum_8275_59mb(),
+      xeon_platinum_8275_72mb(),
+      epyc_milan_32mb(),    sapphire_rapids_48mb(),
+      emerald_rapids_60mb(), xeon_max_hbm_64mb()};
   return configs;
 }
 

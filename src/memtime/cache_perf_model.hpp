@@ -1,0 +1,65 @@
+// Per-level cache access-time model (DESIGN.md §16).
+//
+// Replaces the single `latency_cycles` scalar per cache level with the
+// Sniper-style split: a tag-array access time and a data-array access
+// time, composed under one of two lookup disciplines:
+//
+//   * kSequential — the tag array is read first and the data array only
+//     on a hit: hit = tags + data, miss = tags.  This is also the exact
+//     shape of the legacy scalar model (tags = scalar, data = 0), which is
+//     what makes timing-off identity provable (see mem_time.hpp).
+//   * kParallel — tag and data arrays are read concurrently (the common
+//     L1 design): a hit costs the data access (assumed to cover the tag
+//     read), a miss costs nothing at this level — the time is hidden
+//     under the next level's access.
+//
+// CachePerfModel precomputes the two charged latencies so the hierarchy's
+// replay loop hoists them as plain integers, exactly as it hoisted the
+// legacy scalars.
+#pragma once
+
+#include <cstdint>
+
+namespace stac::memtime {
+
+/// Tag/data lookup discipline (Sniper's CACHE_PERF_MODEL_{PARALLEL,
+/// SEQUENTIAL}).
+enum class LookupMode : std::uint8_t { kSequential = 0, kParallel };
+
+/// One level's access-time description.
+struct CachePerfSpec {
+  std::uint32_t tags_cycles = 0;
+  std::uint32_t data_cycles = 0;
+  LookupMode mode = LookupMode::kSequential;
+
+  /// The legacy scalar model: every traversal of the level — hit or miss —
+  /// costs `scalar` cycles.  Sequential with data = 0 reproduces it.
+  [[nodiscard]] static CachePerfSpec flat(std::uint32_t scalar) {
+    return CachePerfSpec{scalar, 0, LookupMode::kSequential};
+  }
+};
+
+/// Value type holding the two precomputed charge latencies for one level.
+class CachePerfModel {
+ public:
+  CachePerfModel() = default;
+  explicit CachePerfModel(const CachePerfSpec& spec)
+      : hit_cycles_(spec.mode == LookupMode::kSequential
+                        ? spec.tags_cycles + spec.data_cycles
+                        : spec.data_cycles),
+        miss_cycles_(spec.mode == LookupMode::kSequential ? spec.tags_cycles
+                                                          : 0) {}
+
+  /// Cycles charged when the level serves the access (tags + data).
+  [[nodiscard]] std::uint32_t hit_cycles() const { return hit_cycles_; }
+  /// Cycles charged when the access falls through to the next level.
+  [[nodiscard]] std::uint32_t miss_cycles() const { return miss_cycles_; }
+  /// True when hit and miss charge the same constant — the legacy shape.
+  [[nodiscard]] bool flat() const { return hit_cycles_ == miss_cycles_; }
+
+ private:
+  std::uint32_t hit_cycles_ = 0;
+  std::uint32_t miss_cycles_ = 0;
+};
+
+}  // namespace stac::memtime

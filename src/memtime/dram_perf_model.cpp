@@ -1,0 +1,69 @@
+#include "memtime/dram_perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace stac::memtime {
+
+DramPerfModel::DramPerfModel(const DramPerfSpec& spec,
+                             std::uint32_t inherited_base)
+    : spec_(spec),
+      base_(spec.base_latency_cycles != 0 ? spec.base_latency_cycles
+                                          : inherited_base) {
+  STAC_REQUIRE(spec.max_queue_factor >= 0.0);
+  STAC_REQUIRE(spec.bandwidth_bytes_per_cycle >= 0.0);
+  if (spec.queue_enabled()) STAC_REQUIRE(spec.window_cycles > 0);
+  queue_cap_ = static_cast<std::uint32_t>(
+      std::lround(spec.max_queue_factor * static_cast<double>(base_)));
+}
+
+DramAccessTime DramPerfModel::access(std::uint64_t now_cycles,
+                                     std::uint32_t bytes) {
+  DramAccessTime t;
+  t.total = base_;
+  if (!spec_.queue_enabled()) return t;
+
+  // Rotate the utilization windows up to `now`.  A jump of one window
+  // demotes the current tally; a longer idle gap clears the horizon —
+  // contention decays once the offered traffic stops.
+  const std::uint64_t window = spec_.window_cycles;
+  if (now_cycles >= window_start_ + window) {
+    const std::uint64_t advanced = (now_cycles - window_start_) / window;
+    prev_window_bytes_ = advanced == 1 ? window_bytes_ : 0.0;
+    window_bytes_ = 0.0;
+    window_start_ += advanced * window;
+  }
+
+  // Utilization over the trailing two-window horizon.  The numerator is
+  // nondecreasing in offered traffic, and u -> delay is nondecreasing, so
+  // a higher offered bandwidth can never produce a lower modeled latency.
+  const double capacity =
+      spec_.bandwidth_bytes_per_cycle * 2.0 * static_cast<double>(window);
+  const double offered = prev_window_bytes_ + window_bytes_;
+  const double u = std::min(offered / capacity, 0.98);
+
+  // M/G/1-flavoured mean wait, capped: q = base * u / (2 * (1 - u)).
+  const auto queue = static_cast<std::uint32_t>(std::min<double>(
+      queue_cap_,
+      std::lround(static_cast<double>(base_) * u / (2.0 * (1.0 - u)))));
+  const auto transfer = static_cast<std::uint32_t>(std::ceil(
+      static_cast<double>(bytes) / spec_.bandwidth_bytes_per_cycle));
+
+  window_bytes_ += static_cast<double>(bytes);
+  total_queue_cycles_ += queue;
+  t.queue = queue;
+  t.transfer = transfer;
+  t.total = base_ + queue + transfer;
+  return t;
+}
+
+void DramPerfModel::reset() {
+  window_start_ = 0;
+  window_bytes_ = 0.0;
+  prev_window_bytes_ = 0.0;
+  total_queue_cycles_ = 0;
+}
+
+}  // namespace stac::memtime

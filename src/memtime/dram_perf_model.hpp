@@ -1,0 +1,90 @@
+// Bandwidth-queued DRAM access-time model (DESIGN.md §16).
+//
+// Replaces the constant `memory_latency_cycles` with the Sniper
+// DramPerfModel shape: each access pays
+//
+//   base (zero-contention device latency)
+//     + transfer (line bytes / channel bandwidth)
+//     + queue delay (contention: rises with recent offered bytes/cycle)
+//
+// The queue delay comes from a windowed bandwidth-utilization model: the
+// model tracks bytes transferred in the current and previous utilization
+// windows of the modeled-cycle clock, forms a utilization estimate
+// u = offered / peak over that trailing horizon, and charges an
+// M/G/1-flavoured delay base * u / (2 * (1 - u)), capped at
+// `max_queue_factor * base`.  Monotonicity is structural: the delay is
+// nondecreasing in the trailing byte count, so offering more bandwidth can
+// never lower the modeled latency (the BENCH_PR10 gate).
+//
+// With `bandwidth_bytes_per_cycle == 0` the channel is infinitely wide:
+// no transfer time, no queue — every access costs exactly the base
+// latency, which is the legacy constant-latency model (timing-off mode).
+#pragma once
+
+#include <cstdint>
+
+namespace stac::memtime {
+
+struct DramPerfSpec {
+  /// Zero-contention device latency in cycles.  0 means "inherit the
+  /// hierarchy's legacy `memory_latency_cycles` scalar" — that scalar is
+  /// deprecated as a standalone model and lives on only as this baseline
+  /// (see HierarchyConfig::timing_warnings()).
+  std::uint32_t base_latency_cycles = 0;
+  /// Peak channel bandwidth.  0 disables the transfer and queue terms
+  /// entirely (the legacy constant-latency model).
+  double bandwidth_bytes_per_cycle = 0.0;
+  /// Width of one utilization-tracking window of the modeled clock.
+  std::uint32_t window_cycles = 8192;
+  /// Queue delay cap as a multiple of the base latency.
+  double max_queue_factor = 8.0;
+
+  [[nodiscard]] bool queue_enabled() const {
+    return bandwidth_bytes_per_cycle > 0.0;
+  }
+};
+
+/// One DRAM access, decomposed for the per-level cycle breakdown.
+struct DramAccessTime {
+  std::uint32_t total = 0;     ///< base + transfer + queue
+  std::uint32_t queue = 0;     ///< contention share
+  std::uint32_t transfer = 0;  ///< line-transfer share
+};
+
+class DramPerfModel {
+ public:
+  DramPerfModel() = default;
+  /// `inherited_base` substitutes for a zero `base_latency_cycles` (the
+  /// deprecated scalar's new role as the zero-contention baseline).
+  DramPerfModel(const DramPerfSpec& spec, std::uint32_t inherited_base);
+
+  /// Model one access of `bytes` at modeled time `now_cycles`.  Advances
+  /// the utilization window and charges queue delay from the bytes already
+  /// offered in the trailing horizon (this access's own bytes queue behind
+  /// it, FCFS).  Deterministic: same call sequence, same latencies.
+  DramAccessTime access(std::uint64_t now_cycles, std::uint32_t bytes);
+
+  [[nodiscard]] std::uint32_t base_latency() const { return base_; }
+  [[nodiscard]] bool queue_enabled() const { return spec_.queue_enabled(); }
+  [[nodiscard]] const DramPerfSpec& spec() const { return spec_; }
+  /// Lifetime contention total (obs export / tests).
+  [[nodiscard]] std::uint64_t total_queue_cycles() const {
+    return total_queue_cycles_;
+  }
+
+  /// Forget all window state (hierarchy reset between experiments).
+  void reset();
+
+ private:
+  DramPerfSpec spec_{};
+  std::uint32_t base_ = 0;
+  std::uint32_t queue_cap_ = 0;
+  // Trailing-horizon accounting: bytes offered in the current window and
+  // the one before it, in modeled cycles.
+  std::uint64_t window_start_ = 0;
+  double window_bytes_ = 0.0;
+  double prev_window_bytes_ = 0.0;
+  std::uint64_t total_queue_cycles_ = 0;
+};
+
+}  // namespace stac::memtime

@@ -1,0 +1,77 @@
+#include "memtime/mem_time.hpp"
+
+#include <sstream>
+
+namespace stac::memtime {
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+bool spec_is_flat(const std::optional<CachePerfSpec>& spec,
+                  std::uint32_t scalar) {
+  if (!spec.has_value()) return true;
+  const CachePerfModel model(*spec);
+  return model.flat() && model.hit_cycles() == scalar;
+}
+
+}  // namespace
+
+bool DramCacheGeometry::valid() const {
+  if (size_bytes == 0 || ways == 0 || line_bytes == 0) return false;
+  if (size_bytes % line_bytes != 0) return false;
+  if (lines() % ways != 0) return false;
+  return is_pow2(sets());
+}
+
+bool MemTimeSpec::flat_equivalent(std::uint32_t l1d_scalar,
+                                  std::uint32_t l1i_scalar,
+                                  std::uint32_t l2_scalar,
+                                  std::uint32_t llc_scalar,
+                                  std::uint32_t memory_scalar) const {
+  if (dram_cache.has_value()) return false;
+  if (dram.queue_enabled()) return false;
+  if (dram.base_latency_cycles != 0 &&
+      dram.base_latency_cycles != memory_scalar) {
+    return false;
+  }
+  return spec_is_flat(l1d, l1d_scalar) && spec_is_flat(l1i, l1i_scalar) &&
+         spec_is_flat(l2, l2_scalar) && spec_is_flat(llc, llc_scalar);
+}
+
+std::vector<std::string> timing_warnings(const MemTimeSpec& spec,
+                                         std::uint32_t memory_latency_cycles) {
+  std::vector<std::string> warnings;
+  // The deprecated scalar survives only as the zero-contention baseline; an
+  // explicit DRAM base that disagrees with it means one of the two numbers
+  // is stale and whichever consumer reads the scalar directly sees the
+  // wrong hierarchy.
+  if (spec.dram.base_latency_cycles != 0 &&
+      spec.dram.base_latency_cycles != memory_latency_cycles) {
+    std::ostringstream os;
+    os << "memory_latency_cycles=" << memory_latency_cycles
+       << " disagrees with timing.dram.base_latency_cycles="
+       << spec.dram.base_latency_cycles
+       << "; the scalar is deprecated and only read as the zero-contention "
+          "DRAM baseline — align it with the explicit DRAM model";
+    warnings.push_back(os.str());
+  }
+  if (spec.dram_cache.has_value()) {
+    const DramCacheSpec& dc = *spec.dram_cache;
+    if (!dc.geometry.valid()) {
+      std::ostringstream os;
+      os << "dram_cache geometry invalid: size=" << dc.geometry.size_bytes
+         << " ways=" << dc.geometry.ways << " line=" << dc.geometry.line_bytes
+         << " (needs exact sets x ways with power-of-two sets)";
+      warnings.push_back(os.str());
+    }
+    if (dc.dram.base_latency_cycles == 0) {
+      warnings.push_back(
+          "dram_cache.dram.base_latency_cycles is 0: the stacked tier would "
+          "inherit main memory's baseline latency, defeating the tier — set "
+          "an explicit (lower) stacked-channel base latency");
+    }
+  }
+  return warnings;
+}
+
+}  // namespace stac::memtime

@@ -1,0 +1,97 @@
+// Timing description for a whole memory hierarchy (DESIGN.md §16).
+//
+// One MemTimeSpec rides inside cachesim::HierarchyConfig and upgrades the
+// hierarchy from hit/miss counting to modeled time:
+//
+//   * per-level CachePerfSpec overrides (absent = inherit that level's
+//     legacy `latency_cycles` scalar as a flat sequential model — charge
+//     the scalar on every traversal, hit or miss, exactly as today);
+//   * a DramPerfSpec for main memory (base latency defaulting to the
+//     deprecated `memory_latency_cycles` scalar; bandwidth 0 = the legacy
+//     constant-latency model);
+//   * an optional stacked DRAM-cache tier between LLC and DRAM (Sniper's
+//     alloy-cache shape): a large set-associative cache with its own
+//     access-time model and its own (stacked, high-bandwidth) channel.
+//
+// The default-constructed spec is the timing-off identity point: every
+// access costs exactly what the pre-timing hierarchy charged, and the
+// modeled cycle total equals the closed form sum(counters * latency)
+// (tests/memtime/timing_identity_test.cpp holds this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memtime/cache_perf_model.hpp"
+#include "memtime/dram_perf_model.hpp"
+
+namespace stac::memtime {
+
+/// Geometry of the stacked DRAM-cache tier.  Kept self-contained (not a
+/// cachesim::LevelConfig) so memtime stays below cachesim in the module
+/// graph; cachesim converts when it instantiates the tier.
+struct DramCacheGeometry {
+  std::size_t size_bytes = 0;
+  std::size_t ways = 0;
+  std::size_t line_bytes = 64;
+
+  [[nodiscard]] std::size_t lines() const {
+    return line_bytes == 0 ? 0 : size_bytes / line_bytes;
+  }
+  [[nodiscard]] std::size_t sets() const {
+    return ways == 0 ? 0 : lines() / ways;
+  }
+  /// Same contract as LevelConfig::valid(): exact sets x ways decomposition
+  /// with a power-of-two set count.
+  [[nodiscard]] bool valid() const;
+};
+
+struct DramCacheSpec {
+  DramCacheGeometry geometry;
+  /// Tag-probe / row-access time of the stacked tier.
+  CachePerfSpec perf{};
+  /// The stacked channel (HBM-class bandwidth).  Its base latency must be
+  /// explicit — the tier would otherwise inherit main memory's baseline,
+  /// which defeats its purpose; timing_warnings() flags that.
+  DramPerfSpec dram{};
+};
+
+struct MemTimeSpec {
+  /// Per-level overrides; absent = flat(level.latency_cycles).
+  std::optional<CachePerfSpec> l1d;
+  std::optional<CachePerfSpec> l1i;
+  std::optional<CachePerfSpec> l2;
+  std::optional<CachePerfSpec> llc;
+  /// Main memory.  Default: inherit `memory_latency_cycles`, queue off.
+  DramPerfSpec dram{};
+  /// Optional stacked DRAM-cache tier between LLC and DRAM.
+  std::optional<DramCacheSpec> dram_cache;
+
+  /// True when the spec models exactly the legacy constant-latency
+  /// hierarchy for the given scalars: no per-level split that deviates
+  /// from the scalar, no DRAM queue, no stacked tier.
+  [[nodiscard]] bool flat_equivalent(std::uint32_t l1d_scalar,
+                                     std::uint32_t l1i_scalar,
+                                     std::uint32_t l2_scalar,
+                                     std::uint32_t llc_scalar,
+                                     std::uint32_t memory_scalar) const;
+};
+
+/// Resolve a per-level override against the legacy scalar.
+[[nodiscard]] inline CachePerfSpec resolve_level(
+    const std::optional<CachePerfSpec>& spec, std::uint32_t legacy_scalar) {
+  return spec.has_value() ? *spec : CachePerfSpec::flat(legacy_scalar);
+}
+
+/// Configuration-validation warnings for a timing spec paired with the
+/// deprecated `memory_latency_cycles` scalar (the satellite deprecation
+/// contract): the scalar survives only as the zero-contention DRAM
+/// baseline, so an explicit DRAM base that contradicts it is flagged, as
+/// is a stacked tier left to inherit main memory's baseline.
+[[nodiscard]] std::vector<std::string> timing_warnings(
+    const MemTimeSpec& spec, std::uint32_t memory_latency_cycles);
+
+}  // namespace stac::memtime

@@ -42,6 +42,10 @@ cachesim::HierarchyConfig scale_hw(const cachesim::HierarchyConfig& hw,
                                            s.l1d.ways * s.l1d.line_bytes);
   s.l1i.size_bytes = std::max<std::size_t>(s.l1i.size_bytes / f,
                                            s.l1i.ways * s.l1i.line_bytes);
+  // A stacked DRAM-cache tier scales with the rest of the hierarchy so its
+  // hit ratio (and thus the modeled-time signature) is preserved.
+  if (s.timing.dram_cache.has_value())
+    s.timing.dram_cache->geometry.size_bytes /= f;
   STAC_REQUIRE_MSG(s.valid(), "scaled hierarchy geometry invalid");
   return s;
 }
@@ -167,6 +171,27 @@ std::vector<std::string> Profiler::dynamic_feature_names() {
 Matrix Profiler::render_image(const queueing::TestbedResult& result,
                               std::size_t col_begin, std::size_t cols,
                               const RuntimeCondition& condition) const {
+  Matrix image(2 * kCounterCount, cols);
+  replay_columns(result, col_begin, cols, condition, &image);
+  return image;
+}
+
+double Profiler::modeled_cycles_per_access(
+    const queueing::TestbedResult& result,
+    const RuntimeCondition& condition) const {
+  const std::size_t usable =
+      result.trace.size() >= 2 ? result.trace.size() - 2 : 0;
+  const std::size_t cols =
+      std::min(usable, config_.max_windows * config_.image_cols);
+  if (cols == 0) return 0.0;
+  const std::size_t begin = result.trace.size() - cols;
+  return replay_columns(result, begin, cols, condition, nullptr);
+}
+
+double Profiler::replay_columns(const queueing::TestbedResult& result,
+                                std::size_t col_begin, std::size_t cols,
+                                const RuntimeCondition& condition,
+                                Matrix* image) const {
   // Replay the dynamic trace through the scaled cache simulator with CAT
   // masks tracking the recorded boost states.
   // Class 2 models the background churn: un-tracked node activity that
@@ -213,7 +238,6 @@ Matrix Profiler::render_image(const queueing::TestbedResult& result,
   auto stream_p = make_stream(spec_p, 0, condition.seed ^ 0xA5A5A5A5ULL);
   auto stream_c = make_stream(spec_c, 1, condition.seed ^ 0x5A5A5A5AULL);
 
-  Matrix image(2 * kCounterCount, cols);
   CounterSnapshot prev_p = hw.counters(0);
   CounterSnapshot prev_c = hw.counters(1);
 
@@ -228,6 +252,9 @@ Matrix Profiler::render_image(const queueing::TestbedResult& result,
   hw.retire_instructions(1, warm * 4);
   prev_p = hw.counters(0);
   prev_c = hw.counters(1);
+  // Post-warmup modeled-time baseline for the primary: the cycles-per-
+  // access label must cover only the rendered (steady-state) columns.
+  const cachesim::CycleBreakdown warm_cycles = hw.cycles(0);
 
   for (std::size_t col = 0; col < cols; ++col) {
     const auto& sample = result.trace[col_begin + col];
@@ -273,19 +300,25 @@ Matrix Profiler::render_image(const queueing::TestbedResult& result,
     hw.retire_instructions(0, refs_p * 4);
     hw.retire_instructions(1, refs_c * 4);
 
-    const CounterSnapshot now_p = hw.counters(0);
-    const CounterSnapshot now_c = hw.counters(1);
-    const CounterSnapshot dp = now_p.delta_since(prev_p);
-    const CounterSnapshot dc = now_c.delta_since(prev_c);
-    prev_p = now_p;
-    prev_c = now_c;
+    if (image != nullptr) {
+      const CounterSnapshot now_p = hw.counters(0);
+      const CounterSnapshot now_c = hw.counters(1);
+      const CounterSnapshot dp = now_p.delta_since(prev_p);
+      const CounterSnapshot dc = now_c.delta_since(prev_c);
+      prev_p = now_p;
+      prev_c = now_c;
 
-    for (std::size_t i = 0; i < kCounterCount; ++i) {
-      image(i, col) = static_cast<double>(dp.values[i]);
-      image(kCounterCount + i, col) = static_cast<double>(dc.values[i]);
+      for (std::size_t i = 0; i < kCounterCount; ++i) {
+        (*image)(i, col) = static_cast<double>(dp.values[i]);
+        (*image)(kCounterCount + i, col) = static_cast<double>(dc.values[i]);
+      }
     }
   }
-  return image;
+  const cachesim::CycleBreakdown end_cycles = hw.cycles(0);
+  const std::uint64_t accesses = end_cycles.accesses - warm_cycles.accesses;
+  if (accesses == 0) return 0.0;
+  return static_cast<double>(end_cycles.total() - warm_cycles.total()) /
+         static_cast<double>(accesses);
 }
 
 std::vector<Profile> Profiler::profile_condition(
@@ -335,12 +368,30 @@ std::vector<Profile> Profiler::profile_condition(
   const double ratio =
       static_cast<double>(config_.private_ways + config_.shared_ways) /
       static_cast<double>(config_.private_ways);
-  const double ea = queueing::Testbed::effective_allocation(
+  double ea = queueing::Testbed::effective_allocation(
       policy.per_workload[0].service_durations.mean(),
       dflt.per_workload[0].service_durations.mean(), ratio);
-  const double ea_boost = queueing::Testbed::effective_allocation(
+  double ea_boost = queueing::Testbed::effective_allocation(
       boosted.per_workload[0].service_durations.mean(),
       dflt.per_workload[0].service_durations.mean(), ratio);
+  if (config_.ea_mode == EaMode::kModeledTime) {
+    // Eq. 3 with modeled memory time per access substituted for service
+    // duration: replay the three traces through the timing-accurate scaled
+    // hierarchy and compare contended memory time instead of the queueing
+    // testbed's service-duration proxy.
+    const double cpa_policy = modeled_cycles_per_access(policy, condition);
+    const double cpa_default = modeled_cycles_per_access(dflt, condition);
+    const double cpa_boost = modeled_cycles_per_access(boosted, condition);
+    if (cpa_policy > 0.0 && cpa_default > 0.0 && cpa_boost > 0.0) {
+      ea = queueing::Testbed::effective_allocation(cpa_policy, cpa_default,
+                                                   ratio);
+      ea_boost = queueing::Testbed::effective_allocation(cpa_boost,
+                                                         cpa_default, ratio);
+    } else {
+      // Trace too short to replay — keep the service-duration labels.
+      obs::count("profiler.ea_modeled_time_fallback");
+    }
+  }
 
   // Split the trace into image windows (discard the earliest columns as
   // testbed warmup).

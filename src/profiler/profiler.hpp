@@ -31,6 +31,15 @@
 
 namespace stac::profiler {
 
+/// How EA labels (Eq. 3) are computed (DESIGN.md §16).
+///   * kMissRatio — from testbed service durations, exactly as before this
+///     knob existed.  Bit-identical to the historical pipeline.
+///   * kModeledTime — from the timing-accurate hierarchy: replay the
+///     policy/default/boosted traces through the (scaled) simulator and
+///     take modeled memory cycles per access as the service-time proxy, so
+///     EA reflects contended memory *time* rather than a miss-count proxy.
+enum class EaMode : std::uint8_t { kMissRatio = 0, kModeledTime };
+
 struct ProfilerConfig {
   cachesim::HierarchyConfig hw = cachesim::presets::xeon_e5_2683();
   /// Counter-image generation runs on a 1/`counter_scale` replica of the
@@ -47,6 +56,8 @@ struct ProfilerConfig {
   std::size_t accesses_per_sample = 4000;
   double max_pair_ratio = 20.0;
   double occupancy_response = 2.0;
+  /// EA label source; kMissRatio reproduces today's labels exactly.
+  EaMode ea_mode = EaMode::kMissRatio;
 };
 
 /// One profile row (Eq. 2): image + condition features + measured outputs.
@@ -136,7 +147,23 @@ class Profiler {
   [[nodiscard]] static std::vector<std::string> static_feature_names();
   [[nodiscard]] static std::vector<std::string> dynamic_feature_names();
 
+  /// Modeled memory cycles per access of the primary service over the
+  /// steady-state tail of `result`'s trace (the kModeledTime EA input).
+  /// Returns 0 when the trace is too short to replay.
+  [[nodiscard]] double modeled_cycles_per_access(
+      const queueing::TestbedResult& result,
+      const RuntimeCondition& condition) const;
+
  private:
+  /// Shared trace-replay core: drives the scaled hierarchy over trace
+  /// columns [col_begin, col_begin + cols) with CAT masks tracking the
+  /// recorded boost states; fills `image` (2 x 29 x cols counter deltas)
+  /// when non-null and returns the primary's modeled cycles per access
+  /// accumulated after warmup.
+  double replay_columns(const queueing::TestbedResult& result,
+                        std::size_t col_begin, std::size_t cols,
+                        const RuntimeCondition& condition,
+                        Matrix* image) const;
   [[nodiscard]] Matrix render_image(
       const queueing::TestbedResult& result, std::size_t col_begin,
       std::size_t cols, const RuntimeCondition& condition) const;

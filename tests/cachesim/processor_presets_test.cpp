@@ -1,0 +1,102 @@
+// Preset-validity regression sweep (PR 10 satellite).
+//
+// Every shipped preset must construct, pass valid(), and decompose every
+// level into a power-of-two set count — the SoA probe kernels index sets
+// with a mask, so a non-power-of-two count would silently alias lines.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cachesim/cache_config.hpp"
+
+namespace stac::cachesim {
+namespace {
+
+bool power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint64_t sets(const LevelConfig& l) {
+  return l.size_bytes / (static_cast<std::uint64_t>(l.ways) * l.line_bytes);
+}
+
+TEST(ProcessorPresets, EveryPresetIsValidWithPowerOfTwoSets) {
+  for (const HierarchyConfig& cfg : presets::all()) {
+    SCOPED_TRACE(cfg.name);
+    EXPECT_TRUE(cfg.valid());
+    for (const LevelConfig* l : {&cfg.l1d, &cfg.l1i, &cfg.l2, &cfg.llc}) {
+      EXPECT_EQ(l->size_bytes %
+                    (static_cast<std::uint64_t>(l->ways) * l->line_bytes),
+                0u);
+      EXPECT_TRUE(power_of_two(sets(*l)))
+          << l->size_bytes << " B / " << l->ways << " ways";
+    }
+    if (cfg.timing.dram_cache.has_value()) {
+      EXPECT_TRUE(cfg.timing.dram_cache->geometry.valid());
+      EXPECT_TRUE(power_of_two(cfg.timing.dram_cache->geometry.sets()));
+      EXPECT_EQ(cfg.timing.dram_cache->geometry.line_bytes,
+                cfg.l1d.line_bytes);
+    }
+    EXPECT_GT(cfg.cores, 0u);
+    EXPECT_GT(cfg.memory_latency_cycles, 0u);
+  }
+}
+
+TEST(ProcessorPresets, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const HierarchyConfig& cfg : presets::all())
+    EXPECT_TRUE(names.insert(cfg.name).second) << cfg.name;
+  EXPECT_EQ(names.size(), presets::all().size());
+}
+
+// The 59 MB socket ships a rounded 16-way x 4 MB/way geometry; its comment
+// promises exactly that.  Pin it so geometry and doc cannot drift apart.
+TEST(ProcessorPresets, Platinum59mbShipsDocumentedRoundedLayout) {
+  const HierarchyConfig cfg = presets::xeon_platinum_8275_59mb();
+  EXPECT_EQ(cfg.llc.size_bytes, 64u * 1024 * 1024);
+  EXPECT_EQ(cfg.llc.ways, 16u);
+  EXPECT_EQ(cfg.llc_way_bytes(), 4u * 1024 * 1024);
+}
+
+TEST(ProcessorPresets, PaperPartsKeepLegacyFlatTiming) {
+  // The five Fig. 7b parts must stay bit-identical to the pre-timing
+  // simulator: flat-equivalent specs, no warnings.
+  const auto& all = presets::all();
+  ASSERT_GE(all.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    SCOPED_TRACE(all[i].name);
+    EXPECT_TRUE(all[i].timing_flat());
+    EXPECT_TRUE(all[i].timing_warnings().empty());
+  }
+}
+
+TEST(ProcessorPresets, TimedPresetsShipQueuedChannelsAndOneStackedTier) {
+  std::size_t queued = 0;
+  std::size_t stacked = 0;
+  for (const HierarchyConfig& cfg : presets::all()) {
+    SCOPED_TRACE(cfg.name);
+    if (cfg.timing.dram.queue_enabled()) ++queued;
+    if (cfg.timing.dram_cache.has_value()) ++stacked;
+    EXPECT_TRUE(cfg.timing_warnings().empty());
+  }
+  EXPECT_GE(queued, 3u);   // >= 3 new bandwidth-queued presets
+  EXPECT_EQ(stacked, 1u);  // exactly one DRAM-cache part (Xeon Max class)
+}
+
+TEST(ProcessorPresets, TimedPresetsAreNotFlatEquivalent) {
+  EXPECT_FALSE(presets::epyc_milan_32mb().timing_flat());
+  EXPECT_FALSE(presets::sapphire_rapids_48mb().timing_flat());
+  EXPECT_FALSE(presets::emerald_rapids_60mb().timing_flat());
+  EXPECT_FALSE(presets::xeon_max_hbm_64mb().timing_flat());
+  EXPECT_TRUE(presets::xeon_max_hbm_64mb().timing.dram_cache.has_value());
+}
+
+TEST(ProcessorPresets, CrossHardwareSweepSpansDistinctLlcSizes) {
+  // The Fig. 7a rerun needs distinct hardware points, not renames.
+  std::set<std::size_t> llc_sizes;
+  for (const HierarchyConfig& cfg : presets::all())
+    llc_sizes.insert(cfg.llc.size_bytes);
+  EXPECT_GE(llc_sizes.size(), 8u);
+}
+
+}  // namespace
+}  // namespace stac::cachesim

@@ -64,6 +64,25 @@ TEST(StacManager, CalibrateThenFullApi) {
             grid.end());
 }
 
+TEST(StacManager, CalibratesAndPredictsUnderModeledTimeEa) {
+  // The modeled-time EA labels feed the same Stage-2/Stage-3 pipeline; the
+  // full calibrate -> predict -> recommend path must work in either mode.
+  StacOptions opts = tiny_options();
+  opts.profiler.ea_mode = profiler::EaMode::kModeledTime;
+  StacManager mgr(opts);
+  mgr.calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  EXPECT_TRUE(mgr.calibrated());
+  const auto pred = mgr.predict(cond());
+  EXPECT_GT(pred.mean_rt, 0.0);
+  EXPECT_GT(pred.ea, 0.0);
+  EXPECT_LE(pred.ea, 1.0);
+  const auto rec = mgr.recommend(cond());
+  const auto& grid = opts.explorer.grid;
+  EXPECT_NE(std::find(grid.begin(), grid.end(),
+                      rec.selection.timeout_primary),
+            grid.end());
+}
+
 TEST(StacManager, CalibrationAccumulatesPairings) {
   StacManager mgr(tiny_options());
   mgr.calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);

@@ -1,0 +1,47 @@
+#include "memtime/cache_perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stac::memtime {
+namespace {
+
+TEST(CachePerfModel, SequentialHitIsTagsPlusData) {
+  const CachePerfModel m(CachePerfSpec{4, 9, LookupMode::kSequential});
+  EXPECT_EQ(m.hit_cycles(), 13u);
+  EXPECT_EQ(m.miss_cycles(), 4u);
+  EXPECT_FALSE(m.flat());
+}
+
+TEST(CachePerfModel, ParallelHitIsDataMissIsFree) {
+  const CachePerfModel m(CachePerfSpec{3, 5, LookupMode::kParallel});
+  EXPECT_EQ(m.hit_cycles(), 5u);
+  EXPECT_EQ(m.miss_cycles(), 0u);
+  EXPECT_FALSE(m.flat());
+}
+
+TEST(CachePerfModel, FlatReproducesLegacyScalar) {
+  // The legacy model charges the scalar on every traversal, hit or miss;
+  // flat() must encode exactly that so timing-off identity is provable.
+  const CachePerfModel m(CachePerfSpec::flat(42));
+  EXPECT_EQ(m.hit_cycles(), 42u);
+  EXPECT_EQ(m.miss_cycles(), 42u);
+  EXPECT_TRUE(m.flat());
+}
+
+TEST(CachePerfModel, DefaultIsZeroAndFlat) {
+  const CachePerfModel m;
+  EXPECT_EQ(m.hit_cycles(), 0u);
+  EXPECT_EQ(m.miss_cycles(), 0u);
+  EXPECT_TRUE(m.flat());
+}
+
+TEST(CachePerfModel, SequentialWithZeroDataIsFlat) {
+  // A sequential split with data = 0 degenerates to the flat shape even
+  // when not built through flat().
+  const CachePerfModel m(CachePerfSpec{7, 0, LookupMode::kSequential});
+  EXPECT_TRUE(m.flat());
+  EXPECT_EQ(m.hit_cycles(), m.miss_cycles());
+}
+
+}  // namespace
+}  // namespace stac::memtime

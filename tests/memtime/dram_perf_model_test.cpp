@@ -1,0 +1,218 @@
+#include "memtime/dram_perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "memtime/mem_time.hpp"
+
+namespace stac::memtime {
+namespace {
+
+DramPerfSpec queued_spec(double bw = 8.0) {
+  DramPerfSpec s;
+  s.base_latency_cycles = 100;
+  s.bandwidth_bytes_per_cycle = bw;
+  s.window_cycles = 1024;
+  s.max_queue_factor = 8.0;
+  return s;
+}
+
+TEST(DramPerfModel, ZeroBaseInheritsDeprecatedScalar) {
+  const DramPerfModel m(DramPerfSpec{}, 220);
+  EXPECT_EQ(m.base_latency(), 220u);
+  EXPECT_FALSE(m.queue_enabled());
+}
+
+TEST(DramPerfModel, ExplicitBaseOverridesScalar) {
+  DramPerfSpec s;
+  s.base_latency_cycles = 150;
+  const DramPerfModel m(s, 220);
+  EXPECT_EQ(m.base_latency(), 150u);
+}
+
+TEST(DramPerfModel, QueueOffIsConstantLatency) {
+  // bandwidth 0 = the legacy constant-latency model: every access costs
+  // exactly the base, independent of time and traffic.
+  DramPerfModel m(DramPerfSpec{}, 220);
+  for (int i = 0; i < 1000; ++i) {
+    const DramAccessTime t = m.access(static_cast<std::uint64_t>(i) * 3, 64);
+    EXPECT_EQ(t.total, 220u);
+    EXPECT_EQ(t.queue, 0u);
+    EXPECT_EQ(t.transfer, 0u);
+  }
+  EXPECT_EQ(m.total_queue_cycles(), 0u);
+}
+
+TEST(DramPerfModel, FirstAccessPaysNoQueue) {
+  DramPerfModel m(queued_spec(), 0);
+  const DramAccessTime t = m.access(0, 64);
+  EXPECT_EQ(t.queue, 0u);  // no prior offered traffic
+  EXPECT_EQ(t.transfer, 8u);  // 64 bytes / 8 B-per-cycle
+  EXPECT_EQ(t.total, 100u + 0u + 8u);
+}
+
+TEST(DramPerfModel, QueueDelayRisesWithOfferedTraffic) {
+  DramPerfModel m(queued_spec(), 0);
+  // Saturate the window: offered bytes approach capacity.
+  std::uint32_t last_queue = 0;
+  bool rose = false;
+  for (int i = 0; i < 200; ++i) {
+    const DramAccessTime t = m.access(5, 64);  // same window
+    EXPECT_GE(t.queue, last_queue);  // nondecreasing within a window
+    if (t.queue > last_queue) rose = true;
+    last_queue = t.queue;
+  }
+  EXPECT_TRUE(rose);
+  EXPECT_GT(m.total_queue_cycles(), 0u);
+}
+
+TEST(DramPerfModel, MonotonicInOfferedBandwidth) {
+  // The BENCH_PR10 gate in model form: strictly more offered traffic can
+  // never produce a lower modeled latency for the next access.
+  for (const int light_n : {1, 4, 16, 64}) {
+    DramPerfModel light(queued_spec(), 0);
+    DramPerfModel heavy(queued_spec(), 0);
+    for (int i = 0; i < light_n; ++i) light.access(10, 64);
+    for (int i = 0; i < light_n * 4; ++i) heavy.access(10, 64);
+    EXPECT_GE(heavy.access(11, 64).total, light.access(11, 64).total);
+  }
+}
+
+TEST(DramPerfModel, QueueCappedAtMaxFactor) {
+  DramPerfSpec s = queued_spec();
+  s.max_queue_factor = 2.0;
+  DramPerfModel m(s, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const DramAccessTime t = m.access(17, 4096);
+    EXPECT_LE(t.queue, 200u);  // 2.0 x base(100)
+  }
+}
+
+TEST(DramPerfModel, ContentionDecaysAcrossIdleWindows) {
+  DramPerfModel m(queued_spec(), 0);
+  for (int i = 0; i < 500; ++i) m.access(100, 64);
+  const std::uint32_t contended = m.access(101, 64).queue;
+  EXPECT_GT(contended, 0u);
+  // Jump past both tracked windows: the horizon clears entirely.
+  const DramAccessTime calm = m.access(100 + 3 * 1024, 64);
+  EXPECT_EQ(calm.queue, 0u);
+}
+
+TEST(DramPerfModel, OneWindowGapDemotesNotClears) {
+  DramPerfModel m(queued_spec(), 0);
+  for (int i = 0; i < 500; ++i) m.access(100, 64);
+  // One window later the traffic is "previous-window" history: still felt.
+  const DramAccessTime t = m.access(100 + 1024, 64);
+  EXPECT_GT(t.queue, 0u);
+}
+
+TEST(DramPerfModel, ResetForgetsWindowState) {
+  DramPerfModel m(queued_spec(), 0);
+  for (int i = 0; i < 500; ++i) m.access(100, 64);
+  m.reset();
+  EXPECT_EQ(m.total_queue_cycles(), 0u);
+  EXPECT_EQ(m.access(0, 64).queue, 0u);
+}
+
+TEST(DramPerfModel, DeterministicAcrossIdenticalRuns) {
+  DramPerfModel a(queued_spec(), 0);
+  DramPerfModel b(queued_spec(), 0);
+  std::uint64_t now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += static_cast<std::uint64_t>(i % 7);
+    const DramAccessTime ta = a.access(now, 64);
+    const DramAccessTime tb = b.access(now, 64);
+    ASSERT_EQ(ta.total, tb.total);
+    ASSERT_EQ(ta.queue, tb.queue);
+  }
+}
+
+TEST(DramPerfModel, RejectsInvalidSpecs) {
+  DramPerfSpec neg = queued_spec();
+  neg.max_queue_factor = -1.0;
+  EXPECT_THROW(DramPerfModel(neg, 0), ContractViolation);
+  DramPerfSpec no_window = queued_spec();
+  no_window.window_cycles = 0;
+  EXPECT_THROW(DramPerfModel(no_window, 0), ContractViolation);
+}
+
+// --- MemTimeSpec resolution and deprecation warnings ---------------------
+
+TEST(MemTimeSpec, DefaultIsFlatEquivalent) {
+  const MemTimeSpec spec;
+  EXPECT_TRUE(spec.flat_equivalent(4, 4, 12, 42, 220));
+}
+
+TEST(MemTimeSpec, ExplicitFlatOverrideStaysFlatEquivalent) {
+  MemTimeSpec spec;
+  spec.l2 = CachePerfSpec::flat(12);
+  EXPECT_TRUE(spec.flat_equivalent(4, 4, 12, 42, 220));
+  spec.l2 = CachePerfSpec{4, 9, LookupMode::kSequential};  // split: not flat
+  EXPECT_FALSE(spec.flat_equivalent(4, 4, 12, 42, 220));
+}
+
+TEST(MemTimeSpec, QueueOrDramCacheBreaksFlatEquivalence) {
+  MemTimeSpec spec;
+  spec.dram.bandwidth_bytes_per_cycle = 8.0;
+  EXPECT_FALSE(spec.flat_equivalent(4, 4, 12, 42, 220));
+  MemTimeSpec spec2;
+  spec2.dram_cache = DramCacheSpec{};
+  EXPECT_FALSE(spec2.flat_equivalent(4, 4, 12, 42, 220));
+}
+
+TEST(MemTimeSpec, ResolveLevelInheritsLegacyScalar) {
+  const CachePerfSpec inherited = resolve_level(std::nullopt, 42);
+  EXPECT_EQ(CachePerfModel(inherited).hit_cycles(), 42u);
+  EXPECT_EQ(CachePerfModel(inherited).miss_cycles(), 42u);
+  const CachePerfSpec explicit_spec =
+      resolve_level(CachePerfSpec{1, 2, LookupMode::kParallel}, 42);
+  EXPECT_EQ(CachePerfModel(explicit_spec).hit_cycles(), 2u);
+}
+
+TEST(TimingWarnings, InconsistentDramBaseIsFlagged) {
+  MemTimeSpec spec;
+  spec.dram.base_latency_cycles = 300;
+  const auto warnings = timing_warnings(spec, 220);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("deprecated"), std::string::npos);
+  EXPECT_NE(warnings[0].find("300"), std::string::npos);
+}
+
+TEST(TimingWarnings, ConsistentOrInheritedBaseIsClean) {
+  MemTimeSpec inherit;
+  EXPECT_TRUE(timing_warnings(inherit, 220).empty());
+  MemTimeSpec aligned;
+  aligned.dram.base_latency_cycles = 220;
+  EXPECT_TRUE(timing_warnings(aligned, 220).empty());
+}
+
+TEST(TimingWarnings, DramCacheWithoutExplicitBaseIsFlagged) {
+  MemTimeSpec spec;
+  DramCacheSpec dc;
+  dc.geometry = {1024 * 1024, 16, 64};
+  spec.dram_cache = dc;  // stacked channel base left at 0
+  const auto warnings = timing_warnings(spec, 220);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("dram_cache"), std::string::npos);
+}
+
+TEST(TimingWarnings, InvalidDramCacheGeometryIsFlagged) {
+  MemTimeSpec spec;
+  DramCacheSpec dc;
+  dc.geometry = {1000 * 1000, 12, 64};  // sets not a power of two
+  dc.dram.base_latency_cycles = 90;
+  spec.dram_cache = dc;
+  const auto warnings = timing_warnings(spec, 220);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("geometry"), std::string::npos);
+}
+
+TEST(DramCacheGeometry, ValidRequiresPowerOfTwoSets) {
+  EXPECT_TRUE((DramCacheGeometry{1024 * 1024, 16, 64}).valid());
+  EXPECT_FALSE((DramCacheGeometry{1000 * 1000, 12, 64}).valid());
+  EXPECT_FALSE((DramCacheGeometry{0, 16, 64}).valid());
+  EXPECT_FALSE((DramCacheGeometry{1024 * 1024, 0, 64}).valid());
+}
+
+}  // namespace
+}  // namespace stac::memtime

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -589,6 +590,27 @@ TEST_F(OnlineControllerTest, HotSwapUnderLoadLosesNoEvents) {
   EXPECT_EQ(snap.version(), 4u);
   EXPECT_GE(ctrl.totals().model_swaps_observed, 1u);
   EXPECT_GT(ctrl.totals().replans, 0u);
+}
+
+// A manager calibrated with modeled-time EA labels must serve exactly like
+// a miss-ratio one: bundle builds, controller warms up and replans.
+TEST(OnlineControllerEaMode, ServesFromModeledTimeCalibration) {
+  StacOptions opts = tiny_options();
+  opts.profiler.ea_mode = profiler::EaMode::kModeledTime;
+  StacManager mgr(opts);
+  mgr.calibrate(wl::Benchmark::kKnn, wl::Benchmark::kBfs);
+  ASSERT_TRUE(mgr.calibrated());
+
+  ArrivalIngest ring(1 << 12);
+  ModelSnapshot<ServingModel> snap(build_serving_model(mgr, opts, 1));
+  OnlineController ctrl(ring, snap, controller_config());
+  feed_stationary(ring, 0.0, 60.0);
+  const EpochReport r = ctrl.run_epoch(60.0);
+  ASSERT_TRUE(r.warm);
+  ASSERT_TRUE(r.replanned);
+  const auto& grid = opts.explorer.grid;
+  EXPECT_NE(std::find(grid.begin(), grid.end(), r.timeout_primary),
+            grid.end());
 }
 
 }  // namespace
